@@ -1,0 +1,70 @@
+// Scheduling under the area utility (Eq. (2), Fig 3b): the WSN monitors a
+// region Ω rather than discrete targets. Sweeps the number of disks and
+// reports the fraction of the maximum weighted area each scheduler sustains
+// per slot — greedy vs round-robin vs random — plus the curvature of the
+// resulting utility (area objectives saturate harder than detection ones).
+//
+//   ./bench_area_utility [--seed 16]
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/baselines.h"
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "core/problem.h"
+#include "energy/pattern.h"
+#include "geometry/arrangement.h"
+#include "geometry/deployment.h"
+#include "submodular/area.h"
+#include "submodular/checker.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  cool::util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 16));
+  cli.finish();
+
+  std::printf("=== Area-utility scheduling (Eq. 2), T = 4, region 100x100, "
+              "disk radius 18 ===\n\n");
+  const auto region = cool::geom::Rect::square(100.0);
+  const auto pattern =
+      cool::energy::pattern_for_weather(cool::energy::Weather::kSunny);
+
+  cool::util::Table table({"disks", "faces", "greedy%", "round-robin%",
+                           "random%", "curvature"});
+  for (const std::size_t n : {12u, 24u, 48u, 96u}) {
+    cool::util::Rng rng(seed + n);
+    const auto centers = cool::geom::uniform_points(region, n, rng);
+    const auto disks = cool::geom::disks_at(centers, 18.0);
+    auto arrangement =
+        std::make_shared<cool::geom::Arrangement>(region, disks, 256);
+    auto utility = std::make_shared<cool::sub::AreaUtility>(arrangement);
+    const double max_area = utility->max_value();
+
+    const cool::core::Problem problem(utility, pattern.slots_per_period(), 12,
+                                      true);
+    const auto greedy = cool::core::GreedyScheduler().schedule(problem).schedule;
+    const auto rr = cool::core::RoundRobinScheduler().schedule(problem);
+    cool::util::Rng sched_rng(seed + n + 1);
+    const auto random =
+        cool::core::RandomScheduler().schedule(problem, sched_rng);
+
+    const auto pct = [&](const cool::core::PeriodicSchedule& s) {
+      return 100.0 * cool::core::evaluate(problem, s).per_slot_average / max_area;
+    };
+    table.row({cool::util::format("%zu", n),
+               cool::util::format("%zu", arrangement->subregions().size()),
+               cool::util::format("%.1f", pct(greedy)),
+               cool::util::format("%.1f", pct(rr)),
+               cool::util::format("%.1f", pct(random)),
+               cool::util::format("%.3f", cool::sub::estimate_curvature(*utility))});
+  }
+  table.print(std::cout);
+  std::printf("\nexpected: greedy dominates both baselines at every size; "
+              "sustained area fraction grows with disk count; curvature "
+              "reaches 1 once some disk is fully shadowed by its peers.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Month-long campaign matrix: the 30-day evaluation loop under increasingly
+// realistic operating conditions — idealized energy, physical harvest,
+// transient faults, lossy dissemination, and the schedule-repair policy —
+// quantifying how much of the paper's idealized utility survives each layer
+// of reality.
+//
+//   ./bench_campaign [--sensors 40] [--days 30] [--seed 19] [--csv-dir DIR]
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "net/network.h"
+#include "sim/campaign.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  cool::util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("sensors", 40));
+  const auto days = static_cast<std::size_t>(cli.get_int("days", 30));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 19));
+  const std::string csv_dir = cli.get_string("csv-dir", "");
+  cli.finish();
+
+  cool::net::NetworkConfig net_config;
+  net_config.sensor_count = n;
+  net_config.target_count = 6;
+  net_config.region_side = 140.0;
+  net_config.sensing_radius = 45.0;
+  net_config.comm_radius = 50.0;
+  cool::util::Rng rng(seed);
+  const auto network = cool::net::make_random_network(net_config, rng);
+  auto utility = std::make_shared<cool::sub::MultiTargetDetectionUtility>(
+      cool::sub::MultiTargetDetectionUtility::uniform(n, network.coverage(),
+                                                      0.4));
+
+  struct Scenario {
+    const char* name;
+    cool::sim::CampaignConfig config;
+  };
+  cool::proto::LinkModelConfig lossy;
+  lossy.global_loss = 0.2;
+
+  std::vector<Scenario> scenarios;
+  {
+    cool::sim::CampaignConfig c;
+    c.days = days;
+    scenarios.push_back({"idealized energy", c});
+    c.backend = cool::sim::EnergyBackend::kHarvest;
+    scenarios.push_back({"+ physical harvest", c});
+    c.failure_rate_per_slot = 0.02;
+    scenarios.push_back({"+ 2% faults/slot", c});
+    c.dissemination = lossy;
+    scenarios.push_back({"+ 20% link loss", c});
+    c.repair_policy = true;
+    scenarios.push_back({"+ repair policy", c});
+  }
+
+  std::printf("=== 30-day campaign matrix (n = %zu, m = 6, weather-driven "
+              "rho per day) ===\n\n", n);
+  cool::util::Table table({"scenario", "avg-utility", "violations", "faults",
+                           "usable-days"});
+  double baseline = 0.0;
+  for (const auto& scenario : scenarios) {
+    cool::sim::CampaignRunner runner(network, utility, scenario.config,
+                                     cool::util::Rng(seed + 50));
+    const auto report = runner.run();
+    if (baseline == 0.0) baseline = report.average_utility;
+    std::size_t usable = 0;
+    for (const auto& day : report.days)
+      if (day.slots > 0) ++usable;
+    table.row({scenario.name,
+               cool::util::format("%.4f (%.0f%%)", report.average_utility,
+                                  100.0 * report.average_utility / baseline),
+               cool::util::format("%zu", report.total_violations),
+               cool::util::format("%zu", report.total_failures),
+               cool::util::format("%zu/%zu", usable, days)});
+    if (!csv_dir.empty()) {
+      std::string name(scenario.name);
+      for (char& c : name)
+        if (c == ' ' || c == '%') c = '_';
+      report.write_csv(csv_dir + "/campaign_" + name + ".csv");
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nexpected: each reality layer shaves utility; the repair "
+              "policy claws back part of the physical-energy loss without any violations.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Failure-resilience ablation (beyond the paper): transient node faults at
+// increasing rates, offline greedy schedule vs online greedy policy. The
+// offline plan cannot react to a down node; the online policy substitutes
+// healthy ready nodes — quantifying the operational value of feedback.
+//
+//   ./bench_failure_resilience [--sensors 30] [--days 10] [--seed 14]
+#include <cstdio>
+#include <iostream>
+
+#include "core/greedy.h"
+#include "core/problem.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  cool::util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("sensors", 30));
+  const auto days = static_cast<std::size_t>(cli.get_int("days", 10));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 14));
+  cli.finish();
+
+  cool::net::NetworkConfig net_config;
+  net_config.sensor_count = n;
+  net_config.target_count = 5;
+  net_config.sensing_radius = 40.0;
+  cool::util::Rng rng(seed);
+  const auto network = cool::net::make_random_network(net_config, rng);
+  const auto pattern =
+      cool::energy::pattern_for_weather(cool::energy::Weather::kSunny);
+  const auto problem =
+      cool::core::Problem::detection_instance(network, 0.4, pattern, 12);
+  const auto schedule = cool::core::GreedyScheduler().schedule(problem).schedule;
+
+  std::printf("=== Failure resilience: offline schedule vs online policy "
+              "(n = %zu, m = 5, %zu days) ===\n\n", n, days);
+  cool::util::Table table({"failure-rate", "offline-util", "online-util",
+                           "online-gain", "faults/day"});
+  for (const double rate : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+    cool::sim::SimConfig config;
+    config.pattern = pattern;
+    config.slots_per_day = problem.horizon_slots();
+    config.days = days;
+    config.failure_rate_per_slot = rate;
+    config.repair_slots = 8;
+
+    cool::sim::SchedulePolicy offline(schedule);
+    cool::sim::Simulator sim_a(problem.slot_utility_ptr(), config,
+                               cool::util::Rng(seed + 1));
+    const auto off = sim_a.run(offline);
+
+    cool::sim::OnlineGreedyPolicy online(problem.slot_utility_ptr());
+    cool::sim::Simulator sim_b(problem.slot_utility_ptr(), config,
+                               cool::util::Rng(seed + 1));
+    const auto on = sim_b.run(online);
+
+    table.row({cool::util::format("%.2f", rate),
+               cool::util::format("%.4f", off.average_utility_per_slot),
+               cool::util::format("%.4f", on.average_utility_per_slot),
+               cool::util::format("%+.1f%%",
+                                  100.0 * (on.average_utility_per_slot /
+                                               off.average_utility_per_slot -
+                                           1.0)),
+               cool::util::format("%.1f",
+                                  static_cast<double>(off.failures_injected) /
+                                      static_cast<double>(days))});
+  }
+  table.print(std::cout);
+  std::printf("\nexpected: at zero faults the offline schedule wins (it "
+              "plans globally); as the fault rate grows the online policy's "
+              "gap closes or flips because it routes around down nodes.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 7: time vs light strength vs charging voltage for two nodes over
+// three consecutive July days (the paper's rooftop measurement, July 15-17
+// 2009, reproduced by the synthetic solar/weather/battery stack).
+//
+//   ./bench_fig7_charging [--csv-dir DIR] [--seed 4]
+//
+// Prints hourly aggregates for each (node, day) pair — the shape Fig 7
+// shows: light strength swings strongly across the day while the charging
+// voltage plateaus once harvesting starts — and verifies the §VI-A
+// takeaways: a ~45 min recharge and ρ ≈ 3 under sunny weather.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "energy/pattern.h"
+#include "energy/trace.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  cool::util::Cli cli(argc, argv);
+  const std::string csv_dir = cli.get_string("csv-dir", "");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 4));
+  cli.finish();
+
+  std::printf("=== Figure 7: time vs light strength vs charging voltage "
+              "(2 nodes x 3 days, sunny) ===\n\n");
+
+  // Fig 7's measurement nodes are mostly idle (they only report readings),
+  // so their battery fills in the morning and the voltage plateaus; the
+  // charging-ratio estimate instead comes from a duty-cycling twin that
+  // produces mid-day recharge segments.
+  cool::energy::TraceConfig config;  // kMeasurement by default
+  cool::energy::TraceConfig cycling = config;
+  cycling.mode = cool::energy::TraceConfig::Mode::kCycling;
+
+  for (const int node : {5, 6}) {
+    for (int day = 0; day < 3; ++day) {
+      cool::util::Rng rng(seed + static_cast<std::uint64_t>(node * 100 + day));
+      cool::util::Rng cyc_rng(seed + static_cast<std::uint64_t>(node * 100 + day));
+      const auto trace = cool::energy::generate_daily_trace(
+          config, cool::energy::Weather::kSunny, node, day, rng);
+      const auto cycling_trace = cool::energy::generate_daily_trace(
+          cycling, cool::energy::Weather::kSunny, node, day, cyc_rng);
+      if (!csv_dir.empty())
+        trace.write_csv(csv_dir + cool::util::format("/fig7_node%d_day%d.csv",
+                                                     node, day));
+
+      std::printf("--- node %d, July %dth ---\n", node, 15 + day);
+      cool::util::Table table({"hour", "light(klux)", "voltage(V)", "soc"});
+      for (int hour = 5; hour <= 19; hour += 2) {
+        cool::util::Accumulator lux, volt, soc;
+        for (const auto& s : trace.samples) {
+          if (s.minute_of_day >= hour * 60.0 && s.minute_of_day < (hour + 2) * 60.0) {
+            lux.add(s.lux / 1000.0);
+            volt.add(s.voltage);
+            soc.add(s.soc);
+          }
+        }
+        table.row({cool::util::format("%02d:00", hour),
+                   cool::util::format("%7.1f", lux.mean()),
+                   cool::util::format("%.3f", volt.mean()),
+                   cool::util::format("%.2f", soc.mean())});
+      }
+      table.print(std::cout);
+
+      // The §VI-A takeaway: voltage plateau + stable mid-day ratio.
+      cool::util::Accumulator daylight_volt;
+      for (const auto& s : trace.samples)
+        if (s.minute_of_day >= 9 * 60.0 && s.minute_of_day < 15 * 60.0)
+          daylight_volt.add(s.voltage);
+      const auto pattern = cool::energy::estimate_pattern_window(
+          cycling_trace, cycling.node, 10.0 * 60.0, 14.0 * 60.0);
+      std::printf("9h-15h voltage swing: %.3f V (plateau)  |  "
+                  "estimated Td = %.1f min, Tr = %.1f min, rho = %.2f\n\n",
+                  daylight_volt.max() - daylight_volt.min(),
+                  pattern.discharge_minutes, pattern.recharge_minutes,
+                  pattern.rho());
+    }
+  }
+  std::printf("paper comparison: sunny recharge ~= 45 min, discharge = 15 min "
+              "(rho ~= 3); the voltage stays near-flat while light varies.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Future-work extension (paper Conclusion): heterogeneous charging
+// patterns. Sensors get per-node periods T_v (mixed panel sizes / shading);
+// the horizon greedy schedules each at its own cadence. Compared against
+// the homogeneous approximations available to Algorithm 1: pessimistic
+// (everyone at the slowest T) and infeasible-optimistic (everyone at the
+// fastest T, violations counted).
+//
+//   ./bench_heterogeneous [--sensors 40] [--targets 6] [--seed 11]
+#include <cstdio>
+#include <iostream>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "core/heterogeneous.h"
+#include "core/problem.h"
+#include "net/network.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  cool::util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("sensors", 40));
+  const auto m = static_cast<std::size_t>(cli.get_int("targets", 6));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+  cli.finish();
+
+  const std::size_t horizon = 24;
+
+  cool::net::NetworkConfig config;
+  config.sensor_count = n;
+  config.target_count = m;
+  config.sensing_radius = 40.0;
+  cool::util::Rng rng(seed);
+  const auto network = cool::net::make_random_network(config, rng);
+  auto utility = std::make_shared<cool::sub::MultiTargetDetectionUtility>(
+      cool::sub::MultiTargetDetectionUtility::uniform(n, network.coverage(), 0.4));
+
+  // Heterogeneous periods: half the fleet has small panels (T_v = 6), the
+  // rest charges fast (T_v = 3).
+  cool::core::HeterogeneousProblem het;
+  het.slot_utility = utility;
+  het.horizon_slots = horizon;
+  het.period_slots.resize(n);
+  for (std::size_t v = 0; v < n; ++v) het.period_slots[v] = (v % 2 == 0) ? 3 : 6;
+
+  const auto het_result = cool::core::HeterogeneousGreedyScheduler().schedule(het);
+
+  // Homogeneous-pessimistic: everyone at T = 6 (feasible for all).
+  const cool::core::Problem slow(utility, 6, horizon / 6, true);
+  const auto slow_schedule = cool::core::GreedyScheduler().schedule(slow).schedule;
+  const double slow_u = cool::core::evaluate(slow, slow_schedule).total_utility;
+
+  // Homogeneous-optimistic: everyone at T = 3 — infeasible for the slow
+  // half; count its violations against the true periods.
+  const cool::core::Problem fast(utility, 3, horizon / 3, true);
+  const auto fast_schedule = cool::core::GreedyScheduler().schedule(fast).schedule;
+  const double fast_u = cool::core::evaluate(fast, fast_schedule).total_utility;
+  std::size_t fast_violations = 0;
+  const auto tiled = cool::core::HorizonSchedule::tile(fast_schedule, horizon / 3);
+  for (std::size_t v = 1; v < n; v += 2) {  // the T_v = 6 half
+    std::size_t last = horizon;
+    for (std::size_t t = 0; t < horizon; ++t) {
+      if (!tiled.active(v, t)) continue;
+      if (last != horizon && t - last < 6) ++fast_violations;
+      last = t;
+    }
+  }
+
+  std::printf("=== Heterogeneous charging patterns (half T_v=3, half T_v=6, "
+              "L = %zu slots) ===\n\n", horizon);
+  cool::util::Table table({"scheme", "total-utility", "activations",
+                           "feasible"});
+  table.row({"heterogeneous greedy",
+             cool::util::format("%.4f", het_result.total_utility),
+             cool::util::format("%zu", het_result.activations), "yes"});
+  table.row({"homogeneous T=6 (pessimistic)",
+             cool::util::format("%.4f", slow_u),
+             cool::util::format("%zu", n * (horizon / 6)), "yes"});
+  table.row({"homogeneous T=3 (optimistic)",
+             cool::util::format("%.4f", fast_u),
+             cool::util::format("%zu", n * (horizon / 3)),
+             cool::util::format("NO (%zu violations)", fast_violations)});
+  table.print(std::cout);
+  std::printf("\nexpected: heterogeneous greedy beats the pessimistic "
+              "homogeneous schedule while staying feasible; the optimistic "
+              "one only 'wins' by violating recharge constraints.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Does aperiodic scheduling beat the paper's tile-one-period strategy?
+// Theorem 4.3 proves tiling keeps the 1/2 guarantee; this bench measures
+// what full-horizon freedom actually buys: tiled greedy (Algorithm 1 +
+// Fig 5 repetition) vs a horizon greedy (same hill climbing over all ℒ
+// slots with rolling recharge windows) vs the full-horizon LP bound.
+//
+//   ./bench_horizon_vs_periodic [--instances 6] [--seed 15]
+#include <cstdio>
+#include <iostream>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "core/heterogeneous.h"
+#include "core/horizon_lp.h"
+#include "core/problem.h"
+#include "net/network.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  cool::util::Cli cli(argc, argv);
+  const auto instances = static_cast<std::size_t>(cli.get_int("instances", 6));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 15));
+  cli.finish();
+
+  const std::size_t n = 10, m = 3, T = 4, periods = 3;
+  std::printf("=== Tiled periodic vs full-horizon scheduling "
+              "(n = %zu, m = %zu, T = %zu, L = %zu) ===\n\n",
+              n, m, T, T * periods);
+  cool::util::Table table({"instance", "tiled-greedy", "horizon-greedy",
+                           "horizon-LP-round", "horizon-LP-bound",
+                           "aperiodic-gain"});
+  cool::util::Accumulator gains;
+  for (std::size_t i = 0; i < instances; ++i) {
+    cool::net::NetworkConfig config;
+    config.sensor_count = n;
+    config.target_count = m;
+    config.sensing_radius = 40.0;
+    cool::util::Rng rng(seed * 23 + i);
+    const auto network = cool::net::make_random_network(config, rng);
+    auto utility = std::make_shared<cool::sub::MultiTargetDetectionUtility>(
+        cool::sub::MultiTargetDetectionUtility::uniform(n, network.coverage(),
+                                                        0.4));
+    const cool::core::Problem problem(utility, T, periods, true);
+
+    const auto tiled = cool::core::GreedyScheduler().schedule(problem);
+    const double tiled_u =
+        cool::core::evaluate(problem, tiled.schedule).total_utility;
+
+    cool::core::HeterogeneousProblem horizon;
+    horizon.slot_utility = utility;
+    horizon.period_slots.assign(n, T);
+    horizon.horizon_slots = T * periods;
+    const auto hgreedy =
+        cool::core::HeterogeneousGreedyScheduler().schedule(horizon);
+
+    cool::util::Rng round_rng(seed * 29 + i);
+    const auto hlp = cool::core::HorizonLpScheduler().schedule(problem, *utility,
+                                                               round_rng);
+
+    const double gain = hgreedy.total_utility / tiled_u - 1.0;
+    gains.add(gain);
+    table.row({cool::util::format("%zu", i),
+               cool::util::format("%.4f", tiled_u),
+               cool::util::format("%.4f", hgreedy.total_utility),
+               cool::util::format("%.4f", hlp.rounded_utility),
+               cool::util::format("%.4f", hlp.lp_objective),
+               cool::util::format("%+.2f%%", 100.0 * gain)});
+  }
+  table.print(std::cout);
+  std::printf("\nmean aperiodic gain: %+.2f%%\n", 100.0 * gains.mean());
+  std::printf("expected: horizon-greedy >= tiled-greedy (it has strictly "
+              "more freedom) but only marginally — supporting the paper's "
+              "choice to tile; LP-bound dominates everything.\n");
+  return 0;
+}

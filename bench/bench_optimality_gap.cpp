@@ -1,0 +1,73 @@
+// Optimality gap at sizes beyond brute force: the branch-and-bound solver
+// certifies the true optimum for n up to ~16-20, letting us measure the
+// greedy's real gap where the paper could only enumerate tiny cases —
+// together with the curvature-refined guarantee 1/(1+c) each instance
+// actually enjoys (Conforti–Cornuéjols over the slot partition matroid).
+//
+//   ./bench_optimality_gap [--instances 10] [--sensors 14] [--seed 13]
+#include <cstdio>
+#include <iostream>
+
+#include "core/branch_and_bound.h"
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "core/lp_scheduler.h"
+#include "core/problem.h"
+#include "net/network.h"
+#include "submodular/checker.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  cool::util::Cli cli(argc, argv);
+  const auto instances = static_cast<std::size_t>(cli.get_int("instances", 10));
+  const auto n = static_cast<std::size_t>(cli.get_int("sensors", 14));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 13));
+  cli.finish();
+
+  std::printf("=== Optimality gap via branch-and-bound (n = %zu, m = 4, "
+              "T = 4) ===\n\n", n);
+  cool::util::Table table({"instance", "greedy", "optimal", "LP-bound", "ratio",
+                           "1/(1+c)", "tree-nodes"});
+  cool::util::Accumulator ratios;
+  for (std::size_t i = 0; i < instances; ++i) {
+    cool::net::NetworkConfig config;
+    config.sensor_count = n;
+    config.target_count = 4;
+    config.sensing_radius = 40.0;
+    cool::util::Rng rng(seed * 17 + i);
+    const auto network = cool::net::make_random_network(config, rng);
+    auto utility = std::make_shared<cool::sub::MultiTargetDetectionUtility>(
+        cool::sub::MultiTargetDetectionUtility::uniform(n, network.coverage(),
+                                                        0.4));
+    const cool::core::Problem problem(utility, 4, 1, true);
+
+    const auto greedy = cool::core::GreedyScheduler().schedule(problem);
+    const double greedy_u =
+        cool::core::evaluate(problem, greedy.schedule).total_utility;
+    const auto bnb = cool::core::BranchAndBoundScheduler().schedule(problem);
+    cool::util::Rng round_rng(seed * 19 + i);
+    const auto lp = cool::core::LpScheduler().schedule(problem, *utility,
+                                                       round_rng);
+    const double guarantee = cool::sub::greedy_guarantee_from_curvature(
+        cool::sub::estimate_curvature(*utility));
+    const double ratio = greedy_u / bnb.utility_per_period;
+    ratios.add(ratio);
+    table.row({cool::util::format("%zu%s", i, bnb.proven_optimal ? "" : "*"),
+               cool::util::format("%.4f", greedy_u),
+               cool::util::format("%.4f", bnb.utility_per_period),
+               cool::util::format("%.4f", lp.lp_objective_per_period),
+               cool::util::format("%.4f", ratio),
+               cool::util::format("%.4f", guarantee),
+               cool::util::format("%zu", bnb.nodes_visited)});
+  }
+  table.print(std::cout);
+  std::printf("\nmean greedy/optimal: %.4f (min %.4f); '*' marks instances "
+              "where the node cap stopped certification.\n",
+              ratios.mean(), ratios.min());
+  std::printf("expected: every ratio >= its curvature guarantee >= 0.5; "
+              "LP-bound >= optimal.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Protocol-stack overheads (testbed substrate beyond the paper's figures):
+// (a) schedule dissemination over lossy links — delivery coverage, message
+//     cost and the utility surviving undelivered assignments, vs loss rate;
+// (b) time synchronization — residual clock error by tree depth and its
+//     slot-misalignment cost, pricing the paper's synchronized-clock
+//     assumption.
+//
+//   ./bench_protocol_stack [--sensors 60] [--seed 18]
+#include <cstdio>
+#include <iostream>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "core/problem.h"
+#include "energy/pattern.h"
+#include "net/network.h"
+#include "net/routing.h"
+#include "proto/dissemination.h"
+#include "proto/timesync.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  cool::util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("sensors", 60));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 18));
+  cli.finish();
+
+  cool::net::NetworkConfig config;
+  config.sensor_count = n;
+  config.target_count = 6;
+  config.region_side = 150.0;
+  config.sensing_radius = 40.0;
+  config.comm_radius = 45.0;
+  cool::util::Rng rng(seed);
+  const auto network = cool::net::make_random_network(config, rng);
+  const auto sink = cool::net::choose_best_sink(network);
+  const cool::net::RoutingTree tree(network, sink);
+  const cool::net::RadioEnergyModel radio;
+
+  const auto pattern =
+      cool::energy::pattern_for_weather(cool::energy::Weather::kSunny);
+  const auto problem =
+      cool::core::Problem::detection_instance(network, 0.4, pattern, 12);
+  const auto schedule = cool::core::GreedyScheduler().schedule(problem).schedule;
+  const double ideal_utility =
+      cool::core::evaluate(problem, schedule).per_slot_average;
+
+  std::printf("=== Schedule dissemination vs link loss (n = %zu, sink %zu, "
+              "%zu/%zu reachable) ===\n\n",
+              n, sink, tree.reachable_count(), n);
+  cool::util::Table table({"loss", "delivered", "data-msgs", "acks",
+                           "radio-mJ", "utility", "utility-loss"});
+  for (const double loss : {0.0, 0.1, 0.2, 0.35, 0.5}) {
+    cool::proto::LinkModelConfig link_config;
+    link_config.global_loss = loss;
+    const cool::proto::LinkModel links(network, link_config);
+    const cool::proto::ScheduleDissemination proto(network, tree, links, radio);
+    cool::util::Rng run_rng(seed + 100);
+    const auto report = proto.disseminate(schedule, run_rng);
+    const auto effective =
+        cool::proto::ScheduleDissemination::effective_schedule(schedule, report);
+    const double utility =
+        cool::core::evaluate(problem, effective).per_slot_average;
+    table.row({cool::util::format("%.2f", loss),
+               cool::util::format("%zu/%zu", report.nodes_delivered,
+                                  report.nodes_targeted),
+               cool::util::format("%zu", report.data_transmissions),
+               cool::util::format("%zu", report.ack_transmissions),
+               cool::util::format("%.2f", report.radio_energy_j * 1000.0),
+               cool::util::format("%.4f", utility),
+               cool::util::format("%.1f%%",
+                                  100.0 * (1.0 - utility / ideal_utility))});
+  }
+  table.print(std::cout);
+
+  std::printf("\n=== Time synchronization (FTSP-style flood, 30 min beacons) "
+              "===\n\n");
+  cool::util::Table sync({"metric", "value"});
+  cool::proto::TimeSyncSimulator sim(tree, {}, cool::util::Rng(seed + 5));
+  const auto sync_report = sim.run(200);
+  sync.row({"max clock error",
+            cool::util::format("%.2f ms", sync_report.max_error_ms)});
+  sync.row({"mean clock error",
+            cool::util::format("%.2f ms", sync_report.mean_error_ms)});
+  sync.row({"worst slot misalignment (15 min slots)",
+            cool::util::format("%.2e", sync_report.worst_slot_misalignment(15.0))});
+  sync.row({"coverage kept at worst node",
+            cool::util::format("%.6f",
+                               cool::proto::slot_overlap_fraction(
+                                   sync_report.max_error_ms / 60000.0, 15.0))});
+  sync.print(std::cout);
+  std::printf("\nexpected: delivery and utility degrade gracefully with loss "
+              "(per-hop ARQ absorbs moderate loss at message cost); clock "
+              "error stays milliseconds — negligible against 15-minute "
+              "slots, validating the paper's synchronized-clock "
+              "assumption.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Sweep of the charging ratio ρ = Tr/Td across both regimes (Section IV-A
+// vs IV-B): from fast chargers (ρ = 1/4: almost-always-on) to slow chargers
+// (ρ = 6: one active slot in seven). Shows how achieved utility degrades as
+// recharging slows, and that the right scheme is picked per regime.
+//
+//   ./bench_rho_sweep [--sensors 60] [--targets 8] [--days 5] [--seed 10]
+#include <cstdio>
+#include <iostream>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "core/passive_greedy.h"
+#include "core/problem.h"
+#include "net/network.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  cool::util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("sensors", 60));
+  const auto m = static_cast<std::size_t>(cli.get_int("targets", 8));
+  const auto days = static_cast<std::size_t>(cli.get_int("days", 5));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 10));
+  cli.finish();
+
+  std::printf("=== rho sweep: utility vs charging ratio (n = %zu, m = %zu) "
+              "===\n\n", n, m);
+  struct Case {
+    double td, tr;
+    const char* label;
+  };
+  const Case cases[] = {
+      {60.0, 15.0, "rho=1/4 (T=5, passive-greedy)"},
+      {30.0, 15.0, "rho=1/2 (T=3, passive-greedy)"},
+      {15.0, 15.0, "rho=1   (T=2, passive-greedy)"},
+      {15.0, 30.0, "rho=2   (T=3, greedy)"},
+      {15.0, 45.0, "rho=3   (T=4, greedy)"},
+      {15.0, 90.0, "rho=6   (T=7, greedy)"},
+  };
+
+  cool::util::Table table({"case", "T", "duty", "avg-utility", "ci95"});
+  for (const auto& c : cases) {
+    const cool::energy::ChargingPattern pattern{c.td, c.tr};
+    const std::size_t T = pattern.slots_per_period();
+    cool::util::Accumulator acc;
+    for (std::size_t day = 0; day < days; ++day) {
+      cool::net::NetworkConfig config;
+      config.sensor_count = n;
+      config.target_count = m;
+      config.sensing_radius = 40.0;
+      cool::util::Rng rng(seed * 53 + day);
+      const auto network = cool::net::make_random_network(config, rng);
+      const auto problem =
+          cool::core::Problem::detection_instance(network, 0.4, pattern, 4);
+      cool::core::PeriodicSchedule schedule =
+          problem.rho_greater_than_one()
+              ? cool::core::GreedyScheduler().schedule(problem).schedule
+              : cool::core::PassiveGreedyScheduler().schedule(problem).schedule;
+      const auto eval = cool::core::evaluate(problem, schedule);
+      acc.add(cool::core::average_utility_per_target(eval, m));
+    }
+    table.row({c.label, cool::util::format("%zu", T),
+               cool::util::format("%.2f",
+                                  static_cast<double>(
+                                      pattern.active_slots_per_period()) /
+                                      static_cast<double>(T)),
+               cool::util::format("%.4f", acc.mean()),
+               cool::util::format("%.4f", acc.ci95_halfwidth())});
+  }
+  table.print(std::cout);
+  std::printf("\nexpected: utility increases monotonically as rho falls "
+              "(higher duty cycle), with the passive-greedy taking over at "
+              "rho <= 1.\n");
+  return 0;
+}

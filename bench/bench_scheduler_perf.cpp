@@ -1,0 +1,108 @@
+// Microbenchmarks (google-benchmark): scheduling throughput, oracle cost,
+// the simplex solver, and arrangement construction — the performance
+// envelope a deployer cares about when re-planning every 2-hour estimation
+// window.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/greedy.h"
+#include "core/lazy_greedy.h"
+#include "core/lp_scheduler.h"
+#include "core/passive_greedy.h"
+#include "core/problem.h"
+#include "geometry/arrangement.h"
+#include "geometry/deployment.h"
+#include "lp/simplex.h"
+#include "net/network.h"
+#include "submodular/detection.h"
+#include "util/rng.h"
+
+namespace {
+
+cool::core::Problem make_problem(std::size_t n, std::size_t m, bool rho_gt_one,
+                                 std::uint64_t seed) {
+  cool::net::NetworkConfig config;
+  config.sensor_count = n;
+  config.target_count = m;
+  config.region_side = 200.0;
+  config.sensing_radius = 40.0;
+  cool::util::Rng rng(seed);
+  const auto network = cool::net::make_random_network(config, rng);
+  auto utility = std::make_shared<cool::sub::MultiTargetDetectionUtility>(
+      cool::sub::MultiTargetDetectionUtility::uniform(n, network.coverage(), 0.4));
+  return cool::core::Problem(std::move(utility), 4, 12, rho_gt_one);
+}
+
+void BM_GreedySchedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = make_problem(n, n / 10 + 1, true, 42);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cool::core::GreedyScheduler().schedule(problem));
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GreedySchedule)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+void BM_LazyGreedySchedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = make_problem(n, n / 10 + 1, true, 42);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cool::core::LazyGreedyScheduler().schedule(problem));
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LazyGreedySchedule)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+void BM_PassiveGreedySchedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = make_problem(n, n / 10 + 1, false, 42);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        cool::core::PassiveGreedyScheduler().schedule(problem));
+}
+BENCHMARK(BM_PassiveGreedySchedule)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_MarginalQuery(benchmark::State& state) {
+  const auto problem = make_problem(500, 50, true, 7);
+  const auto eval = problem.slot_utility().make_state();
+  for (std::size_t v = 0; v < 250; ++v) eval->add(v * 2);
+  std::size_t v = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval->marginal(v));
+    v = (v + 2) % 500;
+  }
+}
+BENCHMARK(BM_MarginalQuery);
+
+void BM_SimplexActivationLp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cool::net::NetworkConfig config;
+  config.sensor_count = n;
+  config.target_count = 4;
+  config.sensing_radius = 45.0;
+  cool::util::Rng rng(3);
+  const auto network = cool::net::make_random_network(config, rng);
+  auto utility = std::make_shared<cool::sub::MultiTargetDetectionUtility>(
+      cool::sub::MultiTargetDetectionUtility::uniform(n, network.coverage(), 0.4));
+  const cool::core::Problem problem(utility, 4, 1, true);
+  for (auto _ : state) {
+    cool::util::Rng round_rng(5);
+    benchmark::DoNotOptimize(
+        cool::core::LpScheduler().schedule(problem, *utility, round_rng));
+  }
+}
+BENCHMARK(BM_SimplexActivationLp)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_ArrangementBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto region = cool::geom::Rect::square(100.0);
+  cool::util::Rng rng(9);
+  const auto centers = cool::geom::uniform_points(region, n, rng);
+  const auto disks = cool::geom::disks_at(centers, 18.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cool::geom::Arrangement(region, disks, 256));
+}
+BENCHMARK(BM_ArrangementBuild)->Arg(20)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Section V: other charging models. Events arrive Poisson(λa), last
+// Exp(λd), recharge times are Normal(T̄r, σ). The LP path consumes the
+// derived ratio ρ'; the greedy schedule is evaluated under this model by
+// continuous-time simulation (its analysis is the paper's future work).
+//
+//   ./bench_stochastic_charging [--seed 12]
+//
+// Reports: (a) analytic vs observed T̄d/T̄r; (b) time-average utility of
+// the greedy-staggered activation vs clustered activation across a sweep of
+// event rates (i.e. across ρ').
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "energy/stochastic.h"
+#include "sim/continuous.h"
+#include "submodular/detection.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+std::shared_ptr<const cool::sub::SubmodularFunction> detect(std::size_t n) {
+  return std::make_shared<cool::sub::DetectionUtility>(
+      std::vector<double>(n, 0.4));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cool::util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 12));
+  cli.finish();
+
+  std::printf("=== Section V: stochastic charging model ===\n\n");
+  const std::size_t n = 12;
+
+  cool::util::Table table({"lambda_a", "duty", "T_d(analytic)", "T_d(observed)",
+                           "T_r(observed)", "rho'", "staggered", "clustered",
+                           "gain"});
+  for (const double lambda_a : {0.05, 0.10, 0.20, 0.30}) {
+    cool::energy::StochasticChargingConfig config;
+    config.event_rate_per_min = lambda_a;
+    config.mean_event_minutes = 2.0;
+    config.continuous_discharge_min = 15.0;
+    config.mean_recharge_min = 45.0;
+    config.recharge_sigma_min = 5.0;
+    const cool::energy::StochasticChargingModel model(config);
+
+    cool::sim::ContinuousConfig sim_config;
+    sim_config.horizon_minutes = 20000.0;
+
+    // Greedy-staggered offsets: round-robin across the period (for the
+    // single-target detection utility this is exactly what Algorithm 1
+    // produces).
+    const double rho_prime = model.rho_prime();
+    const std::size_t T = static_cast<std::size_t>(
+        std::lround(rho_prime > 1.0 ? rho_prime : 1.0 / rho_prime)) + 1;
+    std::vector<std::size_t> staggered(n), clustered(n, 0);
+    for (std::size_t v = 0; v < n; ++v) staggered[v] = v % T;
+
+    cool::sim::ContinuousSimulator sim_a(detect(n), model, sim_config,
+                                         cool::util::Rng(seed + 1));
+    const auto stag = sim_a.run(staggered, T);
+    cool::sim::ContinuousSimulator sim_b(detect(n), model, sim_config,
+                                         cool::util::Rng(seed + 1));
+    const auto clus = sim_b.run(clustered, T);
+
+    table.row({cool::util::format("%.2f", lambda_a),
+               cool::util::format("%.2f", model.duty_fraction()),
+               cool::util::format("%.1f", model.mean_discharge_minutes()),
+               cool::util::format("%.1f", stag.mean_observed_discharge_min),
+               cool::util::format("%.1f", stag.mean_observed_recharge_min),
+               cool::util::format("%.2f", rho_prime),
+               cool::util::format("%.4f", stag.time_average_utility),
+               cool::util::format("%.4f", clus.time_average_utility),
+               cool::util::format("%+.1f%%",
+                                  100.0 * (stag.time_average_utility /
+                                               clus.time_average_utility -
+                                           1.0))});
+  }
+  table.print(std::cout);
+  std::printf("\nexpected: observed durations track the analytic means; the "
+              "greedy-staggered schedule beats clustered activation at every "
+              "event rate.\n");
+  return 0;
+}

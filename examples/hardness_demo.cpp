@@ -1,0 +1,80 @@
+// Hardness demo: Theorem 3.1's reduction from Subset-Sum, executable.
+//
+//   ./hardness_demo [--numbers 3,1,4,2,2] [--seed 21]
+//
+// Builds the paper's gadget — n sensors, T = 2 slots, utility
+// U(S) = log(1 + Σ_{v_i∈S} I_i) — and solves it exactly. The optimum hits
+// 2·log(1 + ΣI/2) iff the numbers admit a balanced partition, so the exact
+// scheduler doubles as a Subset-Sum decider; the greedy's value shows the
+// approximation at work on the family that makes the problem NP-hard.
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <numeric>
+
+#include "core/evaluator.h"
+#include "core/exhaustive.h"
+#include "core/greedy.h"
+#include "core/problem.h"
+#include "submodular/concave.h"
+#include "util/cli.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) try {
+  cool::util::Cli cli(argc, argv);
+  const auto spec = cli.get_string("numbers", "3,1,4,2,2");
+  cli.finish();
+
+  std::vector<double> numbers;
+  for (const auto& cell : cool::util::split(spec, ','))
+    numbers.push_back(cool::util::parse_double(cell));
+  if (numbers.empty() || numbers.size() > 16) {
+    std::fprintf(stderr, "need 1..16 comma-separated numbers\n");
+    return 1;
+  }
+
+  const double total = std::accumulate(numbers.begin(), numbers.end(), 0.0);
+  std::printf("Subset-Sum input: %s (total %.0f)\n", spec.c_str(), total);
+  std::printf("gadget: %zu sensors, T = 2, U(S) = log(1 + sum I_i)\n\n",
+              numbers.size());
+
+  auto utility = std::make_shared<cool::sub::ConcaveOfModular>(
+      cool::sub::make_log_sum_utility(numbers));
+  const cool::core::Problem problem(utility, 2, 1, true);
+
+  const auto optimal = cool::core::ExhaustiveScheduler().schedule(problem);
+  const auto greedy = cool::core::GreedyScheduler().schedule(problem);
+  const double greedy_u =
+      cool::core::evaluate(problem, greedy.schedule).total_utility;
+  const double balanced = 2.0 * std::log1p(total / 2.0);
+
+  std::printf("optimal schedule utility : %.9f\n", optimal.utility_per_period);
+  std::printf("balanced-partition bound : %.9f\n", balanced);
+  std::printf("greedy schedule utility  : %.9f  (ratio %.4f)\n\n", greedy_u,
+              greedy_u / optimal.utility_per_period);
+
+  // Recover the split the optimum found.
+  double slot0 = 0.0, slot1 = 0.0;
+  std::printf("optimal split:  slot0 = {");
+  for (std::size_t v = 0; v < numbers.size(); ++v) {
+    if (optimal.schedule.active(v, 0)) {
+      std::printf(" %.0f", numbers[v]);
+      slot0 += numbers[v];
+    } else {
+      slot1 += numbers[v];
+    }
+  }
+  std::printf(" } (sum %.0f)   slot1 sum %.0f\n", slot0, slot1);
+
+  const bool has_partition =
+      std::abs(optimal.utility_per_period - balanced) < 1e-9;
+  std::printf("\nSubset-Sum verdict: a subset summing to %.1f %s\n", total / 2.0,
+              has_partition ? "EXISTS (optimum meets the balanced bound)"
+                            : "does NOT exist (optimum falls short of the bound)");
+  std::printf("=> scheduling the gadget optimally decides Subset-Sum, which "
+              "is why Theorem 3.1 makes the problem NP-hard.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

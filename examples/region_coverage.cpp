@@ -1,0 +1,73 @@
+// Region coverage: scheduling under the paper's *area* utility (Eq. (2) and
+// Fig. 3) instead of discrete targets — the WSN monitors a whole region Ω,
+// subdivided into subregions by the sensing disks, with a monitoring
+// preference that weights the region's east half higher.
+//
+//   ./region_coverage [--sensors 40] [--radius 18] [--seed 9]
+#include <cstdio>
+#include <exception>
+#include <memory>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "core/problem.h"
+#include "energy/pattern.h"
+#include "geometry/arrangement.h"
+#include "geometry/deployment.h"
+#include "submodular/area.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) try {
+  cool::util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("sensors", 40));
+  const double radius = cli.get_double("radius", 18.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
+  cli.finish();
+
+  // Deploy disks and build the subregion arrangement (Fig 3b).
+  const auto region = cool::geom::Rect::square(100.0);
+  cool::util::Rng rng(seed);
+  const auto centers = cool::geom::uniform_points(region, n, rng);
+  const auto disks = cool::geom::disks_at(centers, radius);
+  auto arrangement =
+      std::make_shared<cool::geom::Arrangement>(region, disks, 256);
+  std::printf("region 100x100, %zu disks of radius %.0f\n", n, radius);
+  std::printf("arrangement: %zu subregions, covered area %.0f (%.0f%% of region)\n",
+              arrangement->subregions().size(), arrangement->total_covered_area(),
+              100.0 * arrangement->total_covered_area() / region.area());
+
+  // Monitoring preference w_i: the east half matters twice as much.
+  arrangement->set_weights_by(
+      [](cool::geom::Vec2 p) { return p.x > 50.0 ? 2.0 : 1.0; });
+
+  auto utility = std::make_shared<cool::sub::AreaUtility>(arrangement);
+  const double max_utility = utility->max_value();
+
+  const auto pattern = cool::energy::pattern_for_weather(cool::energy::Weather::kSunny);
+  const auto problem =
+      cool::core::Problem::from_pattern(utility, pattern, /*periods=*/12);
+  const auto result = cool::core::GreedyScheduler().schedule(problem);
+  const auto eval = cool::core::evaluate(problem, result.schedule);
+
+  std::printf("\ngreedy schedule across T=%zu slots:\n",
+              problem.slots_per_period());
+  for (std::size_t t = 0; t < problem.slots_per_period(); ++t) {
+    const auto active = result.schedule.active_set(t);
+    std::vector<std::uint8_t> mask(n, 0);
+    for (const auto v : active) mask[v] = 1;
+    std::printf("  slot %zu: %2zu disks active, weighted area %.0f (%.0f%% of max)\n",
+                t, active.size(), arrangement->covered_weighted_area(mask),
+                100.0 * arrangement->covered_weighted_area(mask) / max_utility);
+  }
+  std::printf("\naverage weighted-area utility per slot: %.0f / %.0f (%.1f%%)\n",
+              eval.per_slot_average, max_utility,
+              100.0 * eval.per_slot_average / max_utility);
+
+  // Sanity: the area utility is submodular, so the 1/2-approximation of
+  // Algorithm 1 applies verbatim — report the trivial certificate.
+  std::printf("guarantee: >= 1/2 of the optimal schedule (Theorem 4.3)\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

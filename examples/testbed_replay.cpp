@@ -1,0 +1,103 @@
+// Testbed replay: the synthetic stand-in for the paper's 100-node rooftop
+// deployment (Section VI-B) — 100 solar-powered nodes run for 30 daytime
+// days under the *physical* harvest backend (solar position, per-day
+// weather, cloud transients, cell efficiency), comparing the offline greedy
+// schedule against online policies.
+//
+//   ./testbed_replay [--sensors 100] [--targets 1] [--days 30] [--seed 5]
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <memory>
+
+#include "core/bounds.h"
+#include "core/greedy.h"
+#include "core/problem.h"
+#include "energy/pattern.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) try {
+  cool::util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("sensors", 100));
+  const auto m = static_cast<std::size_t>(cli.get_int("targets", 1));
+  const auto days = static_cast<std::size_t>(cli.get_int("days", 30));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+  cli.finish();
+
+  cool::net::NetworkConfig net_config;
+  net_config.sensor_count = n;
+  net_config.target_count = m;
+  net_config.sensing_radius = 60.0;  // rooftop testbed: dense coverage
+  cool::util::Rng rng(seed);
+  const auto network = cool::net::make_random_network(net_config, rng);
+
+  const auto pattern = cool::energy::pattern_for_weather(cool::energy::Weather::kSunny);
+  const auto problem = cool::core::Problem::detection_instance(
+      network, 0.4, pattern, 12);  // 12 one-hour periods per day
+  const auto schedule = cool::core::GreedyScheduler().schedule(problem).schedule;
+
+  cool::sim::SimConfig config;
+  config.backend = cool::sim::EnergyBackend::kHarvest;
+  config.days = days;
+  config.slots_per_day = problem.horizon_slots();
+  config.slot_minutes = pattern.slot_minutes();
+  config.pattern = pattern;
+
+  const auto run_policy = [&](cool::sim::ActivationPolicy& policy) {
+    cool::sim::Simulator sim(problem.slot_utility_ptr(), config,
+                             cool::util::Rng(seed + 11));
+    return sim.run(policy);
+  };
+
+  cool::sim::SchedulePolicy offline(schedule);
+  const auto offline_report = run_policy(offline);
+  cool::sim::ScheduleRepairPolicy repair(schedule, problem.slot_utility_ptr());
+  const auto repair_report = run_policy(repair);
+  cool::sim::OnlineGreedyPolicy online(problem.slot_utility_ptr());
+  const auto online_report = run_policy(online);
+  cool::sim::SimConfig partial_config = config;
+  partial_config.allow_partial_activation = true;
+  cool::sim::PartialChargePolicy partial(problem.slot_utility_ptr(), 0.5);
+  cool::sim::Simulator partial_sim(problem.slot_utility_ptr(), partial_config,
+                                   cool::util::Rng(seed + 11));
+  const auto partial_report = partial_sim.run(partial);
+
+  const auto& utility = dynamic_cast<const cool::sub::MultiTargetDetectionUtility&>(
+      problem.slot_utility());
+  const double bound = cool::core::detection_balanced_upper_bound(
+      utility, pattern.slots_per_period());
+
+  std::printf("testbed replay: %zu nodes, %zu target(s), %zu daytime days "
+              "(physical harvest backend)\n\n", n, m, days);
+  cool::util::Table table({"policy", "avg-utility/target", "activations",
+                           "partial", "violations"});
+  const auto add = [&](const char* name, const cool::sim::SimReport& r) {
+    table.row({name,
+               cool::util::format("%.6f", r.average_utility_per_slot /
+                                              static_cast<double>(m)),
+               cool::util::format("%zu", r.activations),
+               cool::util::format("%zu", r.partial_activations),
+               cool::util::format("%zu", r.energy_violations)});
+  };
+  add("offline-greedy (Alg 1)", offline_report);
+  add("offline + repair", repair_report);
+  add("online-greedy", online_report);
+  add("partial-charge (future work)", partial_report);
+  table.print(std::cout);
+  std::printf("\nanalytic upper bound (ideal energy): %.6f per target-slot\n",
+              bound / static_cast<double>(m));
+
+  // Per-day swing under weather (first week shown).
+  std::printf("\noffline-greedy daily averages (weather-driven):\n");
+  for (std::size_t d = 0; d < offline_report.daily_average.size() && d < 7; ++d)
+    std::printf("  day %zu: %.4f\n", d,
+                offline_report.daily_average[d] / static_cast<double>(m));
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

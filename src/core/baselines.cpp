@@ -1,0 +1,39 @@
+#include "core/baselines.h"
+
+namespace cool::core {
+
+PeriodicSchedule RandomScheduler::schedule(const Problem& problem,
+                                           util::Rng& rng) const {
+  const std::size_t n = problem.sensor_count();
+  const std::size_t T = problem.slots_per_period();
+  PeriodicSchedule schedule(n, T);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto slot = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(T) - 1));
+    if (problem.rho_greater_than_one()) {
+      schedule.set_active(v, slot);
+    } else {
+      for (std::size_t t = 0; t < T; ++t)
+        if (t != slot) schedule.set_active(v, t);
+    }
+  }
+  return schedule;
+}
+
+PeriodicSchedule RoundRobinScheduler::schedule(const Problem& problem) const {
+  const std::size_t n = problem.sensor_count();
+  const std::size_t T = problem.slots_per_period();
+  PeriodicSchedule schedule(n, T);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t slot = v % T;
+    if (problem.rho_greater_than_one()) {
+      schedule.set_active(v, slot);
+    } else {
+      for (std::size_t t = 0; t < T; ++t)
+        if (t != slot) schedule.set_active(v, t);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace cool::core

@@ -1,0 +1,26 @@
+// Baseline schedulers for the evaluation: random slot assignment and
+// balanced round-robin. Both respect the period structure (feasible by
+// construction) so comparisons isolate *placement quality*, not feasibility.
+#pragma once
+
+#include "core/problem.h"
+#include "core/schedule.h"
+#include "util/rng.h"
+
+namespace cool::core {
+
+// ρ > 1: each sensor picks one uniform slot. ρ <= 1: one uniform passive
+// slot.
+class RandomScheduler {
+ public:
+  PeriodicSchedule schedule(const Problem& problem, util::Rng& rng) const;
+};
+
+// ρ > 1: sensor i active in slot i mod T (balanced counts, arbitrary
+// identity-order placement). ρ <= 1: sensor i passive in slot i mod T.
+class RoundRobinScheduler {
+ public:
+  PeriodicSchedule schedule(const Problem& problem) const;
+};
+
+}  // namespace cool::core

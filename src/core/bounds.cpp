@@ -1,0 +1,38 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cool::core {
+
+double single_target_upper_bound(std::size_t sensor_count,
+                                 std::size_t slots_per_period, double p) {
+  if (slots_per_period == 0)
+    throw std::invalid_argument("single_target_upper_bound: T = 0");
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("single_target_upper_bound: p outside [0,1]");
+  const std::size_t per_slot =
+      (sensor_count + slots_per_period - 1) / slots_per_period;
+  return 1.0 - std::pow(1.0 - p, static_cast<double>(per_slot));
+}
+
+double detection_balanced_upper_bound(const sub::MultiTargetDetectionUtility& utility,
+                                      std::size_t slots_per_period) {
+  if (slots_per_period == 0)
+    throw std::invalid_argument("detection_balanced_upper_bound: T = 0");
+  double bound = 0.0;
+  for (const auto& target : utility.targets()) {
+    const std::size_t degree = target.detectors.size();
+    if (degree == 0) continue;
+    double p_max = 0.0;
+    for (const auto& [_, p] : target.detectors) p_max = std::max(p_max, p);
+    const std::size_t per_slot =
+        (degree + slots_per_period - 1) / slots_per_period;
+    bound += target.weight *
+             (1.0 - std::pow(1.0 - p_max, static_cast<double>(per_slot)));
+  }
+  return bound;
+}
+
+}  // namespace cool::core

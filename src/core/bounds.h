@@ -1,0 +1,30 @@
+// Upper bounds on the optimal average utility.
+//
+// * single_target_upper_bound — the paper's §VI-B formula
+//     Ū = 1 − (1−p)^⌈n/T⌉,
+//   valid because with one activation per period each slot averages at most
+//   ⌈n/T⌉ sensors and the detection utility is concave in that count.
+// * detection_balanced_upper_bound — the multi-target generalization: each
+//   target O_j with d_j covering sensors contributes at most
+//   w_j·(1 − (1−p_j)^⌈d_j/T⌉) per slot.
+// * The LP relaxation (lp_scheduler.h) gives a principled bound for
+//   arbitrary utilities.
+#pragma once
+
+#include <cstddef>
+
+#include "core/problem.h"
+#include "submodular/detection.h"
+
+namespace cool::core {
+
+double single_target_upper_bound(std::size_t sensor_count,
+                                 std::size_t slots_per_period, double p);
+
+// Per-slot upper bound summed over targets. Requires uniform detection
+// probability within each target (heterogeneous probabilities are bounded
+// using each target's maximum p, still a valid upper bound).
+double detection_balanced_upper_bound(const sub::MultiTargetDetectionUtility& utility,
+                                      std::size_t slots_per_period);
+
+}  // namespace cool::core

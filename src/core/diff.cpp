@@ -1,0 +1,53 @@
+#include "core/diff.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cool::core {
+
+std::string ScheduleDiff::to_string() const {
+  std::string out = util::format("%zu moved, %zu unchanged\n", moves.size(),
+                                 unchanged);
+  for (const auto& move : moves) {
+    const auto slot_name = [](std::size_t slot) {
+      return slot == ScheduleMove::kNone ? std::string("-")
+                                         : util::format("%zu", slot);
+    };
+    out += util::format("  v%zu: %s -> %s\n", move.sensor,
+                        slot_name(move.from_slot).c_str(),
+                        slot_name(move.to_slot).c_str());
+  }
+  return out;
+}
+
+ScheduleDiff diff_schedules(const PeriodicSchedule& before,
+                            const PeriodicSchedule& after) {
+  if (before.sensor_count() != after.sensor_count() ||
+      before.slots_per_period() != after.slots_per_period())
+    throw std::invalid_argument("diff_schedules: shape mismatch");
+
+  ScheduleDiff diff;
+  const std::size_t T = before.slots_per_period();
+  for (std::size_t v = 0; v < before.sensor_count(); ++v) {
+    bool changed = false;
+    ScheduleMove move;
+    move.sensor = v;
+    for (std::size_t t = 0; t < T; ++t) {
+      const bool was = before.active(v, t);
+      const bool now = after.active(v, t);
+      if (was && move.from_slot == ScheduleMove::kNone) move.from_slot = t;
+      if (now && move.to_slot == ScheduleMove::kNone) move.to_slot = t;
+      if (was != now) changed = true;
+    }
+    if (changed) {
+      diff.moves.push_back(move);
+    } else {
+      ++diff.unchanged;
+    }
+    if (after.active_count(v) > 0) ++diff.full_notifications;
+  }
+  return diff;
+}
+
+}  // namespace cool::core

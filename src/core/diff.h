@@ -1,0 +1,44 @@
+// Schedule diff: what changes between yesterday's and today's plan?
+//
+// Re-planning every day (weather) or every estimation window (paper §I)
+// produces near-identical schedules most of the time; disseminating only
+// the delta instead of the full plan saves most of the protocol traffic.
+// The diff lists per-sensor moves and computes the dissemination payload
+// both ways.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace cool::core {
+
+struct ScheduleMove {
+  std::size_t sensor = 0;
+  // Slots within the period; kNone marks "not active anywhere".
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t from_slot = kNone;
+  std::size_t to_slot = kNone;
+};
+
+struct ScheduleDiff {
+  std::vector<ScheduleMove> moves;  // only sensors whose assignment changed
+  std::size_t unchanged = 0;
+  // Nodes that must be re-notified = moves.size(); full dissemination would
+  // touch every node with an assignment in the new schedule.
+  std::size_t full_notifications = 0;
+
+  bool empty() const noexcept { return moves.empty(); }
+  std::string to_string() const;
+};
+
+// Requires identical shapes. Only meaningful for ρ > 1 style schedules
+// (at most one active slot per sensor per period); for multi-slot
+// assignments a sensor counts as moved when its active-slot set differs,
+// with from/to reporting the first differing slot.
+ScheduleDiff diff_schedules(const PeriodicSchedule& before,
+                            const PeriodicSchedule& after);
+
+}  // namespace cool::core

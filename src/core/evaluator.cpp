@@ -1,0 +1,56 @@
+#include "core/evaluator.h"
+
+#include <stdexcept>
+
+namespace cool::core {
+
+namespace {
+
+double slot_value(const Problem& problem, const std::vector<std::size_t>& active) {
+  const auto state = problem.slot_utility().make_state();
+  for (const auto s : active) state->add(s);
+  return state->value();
+}
+
+}  // namespace
+
+Evaluation evaluate(const Problem& problem, const PeriodicSchedule& schedule) {
+  if (schedule.sensor_count() != problem.sensor_count() ||
+      schedule.slots_per_period() != problem.slots_per_period())
+    throw std::invalid_argument("evaluate: schedule shape mismatch");
+  Evaluation eval;
+  eval.slot_utilities.reserve(schedule.slots_per_period());
+  double period_total = 0.0;
+  for (std::size_t t = 0; t < schedule.slots_per_period(); ++t) {
+    const double v = slot_value(problem, schedule.active_set(t));
+    eval.slot_utilities.push_back(v);
+    period_total += v;
+  }
+  eval.total_utility = period_total * static_cast<double>(problem.periods());
+  eval.per_slot_average =
+      eval.total_utility / static_cast<double>(problem.horizon_slots());
+  return eval;
+}
+
+Evaluation evaluate(const Problem& problem, const HorizonSchedule& schedule) {
+  if (schedule.sensor_count() != problem.sensor_count() ||
+      schedule.horizon_slots() != problem.horizon_slots())
+    throw std::invalid_argument("evaluate: schedule shape mismatch");
+  Evaluation eval;
+  eval.slot_utilities.reserve(schedule.horizon_slots());
+  for (std::size_t t = 0; t < schedule.horizon_slots(); ++t) {
+    const double v = slot_value(problem, schedule.active_set(t));
+    eval.slot_utilities.push_back(v);
+    eval.total_utility += v;
+  }
+  eval.per_slot_average =
+      eval.total_utility / static_cast<double>(problem.horizon_slots());
+  return eval;
+}
+
+double average_utility_per_target(const Evaluation& eval, std::size_t targets) {
+  if (targets == 0) throw std::invalid_argument("average_utility_per_target: m = 0");
+  return eval.per_slot_average / static_cast<double>(targets);
+}
+
+}  // namespace cool::core

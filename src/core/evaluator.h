@@ -1,0 +1,31 @@
+// Schedule evaluation: total and per-slot utility over the working time
+// (paper Section II-D: U_X = Σ_t Σ_i U_i(S_X(O_i, t))).
+#pragma once
+
+#include <vector>
+
+#include "core/problem.h"
+#include "core/schedule.h"
+
+namespace cool::core {
+
+struct Evaluation {
+  double total_utility = 0.0;        // Σ over all ℒ slots
+  double per_slot_average = 0.0;     // total / ℒ
+  std::vector<double> slot_utilities;  // one entry per slot of one period
+                                       // (periodic) or per horizon slot
+};
+
+// Periodic schedule: evaluates one period and scales by α (valid because
+// the tiled schedule repeats the same active sets; Theorem 4.3).
+Evaluation evaluate(const Problem& problem, const PeriodicSchedule& schedule);
+
+// Full-horizon schedule: evaluates every slot.
+Evaluation evaluate(const Problem& problem, const HorizonSchedule& schedule);
+
+// The paper's reported metric: average utility per target per time-slot.
+// `targets` is the number m of targets the slot utility sums over (pass 1
+// for single-objective utilities).
+double average_utility_per_target(const Evaluation& eval, std::size_t targets);
+
+}  // namespace cool::core

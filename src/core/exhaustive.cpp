@@ -1,0 +1,101 @@
+#include "core/exhaustive.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "submodular/function.h"
+
+namespace cool::core {
+
+ExhaustiveScheduler::ExhaustiveScheduler(std::size_t work_cap)
+    : work_cap_(work_cap) {
+  if (work_cap == 0) throw std::invalid_argument("ExhaustiveScheduler: zero cap");
+}
+
+namespace {
+
+// DFS over sensor-by-sensor slot choices, carrying per-slot EvalStates.
+// For ρ > 1 a choice adds the sensor to one slot; for ρ <= 1 it adds the
+// sensor to every slot *except* the chosen passive one.
+class Search {
+ public:
+  Search(const Problem& problem, bool rho_gt_one)
+      : problem_(problem), rho_gt_one_(rho_gt_one),
+        n_(problem.sensor_count()), T_(problem.slots_per_period()),
+        choice_(n_, 0), best_choice_(n_, 0) {}
+
+  ExhaustiveResult run() {
+    std::vector<std::unique_ptr<sub::EvalState>> states;
+    states.reserve(T_);
+    for (std::size_t t = 0; t < T_; ++t)
+      states.push_back(problem_.slot_utility().make_state());
+    dfs(0, states);
+
+    ExhaustiveResult result{PeriodicSchedule(n_, T_), best_value_, evaluated_};
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (rho_gt_one_) {
+        result.schedule.set_active(v, best_choice_[v]);
+      } else {
+        for (std::size_t t = 0; t < T_; ++t)
+          if (t != best_choice_[v]) result.schedule.set_active(v, t);
+      }
+    }
+    return result;
+  }
+
+ private:
+  void dfs(std::size_t sensor, std::vector<std::unique_ptr<sub::EvalState>>& states) {
+    if (sensor == n_) {
+      ++evaluated_;
+      double total = 0.0;
+      for (const auto& state : states) total += state->value();
+      if (total > best_value_) {
+        best_value_ = total;
+        best_choice_ = choice_;
+      }
+      return;
+    }
+    for (std::size_t slot = 0; slot < T_; ++slot) {
+      choice_[sensor] = slot;
+      // Clone states touched by this choice, recurse, restore.
+      std::vector<std::unique_ptr<sub::EvalState>> next;
+      next.reserve(T_);
+      for (std::size_t t = 0; t < T_; ++t) {
+        const bool touched = rho_gt_one_ ? (t == slot) : (t != slot);
+        next.push_back(touched ? states[t]->clone() : nullptr);
+        if (touched) next[t]->add(sensor);
+      }
+      // Borrow untouched states by pointer swap to avoid deep copies.
+      for (std::size_t t = 0; t < T_; ++t)
+        if (!next[t]) next[t].swap(states[t]);
+      dfs(sensor + 1, next);
+      for (std::size_t t = 0; t < T_; ++t)
+        if (!states[t]) states[t].swap(next[t]);
+    }
+  }
+
+  const Problem& problem_;
+  bool rho_gt_one_;
+  std::size_t n_;
+  std::size_t T_;
+  std::vector<std::size_t> choice_;
+  std::vector<std::size_t> best_choice_;
+  double best_value_ = -1.0;
+  std::size_t evaluated_ = 0;
+};
+
+}  // namespace
+
+ExhaustiveResult ExhaustiveScheduler::schedule(const Problem& problem) const {
+  const double leaves = std::pow(static_cast<double>(problem.slots_per_period()),
+                                 static_cast<double>(problem.sensor_count()));
+  if (leaves > static_cast<double>(work_cap_))
+    throw std::invalid_argument(
+        "ExhaustiveScheduler: T^n exceeds the work cap; reduce n or raise the cap");
+  Search search(problem, problem.rho_greater_than_one());
+  return search.run();
+}
+
+}  // namespace cool::core

@@ -1,0 +1,36 @@
+// Exhaustive optimal scheduler (the paper's Fig 8 "optimal solution is
+// obtained by enumerating all possible scheduling").
+//
+// Enumerates T^n assignments: for ρ > 1 every sensor picks its one active
+// slot; for ρ <= 1 every sensor picks its one passive slot. Monotonicity
+// makes both restrictions lossless (activating more never hurts). Only
+// feasible for small n — the constructor enforces a work cap.
+#pragma once
+
+#include <cstddef>
+
+#include "core/problem.h"
+#include "core/schedule.h"
+
+namespace cool::core {
+
+struct ExhaustiveResult {
+  PeriodicSchedule schedule;
+  double utility_per_period = 0.0;  // Σ over the period's slots
+  std::size_t evaluated = 0;        // number of leaves visited
+};
+
+class ExhaustiveScheduler {
+ public:
+  // `work_cap`: maximum number of leaf evaluations allowed; throws
+  // std::invalid_argument when T^n exceeds it (prevents accidental
+  // multi-hour runs from a typo'd bench parameter).
+  explicit ExhaustiveScheduler(std::size_t work_cap = 50'000'000);
+
+  ExhaustiveResult schedule(const Problem& problem) const;
+
+ private:
+  std::size_t work_cap_;
+};
+
+}  // namespace cool::core

@@ -1,0 +1,51 @@
+#include "core/greedy.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace cool::core {
+
+GreedyResult GreedyScheduler::schedule(const Problem& problem) const {
+  if (!problem.rho_greater_than_one())
+    throw std::invalid_argument(
+        "GreedyScheduler requires rho > 1; use PassiveGreedyScheduler");
+
+  const std::size_t n = problem.sensor_count();
+  const std::size_t T = problem.slots_per_period();
+
+  GreedyResult result{PeriodicSchedule(n, T), {}, 0};
+  result.steps.reserve(n);
+
+  // One incremental evaluator per slot; slot states grow as sensors land.
+  std::vector<std::unique_ptr<sub::EvalState>> slot_state;
+  slot_state.reserve(T);
+  for (std::size_t t = 0; t < T; ++t)
+    slot_state.push_back(problem.slot_utility().make_state());
+
+  std::vector<std::uint8_t> placed(n, 0);
+  for (std::size_t step = 0; step < n; ++step) {
+    double best_gain = -1.0;
+    std::size_t best_sensor = n;
+    std::size_t best_slot = T;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (placed[v]) continue;
+      for (std::size_t t = 0; t < T; ++t) {
+        const double gain = slot_state[t]->marginal(v);
+        ++result.oracle_calls;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_sensor = v;
+          best_slot = t;
+        }
+      }
+    }
+    // Monotone utilities make every gain >= 0, so a pair always exists.
+    placed[best_sensor] = 1;
+    slot_state[best_slot]->add(best_sensor);
+    result.schedule.set_active(best_sensor, best_slot);
+    result.steps.push_back(GreedyStep{best_sensor, best_slot, best_gain});
+  }
+  return result;
+}
+
+}  // namespace cool::core

@@ -1,0 +1,63 @@
+#include "core/heterogeneous.h"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace cool::core {
+
+HeterogeneousResult HeterogeneousGreedyScheduler::schedule(
+    const HeterogeneousProblem& problem) const {
+  if (!problem.slot_utility)
+    throw std::invalid_argument("HeterogeneousGreedyScheduler: null utility");
+  const std::size_t n = problem.slot_utility->ground_size();
+  const std::size_t L = problem.horizon_slots;
+  if (problem.period_slots.size() != n)
+    throw std::invalid_argument("HeterogeneousGreedyScheduler: period_slots size");
+  if (L == 0)
+    throw std::invalid_argument("HeterogeneousGreedyScheduler: zero horizon");
+  for (const auto T : problem.period_slots)
+    if (T < 2) throw std::invalid_argument("HeterogeneousGreedyScheduler: T_v < 2");
+
+  HeterogeneousResult result{HorizonSchedule(n, L), 0.0, 0, 0};
+
+  std::vector<std::unique_ptr<sub::EvalState>> slot_state;
+  slot_state.reserve(L);
+  for (std::size_t t = 0; t < L; ++t)
+    slot_state.push_back(problem.slot_utility->make_state());
+
+  // blocked[v][t]: placing v at t would violate v's recharge spacing.
+  std::vector<std::vector<std::uint8_t>> blocked(n, std::vector<std::uint8_t>(L, 0));
+
+  while (true) {
+    double best_gain = 0.0;
+    std::size_t best_sensor = n;
+    std::size_t best_slot = L;
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t t = 0; t < L; ++t) {
+        if (blocked[v][t]) continue;
+        const double gain = slot_state[t]->marginal(v);
+        ++result.oracle_calls;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_sensor = v;
+          best_slot = t;
+        }
+      }
+    }
+    if (best_sensor == n) break;  // no placement with positive gain
+
+    slot_state[best_slot]->add(best_sensor);
+    result.schedule.set_active(best_sensor, best_slot);
+    ++result.activations;
+    result.total_utility += best_gain;
+    // Block this sensor within its recharge window, both directions.
+    const std::size_t Tv = problem.period_slots[best_sensor];
+    const std::size_t lo = best_slot >= Tv - 1 ? best_slot - (Tv - 1) : 0;
+    const std::size_t hi = std::min(L - 1, best_slot + (Tv - 1));
+    for (std::size_t t = lo; t <= hi; ++t) blocked[best_sensor][t] = 1;
+  }
+  return result;
+}
+
+}  // namespace cool::core

@@ -1,0 +1,40 @@
+// Heterogeneous-ρ greedy scheduling (the paper's Conclusion lists
+// heterogeneous charging patterns as an open problem; this is the natural
+// hill-climbing generalization, benchmarked in bench_heterogeneous).
+//
+// Each sensor v has its own period length T_v = round(ρ_v) + 1 slots
+// (ρ_v > 1): after an active slot it needs T_v − 1 passive slots. Because
+// periods differ, the schedule is built over the full horizon: repeatedly
+// take the feasible (sensor, slot) pair with maximum marginal gain, where
+// feasible means no other activation of that sensor within T_v − 1 slots,
+// until no placement adds utility. Each sensor may be activated many times
+// over the horizon (at most ⌈ℒ/T_v⌉).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/schedule.h"
+#include "submodular/function.h"
+
+namespace cool::core {
+
+struct HeterogeneousProblem {
+  std::shared_ptr<const sub::SubmodularFunction> slot_utility;
+  std::vector<std::size_t> period_slots;  // T_v per sensor, each >= 2
+  std::size_t horizon_slots = 0;          // ℒ
+};
+
+struct HeterogeneousResult {
+  HorizonSchedule schedule;
+  double total_utility = 0.0;
+  std::size_t activations = 0;
+  std::size_t oracle_calls = 0;
+};
+
+class HeterogeneousGreedyScheduler {
+ public:
+  HeterogeneousResult schedule(const HeterogeneousProblem& problem) const;
+};
+
+}  // namespace cool::core

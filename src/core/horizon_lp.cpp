@@ -1,0 +1,185 @@
+#include "core/horizon_lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/evaluator.h"
+
+namespace cool::core {
+
+HorizonLpScheduler::HorizonLpScheduler(HorizonLpOptions options)
+    : options_(options) {
+  if (options_.rounding_rounds == 0)
+    throw std::invalid_argument("HorizonLpScheduler: need a rounding round");
+  if (options_.max_cuts_per_target < 2)
+    throw std::invalid_argument("HorizonLpScheduler: need at least two cuts");
+}
+
+namespace {
+
+std::vector<std::size_t> cut_points(std::size_t degree, std::size_t max_cuts) {
+  std::vector<std::size_t> points;
+  for (std::size_t k = 0; k <= degree && points.size() + 1 < max_cuts; ++k) {
+    points.push_back(k);
+    if (k >= 8) break;
+  }
+  std::size_t k = points.empty() ? 1 : points.back() * 2;
+  while (k < degree && points.size() + 1 < max_cuts) {
+    points.push_back(k);
+    k *= 2;
+  }
+  if (points.empty() || points.back() != degree) points.push_back(degree);
+  return points;
+}
+
+double uniform_target_probability(
+    const sub::MultiTargetDetectionUtility::Target& target) {
+  if (target.detectors.empty()) return 0.0;
+  const double p = target.detectors.front().second;
+  for (const auto& [_, q] : target.detectors)
+    if (std::abs(q - p) > 1e-12)
+      throw std::invalid_argument(
+          "HorizonLpScheduler: target has non-uniform detection probabilities");
+  return p;
+}
+
+// Removes rolling-window violations: for every window with more than one
+// activation of a sensor, keep the activation of largest marginal value and
+// deactivate the rest (least-harm greedy, per the paper's remark).
+std::size_t repair(HorizonSchedule& schedule, const Problem& problem,
+                   const sub::MultiTargetDetectionUtility& utility) {
+  const std::size_t n = problem.sensor_count();
+  const std::size_t L = problem.horizon_slots();
+  const std::size_t T = problem.slots_per_period();
+  std::size_t removed = 0;
+
+  for (std::size_t v = 0; v < n; ++v) {
+    // Gather this sensor's activation times.
+    std::vector<std::size_t> times;
+    for (std::size_t t = 0; t < L; ++t)
+      if (schedule.active(v, t)) times.push_back(t);
+    if (times.size() < 2) continue;
+    // Enforce min spacing T between consecutive activations by dropping the
+    // lower-marginal member of every conflicting pair.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      times.clear();
+      for (std::size_t t = 0; t < L; ++t)
+        if (schedule.active(v, t)) times.push_back(t);
+      for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+        if (times[i + 1] - times[i] >= T) continue;
+        // Marginal value of v at each conflicting slot given the others.
+        const auto value_at = [&](std::size_t slot) {
+          const auto state = utility.make_state();
+          for (std::size_t u = 0; u < n; ++u)
+            if (u != v && schedule.active(u, slot)) state->add(u);
+          return state->marginal(v);
+        };
+        const std::size_t drop =
+            value_at(times[i]) < value_at(times[i + 1]) ? times[i] : times[i + 1];
+        schedule.set_active(v, drop, false);
+        ++removed;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace
+
+HorizonLpResult HorizonLpScheduler::schedule(
+    const Problem& problem, const sub::MultiTargetDetectionUtility& utility,
+    util::Rng& rng) const {
+  if (!problem.rho_greater_than_one())
+    throw std::invalid_argument("HorizonLpScheduler: requires rho > 1");
+  if (&problem.slot_utility() != static_cast<const sub::SubmodularFunction*>(&utility))
+    throw std::invalid_argument(
+        "HorizonLpScheduler: utility must be the problem's slot utility");
+
+  const std::size_t n = problem.sensor_count();
+  const std::size_t T = problem.slots_per_period();
+  const std::size_t L = problem.horizon_slots();
+  const std::size_t m = utility.target_count();
+
+  lp::Model model;
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t t = 0; t < L; ++t) model.add_variable(0.0, 1.0);
+  const std::size_t u_base = n * L;
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto& target = utility.targets()[j];
+    const double p = uniform_target_probability(target);
+    const double cap =
+        target.weight *
+        (1.0 - std::pow(1.0 - p, static_cast<double>(target.detectors.size())));
+    for (std::size_t t = 0; t < L; ++t) model.add_variable(1.0, cap);
+  }
+
+  // Rolling-window rows: one per (sensor, window start).
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t start = 0; start + T <= L; ++start) {
+      lp::Row row;
+      row.sense = lp::Sense::kLessEqual;
+      row.rhs = 1.0;
+      for (std::size_t t = start; t < start + T; ++t)
+        row.entries.push_back({v * L + t, 1.0});
+      model.add_row(std::move(row));
+    }
+  }
+
+  // Tangent cuts per (target, slot).
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto& target = utility.targets()[j];
+    if (target.detectors.empty()) continue;
+    const double p = uniform_target_probability(target);
+    const double w = target.weight;
+    const auto f = [&](std::size_t k) {
+      return w * (1.0 - std::pow(1.0 - p, static_cast<double>(k)));
+    };
+    const std::size_t degree = target.detectors.size();
+    for (const std::size_t k0 : cut_points(degree, options_.max_cuts_per_target)) {
+      if (k0 >= degree) continue;
+      const double slope = f(k0 + 1) - f(k0);
+      const double intercept = f(k0) - slope * static_cast<double>(k0);
+      for (std::size_t t = 0; t < L; ++t) {
+        lp::Row row;
+        row.sense = lp::Sense::kLessEqual;
+        row.rhs = intercept;
+        row.entries.push_back({u_base + j * L + t, 1.0});
+        for (const auto& [v, _] : target.detectors)
+          row.entries.push_back({v * L + t, -slope});
+        model.add_row(std::move(row));
+      }
+    }
+  }
+
+  const lp::Solution solution = lp::solve(model, options_.simplex);
+  HorizonLpResult result{HorizonSchedule(n, L), 0.0, 0.0, 0, solution.status};
+  if (solution.status != lp::SolveStatus::kOptimal) return result;
+  result.lp_objective = solution.objective;
+
+  double best_value = -1.0;
+  for (std::size_t round = 0; round < options_.rounding_rounds; ++round) {
+    HorizonSchedule candidate(n, L);
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t t = 0; t < L; ++t)
+        if (rng.bernoulli(std::clamp(solution.x[v * L + t], 0.0, 1.0)))
+          candidate.set_active(v, t);
+    const std::size_t removed = repair(candidate, problem, utility);
+    const Evaluation eval = evaluate(problem, candidate);
+    if (eval.total_utility > best_value) {
+      best_value = eval.total_utility;
+      result.schedule = candidate;
+      result.repairs = removed;
+    }
+  }
+  result.rounded_utility = best_value;
+  return result;
+}
+
+}  // namespace cool::core

@@ -1,0 +1,55 @@
+// Full-horizon LP relaxation with rolling-window constraints — the literal
+// form of the paper's integer program (§IV-A-1):
+//
+//   max Σ_{t<ℒ} Σ_j U_j(S(O_j, t))
+//   s.t. Σ_{t'<=t<t'+T} x(v, t) <= 1   for every v and window start t'
+//        x(v, t) ∈ [0, 1]
+//
+// (ρ > 1 case). Unlike LpScheduler, which optimizes one period and tiles,
+// this solves all ℒ slots jointly, so the relaxation can place aperiodic
+// activations. Rounding follows the paper's prescription: sample
+// independently from the LP marginals, then — because independent samples
+// can violate the rolling windows — repair by deactivating, inside each
+// violated window, the activation of least marginal utility ("carefully
+// deactivate some sensors to achieve feasibility").
+#pragma once
+
+#include <cstddef>
+
+#include "core/problem.h"
+#include "core/schedule.h"
+#include "lp/simplex.h"
+#include "submodular/detection.h"
+#include "util/rng.h"
+
+namespace cool::core {
+
+struct HorizonLpOptions {
+  std::size_t rounding_rounds = 8;
+  std::size_t max_cuts_per_target = 32;
+  lp::SimplexOptions simplex;
+};
+
+struct HorizonLpResult {
+  HorizonSchedule schedule;        // best repaired rounding
+  double lp_objective = 0.0;       // relaxation optimum over ℒ (upper bound)
+  double rounded_utility = 0.0;    // total utility of the best rounding
+  std::size_t repairs = 0;         // activations removed by the repair pass
+  lp::SolveStatus status = lp::SolveStatus::kInfeasible;
+};
+
+class HorizonLpScheduler {
+ public:
+  explicit HorizonLpScheduler(HorizonLpOptions options = {});
+
+  // Requires problem.rho_greater_than_one() and a uniform-per-target
+  // MultiTargetDetectionUtility (same contract as LpScheduler).
+  HorizonLpResult schedule(const Problem& problem,
+                           const sub::MultiTargetDetectionUtility& utility,
+                           util::Rng& rng) const;
+
+ private:
+  HorizonLpOptions options_;
+};
+
+}  // namespace cool::core

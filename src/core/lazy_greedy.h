@@ -1,0 +1,21 @@
+// Lazy (CELF-style) greedy hill-climbing.
+//
+// Produces a schedule with the same guarantee as GreedyScheduler (and, up to
+// ties, the same schedule) while issuing far fewer marginal-gain queries:
+// submodularity means a (sensor, slot) pair's gain can only shrink as the
+// slot's active set grows, so stale queue entries are safe upper bounds and
+// only the queue head ever needs re-evaluation. This is the ablation for
+// DESIGN.md's "oracle-efficiency" design note; the paper itself ships the
+// plain O(n²T) scan.
+#pragma once
+
+#include "core/greedy.h"
+
+namespace cool::core {
+
+class LazyGreedyScheduler {
+ public:
+  GreedyResult schedule(const Problem& problem) const;
+};
+
+}  // namespace cool::core

@@ -1,0 +1,61 @@
+// LP-relaxation scheduler (paper Section IV-A-1).
+//
+// The paper's integer program maximizes Σ_t Σ_j U_j(S(O_j, t)) subject to
+// one activation per sensor per period. For the detection utility with a
+// uniform per-target probability, U_j at a slot depends only on the *count*
+// y of active covering sensors through the concave sequence
+// f_j(y) = w_j·(1 − (1−p_j)^y); the LP linearizes each f_j by its tangent
+// (forward-difference) cuts at integer points — an exact description of the
+// concave hull, so the LP optimum is a true upper bound on the IP optimum.
+//
+// Rounding: each sensor independently draws its active slot (ρ > 1) or its
+// passive slot (ρ ≤ 1) from its LP marginals — feasible by construction, so
+// the paper's iterative re-rounding repair reduces to redistributing any
+// unassigned probability mass. Several rounding rounds are drawn and the
+// best evaluated schedule is kept.
+#pragma once
+
+#include <cstddef>
+
+#include "core/evaluator.h"
+#include "core/problem.h"
+#include "core/schedule.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "submodular/detection.h"
+#include "util/rng.h"
+
+namespace cool::core {
+
+struct LpScheduleOptions {
+  std::size_t rounding_rounds = 16;
+  // Cap on tangent-cut points per (target, slot); above the cap, cut points
+  // are geometrically thinned (the LP stays a valid relaxation, slightly
+  // looser).
+  std::size_t max_cuts_per_target = 64;
+  lp::SimplexOptions simplex;
+};
+
+struct LpScheduleResult {
+  PeriodicSchedule schedule;          // best rounded schedule
+  double lp_objective_per_period = 0; // relaxation optimum (upper bound)
+  double rounded_utility_per_period = 0;
+  lp::SolveStatus status = lp::SolveStatus::kInfeasible;
+  std::size_t rounds_drawn = 0;
+};
+
+class LpScheduler {
+ public:
+  explicit LpScheduler(LpScheduleOptions options = {});
+
+  // The problem's slot utility must be a MultiTargetDetectionUtility with a
+  // uniform probability per target (throws std::invalid_argument otherwise).
+  LpScheduleResult schedule(const Problem& problem,
+                            const sub::MultiTargetDetectionUtility& utility,
+                            util::Rng& rng) const;
+
+ private:
+  LpScheduleOptions options_;
+};
+
+}  // namespace cool::core

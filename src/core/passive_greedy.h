@@ -1,0 +1,36 @@
+// Passive-slot greedy for ρ <= 1 (paper Section IV-B, Theorem 4.4).
+//
+// When recharging is at least as fast as discharging, a sensor can be active
+// in all but one slot of each period. Start from the all-active schedule and
+// place each sensor's single passive slot greedily: at each step pick the
+// (sensor, slot) pair whose deactivation loses the least utility given the
+// deactivations already committed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/schedule.h"
+
+namespace cool::core {
+
+struct PassiveStep {
+  std::size_t sensor = 0;
+  std::size_t slot = 0;   // the slot made passive
+  double loss = 0.0;      // decremental utility of this deactivation
+};
+
+struct PassiveGreedyResult {
+  PeriodicSchedule schedule;
+  std::vector<PassiveStep> steps;
+  std::size_t oracle_calls = 0;  // set-value evaluations issued
+};
+
+class PassiveGreedyScheduler {
+ public:
+  // Requires !problem.rho_greater_than_one().
+  PassiveGreedyResult schedule(const Problem& problem) const;
+};
+
+}  // namespace cool::core

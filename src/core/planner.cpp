@@ -1,0 +1,51 @@
+#include "core/planner.h"
+
+#include <stdexcept>
+
+#include "core/greedy.h"
+#include "core/passive_greedy.h"
+
+namespace cool::core {
+
+WeatherAdaptivePlanner::WeatherAdaptivePlanner(
+    std::shared_ptr<const sub::SubmodularFunction> utility, PlannerConfig config)
+    : utility_(std::move(utility)), config_(config) {
+  if (!utility_) throw std::invalid_argument("WeatherAdaptivePlanner: null utility");
+  if (config_.working_minutes <= 0.0)
+    throw std::invalid_argument("WeatherAdaptivePlanner: working day <= 0");
+  if (config_.pattern_for == nullptr)
+    throw std::invalid_argument("WeatherAdaptivePlanner: null pattern source");
+}
+
+DayPlan WeatherAdaptivePlanner::plan_day(energy::Weather weather) const {
+  DayPlan plan;
+  plan.weather = weather;
+  plan.pattern = config_.pattern_for(weather);
+  plan.slots_per_period = plan.pattern.slots_per_period();
+  plan.rho_greater_than_one = plan.pattern.rho() > 1.0;
+  const double period_minutes =
+      plan.pattern.slot_minutes() * static_cast<double>(plan.slots_per_period);
+  plan.periods = static_cast<std::size_t>(config_.working_minutes / period_minutes);
+  if (plan.periods == 0) {
+    plan.schedule = PeriodicSchedule(utility_->ground_size(), plan.slots_per_period);
+    return plan;  // day too short for one full charge cycle
+  }
+
+  const Problem problem(utility_, plan.slots_per_period, plan.periods,
+                        plan.rho_greater_than_one);
+  plan.schedule = plan.rho_greater_than_one
+                      ? GreedyScheduler().schedule(problem).schedule
+                      : PassiveGreedyScheduler().schedule(problem).schedule;
+  plan.expected_average_utility = evaluate(problem, plan.schedule).per_slot_average;
+  return plan;
+}
+
+std::vector<DayPlan> WeatherAdaptivePlanner::plan(
+    const std::vector<energy::Weather>& forecast) const {
+  std::vector<DayPlan> plans;
+  plans.reserve(forecast.size());
+  for (const auto weather : forecast) plans.push_back(plan_day(weather));
+  return plans;
+}
+
+}  // namespace cool::core

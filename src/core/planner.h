@@ -1,0 +1,63 @@
+// Weather-adaptive multi-day planning.
+//
+// The paper operates day by day: estimate the charging pattern for the
+// day's weather, derive ρ and T, and rebuild the activation schedule
+// ("when the weather condition changes significantly ... we may choose
+// different charging pattern accordingly", §II-B). This planner packages
+// that loop: given a weather sequence (from a forecast or a
+// DayWeatherProcess) it produces one plan entry per day, picking the right
+// greedy scheme per ρ regime.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/problem.h"
+#include "core/schedule.h"
+#include "energy/pattern.h"
+#include "energy/weather.h"
+#include "submodular/function.h"
+
+namespace cool::core {
+
+struct DayPlan {
+  energy::Weather weather = energy::Weather::kSunny;
+  energy::ChargingPattern pattern;
+  std::size_t slots_per_period = 0;
+  std::size_t periods = 0;          // periods fitting into the working day
+  bool rho_greater_than_one = true;
+  PeriodicSchedule schedule{1, 2};  // overwritten by the planner
+  double expected_average_utility = 0.0;  // per slot, idealized energy model
+};
+
+struct PlannerConfig {
+  // Length of the working (daylight) day in minutes; ℒ = the periods that
+  // fit. The paper uses 12 hours.
+  double working_minutes = 720.0;
+  // Pattern source; defaults to the calibrated pattern_for_weather table.
+  // Hook for deployments that estimate from live traces instead.
+  energy::ChargingPattern (*pattern_for)(energy::Weather) =
+      &energy::pattern_for_weather;
+};
+
+class WeatherAdaptivePlanner {
+ public:
+  WeatherAdaptivePlanner(std::shared_ptr<const sub::SubmodularFunction> utility,
+                         PlannerConfig config = {});
+
+  // One plan entry per forecast day. Days whose period does not fit the
+  // working window even once (extreme weather) get periods = 0 and an empty
+  // schedule.
+  std::vector<DayPlan> plan(const std::vector<energy::Weather>& forecast) const;
+
+  // Single-day planning (the inner step of plan()).
+  DayPlan plan_day(energy::Weather weather) const;
+
+ private:
+  std::shared_ptr<const sub::SubmodularFunction> utility_;
+  PlannerConfig config_;
+};
+
+}  // namespace cool::core

@@ -1,0 +1,74 @@
+#include "core/problem.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cool::core {
+
+Problem::Problem(std::shared_ptr<const sub::SubmodularFunction> slot_utility,
+                 std::size_t slots_per_period, std::size_t periods, bool rho_gt_one)
+    : utility_(std::move(slot_utility)), slots_per_period_(slots_per_period),
+      periods_(periods), rho_gt_one_(rho_gt_one) {
+  if (!utility_) throw std::invalid_argument("Problem: null utility");
+  if (slots_per_period_ < 2) throw std::invalid_argument("Problem: T must be >= 2");
+  if (periods_ == 0) throw std::invalid_argument("Problem: periods must be >= 1");
+}
+
+Problem Problem::from_pattern(
+    std::shared_ptr<const sub::SubmodularFunction> slot_utility,
+    const energy::ChargingPattern& pattern, std::size_t periods) {
+  return Problem(std::move(slot_utility), pattern.slots_per_period(), periods,
+                 pattern.rho() > 1.0);
+}
+
+Problem Problem::detection_instance(const net::Network& network, double p,
+                                    const energy::ChargingPattern& pattern,
+                                    std::size_t periods) {
+  // Uniform detection probability, honouring per-target importance weights.
+  std::vector<sub::MultiTargetDetectionUtility::Target> targets;
+  targets.reserve(network.target_count());
+  for (std::size_t j = 0; j < network.target_count(); ++j) {
+    sub::MultiTargetDetectionUtility::Target target;
+    target.weight = network.targets()[j].weight;
+    for (const auto s : network.covering_sensors(j))
+      target.detectors.emplace_back(s, p);
+    targets.push_back(std::move(target));
+  }
+  auto utility = std::make_shared<sub::MultiTargetDetectionUtility>(
+      network.sensor_count(), std::move(targets));
+  return from_pattern(std::move(utility), pattern, periods);
+}
+
+Problem Problem::distance_decay_instance(const net::Network& network,
+                                         double p_max, double gamma,
+                                         const energy::ChargingPattern& pattern,
+                                         std::size_t periods) {
+  if (p_max < 0.0 || p_max > 1.0)
+    throw std::invalid_argument("distance_decay_instance: p_max outside [0,1]");
+  if (gamma < 0.0)
+    throw std::invalid_argument("distance_decay_instance: gamma < 0");
+  std::vector<sub::MultiTargetDetectionUtility::Target> targets;
+  targets.reserve(network.target_count());
+  for (std::size_t j = 0; j < network.target_count(); ++j) {
+    sub::MultiTargetDetectionUtility::Target target;
+    target.weight = network.targets()[j].weight;
+    for (const auto s : network.covering_sensors(j)) {
+      const auto& sensor = network.sensors()[s];
+      const double d = sensor.position.distance_to(network.targets()[j].position);
+      const double frac =
+          sensor.sensing_radius <= 0.0 ? 0.0 : 1.0 - d / sensor.sensing_radius;
+      target.detectors.emplace_back(
+          s, p_max * std::pow(std::max(0.0, frac), gamma));
+    }
+    targets.push_back(std::move(target));
+  }
+  auto utility = std::make_shared<sub::MultiTargetDetectionUtility>(
+      network.sensor_count(), std::move(targets));
+  return from_pattern(std::move(utility), pattern, periods);
+}
+
+std::size_t Problem::active_slots_per_period() const noexcept {
+  return rho_gt_one_ ? 1 : slots_per_period_ - 1;
+}
+
+}  // namespace cool::core

@@ -1,0 +1,71 @@
+// Problem instance for dynamic node-activation scheduling (paper Section II).
+//
+// An instance couples:
+//   * a per-slot utility function U over the sensor ground set (the
+//     symmetric sum Σ_i U_i(S ∩ V(O_i)) of per-target submodular utilities,
+//     or any other monotone submodular function);
+//   * the charging period structure: T slots per period, with either one
+//     active slot per period (ρ > 1) or one passive slot per period (ρ ≤ 1);
+//   * the working horizon ℒ = α·T slots.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "energy/pattern.h"
+#include "net/network.h"
+#include "submodular/detection.h"
+#include "submodular/function.h"
+
+namespace cool::core {
+
+class Problem {
+ public:
+  // slots_per_period = T (>= 2). When rho_gt_one, every sensor is active in
+  // exactly one slot per period; otherwise it is passive in exactly one.
+  Problem(std::shared_ptr<const sub::SubmodularFunction> slot_utility,
+          std::size_t slots_per_period, std::size_t periods, bool rho_gt_one);
+
+  // From a charging pattern: T and the case selector come from the pattern;
+  // `periods` = α = ℒ / T.
+  static Problem from_pattern(
+      std::shared_ptr<const sub::SubmodularFunction> slot_utility,
+      const energy::ChargingPattern& pattern, std::size_t periods);
+
+  // The paper's evaluation instance: network coverage relation + uniform
+  // detection probability p (Section VI-B, p = 0.4).
+  static Problem detection_instance(const net::Network& network, double p,
+                                    const energy::ChargingPattern& pattern,
+                                    std::size_t periods);
+
+  // Distance-decaying sensing quality: a sensor at distance d from a target
+  // inside its radius R detects with probability p_max·(1 − d/R)^gamma
+  // (gamma >= 0; gamma = 0 recovers the uniform model). Target weights from
+  // the network are honoured. Such instances are not LP-schedulable (the
+  // LP linearization needs per-target-uniform p) but every greedy/exact
+  // scheduler handles them.
+  static Problem distance_decay_instance(const net::Network& network,
+                                         double p_max, double gamma,
+                                         const energy::ChargingPattern& pattern,
+                                         std::size_t periods);
+
+  const sub::SubmodularFunction& slot_utility() const noexcept { return *utility_; }
+  std::shared_ptr<const sub::SubmodularFunction> slot_utility_ptr() const noexcept {
+    return utility_;
+  }
+  std::size_t sensor_count() const noexcept { return utility_->ground_size(); }
+  std::size_t slots_per_period() const noexcept { return slots_per_period_; }
+  std::size_t periods() const noexcept { return periods_; }
+  std::size_t horizon_slots() const noexcept { return slots_per_period_ * periods_; }
+  bool rho_greater_than_one() const noexcept { return rho_gt_one_; }
+  // Active slots per period per sensor: 1 when ρ > 1, T−1 when ρ <= 1.
+  std::size_t active_slots_per_period() const noexcept;
+
+ private:
+  std::shared_ptr<const sub::SubmodularFunction> utility_;
+  std::size_t slots_per_period_;
+  std::size_t periods_;
+  bool rho_gt_one_;
+};
+
+}  // namespace cool::core

@@ -1,0 +1,66 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cool::core {
+
+ServiceReport per_target_report(const sub::MultiTargetDetectionUtility& utility,
+                                const PeriodicSchedule& schedule,
+                                double threshold) {
+  if (schedule.sensor_count() != utility.ground_size())
+    throw std::invalid_argument("per_target_report: schedule shape mismatch");
+  if (threshold <= 0.0 || threshold > 1.0)
+    throw std::invalid_argument("per_target_report: threshold outside (0, 1]");
+
+  const std::size_t T = schedule.slots_per_period();
+  const auto& targets = utility.targets();
+
+  ServiceReport report;
+  report.targets.reserve(targets.size());
+  double sum_avg = 0.0, sum_avg_sq = 0.0;
+  report.min_average = std::numeric_limits<double>::infinity();
+  report.max_average = 0.0;
+
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    TargetService service;
+    service.target = i;
+    service.covering_sensors = targets[i].detectors.size();
+    service.worst_slot_utility = std::numeric_limits<double>::infinity();
+    double total = 0.0;
+    for (std::size_t t = 0; t < T; ++t) {
+      double miss = 1.0;
+      for (const auto& [sensor, p] : targets[i].detectors)
+        if (schedule.active(sensor, t)) miss *= 1.0 - p;
+      const double u = targets[i].weight * (1.0 - miss);
+      total += u;
+      service.best_slot_utility = std::max(service.best_slot_utility, u);
+      service.worst_slot_utility = std::min(service.worst_slot_utility, u);
+    }
+    service.average_utility = total / static_cast<double>(T);
+    if (service.worst_slot_utility == std::numeric_limits<double>::infinity())
+      service.worst_slot_utility = 0.0;  // T == 0 cannot happen; defensive
+    sum_avg += service.average_utility;
+    sum_avg_sq += service.average_utility * service.average_utility;
+    report.min_average = std::min(report.min_average, service.average_utility);
+    report.max_average = std::max(report.max_average, service.average_utility);
+    report.targets.push_back(service);
+  }
+
+  report.total_average = sum_avg;
+  if (report.targets.empty()) {
+    report.min_average = 0.0;
+    return report;
+  }
+  // Jain's index: (Σx)² / (m · Σx²); define 1 for the all-zero vector.
+  const auto m = static_cast<double>(report.targets.size());
+  report.fairness =
+      sum_avg_sq <= 0.0 ? 1.0 : (sum_avg * sum_avg) / (m * sum_avg_sq);
+  for (const auto& service : report.targets)
+    if (service.average_utility < threshold * report.max_average)
+      report.underserved.push_back(service.target);
+  return report;
+}
+
+}  // namespace cool::core

@@ -1,0 +1,43 @@
+// Per-target service breakdown of a schedule.
+//
+// The scalar objective Σ_i U_i hides distributional failures: a schedule
+// can score well while starving one target. This report decomposes the
+// per-slot utility by target so an operator can spot underserved targets
+// and the fairness spread — the operational counterpart of the paper's
+// "let each sensor be active evenly" intuition.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/schedule.h"
+#include "submodular/detection.h"
+
+namespace cool::core {
+
+struct TargetService {
+  std::size_t target = 0;
+  double average_utility = 0.0;  // mean over the period's slots (weighted)
+  double best_slot_utility = 0.0;
+  double worst_slot_utility = 0.0;
+  std::size_t covering_sensors = 0;  // degree in the coverage relation
+};
+
+struct ServiceReport {
+  std::vector<TargetService> targets;
+  double total_average = 0.0;   // Σ_i average_utility (= per-slot objective)
+  double min_average = 0.0;     // the most starved target
+  double max_average = 0.0;
+  // Jain's fairness index over per-target averages: 1 = perfectly even.
+  double fairness = 1.0;
+  // Targets whose average is below `underserved_threshold` x max_average.
+  std::vector<std::size_t> underserved;
+};
+
+// `threshold` in (0, 1]: a target is underserved when its average service
+// is below threshold x the best-served target's average.
+ServiceReport per_target_report(const sub::MultiTargetDetectionUtility& utility,
+                                const PeriodicSchedule& schedule,
+                                double threshold = 0.5);
+
+}  // namespace cool::core

@@ -1,0 +1,175 @@
+#include "core/schedule.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cool::core {
+
+PeriodicSchedule::PeriodicSchedule(std::size_t sensor_count,
+                                   std::size_t slots_per_period)
+    : slots_(slots_per_period),
+      active_(sensor_count, std::vector<std::uint8_t>(slots_per_period, 0)) {
+  if (slots_per_period == 0)
+    throw std::invalid_argument("PeriodicSchedule: zero slots per period");
+}
+
+void PeriodicSchedule::set_active(std::size_t sensor, std::size_t slot, bool active) {
+  if (sensor >= active_.size() || slot >= slots_)
+    throw std::out_of_range("PeriodicSchedule::set_active");
+  active_[sensor][slot] = active ? 1 : 0;
+}
+
+bool PeriodicSchedule::active(std::size_t sensor, std::size_t slot) const {
+  if (sensor >= active_.size() || slot >= slots_)
+    throw std::out_of_range("PeriodicSchedule::active");
+  return active_[sensor][slot] != 0;
+}
+
+std::vector<std::size_t> PeriodicSchedule::active_set(std::size_t slot) const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < active_.size(); ++s)
+    if (active(s, slot)) out.push_back(s);
+  return out;
+}
+
+std::vector<std::uint8_t> PeriodicSchedule::active_mask(std::size_t slot) const {
+  std::vector<std::uint8_t> mask(active_.size(), 0);
+  for (std::size_t s = 0; s < active_.size(); ++s)
+    if (active(s, slot)) mask[s] = 1;
+  return mask;
+}
+
+std::size_t PeriodicSchedule::active_count(std::size_t sensor) const {
+  if (sensor >= active_.size()) throw std::out_of_range("PeriodicSchedule::active_count");
+  std::size_t count = 0;
+  for (const auto a : active_[sensor]) count += a;
+  return count;
+}
+
+bool PeriodicSchedule::feasible(const Problem& problem, std::string* why) const {
+  if (sensor_count() != problem.sensor_count() ||
+      slots_ != problem.slots_per_period()) {
+    if (why) *why = "schedule shape does not match problem";
+    return false;
+  }
+  for (std::size_t s = 0; s < sensor_count(); ++s) {
+    const std::size_t count = active_count(s);
+    if (problem.rho_greater_than_one()) {
+      if (count > 1) {
+        if (why)
+          *why = util::format("sensor %zu active %zu times per period (rho>1 allows 1)",
+                              s, count);
+        return false;
+      }
+    } else {
+      if (count > slots_ - 1) {
+        if (why)
+          *why = util::format("sensor %zu never passive within the period (rho<=1)", s);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string PeriodicSchedule::to_string() const {
+  std::string out;
+  for (std::size_t t = 0; t < slots_; ++t) {
+    out += util::format("slot %zu:", t);
+    for (std::size_t s = 0; s < active_.size(); ++s)
+      if (active_[s][t]) out += util::format(" v%zu", s);
+    out += '\n';
+  }
+  return out;
+}
+
+HorizonSchedule::HorizonSchedule(std::size_t sensor_count, std::size_t horizon_slots)
+    : horizon_(horizon_slots),
+      active_(sensor_count, std::vector<std::uint8_t>(horizon_slots, 0)) {
+  if (horizon_slots == 0) throw std::invalid_argument("HorizonSchedule: zero horizon");
+}
+
+HorizonSchedule HorizonSchedule::tile(const PeriodicSchedule& period,
+                                      std::size_t periods) {
+  if (periods == 0) throw std::invalid_argument("HorizonSchedule::tile: zero periods");
+  HorizonSchedule out(period.sensor_count(),
+                      period.slots_per_period() * periods);
+  for (std::size_t s = 0; s < period.sensor_count(); ++s)
+    for (std::size_t t = 0; t < out.horizon_; ++t)
+      out.active_[s][t] = period.active_at(s, t) ? 1 : 0;
+  return out;
+}
+
+void HorizonSchedule::set_active(std::size_t sensor, std::size_t slot, bool active) {
+  if (sensor >= active_.size() || slot >= horizon_)
+    throw std::out_of_range("HorizonSchedule::set_active");
+  active_[sensor][slot] = active ? 1 : 0;
+}
+
+bool HorizonSchedule::active(std::size_t sensor, std::size_t slot) const {
+  if (sensor >= active_.size() || slot >= horizon_)
+    throw std::out_of_range("HorizonSchedule::active");
+  return active_[sensor][slot] != 0;
+}
+
+std::vector<std::size_t> HorizonSchedule::active_set(std::size_t slot) const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < active_.size(); ++s)
+    if (active(s, slot)) out.push_back(s);
+  return out;
+}
+
+bool HorizonSchedule::feasible(const Problem& problem, std::string* why) const {
+  if (sensor_count() != problem.sensor_count() ||
+      horizon_ != problem.horizon_slots()) {
+    if (why) *why = "schedule shape does not match problem";
+    return false;
+  }
+  const std::size_t T = problem.slots_per_period();
+  constexpr double kEps = 1e-9;
+  for (std::size_t s = 0; s < sensor_count(); ++s) {
+    // Normalized battery: capacity 1.0, starts ready (full).
+    double level = 1.0;
+    if (problem.rho_greater_than_one()) {
+      // Slot = Td: an active slot needs a full battery and empties it; a
+      // passive slot restores 1/ρ with ρ = T − 1.
+      const double charge_per_slot = 1.0 / static_cast<double>(T - 1);
+      for (std::size_t t = 0; t < horizon_; ++t) {
+        if (active_[s][t]) {
+          if (level < 1.0 - kEps) {
+            if (why)
+              *why = util::format(
+                  "sensor %zu active at slot %zu with battery %.3f (needs full)",
+                  s, t, level);
+            return false;
+          }
+          level = 0.0;
+        } else {
+          level = std::min(1.0, level + charge_per_slot);
+        }
+      }
+    } else {
+      // Slot = Tr: an active slot drains 1/(T−1) of capacity; a passive
+      // slot fully recharges (one Tr from empty to full).
+      const double drain_per_slot = 1.0 / static_cast<double>(T - 1);
+      for (std::size_t t = 0; t < horizon_; ++t) {
+        if (active_[s][t]) {
+          if (level < drain_per_slot - kEps) {
+            if (why)
+              *why = util::format(
+                  "sensor %zu active at slot %zu with battery %.3f < %.3f",
+                  s, t, level, drain_per_slot);
+            return false;
+          }
+          level -= drain_per_slot;
+        } else {
+          level = 1.0;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace cool::core

@@ -1,0 +1,81 @@
+// Activation schedules.
+//
+// A PeriodicSchedule assigns, within one charging period of T slots, the
+// set of slots each sensor is active in; the full-horizon schedule repeats
+// it every period (paper Fig. 5, Theorem 4.3 shows this preserves the
+// 1/2-approximation). A full-horizon, non-periodic view is also provided
+// for the simulator and for feasibility auditing of arbitrary schedules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace cool::core {
+
+class PeriodicSchedule {
+ public:
+  PeriodicSchedule(std::size_t sensor_count, std::size_t slots_per_period);
+
+  std::size_t sensor_count() const noexcept { return active_.size(); }
+  std::size_t slots_per_period() const noexcept { return slots_; }
+
+  void set_active(std::size_t sensor, std::size_t slot, bool active = true);
+  bool active(std::size_t sensor, std::size_t slot) const;
+  // Active in the tiled, full-horizon view.
+  bool active_at(std::size_t sensor, std::size_t global_slot) const {
+    return active(sensor, global_slot % slots_);
+  }
+
+  // Sensors active at `slot` (within the period).
+  std::vector<std::size_t> active_set(std::size_t slot) const;
+  // Indicator form of active_set.
+  std::vector<std::uint8_t> active_mask(std::size_t slot) const;
+  // Number of active slots for `sensor` within the period.
+  std::size_t active_count(std::size_t sensor) const;
+
+  // Energy feasibility against the problem's period structure:
+  //   ρ > 1: every sensor active in at most one slot per period (tiling then
+  //          spaces consecutive activations exactly T slots apart);
+  //   ρ <= 1: every sensor passive in at least one slot per period.
+  // On failure, `why` (if non-null) receives a diagnostic.
+  bool feasible(const Problem& problem, std::string* why = nullptr) const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t slots_;
+  std::vector<std::vector<std::uint8_t>> active_;  // [sensor][slot]
+};
+
+// Full-horizon (possibly aperiodic) schedule: used by the LP rounding over
+// the whole working time and by the simulator's feasibility audit.
+class HorizonSchedule {
+ public:
+  HorizonSchedule(std::size_t sensor_count, std::size_t horizon_slots);
+
+  // Tiles a periodic schedule across `periods` periods.
+  static HorizonSchedule tile(const PeriodicSchedule& period, std::size_t periods);
+
+  std::size_t sensor_count() const noexcept { return active_.size(); }
+  std::size_t horizon_slots() const noexcept { return horizon_; }
+
+  void set_active(std::size_t sensor, std::size_t slot, bool active = true);
+  bool active(std::size_t sensor, std::size_t slot) const;
+  std::vector<std::size_t> active_set(std::size_t slot) const;
+
+  // Battery-automaton feasibility (paper Section II-B): simulate the
+  // active/passive/ready machine per sensor in normalized units. A sensor
+  // starts ready (fully charged); an active slot with a non-full battery
+  // when ρ > 1 — or an empty one when ρ <= 1 — violates the model.
+  bool feasible(const Problem& problem, std::string* why = nullptr) const;
+
+ private:
+  std::size_t horizon_;
+  std::vector<std::vector<std::uint8_t>> active_;  // [sensor][slot]
+};
+
+}  // namespace cool::core

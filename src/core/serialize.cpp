@@ -1,0 +1,81 @@
+#include "core/serialize.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace cool::core {
+
+void write_schedule_csv(std::ostream& out, const PeriodicSchedule& schedule) {
+  util::CsvWriter csv(out);
+  csv.write_row({"sensors", "slots_per_period"});
+  csv.cell(static_cast<long long>(schedule.sensor_count()))
+      .cell(static_cast<long long>(schedule.slots_per_period()));
+  csv.end_row();
+  csv.write_row({"sensor", "slot"});
+  for (std::size_t v = 0; v < schedule.sensor_count(); ++v)
+    for (std::size_t t = 0; t < schedule.slots_per_period(); ++t)
+      if (schedule.active(v, t)) {
+        csv.cell(static_cast<long long>(v)).cell(static_cast<long long>(t));
+        csv.end_row();
+      }
+}
+
+void write_schedule_csv_file(const std::string& path,
+                             const PeriodicSchedule& schedule) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_schedule_csv_file: cannot open " + path);
+  write_schedule_csv(out, schedule);
+}
+
+PeriodicSchedule read_schedule_csv(std::istream& in) {
+  const auto table = util::read_csv(in, /*has_header=*/true);
+  if (table.header != std::vector<std::string>{"sensors", "slots_per_period"})
+    throw std::runtime_error("read_schedule_csv: bad preamble header");
+  if (table.rows.empty() || table.rows.front().size() != 2)
+    throw std::runtime_error("read_schedule_csv: missing dimensions row");
+
+  std::size_t sensors = 0, slots = 0;
+  try {
+    sensors = static_cast<std::size_t>(util::parse_int(table.rows[0][0]));
+    slots = static_cast<std::size_t>(util::parse_int(table.rows[0][1]));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("read_schedule_csv: ") + e.what());
+  }
+  if (slots == 0) throw std::runtime_error("read_schedule_csv: zero slots");
+
+  PeriodicSchedule schedule(sensors, slots);
+  // Row 1 is the inner header "sensor,slot"; the rest are active pairs.
+  if (table.rows.size() < 2 ||
+      table.rows[1] != std::vector<std::string>{"sensor", "slot"})
+    throw std::runtime_error("read_schedule_csv: missing pair header");
+  for (std::size_t r = 2; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    if (row.size() != 2)
+      throw std::runtime_error("read_schedule_csv: malformed pair row");
+    long long v = 0, t = 0;
+    try {
+      v = util::parse_int(row[0]);
+      t = util::parse_int(row[1]);
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(std::string("read_schedule_csv: ") + e.what());
+    }
+    if (v < 0 || static_cast<std::size_t>(v) >= sensors || t < 0 ||
+        static_cast<std::size_t>(t) >= slots)
+      throw std::runtime_error(
+          util::format("read_schedule_csv: pair (%lld, %lld) out of range", v, t));
+    schedule.set_active(static_cast<std::size_t>(v), static_cast<std::size_t>(t));
+  }
+  return schedule;
+}
+
+PeriodicSchedule read_schedule_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_schedule_csv_file: cannot open " + path);
+  return read_schedule_csv(in);
+}
+
+}  // namespace cool::core

@@ -1,0 +1,31 @@
+// Schedule serialization: persist a computed activation schedule so a
+// deployment can plan on a gateway and ship the plan to motes (or archive
+// plans per day). CSV with a two-row preamble:
+//
+//   sensors,slots_per_period
+//   100,4
+//   sensor,slot
+//   0,2
+//   1,0
+//   ...
+//
+// Only active (sensor, slot) pairs are listed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/schedule.h"
+
+namespace cool::core {
+
+void write_schedule_csv(std::ostream& out, const PeriodicSchedule& schedule);
+void write_schedule_csv_file(const std::string& path,
+                             const PeriodicSchedule& schedule);
+
+// Throws std::runtime_error on malformed input (bad preamble, out-of-range
+// indices, non-integer cells).
+PeriodicSchedule read_schedule_csv(std::istream& in);
+PeriodicSchedule read_schedule_csv_file(const std::string& path);
+
+}  // namespace cool::core

@@ -1,0 +1,32 @@
+// Stochastic ("lazier than lazy") greedy — Mirzasoleiman et al.'s sampling
+// accelerant adapted to slot assignment. Each placement step evaluates only
+// a random sample of the unplaced sensors (size s = ⌈(n/k)·ln(1/ε)⌉ with
+// k = n placements) instead of all of them, trading an ε-factor of expected
+// utility for an order-of-magnitude drop in oracle calls. Here the sample
+// covers sensors; all T slots are still scanned per sampled sensor.
+//
+// Guarantee (matroid-free cardinality version): E[U] >= (1 − 1/e − ε)·OPT
+// for submodular maximization; for the partition-matroid slot assignment it
+// is a heuristic accelerant benchmarked against the exact greedy in
+// bench_ablation_lazy — useful when n reaches thousands and even CELF's
+// queue gets warm.
+#pragma once
+
+#include "core/greedy.h"
+#include "util/rng.h"
+
+namespace cool::core {
+
+class StochasticGreedyScheduler {
+ public:
+  // epsilon in (0, 1): sampling slack; smaller = closer to exact greedy,
+  // more oracle calls.
+  explicit StochasticGreedyScheduler(double epsilon = 0.1);
+
+  GreedyResult schedule(const Problem& problem, util::Rng& rng) const;
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace cool::core

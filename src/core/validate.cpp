@@ -1,0 +1,85 @@
+#include "core/validate.h"
+
+#include "net/routing.h"
+#include "util/strings.h"
+
+namespace cool::core {
+
+bool InstanceAudit::ok() const noexcept {
+  for (const auto& d : diagnostics)
+    if (d.severity == Severity::kError) return false;
+  return true;
+}
+
+std::size_t InstanceAudit::count(Severity severity) const noexcept {
+  std::size_t total = 0;
+  for (const auto& d : diagnostics)
+    if (d.severity == severity) ++total;
+  return total;
+}
+
+InstanceAudit audit_instance(const net::Network& network,
+                             const energy::ChargingPattern& pattern,
+                             const AuditThresholds& thresholds) {
+  InstanceAudit audit;
+  const std::size_t T = pattern.slots_per_period();
+
+  // Coverage health per target.
+  for (std::size_t j = 0; j < network.target_count(); ++j) {
+    const std::size_t degree = network.covering_sensors(j).size();
+    if (degree == 0) {
+      audit.diagnostics.push_back(
+          {Severity::kError, "orphan-target",
+           util::format("target %zu has no covering sensor: it can never "
+                        "earn utility", j)});
+      continue;
+    }
+    if (degree == 1) {
+      audit.diagnostics.push_back(
+          {Severity::kInfo, "single-point-coverage",
+           util::format("target %zu depends on a single sensor (%zu)", j,
+                        network.covering_sensors(j).front())});
+    }
+    const double per_slot = static_cast<double>(degree) / static_cast<double>(T);
+    if (per_slot < thresholds.min_cover_per_slot) {
+      audit.diagnostics.push_back(
+          {Severity::kWarning, "thin-coverage",
+           util::format("target %zu: %zu covering sensors over %zu slots "
+                        "(%.2f per slot) - it will be dark in some slots",
+                        j, degree, T, per_slot)});
+    }
+  }
+
+  // Charging-pattern integrality.
+  if (pattern.integrality_error() > thresholds.max_integrality_error) {
+    audit.diagnostics.push_back(
+        {Severity::kWarning, "rho-rounding",
+         util::format("rho = %.3f rounds to a %zu-slot period with error "
+                      "%.3f; the battery automaton may drift from reality",
+                      pattern.rho(), T, pattern.integrality_error())});
+  }
+
+  // Communication connectivity (data collection viability).
+  if (network.sensor_count() > 0) {
+    const net::RoutingTree tree(network, net::choose_best_sink(network));
+    const double unreachable =
+        1.0 - static_cast<double>(tree.reachable_count()) /
+                  static_cast<double>(network.sensor_count());
+    if (unreachable > thresholds.max_unreachable_fraction) {
+      audit.diagnostics.push_back(
+          {Severity::kWarning, "disconnected-nodes",
+           util::format("%.0f%% of nodes cannot reach the best sink; their "
+                        "readings are lost even when scheduled",
+                        100.0 * unreachable)});
+    }
+  }
+
+  audit.diagnostics.push_back(
+      {Severity::kInfo, "summary",
+       util::format("%zu sensors, %zu targets, T = %zu slots, rho = %.2f",
+                    network.sensor_count(), network.target_count(), T,
+                    pattern.rho())});
+  return audit;
+}
+
+}  // namespace cool::core

@@ -1,0 +1,50 @@
+// Instance diagnostics: pre-flight checks an operator runs before trusting
+// a schedule. Scheduling silently tolerates degenerate inputs (orphan
+// targets, rounded ρ, starved coverage); this audit surfaces them with
+// severities so a gateway can refuse or warn instead of producing a
+// confident-looking schedule over a broken instance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/pattern.h"
+#include "net/network.h"
+#include "submodular/detection.h"
+
+namespace cool::core {
+
+enum class Severity { kInfo, kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  std::string code;     // stable machine-readable id, e.g. "orphan-target"
+  std::string message;  // human-readable detail
+};
+
+struct InstanceAudit {
+  std::vector<Diagnostic> diagnostics;
+  bool ok() const noexcept;  // true when no kError entries
+  std::size_t count(Severity severity) const noexcept;
+};
+
+struct AuditThresholds {
+  // Targets covered by fewer sensors than slots cannot be monitored every
+  // slot; warn below this coverage-to-period ratio.
+  double min_cover_per_slot = 1.0;
+  // Warn when ρ's integrality rounding exceeds this.
+  double max_integrality_error = 0.05;
+  // Warn when the communication graph strands this fraction of nodes.
+  double max_unreachable_fraction = 0.0;
+};
+
+// Audits the (network, pattern) pair the evaluation pipeline consumes.
+// Emits: "orphan-target" (error), "thin-coverage" (warning),
+// "rho-rounding" (warning), "disconnected-nodes" (warning),
+// "single-point-coverage" (info: a target with exactly one covering sensor),
+// and summary infos.
+InstanceAudit audit_instance(const net::Network& network,
+                             const energy::ChargingPattern& pattern,
+                             const AuditThresholds& thresholds = {});
+
+}  // namespace cool::core

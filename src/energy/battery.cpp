@@ -1,0 +1,49 @@
+#include "energy/battery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cool::energy {
+
+namespace {
+// Full/empty comparisons tolerate accumulated floating-point residue.
+constexpr double kSocEpsilon = 1e-9;
+}  // namespace
+
+Battery::Battery(double capacity_joules) : capacity_(capacity_joules) {
+  if (capacity_joules <= 0.0) throw std::invalid_argument("Battery: capacity <= 0");
+}
+
+bool Battery::full() const noexcept { return level_ >= capacity_ * (1.0 - kSocEpsilon); }
+bool Battery::empty() const noexcept { return level_ <= capacity_ * kSocEpsilon; }
+
+double Battery::charge(double joules) {
+  if (joules < 0.0) throw std::invalid_argument("Battery::charge: negative energy");
+  const double stored = std::min(joules, capacity_ - level_);
+  level_ += stored;
+  return stored;
+}
+
+double Battery::discharge(double joules) {
+  if (joules < 0.0) throw std::invalid_argument("Battery::discharge: negative energy");
+  const double drawn = std::min(joules, level_);
+  level_ -= drawn;
+  return drawn;
+}
+
+void Battery::set_level(double joules) {
+  if (joules < 0.0 || joules > capacity_)
+    throw std::invalid_argument("Battery::set_level: outside [0, capacity]");
+  level_ = joules;
+}
+
+double Battery::voltage() const noexcept {
+  const double s = soc();
+  // Piecewise NiMH-like curve for a 2-cell pack.
+  if (s < 0.10) return 2.20 + (2.55 - 2.20) * (s / 0.10);
+  if (s < 0.85) return 2.55 + (2.70 - 2.55) * ((s - 0.10) / 0.75);
+  return 2.70 + (2.90 - 2.70) * ((s - 0.85) / 0.15);
+}
+
+}  // namespace cool::energy

@@ -1,0 +1,42 @@
+// Rechargeable battery model.
+//
+// Units convention for the whole energy layer: time in minutes, energy in
+// joules, power in watts (1 W = 60 J/min). The paper's TelosB motes store
+// into NiMH cells behind a solar cell; we model capacity, state of charge,
+// and a NiMH-like terminal-voltage curve (steep rise out of empty, long
+// plateau, small bump near full) — that plateau is exactly the "charging
+// voltage almost remains at the same level" observation under Fig 7.
+#pragma once
+
+namespace cool::energy {
+
+class Battery {
+ public:
+  // capacity_joules > 0; the battery starts empty (paper: a node activates
+  // only when *fully* charged, so empty-at-dawn is the conservative start).
+  explicit Battery(double capacity_joules);
+
+  double capacity() const noexcept { return capacity_; }
+  double level() const noexcept { return level_; }
+  // State of charge in [0, 1].
+  double soc() const noexcept { return level_ / capacity_; }
+  bool full() const noexcept;
+  bool empty() const noexcept;
+
+  // Adds energy; clamps at capacity. Returns energy actually stored.
+  double charge(double joules);
+  // Removes energy; clamps at zero. Returns energy actually drawn.
+  double discharge(double joules);
+  void set_level(double joules);
+
+  // Terminal voltage under light load, in volts. Monotone in SoC with a
+  // plateau through the mid range (NiMH 2-cell pack: ~2.2 V empty,
+  // ~2.6-2.7 V across 15-85% SoC, ~2.9 V full).
+  double voltage() const noexcept;
+
+ private:
+  double capacity_;
+  double level_ = 0.0;
+};
+
+}  // namespace cool::energy

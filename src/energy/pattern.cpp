@@ -1,0 +1,112 @@
+#include "energy/pattern.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace cool::energy {
+
+double ChargingPattern::slot_minutes() const noexcept {
+  return rho() > 1.0 ? discharge_minutes : recharge_minutes;
+}
+
+std::size_t ChargingPattern::slots_per_period() const noexcept {
+  const double r = rho();
+  const double ratio = r > 1.0 ? r : 1.0 / r;
+  return static_cast<std::size_t>(std::lround(ratio)) + 1;
+}
+
+double ChargingPattern::integrality_error() const noexcept {
+  const double r = rho();
+  const double ratio = r > 1.0 ? r : 1.0 / r;
+  return std::abs(ratio - std::round(ratio));
+}
+
+std::size_t ChargingPattern::active_slots_per_period() const noexcept {
+  return rho() > 1.0 ? 1 : slots_per_period() - 1;
+}
+
+ChargingPattern pattern_for_weather(Weather weather) {
+  // Sunny reproduces the paper's measured 15/45; Tr scales inversely with
+  // the weather's mean attenuation (less light, proportionally slower
+  // charge). Td is a device property and does not depend on weather.
+  const double sunny_attenuation = weather_mean_attenuation(Weather::kSunny);
+  const double attenuation = weather_mean_attenuation(weather);
+  ChargingPattern p;
+  p.discharge_minutes = 15.0;
+  p.recharge_minutes = 45.0 * sunny_attenuation / attenuation;
+  return p;
+}
+
+namespace {
+
+ChargingPattern estimate_impl(const ChargingTrace& trace,
+                              const NodeEnergyConfig& node, double from_minute,
+                              double to_minute) {
+  if (trace.samples.size() < 2)
+    throw std::runtime_error("estimate_pattern: trace too short");
+  if (node.active_power_w <= 0.0)
+    throw std::invalid_argument("estimate_pattern: active power <= 0");
+
+  // Mean charge rate from SoC increments across charging samples.
+  double charged_joules = 0.0;
+  double charging_minutes = 0.0;
+  for (std::size_t i = 1; i < trace.samples.size(); ++i) {
+    const auto& prev = trace.samples[i - 1];
+    const auto& cur = trace.samples[i];
+    if (prev.minute_of_day < from_minute || cur.minute_of_day > to_minute) continue;
+    const double dsoc = cur.soc - prev.soc;
+    if (dsoc <= 0.0 || prev.soc >= 1.0 - 1e-9) continue;  // not charging
+    charged_joules += dsoc * node.battery_capacity_j;
+    charging_minutes += cur.minute_of_day - prev.minute_of_day;
+  }
+  if (charging_minutes <= 0.0)
+    throw std::runtime_error("estimate_pattern: no charging observed in window");
+
+  const double mu_r_watts = charged_joules / (charging_minutes * 60.0);
+  ChargingPattern pattern;
+  pattern.recharge_minutes = node.battery_capacity_j / mu_r_watts / 60.0;
+  pattern.discharge_minutes = node.battery_capacity_j / node.active_power_w / 60.0;
+  return pattern;
+}
+
+}  // namespace
+
+ChargingPattern estimate_pattern(const ChargingTrace& trace,
+                                 const NodeEnergyConfig& node) {
+  return estimate_impl(trace, node, 0.0, 1440.0);
+}
+
+ChargingPattern estimate_pattern_window(const ChargingTrace& trace,
+                                        const NodeEnergyConfig& node,
+                                        double from_minute, double to_minute) {
+  if (from_minute >= to_minute)
+    throw std::invalid_argument("estimate_pattern_window: empty window");
+  return estimate_impl(trace, node, from_minute, to_minute);
+}
+
+ChargingPattern estimate_fleet_pattern(const std::vector<ChargingTrace>& traces,
+                                       const NodeEnergyConfig& node,
+                                       double from_minute, double to_minute) {
+  if (from_minute >= to_minute)
+    throw std::invalid_argument("estimate_fleet_pattern: empty window");
+  std::vector<double> recharge_estimates;
+  recharge_estimates.reserve(traces.size());
+  for (const auto& trace : traces) {
+    try {
+      recharge_estimates.push_back(
+          estimate_impl(trace, node, from_minute, to_minute).recharge_minutes);
+    } catch (const std::runtime_error&) {
+      // This node saw no charging in the window (shaded / already full).
+    }
+  }
+  if (recharge_estimates.empty())
+    throw std::runtime_error("estimate_fleet_pattern: no node charged in window");
+  ChargingPattern pattern;
+  pattern.discharge_minutes = node.battery_capacity_j / node.active_power_w / 60.0;
+  pattern.recharge_minutes = util::percentile(recharge_estimates, 0.5);
+  return pattern;
+}
+
+}  // namespace cool::energy

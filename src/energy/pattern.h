@@ -1,0 +1,60 @@
+// Charging pattern: the (Td, Tr) pair the schedulers consume, and its
+// estimation from traces — the paper's "energy harvesting estimation"
+// component (Section I) and the source of the evaluation constants
+// Td = 15 min, Tr = 45 min (Section VI-A).
+#pragma once
+
+#include <cstddef>
+
+#include "energy/trace.h"
+
+namespace cool::energy {
+
+struct ChargingPattern {
+  double discharge_minutes = 15.0;  // Td: full battery -> empty when active
+  double recharge_minutes = 45.0;   // Tr: empty -> full while passive
+
+  // ρ = Tr / Td (paper Table I).
+  double rho() const noexcept { return recharge_minutes / discharge_minutes; }
+
+  // Slot length after the paper's normalization: Td when ρ > 1, Tr otherwise.
+  double slot_minutes() const noexcept;
+
+  // Slots per charging period T: round(ρ)+1 when ρ > 1, round(1/ρ)+1
+  // otherwise. The paper assumes the relevant ratio is an integer "without
+  // affecting the generality"; rounding enforces that, and
+  // integrality_error() reports how much was rounded away.
+  std::size_t slots_per_period() const noexcept;
+  double integrality_error() const noexcept;
+
+  // Active slots per period: 1 when ρ > 1 (the single discharge slot),
+  // otherwise T - 1 (all but the single passive slot).
+  std::size_t active_slots_per_period() const noexcept;
+};
+
+// Paper defaults by weather: sunny matches the measured 15/45; worse weather
+// stretches Tr proportionally to the lost irradiance.
+ChargingPattern pattern_for_weather(Weather weather);
+
+// Estimates (Td, Tr) from a measured/simulated trace:
+//   μr = mean net charge power while the battery is charging in daylight;
+//   Tr = capacity / μr;   Td = capacity / active power.
+// Throws std::runtime_error if the trace never charges (e.g. all night).
+ChargingPattern estimate_pattern(const ChargingTrace& trace,
+                                 const NodeEnergyConfig& node);
+
+// Estimate restricted to a time window [from_minute, to_minute) — the
+// paper's 2-hour short-horizon estimate.
+ChargingPattern estimate_pattern_window(const ChargingTrace& trace,
+                                        const NodeEnergyConfig& node,
+                                        double from_minute, double to_minute);
+
+// Fleet-level estimate: per-node windowed estimates combined by median
+// (robust to a few shaded or misbehaving nodes — the homogeneous-fleet
+// assumption of Section II-B made operational). Nodes whose window shows no
+// charging are skipped; throws std::runtime_error when none remain.
+ChargingPattern estimate_fleet_pattern(const std::vector<ChargingTrace>& traces,
+                                       const NodeEnergyConfig& node,
+                                       double from_minute, double to_minute);
+
+}  // namespace cool::energy

@@ -1,0 +1,69 @@
+#include "energy/stochastic.h"
+
+#include <stdexcept>
+
+namespace cool::energy {
+
+StochasticChargingModel::StochasticChargingModel(
+    const StochasticChargingConfig& config)
+    : config_(config) {
+  if (config.event_rate_per_min <= 0.0)
+    throw std::invalid_argument("StochasticChargingModel: λa <= 0");
+  if (config.mean_event_minutes <= 0.0)
+    throw std::invalid_argument("StochasticChargingModel: λd <= 0");
+  if (config.continuous_discharge_min <= 0.0)
+    throw std::invalid_argument("StochasticChargingModel: Td <= 0");
+  if (config.mean_recharge_min <= 0.0)
+    throw std::invalid_argument("StochasticChargingModel: T̄r <= 0");
+  if (config.recharge_sigma_min < 0.0)
+    throw std::invalid_argument("StochasticChargingModel: sigma < 0");
+  if (duty_fraction() >= 1.0)
+    throw std::invalid_argument(
+        "StochasticChargingModel: λa·λd >= 1 (sensor never idle)");
+  // The renewal sampler interprets λa as the event *cycle* rate, so each
+  // cycle (idle gap + busy period) must leave room for a positive gap.
+  if (config_.mean_event_minutes >= 1.0 / config_.event_rate_per_min)
+    throw std::invalid_argument(
+        "StochasticChargingModel: mean event duration >= mean cycle length");
+}
+
+double StochasticChargingModel::duty_fraction() const noexcept {
+  return config_.event_rate_per_min * config_.mean_event_minutes;
+}
+
+double StochasticChargingModel::mean_discharge_minutes() const noexcept {
+  return config_.continuous_discharge_min / duty_fraction();
+}
+
+double StochasticChargingModel::rho_prime() const noexcept {
+  return config_.mean_recharge_min / mean_discharge_minutes();
+}
+
+double StochasticChargingModel::sample_discharge_minutes(util::Rng& rng) const {
+  // Renewal process with cycle rate λa: each cycle is an idle gap of mean
+  // (1/λa − λd) followed by a busy period of mean λd, so events occur at
+  // rate λa of wall-clock time and the busy fraction is exactly λa·λd.
+  // The battery drains only while busy; stop when the accumulated busy time
+  // reaches Td. E[wall clock] then matches the paper's T̄d = Td/(λa·λd).
+  const double gap_mean =
+      1.0 / config_.event_rate_per_min - config_.mean_event_minutes;
+  double wall_clock = 0.0;
+  double busy_budget = config_.continuous_discharge_min;
+  while (busy_budget > 0.0) {
+    wall_clock += rng.exponential(gap_mean);
+    const double busy = rng.exponential(config_.mean_event_minutes);
+    const double consumed = busy < busy_budget ? busy : busy_budget;
+    wall_clock += consumed;
+    busy_budget -= consumed;
+  }
+  return wall_clock;
+}
+
+double StochasticChargingModel::sample_recharge_minutes(util::Rng& rng) const {
+  double draw = rng.normal(config_.mean_recharge_min, config_.recharge_sigma_min);
+  while (draw <= 0.0)
+    draw = rng.normal(config_.mean_recharge_min, config_.recharge_sigma_min);
+  return draw;
+}
+
+}  // namespace cool::energy

@@ -1,0 +1,50 @@
+// Stochastic charging model (paper Section V).
+//
+// Discharge: events arrive Poisson(λa per minute); each keeps the sensor
+// busy for an Exp(mean λd minutes) duration; a full battery sustains Td
+// minutes of *continuous* sensing, so the wall-clock discharge time has
+// mean T̄d = Td / (λa·λd) (the paper's expression, with λa·λd the sensing
+// duty fraction, assumed < 1).
+// Recharge: T̄r-mean normal, truncated positive.
+// ρ' = T̄r / T̄d feeds the LP-based scheduler; the greedy scheme is evaluated
+// under this model purely by simulation (the paper leaves its analysis as
+// future work).
+#pragma once
+
+#include "util/rng.h"
+
+namespace cool::energy {
+
+struct StochasticChargingConfig {
+  double event_rate_per_min = 0.1;     // λa
+  double mean_event_minutes = 2.0;     // λd
+  double continuous_discharge_min = 15.0;  // Td under continuous sensing
+  double mean_recharge_min = 45.0;     // T̄r
+  double recharge_sigma_min = 5.0;     // std-dev of the normal Tr
+};
+
+class StochasticChargingModel {
+ public:
+  explicit StochasticChargingModel(const StochasticChargingConfig& config);
+
+  // Sensing duty fraction λa·λd (must be in (0, 1)).
+  double duty_fraction() const noexcept;
+  // T̄d = Td / (λa·λd).
+  double mean_discharge_minutes() const noexcept;
+  // ρ' = T̄r / T̄d (paper Section V).
+  double rho_prime() const noexcept;
+
+  // Samples the wall-clock minutes a fully charged sensor lasts: draws the
+  // renewal process of events until the accumulated busy time reaches Td.
+  double sample_discharge_minutes(util::Rng& rng) const;
+
+  // Samples a recharge duration (normal, resampled until positive).
+  double sample_recharge_minutes(util::Rng& rng) const;
+
+  const StochasticChargingConfig& config() const noexcept { return config_; }
+
+ private:
+  StochasticChargingConfig config_;
+};
+
+}  // namespace cool::energy

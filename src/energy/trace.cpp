@@ -1,0 +1,114 @@
+#include "energy/trace.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace cool::energy {
+
+void ChargingTrace::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ChargingTrace::write_csv: cannot open " + path);
+  util::CsvWriter csv(out);
+  csv.write_row({"minute", "lux", "voltage", "soc", "charging"});
+  for (const auto& s : samples) {
+    csv.cell(s.minute_of_day)
+        .cell(s.lux)
+        .cell(s.voltage)
+        .cell(s.soc);
+    csv.cell(std::string_view(s.charging ? "1" : "0"));
+    csv.end_row();
+  }
+}
+
+ChargingTrace read_trace_csv(const std::string& path) {
+  const auto table = util::read_csv_file(path, /*has_header=*/true);
+  const auto minute = table.column("minute");
+  const auto lux = table.column("lux");
+  const auto voltage = table.column("voltage");
+  const auto soc = table.column("soc");
+  const auto charging = table.column("charging");
+  ChargingTrace trace;
+  trace.samples.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    if (row.size() < 5) throw std::runtime_error("read_trace_csv: short row");
+    TraceSample sample;
+    try {
+      sample.minute_of_day = util::parse_double(row[minute]);
+      sample.lux = util::parse_double(row[lux]);
+      sample.voltage = util::parse_double(row[voltage]);
+      sample.soc = util::parse_double(row[soc]);
+      sample.charging = util::parse_int(row[charging]) != 0;
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(std::string("read_trace_csv: ") + e.what());
+    }
+    trace.samples.push_back(sample);
+  }
+  return trace;
+}
+
+ChargingTrace generate_daily_trace(const TraceConfig& config, Weather weather,
+                                   int node_id, int day, util::Rng& rng) {
+  if (config.sample_period_min <= 0.0)
+    throw std::invalid_argument("generate_daily_trace: sample period <= 0");
+  if (config.initial_soc < 0.0 || config.initial_soc > 1.0)
+    throw std::invalid_argument("generate_daily_trace: initial soc outside [0,1]");
+  if (config.report_duty < 0.0 || config.report_duty > 1.0)
+    throw std::invalid_argument("generate_daily_trace: report duty outside [0,1]");
+
+  SolarModelConfig solar_cfg = config.solar;
+  solar_cfg.day_of_year = ((solar_cfg.day_of_year - 1 + day) % 365) + 1;
+  const SolarModel solar(solar_cfg);
+  HarvestSimulator sim(solar, weather, config.cell, config.node, rng.fork(17));
+  sim.battery().set_level(config.initial_soc * config.node.battery_capacity_j);
+
+  ChargingTrace trace;
+  trace.node_id = node_id;
+  trace.day = day;
+  trace.weather = weather;
+  const auto steps = static_cast<std::size_t>(1440.0 / config.sample_period_min);
+  trace.samples.reserve(steps);
+  bool cycling_active = false;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double minute = static_cast<double>(i) * config.sample_period_min;
+    double lux = 0.0;
+    if (config.mode == TraceConfig::Mode::kCycling) {
+      // Paper state machine: ready -> active until empty -> passive until full.
+      if (sim.battery().full()) cycling_active = true;
+      if (sim.battery().empty()) cycling_active = false;
+      lux = sim.step(minute, config.sample_period_min, cycling_active);
+    } else {
+      // Split the interval into a short reporting burst plus idle charging.
+      const double active_min = config.sample_period_min * config.report_duty;
+      lux = sim.step(minute, active_min, /*node_active=*/true);
+      lux = sim.step(minute + active_min, config.sample_period_min - active_min,
+                     /*node_active=*/false);
+    }
+    TraceSample sample;
+    sample.minute_of_day = minute;
+    sample.lux = lux;
+    sample.voltage = sim.battery().voltage();
+    sample.soc = sim.battery().soc();
+    sample.charging = !sim.battery().full() && lux > 0.0;
+    trace.samples.push_back(sample);
+  }
+  return trace;
+}
+
+std::vector<ChargingTrace> generate_multi_day_traces(const TraceConfig& config,
+                                                     DayWeatherProcess& weather,
+                                                     int node_id, int days,
+                                                     util::Rng& rng) {
+  if (days < 0) throw std::invalid_argument("generate_multi_day_traces: days < 0");
+  std::vector<ChargingTrace> traces;
+  traces.reserve(static_cast<std::size_t>(days));
+  for (int d = 0; d < days; ++d) {
+    traces.push_back(generate_daily_trace(config, weather.today(), node_id, d, rng));
+    weather.advance();
+  }
+  return traces;
+}
+
+}  // namespace cool::energy

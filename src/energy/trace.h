@@ -1,0 +1,65 @@
+// Charging-trace generation: the synthetic stand-in for the paper's Fig 7
+// rooftop measurement (time vs light strength vs charging voltage).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/harvester.h"
+#include "energy/solar.h"
+#include "energy/weather.h"
+#include "util/rng.h"
+
+namespace cool::energy {
+
+struct TraceSample {
+  double minute_of_day = 0.0;  // local solar time
+  double lux = 0.0;            // light strength (what the mote's photodiode reads)
+  double voltage = 0.0;        // battery terminal voltage
+  double soc = 0.0;            // state of charge in [0, 1]
+  bool charging = false;       // battery below full and sun up
+};
+
+struct ChargingTrace {
+  int node_id = 0;
+  int day = 0;                 // day index (paper: July 15th/16th/17th)
+  Weather weather = Weather::kSunny;
+  std::vector<TraceSample> samples;
+
+  // Writes "minute,lux,voltage,soc,charging" CSV with header.
+  void write_csv(const std::string& path) const;
+};
+
+// Parses a CSV produced by write_csv (node/day/weather metadata are not
+// stored in the file and stay default). Throws std::runtime_error on
+// malformed input.
+ChargingTrace read_trace_csv(const std::string& path);
+
+struct TraceConfig {
+  SolarModelConfig solar;
+  SolarCellConfig cell;
+  NodeEnergyConfig node;
+  double sample_period_min = 1.0;
+  double initial_soc = 0.25;   // overnight idle drain leaves some charge
+  // Measurement-mode duty cycle: the Fig 7 nodes periodically wake to report
+  // voltage/light readings; fraction of each sample interval spent active.
+  double report_duty = 0.02;
+  // kMeasurement: mostly-idle charging node (the Fig 7 measurement setup).
+  // kCycling: the node runs the paper's duty cycle — active from full charge
+  // until empty, then passive until full again — producing many recharge
+  // segments a ChargingPatternEstimator can fit mid-day.
+  enum class Mode { kMeasurement, kCycling };
+  Mode mode = Mode::kMeasurement;
+};
+
+// One full day (0..1440 min) of measurement-mode samples for one node.
+ChargingTrace generate_daily_trace(const TraceConfig& config, Weather weather,
+                                   int node_id, int day, util::Rng& rng);
+
+// Several consecutive days with weather evolving through the given process.
+std::vector<ChargingTrace> generate_multi_day_traces(const TraceConfig& config,
+                                                     DayWeatherProcess& weather,
+                                                     int node_id, int days,
+                                                     util::Rng& rng);
+
+}  // namespace cool::energy

@@ -1,0 +1,139 @@
+#include "geometry/arrangement.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cool::geom {
+
+CoverSignature::CoverSignature(std::size_t universe_size)
+    : universe_(universe_size), words_((universe_size + 63) / 64, 0) {}
+
+void CoverSignature::set(std::size_t i) {
+  if (i >= universe_) throw std::out_of_range("CoverSignature::set");
+  words_[i / 64] |= (std::uint64_t{1} << (i % 64));
+}
+
+bool CoverSignature::test(std::size_t i) const {
+  if (i >= universe_) throw std::out_of_range("CoverSignature::test");
+  return (words_[i / 64] >> (i % 64)) & 1U;
+}
+
+std::size_t CoverSignature::count() const noexcept {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+  return total;
+}
+
+bool CoverSignature::empty() const noexcept {
+  for (const auto w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+bool CoverSignature::intersects(const std::vector<std::uint8_t>& active) const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t bits = words_[w];
+    while (bits != 0) {
+      const auto bit = static_cast<std::size_t>(__builtin_ctzll(bits));
+      const std::size_t idx = w * 64 + bit;
+      if (idx < active.size() && active[idx] != 0) return true;
+      bits &= bits - 1;
+    }
+  }
+  return false;
+}
+
+std::vector<std::size_t> CoverSignature::members() const {
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t bits = words_[w];
+    while (bits != 0) {
+      out.push_back(w * 64 + static_cast<std::size_t>(__builtin_ctzll(bits)));
+      bits &= bits - 1;
+    }
+  }
+  return out;
+}
+
+std::size_t CoverSignature::hash() const noexcept {
+  std::size_t h = 0x9E3779B97F4A7C15ULL;
+  for (const auto w : words_) {
+    h ^= w + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+namespace {
+struct SignatureHash {
+  std::size_t operator()(const CoverSignature& sig) const noexcept {
+    return sig.hash();
+  }
+};
+}  // namespace
+
+Arrangement::Arrangement(const Rect& region, const std::vector<Disk>& disks,
+                         std::size_t resolution)
+    : region_(region), disk_count_(disks.size()) {
+  if (resolution < 8) throw std::invalid_argument("Arrangement: resolution < 8");
+  if (region.area() <= 0.0) throw std::invalid_argument("Arrangement: empty region");
+
+  const double cw = region.width() / static_cast<double>(resolution);
+  const double ch = region.height() / static_cast<double>(resolution);
+  const double cell_area = cw * ch;
+
+  std::unordered_map<CoverSignature, std::size_t, SignatureHash> index;
+  for (std::size_t gy = 0; gy < resolution; ++gy) {
+    for (std::size_t gx = 0; gx < resolution; ++gx) {
+      const Vec2 p{region.lo.x + (static_cast<double>(gx) + 0.5) * cw,
+                   region.lo.y + (static_cast<double>(gy) + 0.5) * ch};
+      CoverSignature sig(disks.size());
+      bool covered = false;
+      for (std::size_t d = 0; d < disks.size(); ++d) {
+        if (disks[d].contains(p)) {
+          sig.set(d);
+          covered = true;
+        }
+      }
+      if (!covered) continue;  // the uncovered face earns no utility
+      const auto [it, inserted] = index.try_emplace(sig, subregions_.size());
+      if (inserted) {
+        subregions_.push_back(Subregion{sig, cell_area, 1.0, p});
+      } else {
+        subregions_[it->second].area += cell_area;
+      }
+    }
+  }
+}
+
+double Arrangement::covered_weighted_area(
+    const std::vector<std::uint8_t>& active) const {
+  if (active.size() != disk_count_)
+    throw std::invalid_argument("covered_weighted_area: active size mismatch");
+  double total = 0.0;
+  for (const auto& face : subregions_)
+    if (face.covered_by.intersects(active)) total += face.weight * face.area;
+  return total;
+}
+
+double Arrangement::total_covered_area() const {
+  double total = 0.0;
+  for (const auto& face : subregions_) total += face.area;
+  return total;
+}
+
+double Arrangement::max_utility() const {
+  double total = 0.0;
+  for (const auto& face : subregions_) total += face.weight * face.area;
+  return total;
+}
+
+void Arrangement::set_weights(const std::vector<double>& weights) {
+  if (weights.size() != subregions_.size())
+    throw std::invalid_argument("set_weights: size mismatch");
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) throw std::invalid_argument("set_weights: weights must be > 0");
+    subregions_[i].weight = weights[i];
+  }
+}
+
+}  // namespace cool::geom

@@ -1,0 +1,91 @@
+// Subdivision of the region of interest Ω into subregions induced by the
+// sensing disks (paper Fig. 3 and Eq. (2)).
+//
+// The paper observes that n convex monitored regions subdivide Ω into at
+// most O(n^2) faces A_1..A_b and defines the area utility
+//   U(S) = Σ_i I_i(S) · w_i · |A_i|.
+// We compute the faces by cover-signature rasterization: Ω is sampled on a
+// fine uniform grid and every cell is keyed by the exact set of disks
+// covering its center. Cells sharing a signature form one subregion; its
+// area is (#cells × cell area). This discretizes face *boundaries* only —
+// the signature lattice is exact — and the area error vanishes as the
+// resolution grows (tests pin it against closed-form lens areas).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "geometry/disk.h"
+#include "geometry/rect.h"
+
+namespace cool::geom {
+
+// The set of disks covering a subregion, as a fixed-capacity bitmask.
+class CoverSignature {
+ public:
+  explicit CoverSignature(std::size_t universe_size);
+
+  void set(std::size_t i);
+  bool test(std::size_t i) const;
+  std::size_t count() const noexcept;
+  bool empty() const noexcept;
+  // True if this signature has at least one disk in common with `active`,
+  // where `active[i]` marks disk i active.
+  bool intersects(const std::vector<std::uint8_t>& active) const;
+  std::vector<std::size_t> members() const;
+
+  bool operator==(const CoverSignature&) const = default;
+  std::size_t hash() const noexcept;
+
+ private:
+  std::size_t universe_;
+  std::vector<std::uint64_t> words_;
+};
+
+struct Subregion {
+  CoverSignature covered_by;  // which disks contain this face
+  double area = 0.0;          // measured area within Ω
+  double weight = 1.0;        // monitoring preference w_i (settable later)
+  Vec2 sample_point;          // a point inside the face (a covering witness)
+};
+
+class Arrangement {
+ public:
+  // Builds the subdivision of `region` induced by `disks`, sampling on a
+  // `resolution` x `resolution` grid (resolution >= 8).
+  Arrangement(const Rect& region, const std::vector<Disk>& disks,
+              std::size_t resolution = 256);
+
+  const Rect& region() const noexcept { return region_; }
+  std::size_t disk_count() const noexcept { return disk_count_; }
+
+  // All faces covered by at least one disk (the uncovered face is excluded:
+  // it contributes no utility under Eq. (2)).
+  const std::vector<Subregion>& subregions() const noexcept { return subregions_; }
+
+  // Total weighted area covered by the active disk set:
+  //   Σ over faces whose signature intersects `active` of w_i · |A_i|.
+  // `active[i]` in {0,1} for each disk.
+  double covered_weighted_area(const std::vector<std::uint8_t>& active) const;
+
+  // Total (weight-1) area covered by all disks together.
+  double total_covered_area() const;
+  // Σ w_i · |A_i| over all covered faces: the maximum of Eq. (2).
+  double max_utility() const;
+
+  // Assigns face weights; `weights` aligns with subregions().
+  void set_weights(const std::vector<double>& weights);
+  // Weight each face by a caller preference at its sample point.
+  template <typename Fn>
+  void set_weights_by(Fn&& preference) {
+    for (auto& face : subregions_) face.weight = preference(face.sample_point);
+  }
+
+ private:
+  Rect region_;
+  std::size_t disk_count_;
+  std::vector<Subregion> subregions_;
+};
+
+}  // namespace cool::geom

@@ -1,0 +1,107 @@
+#include "geometry/deployment.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cool::geom {
+
+std::vector<Vec2> uniform_points(const Rect& region, std::size_t count,
+                                 util::Rng& rng) {
+  std::vector<Vec2> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    points.push_back({rng.uniform(region.lo.x, region.hi.x),
+                      rng.uniform(region.lo.y, region.hi.y)});
+  return points;
+}
+
+std::vector<Vec2> grid_points(const Rect& region, std::size_t count,
+                              double jitter, util::Rng& rng) {
+  if (jitter < 0.0) throw std::invalid_argument("grid_points: negative jitter");
+  std::vector<Vec2> points;
+  points.reserve(count);
+  if (count == 0) return points;
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(count))));
+  const double cw = region.width() / static_cast<double>(side);
+  const double ch = region.height() / static_cast<double>(side);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t gx = i % side;
+    const std::size_t gy = i / side;
+    Vec2 p{region.lo.x + (static_cast<double>(gx) + 0.5) * cw,
+           region.lo.y + (static_cast<double>(gy) + 0.5) * ch};
+    p.x += rng.uniform(-jitter * cw, jitter * cw);
+    p.y += rng.uniform(-jitter * ch, jitter * ch);
+    points.push_back(region.clamp(p));
+  }
+  return points;
+}
+
+std::vector<Vec2> clustered_points(const Rect& region, std::size_t count,
+                                   std::size_t clusters, double spread,
+                                   util::Rng& rng) {
+  if (clusters == 0) throw std::invalid_argument("clustered_points: 0 clusters");
+  if (spread < 0.0) throw std::invalid_argument("clustered_points: negative spread");
+  const auto centers = uniform_points(region, clusters, rng);
+  std::vector<Vec2> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& c = centers[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(clusters) - 1))];
+    points.push_back(region.clamp(
+        {rng.normal(c.x, spread), rng.normal(c.y, spread)}));
+  }
+  return points;
+}
+
+std::vector<Vec2> poisson_disk_points(const Rect& region, std::size_t count,
+                                      double min_dist, util::Rng& rng,
+                                      std::size_t max_attempts_per_point) {
+  if (min_dist < 0.0) throw std::invalid_argument("poisson_disk_points: negative min_dist");
+  std::vector<Vec2> points;
+  points.reserve(count);
+  const double min_d2 = min_dist * min_dist;
+  while (points.size() < count) {
+    bool placed = false;
+    for (std::size_t attempt = 0; attempt < max_attempts_per_point; ++attempt) {
+      const Vec2 cand{rng.uniform(region.lo.x, region.hi.x),
+                      rng.uniform(region.lo.y, region.hi.y)};
+      bool ok = true;
+      for (const auto& p : points) {
+        if (p.distance2_to(cand) < min_d2) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        points.push_back(cand);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // Region saturated at this spacing; degrade gracefully to uniform.
+      points.push_back({rng.uniform(region.lo.x, region.hi.x),
+                        rng.uniform(region.lo.y, region.hi.y)});
+    }
+  }
+  return points;
+}
+
+std::vector<Disk> disks_at(const std::vector<Vec2>& centers, double radius) {
+  std::vector<Disk> disks;
+  disks.reserve(centers.size());
+  for (const auto& c : centers) disks.emplace_back(c, radius);
+  return disks;
+}
+
+std::vector<Disk> disks_at(const std::vector<Vec2>& centers, double r_lo,
+                           double r_hi, util::Rng& rng) {
+  if (r_lo > r_hi) throw std::invalid_argument("disks_at: r_lo > r_hi");
+  std::vector<Disk> disks;
+  disks.reserve(centers.size());
+  for (const auto& c : centers) disks.emplace_back(c, rng.uniform(r_lo, r_hi));
+  return disks;
+}
+
+}  // namespace cool::geom

@@ -1,0 +1,45 @@
+// Deployment generators: sensor and target placements used by the
+// evaluation (Section VI simulates 100-500 sensors and 10-50 targets in a
+// region). All generators are deterministic given the Rng.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/disk.h"
+#include "geometry/rect.h"
+#include "util/rng.h"
+
+namespace cool::geom {
+
+// Uniformly random points in `region`.
+std::vector<Vec2> uniform_points(const Rect& region, std::size_t count,
+                                 util::Rng& rng);
+
+// Points on a jittered grid covering `region`: the ceil(sqrt(count)) grid is
+// filled row-major and each point perturbed by `jitter` * cell size.
+std::vector<Vec2> grid_points(const Rect& region, std::size_t count,
+                              double jitter, util::Rng& rng);
+
+// Clustered deployment: `clusters` centers drawn uniformly, points normal
+// around a uniformly chosen center (sigma = spread), clamped to the region.
+std::vector<Vec2> clustered_points(const Rect& region, std::size_t count,
+                                   std::size_t clusters, double spread,
+                                   util::Rng& rng);
+
+// Blue-noise-ish deployment by dart throwing: keeps points at pairwise
+// distance >= min_dist when possible; falls back to uniform after
+// `max_attempts_per_point` rejections so it always returns `count` points.
+std::vector<Vec2> poisson_disk_points(const Rect& region, std::size_t count,
+                                      double min_dist, util::Rng& rng,
+                                      std::size_t max_attempts_per_point = 64);
+
+// Sensing disks with a fixed radius at the given centers.
+std::vector<Disk> disks_at(const std::vector<Vec2>& centers, double radius);
+
+// Sensing disks with radii drawn uniformly from [r_lo, r_hi]
+// (heterogeneous coverage patterns, as the paper's model allows).
+std::vector<Disk> disks_at(const std::vector<Vec2>& centers, double r_lo,
+                           double r_hi, util::Rng& rng);
+
+}  // namespace cool::geom

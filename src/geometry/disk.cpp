@@ -1,0 +1,40 @@
+#include "geometry/disk.h"
+
+#include <algorithm>
+#include <numbers>
+#include <stdexcept>
+
+namespace cool::geom {
+
+Disk::Disk(Vec2 c, double r) : center(c), radius(r) {
+  if (r < 0.0) throw std::invalid_argument("Disk: negative radius");
+}
+
+bool Disk::intersects(const Disk& other) const noexcept {
+  const double rsum = radius + other.radius;
+  return center.distance2_to(other.center) <= rsum * rsum;
+}
+
+double Disk::area() const noexcept { return std::numbers::pi * radius * radius; }
+
+double Disk::intersection_area(const Disk& a, const Disk& b) noexcept {
+  const double d = a.center.distance_to(b.center);
+  if (d >= a.radius + b.radius) return 0.0;
+  const double rmin = std::min(a.radius, b.radius);
+  const double rmax = std::max(a.radius, b.radius);
+  if (d <= rmax - rmin) {
+    // Smaller disk fully inside the larger one.
+    return std::numbers::pi * rmin * rmin;
+  }
+  // Standard circular-lens formula.
+  const double r1 = a.radius, r2 = b.radius;
+  const double alpha = 2.0 * std::acos(std::clamp(
+      (d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1), -1.0, 1.0));
+  const double beta = 2.0 * std::acos(std::clamp(
+      (d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2), -1.0, 1.0));
+  const double seg1 = 0.5 * r1 * r1 * (alpha - std::sin(alpha));
+  const double seg2 = 0.5 * r2 * r2 * (beta - std::sin(beta));
+  return seg1 + seg2;
+}
+
+}  // namespace cool::geom

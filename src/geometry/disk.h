@@ -1,0 +1,28 @@
+// Sensing disk: the monitored region R(v_i) of a sensor (paper section II-A).
+// The paper allows arbitrary per-sensor coverage patterns; disks with
+// per-sensor radii are the concrete shape used by the evaluation, matching
+// the TelosB sensing model.
+#pragma once
+
+#include "geometry/vec2.h"
+
+namespace cool::geom {
+
+struct Disk {
+  Vec2 center;
+  double radius = 0.0;
+
+  constexpr Disk() = default;
+  Disk(Vec2 c, double r);
+
+  bool contains(Vec2 p) const noexcept {
+    return center.distance2_to(p) <= radius * radius;
+  }
+  bool intersects(const Disk& other) const noexcept;
+  double area() const noexcept;
+
+  // Area of the intersection of two disks (lens area); exact closed form.
+  static double intersection_area(const Disk& a, const Disk& b) noexcept;
+};
+
+}  // namespace cool::geom

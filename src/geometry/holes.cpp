@@ -1,0 +1,124 @@
+#include "geometry/holes.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace cool::geom {
+
+CoverageHoleReport find_coverage_holes(const Rect& region,
+                                       const std::vector<Disk>& disks,
+                                       std::size_t resolution) {
+  if (resolution < 8) throw std::invalid_argument("find_coverage_holes: resolution < 8");
+  if (region.area() <= 0.0)
+    throw std::invalid_argument("find_coverage_holes: empty region");
+
+  const double cw = region.width() / static_cast<double>(resolution);
+  const double ch = region.height() / static_cast<double>(resolution);
+  const double cell_area = cw * ch;
+  const auto cell_center = [&](std::size_t gx, std::size_t gy) {
+    return Vec2{region.lo.x + (static_cast<double>(gx) + 0.5) * cw,
+                region.lo.y + (static_cast<double>(gy) + 0.5) * ch};
+  };
+
+  std::vector<std::uint8_t> uncovered(resolution * resolution, 0);
+  for (std::size_t gy = 0; gy < resolution; ++gy) {
+    for (std::size_t gx = 0; gx < resolution; ++gx) {
+      const Vec2 p = cell_center(gx, gy);
+      bool covered = false;
+      for (const auto& disk : disks) {
+        if (disk.contains(p)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) uncovered[gy * resolution + gx] = 1;
+    }
+  }
+
+  CoverageHoleReport report;
+  std::vector<std::uint8_t> visited(resolution * resolution, 0);
+  for (std::size_t start = 0; start < uncovered.size(); ++start) {
+    if (!uncovered[start] || visited[start]) continue;
+    // BFS flood fill of one hole.
+    CoverageHole hole;
+    std::size_t cells = 0;
+    std::size_t min_x = resolution, max_x = 0, min_y = resolution, max_y = 0;
+    std::deque<std::size_t> queue{start};
+    visited[start] = 1;
+    while (!queue.empty()) {
+      const std::size_t idx = queue.front();
+      queue.pop_front();
+      ++cells;
+      const std::size_t gx = idx % resolution;
+      const std::size_t gy = idx / resolution;
+      min_x = std::min(min_x, gx);
+      max_x = std::max(max_x, gx);
+      min_y = std::min(min_y, gy);
+      max_y = std::max(max_y, gy);
+      const auto push = [&](std::size_t nx, std::size_t ny) {
+        const std::size_t nidx = ny * resolution + nx;
+        if (uncovered[nidx] && !visited[nidx]) {
+          visited[nidx] = 1;
+          queue.push_back(nidx);
+        }
+      };
+      if (gx > 0) push(gx - 1, gy);
+      if (gx + 1 < resolution) push(gx + 1, gy);
+      if (gy > 0) push(gx, gy - 1);
+      if (gy + 1 < resolution) push(gx, gy + 1);
+    }
+    hole.area = static_cast<double>(cells) * cell_area;
+    hole.bounding_box =
+        Rect{{region.lo.x + static_cast<double>(min_x) * cw,
+              region.lo.y + static_cast<double>(min_y) * ch},
+             {region.lo.x + static_cast<double>(max_x + 1) * cw,
+              region.lo.y + static_cast<double>(max_y + 1) * ch}};
+    // Witness: the cell nearest the bounding-box center (guaranteed inside).
+    const Vec2 bbox_center{(hole.bounding_box.lo.x + hole.bounding_box.hi.x) / 2,
+                           (hole.bounding_box.lo.y + hole.bounding_box.hi.y) / 2};
+    double best = 0.0;
+    bool first = true;
+    for (std::size_t gy = min_y; gy <= max_y; ++gy) {
+      for (std::size_t gx = min_x; gx <= max_x; ++gx) {
+        if (!uncovered[gy * resolution + gx]) continue;
+        const Vec2 p = cell_center(gx, gy);
+        const double d2 = p.distance2_to(bbox_center);
+        if (first || d2 < best) {
+          best = d2;
+          hole.witness = p;
+          first = false;
+        }
+      }
+    }
+    report.holes.push_back(hole);
+    report.uncovered_area += hole.area;
+  }
+
+  std::sort(report.holes.begin(), report.holes.end(),
+            [](const CoverageHole& a, const CoverageHole& b) {
+              return a.area > b.area;
+            });
+  report.uncovered_fraction = report.uncovered_area / region.area();
+  return report;
+}
+
+std::vector<Vec2> suggest_gap_fillers(const Rect& region,
+                                      std::vector<Disk> disks, double radius,
+                                      std::size_t count,
+                                      std::size_t resolution) {
+  if (radius <= 0.0)
+    throw std::invalid_argument("suggest_gap_fillers: radius <= 0");
+  std::vector<Vec2> placements;
+  placements.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto report = find_coverage_holes(region, disks, resolution);
+    if (report.holes.empty()) break;
+    const Vec2 spot = report.holes.front().witness;
+    placements.push_back(spot);
+    disks.emplace_back(spot, radius);
+  }
+  return placements;
+}
+
+}  // namespace cool::geom

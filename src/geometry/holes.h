@@ -1,0 +1,45 @@
+// Coverage-hole analysis: where does the deployment *not* see?
+//
+// The arrangement enumerates covered faces; deployment planning also needs
+// the complement. This module rasterizes the uncovered part of Ω, groups it
+// into 4-connected components ("holes") and reports each hole's area,
+// bounding box and an interior witness point — the diagnostics an operator
+// uses to decide where the next sensor goes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/disk.h"
+#include "geometry/rect.h"
+
+namespace cool::geom {
+
+struct CoverageHole {
+  double area = 0.0;
+  Rect bounding_box;
+  Vec2 witness;  // center of one uncovered cell inside the hole
+};
+
+struct CoverageHoleReport {
+  std::vector<CoverageHole> holes;  // sorted by area, largest first
+  double uncovered_area = 0.0;
+  double uncovered_fraction = 0.0;  // of the region's area
+};
+
+// Rasterizes on a `resolution` x `resolution` grid (>= 8). Cells whose
+// centers no disk contains are uncovered; 4-connectivity defines holes.
+CoverageHoleReport find_coverage_holes(const Rect& region,
+                                       const std::vector<Disk>& disks,
+                                       std::size_t resolution = 256);
+
+// Greedy gap filling: positions for `count` new sensors of radius `radius`,
+// each placed at the witness of the currently largest hole, recomputing
+// holes after every placement. Returns fewer than `count` positions when
+// full coverage is reached early.
+std::vector<Vec2> suggest_gap_fillers(const Rect& region,
+                                      std::vector<Disk> disks, double radius,
+                                      std::size_t count,
+                                      std::size_t resolution = 128);
+
+}  // namespace cool::geom

@@ -1,0 +1,17 @@
+#include "geometry/rect.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cool::geom {
+
+Rect::Rect(Vec2 lo_, Vec2 hi_) : lo(lo_), hi(hi_) {
+  if (lo.x > hi.x || lo.y > hi.y)
+    throw std::invalid_argument("Rect: lo must be <= hi componentwise");
+}
+
+Vec2 Rect::clamp(Vec2 p) const noexcept {
+  return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+}
+
+}  // namespace cool::geom

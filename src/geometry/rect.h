@@ -1,0 +1,25 @@
+// Axis-aligned rectangle: the region of interest Ω in the paper.
+#pragma once
+
+#include "geometry/vec2.h"
+
+namespace cool::geom {
+
+struct Rect {
+  Vec2 lo;  // bottom-left corner
+  Vec2 hi;  // top-right corner
+
+  constexpr Rect() = default;
+  Rect(Vec2 lo_, Vec2 hi_);
+  static Rect square(double side) { return Rect({0.0, 0.0}, {side, side}); }
+
+  double width() const noexcept { return hi.x - lo.x; }
+  double height() const noexcept { return hi.y - lo.y; }
+  double area() const noexcept { return width() * height(); }
+  bool contains(Vec2 p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  Vec2 clamp(Vec2 p) const noexcept;
+};
+
+}  // namespace cool::geom

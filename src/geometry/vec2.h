@@ -1,0 +1,33 @@
+// 2-D vector/point type used throughout the geometry and network layers.
+#pragma once
+
+#include <cmath>
+
+namespace cool::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) noexcept { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) noexcept { x -= o.x; y -= o.y; return *this; }
+  constexpr bool operator==(const Vec2&) const noexcept = default;
+
+  constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  constexpr double cross(Vec2 o) const noexcept { return x * o.y - y * o.x; }
+  constexpr double norm2() const noexcept { return x * x + y * y; }
+  double norm() const noexcept { return std::sqrt(norm2()); }
+  double distance_to(Vec2 o) const noexcept { return (*this - o).norm(); }
+  constexpr double distance2_to(Vec2 o) const noexcept { return (*this - o).norm2(); }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+}  // namespace cool::geom

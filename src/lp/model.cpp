@@ -1,0 +1,37 @@
+#include "lp/model.h"
+
+#include <stdexcept>
+
+namespace cool::lp {
+
+std::size_t Model::add_variable(double objective, double upper, std::string name) {
+  if (upper < 0.0) throw std::invalid_argument("Model::add_variable: upper < 0");
+  objective_.push_back(objective);
+  upper_.push_back(upper);
+  names_.push_back(std::move(name));
+  return objective_.size() - 1;
+}
+
+void Model::add_row(Row row) {
+  for (const auto& entry : row.entries)
+    if (entry.column >= objective_.size())
+      throw std::out_of_range("Model::add_row: column out of range");
+  rows_.push_back(std::move(row));
+}
+
+const std::string& Model::variable_name(std::size_t column) const {
+  if (column >= names_.size()) throw std::out_of_range("Model::variable_name");
+  return names_[column];
+}
+
+const char* status_name(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+}  // namespace cool::lp

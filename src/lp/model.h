@@ -1,0 +1,61 @@
+// Linear program model: maximize c·x subject to row constraints and
+// non-negative variables with optional upper bounds. Rows are stored
+// sparsely; the simplex solver densifies internally.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cool::lp {
+
+enum class Sense { kLessEqual, kGreaterEqual, kEqual };
+
+struct Entry {
+  std::size_t column = 0;
+  double coefficient = 0.0;
+};
+
+struct Row {
+  std::vector<Entry> entries;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+};
+
+class Model {
+ public:
+  // Adds a variable with objective coefficient `objective` and bounds
+  // [0, upper]; `upper` may be +infinity. Returns the column index.
+  std::size_t add_variable(double objective,
+                           double upper = std::numeric_limits<double>::infinity(),
+                           std::string name = {});
+
+  // Adds a constraint row; entries must reference existing columns.
+  void add_row(Row row);
+
+  std::size_t variable_count() const noexcept { return objective_.size(); }
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  const std::vector<double>& objective() const noexcept { return objective_; }
+  const std::vector<double>& upper_bounds() const noexcept { return upper_; }
+  const std::vector<Row>& rows() const noexcept { return rows_; }
+  const std::string& variable_name(std::size_t column) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<double> upper_;
+  std::vector<std::string> names_;
+  std::vector<Row> rows_;
+};
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+const char* status_name(SolveStatus status) noexcept;
+
+}  // namespace cool::lp

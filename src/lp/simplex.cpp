@@ -1,0 +1,252 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace cool::lp {
+
+namespace {
+
+// Dense standard-form tableau:
+//   rows:     A x + slack/surplus/artificial = b, b >= 0
+//   basis[r]: column currently basic in row r
+//
+// The reduced-cost row is maintained incrementally across pivots. Pivoting
+// uses Dantzig's rule (steepest reduced cost) and falls back to Bland's rule
+// after a stretch of non-improving (degenerate) pivots, which guarantees
+// termination.
+class Tableau {
+ public:
+  Tableau(const Model& model, double tolerance)
+      : tol_(tolerance), structural_(model.variable_count()) {
+    struct RowSpec {
+      std::vector<Entry> entries;
+      double rhs;
+      Sense sense;
+    };
+    std::vector<RowSpec> specs;
+    specs.reserve(model.row_count());
+    for (const auto& row : model.rows()) {
+      RowSpec spec{row.entries, row.rhs, row.sense};
+      normalize(spec);
+      specs.push_back(std::move(spec));
+    }
+    for (std::size_t j = 0; j < model.variable_count(); ++j) {
+      const double ub = model.upper_bounds()[j];
+      if (!std::isfinite(ub)) continue;
+      specs.push_back(RowSpec{{{j, 1.0}}, ub, Sense::kLessEqual});
+    }
+
+    std::size_t slack_count = 0;
+    std::size_t artificial_count = 0;
+    for (const auto& spec : specs) {
+      if (spec.sense != Sense::kEqual) ++slack_count;
+      if (spec.sense != Sense::kLessEqual) ++artificial_count;
+    }
+
+    cols_ = structural_ + slack_count + artificial_count;
+    rows_ = specs.size();
+    a_.assign(rows_, std::vector<double>(cols_, 0.0));
+    b_.assign(rows_, 0.0);
+    basis_.assign(rows_, 0);
+    artificial_start_ = structural_ + slack_count;
+
+    std::size_t next_slack = structural_;
+    std::size_t next_artificial = artificial_start_;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const auto& spec = specs[r];
+      for (const auto& entry : spec.entries) a_[r][entry.column] += entry.coefficient;
+      b_[r] = spec.rhs;
+      switch (spec.sense) {
+        case Sense::kLessEqual:
+          a_[r][next_slack] = 1.0;
+          basis_[r] = next_slack++;
+          break;
+        case Sense::kGreaterEqual:
+          a_[r][next_slack] = -1.0;  // surplus
+          ++next_slack;
+          a_[r][next_artificial] = 1.0;
+          basis_[r] = next_artificial++;
+          break;
+        case Sense::kEqual:
+          a_[r][next_artificial] = 1.0;
+          basis_[r] = next_artificial++;
+          break;
+      }
+    }
+  }
+
+  // Phase 1: maximize -(sum of artificials). Returns false when infeasible
+  // or out of iterations.
+  bool phase1(std::size_t max_iterations) {
+    if (artificial_start_ == cols_) return true;
+    std::vector<double> c(cols_, 0.0);
+    for (std::size_t j = artificial_start_; j < cols_; ++j) c[j] = -1.0;
+    const SolveStatus status = optimize(c, max_iterations);
+    if (status == SolveStatus::kIterationLimit) return false;
+    double infeasibility = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r)
+      if (basis_[r] >= artificial_start_) infeasibility += b_[r];
+    if (infeasibility > 1e-7) return false;
+    // Drive degenerate artificials out of the basis where a structural or
+    // slack pivot exists; rows with no such pivot are redundant and harmless.
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (basis_[r] < artificial_start_) continue;
+      for (std::size_t j = 0; j < artificial_start_; ++j) {
+        if (std::abs(a_[r][j]) > tol_) {
+          pivot(r, j);
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  SolveStatus phase2(const std::vector<double>& objective,
+                     std::size_t max_iterations) {
+    std::vector<double> c(cols_, 0.0);
+    for (std::size_t j = 0; j < structural_ && j < objective.size(); ++j)
+      c[j] = objective[j];
+    return optimize(c, max_iterations, /*forbid_artificials=*/true);
+  }
+
+  std::vector<double> extract(std::size_t variable_count) const {
+    std::vector<double> x(variable_count, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r)
+      if (basis_[r] < variable_count) x[basis_[r]] = b_[r];
+    return x;
+  }
+
+ private:
+  static void normalize(auto& spec) {
+    if (spec.rhs >= 0.0) return;
+    for (auto& entry : spec.entries) entry.coefficient = -entry.coefficient;
+    spec.rhs = -spec.rhs;
+    if (spec.sense == Sense::kLessEqual) spec.sense = Sense::kGreaterEqual;
+    else if (spec.sense == Sense::kGreaterEqual) spec.sense = Sense::kLessEqual;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double pivot_value = a_[row][col];
+    for (double& v : a_[row]) v /= pivot_value;
+    b_[row] /= pivot_value;
+    a_[row][col] = 1.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == row) continue;
+      const double factor = a_[r][col];
+      if (std::abs(factor) <= 1e-13) {
+        a_[r][col] = 0.0;
+        continue;
+      }
+      const auto& prow = a_[row];
+      auto& arow = a_[r];
+      for (std::size_t j = 0; j < cols_; ++j) arow[j] -= factor * prow[j];
+      arow[col] = 0.0;
+      b_[r] -= factor * b_[row];
+      if (b_[r] < 0.0 && b_[r] > -tol_) b_[r] = 0.0;
+    }
+    basis_[row] = col;
+  }
+
+  SolveStatus optimize(const std::vector<double>& c, std::size_t max_iterations,
+                       bool forbid_artificials = false) {
+    const std::size_t scan_limit = forbid_artificials ? artificial_start_ : cols_;
+
+    // Reduced costs z_j = c_j − c_B·B⁻¹A_j, maintained across pivots.
+    std::vector<double> z(c.begin(), c.end());
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double cb = c[basis_[r]];
+      if (cb == 0.0) continue;
+      for (std::size_t j = 0; j < cols_; ++j) z[j] -= cb * a_[r][j];
+    }
+    double objective = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) objective += c[basis_[r]] * b_[r];
+
+    std::size_t stalled = 0;
+    const std::size_t bland_threshold = 2 * (rows_ + cols_);
+    for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+      // Entering column.
+      std::size_t entering = cols_;
+      if (stalled < bland_threshold) {
+        double best = tol_;
+        for (std::size_t j = 0; j < scan_limit; ++j) {
+          if (z[j] > best) {
+            best = z[j];
+            entering = j;
+          }
+        }
+      } else {
+        for (std::size_t j = 0; j < scan_limit; ++j) {
+          if (z[j] > tol_) {
+            entering = j;  // Bland: lowest improving index
+            break;
+          }
+        }
+      }
+      if (entering == cols_) return SolveStatus::kOptimal;
+
+      // Ratio test (Bland tie-break on basis index).
+      std::size_t leaving = rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if (a_[r][entering] > tol_) {
+          const double ratio = b_[r] / a_[r][entering];
+          if (ratio < best_ratio - tol_ ||
+              (ratio < best_ratio + tol_ &&
+               (leaving == rows_ || basis_[r] < basis_[leaving]))) {
+            best_ratio = std::min(best_ratio, ratio);
+            leaving = r;
+          }
+        }
+      }
+      if (leaving == rows_) return SolveStatus::kUnbounded;
+
+      const double gain = z[entering] * best_ratio;
+      stalled = gain > tol_ ? 0 : stalled + 1;
+      objective += gain;
+
+      pivot(leaving, entering);
+      // Update the reduced-cost row: z -= z[entering] * pivot_row.
+      const double ze = z[entering];
+      const auto& prow = a_[leaving];
+      for (std::size_t j = 0; j < cols_; ++j) z[j] -= ze * prow[j];
+      z[entering] = 0.0;
+    }
+    return SolveStatus::kIterationLimit;
+  }
+
+  double tol_;
+  std::size_t structural_;
+  std::size_t cols_ = 0;
+  std::size_t rows_ = 0;
+  std::size_t artificial_start_ = 0;
+  std::vector<std::vector<double>> a_;
+  std::vector<double> b_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+Solution solve(const Model& model, const SimplexOptions& options) {
+  Solution solution;
+  if (model.variable_count() == 0) {
+    solution.status = SolveStatus::kOptimal;
+    return solution;
+  }
+  Tableau tableau(model, options.tolerance);
+  if (!tableau.phase1(options.max_iterations)) {
+    solution.status = SolveStatus::kInfeasible;
+    return solution;
+  }
+  solution.status = tableau.phase2(model.objective(), options.max_iterations);
+  solution.x = tableau.extract(model.variable_count());
+  solution.objective = 0.0;
+  for (std::size_t j = 0; j < model.variable_count(); ++j)
+    solution.objective += model.objective()[j] * solution.x[j];
+  return solution;
+}
+
+}  // namespace cool::lp

@@ -1,0 +1,22 @@
+// Two-phase primal simplex (dense tableau, Bland's anti-cycling rule).
+//
+// Scope: the activation LPs in this repository are small-to-medium dense
+// problems (hundreds of variables, a few thousand rows), for which a plain
+// tableau is simple, predictable and fast enough. Finite upper bounds are
+// handled as explicit rows.
+#pragma once
+
+#include "lp/model.h"
+
+namespace cool::lp {
+
+struct SimplexOptions {
+  std::size_t max_iterations = 200000;
+  double tolerance = 1e-9;
+};
+
+// Solves max c·x s.t. rows, 0 <= x <= ub. Status kIterationLimit carries the
+// best feasible iterate found so far.
+Solution solve(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace cool::lp

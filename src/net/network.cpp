@@ -1,0 +1,142 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "geometry/deployment.h"
+
+namespace cool::net {
+
+Network::Network(std::vector<Sensor> sensors, std::vector<Target> targets,
+                 geom::Rect region)
+    : sensors_(std::move(sensors)), targets_(std::move(targets)),
+      region_(region) {
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    if (sensors_[i].sensing_radius < 0.0 || sensors_[i].comm_radius < 0.0)
+      throw std::invalid_argument("Network: negative radius");
+    sensors_[i].id = i;
+  }
+  for (std::size_t i = 0; i < targets_.size(); ++i) targets_[i].id = i;
+
+  covers_.resize(targets_.size());
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    for (std::size_t s = 0; s < sensors_.size(); ++s) {
+      const double r = sensors_[s].sensing_radius;
+      if (sensors_[s].position.distance2_to(targets_[t].position) <= r * r)
+        covers_[t].push_back(s);
+    }
+  }
+
+  neighbors_.resize(sensors_.size());
+  for (std::size_t a = 0; a < sensors_.size(); ++a) {
+    for (std::size_t b = a + 1; b < sensors_.size(); ++b) {
+      const double reach = std::min(sensors_[a].comm_radius, sensors_[b].comm_radius);
+      if (sensors_[a].position.distance2_to(sensors_[b].position) <= reach * reach) {
+        neighbors_[a].push_back(b);
+        neighbors_[b].push_back(a);
+      }
+    }
+  }
+}
+
+const std::vector<std::size_t>& Network::covering_sensors(std::size_t target) const {
+  if (target >= covers_.size()) throw std::out_of_range("Network::covering_sensors");
+  return covers_[target];
+}
+
+bool Network::covers(std::size_t sensor, std::size_t target) const {
+  const auto& list = covering_sensors(target);
+  return std::find(list.begin(), list.end(), sensor) != list.end();
+}
+
+std::vector<std::size_t> Network::uncovered_targets() const {
+  std::vector<std::size_t> out;
+  for (std::size_t t = 0; t < covers_.size(); ++t)
+    if (covers_[t].empty()) out.push_back(t);
+  return out;
+}
+
+const std::vector<std::size_t>& Network::neighbors(std::size_t sensor) const {
+  if (sensor >= neighbors_.size()) throw std::out_of_range("Network::neighbors");
+  return neighbors_[sensor];
+}
+
+std::vector<geom::Disk> Network::sensing_disks() const {
+  std::vector<geom::Disk> disks;
+  disks.reserve(sensors_.size());
+  for (const auto& s : sensors_) disks.emplace_back(s.position, s.sensing_radius);
+  return disks;
+}
+
+Network make_random_network(const NetworkConfig& config, util::Rng& rng) {
+  if (config.sensor_count == 0)
+    throw std::invalid_argument("make_random_network: no sensors");
+  const auto region = geom::Rect::square(config.region_side);
+
+  std::vector<geom::Vec2> positions;
+  switch (config.layout) {
+    case NetworkConfig::Layout::kUniform:
+      positions = geom::uniform_points(region, config.sensor_count, rng);
+      break;
+    case NetworkConfig::Layout::kGrid:
+      positions = geom::grid_points(region, config.sensor_count, 0.2, rng);
+      break;
+    case NetworkConfig::Layout::kClustered:
+      positions = geom::clustered_points(region, config.sensor_count,
+                                         config.clusters, config.cluster_spread, rng);
+      break;
+  }
+
+  const auto target_positions =
+      geom::uniform_points(region, config.target_count, rng);
+
+  if (config.ensure_coverage) {
+    // Pull the nearest not-yet-relocated sensor onto any uncovered target.
+    // Relocated sensors are pinned so a later target cannot steal a sensor
+    // that was just moved to cover an earlier one.
+    std::vector<std::uint8_t> pinned(positions.size(), 0);
+    // A relocation can strip a target that was covered natively, so sweep
+    // until quiescent (bounded by the sensor count: each pass pins one).
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const auto& tp : target_positions) {
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t nearest = positions.size();
+        bool covered = false;
+        for (std::size_t s = 0; s < positions.size(); ++s) {
+          const double d2 = positions[s].distance2_to(tp);
+          if (d2 <= config.sensing_radius * config.sensing_radius) {
+            covered = true;
+            break;
+          }
+          if (!pinned[s] && d2 < best) {
+            best = d2;
+            nearest = s;
+          }
+        }
+        if (!covered && nearest < positions.size()) {
+          positions[nearest] = tp;
+          pinned[nearest] = 1;
+          moved = true;
+        }
+      }
+    }
+  }
+
+  std::vector<Sensor> sensors;
+  sensors.reserve(config.sensor_count);
+  for (std::size_t i = 0; i < config.sensor_count; ++i)
+    sensors.push_back(Sensor{i, positions[i], config.sensing_radius,
+                             config.comm_radius});
+
+  std::vector<Target> targets;
+  targets.reserve(config.target_count);
+  for (std::size_t i = 0; i < config.target_count; ++i)
+    targets.push_back(Target{i, target_positions[i], 1.0});
+
+  return Network(std::move(sensors), std::move(targets), region);
+}
+
+}  // namespace cool::net

@@ -1,0 +1,39 @@
+#include "net/radio.h"
+
+#include <stdexcept>
+
+namespace cool::net {
+
+RadioEnergyModel::RadioEnergyModel(const RadioConfig& config) : config_(config) {
+  if (config.voltage_v <= 0.0 || config.bitrate_bps <= 0.0 ||
+      config.tx_current_a <= 0.0 || config.rx_current_a <= 0.0 ||
+      config.idle_listen_current_a < 0.0 || config.packet_bytes == 0)
+    throw std::invalid_argument("RadioEnergyModel: invalid config");
+}
+
+double RadioEnergyModel::packet_airtime_s() const noexcept {
+  return static_cast<double>(config_.packet_bytes) * 8.0 / config_.bitrate_bps;
+}
+
+double RadioEnergyModel::tx_energy_j() const noexcept {
+  return config_.voltage_v * config_.tx_current_a * packet_airtime_s();
+}
+
+double RadioEnergyModel::rx_energy_j() const noexcept {
+  return config_.voltage_v * config_.rx_current_a * packet_airtime_s();
+}
+
+double RadioEnergyModel::idle_energy_j(double seconds) const {
+  if (seconds < 0.0) throw std::invalid_argument("idle_energy_j: negative time");
+  return config_.voltage_v * config_.idle_listen_current_a * seconds;
+}
+
+double RadioEnergyModel::slot_energy_j(std::size_t tx_packets,
+                                       std::size_t relay_packets,
+                                       double listen_seconds) const {
+  return static_cast<double>(tx_packets) * tx_energy_j() +
+         static_cast<double>(relay_packets) * (tx_energy_j() + rx_energy_j()) +
+         idle_energy_j(listen_seconds);
+}
+
+}  // namespace cool::net

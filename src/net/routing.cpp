@@ -1,0 +1,97 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace cool::net {
+
+RoutingTree::RoutingTree(const Network& network, std::size_t sink) : sink_(sink) {
+  const std::size_t n = network.sensor_count();
+  if (sink >= n) throw std::out_of_range("RoutingTree: sink index");
+  parent_.assign(n, kNoParent);
+  depth_.assign(n, 0);
+  reachable_.assign(n, 0);
+
+  std::deque<std::size_t> queue;
+  queue.push_back(sink);
+  reachable_[sink] = 1;
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    ++reachable_count_;
+    for (const std::size_t v : network.neighbors(u)) {
+      if (reachable_[v]) continue;
+      reachable_[v] = 1;
+      parent_[v] = u;
+      depth_[v] = depth_[u] + 1;
+      queue.push_back(v);
+    }
+  }
+}
+
+bool RoutingTree::reachable(std::size_t sensor) const {
+  if (sensor >= reachable_.size()) throw std::out_of_range("RoutingTree::reachable");
+  return reachable_[sensor] != 0;
+}
+
+std::size_t RoutingTree::depth(std::size_t sensor) const {
+  if (!reachable(sensor)) throw std::runtime_error("RoutingTree: unreachable sensor");
+  return depth_[sensor];
+}
+
+std::size_t RoutingTree::parent(std::size_t sensor) const {
+  if (!reachable(sensor)) throw std::runtime_error("RoutingTree: unreachable sensor");
+  return parent_[sensor];
+}
+
+std::vector<std::size_t> RoutingTree::path_to_sink(std::size_t sensor) const {
+  if (!reachable(sensor)) throw std::runtime_error("RoutingTree: unreachable sensor");
+  std::vector<std::size_t> path{sensor};
+  std::size_t cur = sensor;
+  while (cur != sink_) {
+    cur = parent_[cur];
+    path.push_back(cur);
+  }
+  return path;
+}
+
+std::vector<std::size_t> RoutingTree::relay_load(
+    const std::vector<std::uint8_t>& active) const {
+  if (active.size() != reachable_.size())
+    throw std::invalid_argument("RoutingTree::relay_load: size mismatch");
+  std::vector<std::size_t> load(active.size(), 0);
+  for (std::size_t s = 0; s < active.size(); ++s) {
+    if (!active[s] || !reachable_[s] || s == sink_) continue;
+    // Every hop after the originator (excluding the sink receiving) relays.
+    std::size_t cur = parent_[s];
+    while (cur != sink_) {
+      ++load[cur];
+      cur = parent_[cur];
+    }
+  }
+  return load;
+}
+
+std::size_t choose_best_sink(const Network& network) {
+  const std::size_t n = network.sensor_count();
+  if (n == 0) throw std::invalid_argument("choose_best_sink: empty network");
+  std::size_t best = 0;
+  std::size_t best_reach = 0;
+  std::size_t best_total_depth = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const RoutingTree tree(network, s);
+    std::size_t total_depth = 0;
+    for (std::size_t v = 0; v < n; ++v)
+      if (tree.reachable(v)) total_depth += tree.depth(v);
+    if (tree.reachable_count() > best_reach ||
+        (tree.reachable_count() == best_reach && total_depth < best_total_depth)) {
+      best = s;
+      best_reach = tree.reachable_count();
+      best_total_depth = total_depth;
+    }
+  }
+  return best;
+}
+
+}  // namespace cool::net

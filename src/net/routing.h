@@ -1,0 +1,50 @@
+// Data-collection routing: a BFS (minimum-hop) tree rooted at the sink,
+// matching the paper's testbed setup of relay nodes funnelling readings to
+// a sink in the lab (Section VI-A).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.h"
+
+namespace cool::net {
+
+class RoutingTree {
+ public:
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  // Builds the minimum-hop tree over the communication graph, rooted at
+  // `sink` (a sensor index). Nodes outside the sink's component are marked
+  // unreachable.
+  RoutingTree(const Network& network, std::size_t sink);
+
+  std::size_t sink() const noexcept { return sink_; }
+  bool reachable(std::size_t sensor) const;
+  // Hop count to the sink (0 for the sink itself); throws if unreachable.
+  std::size_t depth(std::size_t sensor) const;
+  // Parent toward the sink; kNoParent for the sink; throws if unreachable.
+  std::size_t parent(std::size_t sensor) const;
+  // The path sensor -> ... -> sink (inclusive); throws if unreachable.
+  std::vector<std::size_t> path_to_sink(std::size_t sensor) const;
+  std::size_t reachable_count() const noexcept { return reachable_count_; }
+  // Total nodes in the underlying network (reachable or not).
+  std::size_t node_count() const noexcept { return reachable_.size(); }
+
+  // Packets each node forwards (not originates) when every sensor in
+  // `active` (indicator vector) originates one reading: relay load per node.
+  std::vector<std::size_t> relay_load(const std::vector<std::uint8_t>& active) const;
+
+ private:
+  std::size_t sink_;
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> depth_;
+  std::vector<std::uint8_t> reachable_;
+  std::size_t reachable_count_ = 0;
+};
+
+// Picks the most central reachable-maximizing sink: the sensor whose BFS
+// tree reaches the most nodes, ties broken by smaller total depth.
+std::size_t choose_best_sink(const Network& network);
+
+}  // namespace cool::net

@@ -1,0 +1,107 @@
+#include "proto/dissemination.h"
+
+#include <stdexcept>
+
+namespace cool::proto {
+
+ScheduleDissemination::ScheduleDissemination(const net::Network& network,
+                                             const net::RoutingTree& tree,
+                                             const LinkModel& links,
+                                             const net::RadioEnergyModel& radio,
+                                             DisseminationConfig config)
+    : network_(&network), tree_(&tree), links_(&links), radio_(&radio),
+      config_(config) {}
+
+bool ScheduleDissemination::reliable_hop(std::size_t from, std::size_t to,
+                                         util::Rng& rng,
+                                         DisseminationReport& report) const {
+  for (std::size_t attempt = 0; attempt <= config_.max_retransmissions; ++attempt) {
+    ++report.data_transmissions;
+    report.radio_energy_j += radio_->tx_energy_j();
+    if (!links_->try_deliver(from, to, rng)) continue;
+    report.radio_energy_j += radio_->rx_energy_j();
+    // Data arrived; the ack races back.
+    ++report.ack_transmissions;
+    report.radio_energy_j += radio_->tx_energy_j();
+    const bool ack_ok = !config_.lossy_acks || links_->try_deliver(to, from, rng);
+    if (ack_ok) {
+      report.radio_energy_j += radio_->rx_energy_j();
+      return true;
+    }
+    // Ack lost: the sender will retransmit, the receiver already has the
+    // data — the duplicate costs messages but the hop ultimately succeeds
+    // once any ack gets through; keep looping on the retransmission budget.
+    for (std::size_t extra = attempt + 1; extra <= config_.max_retransmissions;
+         ++extra) {
+      ++report.data_transmissions;
+      report.radio_energy_j += radio_->tx_energy_j();
+      // Receiver re-acks every duplicate it hears.
+      if (!links_->try_deliver(from, to, rng)) continue;
+      report.radio_energy_j += radio_->rx_energy_j();
+      ++report.ack_transmissions;
+      report.radio_energy_j += radio_->tx_energy_j();
+      if (links_->try_deliver(to, from, rng)) {
+        report.radio_energy_j += radio_->rx_energy_j();
+        return true;
+      }
+    }
+    // Budget exhausted while chasing the ack: the receiver *has* the data,
+    // so dissemination still succeeded for downstream purposes.
+    return true;
+  }
+  return false;
+}
+
+DisseminationReport ScheduleDissemination::disseminate(
+    const core::PeriodicSchedule& schedule, util::Rng& rng) const {
+  const std::size_t n = network_->sensor_count();
+  if (schedule.sensor_count() != n)
+    throw std::invalid_argument("ScheduleDissemination: schedule mismatch");
+
+  DisseminationReport report;
+  report.delivered.assign(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (schedule.active_count(v) == 0) continue;  // nothing to deliver
+    ++report.nodes_targeted;
+    if (!tree_->reachable(v)) {
+      ++report.nodes_unreachable;
+      continue;
+    }
+    if (v == tree_->sink()) {
+      report.delivered[v] = 1;  // the gateway knows its own schedule
+      ++report.nodes_delivered;
+      continue;
+    }
+    // Walk the sink -> v path (reverse of path_to_sink).
+    auto path = tree_->path_to_sink(v);
+    bool ok = true;
+    for (std::size_t i = path.size(); i-- > 1;) {
+      if (!reliable_hop(path[i], path[i - 1], rng, report)) {
+        ok = false;
+        ++report.hop_failures;
+        break;
+      }
+    }
+    if (ok) {
+      report.delivered[v] = 1;
+      ++report.nodes_delivered;
+    }
+  }
+  return report;
+}
+
+core::PeriodicSchedule ScheduleDissemination::effective_schedule(
+    const core::PeriodicSchedule& schedule, const DisseminationReport& report) {
+  if (report.delivered.size() != schedule.sensor_count())
+    throw std::invalid_argument("effective_schedule: report mismatch");
+  core::PeriodicSchedule effective(schedule.sensor_count(),
+                                   schedule.slots_per_period());
+  for (std::size_t v = 0; v < schedule.sensor_count(); ++v) {
+    if (!report.delivered[v]) continue;
+    for (std::size_t t = 0; t < schedule.slots_per_period(); ++t)
+      if (schedule.active(v, t)) effective.set_active(v, t);
+  }
+  return effective;
+}
+
+}  // namespace cool::proto

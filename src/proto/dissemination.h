@@ -1,0 +1,71 @@
+// Schedule dissemination: the gateway (sink) computed an activation
+// schedule; every mote needs its own (sensor, slot) assignment before the
+// working day starts. The testbed does this over the collection tree in
+// reverse — this module simulates that hop-by-hop unicast dissemination
+// over lossy links with per-hop ARQ (bounded retransmissions + acks),
+// reporting delivery coverage, message cost and radio energy, plus the
+// utility actually achieved when undelivered motes stay passive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.h"
+#include "net/network.h"
+#include "net/radio.h"
+#include "net/routing.h"
+#include "proto/link.h"
+#include "util/rng.h"
+
+namespace cool::proto {
+
+struct DisseminationConfig {
+  std::size_t max_retransmissions = 5;  // per hop, per message
+  // Acks travel the reverse link and can be lost too; a lost ack triggers a
+  // (spurious) retransmission, like real ARQ.
+  bool lossy_acks = true;
+};
+
+struct DisseminationReport {
+  std::size_t nodes_targeted = 0;    // nodes with at least one activation
+  std::size_t nodes_delivered = 0;   // received their assignment
+  std::size_t nodes_unreachable = 0; // outside the sink's tree
+  std::size_t data_transmissions = 0;
+  std::size_t ack_transmissions = 0;
+  std::size_t hop_failures = 0;      // hops that exhausted retransmissions
+  double radio_energy_j = 0.0;       // tx+rx energy across the fleet
+  // Per-node delivery flag, aligned with the network's sensors.
+  std::vector<std::uint8_t> delivered;
+};
+
+class ScheduleDissemination {
+ public:
+  ScheduleDissemination(const net::Network& network, const net::RoutingTree& tree,
+                        const LinkModel& links, const net::RadioEnergyModel& radio,
+                        DisseminationConfig config = {});
+
+  // Pushes each targeted node's assignment from the sink along the tree
+  // path. A node is delivered only if every hop of its path succeeds.
+  DisseminationReport disseminate(const core::PeriodicSchedule& schedule,
+                                  util::Rng& rng) const;
+
+  // The schedule that actually runs after dissemination: undelivered or
+  // unreachable nodes stay passive (they never learned their slots).
+  static core::PeriodicSchedule effective_schedule(
+      const core::PeriodicSchedule& schedule, const DisseminationReport& report);
+
+ private:
+  // One reliable-hop attempt; returns true when data + (if configured) ack
+  // both eventually succeed within the retransmission budget.
+  bool reliable_hop(std::size_t from, std::size_t to, util::Rng& rng,
+                    DisseminationReport& report) const;
+
+  const net::Network* network_;
+  const net::RoutingTree* tree_;
+  const LinkModel* links_;
+  const net::RadioEnergyModel* radio_;
+  DisseminationConfig config_;
+};
+
+}  // namespace cool::proto

@@ -1,0 +1,42 @@
+#include "proto/link.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cool::proto {
+
+LinkModel::LinkModel(const net::Network& network, const LinkModelConfig& config)
+    : network_(&network), config_(config) {
+  if (config.near_delivery <= 0.0 || config.near_delivery > 1.0 ||
+      config.edge_delivery < 0.0 || config.edge_delivery > config.near_delivery)
+    throw std::invalid_argument("LinkModel: bad delivery probabilities");
+  if (config.global_loss < 0.0 || config.global_loss >= 1.0)
+    throw std::invalid_argument("LinkModel: global loss outside [0, 1)");
+}
+
+double LinkModel::delivery_probability(std::size_t from, std::size_t to) const {
+  const auto& sensors = network_->sensors();
+  if (from >= sensors.size() || to >= sensors.size())
+    throw std::out_of_range("LinkModel: node index");
+  if (from == to) return 1.0;
+  const auto& neighbors = network_->neighbors(from);
+  if (std::find(neighbors.begin(), neighbors.end(), to) == neighbors.end())
+    return 0.0;
+  const double range = std::min(sensors[from].comm_radius, sensors[to].comm_radius);
+  const double d = sensors[from].position.distance_to(sensors[to].position);
+  const double frac = range <= 0.0 ? 1.0 : std::clamp(d / range, 0.0, 1.0);
+  // Flat at near_delivery until half range, then linear to edge_delivery.
+  const double base =
+      frac <= 0.5 ? config_.near_delivery
+                  : config_.near_delivery + (config_.edge_delivery -
+                                             config_.near_delivery) *
+                                                (frac - 0.5) / 0.5;
+  return base * (1.0 - config_.global_loss);
+}
+
+bool LinkModel::try_deliver(std::size_t from, std::size_t to,
+                            util::Rng& rng) const {
+  return rng.bernoulli(delivery_probability(from, to));
+}
+
+}  // namespace cool::proto

@@ -1,0 +1,74 @@
+#include "proto/timesync.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cool::proto {
+
+double TimeSyncReport::worst_slot_misalignment(double slot_minutes) const {
+  if (slot_minutes <= 0.0)
+    throw std::invalid_argument("worst_slot_misalignment: slot <= 0");
+  return max_error_ms / 1000.0 / 60.0 / slot_minutes;
+}
+
+TimeSyncSimulator::TimeSyncSimulator(const net::RoutingTree& tree,
+                                     TimeSyncConfig config, util::Rng rng)
+    : tree_(&tree), config_(config), rng_(std::move(rng)) {
+  if (config.drift_sigma_ppm < 0.0 || config.hop_jitter_ms < 0.0 ||
+      config.sync_interval_min <= 0.0)
+    throw std::invalid_argument("TimeSyncSimulator: bad config");
+}
+
+TimeSyncReport TimeSyncSimulator::run(std::size_t rounds) {
+  if (rounds == 0) throw std::invalid_argument("TimeSyncSimulator: zero rounds");
+
+  // Per-node fixed drift rates.
+  std::vector<std::size_t> reachable_nodes;
+  for (std::size_t v = 0; v < tree_->node_count(); ++v)
+    if (tree_->reachable(v)) reachable_nodes.push_back(v);
+
+  std::vector<double> drift_ppm(reachable_nodes.size());
+  for (auto& d : drift_ppm) d = rng_.normal(0.0, config_.drift_sigma_ppm);
+
+  TimeSyncReport report;
+  report.nodes.reserve(reachable_nodes.size());
+  std::vector<double> worst(reachable_nodes.size(), 0.0);
+
+  const double interval_ms = config_.sync_interval_min * 60.0 * 1000.0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < reachable_nodes.size(); ++i) {
+      const std::size_t v = reachable_nodes[i];
+      const std::size_t depth = tree_->depth(v);
+      // Flood error: sum of per-hop jitters (independent N(0, jitter)).
+      double flood_error_ms = 0.0;
+      for (std::size_t hop = 0; hop < depth; ++hop)
+        flood_error_ms += rng_.normal(0.0, config_.hop_jitter_ms);
+      // Drift between beacons: rate(ppm) x interval.
+      const double drift_ms = drift_ppm[i] * 1e-6 * interval_ms;
+      worst[i] = std::max(worst[i], std::abs(flood_error_ms + drift_ms));
+    }
+  }
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < reachable_nodes.size(); ++i) {
+    NodeClockError entry;
+    entry.node = reachable_nodes[i];
+    entry.depth = tree_->depth(reachable_nodes[i]);
+    entry.error_ms = worst[i];
+    report.nodes.push_back(entry);
+    report.max_error_ms = std::max(report.max_error_ms, worst[i]);
+    total += worst[i];
+  }
+  report.mean_error_ms =
+      report.nodes.empty() ? 0.0 : total / static_cast<double>(report.nodes.size());
+  return report;
+}
+
+double slot_overlap_fraction(double error_minutes, double slot_minutes) {
+  if (slot_minutes <= 0.0)
+    throw std::invalid_argument("slot_overlap_fraction: slot <= 0");
+  return std::max(0.0, 1.0 - std::abs(error_minutes) / slot_minutes);
+}
+
+}  // namespace cool::proto

@@ -1,0 +1,58 @@
+// Time synchronization: the paper assumes "all sensors have synchronized
+// clocks" (Section II-B). This module prices that assumption: crystal
+// clocks drift (tens of ppm), an FTSP-style beacon flood down the
+// collection tree re-aligns them, and residual error accumulates per hop.
+// The slot_overlap_fraction helper converts clock error into the coverage
+// fraction a misaligned node still contributes to its slot, which bounds
+// the utility cost of imperfect sync and sizes guard bands.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/routing.h"
+#include "util/rng.h"
+
+namespace cool::proto {
+
+struct TimeSyncConfig {
+  double drift_sigma_ppm = 40.0;      // per-node crystal drift, N(0, sigma)
+  double hop_jitter_ms = 1.5;         // per-hop timestamping error (std dev)
+  double sync_interval_min = 30.0;    // beacon period
+};
+
+struct NodeClockError {
+  std::size_t node = 0;
+  std::size_t depth = 0;              // hops from the sink
+  double error_ms = 0.0;              // absolute offset just before re-sync
+};
+
+struct TimeSyncReport {
+  std::vector<NodeClockError> nodes;  // reachable nodes only
+  double max_error_ms = 0.0;
+  double mean_error_ms = 0.0;
+  // Error at the worst node expressed as a fraction of a slot.
+  double worst_slot_misalignment(double slot_minutes) const;
+};
+
+class TimeSyncSimulator {
+ public:
+  TimeSyncSimulator(const net::RoutingTree& tree, TimeSyncConfig config,
+                    util::Rng rng);
+
+  // Simulates `rounds` sync intervals and returns the steady-state error
+  // profile: each node's worst-case offset right before the next beacon
+  // (drift accumulated over one interval plus the flood's per-hop jitter).
+  TimeSyncReport run(std::size_t rounds);
+
+ private:
+  const net::RoutingTree* tree_;
+  TimeSyncConfig config_;
+  util::Rng rng_;
+};
+
+// Fraction of its slot a node still covers when its clock is off by
+// `error_minutes` (both edges lose |error|): max(0, 1 − |e|/slot).
+double slot_overlap_fraction(double error_minutes, double slot_minutes);
+
+}  // namespace cool::proto

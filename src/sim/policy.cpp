@@ -1,0 +1,142 @@
+#include "sim/policy.h"
+
+#include <stdexcept>
+
+namespace cool::sim {
+
+SchedulePolicy::SchedulePolicy(core::PeriodicSchedule schedule)
+    : schedule_(std::move(schedule)) {}
+
+std::vector<std::size_t> SchedulePolicy::select(const FleetState& state) {
+  std::vector<std::size_t> out;
+  for (std::size_t v = 0; v < schedule_.sensor_count(); ++v)
+    if (schedule_.active_at(v, state.global_slot)) out.push_back(v);
+  return out;
+}
+
+OnlineGreedyPolicy::OnlineGreedyPolicy(
+    std::shared_ptr<const sub::SubmodularFunction> utility, double min_gain)
+    : utility_(std::move(utility)), min_gain_(min_gain) {
+  if (!utility_) throw std::invalid_argument("OnlineGreedyPolicy: null utility");
+}
+
+std::vector<std::size_t> OnlineGreedyPolicy::select(const FleetState& state) {
+  const std::size_t n = utility_->ground_size();
+  if (state.ready.size() != n)
+    throw std::invalid_argument("OnlineGreedyPolicy: fleet size mismatch");
+  std::vector<std::size_t> out;
+  const auto eval = utility_->make_state();
+  std::vector<std::uint8_t> taken(n, 0);
+  while (true) {
+    double best_gain = min_gain_;
+    std::size_t best = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (taken[v] || !state.ready[v]) continue;
+      const double gain = eval->marginal(v);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best == n) break;
+    taken[best] = 1;
+    eval->add(best);
+    out.push_back(best);
+  }
+  return out;
+}
+
+ScheduleRepairPolicy::ScheduleRepairPolicy(
+    core::PeriodicSchedule schedule,
+    std::shared_ptr<const sub::SubmodularFunction> utility,
+    double min_gain_fraction)
+    : schedule_(std::move(schedule)), utility_(std::move(utility)),
+      min_gain_fraction_(min_gain_fraction) {
+  if (!utility_) throw std::invalid_argument("ScheduleRepairPolicy: null utility");
+  if (utility_->ground_size() != schedule_.sensor_count())
+    throw std::invalid_argument("ScheduleRepairPolicy: utility/schedule mismatch");
+  if (min_gain_fraction < 0.0 || min_gain_fraction > 1.0)
+    throw std::invalid_argument(
+        "ScheduleRepairPolicy: min_gain_fraction outside [0, 1]");
+  pending_.assign(schedule_.sensor_count(), 0);
+}
+
+std::vector<std::size_t> ScheduleRepairPolicy::select(const FleetState& state) {
+  const std::size_t n = schedule_.sensor_count();
+  if (state.ready.size() != n)
+    throw std::invalid_argument("ScheduleRepairPolicy: fleet size mismatch");
+
+  // Scheduled-and-ready nodes run as planned; scheduled-but-unready nodes
+  // join the pending pool instead of burning a violation.
+  std::vector<std::size_t> out;
+  const auto eval = utility_->make_state();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!schedule_.active_at(v, state.global_slot)) continue;
+    if (state.ready[v]) {
+      out.push_back(v);
+      eval->add(v);
+    } else {
+      pending_[v] = 1;
+    }
+  }
+
+  // Re-dispatch pending nodes that recovered, if they still pull their
+  // weight on top of this slot's planned set.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!pending_[v] || !state.ready[v]) continue;
+    // Reference marginal: the node's gain in its own slot against that
+    // slot's planned set.
+    std::size_t home_slot = 0;
+    for (std::size_t t = 0; t < schedule_.slots_per_period(); ++t)
+      if (schedule_.active(v, t)) home_slot = t;
+    const auto reference_state = utility_->make_state();
+    for (const auto u : schedule_.active_set(home_slot))
+      if (u != v) reference_state->add(u);
+    const double reference = reference_state->marginal(v);
+    const double now = eval->marginal(v);
+    if (now >= min_gain_fraction_ * reference && now > 0.0) {
+      out.push_back(v);
+      eval->add(v);
+      pending_[v] = 0;
+    }
+  }
+  return out;
+}
+
+PartialChargePolicy::PartialChargePolicy(
+    std::shared_ptr<const sub::SubmodularFunction> utility, double min_soc,
+    double min_gain)
+    : utility_(std::move(utility)), min_soc_(min_soc), min_gain_(min_gain) {
+  if (!utility_) throw std::invalid_argument("PartialChargePolicy: null utility");
+  if (min_soc <= 0.0 || min_soc > 1.0)
+    throw std::invalid_argument("PartialChargePolicy: min_soc outside (0, 1]");
+}
+
+std::vector<std::size_t> PartialChargePolicy::select(const FleetState& state) {
+  const std::size_t n = utility_->ground_size();
+  if (state.soc.size() != n)
+    throw std::invalid_argument("PartialChargePolicy: fleet size mismatch");
+  std::vector<std::size_t> out;
+  const auto eval = utility_->make_state();
+  std::vector<std::uint8_t> taken(n, 0);
+  while (true) {
+    double best_score = min_gain_;
+    std::size_t best = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (taken[v] || state.soc[v] < min_soc_) continue;
+      // SoC-scaled gain: a half-charged node contributes ~half a slot.
+      const double score = eval->marginal(v) * state.soc[v];
+      if (score > best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+    if (best == n) break;
+    taken[best] = 1;
+    eval->add(best);
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace cool::sim

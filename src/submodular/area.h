@@ -1,0 +1,33 @@
+// Area-coverage utility over a disk arrangement (paper Eq. (2)):
+//   U(S) = Σ_i I_i(S) · w_i · |A_i|
+// where A_i are the subregions of Ω induced by all sensing disks and
+// I_i(S) = 1 iff some active sensor's disk contains A_i. Ground elements are
+// sensor (disk) indices of the Arrangement.
+#pragma once
+
+#include <memory>
+
+#include "geometry/arrangement.h"
+#include "submodular/function.h"
+
+namespace cool::sub {
+
+class AreaUtility final : public SubmodularFunction {
+ public:
+  // The arrangement must outlive this function (shared ownership keeps the
+  // common case safe: several per-slot evaluators over one arrangement).
+  explicit AreaUtility(std::shared_ptr<const geom::Arrangement> arrangement);
+
+  std::size_t ground_size() const override;
+  std::unique_ptr<EvalState> make_state() const override;
+  double max_value() const override;
+
+  const geom::Arrangement& arrangement() const noexcept { return *arrangement_; }
+
+ private:
+  std::shared_ptr<const geom::Arrangement> arrangement_;
+  // faces_of_[sensor] = indices of subregions whose signature contains it.
+  std::vector<std::vector<std::size_t>> faces_of_;
+};
+
+}  // namespace cool::sub

@@ -1,0 +1,123 @@
+#include "submodular/checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/strings.h"
+
+namespace cool::sub {
+
+namespace {
+
+// Random subset of [0, n) with inclusion probability `density`.
+std::vector<std::size_t> random_subset(std::size_t n, double density,
+                                       util::Rng& rng) {
+  std::vector<std::size_t> subset;
+  for (std::size_t e = 0; e < n; ++e)
+    if (rng.bernoulli(density)) subset.push_back(e);
+  return subset;
+}
+
+}  // namespace
+
+CheckReport check_submodular(const SubmodularFunction& fn, util::Rng& rng,
+                             std::size_t trials, double tolerance) {
+  CheckReport report;
+  const std::size_t n = fn.ground_size();
+
+  const double empty_value = fn.value({});
+  if (std::abs(empty_value) > tolerance) {
+    report.normalized = false;
+    report.violation = util::format("U(empty) = %.12g != 0", empty_value);
+  }
+
+  for (std::size_t trial = 0; trial < trials && report.ok(); ++trial) {
+    ++report.trials;
+    if (n == 0) break;
+    const double density = rng.uniform(0.05, 0.6);
+    // Build nested X ⊆ Y.
+    auto x = random_subset(n, density, rng);
+    auto y = x;
+    for (std::size_t e = 0; e < n; ++e)
+      if (rng.bernoulli(density * 0.5) &&
+          std::find(y.begin(), y.end(), e) == y.end())
+        y.push_back(e);
+    const auto e = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+
+    const double fx = fn.value(x);
+    const double fy = fn.value(y);
+    if (fx > fy + tolerance) {
+      report.monotone = false;
+      report.violation =
+          util::format("monotonicity: U(X)=%.12g > U(Y)=%.12g with X subset of Y", fx, fy);
+      break;
+    }
+
+    // Diminishing returns: U(X∪e) − U(X) >= U(Y∪e) − U(Y).
+    auto xe = x;
+    if (std::find(xe.begin(), xe.end(), e) == xe.end()) xe.push_back(e);
+    auto ye = y;
+    if (std::find(ye.begin(), ye.end(), e) == ye.end()) ye.push_back(e);
+    const double gain_x = fn.value(xe) - fx;
+    const double gain_y = fn.value(ye) - fy;
+    if (gain_x + tolerance < gain_y) {
+      report.submodular = false;
+      report.violation = util::format(
+          "diminishing returns: gain at X %.12g < gain at Y %.12g", gain_x, gain_y);
+      break;
+    }
+    if (gain_x < -tolerance) {
+      report.monotone = false;
+      report.violation = util::format("negative marginal %.12g", gain_x);
+      break;
+    }
+
+    // State consistency: marginal() must equal the value difference, and
+    // replaying X through add() must reproduce value(X).
+    const auto state = fn.make_state();
+    for (const auto elem : x) state->add(elem);
+    if (std::abs(state->value() - fx) > tolerance * (1.0 + std::abs(fx))) {
+      report.state_consistent = false;
+      report.violation = util::format("state value %.12g != value(X) %.12g",
+                                      state->value(), fx);
+      break;
+    }
+    const double reported = state->marginal(e);
+    if (std::abs(reported - gain_x) > tolerance * (1.0 + std::abs(gain_x))) {
+      report.state_consistent = false;
+      report.violation = util::format("state marginal %.12g != gain %.12g",
+                                      reported, gain_x);
+      break;
+    }
+  }
+  return report;
+}
+
+double greedy_guarantee_from_curvature(double curvature) noexcept {
+  const double c = std::min(1.0, std::max(0.0, curvature));
+  return 1.0 / (1.0 + c);
+}
+
+double estimate_curvature(const SubmodularFunction& fn) {
+  const std::size_t n = fn.ground_size();
+  if (n == 0) return 0.0;
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const double full = fn.value(all);
+  double min_ratio = 1.0;
+  for (std::size_t e = 0; e < n; ++e) {
+    const double singleton = fn.value(std::vector<std::size_t>{e});
+    if (singleton <= 0.0) continue;
+    std::vector<std::size_t> without;
+    without.reserve(n - 1);
+    for (std::size_t other = 0; other < n; ++other)
+      if (other != e) without.push_back(other);
+    const double drop = full - fn.value(without);
+    min_ratio = std::min(min_ratio, drop / singleton);
+  }
+  return 1.0 - min_ratio;
+}
+
+}  // namespace cool::sub

@@ -1,0 +1,45 @@
+// Randomized property checker: verifies on sampled set pairs that a
+// function satisfies the paper's three conditions (Section II-C):
+//   U(∅) = 0, monotone non-decreasing, diminishing returns.
+// Used by the test suite for every utility class, and available to users
+// validating custom utilities before handing them to a scheduler.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "submodular/function.h"
+#include "util/rng.h"
+
+namespace cool::sub {
+
+struct CheckReport {
+  bool normalized = true;       // U(∅) == 0
+  bool monotone = true;         // no sampled violation of monotonicity
+  bool submodular = true;       // no sampled violation of diminishing returns
+  bool state_consistent = true; // State marginals match value differences
+  std::size_t trials = 0;
+  std::string violation;        // human-readable description of first failure
+
+  bool ok() const noexcept {
+    return normalized && monotone && submodular && state_consistent;
+  }
+};
+
+// Runs `trials` random checks; tolerance absorbs floating-point noise.
+CheckReport check_submodular(const SubmodularFunction& fn, util::Rng& rng,
+                             std::size_t trials = 200, double tolerance = 1e-9);
+
+// Estimated total curvature c = 1 − min_e U(V) − U(V∖{e}) ⁄ U({e})
+// over elements with U({e}) > 0; c = 0 means modular, c → 1 means strongly
+// saturating. Reported by benches to characterize workloads.
+double estimate_curvature(const SubmodularFunction& fn);
+
+// Conforti–Cornuéjols refinement of the greedy guarantee over a partition
+// matroid (which is exactly the slot-assignment constraint of Algorithm 1):
+// greedy achieves at least 1/(1+c) of the optimum, where c is the total
+// curvature. c = 1 recovers the paper's 1/2; c = 0 (modular) means greedy
+// is optimal. Input clamped to [0, 1].
+double greedy_guarantee_from_curvature(double curvature) noexcept;
+
+}  // namespace cool::sub

@@ -1,0 +1,113 @@
+#include "submodular/combinators.h"
+
+#include <stdexcept>
+
+namespace cool::sub {
+
+namespace {
+
+class SumState final : public EvalState {
+ public:
+  SumState(const std::vector<WeightedSum::Term>* terms) : terms_(terms) {
+    children_.reserve(terms->size());
+    for (const auto& term : *terms) children_.push_back(term.fn->make_state());
+  }
+  SumState(const SumState& other) : terms_(other.terms_) {
+    children_.reserve(other.children_.size());
+    for (const auto& child : other.children_) children_.push_back(child->clone());
+  }
+
+  double marginal(std::size_t e) const override {
+    double gain = 0.0;
+    for (std::size_t k = 0; k < children_.size(); ++k)
+      gain += (*terms_)[k].coefficient * children_[k]->marginal(e);
+    return gain;
+  }
+  void add(std::size_t e) override {
+    for (auto& child : children_) child->add(e);
+  }
+  double value() const override {
+    double total = 0.0;
+    for (std::size_t k = 0; k < children_.size(); ++k)
+      total += (*terms_)[k].coefficient * children_[k]->value();
+    return total;
+  }
+  std::unique_ptr<EvalState> clone() const override {
+    return std::make_unique<SumState>(*this);
+  }
+
+ private:
+  const std::vector<WeightedSum::Term>* terms_;
+  std::vector<std::unique_ptr<EvalState>> children_;
+};
+
+class RestrictionState final : public EvalState {
+ public:
+  RestrictionState(std::unique_ptr<EvalState> inner,
+                   const std::vector<std::uint8_t>* allowed)
+      : inner_(std::move(inner)), allowed_(allowed) {}
+  RestrictionState(const RestrictionState& other)
+      : inner_(other.inner_->clone()), allowed_(other.allowed_) {}
+
+  double marginal(std::size_t e) const override {
+    if (e >= allowed_->size()) throw std::out_of_range("Restriction: element");
+    return (*allowed_)[e] ? inner_->marginal(e) : 0.0;
+  }
+  void add(std::size_t e) override {
+    if (e >= allowed_->size()) throw std::out_of_range("Restriction: element");
+    if ((*allowed_)[e]) inner_->add(e);
+  }
+  double value() const override { return inner_->value(); }
+  std::unique_ptr<EvalState> clone() const override {
+    return std::make_unique<RestrictionState>(*this);
+  }
+
+ private:
+  std::unique_ptr<EvalState> inner_;
+  const std::vector<std::uint8_t>* allowed_;
+};
+
+}  // namespace
+
+WeightedSum::WeightedSum(std::vector<Term> terms) : terms_(std::move(terms)) {
+  if (terms_.empty()) throw std::invalid_argument("WeightedSum: no terms");
+  const std::size_t ground = terms_.front().fn ? terms_.front().fn->ground_size() : 0;
+  for (const auto& term : terms_) {
+    if (!term.fn) throw std::invalid_argument("WeightedSum: null term");
+    if (term.coefficient < 0.0)
+      throw std::invalid_argument("WeightedSum: negative coefficient");
+    if (term.fn->ground_size() != ground)
+      throw std::invalid_argument("WeightedSum: mismatched ground sets");
+  }
+}
+
+std::size_t WeightedSum::ground_size() const { return terms_.front().fn->ground_size(); }
+
+std::unique_ptr<EvalState> WeightedSum::make_state() const {
+  return std::make_unique<SumState>(&terms_);
+}
+
+double WeightedSum::max_value() const {
+  double total = 0.0;
+  for (const auto& term : terms_) total += term.coefficient * term.fn->max_value();
+  return total;
+}
+
+Restriction::Restriction(std::shared_ptr<const SubmodularFunction> fn,
+                         std::vector<std::size_t> allowed)
+    : fn_(std::move(fn)), allowed_list_(std::move(allowed)) {
+  if (!fn_) throw std::invalid_argument("Restriction: null function");
+  allowed_.assign(fn_->ground_size(), 0);
+  for (const auto e : allowed_list_) {
+    if (e >= allowed_.size()) throw std::out_of_range("Restriction: allowed element");
+    allowed_[e] = 1;
+  }
+}
+
+std::unique_ptr<EvalState> Restriction::make_state() const {
+  return std::make_unique<RestrictionState>(fn_->make_state(), &allowed_);
+}
+
+double Restriction::max_value() const { return fn_->value(allowed_list_); }
+
+}  // namespace cool::sub

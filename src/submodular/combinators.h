@@ -1,0 +1,50 @@
+// Combinators: non-negative weighted sums and restrictions of submodular
+// functions are submodular; these build compound utilities (e.g. detection
+// targets plus an area term) without bespoke classes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "submodular/function.h"
+
+namespace cool::sub {
+
+// U(S) = Σ_k c_k · F_k(S), c_k >= 0, all F_k over the same ground set.
+class WeightedSum final : public SubmodularFunction {
+ public:
+  struct Term {
+    std::shared_ptr<const SubmodularFunction> fn;
+    double coefficient = 1.0;
+  };
+
+  explicit WeightedSum(std::vector<Term> terms);
+
+  std::size_t ground_size() const override;
+  std::unique_ptr<EvalState> make_state() const override;
+  double max_value() const override;
+
+ private:
+  std::vector<Term> terms_;
+};
+
+// U(S) = F(S ∩ allowed): restriction of F to a sub-ground-set; elements
+// outside `allowed` contribute nothing. This is exactly how the per-target
+// utility U_i(S ∩ V(O_i)) arises from a global function.
+class Restriction final : public SubmodularFunction {
+ public:
+  Restriction(std::shared_ptr<const SubmodularFunction> fn,
+              std::vector<std::size_t> allowed);
+
+  std::size_t ground_size() const override { return fn_->ground_size(); }
+  std::unique_ptr<EvalState> make_state() const override;
+  double max_value() const override;
+
+ private:
+  std::shared_ptr<const SubmodularFunction> fn_;
+  std::vector<std::uint8_t> allowed_;  // indicator over the ground set
+  std::vector<std::size_t> allowed_list_;
+};
+
+}  // namespace cool::sub

@@ -1,0 +1,78 @@
+#include "submodular/concave.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cool::sub {
+
+namespace {
+
+class ConcaveState final : public EvalState {
+ public:
+  ConcaveState(const std::vector<double>* w, const ConcaveOfModular::ConcaveFn* g)
+      : w_(w), g_(g), in_set_(w->size(), 0) {}
+
+  double marginal(std::size_t e) const override {
+    check(e);
+    if (in_set_[e]) return 0.0;
+    return (*g_)(sum_ + (*w_)[e]) - (*g_)(sum_);
+  }
+  void add(std::size_t e) override {
+    check(e);
+    if (in_set_[e]) return;
+    in_set_[e] = 1;
+    sum_ += (*w_)[e];
+  }
+  double value() const override { return (*g_)(sum_); }
+  std::unique_ptr<EvalState> clone() const override {
+    return std::make_unique<ConcaveState>(*this);
+  }
+
+ private:
+  void check(std::size_t e) const {
+    if (e >= in_set_.size()) throw std::out_of_range("ConcaveOfModular: element");
+  }
+  const std::vector<double>* w_;
+  const ConcaveOfModular::ConcaveFn* g_;
+  std::vector<std::uint8_t> in_set_;
+  double sum_ = 0.0;
+};
+
+}  // namespace
+
+ConcaveOfModular::ConcaveOfModular(std::vector<double> element_weights, ConcaveFn g)
+    : w_(std::move(element_weights)), g_(std::move(g)) {
+  if (!g_) throw std::invalid_argument("ConcaveOfModular: null function");
+  for (const double w : w_)
+    if (w < 0.0) throw std::invalid_argument("ConcaveOfModular: negative weight");
+}
+
+std::unique_ptr<EvalState> ConcaveOfModular::make_state() const {
+  return std::make_unique<ConcaveState>(&w_, &g_);
+}
+
+double ConcaveOfModular::max_value() const {
+  double sum = 0.0;
+  for (const double w : w_) sum += w;
+  return g_(sum);
+}
+
+ConcaveOfModular make_log_sum_utility(std::vector<double> element_weights) {
+  return ConcaveOfModular(std::move(element_weights),
+                          [](double x) { return std::log1p(x); });
+}
+
+ConcaveOfModular make_capped_sum_utility(std::vector<double> element_weights,
+                                         double cap) {
+  if (cap < 0.0) throw std::invalid_argument("make_capped_sum_utility: cap < 0");
+  return ConcaveOfModular(std::move(element_weights),
+                          [cap](double x) { return std::min(cap, x); });
+}
+
+ConcaveOfModular make_sqrt_sum_utility(std::vector<double> element_weights) {
+  return ConcaveOfModular(std::move(element_weights),
+                          [](double x) { return std::sqrt(x); });
+}
+
+}  // namespace cool::sub

@@ -1,0 +1,45 @@
+// Concave-of-modular utilities: U(S) = g(Σ_{e∈S} w_e) for a concave,
+// non-decreasing g with g(0) = 0. Submodular for any such g.
+//
+// LogSumUtility, U(S) = log(1 + Σ_{e∈S} I_e), is the gadget in the paper's
+// NP-hardness proof (Theorem 3.1: reduction from Subset-Sum); we ship it
+// both for tests of that reduction and as a realistic diminishing-returns
+// utility.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "submodular/function.h"
+
+namespace cool::sub {
+
+class ConcaveOfModular final : public SubmodularFunction {
+ public:
+  using ConcaveFn = std::function<double(double)>;
+
+  // `g` must be concave and non-decreasing on [0, Σw] with g(0) = 0; this is
+  // the caller's contract (the property checker in tests verifies instances).
+  ConcaveOfModular(std::vector<double> element_weights, ConcaveFn g);
+
+  std::size_t ground_size() const override { return w_.size(); }
+  std::unique_ptr<EvalState> make_state() const override;
+  double max_value() const override;
+
+ private:
+  std::vector<double> w_;
+  ConcaveFn g_;
+};
+
+// U(S) = log(1 + Σ I_e) with natural log; I_e >= 0.
+ConcaveOfModular make_log_sum_utility(std::vector<double> element_weights);
+
+// U(S) = min(cap, Σ w_e): budget-saturating utility.
+ConcaveOfModular make_capped_sum_utility(std::vector<double> element_weights,
+                                         double cap);
+
+// U(S) = sqrt(Σ w_e).
+ConcaveOfModular make_sqrt_sum_utility(std::vector<double> element_weights);
+
+}  // namespace cool::sub

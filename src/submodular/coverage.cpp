@@ -1,0 +1,137 @@
+#include "submodular/coverage.h"
+
+#include <stdexcept>
+
+namespace cool::sub {
+
+namespace {
+
+class CoverageState final : public EvalState {
+ public:
+  CoverageState(const std::vector<std::vector<std::size_t>>* covers,
+                const std::vector<double>* weights)
+      : covers_(covers), weights_(weights), item_covered_(weights->size(), 0),
+        in_set_(covers->size(), 0) {}
+
+  double marginal(std::size_t e) const override {
+    check(e);
+    if (in_set_[e]) return 0.0;
+    double gain = 0.0;
+    for (const auto item : (*covers_)[e])
+      if (!item_covered_[item]) gain += (*weights_)[item];
+    return gain;
+  }
+
+  void add(std::size_t e) override {
+    check(e);
+    if (in_set_[e]) return;
+    in_set_[e] = 1;
+    for (const auto item : (*covers_)[e]) {
+      if (!item_covered_[item]) {
+        item_covered_[item] = 1;
+        value_ += (*weights_)[item];
+      }
+    }
+  }
+
+  double value() const override { return value_; }
+
+  std::unique_ptr<EvalState> clone() const override {
+    return std::make_unique<CoverageState>(*this);
+  }
+
+ private:
+  void check(std::size_t e) const {
+    if (e >= in_set_.size()) throw std::out_of_range("WeightedCoverage: element");
+  }
+  const std::vector<std::vector<std::size_t>>* covers_;
+  const std::vector<double>* weights_;
+  std::vector<std::uint8_t> item_covered_;
+  std::vector<std::uint8_t> in_set_;
+  double value_ = 0.0;
+};
+
+class ModularState final : public EvalState {
+ public:
+  explicit ModularState(const std::vector<double>* w) : w_(w), in_set_(w->size(), 0) {}
+
+  double marginal(std::size_t e) const override {
+    check(e);
+    return in_set_[e] ? 0.0 : (*w_)[e];
+  }
+  void add(std::size_t e) override {
+    check(e);
+    if (in_set_[e]) return;
+    in_set_[e] = 1;
+    value_ += (*w_)[e];
+  }
+  double value() const override { return value_; }
+  std::unique_ptr<EvalState> clone() const override {
+    return std::make_unique<ModularState>(*this);
+  }
+
+ private:
+  void check(std::size_t e) const {
+    if (e >= in_set_.size()) throw std::out_of_range("Modular: element");
+  }
+  const std::vector<double>* w_;
+  std::vector<std::uint8_t> in_set_;
+  double value_ = 0.0;
+};
+
+}  // namespace
+
+WeightedCoverage::WeightedCoverage(std::size_t ground_size,
+                                   std::vector<std::vector<std::size_t>> covers,
+                                   std::vector<double> item_weights)
+    : covers_(std::move(covers)), weights_(std::move(item_weights)) {
+  if (covers_.size() != ground_size)
+    throw std::invalid_argument("WeightedCoverage: covers size != ground size");
+  for (const auto& items : covers_)
+    for (const auto item : items)
+      if (item >= weights_.size())
+        throw std::out_of_range("WeightedCoverage: item index");
+  for (const double w : weights_)
+    if (w < 0.0) throw std::invalid_argument("WeightedCoverage: negative item weight");
+}
+
+WeightedCoverage::WeightedCoverage(std::size_t ground_size,
+                                   std::vector<std::vector<std::size_t>> covers,
+                                   std::size_t item_count)
+    : WeightedCoverage(ground_size, std::move(covers),
+                       std::vector<double>(item_count, 1.0)) {}
+
+std::unique_ptr<EvalState> WeightedCoverage::make_state() const {
+  return std::make_unique<CoverageState>(&covers_, &weights_);
+}
+
+double WeightedCoverage::max_value() const {
+  std::vector<std::uint8_t> covered(weights_.size(), 0);
+  double total = 0.0;
+  for (const auto& items : covers_) {
+    for (const auto item : items) {
+      if (!covered[item]) {
+        covered[item] = 1;
+        total += weights_[item];
+      }
+    }
+  }
+  return total;
+}
+
+Modular::Modular(std::vector<double> element_weights) : w_(std::move(element_weights)) {
+  for (const double w : w_)
+    if (w < 0.0) throw std::invalid_argument("Modular: negative weight");
+}
+
+std::unique_ptr<EvalState> Modular::make_state() const {
+  return std::make_unique<ModularState>(&w_);
+}
+
+double Modular::max_value() const {
+  double total = 0.0;
+  for (const double w : w_) total += w;
+  return total;
+}
+
+}  // namespace cool::sub

@@ -1,0 +1,51 @@
+// Weighted-coverage utilities.
+//
+// WeightedCoverage is the classic max-cover objective: a universe of items
+// with weights, each ground element covering an item subset;
+// U(S) = Σ weight(item covered by some e ∈ S). Boolean multi-target
+// coverage ("target O_i is monitored by at least one active sensor") is the
+// special case with one item per target.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "submodular/function.h"
+
+namespace cool::sub {
+
+class WeightedCoverage final : public SubmodularFunction {
+ public:
+  // covers[e] = item indices covered by ground element e; weights[i] > 0.
+  WeightedCoverage(std::size_t ground_size, std::vector<std::vector<std::size_t>> covers,
+                   std::vector<double> item_weights);
+
+  // Unweighted convenience (all item weights 1).
+  WeightedCoverage(std::size_t ground_size, std::vector<std::vector<std::size_t>> covers,
+                   std::size_t item_count);
+
+  std::size_t ground_size() const override { return covers_.size(); }
+  std::size_t item_count() const noexcept { return weights_.size(); }
+  std::unique_ptr<EvalState> make_state() const override;
+  double max_value() const override;
+
+ private:
+  std::vector<std::vector<std::size_t>> covers_;
+  std::vector<double> weights_;
+};
+
+// Modular (additive) function U(S) = Σ_{e∈S} w_e — the degenerate
+// submodular case; useful in tests and as an LP objective term.
+class Modular final : public SubmodularFunction {
+ public:
+  explicit Modular(std::vector<double> element_weights);
+
+  std::size_t ground_size() const override { return w_.size(); }
+  std::unique_ptr<EvalState> make_state() const override;
+  double max_value() const override;
+
+ private:
+  std::vector<double> w_;
+};
+
+}  // namespace cool::sub

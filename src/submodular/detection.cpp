@@ -1,0 +1,156 @@
+#include "submodular/detection.h"
+
+#include <stdexcept>
+
+namespace cool::sub {
+
+namespace {
+
+class SingleState final : public EvalState {
+ public:
+  explicit SingleState(const std::vector<double>* p) : p_(p), in_set_(p->size(), 0) {}
+
+  double marginal(std::size_t e) const override {
+    check(e);
+    if (in_set_[e]) return 0.0;
+    return miss_ * (*p_)[e];
+  }
+
+  void add(std::size_t e) override {
+    check(e);
+    if (in_set_[e]) return;
+    in_set_[e] = 1;
+    miss_ *= 1.0 - (*p_)[e];
+  }
+
+  double value() const override { return 1.0 - miss_; }
+
+  std::unique_ptr<EvalState> clone() const override {
+    return std::make_unique<SingleState>(*this);
+  }
+
+ private:
+  void check(std::size_t e) const {
+    if (e >= in_set_.size()) throw std::out_of_range("DetectionUtility: element");
+  }
+  const std::vector<double>* p_;
+  std::vector<std::uint8_t> in_set_;
+  double miss_ = 1.0;  // Π (1 − p_j) over the current set
+};
+
+class MultiState final : public EvalState {
+ public:
+  MultiState(const std::vector<MultiTargetDetectionUtility::Target>* targets,
+             const std::vector<std::vector<std::pair<std::size_t, double>>>* by_sensor)
+      : targets_(targets),
+        by_sensor_(by_sensor),
+        miss_(targets->size(), 1.0),
+        in_set_(by_sensor->size(), 0) {}
+
+  double marginal(std::size_t e) const override {
+    check(e);
+    if (in_set_[e]) return 0.0;
+    double gain = 0.0;
+    for (const auto& [target, p] : (*by_sensor_)[e])
+      gain += (*targets_)[target].weight * miss_[target] * p;
+    return gain;
+  }
+
+  void add(std::size_t e) override {
+    check(e);
+    if (in_set_[e]) return;
+    in_set_[e] = 1;
+    for (const auto& [target, p] : (*by_sensor_)[e]) miss_[target] *= 1.0 - p;
+  }
+
+  double value() const override {
+    double total = 0.0;
+    for (std::size_t i = 0; i < miss_.size(); ++i)
+      total += (*targets_)[i].weight * (1.0 - miss_[i]);
+    return total;
+  }
+
+  std::unique_ptr<EvalState> clone() const override {
+    return std::make_unique<MultiState>(*this);
+  }
+
+ private:
+  void check(std::size_t e) const {
+    if (e >= in_set_.size())
+      throw std::out_of_range("MultiTargetDetectionUtility: element");
+  }
+  const std::vector<MultiTargetDetectionUtility::Target>* targets_;
+  const std::vector<std::vector<std::pair<std::size_t, double>>>* by_sensor_;
+  std::vector<double> miss_;          // per-target Π (1 − p)
+  std::vector<std::uint8_t> in_set_;
+};
+
+void validate_probability(double p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("detection probability outside [0, 1]");
+}
+
+}  // namespace
+
+DetectionUtility::DetectionUtility(std::vector<double> probabilities)
+    : p_(std::move(probabilities)) {
+  for (const double p : p_) validate_probability(p);
+}
+
+std::unique_ptr<EvalState> DetectionUtility::make_state() const {
+  return std::make_unique<SingleState>(&p_);
+}
+
+double DetectionUtility::max_value() const {
+  double miss = 1.0;
+  for (const double p : p_) miss *= 1.0 - p;
+  return 1.0 - miss;
+}
+
+MultiTargetDetectionUtility::MultiTargetDetectionUtility(std::size_t sensor_count,
+                                                         std::vector<Target> targets)
+    : sensor_count_(sensor_count),
+      targets_(std::move(targets)),
+      by_sensor_(sensor_count) {
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    const auto& target = targets_[i];
+    if (target.weight <= 0.0)
+      throw std::invalid_argument("MultiTargetDetectionUtility: weight <= 0");
+    for (const auto& [sensor, p] : target.detectors) {
+      if (sensor >= sensor_count_)
+        throw std::out_of_range("MultiTargetDetectionUtility: sensor index");
+      validate_probability(p);
+      by_sensor_[sensor].emplace_back(i, p);
+    }
+  }
+}
+
+MultiTargetDetectionUtility MultiTargetDetectionUtility::uniform(
+    std::size_t sensor_count, const std::vector<std::vector<std::size_t>>& covers,
+    double p) {
+  std::vector<Target> targets;
+  targets.reserve(covers.size());
+  for (const auto& sensors : covers) {
+    Target t;
+    t.detectors.reserve(sensors.size());
+    for (const auto s : sensors) t.detectors.emplace_back(s, p);
+    targets.push_back(std::move(t));
+  }
+  return MultiTargetDetectionUtility(sensor_count, std::move(targets));
+}
+
+std::unique_ptr<EvalState> MultiTargetDetectionUtility::make_state() const {
+  return std::make_unique<MultiState>(&targets_, &by_sensor_);
+}
+
+double MultiTargetDetectionUtility::max_value() const {
+  double total = 0.0;
+  for (const auto& target : targets_) {
+    double miss = 1.0;
+    for (const auto& [_, p] : target.detectors) miss *= 1.0 - p;
+    total += target.weight * (1.0 - miss);
+  }
+  return total;
+}
+
+}  // namespace cool::sub

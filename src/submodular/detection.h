@@ -1,0 +1,67 @@
+// Detection-probability utilities (the paper's running example):
+//   U_i(S) = 1 − Π_{v_j ∈ S ∩ V(O_i)} (1 − p_j)
+// i.e. the probability that at least one active sensor covering target O_i
+// detects an event there. The multi-target overall utility is the symmetric
+// sum Σ_i U_i (Eq. (1)), optionally with per-target importance weights.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "submodular/function.h"
+
+namespace cool::sub {
+
+// Single-target detection utility: element j detects with probability p[j]
+// (p[j] = 0 models "sensor j does not cover this target").
+class DetectionUtility final : public SubmodularFunction {
+ public:
+  explicit DetectionUtility(std::vector<double> probabilities);
+
+  std::size_t ground_size() const override { return p_.size(); }
+  std::unique_ptr<EvalState> make_state() const override;
+  double max_value() const override;
+
+  const std::vector<double>& probabilities() const noexcept { return p_; }
+
+ private:
+  std::vector<double> p_;
+};
+
+// Multi-target detection utility over one shared sensor ground set:
+//   U(S) = Σ_i w_i · (1 − Π_{j ∈ S ∩ cover_i} (1 − p_{ij})).
+//
+// Per-target coverage lists make marginal queries O(#targets covered by the
+// sensor) instead of O(m).
+class MultiTargetDetectionUtility final : public SubmodularFunction {
+ public:
+  struct Target {
+    // (sensor index, detection probability) for every covering sensor.
+    std::vector<std::pair<std::size_t, double>> detectors;
+    double weight = 1.0;
+  };
+
+  MultiTargetDetectionUtility(std::size_t sensor_count, std::vector<Target> targets);
+
+  // Uniform detection probability p for every (sensor, target) pair in the
+  // coverage relation `covers[i]` = sensors covering target i. This is the
+  // paper's evaluation setup with p = 0.4.
+  static MultiTargetDetectionUtility uniform(
+      std::size_t sensor_count,
+      const std::vector<std::vector<std::size_t>>& covers, double p);
+
+  std::size_t ground_size() const override { return sensor_count_; }
+  std::size_t target_count() const noexcept { return targets_.size(); }
+  std::unique_ptr<EvalState> make_state() const override;
+  double max_value() const override;
+
+  const std::vector<Target>& targets() const noexcept { return targets_; }
+
+ private:
+  std::size_t sensor_count_;
+  std::vector<Target> targets_;
+  // sensor -> list of (target index, probability) it participates in.
+  std::vector<std::vector<std::pair<std::size_t, double>>> by_sensor_;
+};
+
+}  // namespace cool::sub

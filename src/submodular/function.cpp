@@ -1,0 +1,24 @@
+#include "submodular/function.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace cool::sub {
+
+double SubmodularFunction::value(std::span<const std::size_t> set) const {
+  const auto state = make_state();
+  for (const auto e : set) {
+    if (e >= ground_size())
+      throw std::out_of_range("SubmodularFunction::value: element out of range");
+    state->add(e);
+  }
+  return state->value();
+}
+
+double SubmodularFunction::max_value() const {
+  std::vector<std::size_t> all(ground_size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return value(all);
+}
+
+}  // namespace cool::sub

@@ -1,0 +1,64 @@
+// Submodular set-function interface.
+//
+// The paper assumes each target's utility U_i() is a non-decreasing
+// submodular function with U_i(∅) = 0 (Section II-C) and the per-slot
+// objective Σ_i U_i(S(O_i, t)) is therefore submodular too. Every utility
+// in this library implements the interface below.
+//
+// Design: greedy scheduling needs *many* marginal-gain queries against a
+// growing set, so the interface is built around an incremental evaluation
+// State rather than from-scratch value(S) calls:
+//
+//   auto state = fn.make_state();         // represents S = ∅
+//   double gain = state->marginal(e);     // U(S ∪ {e}) − U(S), S unchanged
+//   state->add(e);                        // S ← S ∪ {e}
+//
+// value(S) is provided for tests and one-shot evaluation and is implemented
+// on top of State by default.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace cool::sub {
+
+// Incremental evaluator positioned at some set S (initially ∅).
+class EvalState {
+ public:
+  virtual ~EvalState() = default;
+
+  // U(S ∪ {element}) − U(S). Must not mutate the state. Adding an element
+  // already in S must return 0 (idempotence of sets).
+  virtual double marginal(std::size_t element) const = 0;
+
+  // S ← S ∪ {element}. Adding a member twice is a no-op.
+  virtual void add(std::size_t element) = 0;
+
+  // U(S).
+  virtual double value() const = 0;
+
+  // Deep copy (used by the exhaustive scheduler's backtracking search).
+  virtual std::unique_ptr<EvalState> clone() const = 0;
+};
+
+class SubmodularFunction {
+ public:
+  virtual ~SubmodularFunction() = default;
+
+  // Size of the ground set; valid elements are [0, ground_size()).
+  virtual std::size_t ground_size() const = 0;
+
+  // Fresh evaluator at S = ∅.
+  virtual std::unique_ptr<EvalState> make_state() const = 0;
+
+  // U(S) for an explicit set (elements may repeat; repeats are ignored).
+  virtual double value(std::span<const std::size_t> set) const;
+
+  // An upper bound on U over the whole ground set: U(V). Used for
+  // normalizations and the paper's utility upper bound.
+  virtual double max_value() const;
+};
+
+}  // namespace cool::sub

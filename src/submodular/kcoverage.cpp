@@ -1,0 +1,101 @@
+#include "submodular/kcoverage.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cool::sub {
+
+namespace {
+
+class KState final : public EvalState {
+ public:
+  KState(const std::vector<KCoverageUtility::Target>* targets,
+         const std::vector<std::vector<std::size_t>>* by_sensor,
+         std::size_t sensor_count)
+      : targets_(targets), by_sensor_(by_sensor),
+        count_(targets->size(), 0), in_set_(sensor_count, 0) {}
+
+  double marginal(std::size_t e) const override {
+    check(e);
+    if (in_set_[e]) return 0.0;
+    double gain = 0.0;
+    for (const auto j : (*by_sensor_)[e]) {
+      const auto& target = (*targets_)[j];
+      if (count_[j] < target.k)
+        gain += target.weight / static_cast<double>(target.k);
+    }
+    return gain;
+  }
+
+  void add(std::size_t e) override {
+    check(e);
+    if (in_set_[e]) return;
+    in_set_[e] = 1;
+    for (const auto j : (*by_sensor_)[e]) {
+      const auto& target = (*targets_)[j];
+      if (count_[j] < target.k)
+        value_ += target.weight / static_cast<double>(target.k);
+      ++count_[j];
+    }
+  }
+
+  double value() const override { return value_; }
+
+  std::unique_ptr<EvalState> clone() const override {
+    return std::make_unique<KState>(*this);
+  }
+
+ private:
+  void check(std::size_t e) const {
+    if (e >= in_set_.size()) throw std::out_of_range("KCoverageUtility: element");
+  }
+  const std::vector<KCoverageUtility::Target>* targets_;
+  const std::vector<std::vector<std::size_t>>* by_sensor_;
+  std::vector<std::size_t> count_;
+  std::vector<std::uint8_t> in_set_;
+  double value_ = 0.0;
+};
+
+}  // namespace
+
+KCoverageUtility::KCoverageUtility(std::size_t sensor_count,
+                                   std::vector<Target> targets)
+    : sensor_count_(sensor_count), targets_(std::move(targets)),
+      by_sensor_(sensor_count) {
+  for (std::size_t j = 0; j < targets_.size(); ++j) {
+    const auto& target = targets_[j];
+    if (target.k == 0) throw std::invalid_argument("KCoverageUtility: k = 0");
+    if (target.weight <= 0.0)
+      throw std::invalid_argument("KCoverageUtility: weight <= 0");
+    for (const auto s : target.observers) {
+      if (s >= sensor_count_)
+        throw std::out_of_range("KCoverageUtility: sensor index");
+      by_sensor_[s].push_back(j);
+    }
+  }
+}
+
+KCoverageUtility KCoverageUtility::uniform(
+    std::size_t sensor_count, const std::vector<std::vector<std::size_t>>& covers,
+    std::size_t k) {
+  std::vector<Target> targets;
+  targets.reserve(covers.size());
+  for (const auto& observers : covers)
+    targets.push_back(Target{observers, k, 1.0});
+  return KCoverageUtility(sensor_count, std::move(targets));
+}
+
+std::unique_ptr<EvalState> KCoverageUtility::make_state() const {
+  return std::make_unique<KState>(&targets_, &by_sensor_, sensor_count_);
+}
+
+double KCoverageUtility::max_value() const {
+  double total = 0.0;
+  for (const auto& target : targets_)
+    total += target.weight *
+             std::min(1.0, static_cast<double>(target.observers.size()) /
+                               static_cast<double>(target.k));
+  return total;
+}
+
+}  // namespace cool::sub

@@ -1,0 +1,44 @@
+// k-coverage utility: a target is fully served only when at least k active
+// sensors observe it (triangulation, voting against false alarms); partial
+// credit accrues linearly below k:
+//   U_i(S) = w_i · min(|S ∩ V(O_i)|, k_i) / k_i.
+// Concave in the coverage count, hence monotone submodular — the paper's
+// framework covers it unchanged, and the greedy guarantee carries over.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "submodular/function.h"
+
+namespace cool::sub {
+
+class KCoverageUtility final : public SubmodularFunction {
+ public:
+  struct Target {
+    std::vector<std::size_t> observers;  // sensors that can see this target
+    std::size_t k = 1;                   // required observer count (>= 1)
+    double weight = 1.0;
+  };
+
+  KCoverageUtility(std::size_t sensor_count, std::vector<Target> targets);
+
+  // Uniform k and weight over a coverage relation.
+  static KCoverageUtility uniform(std::size_t sensor_count,
+                                  const std::vector<std::vector<std::size_t>>& covers,
+                                  std::size_t k);
+
+  std::size_t ground_size() const override { return sensor_count_; }
+  std::size_t target_count() const noexcept { return targets_.size(); }
+  std::unique_ptr<EvalState> make_state() const override;
+  double max_value() const override;
+
+  const std::vector<Target>& targets() const noexcept { return targets_; }
+
+ private:
+  std::size_t sensor_count_;
+  std::vector<Target> targets_;
+  std::vector<std::vector<std::size_t>> by_sensor_;  // sensor -> target ids
+};
+
+}  // namespace cool::sub

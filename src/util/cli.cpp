@@ -1,0 +1,66 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cool::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" unless the next token is itself a flag (then boolean).
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[body] = "true";
+    }
+  }
+  for (const auto& [name, _] : flags_) consumed_[name] = false;
+}
+
+std::optional<std::string> Cli::get(const std::string& name) {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& def) {
+  return get(name).value_or(def);
+}
+
+long long Cli::get_int(const std::string& name, long long def) {
+  const auto v = get(name);
+  return v ? parse_int(*v) : def;
+}
+
+double Cli::get_double(const std::string& name, double def) {
+  const auto v = get(name);
+  return v ? parse_double(*v) : def;
+}
+
+bool Cli::get_flag(const std::string& name) {
+  const auto v = get(name);
+  if (!v) return false;
+  const auto lowered = to_lower(*v);
+  return lowered != "false" && lowered != "0" && lowered != "no";
+}
+
+void Cli::finish() const {
+  for (const auto& [name, used] : consumed_)
+    if (!used) throw std::invalid_argument("unknown flag: --" + name);
+}
+
+}  // namespace cool::util

@@ -1,0 +1,41 @@
+// Tiny command-line flag parser for the examples and benches.
+//
+//   cool::util::Cli cli(argc, argv);
+//   const int n = cli.get_int("sensors", 100);
+//   const double p = cli.get_double("p", 0.4);
+//   cli.finish();   // rejects unknown flags
+//
+// Accepted syntax: --name=value, --name value, and boolean --name.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cool::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  std::optional<std::string> get(const std::string& name);
+  std::string get_string(const std::string& name, const std::string& def);
+  long long get_int(const std::string& name, long long def);
+  double get_double(const std::string& name, double def);
+  bool get_flag(const std::string& name);  // true if present (bare or =true)
+
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  // Throws std::invalid_argument if any flag was never queried — catches
+  // typos like --sensor instead of --sensors.
+  void finish() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cool::util

@@ -1,0 +1,144 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cool::util {
+
+void CsvWriter::put(std::string_view raw) {
+  const bool needs_quote = raw.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) {
+    *out_ << raw;
+    return;
+  }
+  *out_ << '"';
+  for (const char c : raw) {
+    if (c == '"') *out_ << '"';
+    *out_ << c;
+  }
+  *out_ << '"';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (row_open_) throw std::logic_error("CsvWriter: write_row while a row is open");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    put(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+CsvWriter& CsvWriter::cell(std::string_view value) {
+  if (row_open_) *out_ << ',';
+  row_open_ = true;
+  put(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) { return cell(format("%.9g", value)); }
+
+CsvWriter& CsvWriter::cell(long long value) { return cell(format("%lld", value)); }
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  row_open_ = false;
+}
+
+std::size_t CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  throw std::out_of_range("CsvTable: no column named '" + std::string(name) + "'");
+}
+
+namespace {
+
+// Parses one record starting at `pos`; returns false at end of input.
+bool parse_record(const std::string& text, std::size_t& pos,
+                  std::vector<std::string>& cells) {
+  cells.clear();
+  if (pos >= text.size()) return false;
+  std::string cell;
+  bool quoted = false;
+  while (pos <= text.size()) {
+    if (pos == text.size()) {
+      cells.push_back(std::move(cell));
+      ++pos;
+      return true;
+    }
+    const char c = text[pos];
+    if (quoted) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          cell += '"';
+          pos += 2;
+        } else {
+          quoted = false;
+          ++pos;
+        }
+      } else {
+        cell += c;
+        ++pos;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        quoted = true;
+        ++pos;
+        break;
+      case ',':
+        cells.push_back(std::move(cell));
+        cell.clear();
+        ++pos;
+        break;
+      case '\r':
+        ++pos;
+        break;
+      case '\n':
+        cells.push_back(std::move(cell));
+        ++pos;
+        return true;
+      default:
+        cell += c;
+        ++pos;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+CsvTable read_csv(std::istream& in, bool has_header) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  CsvTable table;
+  std::size_t pos = 0;
+  std::vector<std::string> cells;
+  bool first = true;
+  while (parse_record(text, pos, cells)) {
+    if (cells.size() == 1 && cells[0].empty()) continue;  // skip blank lines
+    if (first && has_header) {
+      table.header = cells;
+      first = false;
+      continue;
+    }
+    first = false;
+    table.rows.push_back(cells);
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(in, has_header);
+}
+
+}  // namespace cool::util

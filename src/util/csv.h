@@ -1,0 +1,47 @@
+// Minimal CSV reader/writer for traces and bench outputs.
+//
+// Supports RFC-4180-style quoting on read; writes quote only when needed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cool::util {
+
+class CsvWriter {
+ public:
+  // Writes to the given stream, which must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  CsvWriter& cell(std::string_view value);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(long long value);
+  CsvWriter& cell(std::size_t value) { return cell(static_cast<long long>(value)); }
+  CsvWriter& cell(int value) { return cell(static_cast<long long>(value)); }
+  // Terminates the current row started with cell().
+  void end_row();
+
+ private:
+  void put(std::string_view raw);
+  std::ostream* out_;
+  bool row_open_ = false;
+};
+
+struct CsvTable {
+  std::vector<std::string> header;            // empty when has_header=false
+  std::vector<std::vector<std::string>> rows;
+
+  // Column index by header name; throws if absent.
+  std::size_t column(std::string_view name) const;
+};
+
+// Parses the whole stream. Handles quoted cells with embedded commas,
+// quotes ("") and newlines.
+CsvTable read_csv(std::istream& in, bool has_header);
+CsvTable read_csv_file(const std::string& path, bool has_header);
+
+}  // namespace cool::util

@@ -1,0 +1,66 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cool::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (buckets == 0) throw std::invalid_argument("Histogram: need at least one bucket");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bucket_lo");
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bucket_hi");
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = counts_[i] * width / peak;
+    std::snprintf(line, sizeof line, "[%10.4f, %10.4f) %8zu ", bucket_lo(i),
+                  bucket_hi(i), counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof line, "underflow %zu\n", underflow_);
+    out += line;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof line, "overflow %zu\n", overflow_);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace cool::util

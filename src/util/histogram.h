@@ -1,0 +1,38 @@
+// Fixed-width histogram for distribution reporting in benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cool::util {
+
+class Histogram {
+ public:
+  // Buckets cover [lo, hi) split into `buckets` equal cells, with two
+  // overflow cells for values below lo / at-or-above hi.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  // Multi-line ASCII rendering, one row per non-empty bucket.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cool::util

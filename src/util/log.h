@@ -1,0 +1,22 @@
+// Leveled logging. Off-by-default below `warn` so bench output stays clean;
+// examples flip to `info` with --verbose.
+#pragma once
+
+#include <string>
+
+namespace cool::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+// Logs to stderr as "[level] message" when `level` >= the global threshold.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace cool::util

@@ -1,0 +1,50 @@
+// Streaming statistics used by benches and by the simulator's metric sinks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cool::util {
+
+// Welford online accumulator: numerically stable mean/variance plus extrema.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const Accumulator& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double mean() const noexcept;          // 0 when empty
+  double variance() const noexcept;      // sample variance, 0 when count < 2
+  double stddev() const noexcept;
+  double min() const noexcept;           // +inf when empty
+  double max() const noexcept;           // -inf when empty
+  double sum() const noexcept { return mean() * static_cast<double>(count_); }
+  // Half-width of the ~95% normal confidence interval for the mean.
+  double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample by linear interpolation; q in [0, 1].
+// Copies and sorts; intended for end-of-run reporting, not hot paths.
+double percentile(std::span<const double> sample, double q);
+
+double mean(std::span<const double> sample);
+double stddev(std::span<const double> sample);
+
+// Least-squares slope/intercept of y over x. Requires equal non-empty sizes.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace cool::util

@@ -1,0 +1,23 @@
+// Small string helpers shared by the CSV layer, CLI parsing and reporting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cool::util {
+
+std::vector<std::string> split(std::string_view text, char delim);
+std::string_view trim(std::string_view text);
+std::string to_lower(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// Parses a decimal double/int; throws std::invalid_argument with the
+// offending text on failure (strtod-style partial parses are rejected).
+double parse_double(std::string_view text);
+long long parse_int(std::string_view text);
+
+// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace cool::util

@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cool::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("Table: row width != header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::row_values(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) cells.push_back(format("%.*f", precision, v));
+  return row(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += cells[c];
+      out.append(width[c] - cells[c].size(), ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  std::string out;
+  emit(header_, out);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) rule += width[c] + (c > 0 ? 2 : 0);
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& r : rows_) emit(r, out);
+  return out;
+}
+
+void Table::print(std::ostream& out) const { out << render(); }
+
+}  // namespace cool::util

@@ -1,0 +1,30 @@
+// Aligned plain-text table printer: every bench prints its figure/table
+// through this so outputs share one format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cool::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  Table& row_values(const std::vector<double>& values, int precision = 4);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  // Renders with column alignment and a header rule.
+  std::string render() const;
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cool::util

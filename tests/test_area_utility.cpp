@@ -1,0 +1,94 @@
+#include "submodular/area.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "geometry/deployment.h"
+#include "util/rng.h"
+
+namespace cool::sub {
+namespace {
+
+std::shared_ptr<const geom::Arrangement> two_disk_arrangement() {
+  const geom::Rect region = geom::Rect::square(10.0);
+  const std::vector<geom::Disk> disks{geom::Disk({4.0, 5.0}, 1.5),
+                                      geom::Disk({6.0, 5.0}, 1.5)};
+  return std::make_shared<geom::Arrangement>(region, disks, 512);
+}
+
+TEST(AreaUtility, EmptySetIsZero) {
+  const AreaUtility fn(two_disk_arrangement());
+  EXPECT_DOUBLE_EQ(fn.value({}), 0.0);
+  EXPECT_EQ(fn.ground_size(), 2u);
+}
+
+TEST(AreaUtility, SingleDiskEqualsItsCoveredArea) {
+  const auto arr = two_disk_arrangement();
+  const AreaUtility fn(arr);
+  std::vector<std::uint8_t> only_a{1, 0};
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0}),
+              arr->covered_weighted_area(only_a), 1e-9);
+}
+
+TEST(AreaUtility, UnionSubadditivity) {
+  const AreaUtility fn(two_disk_arrangement());
+  const double a = fn.value(std::vector<std::size_t>{0});
+  const double b = fn.value(std::vector<std::size_t>{1});
+  const double both = fn.value(std::vector<std::size_t>{0, 1});
+  EXPECT_LT(both, a + b);       // the lens is counted once
+  EXPECT_GT(both, std::max(a, b));
+  EXPECT_NEAR(fn.max_value(), both, 1e-9);
+}
+
+TEST(AreaUtility, MarginalShrinksWithContext) {
+  const AreaUtility fn(two_disk_arrangement());
+  const auto state = fn.make_state();
+  const double gain_alone = state->marginal(1);
+  state->add(0);
+  const double gain_after = state->marginal(1);
+  EXPECT_LT(gain_after, gain_alone);
+  EXPECT_GT(gain_after, 0.0);
+}
+
+TEST(AreaUtility, WeightsAffectNewStatesOnly) {
+  const geom::Rect region = geom::Rect::square(10.0);
+  const std::vector<geom::Disk> disks{geom::Disk({5.0, 5.0}, 1.0)};
+  auto arr = std::make_shared<geom::Arrangement>(region, disks, 128);
+  const AreaUtility fn(arr);
+  const double base = fn.value(std::vector<std::size_t>{0});
+  arr->set_weights(std::vector<double>(arr->subregions().size(), 3.0));
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0}), 3.0 * base, 1e-9);
+}
+
+TEST(AreaUtility, NullArrangementThrows) {
+  EXPECT_THROW(AreaUtility(nullptr), std::invalid_argument);
+}
+
+TEST(AreaUtility, CloneIndependence) {
+  const AreaUtility fn(two_disk_arrangement());
+  const auto a = fn.make_state();
+  a->add(0);
+  const auto b = a->clone();
+  b->add(1);
+  EXPECT_LT(a->value(), b->value());
+}
+
+TEST(AreaUtility, RandomInstanceMatchesArrangementQueries) {
+  util::Rng rng(5);
+  const geom::Rect region = geom::Rect::square(50.0);
+  const auto centers = geom::uniform_points(region, 12, rng);
+  const auto disks = geom::disks_at(centers, 10.0);
+  auto arr = std::make_shared<geom::Arrangement>(region, disks, 256);
+  const AreaUtility fn(arr);
+  std::vector<std::uint8_t> mask(12, 0);
+  std::vector<std::size_t> set;
+  for (const std::size_t v : {1u, 4u, 7u, 9u}) {
+    mask[v] = 1;
+    set.push_back(v);
+  }
+  EXPECT_NEAR(fn.value(set), arr->covered_weighted_area(mask), 1e-9);
+}
+
+}  // namespace
+}  // namespace cool::sub

@@ -1,0 +1,149 @@
+#include "geometry/arrangement.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "geometry/deployment.h"
+#include "util/rng.h"
+
+namespace cool::geom {
+namespace {
+
+TEST(CoverSignature, SetTestCount) {
+  CoverSignature sig(130);  // spans three 64-bit words
+  EXPECT_TRUE(sig.empty());
+  sig.set(0);
+  sig.set(64);
+  sig.set(129);
+  EXPECT_TRUE(sig.test(64));
+  EXPECT_FALSE(sig.test(63));
+  EXPECT_EQ(sig.count(), 3u);
+  EXPECT_FALSE(sig.empty());
+  EXPECT_EQ(sig.members(), (std::vector<std::size_t>{0, 64, 129}));
+  EXPECT_THROW(sig.set(130), std::out_of_range);
+  EXPECT_THROW(sig.test(200), std::out_of_range);
+}
+
+TEST(CoverSignature, IntersectsActiveMask) {
+  CoverSignature sig(10);
+  sig.set(3);
+  sig.set(7);
+  std::vector<std::uint8_t> active(10, 0);
+  EXPECT_FALSE(sig.intersects(active));
+  active[7] = 1;
+  EXPECT_TRUE(sig.intersects(active));
+}
+
+TEST(CoverSignature, EqualityAndHash) {
+  CoverSignature a(10), b(10);
+  a.set(2);
+  b.set(2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(5);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arrangement, SingleDiskAreaConverges) {
+  const Rect region = Rect::square(10.0);
+  const std::vector<Disk> disks{Disk({5.0, 5.0}, 2.0)};
+  const Arrangement arr(region, disks, 512);
+  ASSERT_EQ(arr.subregions().size(), 1u);
+  EXPECT_NEAR(arr.total_covered_area(), std::numbers::pi * 4.0, 0.05);
+}
+
+TEST(Arrangement, TwoOverlappingDisksMakeThreeFaces) {
+  const Rect region = Rect::square(10.0);
+  const std::vector<Disk> disks{Disk({4.0, 5.0}, 1.5), Disk({6.0, 5.0}, 1.5)};
+  const Arrangement arr(region, disks, 512);
+  EXPECT_EQ(arr.subregions().size(), 3u);  // A-only, B-only, lens
+  // The lens face area matches the closed form.
+  double lens_area = 0.0;
+  for (const auto& face : arr.subregions())
+    if (face.covered_by.count() == 2) lens_area = face.area;
+  EXPECT_NEAR(lens_area, Disk::intersection_area(disks[0], disks[1]), 0.05);
+}
+
+TEST(Arrangement, DisjointDisksMakeTwoFaces) {
+  const Rect region = Rect::square(20.0);
+  const std::vector<Disk> disks{Disk({4.0, 4.0}, 1.0), Disk({15.0, 15.0}, 2.0)};
+  const Arrangement arr(region, disks, 256);
+  EXPECT_EQ(arr.subregions().size(), 2u);
+}
+
+TEST(Arrangement, CoveredWeightedAreaByActiveSet) {
+  const Rect region = Rect::square(10.0);
+  const std::vector<Disk> disks{Disk({4.0, 5.0}, 1.5), Disk({6.0, 5.0}, 1.5)};
+  const Arrangement arr(region, disks, 512);
+  std::vector<std::uint8_t> none(2, 0);
+  EXPECT_DOUBLE_EQ(arr.covered_weighted_area(none), 0.0);
+  std::vector<std::uint8_t> only_a{1, 0};
+  EXPECT_NEAR(arr.covered_weighted_area(only_a), disks[0].area(), 0.06);
+  std::vector<std::uint8_t> both{1, 1};
+  const double union_area =
+      disks[0].area() + disks[1].area() -
+      Disk::intersection_area(disks[0], disks[1]);
+  EXPECT_NEAR(arr.covered_weighted_area(both), union_area, 0.08);
+  // Activating both equals max utility with unit weights.
+  EXPECT_DOUBLE_EQ(arr.covered_weighted_area(both), arr.max_utility());
+}
+
+TEST(Arrangement, ActiveSizeMismatchThrows) {
+  const Rect region = Rect::square(10.0);
+  const Arrangement arr(region, {Disk({5.0, 5.0}, 1.0)}, 64);
+  std::vector<std::uint8_t> wrong(3, 1);
+  EXPECT_THROW(arr.covered_weighted_area(wrong), std::invalid_argument);
+}
+
+TEST(Arrangement, WeightsScaleUtility) {
+  const Rect region = Rect::square(10.0);
+  const std::vector<Disk> disks{Disk({5.0, 5.0}, 1.0)};
+  Arrangement arr(region, disks, 128);
+  const double base = arr.max_utility();
+  arr.set_weights(std::vector<double>(arr.subregions().size(), 2.0));
+  EXPECT_NEAR(arr.max_utility(), 2.0 * base, 1e-9);
+  EXPECT_THROW(arr.set_weights({}), std::invalid_argument);
+  EXPECT_THROW(arr.set_weights(std::vector<double>(arr.subregions().size(), -1.0)),
+               std::invalid_argument);
+}
+
+TEST(Arrangement, WeightsByPreferenceFunction) {
+  const Rect region = Rect::square(10.0);
+  const std::vector<Disk> disks{Disk({2.0, 5.0}, 1.0), Disk({8.0, 5.0}, 1.0)};
+  Arrangement arr(region, disks, 256);
+  // Left half twice as important.
+  arr.set_weights_by([](Vec2 p) { return p.x < 5.0 ? 2.0 : 1.0; });
+  std::vector<std::uint8_t> left{1, 0}, right{0, 1};
+  EXPECT_GT(arr.covered_weighted_area(left), arr.covered_weighted_area(right));
+  EXPECT_NEAR(arr.covered_weighted_area(left),
+              2.0 * arr.covered_weighted_area(right), 0.2);
+}
+
+TEST(Arrangement, SubregionCountIsPolynomialForRandomDisks) {
+  // Paper Fig 3: n convex regions subdivide Ω into O(n^2) faces.
+  util::Rng rng(99);
+  const Rect region = Rect::square(100.0);
+  const auto centers = uniform_points(region, 20, rng);
+  const auto disks = disks_at(centers, 20.0);
+  const Arrangement arr(region, disks, 256);
+  EXPECT_GT(arr.subregions().size(), 20u);   // overlaps create extra faces
+  EXPECT_LE(arr.subregions().size(), 20u * 20u + 1u);
+}
+
+TEST(Arrangement, ValidationErrors) {
+  const Rect region = Rect::square(10.0);
+  EXPECT_THROW(Arrangement(region, {}, 4), std::invalid_argument);  // res < 8
+}
+
+TEST(Arrangement, SamplePointIsInsideItsFaces) {
+  const Rect region = Rect::square(10.0);
+  const std::vector<Disk> disks{Disk({4.0, 5.0}, 1.5), Disk({6.0, 5.0}, 1.5)};
+  const Arrangement arr(region, disks, 256);
+  for (const auto& face : arr.subregions())
+    for (const auto d : face.covered_by.members())
+      EXPECT_TRUE(disks[d].contains(face.sample_point));
+}
+
+}  // namespace
+}  // namespace cool::geom

@@ -1,0 +1,82 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "submodular/detection.h"
+
+namespace cool::core {
+namespace {
+
+std::shared_ptr<const sub::SubmodularFunction> detect(std::size_t n, double p) {
+  return std::make_shared<sub::DetectionUtility>(std::vector<double>(n, p));
+}
+
+TEST(RandomScheduler, FeasibleBothCases) {
+  util::Rng rng(1);
+  const Problem gt(detect(20, 0.4), 4, 1, true);
+  EXPECT_TRUE(RandomScheduler().schedule(gt, rng).feasible(gt));
+  const Problem le(detect(20, 0.4), 4, 1, false);
+  const auto s = RandomScheduler().schedule(le, rng);
+  EXPECT_TRUE(s.feasible(le));
+  for (std::size_t v = 0; v < 20; ++v) EXPECT_EQ(s.active_count(v), 3u);
+}
+
+TEST(RandomScheduler, DifferentSeedsGiveDifferentSchedules) {
+  const Problem problem(detect(30, 0.4), 4, 1, true);
+  util::Rng a(1), b(2);
+  const auto sa = RandomScheduler().schedule(problem, a);
+  const auto sb = RandomScheduler().schedule(problem, b);
+  bool differs = false;
+  for (std::size_t v = 0; v < 30 && !differs; ++v)
+    for (std::size_t t = 0; t < 4; ++t)
+      if (sa.active(v, t) != sb.active(v, t)) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(RoundRobinScheduler, BalancedCountsRhoGreaterOne) {
+  const Problem problem(detect(8, 0.4), 4, 1, true);
+  const auto s = RoundRobinScheduler().schedule(problem);
+  EXPECT_TRUE(s.feasible(problem));
+  for (std::size_t t = 0; t < 4; ++t)
+    EXPECT_EQ(s.active_set(t).size(), 2u);
+}
+
+TEST(RoundRobinScheduler, RhoLessEqualOnePassiveRotation) {
+  const Problem problem(detect(4, 0.4), 4, 1, false);
+  const auto s = RoundRobinScheduler().schedule(problem);
+  EXPECT_TRUE(s.feasible(problem));
+  // Sensor v is passive exactly in slot v.
+  for (std::size_t v = 0; v < 4; ++v) EXPECT_FALSE(s.active(v, v));
+}
+
+TEST(Baselines, GreedyDominatesRandomOnAverage) {
+  // Heterogeneous sensors: greedy must beat the mean random schedule.
+  std::vector<double> probs;
+  for (int i = 0; i < 16; ++i) probs.push_back(0.05 + 0.05 * (i % 10));
+  const Problem problem(std::make_shared<sub::DetectionUtility>(probs), 4, 1, true);
+  const double greedy_u =
+      evaluate(problem, GreedyScheduler().schedule(problem).schedule).total_utility;
+  util::Rng rng(3);
+  double random_sum = 0.0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i)
+    random_sum +=
+        evaluate(problem, RandomScheduler().schedule(problem, rng)).total_utility;
+  EXPECT_GT(greedy_u, random_sum / trials);
+}
+
+TEST(Baselines, RoundRobinIsOptimalForIdenticalSensors) {
+  const Problem problem(detect(12, 0.4), 4, 1, true);
+  const double rr =
+      evaluate(problem, RoundRobinScheduler().schedule(problem)).total_utility;
+  const double greedy =
+      evaluate(problem, GreedyScheduler().schedule(problem).schedule).total_utility;
+  EXPECT_NEAR(rr, greedy, 1e-9);  // both perfectly balanced
+}
+
+}  // namespace
+}  // namespace cool::core

@@ -1,0 +1,89 @@
+#include "energy/battery.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::energy {
+namespace {
+
+TEST(Battery, StartsEmpty) {
+  const Battery b(100.0);
+  EXPECT_DOUBLE_EQ(b.capacity(), 100.0);
+  EXPECT_DOUBLE_EQ(b.level(), 0.0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.full());
+}
+
+TEST(Battery, ChargeClampsAtCapacity) {
+  Battery b(100.0);
+  EXPECT_DOUBLE_EQ(b.charge(60.0), 60.0);
+  EXPECT_DOUBLE_EQ(b.charge(60.0), 40.0);  // only 40 fits
+  EXPECT_TRUE(b.full());
+  EXPECT_DOUBLE_EQ(b.charge(10.0), 0.0);
+}
+
+TEST(Battery, DischargeClampsAtZero) {
+  Battery b(100.0);
+  b.charge(50.0);
+  EXPECT_DOUBLE_EQ(b.discharge(30.0), 30.0);
+  EXPECT_DOUBLE_EQ(b.discharge(30.0), 20.0);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Battery, SocFraction) {
+  Battery b(200.0);
+  b.charge(50.0);
+  EXPECT_DOUBLE_EQ(b.soc(), 0.25);
+}
+
+TEST(Battery, SetLevelValidation) {
+  Battery b(100.0);
+  b.set_level(70.0);
+  EXPECT_DOUBLE_EQ(b.level(), 70.0);
+  EXPECT_THROW(b.set_level(-1.0), std::invalid_argument);
+  EXPECT_THROW(b.set_level(101.0), std::invalid_argument);
+}
+
+TEST(Battery, NegativeEnergyThrows) {
+  Battery b(100.0);
+  EXPECT_THROW(b.charge(-1.0), std::invalid_argument);
+  EXPECT_THROW(b.discharge(-1.0), std::invalid_argument);
+}
+
+TEST(Battery, InvalidCapacityThrows) {
+  EXPECT_THROW(Battery(0.0), std::invalid_argument);
+  EXPECT_THROW(Battery(-5.0), std::invalid_argument);
+}
+
+TEST(Battery, VoltageMonotoneInSoc) {
+  Battery b(100.0);
+  double prev = -1.0;
+  for (int pct = 0; pct <= 100; pct += 5) {
+    b.set_level(static_cast<double>(pct));
+    EXPECT_GE(b.voltage(), prev);
+    prev = b.voltage();
+  }
+}
+
+TEST(Battery, VoltagePlateauInMidRange) {
+  // The Fig 7 observation: voltage barely moves across the charging bulk.
+  Battery b(100.0);
+  b.set_level(20.0);
+  const double v20 = b.voltage();
+  b.set_level(80.0);
+  const double v80 = b.voltage();
+  EXPECT_LT(v80 - v20, 0.2);  // plateau: < 0.2 V swing over 60% SoC
+  b.set_level(0.0);
+  const double v0 = b.voltage();
+  EXPECT_GT(v20 - v0, 0.2);   // steep rise out of empty
+}
+
+TEST(Battery, VoltageRange) {
+  Battery b(10.0);
+  b.set_level(0.0);
+  EXPECT_NEAR(b.voltage(), 2.20, 1e-9);
+  b.set_level(10.0);
+  EXPECT_NEAR(b.voltage(), 2.90, 1e-9);
+}
+
+}  // namespace
+}  // namespace cool::energy

@@ -1,0 +1,84 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace cool::core {
+namespace {
+
+TEST(Bounds, PaperHeadlineFormula) {
+  // §VI-B formula: Ū = 1 − (1−p)^⌈n/T⌉ with n = 100, T = 4, p = 0.4.
+  // (The paper prints 0.999380, which does not equal its own formula at
+  // ⌈100/4⌉ = 25 — see EXPERIMENTS.md; we pin the formula itself.)
+  const double bound = single_target_upper_bound(100, 4, 0.4);
+  EXPECT_NEAR(bound, 1.0 - std::pow(0.6, 25.0), 1e-12);
+  EXPECT_GT(bound, 0.999380);  // at least as strong as the printed value
+}
+
+TEST(Bounds, CeilingDivision) {
+  // n = 5, T = 4 -> ⌈5/4⌉ = 2 sensors per slot.
+  EXPECT_NEAR(single_target_upper_bound(5, 4, 0.4), 1.0 - 0.36, 1e-12);
+  EXPECT_NEAR(single_target_upper_bound(4, 4, 0.4), 0.4, 1e-12);
+}
+
+TEST(Bounds, EdgeCases) {
+  EXPECT_DOUBLE_EQ(single_target_upper_bound(0, 4, 0.4), 0.0);
+  EXPECT_DOUBLE_EQ(single_target_upper_bound(10, 4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(single_target_upper_bound(10, 4, 1.0), 1.0);
+  EXPECT_THROW(single_target_upper_bound(10, 0, 0.4), std::invalid_argument);
+  EXPECT_THROW(single_target_upper_bound(10, 4, 1.5), std::invalid_argument);
+}
+
+TEST(Bounds, MultiTargetGeneralizesSingle) {
+  // One target covered by all sensors reduces to the single-target formula.
+  std::vector<std::size_t> all{0, 1, 2, 3, 4, 5, 6};
+  const auto utility = sub::MultiTargetDetectionUtility::uniform(7, {all}, 0.4);
+  EXPECT_NEAR(detection_balanced_upper_bound(utility, 4),
+              single_target_upper_bound(7, 4, 0.4), 1e-12);
+}
+
+TEST(Bounds, MultiTargetSumsPerTarget) {
+  const auto utility =
+      sub::MultiTargetDetectionUtility::uniform(6, {{0, 1, 2}, {3, 4, 5}}, 0.4);
+  EXPECT_NEAR(detection_balanced_upper_bound(utility, 3),
+              2.0 * single_target_upper_bound(3, 3, 0.4), 1e-12);
+}
+
+TEST(Bounds, UncoveredTargetContributesNothing) {
+  const auto utility = sub::MultiTargetDetectionUtility::uniform(3, {{}, {0}}, 0.4);
+  EXPECT_NEAR(detection_balanced_upper_bound(utility, 4), 0.4, 1e-12);
+}
+
+TEST(Bounds, BoundDominatesAchievedUtility) {
+  // Property: for random instances the greedy's per-slot average per target
+  // never exceeds the balanced upper bound.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    net::NetworkConfig config;
+    config.sensor_count = 40;
+    config.target_count = 4;
+    util::Rng rng(seed);
+    const auto network = net::make_random_network(config, rng);
+    auto utility = std::make_shared<sub::MultiTargetDetectionUtility>(
+        sub::MultiTargetDetectionUtility::uniform(40, network.coverage(), 0.4));
+    const Problem problem(utility, 4, 1, true);
+    const auto schedule = GreedyScheduler().schedule(problem).schedule;
+    const double achieved = evaluate(problem, schedule).per_slot_average;
+    const double bound = detection_balanced_upper_bound(*utility, 4);
+    EXPECT_LE(achieved, bound + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Bounds, Validation) {
+  const auto utility = sub::MultiTargetDetectionUtility::uniform(2, {{0}}, 0.4);
+  EXPECT_THROW(detection_balanced_upper_bound(utility, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::core

@@ -1,0 +1,103 @@
+#include "core/branch_and_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/evaluator.h"
+#include "core/exhaustive.h"
+#include "core/greedy.h"
+#include "net/network.h"
+#include "submodular/detection.h"
+#include "util/rng.h"
+
+namespace cool::core {
+namespace {
+
+std::shared_ptr<const sub::SubmodularFunction> detect(std::vector<double> p) {
+  return std::make_shared<sub::DetectionUtility>(std::move(p));
+}
+
+Problem random_instance(std::size_t n, std::size_t m, std::size_t T,
+                        std::uint64_t seed) {
+  net::NetworkConfig config;
+  config.sensor_count = n;
+  config.target_count = m;
+  config.sensing_radius = 40.0;
+  util::Rng rng(seed);
+  const auto network = net::make_random_network(config, rng);
+  auto utility = std::make_shared<sub::MultiTargetDetectionUtility>(
+      sub::MultiTargetDetectionUtility::uniform(n, network.coverage(), 0.4));
+  return Problem(std::move(utility), T, 1, true);
+}
+
+TEST(BranchAndBound, MatchesExhaustiveOnSmallInstances) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    const auto problem = random_instance(7, 3, 3, seed);
+    const auto bnb = BranchAndBoundScheduler().schedule(problem);
+    const auto exhaustive = ExhaustiveScheduler().schedule(problem);
+    EXPECT_TRUE(bnb.proven_optimal);
+    EXPECT_NEAR(bnb.utility_per_period, exhaustive.utility_per_period, 1e-9)
+        << "seed " << seed;
+    EXPECT_TRUE(bnb.schedule.feasible(problem));
+  }
+}
+
+TEST(BranchAndBound, PrunesAggressively) {
+  const auto problem = random_instance(10, 3, 3, 7);
+  const auto bnb = BranchAndBoundScheduler().schedule(problem);
+  const auto exhaustive = ExhaustiveScheduler().schedule(problem);
+  EXPECT_NEAR(bnb.utility_per_period, exhaustive.utility_per_period, 1e-9);
+  // 3^10 = 59049 leaves; the bound must cut well below full enumeration.
+  EXPECT_LT(bnb.nodes_visited, exhaustive.evaluated / 2);
+  EXPECT_GT(bnb.nodes_pruned, 0u);
+}
+
+TEST(BranchAndBound, HandlesSizesBeyondBruteForce) {
+  // 4^15 ≈ 1.1e9 leaves — beyond the enumeration work cap, fine for B&B.
+  const auto problem = random_instance(15, 4, 4, 9);
+  const auto bnb = BranchAndBoundScheduler().schedule(problem);
+  EXPECT_TRUE(bnb.proven_optimal);
+  const auto greedy = GreedyScheduler().schedule(problem);
+  const double greedy_u = evaluate(problem, greedy.schedule).total_utility;
+  EXPECT_GE(bnb.utility_per_period + 1e-9, greedy_u);
+  EXPECT_GE(greedy_u, 0.5 * bnb.utility_per_period - 1e-9);  // Lemma 4.1
+}
+
+TEST(BranchAndBound, GreedyWarmStartIsNeverBeatenDownward) {
+  const auto problem = random_instance(12, 2, 4, 11);
+  const auto greedy = GreedyScheduler().schedule(problem);
+  const double greedy_u = evaluate(problem, greedy.schedule).total_utility;
+  const auto bnb = BranchAndBoundScheduler().schedule(problem);
+  EXPECT_GE(bnb.utility_per_period, greedy_u - 1e-9);
+}
+
+TEST(BranchAndBound, NodeCapDegradesGracefully) {
+  const auto problem = random_instance(14, 3, 4, 13);
+  const auto capped = BranchAndBoundScheduler(/*node_cap=*/50).schedule(problem);
+  EXPECT_FALSE(capped.proven_optimal);
+  // Still at least the greedy incumbent.
+  const auto greedy = GreedyScheduler().schedule(problem);
+  const double greedy_u = evaluate(problem, greedy.schedule).total_utility;
+  EXPECT_GE(capped.utility_per_period, greedy_u - 1e-9);
+  EXPECT_TRUE(capped.schedule.feasible(problem));
+}
+
+TEST(BranchAndBound, IdenticalSensorsSolvedInstantly) {
+  // Symmetric instances have massive plateaus; the bound should still keep
+  // the tree small relative to T^n.
+  const Problem problem(detect(std::vector<double>(10, 0.4)), 2, 1, true);
+  const auto bnb = BranchAndBoundScheduler().schedule(problem);
+  EXPECT_TRUE(bnb.proven_optimal);
+  EXPECT_NEAR(bnb.utility_per_period,
+              2.0 * (1.0 - std::pow(0.6, 5.0)), 1e-9);  // balanced 5/5
+}
+
+TEST(BranchAndBound, Validation) {
+  EXPECT_THROW(BranchAndBoundScheduler(0), std::invalid_argument);
+  const Problem rho_le(detect({0.4, 0.4}), 3, 1, false);
+  EXPECT_THROW(BranchAndBoundScheduler().schedule(rho_le), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::core

@@ -1,0 +1,79 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::util {
+namespace {
+
+Cli make_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  auto cli = make_cli({"--sensors=100", "--p=0.4"});
+  EXPECT_EQ(cli.get_int("sensors", 0), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("p", 0.0), 0.4);
+  cli.finish();
+}
+
+TEST(Cli, SpaceSyntax) {
+  auto cli = make_cli({"--sensors", "42"});
+  EXPECT_EQ(cli.get_int("sensors", 0), 42);
+  cli.finish();
+}
+
+TEST(Cli, BareBooleanFlag) {
+  auto cli = make_cli({"--verbose", "--n=1"});
+  EXPECT_TRUE(cli.get_flag("verbose"));
+  EXPECT_FALSE(cli.get_flag("quiet"));
+  cli.get_int("n", 0);
+  cli.finish();
+}
+
+TEST(Cli, BooleanFalseSpellings) {
+  auto cli = make_cli({"--a=false", "--b=0", "--c=no", "--d=true"});
+  EXPECT_FALSE(cli.get_flag("a"));
+  EXPECT_FALSE(cli.get_flag("b"));
+  EXPECT_FALSE(cli.get_flag("c"));
+  EXPECT_TRUE(cli.get_flag("d"));
+  cli.finish();
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  auto cli = make_cli({});
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(cli.get_string("s", "dflt"), "dflt");
+  cli.finish();
+}
+
+TEST(Cli, PositionalArguments) {
+  auto cli = make_cli({"pos1", "--k=1", "pos2"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.positional()[1], "pos2");
+  cli.get_int("k", 0);
+  cli.finish();
+}
+
+TEST(Cli, FinishRejectsUnknownFlags) {
+  auto cli = make_cli({"--typo=3"});
+  EXPECT_THROW(cli.finish(), std::invalid_argument);
+}
+
+TEST(Cli, NegativeNumberAfterFlagIsTreatedAsValue) {
+  auto cli = make_cli({"--offset", "-5"});
+  // "-5" does not start with "--", so it binds as the value.
+  EXPECT_EQ(cli.get_int("offset", 0), -5);
+  cli.finish();
+}
+
+TEST(Cli, LaterFlagOverridesEarlier) {
+  auto cli = make_cli({"--n=1", "--n=2"});
+  EXPECT_EQ(cli.get_int("n", 0), 2);
+  cli.finish();
+}
+
+}  // namespace
+}  // namespace cool::util

@@ -1,0 +1,111 @@
+#include "net/collection.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::net {
+namespace {
+
+// 0 - 1 - 2 - 3 chain plus isolated node 4; sink at 0.
+Network chain_network() {
+  std::vector<Sensor> sensors;
+  for (int i = 0; i < 4; ++i)
+    sensors.push_back({0, {static_cast<double>(i) * 10.0, 0.0}, 5.0, 11.0});
+  sensors.push_back({0, {500.0, 500.0}, 5.0, 11.0});
+  return Network(std::move(sensors), {}, geom::Rect({0, 0}, {600, 600}));
+}
+
+class DataCollectionTest : public ::testing::Test {
+ protected:
+  DataCollectionTest()
+      : network_(chain_network()), tree_(network_, 0), radio_(),
+        collection_(network_, tree_, radio_, /*idle_listen_s=*/1.0) {}
+
+  Network network_;
+  RoutingTree tree_;
+  RadioEnergyModel radio_;
+  DataCollection collection_;
+};
+
+TEST_F(DataCollectionTest, SingleLeafOriginator) {
+  std::vector<std::uint8_t> active(5, 0);
+  active[3] = 1;
+  const auto report = collection_.slot_report(active);
+  EXPECT_EQ(report.originated, 1u);
+  EXPECT_EQ(report.delivered, 1u);
+  EXPECT_EQ(report.stranded, 0u);
+  EXPECT_EQ(report.relayed_total, 2u);  // nodes 2 and 1 forward
+  EXPECT_EQ(report.max_relay_load, 1u);
+  // Node 3 pays one tx; relays pay rx+tx; idle node 4 pays nothing.
+  EXPECT_GT(report.node_energy_j[2], report.node_energy_j[3]);
+  EXPECT_DOUBLE_EQ(report.node_energy_j[4], 0.0);
+}
+
+TEST_F(DataCollectionTest, StrandedNodeCounted) {
+  std::vector<std::uint8_t> active(5, 0);
+  active[4] = 1;  // isolated
+  const auto report = collection_.slot_report(active);
+  EXPECT_EQ(report.originated, 0u);
+  EXPECT_EQ(report.delivered, 0u);
+  EXPECT_EQ(report.stranded, 1u);
+}
+
+TEST_F(DataCollectionTest, SinkReadingNeedsNoTransmission) {
+  std::vector<std::uint8_t> active(5, 0);
+  active[0] = 1;  // the sink itself
+  const auto report = collection_.slot_report(active);
+  EXPECT_EQ(report.delivered, 1u);
+  EXPECT_EQ(report.relayed_total, 0u);
+  // Sink pays only listen energy.
+  EXPECT_NEAR(report.node_energy_j[0], radio_.idle_energy_j(1.0), 1e-12);
+}
+
+TEST_F(DataCollectionTest, BottleneckIsNearestToSink) {
+  std::vector<std::uint8_t> active(5, 0);
+  active[2] = 1;
+  active[3] = 1;
+  const auto report = collection_.slot_report(active);
+  EXPECT_EQ(report.bottleneck_node, 1u);  // forwards for both 2 and 3
+  EXPECT_EQ(report.max_relay_load, 2u);
+}
+
+TEST_F(DataCollectionTest, EnergyAdditivity) {
+  std::vector<std::uint8_t> active(5, 1);
+  const auto report = collection_.slot_report(active);
+  double sum = 0.0;
+  for (const double e : report.node_energy_j) sum += e;
+  EXPECT_NEAR(sum, report.radio_energy_j, 1e-12);
+}
+
+TEST_F(DataCollectionTest, ScheduleReportScalesByPeriods) {
+  std::vector<std::uint8_t> slot0(5, 0), slot1(5, 0);
+  slot0[1] = 1;
+  slot1[3] = 1;
+  const auto once = collection_.schedule_report({slot0, slot1}, 1);
+  const auto many = collection_.schedule_report({slot0, slot1}, 12);
+  EXPECT_EQ(once.slots, 2u);
+  EXPECT_EQ(many.slots, 24u);
+  EXPECT_EQ(many.delivered, 12 * once.delivered);
+  EXPECT_NEAR(many.radio_energy_j, 12.0 * once.radio_energy_j, 1e-9);
+  EXPECT_NEAR(many.hottest_node_energy_j, 12.0 * once.hottest_node_energy_j,
+              1e-9);
+}
+
+TEST_F(DataCollectionTest, HottestNodeIsTheRelayHub) {
+  // All leaves active every slot: node 1 relays the most.
+  std::vector<std::uint8_t> everyone(5, 1);
+  const auto report = collection_.schedule_report({everyone}, 4);
+  EXPECT_EQ(report.hottest_node, 1u);
+}
+
+TEST_F(DataCollectionTest, Validation) {
+  std::vector<std::uint8_t> wrong(2, 1);
+  EXPECT_THROW(collection_.slot_report(wrong), std::invalid_argument);
+  EXPECT_THROW(collection_.schedule_report({}, 1), std::invalid_argument);
+  std::vector<std::uint8_t> ok(5, 0);
+  EXPECT_THROW(collection_.schedule_report({ok}, 0), std::invalid_argument);
+  EXPECT_THROW(DataCollection(network_, tree_, radio_, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::net

@@ -1,0 +1,93 @@
+#include "submodular/combinators.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "submodular/coverage.h"
+#include "submodular/detection.h"
+
+namespace cool::sub {
+namespace {
+
+std::shared_ptr<const SubmodularFunction> detect(std::vector<double> p) {
+  return std::make_shared<DetectionUtility>(std::move(p));
+}
+
+TEST(WeightedSum, CombinesTerms) {
+  const WeightedSum fn({{detect({0.4, 0.4}), 1.0}, {detect({0.5, 0.0}), 2.0}});
+  // U({0}) = 0.4 + 2·0.5 = 1.4.
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0}), 1.4, 1e-12);
+  // U({0,1}) = 0.64 + 2·0.5.
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0, 1}), 1.64, 1e-12);
+  EXPECT_NEAR(fn.max_value(), 1.64, 1e-12);
+}
+
+TEST(WeightedSum, MarginalsAggregate) {
+  const WeightedSum fn({{detect({0.4, 0.4}), 1.0}, {detect({0.5, 0.0}), 2.0}});
+  const auto state = fn.make_state();
+  EXPECT_NEAR(state->marginal(0), 1.4, 1e-12);
+  state->add(0);
+  EXPECT_NEAR(state->marginal(1), 0.6 * 0.4, 1e-12);
+}
+
+TEST(WeightedSum, CloneDeepCopiesChildren) {
+  const WeightedSum fn({{detect({0.4, 0.4}), 1.0}});
+  const auto a = fn.make_state();
+  a->add(0);
+  const auto b = a->clone();
+  b->add(1);
+  EXPECT_NEAR(a->value(), 0.4, 1e-12);
+  EXPECT_NEAR(b->value(), 0.64, 1e-12);
+}
+
+TEST(WeightedSum, Validation) {
+  EXPECT_THROW(WeightedSum({}), std::invalid_argument);
+  EXPECT_THROW(WeightedSum({{nullptr, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(WeightedSum({{detect({0.4}), -1.0}}), std::invalid_argument);
+  EXPECT_THROW(WeightedSum({{detect({0.4}), 1.0}, {detect({0.4, 0.4}), 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(Restriction, MasksOutsideElements) {
+  const Restriction fn(detect({0.4, 0.4, 0.4}), {0, 2});
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{1}), 0.0);
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0, 1}), 0.4, 1e-12);
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0, 1, 2}), 0.64, 1e-12);
+  EXPECT_NEAR(fn.max_value(), 0.64, 1e-12);
+}
+
+TEST(Restriction, MarginalOfMaskedElementIsZero) {
+  const Restriction fn(detect({0.4, 0.4}), {0});
+  const auto state = fn.make_state();
+  EXPECT_DOUBLE_EQ(state->marginal(1), 0.0);
+  state->add(1);  // no-op
+  EXPECT_DOUBLE_EQ(state->value(), 0.0);
+}
+
+TEST(Restriction, ModelsPerTargetUtility) {
+  // U_i(S ∩ V(O_i)) with V(O_i) = {1, 2} over 3 sensors.
+  const Restriction fn(detect({0.4, 0.4, 0.4}), {1, 2});
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0, 1, 2}), 0.64, 1e-12);
+}
+
+TEST(Restriction, Validation) {
+  EXPECT_THROW(Restriction(nullptr, {0}), std::invalid_argument);
+  EXPECT_THROW(Restriction(detect({0.4}), {3}), std::out_of_range);
+}
+
+TEST(Combinators, SumOfRestrictionsEqualsMultiTarget) {
+  // Σ_i U_i(S ∩ V(O_i)) built two ways must agree.
+  const auto base = detect({0.4, 0.4, 0.4});
+  const WeightedSum composed(
+      {{std::make_shared<Restriction>(base, std::vector<std::size_t>{0, 1}), 1.0},
+       {std::make_shared<Restriction>(base, std::vector<std::size_t>{1, 2}), 1.0}});
+  const auto direct = MultiTargetDetectionUtility::uniform(3, {{0, 1}, {1, 2}}, 0.4);
+  for (const auto& set :
+       std::vector<std::vector<std::size_t>>{{}, {0}, {1}, {0, 2}, {0, 1, 2}}) {
+    EXPECT_NEAR(composed.value(set), direct.value(set), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cool::sub

@@ -1,0 +1,69 @@
+#include "submodular/concave.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cool::sub {
+namespace {
+
+TEST(LogSum, MatchesHardnessGadget) {
+  // The Theorem 3.1 reduction utility: U(S) = log(1 + Σ I_e).
+  const auto fn = make_log_sum_utility({3.0, 5.0, 2.0});
+  EXPECT_DOUBLE_EQ(fn.value({}), 0.0);
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0}), std::log(4.0), 1e-12);
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0, 1, 2}), std::log(11.0), 1e-12);
+}
+
+TEST(LogSum, DiminishingReturnsNumerically) {
+  const auto fn = make_log_sum_utility({1.0, 1.0, 1.0});
+  const auto state = fn.make_state();
+  const double g1 = state->marginal(0);
+  state->add(0);
+  const double g2 = state->marginal(1);
+  state->add(1);
+  const double g3 = state->marginal(2);
+  EXPECT_GT(g1, g2);
+  EXPECT_GT(g2, g3);
+  EXPECT_GT(g3, 0.0);
+}
+
+TEST(CappedSum, SaturatesAtCap) {
+  const auto fn = make_capped_sum_utility({2.0, 2.0, 2.0}, 3.0);
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0}), 2.0);
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0, 1, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(fn.max_value(), 3.0);
+  EXPECT_THROW(make_capped_sum_utility({1.0}, -1.0), std::invalid_argument);
+}
+
+TEST(SqrtSum, Values) {
+  const auto fn = make_sqrt_sum_utility({4.0, 5.0});
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0}), 2.0);
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0, 1}), 3.0);
+}
+
+TEST(ConcaveOfModular, MarginalEqualsValueDifference) {
+  const auto fn = make_log_sum_utility({2.0, 7.0, 1.0});
+  const auto state = fn.make_state();
+  state->add(2);
+  const double before = state->value();
+  const double marginal = state->marginal(1);
+  state->add(1);
+  EXPECT_NEAR(state->value() - before, marginal, 1e-12);
+}
+
+TEST(ConcaveOfModular, Validation) {
+  EXPECT_THROW(ConcaveOfModular({1.0}, nullptr), std::invalid_argument);
+  EXPECT_THROW(make_log_sum_utility({-1.0}), std::invalid_argument);
+}
+
+TEST(ConcaveOfModular, ZeroWeightElementIsNeutral) {
+  const auto fn = make_log_sum_utility({0.0, 3.0});
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0}), 0.0);
+  const auto state = fn.make_state();
+  EXPECT_DOUBLE_EQ(state->marginal(0), 0.0);
+}
+
+}  // namespace
+}  // namespace cool::sub

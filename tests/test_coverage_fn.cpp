@@ -1,0 +1,81 @@
+#include "submodular/coverage.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::sub {
+namespace {
+
+TEST(WeightedCoverage, BasicCoverSemantics) {
+  // 3 elements covering items from a 4-item universe.
+  const WeightedCoverage fn(3, {{0, 1}, {1, 2}, {3}}, std::size_t{4});
+  EXPECT_DOUBLE_EQ(fn.value({}), 0.0);
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0}), 2.0);
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0, 1, 2}), 4.0);
+  EXPECT_DOUBLE_EQ(fn.max_value(), 4.0);
+}
+
+TEST(WeightedCoverage, ItemWeights) {
+  const WeightedCoverage fn(2, {{0}, {1}}, std::vector<double>{5.0, 1.0});
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0}), 5.0);
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{1}), 1.0);
+  EXPECT_DOUBLE_EQ(fn.max_value(), 6.0);
+}
+
+TEST(WeightedCoverage, MarginalCountsOnlyNewItems) {
+  const WeightedCoverage fn(3, {{0, 1}, {1, 2}, {3}}, std::size_t{4});
+  const auto state = fn.make_state();
+  state->add(0);
+  EXPECT_DOUBLE_EQ(state->marginal(1), 1.0);  // item 1 already covered
+  EXPECT_DOUBLE_EQ(state->marginal(2), 1.0);
+  EXPECT_DOUBLE_EQ(state->marginal(0), 0.0);
+}
+
+TEST(WeightedCoverage, AddIdempotent) {
+  const WeightedCoverage fn(2, {{0}, {0}}, std::size_t{1});
+  const auto state = fn.make_state();
+  state->add(0);
+  state->add(0);
+  EXPECT_DOUBLE_EQ(state->value(), 1.0);
+}
+
+TEST(WeightedCoverage, Validation) {
+  EXPECT_THROW(WeightedCoverage(2, {{0}}, std::size_t{1}), std::invalid_argument);
+  EXPECT_THROW(WeightedCoverage(1, {{5}}, std::size_t{2}), std::out_of_range);
+  EXPECT_THROW(WeightedCoverage(1, {{0}}, std::vector<double>{-1.0}),
+               std::invalid_argument);
+}
+
+TEST(Modular, AdditiveSemantics) {
+  const Modular fn({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(fn.value({}), 0.0);
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0, 2}), 4.0);
+  EXPECT_DOUBLE_EQ(fn.max_value(), 6.0);
+}
+
+TEST(Modular, MarginalIndependentOfSet) {
+  const Modular fn({1.0, 2.0});
+  const auto state = fn.make_state();
+  EXPECT_DOUBLE_EQ(state->marginal(1), 2.0);
+  state->add(0);
+  EXPECT_DOUBLE_EQ(state->marginal(1), 2.0);
+  state->add(1);
+  EXPECT_DOUBLE_EQ(state->marginal(1), 0.0);
+}
+
+TEST(Modular, NegativeWeightThrows) {
+  EXPECT_THROW(Modular({-0.5}), std::invalid_argument);
+}
+
+TEST(Modular, CloneIndependence) {
+  const Modular fn({1.0, 2.0});
+  const auto a = fn.make_state();
+  a->add(0);
+  const auto b = a->clone();
+  b->add(1);
+  EXPECT_DOUBLE_EQ(a->value(), 1.0);
+  EXPECT_DOUBLE_EQ(b->value(), 3.0);
+}
+
+}  // namespace
+}  // namespace cool::sub

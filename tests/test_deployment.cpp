@@ -1,0 +1,105 @@
+#include "geometry/deployment.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::geom {
+namespace {
+
+const Rect kRegion = Rect::square(100.0);
+
+TEST(Deployment, UniformCountAndBounds) {
+  util::Rng rng(1);
+  const auto pts = uniform_points(kRegion, 500, rng);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const auto& p : pts) EXPECT_TRUE(kRegion.contains(p));
+}
+
+TEST(Deployment, UniformIsDeterministicPerSeed) {
+  util::Rng a(9), b(9);
+  EXPECT_EQ(uniform_points(kRegion, 10, a)[3].x, uniform_points(kRegion, 10, b)[3].x);
+}
+
+TEST(Deployment, UniformCoversWholeRegionStatistically) {
+  util::Rng rng(2);
+  const auto pts = uniform_points(kRegion, 2000, rng);
+  int quadrant[4] = {0, 0, 0, 0};
+  for (const auto& p : pts)
+    ++quadrant[(p.x > 50.0 ? 1 : 0) + (p.y > 50.0 ? 2 : 0)];
+  for (const int q : quadrant) EXPECT_GT(q, 350);
+}
+
+TEST(Deployment, GridStaysInRegionWithJitter) {
+  util::Rng rng(3);
+  const auto pts = grid_points(kRegion, 37, 0.4, rng);
+  ASSERT_EQ(pts.size(), 37u);
+  for (const auto& p : pts) EXPECT_TRUE(kRegion.contains(p));
+}
+
+TEST(Deployment, GridZeroJitterIsRegular) {
+  util::Rng rng(4);
+  const auto pts = grid_points(kRegion, 4, 0.0, rng);
+  // 2x2 grid: cell centers at 25/75.
+  EXPECT_DOUBLE_EQ(pts[0].x, 25.0);
+  EXPECT_DOUBLE_EQ(pts[3].y, 75.0);
+}
+
+TEST(Deployment, GridNegativeJitterThrows) {
+  util::Rng rng(5);
+  EXPECT_THROW(grid_points(kRegion, 4, -0.1, rng), std::invalid_argument);
+}
+
+TEST(Deployment, ClusteredStaysClamped) {
+  util::Rng rng(6);
+  const auto pts = clustered_points(kRegion, 300, 3, 10.0, rng);
+  ASSERT_EQ(pts.size(), 300u);
+  for (const auto& p : pts) EXPECT_TRUE(kRegion.contains(p));
+}
+
+TEST(Deployment, ClusteredValidation) {
+  util::Rng rng(7);
+  EXPECT_THROW(clustered_points(kRegion, 10, 0, 5.0, rng), std::invalid_argument);
+  EXPECT_THROW(clustered_points(kRegion, 10, 2, -1.0, rng), std::invalid_argument);
+}
+
+TEST(Deployment, PoissonDiskKeepsSpacingWhenSparse) {
+  util::Rng rng(8);
+  const double min_dist = 10.0;
+  const auto pts = poisson_disk_points(kRegion, 30, min_dist, rng);
+  ASSERT_EQ(pts.size(), 30u);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j)
+      EXPECT_GE(pts[i].distance_to(pts[j]), min_dist - 1e-9);
+}
+
+TEST(Deployment, PoissonDiskDegradesGracefullyWhenSaturated) {
+  util::Rng rng(9);
+  // 1000 points at spacing 10 cannot fit in 100x100; must still return 1000.
+  const auto pts = poisson_disk_points(kRegion, 1000, 10.0, rng, 8);
+  EXPECT_EQ(pts.size(), 1000u);
+}
+
+TEST(Deployment, DisksFixedRadius) {
+  util::Rng rng(10);
+  const auto centers = uniform_points(kRegion, 5, rng);
+  const auto disks = disks_at(centers, 7.5);
+  ASSERT_EQ(disks.size(), 5u);
+  for (std::size_t i = 0; i < disks.size(); ++i) {
+    EXPECT_EQ(disks[i].center, centers[i]);
+    EXPECT_DOUBLE_EQ(disks[i].radius, 7.5);
+  }
+}
+
+TEST(Deployment, DisksRandomRadiusWithinBounds) {
+  util::Rng rng(11);
+  const auto centers = uniform_points(kRegion, 50, rng);
+  const auto disks = disks_at(centers, 5.0, 9.0, rng);
+  for (const auto& d : disks) {
+    EXPECT_GE(d.radius, 5.0);
+    EXPECT_LE(d.radius, 9.0);
+  }
+  util::Rng rng2(12);
+  EXPECT_THROW(disks_at(centers, 9.0, 5.0, rng2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::geom

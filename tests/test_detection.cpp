@@ -1,0 +1,117 @@
+#include "submodular/detection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cool::sub {
+namespace {
+
+TEST(DetectionUtility, EmptySetIsZero) {
+  const DetectionUtility fn({0.4, 0.4, 0.4});
+  EXPECT_DOUBLE_EQ(fn.value({}), 0.0);
+}
+
+TEST(DetectionUtility, SingletonEqualsProbability) {
+  const DetectionUtility fn({0.4, 0.7});
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0}), 0.4);
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{1}), 0.7);
+}
+
+TEST(DetectionUtility, PairMatchesClosedForm) {
+  const DetectionUtility fn({0.4, 0.4});
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0, 1}), 1.0 - 0.36, 1e-12);
+}
+
+TEST(DetectionUtility, DuplicatesIgnored) {
+  const DetectionUtility fn({0.4, 0.4});
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0, 0, 0}), 0.4);
+}
+
+TEST(DetectionUtility, MarginalMatchesMissProduct) {
+  const DetectionUtility fn({0.4, 0.4, 0.4});
+  const auto state = fn.make_state();
+  EXPECT_DOUBLE_EQ(state->marginal(0), 0.4);
+  state->add(0);
+  EXPECT_NEAR(state->marginal(1), 0.6 * 0.4, 1e-12);
+  state->add(1);
+  EXPECT_NEAR(state->marginal(2), 0.36 * 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(state->marginal(0), 0.0);  // already in the set
+}
+
+TEST(DetectionUtility, MaxValue) {
+  const DetectionUtility fn({0.5, 0.5});
+  EXPECT_DOUBLE_EQ(fn.max_value(), 0.75);
+}
+
+TEST(DetectionUtility, CloneIsIndependent) {
+  const DetectionUtility fn({0.4, 0.4});
+  const auto a = fn.make_state();
+  a->add(0);
+  const auto b = a->clone();
+  b->add(1);
+  EXPECT_DOUBLE_EQ(a->value(), 0.4);
+  EXPECT_NEAR(b->value(), 0.64, 1e-12);
+}
+
+TEST(DetectionUtility, Validation) {
+  EXPECT_THROW(DetectionUtility({1.5}), std::invalid_argument);
+  EXPECT_THROW(DetectionUtility({-0.1}), std::invalid_argument);
+  const DetectionUtility fn({0.4});
+  const auto state = fn.make_state();
+  EXPECT_THROW(state->marginal(1), std::out_of_range);
+  EXPECT_THROW(state->add(1), std::out_of_range);
+  EXPECT_THROW(fn.value(std::vector<std::size_t>{5}), std::out_of_range);
+}
+
+TEST(MultiTargetDetection, SumsPerTargetUtilities) {
+  // Two targets: t0 covered by {0,1}, t1 covered by {1,2}. p = 0.4.
+  const auto fn = MultiTargetDetectionUtility::uniform(3, {{0, 1}, {1, 2}}, 0.4);
+  EXPECT_EQ(fn.target_count(), 2u);
+  // S = {1} covers both: 0.4 + 0.4.
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{1}), 0.8, 1e-12);
+  // S = {0, 2}: each target gets one sensor.
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0, 2}), 0.8, 1e-12);
+  // Full set: each target has two sensors: 2·(1 − 0.36).
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0, 1, 2}), 1.28, 1e-12);
+  EXPECT_NEAR(fn.max_value(), 1.28, 1e-12);
+}
+
+TEST(MultiTargetDetection, MarginalOnlyCountsCoveredTargets) {
+  const auto fn = MultiTargetDetectionUtility::uniform(3, {{0, 1}, {1, 2}}, 0.4);
+  const auto state = fn.make_state();
+  EXPECT_NEAR(state->marginal(1), 0.8, 1e-12);   // covers both targets
+  EXPECT_NEAR(state->marginal(0), 0.4, 1e-12);   // covers one
+  state->add(0);
+  EXPECT_NEAR(state->marginal(1), 0.6 * 0.4 + 0.4, 1e-12);
+}
+
+TEST(MultiTargetDetection, WeightsScaleTargets) {
+  MultiTargetDetectionUtility::Target t0{{{0, 0.5}}, 3.0};
+  const MultiTargetDetectionUtility fn(1, {t0});
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0}), 1.5);
+}
+
+TEST(MultiTargetDetection, SensorNotCoveringAnythingHasZeroGain) {
+  const auto fn = MultiTargetDetectionUtility::uniform(3, {{0}}, 0.4);
+  const auto state = fn.make_state();
+  EXPECT_DOUBLE_EQ(state->marginal(2), 0.0);
+}
+
+TEST(MultiTargetDetection, Validation) {
+  MultiTargetDetectionUtility::Target bad_sensor{{{5, 0.4}}, 1.0};
+  EXPECT_THROW(MultiTargetDetectionUtility(3, {bad_sensor}), std::out_of_range);
+  MultiTargetDetectionUtility::Target bad_p{{{0, 1.4}}, 1.0};
+  EXPECT_THROW(MultiTargetDetectionUtility(3, {bad_p}), std::invalid_argument);
+  MultiTargetDetectionUtility::Target bad_w{{{0, 0.4}}, 0.0};
+  EXPECT_THROW(MultiTargetDetectionUtility(3, {bad_w}), std::invalid_argument);
+}
+
+TEST(MultiTargetDetection, EmptyTargetListIsZeroFunction) {
+  const MultiTargetDetectionUtility fn(4, {});
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0, 1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(fn.max_value(), 0.0);
+}
+
+}  // namespace
+}  // namespace cool::sub

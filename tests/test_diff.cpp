@@ -1,0 +1,83 @@
+#include "core/diff.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::core {
+namespace {
+
+TEST(Diff, IdenticalSchedulesAreEmpty) {
+  PeriodicSchedule a(4, 3);
+  a.set_active(0, 1);
+  a.set_active(2, 2);
+  const auto diff = diff_schedules(a, a);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.unchanged, 4u);
+  EXPECT_EQ(diff.full_notifications, 2u);
+}
+
+TEST(Diff, DetectsSlotMove) {
+  PeriodicSchedule before(3, 4), after(3, 4);
+  before.set_active(0, 1);
+  after.set_active(0, 3);
+  before.set_active(1, 2);
+  after.set_active(1, 2);
+  const auto diff = diff_schedules(before, after);
+  ASSERT_EQ(diff.moves.size(), 1u);
+  EXPECT_EQ(diff.moves[0].sensor, 0u);
+  EXPECT_EQ(diff.moves[0].from_slot, 1u);
+  EXPECT_EQ(diff.moves[0].to_slot, 3u);
+  EXPECT_EQ(diff.unchanged, 2u);
+}
+
+TEST(Diff, DetectsActivationAndDeactivation) {
+  PeriodicSchedule before(2, 2), after(2, 2);
+  before.set_active(0, 0);  // deactivated in `after`
+  after.set_active(1, 1);   // newly activated
+  const auto diff = diff_schedules(before, after);
+  ASSERT_EQ(diff.moves.size(), 2u);
+  EXPECT_EQ(diff.moves[0].from_slot, 0u);
+  EXPECT_EQ(diff.moves[0].to_slot, ScheduleMove::kNone);
+  EXPECT_EQ(diff.moves[1].from_slot, ScheduleMove::kNone);
+  EXPECT_EQ(diff.moves[1].to_slot, 1u);
+}
+
+TEST(Diff, DeltaNotificationsBeatFullRebroadcast) {
+  // 20 sensors, one moves: delta notifies 1, full notifies 20.
+  PeriodicSchedule before(20, 4), after(20, 4);
+  for (std::size_t v = 0; v < 20; ++v) {
+    before.set_active(v, v % 4);
+    after.set_active(v, v == 7 ? (v + 1) % 4 : v % 4);
+  }
+  const auto diff = diff_schedules(before, after);
+  EXPECT_EQ(diff.moves.size(), 1u);
+  EXPECT_EQ(diff.full_notifications, 20u);
+}
+
+TEST(Diff, ToStringListsMoves) {
+  PeriodicSchedule before(2, 2), after(2, 2);
+  before.set_active(0, 0);
+  after.set_active(0, 1);
+  const auto text = diff_schedules(before, after).to_string();
+  EXPECT_NE(text.find("v0: 0 -> 1"), std::string::npos);
+  EXPECT_NE(text.find("1 moved"), std::string::npos);
+}
+
+TEST(Diff, ShapeMismatchThrows) {
+  const PeriodicSchedule a(2, 2), b(3, 2), c(2, 3);
+  EXPECT_THROW(diff_schedules(a, b), std::invalid_argument);
+  EXPECT_THROW(diff_schedules(a, c), std::invalid_argument);
+}
+
+TEST(Diff, MultiSlotAssignmentsCompareAsSets) {
+  // rho <= 1 style: sensor active in several slots.
+  PeriodicSchedule before(1, 3), after(1, 3);
+  before.set_active(0, 0);
+  before.set_active(0, 1);
+  after.set_active(0, 0);
+  after.set_active(0, 2);
+  const auto diff = diff_schedules(before, after);
+  EXPECT_EQ(diff.moves.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cool::core

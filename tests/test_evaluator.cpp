@@ -1,0 +1,77 @@
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "submodular/detection.h"
+
+namespace cool::core {
+namespace {
+
+std::shared_ptr<const sub::SubmodularFunction> detect(std::size_t n, double p) {
+  return std::make_shared<sub::DetectionUtility>(std::vector<double>(n, p));
+}
+
+TEST(Evaluator, PeriodicScalesByPeriods) {
+  const Problem problem(detect(4, 0.4), 4, 12, true);
+  PeriodicSchedule s(4, 4);
+  for (std::size_t v = 0; v < 4; ++v) s.set_active(v, v);
+  const auto eval = evaluate(problem, s);
+  // Each slot has exactly one sensor: utility 0.4 per slot.
+  EXPECT_NEAR(eval.per_slot_average, 0.4, 1e-12);
+  EXPECT_NEAR(eval.total_utility, 0.4 * 48.0, 1e-9);
+  ASSERT_EQ(eval.slot_utilities.size(), 4u);
+  for (const double u : eval.slot_utilities) EXPECT_NEAR(u, 0.4, 1e-12);
+}
+
+TEST(Evaluator, ClusteredAssignmentShowsDiminishingReturns) {
+  const Problem problem(detect(4, 0.4), 4, 1, true);
+  PeriodicSchedule clustered(4, 4);
+  for (std::size_t v = 0; v < 4; ++v) clustered.set_active(v, 0);
+  PeriodicSchedule spread(4, 4);
+  for (std::size_t v = 0; v < 4; ++v) spread.set_active(v, v);
+  const auto eval_clustered = evaluate(problem, clustered);
+  const auto eval_spread = evaluate(problem, spread);
+  // 1 − 0.6^4 < 4 × 0.4: spreading wins.
+  EXPECT_LT(eval_clustered.total_utility, eval_spread.total_utility);
+  EXPECT_NEAR(eval_clustered.slot_utilities[0], 1.0 - std::pow(0.6, 4), 1e-12);
+  EXPECT_DOUBLE_EQ(eval_clustered.slot_utilities[1], 0.0);
+}
+
+TEST(Evaluator, HorizonMatchesTiledPeriodic) {
+  const Problem problem(detect(3, 0.4), 3, 5, true);
+  PeriodicSchedule p(3, 3);
+  p.set_active(0, 0);
+  p.set_active(1, 0);
+  p.set_active(2, 2);
+  const auto ep = evaluate(problem, p);
+  const auto eh = evaluate(problem, HorizonSchedule::tile(p, 5));
+  EXPECT_NEAR(ep.total_utility, eh.total_utility, 1e-9);
+  EXPECT_NEAR(ep.per_slot_average, eh.per_slot_average, 1e-12);
+  EXPECT_EQ(eh.slot_utilities.size(), 15u);
+}
+
+TEST(Evaluator, ShapeMismatchThrows) {
+  const Problem problem(detect(3, 0.4), 3, 5, true);
+  const PeriodicSchedule wrong_sensors(2, 3);
+  EXPECT_THROW(evaluate(problem, wrong_sensors), std::invalid_argument);
+  const HorizonSchedule wrong_horizon(3, 10);
+  EXPECT_THROW(evaluate(problem, wrong_horizon), std::invalid_argument);
+}
+
+TEST(Evaluator, AverageUtilityPerTarget) {
+  Evaluation eval;
+  eval.per_slot_average = 1.2;
+  EXPECT_DOUBLE_EQ(average_utility_per_target(eval, 3), 0.4);
+  EXPECT_THROW(average_utility_per_target(eval, 0), std::invalid_argument);
+}
+
+TEST(Evaluator, EmptyScheduleHasZeroUtility) {
+  const Problem problem(detect(3, 0.4), 3, 2, true);
+  const PeriodicSchedule s(3, 3);
+  EXPECT_DOUBLE_EQ(evaluate(problem, s).total_utility, 0.0);
+}
+
+}  // namespace
+}  // namespace cool::core

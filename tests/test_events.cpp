@@ -1,0 +1,110 @@
+#include "sim/events.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/problem.h"
+#include "energy/pattern.h"
+
+namespace cool::sim {
+namespace {
+
+net::Network dense_network(std::size_t n, std::size_t m, std::uint64_t seed) {
+  net::NetworkConfig config;
+  config.sensor_count = n;
+  config.target_count = m;
+  config.sensing_radius = 50.0;
+  util::Rng rng(seed);
+  return net::make_random_network(config, rng);
+}
+
+TEST(EventDetection, EmpiricalMatchesAnalyticRate) {
+  // The core semantic claim of the utility model, measured on ground truth.
+  const auto network = dense_network(30, 3, 1);
+  const auto problem = core::Problem::detection_instance(
+      network, 0.4, energy::ChargingPattern{}, 12);
+  const auto schedule = core::GreedyScheduler().schedule(problem).schedule;
+
+  EventDetectionExperiment experiment(network, EventConfig{});
+  util::Rng rng(2);
+  const auto report = experiment.run(schedule, 20000, rng);
+  ASSERT_GT(report.total_events, 100000u);
+  EXPECT_NEAR(report.empirical_rate, report.analytic_rate, 0.01);
+  for (const auto& target : report.targets)
+    EXPECT_NEAR(target.empirical_rate, target.analytic_rate, 0.02)
+        << "target " << target.target;
+}
+
+TEST(EventDetection, NoActiveSensorsMeansNoDetections) {
+  const auto network = dense_network(10, 2, 3);
+  const core::PeriodicSchedule empty(10, 4);
+  EventDetectionExperiment experiment(network, EventConfig{});
+  util::Rng rng(4);
+  const auto report = experiment.run(empty, 100, rng);
+  EXPECT_GT(report.total_events, 0u);
+  EXPECT_EQ(report.total_detected, 0u);
+  EXPECT_DOUBLE_EQ(report.analytic_rate, 0.0);
+}
+
+TEST(EventDetection, CertainDetectionWithPOne) {
+  const auto network = dense_network(10, 2, 5);
+  // Activate everyone in every slot (detection experiment does not enforce
+  // energy feasibility — it measures coverage semantics only).
+  core::PeriodicSchedule all(10, 4);
+  for (std::size_t v = 0; v < 10; ++v)
+    for (std::size_t t = 0; t < 4; ++t) all.set_active(v, t);
+  EventConfig config;
+  config.detection_probability = 1.0;
+  EventDetectionExperiment experiment(network, config);
+  util::Rng rng(6);
+  const auto report = experiment.run(all, 50, rng);
+  EXPECT_EQ(report.total_detected, report.total_events);
+  EXPECT_DOUBLE_EQ(report.analytic_rate, 1.0);
+}
+
+TEST(EventDetection, BetterScheduleDetectsMoreEvents) {
+  const auto network = dense_network(20, 4, 7);
+  const auto problem = core::Problem::detection_instance(
+      network, 0.4, energy::ChargingPattern{}, 12);
+  const auto good = core::GreedyScheduler().schedule(problem).schedule;
+  // Adversarial schedule: everyone in slot 0 (three dark slots).
+  core::PeriodicSchedule bad(20, 4);
+  for (std::size_t v = 0; v < 20; ++v) bad.set_active(v, 0);
+
+  EventDetectionExperiment experiment(network, EventConfig{});
+  util::Rng rng_a(8), rng_b(8);
+  const auto good_report = experiment.run(good, 2000, rng_a);
+  const auto bad_report = experiment.run(bad, 2000, rng_b);
+  EXPECT_GT(good_report.empirical_rate, bad_report.empirical_rate);
+}
+
+TEST(EventDetection, ZeroEventRateProducesNoEvents) {
+  const auto network = dense_network(5, 1, 9);
+  EventConfig config;
+  config.events_per_target_per_slot = 0.0;
+  EventDetectionExperiment experiment(network, config);
+  const core::PeriodicSchedule s(5, 4);
+  util::Rng rng(10);
+  const auto report = experiment.run(s, 10, rng);
+  EXPECT_EQ(report.total_events, 0u);
+  EXPECT_DOUBLE_EQ(report.empirical_rate, 0.0);
+}
+
+TEST(EventDetection, Validation) {
+  const auto network = dense_network(5, 1, 11);
+  EventConfig bad;
+  bad.events_per_target_per_slot = -1.0;
+  EXPECT_THROW(EventDetectionExperiment(network, bad), std::invalid_argument);
+  bad = {};
+  bad.detection_probability = 1.5;
+  EXPECT_THROW(EventDetectionExperiment(network, bad), std::invalid_argument);
+  EventDetectionExperiment experiment(network, EventConfig{});
+  util::Rng rng(12);
+  const core::PeriodicSchedule wrong(3, 4);
+  EXPECT_THROW(experiment.run(wrong, 10, rng), std::invalid_argument);
+  const core::PeriodicSchedule ok(5, 4);
+  EXPECT_THROW(experiment.run(ok, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::sim

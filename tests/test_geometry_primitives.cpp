@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "geometry/disk.h"
+#include "geometry/rect.h"
+#include "geometry/vec2.h"
+
+namespace cool::geom {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+}
+
+TEST(Vec2, DotCrossNorm) {
+  const Vec2 a{3.0, 4.0}, b{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 3.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -4.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.distance_to({0.0, 0.0}), 5.0);
+  EXPECT_DOUBLE_EQ(a.distance2_to(b), 20.0);
+}
+
+TEST(Disk, ContainsBoundaryInclusive) {
+  const Disk d({0.0, 0.0}, 1.0);
+  EXPECT_TRUE(d.contains({1.0, 0.0}));
+  EXPECT_TRUE(d.contains({0.0, 0.0}));
+  EXPECT_FALSE(d.contains({1.0001, 0.0}));
+}
+
+TEST(Disk, NegativeRadiusThrows) {
+  EXPECT_THROW(Disk({0.0, 0.0}, -1.0), std::invalid_argument);
+}
+
+TEST(Disk, Area) {
+  const Disk d({0.0, 0.0}, 2.0);
+  EXPECT_DOUBLE_EQ(d.area(), 4.0 * std::numbers::pi);
+}
+
+TEST(Disk, Intersects) {
+  const Disk a({0.0, 0.0}, 1.0);
+  EXPECT_TRUE(a.intersects(Disk({1.5, 0.0}, 1.0)));
+  EXPECT_TRUE(a.intersects(Disk({2.0, 0.0}, 1.0)));  // tangent counts
+  EXPECT_FALSE(a.intersects(Disk({2.1, 0.0}, 1.0)));
+}
+
+TEST(Disk, IntersectionAreaDisjoint) {
+  EXPECT_DOUBLE_EQ(
+      Disk::intersection_area(Disk({0, 0}, 1.0), Disk({3.0, 0.0}, 1.0)), 0.0);
+}
+
+TEST(Disk, IntersectionAreaContained) {
+  const double area =
+      Disk::intersection_area(Disk({0, 0}, 2.0), Disk({0.5, 0.0}, 0.5));
+  EXPECT_DOUBLE_EQ(area, std::numbers::pi * 0.25);
+}
+
+TEST(Disk, IntersectionAreaIdentical) {
+  const Disk d({1.0, 1.0}, 1.5);
+  EXPECT_DOUBLE_EQ(Disk::intersection_area(d, d), d.area());
+}
+
+TEST(Disk, IntersectionAreaHalfOverlapClosedForm) {
+  // Two unit disks at distance 1: lens area = 2π/3 − √3/2.
+  const double area =
+      Disk::intersection_area(Disk({0, 0}, 1.0), Disk({1.0, 0.0}, 1.0));
+  EXPECT_NEAR(area, 2.0 * std::numbers::pi / 3.0 - std::sqrt(3.0) / 2.0, 1e-12);
+}
+
+TEST(Disk, IntersectionAreaSymmetric) {
+  const Disk a({0, 0}, 1.0), b({0.7, 0.4}, 1.3);
+  EXPECT_DOUBLE_EQ(Disk::intersection_area(a, b), Disk::intersection_area(b, a));
+}
+
+TEST(Rect, BasicsAndContains) {
+  const Rect r({0.0, 0.0}, {4.0, 2.0});
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 2.0);
+  EXPECT_DOUBLE_EQ(r.area(), 8.0);
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+  EXPECT_TRUE(r.contains({4.0, 2.0}));
+  EXPECT_FALSE(r.contains({4.1, 1.0}));
+}
+
+TEST(Rect, InvalidCornersThrow) {
+  EXPECT_THROW(Rect({1.0, 0.0}, {0.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Rect, SquareFactoryAndClamp) {
+  const Rect r = Rect::square(10.0);
+  EXPECT_DOUBLE_EQ(r.area(), 100.0);
+  EXPECT_EQ(r.clamp({-1.0, 11.0}), Vec2(0.0, 10.0));
+  EXPECT_EQ(r.clamp({5.0, 5.0}), Vec2(5.0, 5.0));
+}
+
+}  // namespace
+}  // namespace cool::geom

@@ -1,0 +1,81 @@
+// Tests around the paper's NP-hardness construction (Theorem 3.1): the
+// scheduling instance built from a Subset-Sum input with
+// U(S) = log(1 + Σ_{v_i∈S} I_i) and T = 2 achieves 2·log(1 + Σ I_i / 2)
+// exactly when a balanced partition exists.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "core/evaluator.h"
+#include "core/exhaustive.h"
+#include "core/greedy.h"
+#include "submodular/concave.h"
+
+namespace cool::core {
+namespace {
+
+Problem subset_sum_instance(std::vector<double> integers) {
+  auto utility = std::make_shared<sub::ConcaveOfModular>(
+      sub::make_log_sum_utility(std::move(integers)));
+  return Problem(std::move(utility), 2, 1, true);
+}
+
+double balanced_value(const std::vector<double>& integers) {
+  const double total = std::accumulate(integers.begin(), integers.end(), 0.0);
+  return 2.0 * std::log1p(total / 2.0);
+}
+
+TEST(Hardness, BalancedPartitionReachesTheBound) {
+  // {3, 1, 1, 2, 2, 1}: total 10, balanced split {3,2} / {1,1,2,1}.
+  const std::vector<double> integers{3.0, 1.0, 1.0, 2.0, 2.0, 1.0};
+  const auto problem = subset_sum_instance(integers);
+  const auto optimal = ExhaustiveScheduler().schedule(problem);
+  EXPECT_NEAR(optimal.utility_per_period, balanced_value(integers), 1e-9);
+}
+
+TEST(Hardness, NoBalancedPartitionStaysBelowTheBound) {
+  // {3, 3, 1}: total 7 is odd — no subset sums to 3.5.
+  const std::vector<double> integers{3.0, 3.0, 1.0};
+  const auto problem = subset_sum_instance(integers);
+  const auto optimal = ExhaustiveScheduler().schedule(problem);
+  EXPECT_LT(optimal.utility_per_period, balanced_value(integers) - 1e-9);
+}
+
+TEST(Hardness, ConcavityMakesBalancedSplitOptimal) {
+  // Strict concavity of log: among all splits, the most balanced one wins.
+  const std::vector<double> integers{5.0, 4.0, 3.0, 2.0, 1.0, 1.0};  // total 16
+  const auto problem = subset_sum_instance(integers);
+  const auto optimal = ExhaustiveScheduler().schedule(problem);
+  // {5,3} ∪ ... balanced split 8/8 exists ({5,3} vs {4,2,1,1}).
+  EXPECT_NEAR(optimal.utility_per_period, balanced_value(integers), 1e-9);
+}
+
+TEST(Hardness, GreedyIsWithinHalfOnGadgets) {
+  // The gadget family is exactly where greedy may be suboptimal; the 1/2
+  // bound must still hold (Lemma 4.1).
+  const std::vector<double> integers{13.0, 7.0, 6.0, 5.0, 4.0, 1.0};
+  const auto problem = subset_sum_instance(integers);
+  const auto greedy = GreedyScheduler().schedule(problem);
+  const auto optimal = ExhaustiveScheduler().schedule(problem);
+  const double ug = evaluate(problem, greedy.schedule).total_utility;
+  EXPECT_GE(ug, 0.5 * optimal.utility_per_period - 1e-9);
+}
+
+TEST(Hardness, DecisionReductionDetectsPartition) {
+  // Using the exact scheduler as the Subset-Sum oracle of the reduction.
+  const auto has_partition = [](const std::vector<double>& integers) {
+    const auto problem = subset_sum_instance(integers);
+    const auto optimal = ExhaustiveScheduler().schedule(problem);
+    return std::abs(optimal.utility_per_period - balanced_value(integers)) < 1e-9;
+  };
+  EXPECT_TRUE(has_partition({1.0, 1.0}));
+  EXPECT_TRUE(has_partition({2.0, 3.0, 5.0}));          // {5} vs {2,3}
+  EXPECT_FALSE(has_partition({2.0, 3.0, 6.0}));         // total 11, odd
+  EXPECT_FALSE(has_partition({1.0, 2.0, 4.0, 10.0}));   // 10 > rest
+  EXPECT_TRUE(has_partition({4.0, 3.0, 2.0, 1.0, 2.0}));  // 6/6
+}
+
+}  // namespace
+}  // namespace cool::core

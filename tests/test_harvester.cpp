@@ -1,0 +1,121 @@
+#include "energy/harvester.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::energy {
+namespace {
+
+TEST(SolarCell, PowerScalesWithIrradiance) {
+  const SolarCell cell;
+  EXPECT_DOUBLE_EQ(cell.charge_power(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cell.charge_power(-10.0), 0.0);
+  EXPECT_NEAR(cell.charge_power(1000.0), 2.0 * cell.charge_power(500.0), 1e-12);
+}
+
+TEST(SolarCell, DefaultSizingGivesUsefulPower) {
+  const SolarCell cell;
+  // At ~800 W/m² the default cell should deliver roughly B/Tr for the
+  // default node (330 J / 2700 s ≈ 0.12 W).
+  const double p = cell.charge_power(800.0);
+  EXPECT_GT(p, 0.08);
+  EXPECT_LT(p, 0.20);
+}
+
+TEST(SolarCell, ConfigValidation) {
+  SolarCellConfig bad;
+  bad.area_m2 = 0.0;
+  EXPECT_THROW(SolarCell{bad}, std::invalid_argument);
+  bad = {};
+  bad.efficiency = 1.5;
+  EXPECT_THROW(SolarCell{bad}, std::invalid_argument);
+  bad = {};
+  bad.charge_efficiency = 0.0;
+  EXPECT_THROW(SolarCell{bad}, std::invalid_argument);
+}
+
+TEST(HarvestSimulator, IdleNodeChargesDuringDay) {
+  const SolarModel solar;
+  HarvestSimulator sim(solar, Weather::kSunny, {}, {}, util::Rng(1));
+  EXPECT_TRUE(sim.battery().empty());
+  // Simulate 10:00 -> 12:00 idle.
+  for (double minute = 600.0; minute < 720.0; minute += 1.0)
+    sim.step(minute, 1.0, /*node_active=*/false);
+  EXPECT_GT(sim.battery().soc(), 0.3);
+}
+
+TEST(HarvestSimulator, NothingHappensAtNight) {
+  const SolarModel solar;
+  HarvestSimulator sim(solar, Weather::kSunny, {}, {}, util::Rng(2));
+  sim.battery().set_level(100.0);
+  for (double minute = 0.0; minute < 120.0; minute += 1.0)
+    sim.step(minute, 1.0, false);
+  // Default ready power is 0: the level must not move at night.
+  EXPECT_DOUBLE_EQ(sim.battery().level(), 100.0);
+}
+
+TEST(HarvestSimulator, ActiveNodeDrains) {
+  const SolarModel solar;
+  HarvestSimulator sim(solar, Weather::kSunny, {}, {}, util::Rng(3));
+  sim.battery().set_level(sim.battery().capacity());
+  // Active at night: pure drain at active_power.
+  sim.step(0.0, 1.0, /*node_active=*/true);
+  const NodeEnergyConfig node;
+  EXPECT_NEAR(sim.battery().level(),
+              node.battery_capacity_j - node.active_power_w * 60.0, 1e-9);
+}
+
+TEST(HarvestSimulator, FullDischargeTakesAboutTd) {
+  const SolarModel solar;
+  HarvestSimulator sim(solar, Weather::kSunny, {}, {}, util::Rng(4));
+  sim.battery().set_level(sim.battery().capacity());
+  double minutes = 0.0;
+  while (!sim.battery().empty() && minutes < 120.0) {
+    sim.step(minutes, 1.0, true);  // at night, no harvest
+    minutes += 1.0;
+  }
+  EXPECT_NEAR(minutes, 15.0, 1.0);  // the paper's Td
+}
+
+TEST(HarvestSimulator, SunnyRechargeTakesAboutTr) {
+  const SolarModel solar;
+  HarvestSimulator sim(solar, Weather::kSunny, {}, {}, util::Rng(5));
+  // Start empty mid-morning; idle until full.
+  double minute = 570.0;  // 9:30
+  double charged_at = -1.0;
+  while (minute < 800.0) {
+    sim.step(minute, 1.0, false);
+    minute += 1.0;
+    if (sim.battery().full()) {
+      charged_at = minute;
+      break;
+    }
+  }
+  ASSERT_GT(charged_at, 0.0) << "never fully charged";
+  const double tr = charged_at - 570.0;
+  EXPECT_GT(tr, 25.0);
+  EXPECT_LT(tr, 75.0);  // the paper's sunny Tr = 45 min, generous band
+}
+
+TEST(HarvestSimulator, RainChargesMuchSlowerThanSun) {
+  const SolarModel solar;
+  HarvestSimulator sunny(solar, Weather::kSunny, {}, {}, util::Rng(6));
+  HarvestSimulator rain(solar, Weather::kRain, {}, {}, util::Rng(6));
+  for (double minute = 600.0; minute < 660.0; minute += 1.0) {
+    sunny.step(minute, 1.0, false);
+    rain.step(minute, 1.0, false);
+  }
+  EXPECT_GT(sunny.battery().level(), 3.0 * rain.battery().level());
+}
+
+TEST(HarvestSimulator, StepValidation) {
+  const SolarModel solar;
+  HarvestSimulator sim(solar, Weather::kSunny, {}, {}, util::Rng(7));
+  EXPECT_THROW(sim.step(0.0, -1.0, false), std::invalid_argument);
+  NodeEnergyConfig bad;
+  bad.active_power_w = 0.0;
+  EXPECT_THROW(HarvestSimulator(solar, Weather::kSunny, {}, bad, util::Rng(8)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::energy

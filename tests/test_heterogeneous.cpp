@@ -1,0 +1,112 @@
+#include "core/heterogeneous.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "submodular/detection.h"
+
+namespace cool::core {
+namespace {
+
+std::shared_ptr<const sub::SubmodularFunction> detect(std::size_t n, double p) {
+  return std::make_shared<sub::DetectionUtility>(std::vector<double>(n, p));
+}
+
+TEST(Heterogeneous, RespectsPerSensorSpacing) {
+  HeterogeneousProblem problem;
+  problem.slot_utility = detect(3, 0.4);
+  problem.period_slots = {2, 4, 6};
+  problem.horizon_slots = 24;
+  const auto result = HeterogeneousGreedyScheduler().schedule(problem);
+  for (std::size_t v = 0; v < 3; ++v) {
+    std::size_t last = static_cast<std::size_t>(-1);
+    for (std::size_t t = 0; t < 24; ++t) {
+      if (!result.schedule.active(v, t)) continue;
+      if (last != static_cast<std::size_t>(-1)) {
+        EXPECT_GE(t - last, problem.period_slots[v]) << "sensor " << v;
+      }
+      last = t;
+    }
+  }
+}
+
+TEST(Heterogeneous, FasterChargersActivateMoreOften) {
+  HeterogeneousProblem problem;
+  problem.slot_utility = detect(2, 0.4);
+  problem.period_slots = {2, 8};
+  problem.horizon_slots = 32;
+  const auto result = HeterogeneousGreedyScheduler().schedule(problem);
+  std::size_t count0 = 0, count1 = 0;
+  for (std::size_t t = 0; t < 32; ++t) {
+    count0 += result.schedule.active(0, t) ? 1 : 0;
+    count1 += result.schedule.active(1, t) ? 1 : 0;
+  }
+  EXPECT_GT(count0, count1);
+  EXPECT_EQ(count0, 16u);  // every other slot
+  EXPECT_EQ(count1, 4u);   // every 8th slot
+}
+
+TEST(Heterogeneous, UniformPeriodsMatchPeriodicGreedyAverage) {
+  // With identical T_v = T the horizon greedy should achieve at least the
+  // periodic greedy's utility (it has strictly more freedom).
+  const std::size_t n = 6, T = 3, periods = 4;
+  const auto utility = detect(n, 0.4);
+  HeterogeneousProblem hp;
+  hp.slot_utility = utility;
+  hp.period_slots.assign(n, T);
+  hp.horizon_slots = T * periods;
+  const auto het = HeterogeneousGreedyScheduler().schedule(hp);
+
+  const Problem problem(utility, T, periods, true);
+  const auto periodic = GreedyScheduler().schedule(problem);
+  const double periodic_u = evaluate(problem, periodic.schedule).total_utility;
+  EXPECT_GE(het.total_utility, periodic_u - 1e-9);
+}
+
+TEST(Heterogeneous, TotalUtilityMatchesEvaluation) {
+  HeterogeneousProblem problem;
+  problem.slot_utility = detect(4, 0.3);
+  problem.period_slots = {2, 3, 4, 5};
+  problem.horizon_slots = 20;
+  const auto result = HeterogeneousGreedyScheduler().schedule(problem);
+  double check = 0.0;
+  for (std::size_t t = 0; t < 20; ++t) {
+    const auto active = result.schedule.active_set(t);
+    check += problem.slot_utility->value(active);
+  }
+  EXPECT_NEAR(result.total_utility, check, 1e-9);
+}
+
+TEST(Heterogeneous, Validation) {
+  HeterogeneousProblem problem;
+  EXPECT_THROW(HeterogeneousGreedyScheduler().schedule(problem),
+               std::invalid_argument);
+  problem.slot_utility = detect(2, 0.4);
+  problem.period_slots = {2};
+  problem.horizon_slots = 8;
+  EXPECT_THROW(HeterogeneousGreedyScheduler().schedule(problem),
+               std::invalid_argument);
+  problem.period_slots = {2, 1};  // T_v < 2
+  EXPECT_THROW(HeterogeneousGreedyScheduler().schedule(problem),
+               std::invalid_argument);
+  problem.period_slots = {2, 2};
+  problem.horizon_slots = 0;
+  EXPECT_THROW(HeterogeneousGreedyScheduler().schedule(problem),
+               std::invalid_argument);
+}
+
+TEST(Heterogeneous, ZeroUtilitySensorsNeverPlaced) {
+  HeterogeneousProblem problem;
+  problem.slot_utility =
+      std::make_shared<sub::DetectionUtility>(std::vector<double>{0.4, 0.0});
+  problem.period_slots = {2, 2};
+  problem.horizon_slots = 8;
+  const auto result = HeterogeneousGreedyScheduler().schedule(problem);
+  for (std::size_t t = 0; t < 8; ++t) EXPECT_FALSE(result.schedule.active(1, t));
+}
+
+}  // namespace
+}  // namespace cool::core

@@ -1,0 +1,93 @@
+#include "geometry/holes.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/deployment.h"
+#include "util/rng.h"
+
+namespace cool::geom {
+namespace {
+
+TEST(Holes, FullyCoveredRegionHasNoHoles) {
+  const Rect region = Rect::square(10.0);
+  const std::vector<Disk> disks{Disk({5.0, 5.0}, 10.0)};  // swallows region
+  const auto report = find_coverage_holes(region, disks, 64);
+  EXPECT_TRUE(report.holes.empty());
+  EXPECT_DOUBLE_EQ(report.uncovered_area, 0.0);
+  EXPECT_DOUBLE_EQ(report.uncovered_fraction, 0.0);
+}
+
+TEST(Holes, EmptyDeploymentIsOneBigHole) {
+  const Rect region = Rect::square(10.0);
+  const auto report = find_coverage_holes(region, {}, 64);
+  ASSERT_EQ(report.holes.size(), 1u);
+  EXPECT_NEAR(report.uncovered_fraction, 1.0, 1e-9);
+  EXPECT_NEAR(report.holes[0].area, 100.0, 1e-9);
+  EXPECT_TRUE(region.contains(report.holes[0].witness));
+}
+
+TEST(Holes, TwoSeparatedHolesDetected) {
+  // A vertical band of disks splits the region into left and right holes.
+  const Rect region = Rect::square(30.0);
+  std::vector<Disk> band;
+  for (double y = 0.0; y <= 30.0; y += 4.0) band.emplace_back(Vec2{15.0, y}, 5.0);
+  const auto report = find_coverage_holes(region, band, 128);
+  ASSERT_GE(report.holes.size(), 2u);
+  // Largest-first ordering.
+  for (std::size_t i = 1; i < report.holes.size(); ++i)
+    EXPECT_LE(report.holes[i].area, report.holes[i - 1].area);
+  // The two major holes sit on opposite sides of the band.
+  const double x0 = report.holes[0].witness.x;
+  const double x1 = report.holes[1].witness.x;
+  EXPECT_TRUE((x0 < 15.0) != (x1 < 15.0));
+}
+
+TEST(Holes, WitnessIsUncovered) {
+  const Rect region = Rect::square(20.0);
+  util::Rng rng(3);
+  const auto centers = uniform_points(region, 6, rng);
+  const auto disks = disks_at(centers, 4.0);
+  const auto report = find_coverage_holes(region, disks, 128);
+  for (const auto& hole : report.holes) {
+    for (const auto& disk : disks) EXPECT_FALSE(disk.contains(hole.witness));
+    EXPECT_TRUE(region.contains(hole.witness));
+    EXPECT_GE(hole.bounding_box.area(), hole.area - 1e-9);
+  }
+}
+
+TEST(Holes, AreaMatchesComplementOfUnion) {
+  const Rect region = Rect::square(10.0);
+  const std::vector<Disk> disks{Disk({5.0, 5.0}, 2.0)};
+  const auto report = find_coverage_holes(region, disks, 512);
+  EXPECT_NEAR(report.uncovered_area, 100.0 - disks[0].area(), 0.1);
+}
+
+TEST(Holes, GapFillersReachFullCoverage) {
+  const Rect region = Rect::square(20.0);
+  std::vector<Disk> disks{Disk({5.0, 5.0}, 6.0)};
+  const auto placements = suggest_gap_fillers(region, disks, 8.0, 12, 64);
+  EXPECT_FALSE(placements.empty());
+  // Apply the suggestions: coverage must improve to (near) full.
+  auto filled = disks;
+  for (const auto& p : placements) filled.emplace_back(p, 8.0);
+  const auto before = find_coverage_holes(region, disks, 64);
+  const auto after = find_coverage_holes(region, filled, 64);
+  EXPECT_LT(after.uncovered_fraction, before.uncovered_fraction);
+  EXPECT_LT(after.uncovered_fraction, 0.05);
+}
+
+TEST(Holes, GapFillersStopWhenCovered) {
+  const Rect region = Rect::square(10.0);
+  const std::vector<Disk> disks{Disk({5.0, 5.0}, 10.0)};
+  const auto placements = suggest_gap_fillers(region, disks, 3.0, 5, 64);
+  EXPECT_TRUE(placements.empty());
+}
+
+TEST(Holes, Validation) {
+  const Rect region = Rect::square(10.0);
+  EXPECT_THROW(find_coverage_holes(region, {}, 4), std::invalid_argument);
+  EXPECT_THROW(suggest_gap_fillers(region, {}, 0.0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::geom

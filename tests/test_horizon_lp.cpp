@@ -1,0 +1,123 @@
+#include "core/horizon_lp.h"
+
+#include "core/lp_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace cool::core {
+namespace {
+
+struct Instance {
+  std::shared_ptr<sub::MultiTargetDetectionUtility> utility;
+  Problem problem;
+};
+
+Instance make_instance(std::size_t n, std::size_t m, std::size_t T,
+                       std::size_t periods, std::uint64_t seed) {
+  net::NetworkConfig config;
+  config.sensor_count = n;
+  config.target_count = m;
+  config.sensing_radius = 45.0;
+  util::Rng rng(seed);
+  const auto network = net::make_random_network(config, rng);
+  auto utility = std::make_shared<sub::MultiTargetDetectionUtility>(
+      sub::MultiTargetDetectionUtility::uniform(n, network.coverage(), 0.4));
+  Problem problem(utility, T, periods, true);
+  return {std::move(utility), std::move(problem)};
+}
+
+TEST(HorizonLp, SolvesAndRepairsToFeasibility) {
+  auto inst = make_instance(8, 2, 3, 3, 1);
+  util::Rng rng(20);
+  const auto result =
+      HorizonLpScheduler().schedule(inst.problem, *inst.utility, rng);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  std::string why;
+  EXPECT_TRUE(result.schedule.feasible(inst.problem, &why)) << why;
+  EXPECT_GT(result.rounded_utility, 0.0);
+}
+
+TEST(HorizonLp, ObjectiveDominatesTiledGreedy) {
+  // LP over ℒ is an upper bound on any feasible schedule, including the
+  // tiled greedy.
+  auto inst = make_instance(10, 3, 4, 2, 2);
+  util::Rng rng(21);
+  const auto lp = HorizonLpScheduler().schedule(inst.problem, *inst.utility, rng);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  const auto greedy = GreedyScheduler().schedule(inst.problem);
+  const double greedy_u = evaluate(inst.problem, greedy.schedule).total_utility;
+  EXPECT_GE(lp.lp_objective, greedy_u - 1e-6);
+  EXPECT_LE(lp.rounded_utility, lp.lp_objective + 1e-6);
+}
+
+TEST(HorizonLp, SinglePeriodMatchesPeriodLpStructure) {
+  // With ℒ = T the rolling window degenerates to the per-period budget, so
+  // the relaxation value equals the period LP's.
+  auto inst = make_instance(6, 2, 3, 1, 3);
+  util::Rng rng(22);
+  const auto result =
+      HorizonLpScheduler().schedule(inst.problem, *inst.utility, rng);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  // Each sensor activated at most once in the single period.
+  for (std::size_t v = 0; v < 6; ++v) {
+    std::size_t count = 0;
+    for (std::size_t t = 0; t < 3; ++t)
+      count += result.schedule.active(v, t) ? 1 : 0;
+    EXPECT_LE(count, 1u);
+  }
+}
+
+TEST(HorizonLp, RepairRemovesWindowConflicts) {
+  // Force a conflicted rounding by running a single round on a dense
+  // instance; whatever the sampling produced, the result must satisfy the
+  // battery automaton (spacing >= T).
+  auto inst = make_instance(12, 4, 4, 3, 4);
+  HorizonLpOptions options;
+  options.rounding_rounds = 1;
+  util::Rng rng(23);
+  const auto result =
+      HorizonLpScheduler(options).schedule(inst.problem, *inst.utility, rng);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  EXPECT_TRUE(result.schedule.feasible(inst.problem));
+}
+
+TEST(HorizonLp, SinglePeriodObjectiveEqualsPeriodLp) {
+  // With L = T the rolling-window LP and the per-period LP describe the
+  // same polytope; their optima must coincide numerically.
+  auto inst = make_instance(7, 3, 4, 1, 6);
+  util::Rng rng_a(25), rng_b(25);
+  const auto horizon =
+      HorizonLpScheduler().schedule(inst.problem, *inst.utility, rng_a);
+  const auto period = LpScheduler().schedule(inst.problem, *inst.utility, rng_b);
+  ASSERT_EQ(horizon.status, lp::SolveStatus::kOptimal);
+  ASSERT_EQ(period.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(horizon.lp_objective, period.lp_objective_per_period, 1e-6);
+}
+
+TEST(HorizonLp, Validation) {
+  HorizonLpOptions bad;
+  bad.rounding_rounds = 0;
+  EXPECT_THROW(HorizonLpScheduler{bad}, std::invalid_argument);
+  bad = {};
+  bad.max_cuts_per_target = 1;
+  EXPECT_THROW(HorizonLpScheduler{bad}, std::invalid_argument);
+
+  auto inst = make_instance(4, 1, 3, 1, 5);
+  const Problem rho_le(inst.utility, 3, 1, false);
+  util::Rng rng(24);
+  EXPECT_THROW(HorizonLpScheduler().schedule(rho_le, *inst.utility, rng),
+               std::invalid_argument);
+  const auto other = sub::MultiTargetDetectionUtility::uniform(4, {{0}}, 0.4);
+  EXPECT_THROW(HorizonLpScheduler().schedule(inst.problem, other, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::core

@@ -1,0 +1,84 @@
+#include "submodular/kcoverage.h"
+
+#include <gtest/gtest.h>
+
+#include "submodular/checker.h"
+#include "util/rng.h"
+
+namespace cool::sub {
+namespace {
+
+TEST(KCoverage, LinearCreditUpToK) {
+  // One target, k = 3, four observers.
+  const auto fn = KCoverageUtility::uniform(4, {{0, 1, 2, 3}}, 3);
+  EXPECT_DOUBLE_EQ(fn.value({}), 0.0);
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0}), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0, 1}), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0, 1, 2}), 1.0, 1e-12);
+  // The fourth observer adds nothing.
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0, 1, 2, 3}), 1.0, 1e-12);
+}
+
+TEST(KCoverage, MarginalsDropToZeroAtK) {
+  const auto fn = KCoverageUtility::uniform(3, {{0, 1, 2}}, 2);
+  const auto state = fn.make_state();
+  EXPECT_NEAR(state->marginal(0), 0.5, 1e-12);
+  state->add(0);
+  state->add(1);
+  EXPECT_DOUBLE_EQ(state->marginal(2), 0.0);
+}
+
+TEST(KCoverage, MultiTargetAggregation) {
+  // Two targets: t0 wants k=1 of {0}, t1 wants k=2 of {1, 2}; weights 2, 4.
+  KCoverageUtility::Target t0{{0}, 1, 2.0};
+  KCoverageUtility::Target t1{{1, 2}, 2, 4.0};
+  const KCoverageUtility fn(3, {t0, t1});
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0}), 2.0, 1e-12);
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{1}), 2.0, 1e-12);  // 4·(1/2)
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0, 1, 2}), 6.0, 1e-12);
+  EXPECT_NEAR(fn.max_value(), 6.0, 1e-12);
+}
+
+TEST(KCoverage, MaxValueCapsAtAvailableObservers) {
+  // Target needs k = 4 but only 2 observers exist: at most 1/2 credit.
+  const auto fn = KCoverageUtility::uniform(2, {{0, 1}}, 4);
+  EXPECT_NEAR(fn.max_value(), 0.5, 1e-12);
+  EXPECT_NEAR(fn.value(std::vector<std::size_t>{0, 1}), 0.5, 1e-12);
+}
+
+TEST(KCoverage, IsSubmodularAndMonotone) {
+  util::Rng rng(1);
+  const auto fn = KCoverageUtility::uniform(
+      8, {{0, 1, 2, 3}, {2, 3, 4, 5}, {5, 6, 7}}, 2);
+  const auto report = check_submodular(fn, rng, 500);
+  EXPECT_TRUE(report.ok()) << report.violation;
+}
+
+TEST(KCoverage, KEqualOneIsBooleanCoverage) {
+  const auto fn = KCoverageUtility::uniform(3, {{0, 1}, {2}}, 1);
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0}), 1.0);
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(fn.value(std::vector<std::size_t>{0, 2}), 2.0);
+}
+
+TEST(KCoverage, CloneIndependence) {
+  const auto fn = KCoverageUtility::uniform(2, {{0, 1}}, 2);
+  const auto a = fn.make_state();
+  a->add(0);
+  const auto b = a->clone();
+  b->add(1);
+  EXPECT_NEAR(a->value(), 0.5, 1e-12);
+  EXPECT_NEAR(b->value(), 1.0, 1e-12);
+}
+
+TEST(KCoverage, Validation) {
+  KCoverageUtility::Target zero_k{{0}, 0, 1.0};
+  EXPECT_THROW(KCoverageUtility(1, {zero_k}), std::invalid_argument);
+  KCoverageUtility::Target bad_weight{{0}, 1, 0.0};
+  EXPECT_THROW(KCoverageUtility(1, {bad_weight}), std::invalid_argument);
+  KCoverageUtility::Target bad_sensor{{5}, 1, 1.0};
+  EXPECT_THROW(KCoverageUtility(1, {bad_sensor}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cool::sub

@@ -1,0 +1,120 @@
+#include "core/lp_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/evaluator.h"
+#include "core/exhaustive.h"
+#include "core/greedy.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace cool::core {
+namespace {
+
+struct Instance {
+  std::shared_ptr<sub::MultiTargetDetectionUtility> utility;
+  Problem problem;
+};
+
+Instance make_instance(std::size_t n, std::size_t m, std::size_t T, bool rho_gt_one,
+                       std::uint64_t seed) {
+  net::NetworkConfig config;
+  config.sensor_count = n;
+  config.target_count = m;
+  util::Rng rng(seed);
+  const auto network = net::make_random_network(config, rng);
+  auto utility = std::make_shared<sub::MultiTargetDetectionUtility>(
+      sub::MultiTargetDetectionUtility::uniform(n, network.coverage(), 0.4));
+  Problem problem(utility, T, 1, rho_gt_one);
+  return {std::move(utility), std::move(problem)};
+}
+
+TEST(LpScheduler, SolvesAndRoundsFeasibly) {
+  auto inst = make_instance(15, 3, 4, true, 1);
+  util::Rng rng(10);
+  const auto result = LpScheduler().schedule(inst.problem, *inst.utility, rng);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  EXPECT_TRUE(result.schedule.feasible(inst.problem));
+  EXPECT_GT(result.rounded_utility_per_period, 0.0);
+}
+
+TEST(LpScheduler, LpObjectiveIsUpperBoundOnExhaustiveOptimum) {
+  auto inst = make_instance(6, 2, 3, true, 2);
+  util::Rng rng(11);
+  const auto lp_result = LpScheduler().schedule(inst.problem, *inst.utility, rng);
+  const auto optimal = ExhaustiveScheduler().schedule(inst.problem);
+  ASSERT_EQ(lp_result.status, lp::SolveStatus::kOptimal);
+  EXPECT_GE(lp_result.lp_objective_per_period,
+            optimal.utility_per_period - 1e-6);
+}
+
+TEST(LpScheduler, RoundedUtilityAtMostLpObjective) {
+  for (const std::uint64_t seed : {3u, 4u, 5u}) {
+    auto inst = make_instance(12, 3, 4, true, seed);
+    util::Rng rng(seed);
+    const auto result = LpScheduler().schedule(inst.problem, *inst.utility, rng);
+    ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+    EXPECT_LE(result.rounded_utility_per_period,
+              result.lp_objective_per_period + 1e-6);
+  }
+}
+
+TEST(LpScheduler, RoundingCompetitiveWithGreedy) {
+  // Not a theorem, but on small instances best-of-16 rounding should land
+  // within 25% of greedy.
+  auto inst = make_instance(20, 4, 4, true, 6);
+  util::Rng rng(12);
+  const auto lp_result = LpScheduler().schedule(inst.problem, *inst.utility, rng);
+  const double greedy = evaluate(inst.problem,
+                                 GreedyScheduler().schedule(inst.problem).schedule)
+                            .total_utility;
+  ASSERT_EQ(lp_result.status, lp::SolveStatus::kOptimal);
+  EXPECT_GE(lp_result.rounded_utility_per_period, 0.75 * greedy);
+}
+
+TEST(LpScheduler, RhoLessEqualOneCase) {
+  auto inst = make_instance(8, 2, 3, false, 7);
+  util::Rng rng(13);
+  const auto result = LpScheduler().schedule(inst.problem, *inst.utility, rng);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  EXPECT_TRUE(result.schedule.feasible(inst.problem));
+  // Every sensor is active in T − 1 slots after rounding.
+  for (std::size_t v = 0; v < 8; ++v)
+    EXPECT_EQ(result.schedule.active_count(v), 2u);
+}
+
+TEST(LpScheduler, SingleTargetLpEqualsBalancedBound) {
+  // All sensors cover one target; the LP optimum should match T times the
+  // concave hull at n/T (integral balanced split).
+  std::vector<std::size_t> all{0, 1, 2, 3, 4, 5, 6, 7};
+  auto utility = std::make_shared<sub::MultiTargetDetectionUtility>(
+      sub::MultiTargetDetectionUtility::uniform(8, {all}, 0.4));
+  Problem problem(utility, 4, 1, true);
+  util::Rng rng(14);
+  const auto result = LpScheduler().schedule(problem, *utility, rng);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  const double expected = 4.0 * (1.0 - std::pow(0.6, 2.0));  // 2 per slot
+  EXPECT_NEAR(result.lp_objective_per_period, expected, 1e-6);
+}
+
+TEST(LpScheduler, RejectsForeignUtility) {
+  auto inst = make_instance(5, 1, 3, true, 8);
+  const auto other = sub::MultiTargetDetectionUtility::uniform(5, {{0}}, 0.4);
+  util::Rng rng(15);
+  EXPECT_THROW(LpScheduler().schedule(inst.problem, other, rng),
+               std::invalid_argument);
+}
+
+TEST(LpScheduler, OptionValidation) {
+  LpScheduleOptions bad;
+  bad.rounding_rounds = 0;
+  EXPECT_THROW(LpScheduler{bad}, std::invalid_argument);
+  bad = {};
+  bad.max_cuts_per_target = 1;
+  EXPECT_THROW(LpScheduler{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::core

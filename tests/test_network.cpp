@@ -1,0 +1,136 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cool::net {
+namespace {
+
+Network tiny_network() {
+  // Sensors on a line at x = 0, 10, 20 with sensing radius 6, comm radius 12.
+  std::vector<Sensor> sensors{
+      {0, {0.0, 0.0}, 6.0, 12.0},
+      {0, {10.0, 0.0}, 6.0, 12.0},
+      {0, {20.0, 0.0}, 6.0, 12.0},
+  };
+  // Targets: one near sensor 0, one between sensors 1 and 2, one uncovered.
+  std::vector<Target> targets{
+      {0, {2.0, 0.0}, 1.0},
+      {0, {15.0, 0.0}, 1.0},
+      {0, {40.0, 0.0}, 1.0},
+  };
+  return Network(std::move(sensors), std::move(targets),
+                 geom::Rect({-5.0, -5.0}, {45.0, 5.0}));
+}
+
+TEST(Network, IdsAreReassignedSequentially) {
+  const auto net = tiny_network();
+  for (std::size_t i = 0; i < net.sensor_count(); ++i)
+    EXPECT_EQ(net.sensors()[i].id, i);
+  for (std::size_t i = 0; i < net.target_count(); ++i)
+    EXPECT_EQ(net.targets()[i].id, i);
+}
+
+TEST(Network, CoverageRelation) {
+  const auto net = tiny_network();
+  EXPECT_EQ(net.covering_sensors(0), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(net.covering_sensors(1), (std::vector<std::size_t>{1, 2}));
+  EXPECT_TRUE(net.covering_sensors(2).empty());
+  EXPECT_TRUE(net.covers(1, 1));
+  EXPECT_FALSE(net.covers(0, 1));
+  EXPECT_THROW(net.covering_sensors(9), std::out_of_range);
+}
+
+TEST(Network, UncoveredTargets) {
+  const auto net = tiny_network();
+  EXPECT_EQ(net.uncovered_targets(), (std::vector<std::size_t>{2}));
+}
+
+TEST(Network, NeighborsSymmetricDiskGraph) {
+  const auto net = tiny_network();
+  EXPECT_EQ(net.neighbors(0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(net.neighbors(1), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(net.neighbors(2), (std::vector<std::size_t>{1}));
+}
+
+TEST(Network, SensingDisksAlign) {
+  const auto net = tiny_network();
+  const auto disks = net.sensing_disks();
+  ASSERT_EQ(disks.size(), 3u);
+  EXPECT_DOUBLE_EQ(disks[1].radius, 6.0);
+  EXPECT_DOUBLE_EQ(disks[2].center.x, 20.0);
+}
+
+TEST(Network, NegativeRadiusThrows) {
+  std::vector<Sensor> sensors{{0, {0.0, 0.0}, -1.0, 5.0}};
+  EXPECT_THROW(Network(std::move(sensors), {}, geom::Rect::square(10.0)),
+               std::invalid_argument);
+}
+
+TEST(MakeRandomNetwork, CountsAndRegion) {
+  NetworkConfig config;
+  config.sensor_count = 120;
+  config.target_count = 7;
+  util::Rng rng(1);
+  const auto net = make_random_network(config, rng);
+  EXPECT_EQ(net.sensor_count(), 120u);
+  EXPECT_EQ(net.target_count(), 7u);
+  for (const auto& s : net.sensors())
+    EXPECT_TRUE(net.region().contains(s.position));
+}
+
+TEST(MakeRandomNetwork, EnsureCoverageLeavesNoOrphanTargets) {
+  NetworkConfig config;
+  config.sensor_count = 10;      // sparse: orphans likely without the fix
+  config.target_count = 8;
+  config.sensing_radius = 5.0;
+  config.region_side = 200.0;
+  util::Rng rng(2);
+  const auto net = make_random_network(config, rng);
+  EXPECT_TRUE(net.uncovered_targets().empty());
+}
+
+TEST(MakeRandomNetwork, WithoutEnsureCoverageOrphansMayExist) {
+  NetworkConfig config;
+  config.sensor_count = 5;
+  config.target_count = 40;
+  config.sensing_radius = 3.0;
+  config.region_side = 300.0;
+  config.ensure_coverage = false;
+  util::Rng rng(3);
+  const auto net = make_random_network(config, rng);
+  EXPECT_FALSE(net.uncovered_targets().empty());
+}
+
+TEST(MakeRandomNetwork, LayoutsProduceValidNetworks) {
+  for (const auto layout :
+       {NetworkConfig::Layout::kUniform, NetworkConfig::Layout::kGrid,
+        NetworkConfig::Layout::kClustered}) {
+    NetworkConfig config;
+    config.layout = layout;
+    config.sensor_count = 60;
+    config.target_count = 5;
+    util::Rng rng(4);
+    const auto net = make_random_network(config, rng);
+    EXPECT_EQ(net.sensor_count(), 60u);
+  }
+}
+
+TEST(MakeRandomNetwork, ZeroSensorsThrows) {
+  NetworkConfig config;
+  config.sensor_count = 0;
+  util::Rng rng(5);
+  EXPECT_THROW(make_random_network(config, rng), std::invalid_argument);
+}
+
+TEST(MakeRandomNetwork, DeterministicPerSeed) {
+  NetworkConfig config;
+  util::Rng a(7), b(7);
+  const auto na = make_random_network(config, a);
+  const auto nb = make_random_network(config, b);
+  EXPECT_EQ(na.sensors()[13].position.x, nb.sensors()[13].position.x);
+}
+
+}  // namespace
+}  // namespace cool::net

@@ -1,0 +1,80 @@
+#include "core/passive_greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/evaluator.h"
+#include "core/exhaustive.h"
+#include "submodular/detection.h"
+
+namespace cool::core {
+namespace {
+
+std::shared_ptr<const sub::SubmodularFunction> detect(std::size_t n, double p) {
+  return std::make_shared<sub::DetectionUtility>(std::vector<double>(n, p));
+}
+
+TEST(PassiveGreedy, RequiresRhoAtMostOne) {
+  const Problem problem(detect(4, 0.4), 4, 1, true);
+  EXPECT_THROW(PassiveGreedyScheduler().schedule(problem), std::invalid_argument);
+}
+
+TEST(PassiveGreedy, EverySensorGetsExactlyOnePassiveSlot) {
+  const Problem problem(detect(6, 0.4), 4, 1, false);
+  const auto result = PassiveGreedyScheduler().schedule(problem);
+  EXPECT_EQ(result.steps.size(), 6u);
+  for (std::size_t v = 0; v < 6; ++v)
+    EXPECT_EQ(result.schedule.active_count(v), 3u);  // T − 1 active slots
+  EXPECT_TRUE(result.schedule.feasible(problem));
+}
+
+TEST(PassiveGreedy, IdenticalSensorsSpreadPassiveSlotsEvenly) {
+  const Problem problem(detect(8, 0.4), 4, 1, false);
+  const auto result = PassiveGreedyScheduler().schedule(problem);
+  for (std::size_t t = 0; t < 4; ++t)
+    EXPECT_EQ(result.schedule.active_set(t).size(), 6u);  // 8 − 2 passive each
+}
+
+TEST(PassiveGreedy, LossesAreNonDecreasing) {
+  const Problem problem(detect(8, 0.4), 4, 1, false);
+  const auto result = PassiveGreedyScheduler().schedule(problem);
+  for (std::size_t i = 1; i < result.steps.size(); ++i)
+    EXPECT_GE(result.steps[i].loss + 1e-12, result.steps[i - 1].loss);
+}
+
+TEST(PassiveGreedy, MatchesExhaustiveOnSmallInstances) {
+  for (const std::size_t n : {2u, 3u, 4u}) {
+    const Problem problem(detect(n, 0.5), 3, 1, false);
+    const auto greedy = PassiveGreedyScheduler().schedule(problem);
+    const auto optimal = ExhaustiveScheduler().schedule(problem);
+    const double ug = evaluate(problem, greedy.schedule).total_utility;
+    // Identical sensors: greedy's balanced passives are optimal.
+    EXPECT_NEAR(ug, optimal.utility_per_period, 1e-9) << "n = " << n;
+  }
+}
+
+TEST(PassiveGreedy, HalfApproximationOnHeterogeneousInstances) {
+  // Heterogeneous detection probabilities, exhaustive comparison.
+  const std::vector<double> probs{0.9, 0.2, 0.6, 0.4, 0.75};
+  const Problem problem(std::make_shared<sub::DetectionUtility>(probs), 3, 1,
+                        false);
+  const auto greedy = PassiveGreedyScheduler().schedule(problem);
+  const auto optimal = ExhaustiveScheduler().schedule(problem);
+  const double ug = evaluate(problem, greedy.schedule).total_utility;
+  EXPECT_GE(ug, 0.5 * optimal.utility_per_period - 1e-9);
+  EXPECT_LE(ug, optimal.utility_per_period + 1e-9);
+}
+
+TEST(PassiveGreedy, HighValueSensorKeepsMaxActiveSlots) {
+  // One dominant sensor among duds: its passive slot must land where the
+  // duds can least cover for it — any slot, but never two passive slots.
+  const std::vector<double> probs{0.95, 0.01, 0.01, 0.01};
+  const Problem problem(std::make_shared<sub::DetectionUtility>(probs), 4, 1,
+                        false);
+  const auto result = PassiveGreedyScheduler().schedule(problem);
+  EXPECT_EQ(result.schedule.active_count(0), 3u);
+}
+
+}  // namespace
+}  // namespace cool::core

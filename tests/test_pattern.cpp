@@ -1,0 +1,163 @@
+#include "energy/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::energy {
+namespace {
+
+TEST(ChargingPattern, PaperDefaults) {
+  const ChargingPattern p;  // Td = 15, Tr = 45
+  EXPECT_DOUBLE_EQ(p.rho(), 3.0);
+  EXPECT_DOUBLE_EQ(p.slot_minutes(), 15.0);
+  EXPECT_EQ(p.slots_per_period(), 4u);         // T = ρ + 1
+  EXPECT_EQ(p.active_slots_per_period(), 1u);
+  EXPECT_DOUBLE_EQ(p.integrality_error(), 0.0);
+}
+
+TEST(ChargingPattern, RhoLessThanOne) {
+  const ChargingPattern p{30.0, 10.0};  // Td = 30, Tr = 10: ρ = 1/3
+  EXPECT_NEAR(p.rho(), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.slot_minutes(), 10.0);    // slot = Tr
+  EXPECT_EQ(p.slots_per_period(), 4u);         // 1/ρ + 1
+  EXPECT_EQ(p.active_slots_per_period(), 3u);  // T − 1
+}
+
+TEST(ChargingPattern, IntegralityErrorReported) {
+  const ChargingPattern p{15.0, 40.0};  // ρ = 2.67
+  EXPECT_NEAR(p.integrality_error(), 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(p.slots_per_period(), 4u);  // rounds 2.67 -> 3, T = 4
+}
+
+TEST(ChargingPattern, RhoEqualOneBoundary) {
+  const ChargingPattern p{20.0, 20.0};
+  EXPECT_DOUBLE_EQ(p.rho(), 1.0);
+  EXPECT_EQ(p.slots_per_period(), 2u);
+  EXPECT_EQ(p.active_slots_per_period(), 1u);  // T − 1 = 1
+}
+
+TEST(PatternForWeather, SunnyMatchesPaper) {
+  const auto p = pattern_for_weather(Weather::kSunny);
+  EXPECT_DOUBLE_EQ(p.discharge_minutes, 15.0);
+  EXPECT_DOUBLE_EQ(p.recharge_minutes, 45.0);
+}
+
+TEST(PatternForWeather, WorseWeatherStretchesRecharge) {
+  const auto sunny = pattern_for_weather(Weather::kSunny);
+  const auto cloudy = pattern_for_weather(Weather::kPartlyCloudy);
+  const auto rain = pattern_for_weather(Weather::kRain);
+  EXPECT_GT(cloudy.recharge_minutes, sunny.recharge_minutes);
+  EXPECT_GT(rain.recharge_minutes, cloudy.recharge_minutes);
+  // Td is a device property.
+  EXPECT_DOUBLE_EQ(cloudy.discharge_minutes, sunny.discharge_minutes);
+}
+
+TEST(EstimatePattern, RecoversRatioFromCyclingSunnyTrace) {
+  // A cycling node (the paper's duty cycle) recharges many times across the
+  // day; the mid-day window estimate must land near the measured 15/45.
+  TraceConfig config;
+  config.mode = TraceConfig::Mode::kCycling;
+  util::Rng rng(1);
+  const auto trace = generate_daily_trace(config, Weather::kSunny, 5, 0, rng);
+  const auto pattern =
+      estimate_pattern_window(trace, config.node, 10.0 * 60.0, 14.0 * 60.0);
+  // Device Td is exact by construction.
+  EXPECT_NEAR(pattern.discharge_minutes, 15.0, 0.01);
+  // Tr estimated around solar noon should be in the sunny ballpark.
+  EXPECT_GT(pattern.recharge_minutes, 25.0);
+  EXPECT_LT(pattern.recharge_minutes, 90.0);
+  EXPECT_GT(pattern.rho(), 1.5);
+}
+
+TEST(EstimatePattern, FullDayEstimateIsSlowerThanMidday) {
+  // The whole-day mean includes weak dawn/dusk light, so the full-day Tr
+  // estimate must exceed the mid-day one — exactly why the paper estimates
+  // over short (~2 h) windows and re-fits per weather change.
+  TraceConfig config;
+  config.mode = TraceConfig::Mode::kCycling;
+  config.initial_soc = 0.0;
+  util::Rng rng(1);
+  const auto trace = generate_daily_trace(config, Weather::kSunny, 5, 0, rng);
+  const auto full_day = estimate_pattern(trace, config.node);
+  const auto midday =
+      estimate_pattern_window(trace, config.node, 10.0 * 60.0, 14.0 * 60.0);
+  EXPECT_GT(full_day.recharge_minutes, midday.recharge_minutes);
+  EXPECT_GT(full_day.rho(), 1.0);
+}
+
+TEST(EstimatePattern, WindowedEstimateValidation) {
+  TraceConfig config;
+  config.mode = TraceConfig::Mode::kCycling;
+  util::Rng rng(2);
+  const auto trace = generate_daily_trace(config, Weather::kSunny, 5, 0, rng);
+  EXPECT_THROW(
+      estimate_pattern_window(trace, config.node, 10.0, 10.0),
+      std::invalid_argument);
+  // A night window never charges.
+  EXPECT_THROW(estimate_pattern_window(trace, config.node, 0.0, 120.0),
+               std::runtime_error);
+}
+
+TEST(EstimatePattern, Validation) {
+  ChargingTrace empty;
+  NodeEnergyConfig node;
+  EXPECT_THROW(estimate_pattern(empty, node), std::runtime_error);
+}
+
+TEST(EstimateFleetPattern, MedianAcrossNodes) {
+  TraceConfig config;
+  config.mode = TraceConfig::Mode::kCycling;
+  std::vector<ChargingTrace> traces;
+  for (int node = 0; node < 5; ++node) {
+    util::Rng rng(100 + static_cast<std::uint64_t>(node));
+    traces.push_back(
+        generate_daily_trace(config, Weather::kSunny, node, 0, rng));
+  }
+  const auto fleet =
+      estimate_fleet_pattern(traces, config.node, 10.0 * 60.0, 14.0 * 60.0);
+  EXPECT_NEAR(fleet.discharge_minutes, 15.0, 0.01);
+  EXPECT_GT(fleet.recharge_minutes, 25.0);
+  EXPECT_LT(fleet.recharge_minutes, 90.0);
+  // Median of individual estimates lies within their min/max.
+  double lo = 1e9, hi = 0.0;
+  for (const auto& trace : traces) {
+    const auto single =
+        estimate_pattern_window(trace, config.node, 10.0 * 60.0, 14.0 * 60.0);
+    lo = std::min(lo, single.recharge_minutes);
+    hi = std::max(hi, single.recharge_minutes);
+  }
+  EXPECT_GE(fleet.recharge_minutes, lo);
+  EXPECT_LE(fleet.recharge_minutes, hi);
+}
+
+TEST(EstimateFleetPattern, SkipsNodesWithoutCharging) {
+  TraceConfig cycling;
+  cycling.mode = TraceConfig::Mode::kCycling;
+  util::Rng rng(7);
+  std::vector<ChargingTrace> traces{
+      generate_daily_trace(cycling, Weather::kSunny, 0, 0, rng)};
+  // A node that is already full all day contributes nothing.
+  TraceConfig idle;
+  idle.initial_soc = 1.0;
+  idle.report_duty = 0.0;
+  traces.push_back(generate_daily_trace(idle, Weather::kSunny, 1, 0, rng));
+  const auto fleet =
+      estimate_fleet_pattern(traces, cycling.node, 10.0 * 60.0, 14.0 * 60.0);
+  EXPECT_GT(fleet.rho(), 1.0);
+}
+
+TEST(EstimateFleetPattern, Validation) {
+  NodeEnergyConfig node;
+  EXPECT_THROW(estimate_fleet_pattern({}, node, 0.0, 60.0), std::runtime_error);
+  EXPECT_THROW(estimate_fleet_pattern({}, node, 60.0, 60.0),
+               std::invalid_argument);
+  // All-night windows on real traces: every node skipped.
+  TraceConfig config;
+  util::Rng rng(8);
+  const std::vector<ChargingTrace> traces{
+      generate_daily_trace(config, Weather::kSunny, 0, 0, rng)};
+  EXPECT_THROW(estimate_fleet_pattern(traces, node, 0.0, 120.0),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cool::energy

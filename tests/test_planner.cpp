@@ -1,0 +1,86 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "submodular/detection.h"
+
+namespace cool::core {
+namespace {
+
+std::shared_ptr<const sub::SubmodularFunction> detect(std::size_t n, double p) {
+  return std::make_shared<sub::DetectionUtility>(std::vector<double>(n, p));
+}
+
+TEST(Planner, SunnyDayMatchesPaperStructure) {
+  const WeatherAdaptivePlanner planner(detect(20, 0.4));
+  const auto plan = planner.plan_day(energy::Weather::kSunny);
+  EXPECT_EQ(plan.slots_per_period, 4u);   // rho = 3
+  EXPECT_EQ(plan.periods, 12u);           // 12 x 60 min in a 12 h day
+  EXPECT_TRUE(plan.rho_greater_than_one);
+  EXPECT_GT(plan.expected_average_utility, 0.0);
+  const Problem problem(detect(20, 0.4), plan.slots_per_period, plan.periods,
+                        plan.rho_greater_than_one);
+  EXPECT_TRUE(plan.schedule.feasible(problem));
+}
+
+TEST(Planner, WorseWeatherLowersUtility) {
+  const WeatherAdaptivePlanner planner(detect(30, 0.4));
+  const auto sunny = planner.plan_day(energy::Weather::kSunny);
+  const auto overcast = planner.plan_day(energy::Weather::kOvercast);
+  EXPECT_GT(overcast.slots_per_period, sunny.slots_per_period);
+  EXPECT_LT(overcast.expected_average_utility, sunny.expected_average_utility);
+}
+
+TEST(Planner, RhoBelowOneUsesPassiveGreedy) {
+  // Custom pattern source: fast chargers regardless of weather.
+  PlannerConfig config;
+  config.pattern_for = [](energy::Weather) {
+    return energy::ChargingPattern{30.0, 15.0};  // rho = 1/2
+  };
+  const WeatherAdaptivePlanner planner(detect(10, 0.4), config);
+  const auto plan = planner.plan_day(energy::Weather::kSunny);
+  EXPECT_FALSE(plan.rho_greater_than_one);
+  // Every sensor active in T-1 slots.
+  for (std::size_t v = 0; v < 10; ++v)
+    EXPECT_EQ(plan.schedule.active_count(v), plan.slots_per_period - 1);
+}
+
+TEST(Planner, DayTooShortYieldsEmptyPlan) {
+  PlannerConfig config;
+  config.working_minutes = 30.0;  // shorter than one sunny period (60 min)
+  const WeatherAdaptivePlanner planner(detect(5, 0.4), config);
+  const auto plan = planner.plan_day(energy::Weather::kSunny);
+  EXPECT_EQ(plan.periods, 0u);
+  EXPECT_DOUBLE_EQ(plan.expected_average_utility, 0.0);
+  for (std::size_t v = 0; v < 5; ++v)
+    EXPECT_EQ(plan.schedule.active_count(v), 0u);
+}
+
+TEST(Planner, PlansWholeForecast) {
+  const WeatherAdaptivePlanner planner(detect(15, 0.4));
+  const std::vector<energy::Weather> forecast{
+      energy::Weather::kSunny, energy::Weather::kPartlyCloudy,
+      energy::Weather::kRain, energy::Weather::kSunny};
+  const auto plans = planner.plan(forecast);
+  ASSERT_EQ(plans.size(), 4u);
+  EXPECT_EQ(plans[0].weather, energy::Weather::kSunny);
+  EXPECT_EQ(plans[2].weather, energy::Weather::kRain);
+  // Sunny days plan identically.
+  EXPECT_DOUBLE_EQ(plans[0].expected_average_utility,
+                   plans[3].expected_average_utility);
+}
+
+TEST(Planner, Validation) {
+  EXPECT_THROW(WeatherAdaptivePlanner(nullptr), std::invalid_argument);
+  PlannerConfig bad;
+  bad.working_minutes = 0.0;
+  EXPECT_THROW(WeatherAdaptivePlanner(detect(2, 0.4), bad), std::invalid_argument);
+  bad = {};
+  bad.pattern_for = nullptr;
+  EXPECT_THROW(WeatherAdaptivePlanner(detect(2, 0.4), bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::core

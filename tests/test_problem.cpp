@@ -1,0 +1,136 @@
+#include "core/problem.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "submodular/detection.h"
+
+namespace cool::core {
+namespace {
+
+std::shared_ptr<const sub::SubmodularFunction> detect(std::size_t n, double p) {
+  return std::make_shared<sub::DetectionUtility>(std::vector<double>(n, p));
+}
+
+TEST(Problem, BasicAccessors) {
+  const Problem problem(detect(10, 0.4), 4, 12, true);
+  EXPECT_EQ(problem.sensor_count(), 10u);
+  EXPECT_EQ(problem.slots_per_period(), 4u);
+  EXPECT_EQ(problem.periods(), 12u);
+  EXPECT_EQ(problem.horizon_slots(), 48u);
+  EXPECT_TRUE(problem.rho_greater_than_one());
+  EXPECT_EQ(problem.active_slots_per_period(), 1u);
+}
+
+TEST(Problem, RhoLessEqualOneActiveSlots) {
+  const Problem problem(detect(5, 0.4), 4, 1, false);
+  EXPECT_EQ(problem.active_slots_per_period(), 3u);
+}
+
+TEST(Problem, Validation) {
+  EXPECT_THROW(Problem(nullptr, 4, 1, true), std::invalid_argument);
+  EXPECT_THROW(Problem(detect(5, 0.4), 1, 1, true), std::invalid_argument);
+  EXPECT_THROW(Problem(detect(5, 0.4), 4, 0, true), std::invalid_argument);
+}
+
+TEST(Problem, FromPatternPaperDefaults) {
+  const energy::ChargingPattern pattern;  // 15 / 45 -> rho 3, T = 4
+  const auto problem = Problem::from_pattern(detect(100, 0.4), pattern, 12);
+  EXPECT_EQ(problem.slots_per_period(), 4u);
+  EXPECT_TRUE(problem.rho_greater_than_one());
+  // L = 12 periods x 4 slots = 48 slots of 15 min = the paper's 12-hour day.
+  EXPECT_EQ(problem.horizon_slots(), 48u);
+}
+
+TEST(Problem, FromPatternRhoBelowOne) {
+  const energy::ChargingPattern pattern{40.0, 10.0};  // rho = 0.25, T = 5
+  const auto problem = Problem::from_pattern(detect(5, 0.4), pattern, 2);
+  EXPECT_EQ(problem.slots_per_period(), 5u);
+  EXPECT_FALSE(problem.rho_greater_than_one());
+  EXPECT_EQ(problem.active_slots_per_period(), 4u);
+}
+
+TEST(Problem, DetectionInstanceBuildsCoverage) {
+  net::NetworkConfig config;
+  config.sensor_count = 30;
+  config.target_count = 3;
+  util::Rng rng(1);
+  const auto network = net::make_random_network(config, rng);
+  const auto problem =
+      Problem::detection_instance(network, 0.4, energy::ChargingPattern{}, 12);
+  EXPECT_EQ(problem.sensor_count(), 30u);
+  const auto* utility = dynamic_cast<const sub::MultiTargetDetectionUtility*>(
+      &problem.slot_utility());
+  ASSERT_NE(utility, nullptr);
+  EXPECT_EQ(utility->target_count(), 3u);
+}
+
+TEST(Problem, DetectionInstanceHonoursTargetWeights) {
+  std::vector<net::Sensor> sensors{{0, {0.0, 0.0}, 10.0, 20.0}};
+  std::vector<net::Target> targets{{0, {1.0, 0.0}, 5.0}, {0, {2.0, 0.0}, 1.0}};
+  const net::Network network(std::move(sensors), std::move(targets),
+                             geom::Rect({-20, -20}, {20, 20}));
+  const auto problem =
+      Problem::detection_instance(network, 0.4, energy::ChargingPattern{}, 1);
+  // Both targets covered by the one sensor: U({0}) = 5·0.4 + 1·0.4.
+  EXPECT_NEAR(problem.slot_utility().value(std::vector<std::size_t>{0}), 2.4,
+              1e-12);
+}
+
+TEST(Problem, DistanceDecayInstanceWeakensFarSensors) {
+  // One sensor at the target, one near the rim of its sensing disk.
+  std::vector<net::Sensor> sensors{
+      {0, {0.0, 0.0}, 10.0, 20.0},
+      {0, {9.0, 0.0}, 10.0, 20.0},
+  };
+  std::vector<net::Target> targets{{0, {0.0, 0.0}, 1.0}};
+  const net::Network network(std::move(sensors), std::move(targets),
+                             geom::Rect({-20, -20}, {20, 20}));
+  const auto problem = Problem::distance_decay_instance(
+      network, 0.8, 2.0, energy::ChargingPattern{}, 1);
+  const auto* utility = dynamic_cast<const sub::MultiTargetDetectionUtility*>(
+      &problem.slot_utility());
+  ASSERT_NE(utility, nullptr);
+  ASSERT_EQ(utility->targets()[0].detectors.size(), 2u);
+  // Co-located sensor: p = 0.8·1^2; rim sensor: p = 0.8·(1 − 0.9)^2 = 0.008.
+  double p_near = 0.0, p_far = 0.0;
+  for (const auto& [s, p] : utility->targets()[0].detectors)
+    (s == 0 ? p_near : p_far) = p;
+  EXPECT_NEAR(p_near, 0.8, 1e-12);
+  EXPECT_NEAR(p_far, 0.8 * 0.01, 1e-12);
+}
+
+TEST(Problem, DistanceDecayGammaZeroIsUniform) {
+  net::NetworkConfig config;
+  config.sensor_count = 15;
+  config.target_count = 3;
+  util::Rng rng(4);
+  const auto network = net::make_random_network(config, rng);
+  const auto decay = Problem::distance_decay_instance(
+      network, 0.4, 0.0, energy::ChargingPattern{}, 1);
+  const auto uniform =
+      Problem::detection_instance(network, 0.4, energy::ChargingPattern{}, 1);
+  // Same value on a few sets.
+  for (const auto& set : std::vector<std::vector<std::size_t>>{
+           {}, {0, 1}, {3, 7, 9}, {0, 2, 4, 6, 8, 10}}) {
+    EXPECT_NEAR(decay.slot_utility().value(set), uniform.slot_utility().value(set),
+                1e-12);
+  }
+}
+
+TEST(Problem, DistanceDecayValidation) {
+  net::NetworkConfig config;
+  config.sensor_count = 3;
+  util::Rng rng(5);
+  const auto network = net::make_random_network(config, rng);
+  EXPECT_THROW(Problem::distance_decay_instance(network, 1.5, 1.0,
+                                                energy::ChargingPattern{}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(Problem::distance_decay_instance(network, 0.4, -1.0,
+                                                energy::ChargingPattern{}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::core

@@ -1,0 +1,54 @@
+#include "net/radio.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::net {
+namespace {
+
+TEST(Radio, PacketAirtime) {
+  const RadioEnergyModel radio;
+  // 128 bytes at 250 kbps = 4.096 ms.
+  EXPECT_NEAR(radio.packet_airtime_s(), 128.0 * 8.0 / 250000.0, 1e-12);
+}
+
+TEST(Radio, TxRxEnergyOrdering) {
+  const RadioEnergyModel radio;
+  // CC2420 listens hotter than it talks.
+  EXPECT_GT(radio.rx_energy_j(), radio.tx_energy_j());
+  EXPECT_GT(radio.tx_energy_j(), 0.0);
+}
+
+TEST(Radio, IdleEnergyLinearInTime) {
+  const RadioEnergyModel radio;
+  EXPECT_NEAR(radio.idle_energy_j(2.0), 2.0 * radio.idle_energy_j(1.0), 1e-15);
+  EXPECT_DOUBLE_EQ(radio.idle_energy_j(0.0), 0.0);
+  EXPECT_THROW(radio.idle_energy_j(-1.0), std::invalid_argument);
+}
+
+TEST(Radio, SlotEnergyComposition) {
+  const RadioEnergyModel radio;
+  const double expected = 2.0 * radio.tx_energy_j() +
+                          3.0 * (radio.tx_energy_j() + radio.rx_energy_j()) +
+                          radio.idle_energy_j(10.0);
+  EXPECT_NEAR(radio.slot_energy_j(2, 3, 10.0), expected, 1e-15);
+}
+
+TEST(Radio, RelayingDominatesOriginating) {
+  const RadioEnergyModel radio;
+  EXPECT_GT(radio.slot_energy_j(0, 1, 0.0), radio.slot_energy_j(1, 0, 0.0));
+}
+
+TEST(Radio, ConfigValidation) {
+  RadioConfig bad;
+  bad.voltage_v = 0.0;
+  EXPECT_THROW(RadioEnergyModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.packet_bytes = 0;
+  EXPECT_THROW(RadioEnergyModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.idle_listen_current_a = -1.0;
+  EXPECT_THROW(RadioEnergyModel{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::net

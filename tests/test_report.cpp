@@ -1,0 +1,105 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::core {
+namespace {
+
+TEST(Report, PerfectFairnessForSymmetricSchedule) {
+  // Two disjoint targets, each with 2 sensors, scheduled symmetrically.
+  const auto utility =
+      sub::MultiTargetDetectionUtility::uniform(4, {{0, 1}, {2, 3}}, 0.4);
+  PeriodicSchedule s(4, 2);
+  s.set_active(0, 0);
+  s.set_active(1, 1);
+  s.set_active(2, 0);
+  s.set_active(3, 1);
+  const auto report = per_target_report(utility, s);
+  ASSERT_EQ(report.targets.size(), 2u);
+  EXPECT_NEAR(report.fairness, 1.0, 1e-12);
+  EXPECT_TRUE(report.underserved.empty());
+  EXPECT_NEAR(report.targets[0].average_utility, 0.4, 1e-12);
+  EXPECT_NEAR(report.total_average, 0.8, 1e-12);
+  EXPECT_EQ(report.targets[0].covering_sensors, 2u);
+}
+
+TEST(Report, DetectsStarvedTarget) {
+  // Target 1 has no covering sensor active, ever.
+  const auto utility =
+      sub::MultiTargetDetectionUtility::uniform(3, {{0, 1}, {2}}, 0.4);
+  PeriodicSchedule s(3, 2);
+  s.set_active(0, 0);
+  s.set_active(1, 1);
+  // sensor 2 never activated.
+  const auto report = per_target_report(utility, s);
+  EXPECT_EQ(report.underserved, (std::vector<std::size_t>{1}));
+  EXPECT_DOUBLE_EQ(report.min_average, 0.0);
+  EXPECT_LT(report.fairness, 1.0);
+}
+
+TEST(Report, SlotExtremesTracked) {
+  const auto utility = sub::MultiTargetDetectionUtility::uniform(2, {{0, 1}}, 0.4);
+  PeriodicSchedule s(2, 2);
+  s.set_active(0, 0);
+  s.set_active(1, 0);  // both in slot 0: slot 1 is dark
+  const auto report = per_target_report(utility, s);
+  EXPECT_NEAR(report.targets[0].best_slot_utility, 0.64, 1e-12);
+  EXPECT_DOUBLE_EQ(report.targets[0].worst_slot_utility, 0.0);
+  EXPECT_NEAR(report.targets[0].average_utility, 0.32, 1e-12);
+}
+
+TEST(Report, TargetWeightsScaleService) {
+  sub::MultiTargetDetectionUtility::Target heavy{{{0, 0.5}}, 4.0};
+  sub::MultiTargetDetectionUtility::Target light{{{1, 0.5}}, 1.0};
+  const sub::MultiTargetDetectionUtility utility(2, {heavy, light});
+  PeriodicSchedule s(2, 2);
+  s.set_active(0, 0);
+  s.set_active(1, 1);
+  const auto report = per_target_report(utility, s);
+  EXPECT_NEAR(report.targets[0].average_utility, 1.0, 1e-12);   // 4·0.5 / 2
+  EXPECT_NEAR(report.targets[1].average_utility, 0.25, 1e-12);  // 1·0.5 / 2
+  // 0.25 < 0.5 x 1.0: the light target counts as underserved by weight.
+  EXPECT_EQ(report.underserved, (std::vector<std::size_t>{1}));
+}
+
+TEST(Report, ThresholdControlsUnderservedCut) {
+  const auto utility =
+      sub::MultiTargetDetectionUtility::uniform(2, {{0}, {1}}, 0.4);
+  // Target 0 served 1 of 4 slots; target 1 served 2 of 4.
+  PeriodicSchedule s2(2, 4);
+  s2.set_active(0, 0);
+  s2.set_active(1, 0);
+  s2.set_active(1, 2);
+  const auto strict = per_target_report(utility, s2, 0.9);
+  EXPECT_EQ(strict.underserved, (std::vector<std::size_t>{0}));
+  const auto lax = per_target_report(utility, s2, 0.4);
+  EXPECT_TRUE(lax.underserved.empty());
+}
+
+TEST(Report, EmptyTargetsAndValidation) {
+  const sub::MultiTargetDetectionUtility utility(2, {});
+  const PeriodicSchedule s(2, 2);
+  const auto report = per_target_report(utility, s);
+  EXPECT_TRUE(report.targets.empty());
+  EXPECT_DOUBLE_EQ(report.total_average, 0.0);
+  EXPECT_DOUBLE_EQ(report.fairness, 1.0);
+  EXPECT_THROW(per_target_report(utility, PeriodicSchedule(3, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(per_target_report(utility, s, 0.0), std::invalid_argument);
+  EXPECT_THROW(per_target_report(utility, s, 1.5), std::invalid_argument);
+}
+
+TEST(Report, TotalMatchesEvaluatorObjective) {
+  const auto utility = sub::MultiTargetDetectionUtility::uniform(
+      6, {{0, 1, 2}, {2, 3}, {4, 5}}, 0.4);
+  PeriodicSchedule s(6, 3);
+  for (std::size_t v = 0; v < 6; ++v) s.set_active(v, v % 3);
+  const auto report = per_target_report(utility, s);
+  // Cross-check against direct evaluation: mean over slots of U(S(t)).
+  double direct = 0.0;
+  for (std::size_t t = 0; t < 3; ++t) direct += utility.value(s.active_set(t));
+  EXPECT_NEAR(report.total_average, direct / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cool::core

@@ -1,0 +1,221 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace cool::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 4.0);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 4.0);
+  }
+}
+
+TEST(Rng, UniformThrowsOnInvertedBounds) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversFullRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
+  EXPECT_THROW(rng.bernoulli(-0.1), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / trials, 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / trials, 10.0, 0.1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.exponential(3.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / trials, 3.0, 0.1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.poisson(2.5));
+  EXPECT_NEAR(sum / trials, 2.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(sum / trials, 100.0, 0.5);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(37);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_THROW(rng.poisson(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(43);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to match
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(47);
+  const std::array<double, 3> weights{0.0, 1.0, 3.0};
+  std::array<int, 3> counts{};
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i)
+    ++counts[rng.weighted_index(std::span<const double>(weights))];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / trials, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / trials, 0.75, 0.01);
+}
+
+TEST(Rng, WeightedIndexErrors) {
+  Rng rng(53);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zero), std::invalid_argument);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(rng.weighted_index(negative), std::invalid_argument);
+}
+
+TEST(Rng, ForkStreamsAreDecorrelated) {
+  Rng parent(59);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(61), p2(61);
+  Rng a = p1.fork(5);
+  Rng b = p2.fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const auto first = splitmix64(s);
+  const auto second = splitmix64(s);
+  EXPECT_NE(first, second);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), first);
+}
+
+}  // namespace
+}  // namespace cool::util

@@ -1,0 +1,97 @@
+#include "net/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::net {
+namespace {
+
+// A 5-node chain plus one isolated node:
+//   0 - 1 - 2 - 3 - 4        5 (isolated)
+Network chain_network() {
+  std::vector<Sensor> sensors;
+  for (int i = 0; i < 5; ++i)
+    sensors.push_back({0, {static_cast<double>(i) * 10.0, 0.0}, 5.0, 11.0});
+  sensors.push_back({0, {200.0, 200.0}, 5.0, 11.0});
+  return Network(std::move(sensors), {}, geom::Rect({0, 0}, {300, 300}));
+}
+
+TEST(RoutingTree, DepthsAlongChain) {
+  const auto net = chain_network();
+  const RoutingTree tree(net, 0);
+  EXPECT_EQ(tree.sink(), 0u);
+  EXPECT_EQ(tree.depth(0), 0u);
+  EXPECT_EQ(tree.depth(1), 1u);
+  EXPECT_EQ(tree.depth(4), 4u);
+  EXPECT_EQ(tree.parent(3), 2u);
+  EXPECT_EQ(tree.parent(0), RoutingTree::kNoParent);
+}
+
+TEST(RoutingTree, UnreachableNodeDetected) {
+  const auto net = chain_network();
+  const RoutingTree tree(net, 0);
+  EXPECT_FALSE(tree.reachable(5));
+  EXPECT_EQ(tree.reachable_count(), 5u);
+  EXPECT_THROW(tree.depth(5), std::runtime_error);
+  EXPECT_THROW(tree.parent(5), std::runtime_error);
+  EXPECT_THROW(tree.path_to_sink(5), std::runtime_error);
+}
+
+TEST(RoutingTree, PathToSink) {
+  const auto net = chain_network();
+  const RoutingTree tree(net, 0);
+  EXPECT_EQ(tree.path_to_sink(3), (std::vector<std::size_t>{3, 2, 1, 0}));
+  EXPECT_EQ(tree.path_to_sink(0), (std::vector<std::size_t>{0}));
+}
+
+TEST(RoutingTree, MidChainSinkHalvesDepths) {
+  const auto net = chain_network();
+  const RoutingTree tree(net, 2);
+  EXPECT_EQ(tree.depth(0), 2u);
+  EXPECT_EQ(tree.depth(4), 2u);
+}
+
+TEST(RoutingTree, RelayLoadCountsIntermediateHops) {
+  const auto net = chain_network();
+  const RoutingTree tree(net, 0);
+  // Only node 4 originates: relays at 3, 2, 1.
+  std::vector<std::uint8_t> active(6, 0);
+  active[4] = 1;
+  const auto load = tree.relay_load(active);
+  EXPECT_EQ(load[3], 1u);
+  EXPECT_EQ(load[2], 1u);
+  EXPECT_EQ(load[1], 1u);
+  EXPECT_EQ(load[0], 0u);  // sink reception is not a relay
+  EXPECT_EQ(load[4], 0u);  // originator does not relay its own packet
+}
+
+TEST(RoutingTree, RelayLoadAccumulates) {
+  const auto net = chain_network();
+  const RoutingTree tree(net, 0);
+  std::vector<std::uint8_t> active(6, 1);  // everyone (node 5 unreachable)
+  const auto load = tree.relay_load(active);
+  EXPECT_EQ(load[1], 3u);  // forwards for 2, 3, 4
+  EXPECT_EQ(load[2], 2u);
+  EXPECT_EQ(load[3], 1u);
+  EXPECT_EQ(load[4], 0u);
+}
+
+TEST(RoutingTree, RelayLoadSizeMismatchThrows) {
+  const auto net = chain_network();
+  const RoutingTree tree(net, 0);
+  std::vector<std::uint8_t> wrong(2, 1);
+  EXPECT_THROW(tree.relay_load(wrong), std::invalid_argument);
+}
+
+TEST(RoutingTree, BadSinkThrows) {
+  const auto net = chain_network();
+  EXPECT_THROW(RoutingTree(net, 99), std::out_of_range);
+}
+
+TEST(ChooseBestSink, PrefersCenterOfChain) {
+  const auto net = chain_network();
+  // Node 2 reaches all 5 chain nodes with minimum total depth.
+  EXPECT_EQ(choose_best_sink(net), 2u);
+}
+
+}  // namespace
+}  // namespace cool::net

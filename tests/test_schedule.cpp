@@ -1,0 +1,158 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "submodular/detection.h"
+
+namespace cool::core {
+namespace {
+
+std::shared_ptr<const sub::SubmodularFunction> detect(std::size_t n) {
+  return std::make_shared<sub::DetectionUtility>(std::vector<double>(n, 0.4));
+}
+
+TEST(PeriodicSchedule, SetAndQuery) {
+  PeriodicSchedule s(3, 4);
+  EXPECT_FALSE(s.active(0, 0));
+  s.set_active(0, 2);
+  EXPECT_TRUE(s.active(0, 2));
+  s.set_active(0, 2, false);
+  EXPECT_FALSE(s.active(0, 2));
+  EXPECT_THROW(s.set_active(3, 0), std::out_of_range);
+  EXPECT_THROW(s.active(0, 4), std::out_of_range);
+}
+
+TEST(PeriodicSchedule, TiledView) {
+  PeriodicSchedule s(1, 4);
+  s.set_active(0, 1);
+  EXPECT_TRUE(s.active_at(0, 1));
+  EXPECT_TRUE(s.active_at(0, 5));
+  EXPECT_TRUE(s.active_at(0, 41));
+  EXPECT_FALSE(s.active_at(0, 40));
+}
+
+TEST(PeriodicSchedule, ActiveSetAndMask) {
+  PeriodicSchedule s(4, 2);
+  s.set_active(1, 0);
+  s.set_active(3, 0);
+  EXPECT_EQ(s.active_set(0), (std::vector<std::size_t>{1, 3}));
+  const auto mask = s.active_mask(0);
+  EXPECT_EQ(mask, (std::vector<std::uint8_t>{0, 1, 0, 1}));
+  EXPECT_TRUE(s.active_set(1).empty());
+  EXPECT_EQ(s.active_count(1), 1u);
+}
+
+TEST(PeriodicSchedule, FeasibilityRhoGreaterOne) {
+  const Problem problem(detect(2), 4, 3, true);
+  PeriodicSchedule s(2, 4);
+  s.set_active(0, 1);
+  s.set_active(1, 1);
+  std::string why;
+  EXPECT_TRUE(s.feasible(problem, &why)) << why;
+  s.set_active(0, 3);  // second activation in the period
+  EXPECT_FALSE(s.feasible(problem, &why));
+  EXPECT_NE(why.find("sensor 0"), std::string::npos);
+}
+
+TEST(PeriodicSchedule, FeasibilityRhoLessEqualOne) {
+  const Problem problem(detect(2), 3, 1, false);
+  PeriodicSchedule s(2, 3);
+  // Sensor 0 active in slots {0, 1} (passive in 2): feasible.
+  s.set_active(0, 0);
+  s.set_active(0, 1);
+  EXPECT_TRUE(s.feasible(problem));
+  // Sensor 0 active everywhere: infeasible.
+  s.set_active(0, 2);
+  EXPECT_FALSE(s.feasible(problem));
+}
+
+TEST(PeriodicSchedule, FeasibilityShapeMismatch) {
+  const Problem problem(detect(2), 4, 1, true);
+  const PeriodicSchedule s(3, 4);
+  std::string why;
+  EXPECT_FALSE(s.feasible(problem, &why));
+  EXPECT_NE(why.find("shape"), std::string::npos);
+}
+
+TEST(PeriodicSchedule, ToStringListsAssignments) {
+  PeriodicSchedule s(2, 2);
+  s.set_active(1, 0);
+  const auto text = s.to_string();
+  EXPECT_NE(text.find("slot 0: v1"), std::string::npos);
+}
+
+TEST(HorizonSchedule, TileRepeatsPeriodPattern) {
+  PeriodicSchedule p(2, 3);
+  p.set_active(0, 1);
+  p.set_active(1, 2);
+  const auto h = HorizonSchedule::tile(p, 4);
+  EXPECT_EQ(h.horizon_slots(), 12u);
+  for (std::size_t period = 0; period < 4; ++period) {
+    EXPECT_TRUE(h.active(0, period * 3 + 1));
+    EXPECT_TRUE(h.active(1, period * 3 + 2));
+    EXPECT_FALSE(h.active(0, period * 3));
+  }
+  EXPECT_EQ(h.active_set(1), (std::vector<std::size_t>{0}));
+}
+
+TEST(HorizonSchedule, TiledGreedyStructureIsBatteryFeasible) {
+  const Problem problem(detect(3), 4, 5, true);
+  PeriodicSchedule p(3, 4);
+  p.set_active(0, 0);
+  p.set_active(1, 2);
+  p.set_active(2, 0);
+  const auto h = HorizonSchedule::tile(p, 5);
+  std::string why;
+  EXPECT_TRUE(h.feasible(problem, &why)) << why;
+}
+
+TEST(HorizonSchedule, TooCloseActivationsViolateBattery) {
+  const Problem problem(detect(1), 4, 2, true);
+  HorizonSchedule h(1, 8);
+  h.set_active(0, 0);
+  h.set_active(0, 3);  // only 2 recharge slots, needs 3 (rho = 3)
+  std::string why;
+  EXPECT_FALSE(h.feasible(problem, &why));
+  EXPECT_NE(why.find("battery"), std::string::npos);
+  // Spaced a full period apart: fine.
+  HorizonSchedule ok(1, 8);
+  ok.set_active(0, 0);
+  ok.set_active(0, 4);
+  EXPECT_TRUE(ok.feasible(problem));
+}
+
+TEST(HorizonSchedule, AperiodicButSpacedIsFeasible) {
+  // The battery automaton accepts any schedule with enough recharge gaps,
+  // not only periodic ones.
+  const Problem problem(detect(1), 4, 3, true);
+  HorizonSchedule h(1, 12);
+  h.set_active(0, 1);
+  h.set_active(0, 7);   // gap of 6 > T = 4
+  h.set_active(0, 11);  // gap of 4 = T
+  EXPECT_TRUE(h.feasible(problem));
+}
+
+TEST(HorizonSchedule, RhoLessEqualOneConsecutiveLimit) {
+  // T = 4, rho <= 1: capacity sustains 3 consecutive active slots.
+  const Problem problem(detect(1), 4, 2, false);
+  HorizonSchedule ok(1, 8);
+  for (const std::size_t t : {0u, 1u, 2u, 4u, 5u, 6u}) ok.set_active(0, t);
+  EXPECT_TRUE(ok.feasible(problem));
+  HorizonSchedule bad(1, 8);
+  for (const std::size_t t : {0u, 1u, 2u, 3u}) bad.set_active(0, t);  // 4 in a row
+  EXPECT_FALSE(bad.feasible(problem));
+}
+
+TEST(HorizonSchedule, Validation) {
+  EXPECT_THROW(HorizonSchedule(1, 0), std::invalid_argument);
+  PeriodicSchedule p(1, 2);
+  EXPECT_THROW(HorizonSchedule::tile(p, 0), std::invalid_argument);
+  HorizonSchedule h(1, 4);
+  EXPECT_THROW(h.set_active(1, 0), std::out_of_range);
+  EXPECT_THROW(h.active(0, 9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cool::core

@@ -1,0 +1,89 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace cool::core {
+namespace {
+
+PeriodicSchedule sample_schedule() {
+  PeriodicSchedule s(5, 4);
+  s.set_active(0, 2);
+  s.set_active(1, 0);
+  s.set_active(3, 3);
+  s.set_active(4, 0);
+  return s;
+}
+
+TEST(Serialize, RoundTripPreservesEveryCell) {
+  const auto original = sample_schedule();
+  std::ostringstream out;
+  write_schedule_csv(out, original);
+  std::istringstream in(out.str());
+  const auto restored = read_schedule_csv(in);
+  ASSERT_EQ(restored.sensor_count(), original.sensor_count());
+  ASSERT_EQ(restored.slots_per_period(), original.slots_per_period());
+  for (std::size_t v = 0; v < 5; ++v)
+    for (std::size_t t = 0; t < 4; ++t)
+      EXPECT_EQ(restored.active(v, t), original.active(v, t))
+          << "cell (" << v << ", " << t << ")";
+}
+
+TEST(Serialize, EmptyScheduleRoundTrips) {
+  const PeriodicSchedule empty(3, 2);
+  std::ostringstream out;
+  write_schedule_csv(out, empty);
+  std::istringstream in(out.str());
+  const auto restored = read_schedule_csv(in);
+  EXPECT_EQ(restored.sensor_count(), 3u);
+  for (std::size_t v = 0; v < 3; ++v) EXPECT_EQ(restored.active_count(v), 0u);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto original = sample_schedule();
+  const std::string path = "/tmp/cool_test_schedule.csv";
+  write_schedule_csv_file(path, original);
+  const auto restored = read_schedule_csv_file(path);
+  EXPECT_EQ(restored.active(3, 3), true);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadPreamble) {
+  std::istringstream in("bogus,header\n1,2\n");
+  EXPECT_THROW(read_schedule_csv(in), std::runtime_error);
+}
+
+TEST(Serialize, RejectsMissingDimensions) {
+  std::istringstream in("sensors,slots_per_period\n");
+  EXPECT_THROW(read_schedule_csv(in), std::runtime_error);
+}
+
+TEST(Serialize, RejectsZeroSlots) {
+  std::istringstream in("sensors,slots_per_period\n3,0\nsensor,slot\n");
+  EXPECT_THROW(read_schedule_csv(in), std::runtime_error);
+}
+
+TEST(Serialize, RejectsOutOfRangePair) {
+  std::istringstream in("sensors,slots_per_period\n2,2\nsensor,slot\n5,0\n");
+  EXPECT_THROW(read_schedule_csv(in), std::runtime_error);
+}
+
+TEST(Serialize, RejectsNonIntegerCells) {
+  std::istringstream in("sensors,slots_per_period\n2,2\nsensor,slot\nx,1\n");
+  EXPECT_THROW(read_schedule_csv(in), std::runtime_error);
+}
+
+TEST(Serialize, RejectsMissingPairHeader) {
+  std::istringstream in("sensors,slots_per_period\n2,2\n0,1\n");
+  EXPECT_THROW(read_schedule_csv(in), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(read_schedule_csv_file("/nonexistent/sched.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cool::core

@@ -1,0 +1,209 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "lp/model.h"
+#include "util/rng.h"
+
+namespace cool::lp {
+namespace {
+
+TEST(Simplex, TextbookTwoVariable) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  (2, 6), z = 36.
+  Model m;
+  const auto x = m.add_variable(3.0);
+  const auto y = m.add_variable(5.0);
+  m.add_row({{{x, 1.0}}, Sense::kLessEqual, 4.0});
+  m.add_row({{{y, 2.0}}, Sense::kLessEqual, 12.0});
+  m.add_row({{{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0});
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-9);
+  EXPECT_NEAR(sol.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[y], 6.0, 1e-9);
+}
+
+TEST(Simplex, UpperBoundsViaVariableBounds) {
+  // max x + y with x, y <= 1.5 each and x + y <= 2 -> z = 2.
+  Model m;
+  const auto x = m.add_variable(1.0, 1.5);
+  const auto y = m.add_variable(1.0, 1.5);
+  m.add_row({{{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 2.0});
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+  EXPECT_LE(sol.x[x], 1.5 + 1e-9);
+  EXPECT_LE(sol.x[y], 1.5 + 1e-9);
+}
+
+TEST(Simplex, GreaterEqualAndEqualityRows) {
+  // max x + 2y  s.t. x + y = 3, y >= 1, x >= 0 -> x = 0? No:
+  // maximize prefers y: y = 3 violates y >= 1? satisfies. x = 0, y = 3, z = 6.
+  Model m;
+  const auto x = m.add_variable(1.0);
+  const auto y = m.add_variable(2.0);
+  m.add_row({{{x, 1.0}, {y, 1.0}}, Sense::kEqual, 3.0});
+  m.add_row({{{y, 1.0}}, Sense::kGreaterEqual, 1.0});
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 6.0, 1e-9);
+  EXPECT_NEAR(sol.x[y], 3.0, 1e-9);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  Model m;
+  const auto x = m.add_variable(1.0);
+  m.add_row({{{x, 1.0}}, Sense::kLessEqual, 1.0});
+  m.add_row({{{x, 1.0}}, Sense::kGreaterEqual, 2.0});
+  EXPECT_EQ(solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  Model m;
+  const auto x = m.add_variable(1.0);
+  m.add_row({{{x, -1.0}}, Sense::kLessEqual, 0.0});  // -x <= 0, x free upward
+  EXPECT_EQ(solve(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // -x <= -2  (i.e. x >= 2), max -x -> x = 2, z = -2.
+  Model m;
+  const auto x = m.add_variable(-1.0);
+  m.add_row({{{x, -1.0}}, Sense::kLessEqual, -2.0});
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(sol.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degenerate vertex: several redundant constraints through origin.
+  Model m;
+  const auto x = m.add_variable(1.0);
+  const auto y = m.add_variable(1.0);
+  m.add_row({{{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 1.0});
+  m.add_row({{{x, 1.0}}, Sense::kLessEqual, 1.0});
+  m.add_row({{{y, 1.0}}, Sense::kLessEqual, 1.0});
+  m.add_row({{{x, 2.0}, {y, 2.0}}, Sense::kLessEqual, 2.0});  // redundant
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);
+}
+
+TEST(Simplex, EmptyModelIsTriviallyOptimal) {
+  const Model m;
+  const auto sol = solve(m);
+  EXPECT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(sol.objective, 0.0);
+}
+
+TEST(Simplex, AssignmentLpIsIntegral) {
+  // 2 sensors x 2 slots fractional assignment with modular rewards; the LP
+  // optimum of an assignment polytope is integral.
+  Model m;
+  // x[v][t], reward: v0 prefers t0 (3.0 vs 1.0), v1 prefers t1 (4.0 vs 2.0).
+  const double reward[2][2] = {{3.0, 1.0}, {2.0, 4.0}};
+  std::size_t var[2][2];
+  for (int v = 0; v < 2; ++v)
+    for (int t = 0; t < 2; ++t)
+      var[v][t] = m.add_variable(reward[v][t], 1.0);
+  for (int v = 0; v < 2; ++v)
+    m.add_row({{{var[v][0], 1.0}, {var[v][1], 1.0}}, Sense::kLessEqual, 1.0});
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 7.0, 1e-9);
+  EXPECT_NEAR(sol.x[var[0][0]], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[var[1][1]], 1.0, 1e-9);
+}
+
+TEST(Simplex, RedundantEqualityRowsHandled) {
+  Model m;
+  const auto x = m.add_variable(1.0);
+  const auto y = m.add_variable(1.0);
+  m.add_row({{{x, 1.0}, {y, 1.0}}, Sense::kEqual, 2.0});
+  m.add_row({{{x, 2.0}, {y, 2.0}}, Sense::kEqual, 4.0});  // same hyperplane
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(Model, Validation) {
+  Model m;
+  EXPECT_THROW(m.add_variable(1.0, -1.0), std::invalid_argument);
+  m.add_variable(1.0);
+  EXPECT_THROW(m.add_row({{{5, 1.0}}, Sense::kLessEqual, 1.0}), std::out_of_range);
+  EXPECT_THROW(m.variable_name(3), std::out_of_range);
+  EXPECT_EQ(status_name(SolveStatus::kOptimal), std::string("optimal"));
+}
+
+TEST(Simplex, RandomFeasibleLpsSolveToAtLeastTheWitness) {
+  // Property: build LPs that are feasible by construction (a known witness
+  // x0 >= 0 satisfies every row); the solver must report optimal (the
+  // feasible region is bounded by variable upper bounds) with an objective
+  // at least the witness's value.
+  cool::util::Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int vars = static_cast<int>(rng.uniform_int(2, 8));
+    const int rows = static_cast<int>(rng.uniform_int(1, 10));
+    Model m;
+    std::vector<double> witness;
+    std::vector<double> c;
+    for (int j = 0; j < vars; ++j) {
+      witness.push_back(rng.uniform(0.0, 2.0));
+      c.push_back(rng.uniform(-1.0, 2.0));
+      m.add_variable(c.back(), 5.0);  // bounded box keeps the LP bounded
+    }
+    for (int r = 0; r < rows; ++r) {
+      Row row;
+      row.sense = Sense::kLessEqual;
+      double lhs_at_witness = 0.0;
+      for (int j = 0; j < vars; ++j) {
+        if (!rng.bernoulli(0.6)) continue;
+        const double coef = rng.uniform(-1.0, 1.0);
+        row.entries.push_back({static_cast<std::size_t>(j), coef});
+        lhs_at_witness += coef * witness[static_cast<std::size_t>(j)];
+      }
+      row.rhs = lhs_at_witness + rng.uniform(0.0, 1.0);  // witness-feasible
+      m.add_row(std::move(row));
+    }
+    const auto sol = solve(m);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal) << "trial " << trial;
+    double witness_value = 0.0;
+    for (int j = 0; j < vars; ++j)
+      witness_value += c[static_cast<std::size_t>(j)] * witness[static_cast<std::size_t>(j)];
+    EXPECT_GE(sol.objective, witness_value - 1e-7) << "trial " << trial;
+    // The reported solution must itself satisfy every row.
+    for (const auto& row : m.rows()) {
+      double lhs = 0.0;
+      for (const auto& entry : row.entries)
+        lhs += entry.coefficient * sol.x[entry.column];
+      EXPECT_LE(lhs, row.rhs + 1e-7);
+    }
+    for (std::size_t j = 0; j < sol.x.size(); ++j) {
+      EXPECT_GE(sol.x[j], -1e-9);
+      EXPECT_LE(sol.x[j], 5.0 + 1e-7);
+    }
+  }
+}
+
+TEST(Simplex, MediumRandomProblemSolves) {
+  // 40 variables, 60 cover-style rows: smoke test for performance paths.
+  Model m;
+  std::vector<std::size_t> vars;
+  for (int j = 0; j < 40; ++j) vars.push_back(m.add_variable(1.0 + j % 3, 1.0));
+  for (int r = 0; r < 60; ++r) {
+    Row row;
+    row.sense = Sense::kLessEqual;
+    row.rhs = 3.0;
+    for (int j = r % 5; j < 40; j += 5) row.entries.push_back({vars[static_cast<std::size_t>(j)], 1.0});
+    m.add_row(std::move(row));
+  }
+  const auto sol = solve(m);
+  EXPECT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_GT(sol.objective, 0.0);
+}
+
+}  // namespace
+}  // namespace cool::lp

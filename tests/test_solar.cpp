@@ -1,0 +1,81 @@
+#include "energy/solar.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::energy {
+namespace {
+
+TEST(SolarModel, NightHasNoIrradiance) {
+  const SolarModel model;
+  EXPECT_DOUBLE_EQ(model.clear_sky_irradiance(0.0), 0.0);      // midnight
+  EXPECT_DOUBLE_EQ(model.clear_sky_irradiance(23.9 * 60), 0.0);
+}
+
+TEST(SolarModel, NoonIsPeak) {
+  const SolarModel model;
+  const double noon = model.clear_sky_irradiance(720.0);
+  EXPECT_GT(noon, model.clear_sky_irradiance(540.0));  // 9 am
+  EXPECT_GT(noon, model.clear_sky_irradiance(900.0));  // 3 pm
+  EXPECT_GT(noon, 500.0);
+  EXPECT_LE(noon, 1000.0);
+}
+
+TEST(SolarModel, MorningAfternoonSymmetry) {
+  const SolarModel model;
+  EXPECT_NEAR(model.clear_sky_irradiance(720.0 - 120.0),
+              model.clear_sky_irradiance(720.0 + 120.0), 1e-9);
+}
+
+TEST(SolarModel, SummerDayIsLongerThanWinterDay) {
+  SolarModelConfig summer;
+  summer.day_of_year = 172;  // June solstice
+  SolarModelConfig winter;
+  winter.day_of_year = 355;  // December solstice
+  const SolarModel s(summer), w(winter);
+  const double summer_len = s.sunset_minute() - s.sunrise_minute();
+  const double winter_len = w.sunset_minute() - w.sunrise_minute();
+  EXPECT_GT(summer_len, winter_len + 60.0);  // at latitude 30°: > 1 h longer
+}
+
+TEST(SolarModel, SunriseBeforeNoonSunsetAfter) {
+  const SolarModel model;
+  EXPECT_LT(model.sunrise_minute(), 720.0);
+  EXPECT_GT(model.sunset_minute(), 720.0);
+  EXPECT_NEAR(model.sunrise_minute() + model.sunset_minute(), 1440.0, 1e-6);
+}
+
+TEST(SolarModel, IrradiancePositiveOnlyBetweenSunriseSunset) {
+  const SolarModel model;
+  const double rise = model.sunrise_minute();
+  const double set = model.sunset_minute();
+  EXPECT_DOUBLE_EQ(model.clear_sky_irradiance(rise - 30.0), 0.0);
+  EXPECT_GT(model.clear_sky_irradiance(rise + 30.0), 0.0);
+  EXPECT_GT(model.clear_sky_irradiance(set - 30.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.clear_sky_irradiance(set + 30.0), 0.0);
+}
+
+TEST(SolarModel, ElevationSignTracksDaylight) {
+  const SolarModel model;
+  EXPECT_LT(model.elevation_rad(60.0), 0.0);   // 1 am
+  EXPECT_GT(model.elevation_rad(720.0), 0.0);  // noon
+}
+
+TEST(SolarModel, ConfigValidation) {
+  SolarModelConfig bad;
+  bad.peak_irradiance_wm2 = 0.0;
+  EXPECT_THROW(SolarModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.latitude_deg = 95.0;
+  EXPECT_THROW(SolarModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.day_of_year = 0;
+  EXPECT_THROW(SolarModel{bad}, std::invalid_argument);
+}
+
+TEST(IrradianceToLux, LinearAndClamped) {
+  EXPECT_DOUBLE_EQ(irradiance_to_lux(100.0), 12000.0);
+  EXPECT_DOUBLE_EQ(irradiance_to_lux(-5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace cool::energy

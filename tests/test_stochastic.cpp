@@ -1,0 +1,91 @@
+#include "energy/stochastic.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace cool::energy {
+namespace {
+
+StochasticChargingConfig paper_config() {
+  StochasticChargingConfig config;
+  config.event_rate_per_min = 0.1;   // λa
+  config.mean_event_minutes = 2.0;   // λd -> duty 0.2
+  config.continuous_discharge_min = 15.0;
+  config.mean_recharge_min = 45.0;
+  config.recharge_sigma_min = 5.0;
+  return config;
+}
+
+TEST(StochasticModel, AnalyticalQuantities) {
+  const StochasticChargingModel model(paper_config());
+  EXPECT_NEAR(model.duty_fraction(), 0.2, 1e-12);
+  EXPECT_NEAR(model.mean_discharge_minutes(), 75.0, 1e-12);  // 15 / 0.2
+  EXPECT_NEAR(model.rho_prime(), 45.0 / 75.0, 1e-12);
+}
+
+TEST(StochasticModel, SampledDischargeMeanMatchesAnalytical) {
+  const StochasticChargingModel model(paper_config());
+  util::Rng rng(1);
+  util::Accumulator acc;
+  for (int i = 0; i < 5000; ++i)
+    acc.add(model.sample_discharge_minutes(rng));
+  // Wall clock = Td busy time + idle gaps; the renewal mean is
+  // Td + (#events)·(1/λa) with #events ≈ Td/λd, i.e. Td·(1 + 1/(λa·λd)),
+  // slightly above Td/duty for small event counts. Accept a band around
+  // the analytic mean.
+  EXPECT_NEAR(acc.mean(), model.mean_discharge_minutes(), 12.0);
+  EXPECT_GT(acc.min(), 15.0 - 1e-9);  // must at least cover the busy budget
+}
+
+TEST(StochasticModel, SampledRechargeMeanAndPositivity) {
+  const StochasticChargingModel model(paper_config());
+  util::Rng rng(2);
+  util::Accumulator acc;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = model.sample_recharge_minutes(rng);
+    EXPECT_GT(t, 0.0);
+    acc.add(t);
+  }
+  EXPECT_NEAR(acc.mean(), 45.0, 0.5);
+  EXPECT_NEAR(acc.stddev(), 5.0, 0.3);
+}
+
+TEST(StochasticModel, ZeroSigmaIsDeterministic) {
+  auto config = paper_config();
+  config.recharge_sigma_min = 0.0;
+  const StochasticChargingModel model(config);
+  util::Rng rng(3);
+  EXPECT_DOUBLE_EQ(model.sample_recharge_minutes(rng), 45.0);
+}
+
+TEST(StochasticModel, Validation) {
+  auto config = paper_config();
+  config.event_rate_per_min = 0.0;
+  EXPECT_THROW(StochasticChargingModel{config}, std::invalid_argument);
+  config = paper_config();
+  config.mean_event_minutes = -1.0;
+  EXPECT_THROW(StochasticChargingModel{config}, std::invalid_argument);
+  config = paper_config();
+  config.continuous_discharge_min = 0.0;
+  EXPECT_THROW(StochasticChargingModel{config}, std::invalid_argument);
+  config = paper_config();
+  config.recharge_sigma_min = -1.0;
+  EXPECT_THROW(StochasticChargingModel{config}, std::invalid_argument);
+  config = paper_config();
+  config.event_rate_per_min = 1.0;
+  config.mean_event_minutes = 1.5;  // duty 1.5 >= 1
+  EXPECT_THROW(StochasticChargingModel{config}, std::invalid_argument);
+}
+
+TEST(StochasticModel, HigherEventRateDrainsFaster) {
+  auto busy = paper_config();
+  busy.event_rate_per_min = 0.4;  // duty 0.8
+  const StochasticChargingModel fast(busy);
+  const StochasticChargingModel slow(paper_config());
+  EXPECT_LT(fast.mean_discharge_minutes(), slow.mean_discharge_minutes());
+  EXPECT_GT(fast.rho_prime(), slow.rho_prime());
+}
+
+}  // namespace
+}  // namespace cool::energy

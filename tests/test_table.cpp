@@ -1,0 +1,56 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cool::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"longer-name", "22"});
+  const auto text = t.render();
+  // Header present, rule present, both rows present.
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  // Every line of the body should start at the same column for field 2:
+  // check that "22" lines up under "1" by virtue of equal prefix width.
+  std::istringstream lines(text);
+  std::string header, rule, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(row1.find('1'), row2.find("22"));
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowValuesFormatsPrecision) {
+  Table t({"v"});
+  t.row_values({1.23456}, 2);
+  EXPECT_NE(t.render().find("1.23"), std::string::npos);
+  EXPECT_EQ(t.render().find("1.235"), std::string::npos);
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t({"h"});
+  t.row({"cell"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_EQ(out.str(), t.render());
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace cool::util

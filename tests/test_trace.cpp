@@ -1,0 +1,122 @@
+#include "energy/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace cool::energy {
+namespace {
+
+TEST(Trace, DailyTraceCoversFullDay) {
+  TraceConfig config;
+  util::Rng rng(1);
+  const auto trace = generate_daily_trace(config, Weather::kSunny, 1, 0, rng);
+  ASSERT_EQ(trace.samples.size(), 1440u);
+  EXPECT_DOUBLE_EQ(trace.samples.front().minute_of_day, 0.0);
+  EXPECT_DOUBLE_EQ(trace.samples.back().minute_of_day, 1439.0);
+  EXPECT_EQ(trace.weather, Weather::kSunny);
+}
+
+TEST(Trace, LuxZeroAtNightPositiveAtNoon) {
+  TraceConfig config;
+  util::Rng rng(2);
+  const auto trace = generate_daily_trace(config, Weather::kSunny, 1, 0, rng);
+  EXPECT_DOUBLE_EQ(trace.samples[60].lux, 0.0);    // 1 am
+  EXPECT_GT(trace.samples[720].lux, 50000.0);      // noon, sunny
+}
+
+TEST(Trace, MeasurementModeChargesMonotonicallyUntilFull) {
+  TraceConfig config;
+  config.report_duty = 0.0;  // pure idle: SoC can only rise in daylight
+  util::Rng rng(3);
+  const auto trace = generate_daily_trace(config, Weather::kSunny, 1, 0, rng);
+  for (std::size_t i = 1; i < trace.samples.size(); ++i)
+    EXPECT_GE(trace.samples[i].soc + 1e-12, trace.samples[i - 1].soc);
+  EXPECT_NEAR(trace.samples.back().soc, 1.0, 1e-6);
+}
+
+TEST(Trace, CyclingModeProducesManyCycles) {
+  TraceConfig config;
+  config.mode = TraceConfig::Mode::kCycling;
+  util::Rng rng(4);
+  const auto trace = generate_daily_trace(config, Weather::kSunny, 1, 0, rng);
+  // Count full-to-empty discharge onsets: a sunny 12 h day at T = 60 min
+  // must cycle several times.
+  std::size_t discharges = 0;
+  for (std::size_t i = 1; i < trace.samples.size(); ++i)
+    if (trace.samples[i].soc < trace.samples[i - 1].soc - 1e-9) ++discharges;
+  EXPECT_GT(discharges, 60u);  // ~15 min of per-minute decrements per cycle
+}
+
+TEST(Trace, RainyDayHarvestsLess) {
+  TraceConfig config;
+  config.report_duty = 0.0;
+  util::Rng rng_a(5), rng_b(5);
+  config.initial_soc = 0.0;
+  const auto sunny = generate_daily_trace(config, Weather::kSunny, 1, 0, rng_a);
+  const auto rain = generate_daily_trace(config, Weather::kRain, 1, 0, rng_b);
+  // Compare mid-morning, before either battery can saturate.
+  EXPECT_GT(sunny.samples[480].soc, 2.0 * rain.samples[480].soc);
+  EXPECT_GT(sunny.samples[720].lux, 2.0 * rain.samples[720].lux);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  TraceConfig config;
+  config.sample_period_min = 30.0;  // small file
+  util::Rng rng(6);
+  const auto trace = generate_daily_trace(config, Weather::kSunny, 1, 0, rng);
+  const std::string path = "/tmp/cool_test_trace.csv";
+  trace.write_csv(path);
+  const auto restored = read_trace_csv(path);
+  ASSERT_EQ(restored.samples.size(), trace.samples.size());
+  for (std::size_t i = 0; i < trace.samples.size(); ++i) {
+    EXPECT_NEAR(restored.samples[i].minute_of_day,
+                trace.samples[i].minute_of_day, 1e-6);
+    EXPECT_NEAR(restored.samples[i].voltage, trace.samples[i].voltage, 1e-6);
+    EXPECT_NEAR(restored.samples[i].soc, trace.samples[i].soc, 1e-6);
+    EXPECT_EQ(restored.samples[i].charging, trace.samples[i].charging);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ReadMissingFileThrows) {
+  EXPECT_THROW(read_trace_csv("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+TEST(Trace, MultiDayAdvancesWeather) {
+  TraceConfig config;
+  config.sample_period_min = 15.0;
+  DayWeatherProcess weather(util::Rng(7), Weather::kSunny);
+  util::Rng rng(8);
+  const auto traces = generate_multi_day_traces(config, weather, 3, 10, rng);
+  ASSERT_EQ(traces.size(), 10u);
+  EXPECT_EQ(traces[0].weather, Weather::kSunny);
+  bool weather_changed = false;
+  for (const auto& t : traces)
+    if (t.weather != Weather::kSunny) weather_changed = true;
+  EXPECT_TRUE(weather_changed);  // 10 days of 0.6-sticky sun: change is near-certain
+  for (int d = 0; d < 10; ++d) EXPECT_EQ(traces[static_cast<std::size_t>(d)].day, d);
+}
+
+TEST(Trace, Validation) {
+  TraceConfig config;
+  config.sample_period_min = 0.0;
+  util::Rng rng(9);
+  EXPECT_THROW(generate_daily_trace(config, Weather::kSunny, 1, 0, rng),
+               std::invalid_argument);
+  config = {};
+  config.initial_soc = 1.5;
+  EXPECT_THROW(generate_daily_trace(config, Weather::kSunny, 1, 0, rng),
+               std::invalid_argument);
+  config = {};
+  config.report_duty = -0.1;
+  EXPECT_THROW(generate_daily_trace(config, Weather::kSunny, 1, 0, rng),
+               std::invalid_argument);
+  config = {};
+  DayWeatherProcess weather(util::Rng(10), Weather::kSunny);
+  EXPECT_THROW(generate_multi_day_traces(config, weather, 1, -1, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::energy

@@ -1,0 +1,113 @@
+#include "core/validate.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::core {
+namespace {
+
+net::Network make_network(std::vector<net::Sensor> sensors,
+                          std::vector<net::Target> targets) {
+  return net::Network(std::move(sensors), std::move(targets),
+                      geom::Rect({-50, -50}, {250, 250}));
+}
+
+bool has_code(const InstanceAudit& audit, const std::string& code) {
+  for (const auto& d : audit.diagnostics)
+    if (d.code == code) return true;
+  return false;
+}
+
+TEST(Audit, CleanInstancePasses) {
+  // 8 sensors around one target, all connected.
+  std::vector<net::Sensor> sensors;
+  for (int i = 0; i < 8; ++i)
+    sensors.push_back({0, {static_cast<double>(i) * 5.0, 0.0}, 50.0, 100.0});
+  const auto network = make_network(std::move(sensors), {{0, {10.0, 0.0}, 1.0}});
+  const auto audit = audit_instance(network, energy::ChargingPattern{});
+  EXPECT_TRUE(audit.ok());
+  EXPECT_EQ(audit.count(Severity::kError), 0u);
+  EXPECT_FALSE(has_code(audit, "thin-coverage"));
+  EXPECT_TRUE(has_code(audit, "summary"));
+}
+
+TEST(Audit, OrphanTargetIsAnError) {
+  std::vector<net::Sensor> sensors{{0, {0.0, 0.0}, 5.0, 100.0}};
+  const auto network =
+      make_network(std::move(sensors), {{0, {200.0, 200.0}, 1.0}});
+  const auto audit = audit_instance(network, energy::ChargingPattern{});
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(has_code(audit, "orphan-target"));
+}
+
+TEST(Audit, ThinCoverageWarnsBelowOnePerSlot) {
+  // Target covered by 2 sensors, T = 4 -> 0.5 per slot.
+  std::vector<net::Sensor> sensors{
+      {0, {0.0, 0.0}, 20.0, 100.0},
+      {0, {5.0, 0.0}, 20.0, 100.0},
+  };
+  const auto network = make_network(std::move(sensors), {{0, {2.0, 0.0}, 1.0}});
+  const auto audit = audit_instance(network, energy::ChargingPattern{});
+  EXPECT_TRUE(audit.ok());  // warnings do not fail the audit
+  EXPECT_TRUE(has_code(audit, "thin-coverage"));
+}
+
+TEST(Audit, SinglePointCoverageIsInfo) {
+  std::vector<net::Sensor> sensors{
+      {0, {0.0, 0.0}, 20.0, 100.0},
+      {0, {100.0, 100.0}, 5.0, 100.0},
+  };
+  const auto network = make_network(std::move(sensors), {{0, {2.0, 0.0}, 1.0}});
+  const auto audit = audit_instance(network, energy::ChargingPattern{});
+  EXPECT_TRUE(has_code(audit, "single-point-coverage"));
+}
+
+TEST(Audit, RhoRoundingWarns) {
+  std::vector<net::Sensor> sensors;
+  for (int i = 0; i < 8; ++i)
+    sensors.push_back({0, {static_cast<double>(i) * 5.0, 0.0}, 50.0, 100.0});
+  const auto network = make_network(std::move(sensors), {{0, {10.0, 0.0}, 1.0}});
+  const energy::ChargingPattern ragged{15.0, 40.0};  // rho = 2.67
+  const auto audit = audit_instance(network, ragged);
+  EXPECT_TRUE(has_code(audit, "rho-rounding"));
+  // The paper's exact 15/45 pattern must not warn.
+  const auto clean = audit_instance(network, energy::ChargingPattern{});
+  EXPECT_FALSE(has_code(clean, "rho-rounding"));
+}
+
+TEST(Audit, DisconnectedNodesWarn) {
+  std::vector<net::Sensor> sensors{
+      {0, {0.0, 0.0}, 50.0, 10.0},
+      {0, {5.0, 0.0}, 50.0, 10.0},
+      {0, {200.0, 200.0}, 50.0, 10.0},  // isolated
+  };
+  const auto network = make_network(std::move(sensors), {{0, {2.0, 0.0}, 1.0}});
+  const auto audit = audit_instance(network, energy::ChargingPattern{});
+  EXPECT_TRUE(has_code(audit, "disconnected-nodes"));
+}
+
+TEST(Audit, ThresholdsAreTunable) {
+  std::vector<net::Sensor> sensors{
+      {0, {0.0, 0.0}, 20.0, 100.0},
+      {0, {5.0, 0.0}, 20.0, 100.0},
+  };
+  const auto network = make_network(std::move(sensors), {{0, {2.0, 0.0}, 1.0}});
+  AuditThresholds lax;
+  lax.min_cover_per_slot = 0.0;
+  const auto audit = audit_instance(network, energy::ChargingPattern{}, lax);
+  EXPECT_FALSE(has_code(audit, "thin-coverage"));
+}
+
+TEST(Audit, CountBySeverity) {
+  InstanceAudit audit;
+  audit.diagnostics = {{Severity::kError, "a", ""},
+                       {Severity::kWarning, "b", ""},
+                       {Severity::kWarning, "c", ""},
+                       {Severity::kInfo, "d", ""}};
+  EXPECT_EQ(audit.count(Severity::kError), 1u);
+  EXPECT_EQ(audit.count(Severity::kWarning), 2u);
+  EXPECT_EQ(audit.count(Severity::kInfo), 1u);
+  EXPECT_FALSE(audit.ok());
+}
+
+}  // namespace
+}  // namespace cool::core

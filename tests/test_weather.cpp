@@ -1,0 +1,116 @@
+#include "energy/weather.h"
+
+#include <gtest/gtest.h>
+
+namespace cool::energy {
+namespace {
+
+TEST(Weather, NamesAndAttenuationOrdering) {
+  EXPECT_STREQ(weather_name(Weather::kSunny), "sunny");
+  EXPECT_STREQ(weather_name(Weather::kRain), "rain");
+  EXPECT_GT(weather_mean_attenuation(Weather::kSunny),
+            weather_mean_attenuation(Weather::kPartlyCloudy));
+  EXPECT_GT(weather_mean_attenuation(Weather::kPartlyCloudy),
+            weather_mean_attenuation(Weather::kOvercast));
+  EXPECT_GT(weather_mean_attenuation(Weather::kOvercast),
+            weather_mean_attenuation(Weather::kRain));
+  EXPECT_GT(weather_mean_attenuation(Weather::kRain), 0.0);
+}
+
+TEST(DayWeatherProcess, StartsAtInitialCondition) {
+  DayWeatherProcess proc(util::Rng(1), Weather::kOvercast);
+  EXPECT_EQ(proc.today(), Weather::kOvercast);
+}
+
+TEST(DayWeatherProcess, VisitsAllStatesEventually) {
+  DayWeatherProcess proc(util::Rng(2), Weather::kSunny);
+  bool seen[kWeatherCount] = {};
+  for (int d = 0; d < 500; ++d) seen[static_cast<int>(proc.advance())] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(DayWeatherProcess, SunnyIsStickyUnderDefaultMatrix) {
+  DayWeatherProcess proc(util::Rng(3), Weather::kSunny);
+  int stay = 0, total = 0;
+  Weather prev = proc.today();
+  for (int d = 0; d < 5000; ++d) {
+    const Weather next = proc.advance();
+    if (prev == Weather::kSunny) {
+      ++total;
+      if (next == Weather::kSunny) ++stay;
+    }
+    prev = next;
+  }
+  EXPECT_NEAR(static_cast<double>(stay) / total, 0.6, 0.05);
+}
+
+TEST(DayWeatherProcess, ForecastLengthAndDeterminism) {
+  DayWeatherProcess a(util::Rng(4), Weather::kSunny);
+  DayWeatherProcess b(util::Rng(4), Weather::kSunny);
+  const auto fa = a.forecast(30);
+  const auto fb = b.forecast(30);
+  EXPECT_EQ(fa.size(), 30u);
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(DayWeatherProcess, CustomMatrixValidation) {
+  const std::vector<std::vector<double>> bad_rows(3, std::vector<double>(4, 0.25));
+  EXPECT_THROW(DayWeatherProcess(util::Rng(5), Weather::kSunny, bad_rows),
+               std::invalid_argument);
+  std::vector<std::vector<double>> bad_sum(4, std::vector<double>(4, 0.3));
+  EXPECT_THROW(DayWeatherProcess(util::Rng(5), Weather::kSunny, bad_sum),
+               std::invalid_argument);
+  std::vector<std::vector<double>> negative(4, std::vector<double>{1.5, -0.5, 0.0, 0.0});
+  EXPECT_THROW(DayWeatherProcess(util::Rng(5), Weather::kSunny, negative),
+               std::invalid_argument);
+}
+
+TEST(DayWeatherProcess, AbsorbingMatrixStaysPut) {
+  std::vector<std::vector<double>> identity(4, std::vector<double>(4, 0.0));
+  for (int i = 0; i < 4; ++i) identity[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.0;
+  DayWeatherProcess proc(util::Rng(6), Weather::kRain, identity);
+  for (int d = 0; d < 20; ++d) EXPECT_EQ(proc.advance(), Weather::kRain);
+}
+
+TEST(CloudField, AttenuationStaysInRange) {
+  CloudField clouds(Weather::kPartlyCloudy, util::Rng(7));
+  for (double minute = 0.0; minute < 1440.0; minute += 1.0) {
+    const double a = clouds.attenuation(minute);
+    EXPECT_GT(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(CloudField, MeanTracksWeatherCondition) {
+  for (const Weather w : {Weather::kSunny, Weather::kPartlyCloudy,
+                          Weather::kOvercast, Weather::kRain}) {
+    CloudField clouds(w, util::Rng(8));
+    double sum = 0.0;
+    int count = 0;
+    for (double minute = 0.0; minute < 1440.0; minute += 1.0) {
+      sum += clouds.attenuation(minute);
+      ++count;
+    }
+    EXPECT_NEAR(sum / count, weather_mean_attenuation(w), 0.08)
+        << weather_name(w);
+  }
+}
+
+TEST(CloudField, SunnyIsSteadierThanPartlyCloudy) {
+  CloudField sunny(Weather::kSunny, util::Rng(9));
+  CloudField cloudy(Weather::kPartlyCloudy, util::Rng(9));
+  double sunny_var = 0.0, cloudy_var = 0.0;
+  double sunny_prev = sunny.attenuation(0.0), cloudy_prev = cloudy.attenuation(0.0);
+  for (double minute = 1.0; minute < 720.0; minute += 1.0) {
+    const double s = sunny.attenuation(minute);
+    const double c = cloudy.attenuation(minute);
+    sunny_var += (s - sunny_prev) * (s - sunny_prev);
+    cloudy_var += (c - cloudy_prev) * (c - cloudy_prev);
+    sunny_prev = s;
+    cloudy_prev = c;
+  }
+  EXPECT_LT(sunny_var, cloudy_var);
+}
+
+}  // namespace
+}  // namespace cool::energy
