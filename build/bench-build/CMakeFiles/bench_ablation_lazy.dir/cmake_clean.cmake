@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lazy"
+  "../bench/bench_ablation_lazy.pdb"
+  "CMakeFiles/bench_ablation_lazy.dir/bench_ablation_lazy.cpp.o"
+  "CMakeFiles/bench_ablation_lazy.dir/bench_ablation_lazy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

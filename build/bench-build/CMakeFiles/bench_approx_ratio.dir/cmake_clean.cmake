@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_approx_ratio"
+  "../bench/bench_approx_ratio.pdb"
+  "CMakeFiles/bench_approx_ratio.dir/bench_approx_ratio.cpp.o"
+  "CMakeFiles/bench_approx_ratio.dir/bench_approx_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approx_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

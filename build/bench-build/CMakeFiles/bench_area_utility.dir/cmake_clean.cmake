@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_area_utility"
+  "../bench/bench_area_utility.pdb"
+  "CMakeFiles/bench_area_utility.dir/bench_area_utility.cpp.o"
+  "CMakeFiles/bench_area_utility.dir/bench_area_utility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_area_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_campaign"
+  "../bench/bench_campaign.pdb"
+  "CMakeFiles/bench_campaign.dir/bench_campaign.cpp.o"
+  "CMakeFiles/bench_campaign.dir/bench_campaign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_delta_dissemination"
+  "../bench/bench_delta_dissemination.pdb"
+  "CMakeFiles/bench_delta_dissemination.dir/bench_delta_dissemination.cpp.o"
+  "CMakeFiles/bench_delta_dissemination.dir/bench_delta_dissemination.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delta_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_failure_resilience"
+  "../bench/bench_failure_resilience.pdb"
+  "CMakeFiles/bench_failure_resilience.dir/bench_failure_resilience.cpp.o"
+  "CMakeFiles/bench_failure_resilience.dir/bench_failure_resilience.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_arrangement"
+  "../bench/bench_fig3_arrangement.pdb"
+  "CMakeFiles/bench_fig3_arrangement.dir/bench_fig3_arrangement.cpp.o"
+  "CMakeFiles/bench_fig3_arrangement.dir/bench_fig3_arrangement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_arrangement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_utility.cpp" "bench-build/CMakeFiles/bench_fig8_utility.dir/bench_fig8_utility.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig8_utility.dir/bench_fig8_utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/cool_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cool_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cool_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cool_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cool_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/cool_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/submodular/CMakeFiles/cool_submodular.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cool_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cool_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_scale"
+  "../bench/bench_fig9_scale.pdb"
+  "CMakeFiles/bench_fig9_scale.dir/bench_fig9_scale.cpp.o"
+  "CMakeFiles/bench_fig9_scale.dir/bench_fig9_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

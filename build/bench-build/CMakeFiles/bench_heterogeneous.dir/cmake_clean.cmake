@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_heterogeneous"
+  "../bench/bench_heterogeneous.pdb"
+  "CMakeFiles/bench_heterogeneous.dir/bench_heterogeneous.cpp.o"
+  "CMakeFiles/bench_heterogeneous.dir/bench_heterogeneous.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_horizon_vs_periodic"
+  "../bench/bench_horizon_vs_periodic.pdb"
+  "CMakeFiles/bench_horizon_vs_periodic.dir/bench_horizon_vs_periodic.cpp.o"
+  "CMakeFiles/bench_horizon_vs_periodic.dir/bench_horizon_vs_periodic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_horizon_vs_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_horizon_vs_periodic.
+# This may be replaced when dependencies are built.

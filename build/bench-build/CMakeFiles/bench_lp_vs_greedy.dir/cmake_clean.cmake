@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lp_vs_greedy"
+  "../bench/bench_lp_vs_greedy.pdb"
+  "CMakeFiles/bench_lp_vs_greedy.dir/bench_lp_vs_greedy.cpp.o"
+  "CMakeFiles/bench_lp_vs_greedy.dir/bench_lp_vs_greedy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lp_vs_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_optimality_gap"
+  "../bench/bench_optimality_gap.pdb"
+  "CMakeFiles/bench_optimality_gap.dir/bench_optimality_gap.cpp.o"
+  "CMakeFiles/bench_optimality_gap.dir/bench_optimality_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimality_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

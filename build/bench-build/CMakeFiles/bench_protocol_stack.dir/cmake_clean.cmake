@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_protocol_stack"
+  "../bench/bench_protocol_stack.pdb"
+  "CMakeFiles/bench_protocol_stack.dir/bench_protocol_stack.cpp.o"
+  "CMakeFiles/bench_protocol_stack.dir/bench_protocol_stack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

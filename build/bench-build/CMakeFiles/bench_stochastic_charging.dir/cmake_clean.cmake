@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_stochastic_charging"
+  "../bench/bench_stochastic_charging.pdb"
+  "CMakeFiles/bench_stochastic_charging.dir/bench_stochastic_charging.cpp.o"
+  "CMakeFiles/bench_stochastic_charging.dir/bench_stochastic_charging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stochastic_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

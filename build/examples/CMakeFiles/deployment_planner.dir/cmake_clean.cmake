@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_planner.dir/deployment_planner.cpp.o"
+  "CMakeFiles/deployment_planner.dir/deployment_planner.cpp.o.d"
+  "deployment_planner"
+  "deployment_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

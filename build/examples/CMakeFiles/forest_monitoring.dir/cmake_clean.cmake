@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forest_monitoring.dir/forest_monitoring.cpp.o"
+  "CMakeFiles/forest_monitoring.dir/forest_monitoring.cpp.o.d"
+  "forest_monitoring"
+  "forest_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forest_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

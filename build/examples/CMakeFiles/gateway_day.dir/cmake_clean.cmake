@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_day.dir/gateway_day.cpp.o"
+  "CMakeFiles/gateway_day.dir/gateway_day.cpp.o.d"
+  "gateway_day"
+  "gateway_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

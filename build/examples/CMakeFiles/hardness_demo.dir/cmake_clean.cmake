@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardness_demo.dir/hardness_demo.cpp.o"
+  "CMakeFiles/hardness_demo.dir/hardness_demo.cpp.o.d"
+  "hardness_demo"
+  "hardness_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardness_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_coverage.dir/region_coverage.cpp.o"
+  "CMakeFiles/region_coverage.dir/region_coverage.cpp.o.d"
+  "region_coverage"
+  "region_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_replay.dir/testbed_replay.cpp.o"
+  "CMakeFiles/testbed_replay.dir/testbed_replay.cpp.o.d"
+  "testbed_replay"
+  "testbed_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart" "--sensors" "12" "--targets" "2")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_forest_monitoring]=] "/root/repo/build/examples/forest_monitoring" "--sensors" "30" "--targets" "5" "--days" "3")
+set_tests_properties([=[example_forest_monitoring]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_testbed_replay]=] "/root/repo/build/examples/testbed_replay" "--sensors" "30" "--days" "3")
+set_tests_properties([=[example_testbed_replay]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_region_coverage]=] "/root/repo/build/examples/region_coverage" "--sensors" "15" "--radius" "20")
+set_tests_properties([=[example_region_coverage]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_hardness_demo]=] "/root/repo/build/examples/hardness_demo" "--numbers" "2,3,5")
+set_tests_properties([=[example_hardness_demo]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_gateway_day]=] "/root/repo/build/examples/gateway_day" "--sensors" "25" "--targets" "4")
+set_tests_properties([=[example_gateway_day]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_deployment_planner]=] "/root/repo/build/examples/deployment_planner" "--sensors" "12" "--extra" "3")
+set_tests_properties([=[example_deployment_planner]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

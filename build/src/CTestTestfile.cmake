@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geometry")
+subdirs("submodular")
+subdirs("energy")
+subdirs("lp")
+subdirs("net")
+subdirs("core")
+subdirs("sim")
+subdirs("proto")

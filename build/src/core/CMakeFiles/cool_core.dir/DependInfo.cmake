@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/cool_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/cool_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/branch_and_bound.cpp" "src/core/CMakeFiles/cool_core.dir/branch_and_bound.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/branch_and_bound.cpp.o.d"
+  "/root/repo/src/core/diff.cpp" "src/core/CMakeFiles/cool_core.dir/diff.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/diff.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/cool_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/exhaustive.cpp" "src/core/CMakeFiles/cool_core.dir/exhaustive.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/cool_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/heterogeneous.cpp" "src/core/CMakeFiles/cool_core.dir/heterogeneous.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/heterogeneous.cpp.o.d"
+  "/root/repo/src/core/horizon_lp.cpp" "src/core/CMakeFiles/cool_core.dir/horizon_lp.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/horizon_lp.cpp.o.d"
+  "/root/repo/src/core/lazy_greedy.cpp" "src/core/CMakeFiles/cool_core.dir/lazy_greedy.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/lazy_greedy.cpp.o.d"
+  "/root/repo/src/core/lp_scheduler.cpp" "src/core/CMakeFiles/cool_core.dir/lp_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/lp_scheduler.cpp.o.d"
+  "/root/repo/src/core/passive_greedy.cpp" "src/core/CMakeFiles/cool_core.dir/passive_greedy.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/passive_greedy.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/cool_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/cool_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/cool_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/cool_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/cool_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/stochastic_greedy.cpp" "src/core/CMakeFiles/cool_core.dir/stochastic_greedy.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/stochastic_greedy.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/cool_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cool_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/submodular/CMakeFiles/cool_submodular.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cool_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/cool_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cool_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cool_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/battery.cpp" "src/energy/CMakeFiles/cool_energy.dir/battery.cpp.o" "gcc" "src/energy/CMakeFiles/cool_energy.dir/battery.cpp.o.d"
+  "/root/repo/src/energy/harvester.cpp" "src/energy/CMakeFiles/cool_energy.dir/harvester.cpp.o" "gcc" "src/energy/CMakeFiles/cool_energy.dir/harvester.cpp.o.d"
+  "/root/repo/src/energy/pattern.cpp" "src/energy/CMakeFiles/cool_energy.dir/pattern.cpp.o" "gcc" "src/energy/CMakeFiles/cool_energy.dir/pattern.cpp.o.d"
+  "/root/repo/src/energy/solar.cpp" "src/energy/CMakeFiles/cool_energy.dir/solar.cpp.o" "gcc" "src/energy/CMakeFiles/cool_energy.dir/solar.cpp.o.d"
+  "/root/repo/src/energy/stochastic.cpp" "src/energy/CMakeFiles/cool_energy.dir/stochastic.cpp.o" "gcc" "src/energy/CMakeFiles/cool_energy.dir/stochastic.cpp.o.d"
+  "/root/repo/src/energy/trace.cpp" "src/energy/CMakeFiles/cool_energy.dir/trace.cpp.o" "gcc" "src/energy/CMakeFiles/cool_energy.dir/trace.cpp.o.d"
+  "/root/repo/src/energy/weather.cpp" "src/energy/CMakeFiles/cool_energy.dir/weather.cpp.o" "gcc" "src/energy/CMakeFiles/cool_energy.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cool_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

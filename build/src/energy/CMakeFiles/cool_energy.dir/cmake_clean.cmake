@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_energy.dir/battery.cpp.o"
+  "CMakeFiles/cool_energy.dir/battery.cpp.o.d"
+  "CMakeFiles/cool_energy.dir/harvester.cpp.o"
+  "CMakeFiles/cool_energy.dir/harvester.cpp.o.d"
+  "CMakeFiles/cool_energy.dir/pattern.cpp.o"
+  "CMakeFiles/cool_energy.dir/pattern.cpp.o.d"
+  "CMakeFiles/cool_energy.dir/solar.cpp.o"
+  "CMakeFiles/cool_energy.dir/solar.cpp.o.d"
+  "CMakeFiles/cool_energy.dir/stochastic.cpp.o"
+  "CMakeFiles/cool_energy.dir/stochastic.cpp.o.d"
+  "CMakeFiles/cool_energy.dir/trace.cpp.o"
+  "CMakeFiles/cool_energy.dir/trace.cpp.o.d"
+  "CMakeFiles/cool_energy.dir/weather.cpp.o"
+  "CMakeFiles/cool_energy.dir/weather.cpp.o.d"
+  "libcool_energy.a"
+  "libcool_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

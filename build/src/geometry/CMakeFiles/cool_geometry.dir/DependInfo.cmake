@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/arrangement.cpp" "src/geometry/CMakeFiles/cool_geometry.dir/arrangement.cpp.o" "gcc" "src/geometry/CMakeFiles/cool_geometry.dir/arrangement.cpp.o.d"
+  "/root/repo/src/geometry/deployment.cpp" "src/geometry/CMakeFiles/cool_geometry.dir/deployment.cpp.o" "gcc" "src/geometry/CMakeFiles/cool_geometry.dir/deployment.cpp.o.d"
+  "/root/repo/src/geometry/disk.cpp" "src/geometry/CMakeFiles/cool_geometry.dir/disk.cpp.o" "gcc" "src/geometry/CMakeFiles/cool_geometry.dir/disk.cpp.o.d"
+  "/root/repo/src/geometry/holes.cpp" "src/geometry/CMakeFiles/cool_geometry.dir/holes.cpp.o" "gcc" "src/geometry/CMakeFiles/cool_geometry.dir/holes.cpp.o.d"
+  "/root/repo/src/geometry/rect.cpp" "src/geometry/CMakeFiles/cool_geometry.dir/rect.cpp.o" "gcc" "src/geometry/CMakeFiles/cool_geometry.dir/rect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cool_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_geometry.dir/arrangement.cpp.o"
+  "CMakeFiles/cool_geometry.dir/arrangement.cpp.o.d"
+  "CMakeFiles/cool_geometry.dir/deployment.cpp.o"
+  "CMakeFiles/cool_geometry.dir/deployment.cpp.o.d"
+  "CMakeFiles/cool_geometry.dir/disk.cpp.o"
+  "CMakeFiles/cool_geometry.dir/disk.cpp.o.d"
+  "CMakeFiles/cool_geometry.dir/holes.cpp.o"
+  "CMakeFiles/cool_geometry.dir/holes.cpp.o.d"
+  "CMakeFiles/cool_geometry.dir/rect.cpp.o"
+  "CMakeFiles/cool_geometry.dir/rect.cpp.o.d"
+  "libcool_geometry.a"
+  "libcool_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

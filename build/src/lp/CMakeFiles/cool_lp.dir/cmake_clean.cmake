@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_lp.dir/model.cpp.o"
+  "CMakeFiles/cool_lp.dir/model.cpp.o.d"
+  "CMakeFiles/cool_lp.dir/simplex.cpp.o"
+  "CMakeFiles/cool_lp.dir/simplex.cpp.o.d"
+  "libcool_lp.a"
+  "libcool_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/collection.cpp" "src/net/CMakeFiles/cool_net.dir/collection.cpp.o" "gcc" "src/net/CMakeFiles/cool_net.dir/collection.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/cool_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/cool_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/radio.cpp" "src/net/CMakeFiles/cool_net.dir/radio.cpp.o" "gcc" "src/net/CMakeFiles/cool_net.dir/radio.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/cool_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/cool_net.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cool_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cool_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_net.dir/collection.cpp.o"
+  "CMakeFiles/cool_net.dir/collection.cpp.o.d"
+  "CMakeFiles/cool_net.dir/network.cpp.o"
+  "CMakeFiles/cool_net.dir/network.cpp.o.d"
+  "CMakeFiles/cool_net.dir/radio.cpp.o"
+  "CMakeFiles/cool_net.dir/radio.cpp.o.d"
+  "CMakeFiles/cool_net.dir/routing.cpp.o"
+  "CMakeFiles/cool_net.dir/routing.cpp.o.d"
+  "libcool_net.a"
+  "libcool_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_proto.dir/dissemination.cpp.o"
+  "CMakeFiles/cool_proto.dir/dissemination.cpp.o.d"
+  "CMakeFiles/cool_proto.dir/link.cpp.o"
+  "CMakeFiles/cool_proto.dir/link.cpp.o.d"
+  "CMakeFiles/cool_proto.dir/timesync.cpp.o"
+  "CMakeFiles/cool_proto.dir/timesync.cpp.o.d"
+  "libcool_proto.a"
+  "libcool_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_sim.dir/campaign.cpp.o"
+  "CMakeFiles/cool_sim.dir/campaign.cpp.o.d"
+  "CMakeFiles/cool_sim.dir/continuous.cpp.o"
+  "CMakeFiles/cool_sim.dir/continuous.cpp.o.d"
+  "CMakeFiles/cool_sim.dir/events.cpp.o"
+  "CMakeFiles/cool_sim.dir/events.cpp.o.d"
+  "CMakeFiles/cool_sim.dir/policy.cpp.o"
+  "CMakeFiles/cool_sim.dir/policy.cpp.o.d"
+  "CMakeFiles/cool_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cool_sim.dir/simulator.cpp.o.d"
+  "libcool_sim.a"
+  "libcool_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

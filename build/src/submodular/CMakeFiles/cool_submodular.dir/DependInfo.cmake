@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/submodular/area.cpp" "src/submodular/CMakeFiles/cool_submodular.dir/area.cpp.o" "gcc" "src/submodular/CMakeFiles/cool_submodular.dir/area.cpp.o.d"
+  "/root/repo/src/submodular/checker.cpp" "src/submodular/CMakeFiles/cool_submodular.dir/checker.cpp.o" "gcc" "src/submodular/CMakeFiles/cool_submodular.dir/checker.cpp.o.d"
+  "/root/repo/src/submodular/combinators.cpp" "src/submodular/CMakeFiles/cool_submodular.dir/combinators.cpp.o" "gcc" "src/submodular/CMakeFiles/cool_submodular.dir/combinators.cpp.o.d"
+  "/root/repo/src/submodular/concave.cpp" "src/submodular/CMakeFiles/cool_submodular.dir/concave.cpp.o" "gcc" "src/submodular/CMakeFiles/cool_submodular.dir/concave.cpp.o.d"
+  "/root/repo/src/submodular/coverage.cpp" "src/submodular/CMakeFiles/cool_submodular.dir/coverage.cpp.o" "gcc" "src/submodular/CMakeFiles/cool_submodular.dir/coverage.cpp.o.d"
+  "/root/repo/src/submodular/detection.cpp" "src/submodular/CMakeFiles/cool_submodular.dir/detection.cpp.o" "gcc" "src/submodular/CMakeFiles/cool_submodular.dir/detection.cpp.o.d"
+  "/root/repo/src/submodular/function.cpp" "src/submodular/CMakeFiles/cool_submodular.dir/function.cpp.o" "gcc" "src/submodular/CMakeFiles/cool_submodular.dir/function.cpp.o.d"
+  "/root/repo/src/submodular/kcoverage.cpp" "src/submodular/CMakeFiles/cool_submodular.dir/kcoverage.cpp.o" "gcc" "src/submodular/CMakeFiles/cool_submodular.dir/kcoverage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cool_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cool_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_submodular.dir/area.cpp.o"
+  "CMakeFiles/cool_submodular.dir/area.cpp.o.d"
+  "CMakeFiles/cool_submodular.dir/checker.cpp.o"
+  "CMakeFiles/cool_submodular.dir/checker.cpp.o.d"
+  "CMakeFiles/cool_submodular.dir/combinators.cpp.o"
+  "CMakeFiles/cool_submodular.dir/combinators.cpp.o.d"
+  "CMakeFiles/cool_submodular.dir/concave.cpp.o"
+  "CMakeFiles/cool_submodular.dir/concave.cpp.o.d"
+  "CMakeFiles/cool_submodular.dir/coverage.cpp.o"
+  "CMakeFiles/cool_submodular.dir/coverage.cpp.o.d"
+  "CMakeFiles/cool_submodular.dir/detection.cpp.o"
+  "CMakeFiles/cool_submodular.dir/detection.cpp.o.d"
+  "CMakeFiles/cool_submodular.dir/function.cpp.o"
+  "CMakeFiles/cool_submodular.dir/function.cpp.o.d"
+  "CMakeFiles/cool_submodular.dir/kcoverage.cpp.o"
+  "CMakeFiles/cool_submodular.dir/kcoverage.cpp.o.d"
+  "libcool_submodular.a"
+  "libcool_submodular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_submodular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

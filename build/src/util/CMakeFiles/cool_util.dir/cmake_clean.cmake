@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_util.dir/cli.cpp.o"
+  "CMakeFiles/cool_util.dir/cli.cpp.o.d"
+  "CMakeFiles/cool_util.dir/csv.cpp.o"
+  "CMakeFiles/cool_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cool_util.dir/histogram.cpp.o"
+  "CMakeFiles/cool_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/cool_util.dir/log.cpp.o"
+  "CMakeFiles/cool_util.dir/log.cpp.o.d"
+  "CMakeFiles/cool_util.dir/rng.cpp.o"
+  "CMakeFiles/cool_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cool_util.dir/stats.cpp.o"
+  "CMakeFiles/cool_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cool_util.dir/strings.cpp.o"
+  "CMakeFiles/cool_util.dir/strings.cpp.o.d"
+  "CMakeFiles/cool_util.dir/table.cpp.o"
+  "CMakeFiles/cool_util.dir/table.cpp.o.d"
+  "libcool_util.a"
+  "libcool_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

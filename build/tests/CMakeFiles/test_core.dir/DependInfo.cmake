@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_approximation.cpp" "tests/CMakeFiles/test_core.dir/test_approximation.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_approximation.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/test_core.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bounds.cpp" "tests/CMakeFiles/test_core.dir/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_bounds.cpp.o.d"
+  "/root/repo/tests/test_branch_and_bound.cpp" "tests/CMakeFiles/test_core.dir/test_branch_and_bound.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_branch_and_bound.cpp.o.d"
+  "/root/repo/tests/test_diff.cpp" "tests/CMakeFiles/test_core.dir/test_diff.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_diff.cpp.o.d"
+  "/root/repo/tests/test_evaluator.cpp" "tests/CMakeFiles/test_core.dir/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_evaluator.cpp.o.d"
+  "/root/repo/tests/test_exhaustive.cpp" "tests/CMakeFiles/test_core.dir/test_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_exhaustive.cpp.o.d"
+  "/root/repo/tests/test_greedy.cpp" "tests/CMakeFiles/test_core.dir/test_greedy.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_greedy.cpp.o.d"
+  "/root/repo/tests/test_hardness.cpp" "tests/CMakeFiles/test_core.dir/test_hardness.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_hardness.cpp.o.d"
+  "/root/repo/tests/test_heterogeneous.cpp" "tests/CMakeFiles/test_core.dir/test_heterogeneous.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_heterogeneous.cpp.o.d"
+  "/root/repo/tests/test_horizon_lp.cpp" "tests/CMakeFiles/test_core.dir/test_horizon_lp.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_horizon_lp.cpp.o.d"
+  "/root/repo/tests/test_lazy_greedy.cpp" "tests/CMakeFiles/test_core.dir/test_lazy_greedy.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_lazy_greedy.cpp.o.d"
+  "/root/repo/tests/test_lp_scheduler.cpp" "tests/CMakeFiles/test_core.dir/test_lp_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_lp_scheduler.cpp.o.d"
+  "/root/repo/tests/test_passive_greedy.cpp" "tests/CMakeFiles/test_core.dir/test_passive_greedy.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_passive_greedy.cpp.o.d"
+  "/root/repo/tests/test_planner.cpp" "tests/CMakeFiles/test_core.dir/test_planner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_planner.cpp.o.d"
+  "/root/repo/tests/test_problem.cpp" "tests/CMakeFiles/test_core.dir/test_problem.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_problem.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/test_core.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/test_core.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/test_core.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_stochastic_greedy.cpp" "tests/CMakeFiles/test_core.dir/test_stochastic_greedy.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_stochastic_greedy.cpp.o.d"
+  "/root/repo/tests/test_sweeps.cpp" "tests/CMakeFiles/test_core.dir/test_sweeps.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_sweeps.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/test_core.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/cool_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cool_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cool_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cool_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cool_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/cool_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/submodular/CMakeFiles/cool_submodular.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cool_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cool_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

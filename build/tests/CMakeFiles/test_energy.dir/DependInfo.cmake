@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_battery.cpp" "tests/CMakeFiles/test_energy.dir/test_battery.cpp.o" "gcc" "tests/CMakeFiles/test_energy.dir/test_battery.cpp.o.d"
+  "/root/repo/tests/test_harvester.cpp" "tests/CMakeFiles/test_energy.dir/test_harvester.cpp.o" "gcc" "tests/CMakeFiles/test_energy.dir/test_harvester.cpp.o.d"
+  "/root/repo/tests/test_pattern.cpp" "tests/CMakeFiles/test_energy.dir/test_pattern.cpp.o" "gcc" "tests/CMakeFiles/test_energy.dir/test_pattern.cpp.o.d"
+  "/root/repo/tests/test_solar.cpp" "tests/CMakeFiles/test_energy.dir/test_solar.cpp.o" "gcc" "tests/CMakeFiles/test_energy.dir/test_solar.cpp.o.d"
+  "/root/repo/tests/test_stochastic.cpp" "tests/CMakeFiles/test_energy.dir/test_stochastic.cpp.o" "gcc" "tests/CMakeFiles/test_energy.dir/test_stochastic.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/test_energy.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_energy.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_weather.cpp" "tests/CMakeFiles/test_energy.dir/test_weather.cpp.o" "gcc" "tests/CMakeFiles/test_energy.dir/test_weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/cool_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cool_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cool_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cool_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cool_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/cool_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/submodular/CMakeFiles/cool_submodular.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cool_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cool_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy.dir/test_battery.cpp.o"
+  "CMakeFiles/test_energy.dir/test_battery.cpp.o.d"
+  "CMakeFiles/test_energy.dir/test_harvester.cpp.o"
+  "CMakeFiles/test_energy.dir/test_harvester.cpp.o.d"
+  "CMakeFiles/test_energy.dir/test_pattern.cpp.o"
+  "CMakeFiles/test_energy.dir/test_pattern.cpp.o.d"
+  "CMakeFiles/test_energy.dir/test_solar.cpp.o"
+  "CMakeFiles/test_energy.dir/test_solar.cpp.o.d"
+  "CMakeFiles/test_energy.dir/test_stochastic.cpp.o"
+  "CMakeFiles/test_energy.dir/test_stochastic.cpp.o.d"
+  "CMakeFiles/test_energy.dir/test_trace.cpp.o"
+  "CMakeFiles/test_energy.dir/test_trace.cpp.o.d"
+  "CMakeFiles/test_energy.dir/test_weather.cpp.o"
+  "CMakeFiles/test_energy.dir/test_weather.cpp.o.d"
+  "test_energy"
+  "test_energy.pdb"
+  "test_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto.dir/test_dissemination.cpp.o"
+  "CMakeFiles/test_proto.dir/test_dissemination.cpp.o.d"
+  "CMakeFiles/test_proto.dir/test_link.cpp.o"
+  "CMakeFiles/test_proto.dir/test_link.cpp.o.d"
+  "CMakeFiles/test_proto.dir/test_timesync.cpp.o"
+  "CMakeFiles/test_proto.dir/test_timesync.cpp.o.d"
+  "test_proto"
+  "test_proto.pdb"
+  "test_proto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_submodular.dir/test_area_utility.cpp.o"
+  "CMakeFiles/test_submodular.dir/test_area_utility.cpp.o.d"
+  "CMakeFiles/test_submodular.dir/test_checker.cpp.o"
+  "CMakeFiles/test_submodular.dir/test_checker.cpp.o.d"
+  "CMakeFiles/test_submodular.dir/test_combinators.cpp.o"
+  "CMakeFiles/test_submodular.dir/test_combinators.cpp.o.d"
+  "CMakeFiles/test_submodular.dir/test_concave.cpp.o"
+  "CMakeFiles/test_submodular.dir/test_concave.cpp.o.d"
+  "CMakeFiles/test_submodular.dir/test_coverage_fn.cpp.o"
+  "CMakeFiles/test_submodular.dir/test_coverage_fn.cpp.o.d"
+  "CMakeFiles/test_submodular.dir/test_detection.cpp.o"
+  "CMakeFiles/test_submodular.dir/test_detection.cpp.o.d"
+  "CMakeFiles/test_submodular.dir/test_kcoverage.cpp.o"
+  "CMakeFiles/test_submodular.dir/test_kcoverage.cpp.o.d"
+  "test_submodular"
+  "test_submodular.pdb"
+  "test_submodular[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_submodular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

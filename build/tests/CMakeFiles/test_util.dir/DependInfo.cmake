@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/test_util.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/test_util.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/test_util.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/test_util.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/test_util.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/test_util.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_strings.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/test_util.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/cool_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cool_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cool_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cool_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cool_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/cool_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/submodular/CMakeFiles/cool_submodular.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cool_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cool_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/test_cli.cpp.o"
+  "CMakeFiles/test_util.dir/test_cli.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_csv.cpp.o"
+  "CMakeFiles/test_util.dir/test_csv.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_histogram.cpp.o"
+  "CMakeFiles/test_util.dir/test_histogram.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_rng.cpp.o"
+  "CMakeFiles/test_util.dir/test_rng.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_stats.cpp.o"
+  "CMakeFiles/test_util.dir/test_stats.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_strings.cpp.o"
+  "CMakeFiles/test_util.dir/test_strings.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_table.cpp.o"
+  "CMakeFiles/test_util.dir/test_table.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
