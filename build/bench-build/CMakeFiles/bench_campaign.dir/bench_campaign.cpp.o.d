@@ -234,9 +234,10 @@ bench-build/CMakeFiles/bench_campaign.dir/bench_campaign.cpp.o: \
  /root/repo/src/submodular/function.h /root/repo/src/core/schedule.h \
  /root/repo/src/proto/dissemination.h /root/repo/src/net/radio.h \
  /root/repo/src/net/routing.h /root/repo/src/proto/link.h \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/policy.h \
- /root/repo/src/util/stats.h /root/repo/src/util/cli.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/sim/faults.h \
+ /root/repo/src/sim/policy.h /root/repo/src/util/stats.h \
+ /root/repo/src/util/cli.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

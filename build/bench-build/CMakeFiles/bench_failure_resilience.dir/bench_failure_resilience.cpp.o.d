@@ -28,8 +28,8 @@ bench-build/CMakeFiles/bench_failure_resilience.dir/bench_failure_resilience.cpp
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/iostream \
- /usr/include/c++/12/ostream /usr/include/c++/12/ios \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
  /usr/include/c++/12/iosfwd /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h /usr/include/c++/12/bits/postypes.h \
  /usr/include/c++/12/cwchar /usr/include/wchar.h \
@@ -151,14 +151,17 @@ bench-build/CMakeFiles/bench_failure_resilience.dir/bench_failure_resilience.cpp
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc \
- /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /root/repo/src/core/greedy.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/iostream \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/problem.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/greedy.h \
+ /usr/include/c++/12/cstddef /root/repo/src/core/problem.h \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -229,13 +232,17 @@ bench-build/CMakeFiles/bench_failure_resilience.dir/bench_failure_resilience.cpp
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/geometry/rect.h \
  /root/repo/src/submodular/detection.h \
  /root/repo/src/submodular/function.h /root/repo/src/core/schedule.h \
- /root/repo/src/sim/simulator.h /usr/include/c++/12/optional \
+ /root/repo/src/net/routing.h /root/repo/src/proto/link.h \
+ /root/repo/src/sim/runtime.h /root/repo/src/core/repair.h \
+ /root/repo/src/net/radio.h /root/repo/src/proto/dissemination.h \
+ /root/repo/src/proto/heartbeat.h /root/repo/src/sim/faults.h \
+ /root/repo/src/util/stats.h /root/repo/src/sim/simulator.h \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/sim/policy.h /root/repo/src/util/stats.h \
- /root/repo/src/util/cli.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/sim/policy.h /root/repo/src/util/cli.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/util/strings.h \
- /root/repo/src/util/table.h
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/util/csv.h \
+ /root/repo/src/util/strings.h /root/repo/src/util/table.h

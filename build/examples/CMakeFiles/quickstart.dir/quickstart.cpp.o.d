@@ -233,9 +233,9 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/core/schedule.h /root/repo/src/core/greedy.h \
  /root/repo/src/sim/simulator.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/sim/policy.h /root/repo/src/util/stats.h \
- /root/repo/src/util/cli.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/sim/faults.h /root/repo/src/sim/policy.h \
+ /root/repo/src/util/stats.h /root/repo/src/util/cli.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

@@ -22,6 +22,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/passive_greedy.cpp" "src/core/CMakeFiles/cool_core.dir/passive_greedy.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/passive_greedy.cpp.o.d"
   "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/cool_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/planner.cpp.o.d"
   "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/cool_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/repair.cpp" "src/core/CMakeFiles/cool_core.dir/repair.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/repair.cpp.o.d"
   "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/cool_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/report.cpp.o.d"
   "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/cool_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/schedule.cpp.o.d"
   "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/cool_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/serialize.cpp.o.d"

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/proto/dissemination.cpp" "src/proto/CMakeFiles/cool_proto.dir/dissemination.cpp.o" "gcc" "src/proto/CMakeFiles/cool_proto.dir/dissemination.cpp.o.d"
+  "/root/repo/src/proto/heartbeat.cpp" "src/proto/CMakeFiles/cool_proto.dir/heartbeat.cpp.o" "gcc" "src/proto/CMakeFiles/cool_proto.dir/heartbeat.cpp.o.d"
   "/root/repo/src/proto/link.cpp" "src/proto/CMakeFiles/cool_proto.dir/link.cpp.o" "gcc" "src/proto/CMakeFiles/cool_proto.dir/link.cpp.o.d"
   "/root/repo/src/proto/timesync.cpp" "src/proto/CMakeFiles/cool_proto.dir/timesync.cpp.o" "gcc" "src/proto/CMakeFiles/cool_proto.dir/timesync.cpp.o.d"
   )

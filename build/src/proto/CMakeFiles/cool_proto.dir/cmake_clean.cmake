@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/cool_proto.dir/dissemination.cpp.o"
   "CMakeFiles/cool_proto.dir/dissemination.cpp.o.d"
+  "CMakeFiles/cool_proto.dir/heartbeat.cpp.o"
+  "CMakeFiles/cool_proto.dir/heartbeat.cpp.o.d"
   "CMakeFiles/cool_proto.dir/link.cpp.o"
   "CMakeFiles/cool_proto.dir/link.cpp.o.d"
   "CMakeFiles/cool_proto.dir/timesync.cpp.o"

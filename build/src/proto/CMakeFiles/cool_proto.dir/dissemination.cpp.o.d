@@ -228,4 +228,11 @@ src/proto/CMakeFiles/cool_proto.dir/dissemination.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/geometry/rect.h \
  /root/repo/src/submodular/detection.h \
  /root/repo/src/submodular/function.h /root/repo/src/net/radio.h \
- /root/repo/src/net/routing.h /root/repo/src/proto/link.h
+ /root/repo/src/net/routing.h /root/repo/src/proto/link.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -11,7 +11,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/campaign.cpp" "src/sim/CMakeFiles/cool_sim.dir/campaign.cpp.o" "gcc" "src/sim/CMakeFiles/cool_sim.dir/campaign.cpp.o.d"
   "/root/repo/src/sim/continuous.cpp" "src/sim/CMakeFiles/cool_sim.dir/continuous.cpp.o" "gcc" "src/sim/CMakeFiles/cool_sim.dir/continuous.cpp.o.d"
   "/root/repo/src/sim/events.cpp" "src/sim/CMakeFiles/cool_sim.dir/events.cpp.o" "gcc" "src/sim/CMakeFiles/cool_sim.dir/events.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/sim/CMakeFiles/cool_sim.dir/faults.cpp.o" "gcc" "src/sim/CMakeFiles/cool_sim.dir/faults.cpp.o.d"
   "/root/repo/src/sim/policy.cpp" "src/sim/CMakeFiles/cool_sim.dir/policy.cpp.o" "gcc" "src/sim/CMakeFiles/cool_sim.dir/policy.cpp.o.d"
+  "/root/repo/src/sim/runtime.cpp" "src/sim/CMakeFiles/cool_sim.dir/runtime.cpp.o" "gcc" "src/sim/CMakeFiles/cool_sim.dir/runtime.cpp.o.d"
   "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/cool_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/cool_sim.dir/simulator.cpp.o.d"
   )
 

@@ -233,10 +233,10 @@ src/sim/CMakeFiles/cool_sim.dir/campaign.cpp.o: \
  /root/repo/src/submodular/function.h /root/repo/src/core/schedule.h \
  /root/repo/src/proto/dissemination.h /root/repo/src/net/radio.h \
  /root/repo/src/net/routing.h /root/repo/src/proto/link.h \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/policy.h \
- /root/repo/src/util/stats.h /usr/include/c++/12/fstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/sim/faults.h \
+ /root/repo/src/sim/policy.h /root/repo/src/util/stats.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/util/csv.h

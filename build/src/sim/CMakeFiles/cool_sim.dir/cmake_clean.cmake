@@ -5,8 +5,12 @@ file(REMOVE_RECURSE
   "CMakeFiles/cool_sim.dir/continuous.cpp.o.d"
   "CMakeFiles/cool_sim.dir/events.cpp.o"
   "CMakeFiles/cool_sim.dir/events.cpp.o.d"
+  "CMakeFiles/cool_sim.dir/faults.cpp.o"
+  "CMakeFiles/cool_sim.dir/faults.cpp.o.d"
   "CMakeFiles/cool_sim.dir/policy.cpp.o"
   "CMakeFiles/cool_sim.dir/policy.cpp.o.d"
+  "CMakeFiles/cool_sim.dir/runtime.cpp.o"
+  "CMakeFiles/cool_sim.dir/runtime.cpp.o.d"
   "CMakeFiles/cool_sim.dir/simulator.cpp.o"
   "CMakeFiles/cool_sim.dir/simulator.cpp.o.d"
   "libcool_sim.a"

@@ -228,9 +228,10 @@ src/sim/CMakeFiles/cool_sim.dir/simulator.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/geometry/rect.h \
  /root/repo/src/submodular/detection.h \
- /root/repo/src/submodular/function.h /root/repo/src/sim/policy.h \
- /root/repo/src/core/schedule.h /root/repo/src/util/stats.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/submodular/function.h /root/repo/src/sim/faults.h \
+ /root/repo/src/sim/policy.h /root/repo/src/core/schedule.h \
+ /root/repo/src/util/stats.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

@@ -24,6 +24,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_passive_greedy.cpp" "tests/CMakeFiles/test_core.dir/test_passive_greedy.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_passive_greedy.cpp.o.d"
   "/root/repo/tests/test_planner.cpp" "tests/CMakeFiles/test_core.dir/test_planner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_planner.cpp.o.d"
   "/root/repo/tests/test_problem.cpp" "tests/CMakeFiles/test_core.dir/test_problem.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_problem.cpp.o.d"
+  "/root/repo/tests/test_repair.cpp" "tests/CMakeFiles/test_core.dir/test_repair.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_repair.cpp.o.d"
   "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/test_core.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_report.cpp.o.d"
   "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/test_core.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_schedule.cpp.o.d"
   "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/test_core.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_serialize.cpp.o.d"

@@ -325,4 +325,5 @@ tests/CMakeFiles/test_core.dir/test_sweeps.cpp.o: \
  /root/repo/src/submodular/function.h /root/repo/src/core/schedule.h \
  /root/repo/src/core/greedy.h /root/repo/src/core/passive_greedy.h \
  /root/repo/src/core/serialize.h /root/repo/src/sim/simulator.h \
- /root/repo/src/sim/policy.h /root/repo/src/util/stats.h
+ /root/repo/src/sim/faults.h /root/repo/src/sim/policy.h \
+ /root/repo/src/util/stats.h

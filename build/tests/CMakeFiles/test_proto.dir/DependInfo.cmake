@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_dissemination.cpp" "tests/CMakeFiles/test_proto.dir/test_dissemination.cpp.o" "gcc" "tests/CMakeFiles/test_proto.dir/test_dissemination.cpp.o.d"
+  "/root/repo/tests/test_heartbeat.cpp" "tests/CMakeFiles/test_proto.dir/test_heartbeat.cpp.o" "gcc" "tests/CMakeFiles/test_proto.dir/test_heartbeat.cpp.o.d"
   "/root/repo/tests/test_link.cpp" "tests/CMakeFiles/test_proto.dir/test_link.cpp.o" "gcc" "tests/CMakeFiles/test_proto.dir/test_link.cpp.o.d"
   "/root/repo/tests/test_timesync.cpp" "tests/CMakeFiles/test_proto.dir/test_timesync.cpp.o" "gcc" "tests/CMakeFiles/test_proto.dir/test_timesync.cpp.o.d"
   )

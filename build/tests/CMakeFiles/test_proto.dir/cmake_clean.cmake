@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_proto.dir/test_dissemination.cpp.o"
   "CMakeFiles/test_proto.dir/test_dissemination.cpp.o.d"
+  "CMakeFiles/test_proto.dir/test_heartbeat.cpp.o"
+  "CMakeFiles/test_proto.dir/test_heartbeat.cpp.o.d"
   "CMakeFiles/test_proto.dir/test_link.cpp.o"
   "CMakeFiles/test_proto.dir/test_link.cpp.o.d"
   "CMakeFiles/test_proto.dir/test_timesync.cpp.o"

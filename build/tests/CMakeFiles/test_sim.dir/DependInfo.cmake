@@ -11,6 +11,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_campaign.cpp" "tests/CMakeFiles/test_sim.dir/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_campaign.cpp.o.d"
   "/root/repo/tests/test_continuous.cpp" "tests/CMakeFiles/test_sim.dir/test_continuous.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_continuous.cpp.o.d"
   "/root/repo/tests/test_events.cpp" "tests/CMakeFiles/test_sim.dir/test_events.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_events.cpp.o.d"
+  "/root/repo/tests/test_faults.cpp" "tests/CMakeFiles/test_sim.dir/test_faults.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_faults.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/test_sim.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_runtime.cpp.o.d"
   "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_simulator.cpp.o.d"
   )
 

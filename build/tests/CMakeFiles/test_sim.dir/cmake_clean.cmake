@@ -5,6 +5,10 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_sim.dir/test_continuous.cpp.o.d"
   "CMakeFiles/test_sim.dir/test_events.cpp.o"
   "CMakeFiles/test_sim.dir/test_events.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_faults.cpp.o"
+  "CMakeFiles/test_sim.dir/test_faults.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_runtime.cpp.o"
+  "CMakeFiles/test_sim.dir/test_runtime.cpp.o.d"
   "CMakeFiles/test_sim.dir/test_simulator.cpp.o"
   "CMakeFiles/test_sim.dir/test_simulator.cpp.o.d"
   "test_sim"

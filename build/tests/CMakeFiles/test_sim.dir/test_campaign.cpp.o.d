@@ -233,8 +233,9 @@ tests/CMakeFiles/test_sim.dir/test_campaign.cpp.o: \
  /root/repo/src/submodular/function.h /root/repo/src/core/schedule.h \
  /root/repo/src/proto/dissemination.h /root/repo/src/net/radio.h \
  /root/repo/src/net/routing.h /root/repo/src/proto/link.h \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/policy.h \
- /root/repo/src/util/stats.h /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/sim/faults.h \
+ /root/repo/src/sim/policy.h /root/repo/src/util/stats.h \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -228,9 +228,9 @@ tests/CMakeFiles/test_sim.dir/test_simulator.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/geometry/rect.h \
  /root/repo/src/submodular/detection.h \
- /root/repo/src/submodular/function.h /root/repo/src/sim/policy.h \
- /root/repo/src/core/schedule.h /root/repo/src/util/stats.h \
- /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/submodular/function.h /root/repo/src/sim/faults.h \
+ /root/repo/src/sim/policy.h /root/repo/src/core/schedule.h \
+ /root/repo/src/util/stats.h /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

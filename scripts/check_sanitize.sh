@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite under ASan + UBSan.
+# Usage: scripts/check_sanitize.sh [ctest-args...]
+# Extra arguments are forwarded to ctest (e.g. -R FaultModel).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-sanitize"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Sanitize
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error keeps ctest exit codes meaningful; detect_leaks stays on by
+# default where LeakSanitizer is supported.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+cd "${build_dir}"
+ctest --output-on-failure -j "$(nproc)" "$@"

@@ -1,8 +1,114 @@
 #include "proto/dissemination.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace cool::proto {
+
+DeltaDisseminator::DeltaDisseminator(const net::Network& network,
+                                     const net::RoutingTree& tree,
+                                     const LinkModel& links,
+                                     const net::RadioEnergyModel& radio,
+                                     DeltaDisseminationConfig config)
+    : tree_(&tree), links_(&links), radio_(&radio), config_(config),
+      pending_(network.sensor_count(), 0),
+      next_attempt_slot_(network.sensor_count(), 0),
+      failures_(network.sensor_count(), 0) {
+  if (config_.backoff_factor < 1.0)
+    throw std::invalid_argument("DeltaDisseminator: backoff_factor < 1");
+}
+
+void DeltaDisseminator::enqueue(std::size_t node, std::size_t slot) {
+  if (node >= pending_.size())
+    throw std::out_of_range("DeltaDisseminator: node out of range");
+  ++stats_.updates_enqueued;
+  if (!tree_->reachable(node)) {
+    ++stats_.updates_abandoned;
+    return;
+  }
+  if (!pending_[node]) {
+    pending_[node] = 1;
+    ++pending_count_;
+  }
+  // A re-enqueue supersedes the old payload but keeps the backoff clock: the
+  // path, not the payload, is what has been failing.
+  next_attempt_slot_[node] = std::max(next_attempt_slot_[node], slot);
+  if (failures_[node] == 0) next_attempt_slot_[node] = slot;
+}
+
+bool DeltaDisseminator::attempt(std::size_t node,
+                                const std::vector<std::uint8_t>& up,
+                                util::Rng& rng,
+                                DeltaSlotReport& report) const {
+  if (node == tree_->sink()) return true;  // gateway updates itself
+  const auto path = tree_->path_to_sink(node);  // node -> ... -> sink
+  // Walk sink -> node; every receiver must be up (the sink only transmits).
+  for (std::size_t i = path.size(); i-- > 1;) {
+    const std::size_t from = path[i];
+    const std::size_t to = path[i - 1];
+    const bool receiver_up = up[to] != 0;
+    bool hop_ok = false;
+    for (std::size_t tx = 0; tx <= config_.arq.max_retransmissions; ++tx) {
+      ++report.data_transmissions;
+      report.radio_energy_j += radio_->tx_energy_j();
+      if (!receiver_up || !links_->try_deliver(from, to, rng)) continue;
+      report.radio_energy_j += radio_->rx_energy_j();
+      // The ack races back; a lost ack costs a duplicate but the receiver
+      // already holds the data, so the hop still succeeds.
+      ++report.ack_transmissions;
+      report.radio_energy_j += radio_->tx_energy_j();
+      if (!config_.arq.lossy_acks || links_->try_deliver(to, from, rng))
+        report.radio_energy_j += radio_->rx_energy_j();
+      hop_ok = true;
+      break;
+    }
+    if (!hop_ok) return false;
+  }
+  return true;
+}
+
+DeltaSlotReport DeltaDisseminator::step(std::size_t slot,
+                                        const std::vector<std::uint8_t>& up,
+                                        util::Rng& rng) {
+  if (up.size() != pending_.size())
+    throw std::invalid_argument("DeltaDisseminator: up mask size mismatch");
+  DeltaSlotReport report;
+  for (std::size_t v = 0; v < pending_.size(); ++v) {
+    if (!pending_[v] || next_attempt_slot_[v] > slot) continue;
+    ++report.attempts;
+    if (attempt(v, up, rng, report)) {
+      pending_[v] = 0;
+      --pending_count_;
+      failures_[v] = 0;
+      report.delivered.push_back(v);
+      ++stats_.updates_delivered;
+      continue;
+    }
+    ++report.failed_attempts;
+    ++failures_[v];
+    if (config_.max_attempts > 0 && failures_[v] >= config_.max_attempts) {
+      pending_[v] = 0;
+      --pending_count_;
+      failures_[v] = 0;
+      ++stats_.updates_abandoned;
+      continue;
+    }
+    const double backoff =
+        static_cast<double>(config_.backoff_base_slots) *
+        std::pow(config_.backoff_factor,
+                 static_cast<double>(failures_[v] - 1));
+    next_attempt_slot_[v] =
+        slot + 1 +
+        std::min<std::size_t>(config_.max_backoff_slots,
+                              static_cast<std::size_t>(backoff));
+  }
+  stats_.attempts += report.attempts;
+  stats_.data_transmissions += report.data_transmissions;
+  stats_.ack_transmissions += report.ack_transmissions;
+  stats_.radio_energy_j += report.radio_energy_j;
+  return report;
+}
 
 ScheduleDissemination::ScheduleDissemination(const net::Network& network,
                                              const net::RoutingTree& tree,

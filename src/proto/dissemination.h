@@ -39,6 +39,78 @@ struct DisseminationReport {
   std::vector<std::uint8_t> delivered;
 };
 
+// Slot-by-slot delta re-dissemination for the resilient runtime: after an
+// in-field repair the gateway must push *changed* assignments only. Each
+// queued node update is unicast sink -> node with the same per-hop ARQ as
+// the initial dissemination; a delivery that fails outright (all hops'
+// retransmission budgets exhausted, e.g. a dead relay on the path) is
+// retried in a later slot under exponential backoff, so a transiently
+// partitioned node eventually converges without hammering the network.
+struct DeltaDisseminationConfig {
+  DisseminationConfig arq;             // per-hop ARQ parameters
+  std::size_t backoff_base_slots = 1;  // delay after the first failure
+  double backoff_factor = 2.0;         // growth per consecutive failure
+  std::size_t max_backoff_slots = 16;
+  std::size_t max_attempts = 0;        // per update; 0 = keep trying forever
+};
+
+struct DeltaSlotReport {
+  std::vector<std::size_t> delivered;  // nodes whose update landed this slot
+  std::size_t attempts = 0;            // end-to-end delivery attempts
+  std::size_t data_transmissions = 0;
+  std::size_t ack_transmissions = 0;
+  std::size_t failed_attempts = 0;
+  double radio_energy_j = 0.0;
+};
+
+struct DeltaStats {
+  std::size_t updates_enqueued = 0;
+  std::size_t updates_delivered = 0;
+  std::size_t updates_abandoned = 0;   // max_attempts exhausted
+  std::size_t attempts = 0;
+  std::size_t data_transmissions = 0;
+  std::size_t ack_transmissions = 0;
+  double radio_energy_j = 0.0;
+};
+
+class DeltaDisseminator {
+ public:
+  // All referenced objects must outlive the disseminator.
+  DeltaDisseminator(const net::Network& network, const net::RoutingTree& tree,
+                    const LinkModel& links, const net::RadioEnergyModel& radio,
+                    DeltaDisseminationConfig config = {});
+
+  // Queues (or re-arms, if already pending) an assignment update for `node`,
+  // eligible from `slot` on. Unreachable nodes are counted abandoned
+  // immediately — the tree cannot carry their update.
+  void enqueue(std::size_t node, std::size_t slot);
+
+  bool pending(std::size_t node) const { return pending_[node] != 0; }
+  std::size_t pending_count() const noexcept { return pending_count_; }
+
+  // Attempts every queued update whose backoff has expired. `up` marks nodes
+  // that can receive/forward; the sink's gateway radio is always powered.
+  DeltaSlotReport step(std::size_t slot, const std::vector<std::uint8_t>& up,
+                       util::Rng& rng);
+
+  const DeltaStats& stats() const noexcept { return stats_; }
+
+ private:
+  // One end-to-end unicast attempt sink -> node with per-hop ARQ.
+  bool attempt(std::size_t node, const std::vector<std::uint8_t>& up,
+               util::Rng& rng, DeltaSlotReport& report) const;
+
+  const net::RoutingTree* tree_;
+  const LinkModel* links_;
+  const net::RadioEnergyModel* radio_;
+  DeltaDisseminationConfig config_;
+  std::vector<std::uint8_t> pending_;
+  std::vector<std::size_t> next_attempt_slot_;
+  std::vector<std::size_t> failures_;  // consecutive failures per update
+  std::size_t pending_count_ = 0;
+  DeltaStats stats_;
+};
+
 class ScheduleDissemination {
  public:
   ScheduleDissemination(const net::Network& network, const net::RoutingTree& tree,

@@ -1,0 +1,116 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cool::sim {
+
+void validate_fault_config(const FaultModelConfig& config,
+                           std::size_t node_count) {
+  const auto check_rate = [](double rate, const char* what) {
+    if (rate < 0.0 || rate > 1.0)
+      throw std::invalid_argument(std::string("FaultModel: ") + what +
+                                  " outside [0, 1]");
+  };
+  check_rate(config.failure_rate_per_slot, "failure_rate_per_slot");
+  check_rate(config.death_rate_per_slot, "death_rate_per_slot");
+  check_rate(config.wearout_scale, "wearout_scale");
+  if (config.kind == FaultKind::kWearout && config.wearout_cycles <= 0.0)
+    throw std::invalid_argument("FaultModel: wearout_cycles <= 0");
+  if (config.wearout_exponent < 0.0)
+    throw std::invalid_argument("FaultModel: wearout_exponent < 0");
+  for (const auto& event : config.trace)
+    if (event.node >= node_count)
+      throw std::invalid_argument("FaultModel: trace event node out of range");
+}
+
+FaultModel::FaultModel(std::size_t node_count, const FaultModelConfig& config,
+                       util::Rng rng)
+    : config_(config), rng_(std::move(rng)), down_for_(node_count, 0),
+      dead_(node_count, 0), death_slot_(node_count, kNever),
+      cycles_(node_count, 0) {
+  validate_fault_config(config_, node_count);
+  // One-slot outage instead of the seed's "failure that never lands" bug.
+  if (config_.repair_slots == 0) config_.repair_slots = 1;
+  std::stable_sort(config_.trace.begin(), config_.trace.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.slot < b.slot;
+                   });
+}
+
+void FaultModel::kill(std::size_t node, std::size_t slot) {
+  if (dead_[node]) return;
+  dead_[node] = 1;
+  death_slot_[node] = slot;
+  down_for_[node] = 0;
+  ++stats_.failures_injected;
+  ++stats_.deaths;
+}
+
+void FaultModel::step(std::size_t global_slot) {
+  const std::size_t n = down_for_.size();
+  switch (config_.kind) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kTransient:
+      // Same per-node order and RNG consumption as the seed simulator:
+      // recovering nodes tick down and are not re-sampled that slot.
+      for (std::size_t v = 0; v < n; ++v) {
+        if (down_for_[v] > 0) {
+          --down_for_[v];
+        } else if (config_.failure_rate_per_slot > 0.0 &&
+                   rng_.bernoulli(config_.failure_rate_per_slot)) {
+          down_for_[v] = config_.repair_slots;
+          ++stats_.failures_injected;
+        }
+      }
+      return;
+    case FaultKind::kCrashStop:
+      for (std::size_t v = 0; v < n; ++v) {
+        if (dead_[v]) continue;
+        if (config_.death_rate_per_slot > 0.0 &&
+            rng_.bernoulli(config_.death_rate_per_slot))
+          kill(v, global_slot);
+      }
+      return;
+    case FaultKind::kWearout:
+      for (std::size_t v = 0; v < n; ++v) {
+        if (dead_[v] || cycles_[v] == 0) continue;
+        const double wear =
+            static_cast<double>(cycles_[v]) / config_.wearout_cycles;
+        const double p = std::min(
+            1.0, config_.wearout_scale * std::pow(wear, config_.wearout_exponent));
+        if (p > 0.0 && rng_.bernoulli(p)) kill(v, global_slot);
+      }
+      return;
+    case FaultKind::kTrace:
+      for (std::size_t v = 0; v < n; ++v)
+        if (down_for_[v] > 0) --down_for_[v];
+      while (trace_next_ < config_.trace.size() &&
+             config_.trace[trace_next_].slot <= global_slot) {
+        const auto& event = config_.trace[trace_next_++];
+        if (event.slot < global_slot) continue;  // missed (pre-horizon) event
+        if (dead_[event.node]) continue;
+        if (event.down_slots == 0) {
+          kill(event.node, global_slot);
+        } else {
+          down_for_[event.node] = event.down_slots;
+          ++stats_.failures_injected;
+        }
+      }
+      return;
+  }
+}
+
+void FaultModel::record_activation(std::size_t node) {
+  if (node < cycles_.size() && !dead_[node]) ++cycles_[node];
+}
+
+std::vector<std::uint8_t> FaultModel::up_mask() const {
+  std::vector<std::uint8_t> up(down_for_.size(), 0);
+  for (std::size_t v = 0; v < up.size(); ++v) up[v] = down(v) ? 0 : 1;
+  return up;
+}
+
+}  // namespace cool::sim

@@ -1,0 +1,112 @@
+// Pluggable node-fault models for the simulator and the resilient runtime.
+//
+// The seed simulator hard-coded one fault class — independent per-slot
+// transient outages with a fixed repair time. Real deployments see more:
+// nodes die permanently (lightning, theft, corroded contacts), batteries
+// wear out with charge cycles, and post-mortem analyses replay *recorded*
+// fault traces. FaultModel packages all of these behind one interface so
+// every failure-related component (Simulator, ResilientRuntime, benches)
+// shares identical fault semantics and, per kind, identical RNG streams.
+//
+// Semantics per slot (matching the seed simulator's ordering): step() first
+// ticks down transient outages, then samples new faults. A node that fails
+// at slot s is down for slots [s, s + repair_slots); a node that dies stays
+// down forever. `repair_slots == 0` is treated as a one-slot outage — the
+// seed's behavior of counting a failure that never took the node down was a
+// bug (ISSUE 1 satellite).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cool::sim {
+
+enum class FaultKind : std::uint8_t {
+  kNone,       // no faults (default)
+  kTransient,  // per-slot outage probability, fixed repair time (seed model)
+  kCrashStop,  // per-slot death probability; death is permanent
+  kWearout,    // death probability grows with completed activation cycles
+  kTrace,      // replay an explicit fault schedule
+};
+
+// One entry of a trace-driven fault schedule.
+struct FaultEvent {
+  std::size_t slot = 0;        // global slot of onset
+  std::size_t node = 0;
+  // Outage length in slots; 0 means permanent death (crash-stop).
+  std::size_t down_slots = 0;
+};
+
+struct FaultModelConfig {
+  FaultKind kind = FaultKind::kNone;
+  // kTransient: independent per-slot failure probability and outage length.
+  double failure_rate_per_slot = 0.0;
+  std::size_t repair_slots = 4;
+  // kCrashStop: independent per-slot death probability.
+  double death_rate_per_slot = 0.0;
+  // kWearout: after c completed active slots the per-slot death probability
+  // is wearout_scale * (c / wearout_cycles)^wearout_exponent, capped at 1.
+  // Fresh nodes (c = 0) never die — wearout is activity-driven.
+  double wearout_scale = 0.05;
+  double wearout_cycles = 100.0;
+  double wearout_exponent = 2.0;
+  // kTrace: events applied at their onset slot (order within a slot is
+  // irrelevant; later events on an already-dead node are ignored).
+  std::vector<FaultEvent> trace;
+};
+
+// Throws std::invalid_argument on out-of-range rates, zero wearout_cycles,
+// or trace events addressing nodes outside [0, node_count).
+void validate_fault_config(const FaultModelConfig& config,
+                           std::size_t node_count);
+
+struct FaultStats {
+  std::size_t failures_injected = 0;  // transient outages + deaths
+  std::size_t deaths = 0;             // permanent deaths only
+};
+
+class FaultModel {
+ public:
+  static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+
+  FaultModel(std::size_t node_count, const FaultModelConfig& config,
+             util::Rng rng);
+
+  // Advances the fault state by one slot. Must be called exactly once per
+  // global slot, in order, before querying down()/dead() for that slot.
+  void step(std::size_t global_slot);
+
+  // Wearout feedback: `node` completed an active slot (one discharge cycle).
+  void record_activation(std::size_t node);
+
+  // Node cannot sense, relay, or be activated this slot.
+  bool down(std::size_t node) const { return dead_[node] || down_for_[node] > 0; }
+  // Node is permanently dead.
+  bool dead(std::size_t node) const { return dead_[node] != 0; }
+  // Slot at which `node` died; kNever while alive.
+  std::size_t death_slot(std::size_t node) const { return death_slot_[node]; }
+
+  // Indicator of nodes currently up (neither down nor dead).
+  std::vector<std::uint8_t> up_mask() const;
+
+  std::size_t node_count() const noexcept { return down_for_.size(); }
+  std::size_t dead_count() const noexcept { return stats_.deaths; }
+  const FaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  void kill(std::size_t node, std::size_t slot);
+
+  FaultModelConfig config_;
+  util::Rng rng_;
+  std::vector<std::size_t> down_for_;    // transient: slots until recovery
+  std::vector<std::uint8_t> dead_;
+  std::vector<std::size_t> death_slot_;
+  std::vector<std::size_t> cycles_;      // completed activations (wearout)
+  std::size_t trace_next_ = 0;           // cursor into the sorted trace
+  FaultStats stats_;
+};
+
+}  // namespace cool::sim

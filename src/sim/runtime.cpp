@@ -1,0 +1,195 @@
+#include "sim/runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "core/problem.h"
+
+namespace cool::sim {
+
+namespace {
+
+constexpr double kFullSoc = 0.999;
+
+bool rows_equal(const core::PeriodicSchedule& a, const core::PeriodicSchedule& b,
+                std::size_t sensor) {
+  for (std::size_t t = 0; t < a.slots_per_period(); ++t)
+    if (a.active(sensor, t) != b.active(sensor, t)) return false;
+  return true;
+}
+
+void copy_row(core::PeriodicSchedule& dst, const core::PeriodicSchedule& src,
+              std::size_t sensor) {
+  for (std::size_t t = 0; t < src.slots_per_period(); ++t)
+    dst.set_active(sensor, t, src.active(sensor, t));
+}
+
+}  // namespace
+
+ResilientRuntime::ResilientRuntime(
+    std::shared_ptr<const sub::SubmodularFunction> utility,
+    const net::Network& network, const net::RoutingTree& tree,
+    const proto::LinkModel& links, const net::RadioEnergyModel& radio,
+    core::PeriodicSchedule schedule, const RuntimeConfig& config, util::Rng rng)
+    : utility_(std::move(utility)), network_(&network), tree_(&tree),
+      links_(&links), radio_(&radio), initial_(std::move(schedule)),
+      config_(config), rng_(std::move(rng)) {
+  if (!utility_) throw std::invalid_argument("ResilientRuntime: null utility");
+  if (config_.slots == 0)
+    throw std::invalid_argument("ResilientRuntime: empty horizon");
+  const std::size_t n = utility_->ground_size();
+  if (initial_.sensor_count() != n || network.sensor_count() != n)
+    throw std::invalid_argument(
+        "ResilientRuntime: utility/schedule/network size mismatch");
+  if (initial_.slots_per_period() != config_.pattern.slots_per_period())
+    throw std::invalid_argument(
+        "ResilientRuntime: schedule period != charging period");
+  validate_fault_config(config_.faults, n);
+}
+
+RuntimeReport ResilientRuntime::run() {
+  const std::size_t n = utility_->ground_size();
+  const std::size_t T = initial_.slots_per_period();
+  const bool rho_gt_one = config_.pattern.rho() > 1.0;
+  const double norm_charge = 1.0 / static_cast<double>(T - 1);
+  const double norm_drain = rho_gt_one ? 1.0 : 1.0 / static_cast<double>(T - 1);
+  const double ready_level = rho_gt_one ? kFullSoc : norm_drain;
+
+  RuntimeReport report;
+
+  // Fault stream 2 matches Simulator, so a bench can run the static plan and
+  // the closed loop against the *same* fault realization from one seed.
+  FaultModel faults(n, config_.faults, rng_.fork(2));
+  proto::HeartbeatDetector detector(*network_, *tree_, *links_, *radio_,
+                                    config_.heartbeat);
+  proto::DeltaDisseminator delta(*network_, *tree_, *links_, *radio_,
+                                 config_.delta);
+  util::Rng heartbeat_rng = rng_.fork(3);
+  util::Rng delta_rng = rng_.fork(4);
+
+  // Gateway's plan, the rows it has promised to push, and what each node is
+  // actually executing (the last assignment that reached it).
+  core::PeriodicSchedule gateway = initial_;
+  core::PeriodicSchedule promised = initial_;
+  core::PeriodicSchedule executed = initial_;
+  std::vector<std::uint8_t> believed_dead(n, 0);
+  std::vector<std::size_t> enqueue_slot(n, 0);
+
+  // Fault-free reference: the initial schedule's per-period-slot utilities.
+  std::vector<double> reference_slot_utility(T, 0.0);
+  for (std::size_t t = 0; t < T; ++t) {
+    const auto state = utility_->make_state();
+    for (const auto v : initial_.active_set(t)) state->add(v);
+    reference_slot_utility[t] = state->value();
+  }
+
+  std::vector<double> level(n, 1.0);
+
+  for (std::size_t slot = 0; slot < config_.slots; ++slot) {
+    // 1. Ground truth advances.
+    faults.step(slot);
+    const auto up = faults.up_mask();
+
+    // 2. Heartbeats + the gateway's failure detector.
+    const auto hb = detector.step(slot, up, heartbeat_rng);
+    report.heartbeat_transmissions += hb.transmissions;
+    report.heartbeat_energy_j += hb.radio_energy_j;
+    for (const auto v : hb.newly_dead) {
+      believed_dead[v] = 1;
+      if (faults.dead(v)) {
+        ++report.detected_deaths;
+        report.detection_latency_slots.add(
+            static_cast<double>(slot - faults.death_slot(v)));
+      } else {
+        ++report.false_deaths;
+      }
+    }
+
+    // 3. Confirmed deaths trigger incremental repair of the gateway plan.
+    if (!hb.newly_dead.empty()) {
+      const auto start = std::chrono::steady_clock::now();
+      auto repaired =
+          core::repair_schedule(gateway, *utility_, believed_dead, config_.repair);
+      const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      report.repair_micros.add(static_cast<double>(micros));
+      report.repair_oracle_calls.add(static_cast<double>(repaired.oracle_calls));
+      report.repair_moves += repaired.moves;
+      ++report.repairs;
+      if (config_.oracle_gap) {
+        const core::Problem oracle_problem(utility_, T, 1, rho_gt_one);
+        const auto recompute =
+            core::recompute_schedule(oracle_problem, believed_dead);
+        if (recompute.utility > 0.0)
+          report.repair_vs_recompute.add(repaired.utility_after /
+                                         recompute.utility);
+      }
+      gateway = std::move(repaired.schedule);
+
+      // 4a. Queue the delta: survivors whose assignment changed.
+      for (std::size_t v = 0; v < n; ++v) {
+        if (believed_dead[v] || rows_equal(gateway, promised, v)) continue;
+        if (!delta.pending(v)) enqueue_slot[v] = slot;
+        delta.enqueue(v, slot);
+        copy_row(promised, gateway, v);
+      }
+    }
+
+    // 4b. Push queued updates (per-hop ARQ, exponential backoff on failure).
+    const auto push = delta.step(slot, up, delta_rng);
+    for (const auto v : push.delivered) {
+      copy_row(executed, gateway, v);
+      report.redissemination_latency_slots.add(
+          static_cast<double>(slot - enqueue_slot[v]));
+    }
+
+    // 5. Execute the slot: every up node follows its delivered assignment,
+    // gated by the battery automaton.
+    std::vector<std::size_t> active;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!up[v] || !executed.active_at(v, slot)) continue;
+      if (level[v] >= ready_level) {
+        active.push_back(v);
+      } else {
+        ++report.energy_violations;
+      }
+    }
+    const auto state = utility_->make_state();
+    for (const auto v : active) state->add(v);
+    report.total_utility += state->value();
+    report.activations += active.size();
+    report.fault_free_utility += reference_slot_utility[slot % T];
+
+    // 6. Advance batteries; completed active slots feed wearout.
+    std::vector<std::uint8_t> is_active(n, 0);
+    for (const auto v : active) is_active[v] = 1;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (is_active[v]) {
+        faults.record_activation(v);
+        level[v] = std::max(0.0, level[v] - norm_drain);
+      } else {
+        level[v] = std::min(1.0, level[v] + (rho_gt_one ? norm_charge : 1.0));
+      }
+    }
+  }
+
+  report.slots = config_.slots;
+  report.true_deaths = faults.stats().deaths;
+  report.failures_injected = faults.stats().failures_injected;
+  report.false_suspicions = detector.stats().false_suspicions;
+  report.delta_updates_enqueued = delta.stats().updates_enqueued;
+  report.delta_updates_delivered = delta.stats().updates_delivered;
+  report.delta_transmissions =
+      delta.stats().data_transmissions + delta.stats().ack_transmissions;
+  report.delta_energy_j = delta.stats().radio_energy_j;
+  report.average_utility_per_slot =
+      report.total_utility / static_cast<double>(config_.slots);
+  report.coverage_retained = report.fault_free_utility > 0.0
+                                 ? report.total_utility / report.fault_free_utility
+                                 : 1.0;
+  return report;
+}
+
+}  // namespace cool::sim

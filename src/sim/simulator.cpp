@@ -27,6 +27,16 @@ double slot_utility(const sub::SubmodularFunction& utility,
 
 }  // namespace
 
+FaultModelConfig Simulator::effective_faults(const SimConfig& config) {
+  if (config.faults.kind != FaultKind::kNone) return config.faults;
+  if (config.failure_rate_per_slot <= 0.0) return {};
+  FaultModelConfig faults;
+  faults.kind = FaultKind::kTransient;
+  faults.failure_rate_per_slot = config.failure_rate_per_slot;
+  faults.repair_slots = config.repair_slots;
+  return faults;
+}
+
 Simulator::Simulator(std::shared_ptr<const sub::SubmodularFunction> utility,
                      const SimConfig& config, util::Rng rng)
     : utility_(std::move(utility)), config_(config), rng_(std::move(rng)) {
@@ -37,6 +47,7 @@ Simulator::Simulator(std::shared_ptr<const sub::SubmodularFunction> utility,
     throw std::invalid_argument("Simulator: slot_minutes <= 0");
   if (config_.failure_rate_per_slot < 0.0 || config_.failure_rate_per_slot > 1.0)
     throw std::invalid_argument("Simulator: failure rate outside [0, 1]");
+  validate_fault_config(effective_faults(config_), utility_->ground_size());
 }
 
 SimReport Simulator::run(ActivationPolicy& policy) {
@@ -57,9 +68,8 @@ SimReport Simulator::run(ActivationPolicy& policy) {
   const energy::SolarModel solar(config_.solar);
   std::vector<energy::HarvestSimulator> harvest;
 
-  // Fault state: slots remaining until a failed node recovers.
-  std::vector<std::size_t> down_for(n, 0);
-  util::Rng fault_rng = rng_.fork(2);
+  // Fault state: stream 2 keeps transient runs bit-identical with the seed.
+  FaultModel faults(n, effective_faults(config_), rng_.fork(2));
 
   for (std::size_t day = 0; day < config_.days; ++day) {
     if (config_.backend == EnergyBackend::kHarvest) {
@@ -83,16 +93,8 @@ SimReport Simulator::run(ActivationPolicy& policy) {
       const double minute = config_.day_start_minute +
                             static_cast<double>(slot) * config_.slot_minutes;
 
-      // Inject transient faults and tick repairs.
-      for (std::size_t v = 0; v < n; ++v) {
-        if (down_for[v] > 0) {
-          --down_for[v];
-        } else if (config_.failure_rate_per_slot > 0.0 &&
-                   fault_rng.bernoulli(config_.failure_rate_per_slot)) {
-          down_for[v] = config_.repair_slots;
-          ++report.failures_injected;
-        }
-      }
+      // Inject faults and tick repairs.
+      faults.step(global_slot);
 
       FleetState fleet;
       fleet.global_slot = global_slot;
@@ -104,7 +106,7 @@ SimReport Simulator::run(ActivationPolicy& policy) {
                                : harvest[v].battery().soc();
         fleet.soc[v] = soc;
         // A failed node is never ready; its SoC reads zero to the policy.
-        const bool healthy = down_for[v] == 0;
+        const bool healthy = !faults.down(v);
         if (!healthy) fleet.soc[v] = 0.0;
         fleet.ready[v] =
             healthy && soc >= (rho_gt_one ? kFullSoc : norm_drain) ? 1 : 0;
@@ -120,7 +122,7 @@ SimReport Simulator::run(ActivationPolicy& policy) {
       std::vector<std::uint8_t> is_active(n, 0);
       for (const auto v : selected) {
         if (v >= n) throw std::out_of_range("Simulator: policy selected bad node");
-        if (down_for[v] > 0) {
+        if (faults.down(v)) {
           ++report.failed_selections;
           continue;
         }
@@ -146,8 +148,9 @@ SimReport Simulator::run(ActivationPolicy& policy) {
       report.activations += full_active.size() + partial_active.size();
       ++report.slots_simulated;
 
-      // Advance energy.
+      // Advance energy; completed active slots feed the wearout fault model.
       for (std::size_t v = 0; v < n; ++v) {
+        if (is_active[v]) faults.record_activation(v);
         if (config_.backend == EnergyBackend::kNormalized) {
           if (is_active[v]) {
             level[v] = std::max(0.0, level[v] - norm_drain);
@@ -164,6 +167,8 @@ SimReport Simulator::run(ActivationPolicy& policy) {
     if (config_.backend == EnergyBackend::kHarvest) weather.advance();
   }
 
+  report.failures_injected = faults.stats().failures_injected;
+  report.node_deaths = faults.stats().deaths;
   report.average_utility_per_slot =
       report.total_utility / static_cast<double>(report.slots_simulated);
   return report;

@@ -24,6 +24,7 @@
 #include "energy/harvester.h"
 #include "energy/pattern.h"
 #include "energy/weather.h"
+#include "sim/faults.h"
 #include "sim/policy.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -51,10 +52,14 @@ struct SimConfig {
   energy::Weather initial_weather = energy::Weather::kSunny;
   // Normalized backend parameter.
   energy::ChargingPattern pattern;  // defines ρ and the charge per slot
-  // Transient fault injection: each healthy node fails independently with
-  // this probability per slot (hardware resets, radio wedges — common on
-  // rooftop deployments) and stays down for `repair_slots` slots. Failed
-  // nodes cannot be activated and produce no coverage.
+  // Fault injection (sim/faults.h): transient outages, crash-stop death,
+  // battery wearout, or trace replay. Down nodes cannot be activated and
+  // produce no coverage.
+  FaultModelConfig faults;
+  // Legacy aliases for the transient model: when `faults.kind` is kNone and
+  // this rate is positive, the simulator behaves exactly as the seed did —
+  // independent per-slot failures lasting `repair_slots` slots (0 is treated
+  // as a one-slot outage).
   double failure_rate_per_slot = 0.0;
   std::size_t repair_slots = 4;
   // Record every node's state of charge at each slot start (for debugging
@@ -71,9 +76,10 @@ struct SimReport {
   std::size_t energy_violations = 0;
   std::size_t partial_activations = 0;
   // Fault injection: failure events and selections refused because the node
-  // was down.
+  // was down; node_deaths counts permanent (crash-stop/wearout) deaths.
   std::size_t failures_injected = 0;
   std::size_t failed_selections = 0;
+  std::size_t node_deaths = 0;
   util::Accumulator active_set_size;
   util::Accumulator slot_utility;
   // Per-day average utility (for multi-day weather studies).
@@ -90,6 +96,10 @@ class Simulator {
             const SimConfig& config, util::Rng rng);
 
   SimReport run(ActivationPolicy& policy);
+
+  // The fault configuration the run will actually use: `faults` when set,
+  // else the legacy transient aliases lifted into a FaultModelConfig.
+  static FaultModelConfig effective_faults(const SimConfig& config);
 
  private:
   std::shared_ptr<const sub::SubmodularFunction> utility_;

@@ -1,0 +1,184 @@
+#include "core/repair.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "core/lazy_greedy.h"
+#include "net/network.h"
+#include "submodular/detection.h"
+
+namespace cool::core {
+namespace {
+
+std::shared_ptr<const sub::SubmodularFunction> detect(std::size_t n, double p) {
+  return std::make_shared<sub::DetectionUtility>(std::vector<double>(n, p));
+}
+
+// A coverage-rich instance: enough sensors per target that survivors can
+// patch a dead sensor's hole.
+Problem bench_instance(std::size_t n, std::size_t targets, std::uint64_t seed,
+                       net::Network* out_network = nullptr) {
+  net::NetworkConfig config;
+  config.sensor_count = n;
+  config.target_count = targets;
+  config.sensing_radius = 40.0;
+  util::Rng rng(seed);
+  auto network = net::make_random_network(config, rng);
+  const auto pattern = energy::ChargingPattern{};  // rho 3, T = 4
+  auto problem = Problem::detection_instance(network, 0.4, pattern, 12);
+  if (out_network) *out_network = std::move(network);
+  return problem;
+}
+
+TEST(MaskedUtility, ZeroesMaskedElements) {
+  const auto base = detect(4, 0.5);
+  MaskedUtility masked(base, {0, 1, 0, 0});
+  const auto state = masked.make_state();
+  EXPECT_DOUBLE_EQ(state->marginal(1), 0.0);
+  EXPECT_GT(state->marginal(0), 0.0);
+  state->add(1);  // no-op
+  EXPECT_DOUBLE_EQ(state->value(), 0.0);
+  state->add(0);
+  EXPECT_DOUBLE_EQ(state->value(), 0.5);
+  const auto copy = state->clone();
+  EXPECT_DOUBLE_EQ(copy->value(), 0.5);
+  EXPECT_DOUBLE_EQ(copy->marginal(1), 0.0);
+}
+
+TEST(MaskedUtility, Validation) {
+  EXPECT_THROW(MaskedUtility(nullptr, {0}), std::invalid_argument);
+  EXPECT_THROW(MaskedUtility(detect(3, 0.4), {0, 1}), std::invalid_argument);
+}
+
+TEST(RepairSchedule, NoDeadIsIdentity) {
+  const auto problem = bench_instance(12, 4, 1);
+  const auto schedule = GreedyScheduler().schedule(problem).schedule;
+  const auto result = repair_schedule(
+      schedule, problem.slot_utility(), std::vector<std::uint8_t>(12, 0));
+  EXPECT_EQ(result.moves, 0u);
+  EXPECT_DOUBLE_EQ(result.utility_before, result.utility_after);
+  for (std::size_t v = 0; v < 12; ++v)
+    for (std::size_t t = 0; t < schedule.slots_per_period(); ++t)
+      EXPECT_EQ(result.schedule.active(v, t), schedule.active(v, t));
+}
+
+TEST(RepairSchedule, ClearsDeadRowsAndNeverLosesUtility) {
+  const auto problem = bench_instance(20, 6, 2);
+  const auto schedule = LazyGreedyScheduler().schedule(problem).schedule;
+  std::vector<std::uint8_t> dead(20, 0);
+  dead[0] = dead[7] = dead[13] = 1;
+  const auto result = repair_schedule(schedule, problem.slot_utility(), dead);
+  for (const std::size_t v : {0u, 7u, 13u})
+    EXPECT_EQ(result.schedule.active_count(v), 0u);
+  EXPECT_GE(result.utility_after, result.utility_before - 1e-12);
+  // Survivors keep exactly one active slot per period (rho > 1 shape).
+  for (std::size_t v = 0; v < 20; ++v) {
+    if (!dead[v]) {
+      EXPECT_EQ(result.schedule.active_count(v), 1u);
+    }
+  }
+}
+
+TEST(RepairSchedule, PatchesTheHole) {
+  // Kill the most valuable sensors; with 40 sensors over 8 targets there is
+  // enough redundancy that moving survivors recovers real utility.
+  const auto problem = bench_instance(40, 8, 3);
+  const auto greedy = GreedyScheduler().schedule(problem);
+  std::vector<std::uint8_t> dead(40, 0);
+  // The first greedy placements have the largest marginals — killing those
+  // sensors rips the biggest hole.
+  for (std::size_t i = 0; i < 8; ++i) dead[greedy.steps[i].sensor] = 1;
+  const auto result = repair_schedule(greedy.schedule, problem.slot_utility(), dead);
+  EXPECT_GT(result.moves, 0u);
+  EXPECT_GT(result.utility_after, result.utility_before);
+}
+
+TEST(RepairSchedule, ReachesNinetyFivePercentOfRecompute) {
+  // Acceptance criterion: incremental repair lands within 5% of the full
+  // lazy-greedy recompute on the bench scenario (20% of nodes dead).
+  const auto problem = bench_instance(40, 8, 4);
+  const auto schedule = GreedyScheduler().schedule(problem).schedule;
+  std::vector<std::uint8_t> dead(40, 0);
+  util::Rng rng(99);
+  std::size_t killed = 0;
+  while (killed < 8) {
+    const auto v = static_cast<std::size_t>(rng.uniform_int(0, 39));
+    if (!dead[v]) {
+      dead[v] = 1;
+      ++killed;
+    }
+  }
+  const auto repaired = repair_schedule(schedule, problem.slot_utility(), dead);
+  const auto oracle = recompute_schedule(problem, dead);
+  ASSERT_GT(oracle.utility, 0.0);
+  EXPECT_GE(repaired.utility_after / oracle.utility, 0.95)
+      << "repair " << repaired.utility_after << " vs recompute "
+      << oracle.utility;
+}
+
+TEST(RepairSchedule, SingleDeathIsCheaperThanRecompute) {
+  // The runtime's common case: one confirmed death per repair call. The
+  // incremental path must beat a from-scratch lazy-greedy recompute in
+  // marginal queries while staying within 5% of its utility.
+  const auto problem = bench_instance(40, 8, 6);
+  const auto greedy = GreedyScheduler().schedule(problem);
+  std::vector<std::uint8_t> dead(40, 0);
+  dead[greedy.steps[0].sensor] = 1;  // kill the most valuable placement
+  const auto repaired =
+      repair_schedule(greedy.schedule, problem.slot_utility(), dead);
+  const auto oracle = recompute_schedule(problem, dead);
+  ASSERT_GT(oracle.utility, 0.0);
+  EXPECT_LT(repaired.oracle_calls, oracle.oracle_calls)
+      << "repair " << repaired.oracle_calls << " queries vs recompute "
+      << oracle.oracle_calls;
+  EXPECT_GE(repaired.utility_after / oracle.utility, 0.95);
+}
+
+TEST(RecomputeSchedule, ClearsDeadRowsAndScoresSurvivors) {
+  const auto problem = bench_instance(16, 5, 5);
+  std::vector<std::uint8_t> dead(16, 0);
+  dead[2] = dead[9] = 1;
+  const auto result = recompute_schedule(problem, dead);
+  EXPECT_EQ(result.schedule.active_count(2), 0u);
+  EXPECT_EQ(result.schedule.active_count(9), 0u);
+  EXPECT_GT(result.utility, 0.0);
+  EXPECT_NEAR(result.utility,
+              surviving_period_utility(result.schedule, problem.slot_utility(),
+                                       dead),
+              1e-12);
+}
+
+TEST(SurvivingPeriodUtility, IgnoresDeadContributions) {
+  const auto utility = detect(4, 0.5);
+  PeriodicSchedule schedule(4, 2);
+  schedule.set_active(0, 0);
+  schedule.set_active(1, 0);
+  schedule.set_active(2, 1);
+  schedule.set_active(3, 1);
+  const std::vector<std::uint8_t> none(4, 0);
+  std::vector<std::uint8_t> dead(4, 0);
+  dead[0] = 1;
+  const double full = surviving_period_utility(schedule, *utility, none);
+  const double masked = surviving_period_utility(schedule, *utility, dead);
+  EXPECT_DOUBLE_EQ(full, 0.75 + 0.75);   // 1 - 0.5^2 per slot
+  EXPECT_DOUBLE_EQ(masked, 0.5 + 0.75);  // slot 0 lost sensor 0
+}
+
+TEST(RepairSchedule, Validation) {
+  const auto utility = detect(4, 0.4);
+  PeriodicSchedule schedule(4, 4);
+  EXPECT_THROW(
+      repair_schedule(schedule, *utility, std::vector<std::uint8_t>(3, 0)),
+      std::invalid_argument);
+  PeriodicSchedule wrong(3, 4);
+  EXPECT_THROW(
+      repair_schedule(wrong, *utility, std::vector<std::uint8_t>(3, 0)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::core

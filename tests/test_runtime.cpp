@@ -1,0 +1,161 @@
+#include "sim/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/problem.h"
+#include "sim/simulator.h"
+
+namespace cool::sim {
+namespace {
+
+struct Scenario {
+  net::Network network;
+  std::shared_ptr<const sub::SubmodularFunction> utility;
+  core::PeriodicSchedule schedule;
+};
+
+Scenario bench_scenario(std::size_t n, std::uint64_t seed,
+                        std::size_t targets = 8, double sensing_radius = 40.0,
+                        double comm_radius = 30.0) {
+  net::NetworkConfig config;
+  config.sensor_count = n;
+  config.target_count = targets;
+  config.sensing_radius = sensing_radius;
+  config.comm_radius = comm_radius;
+  util::Rng rng(seed);
+  auto network = net::make_random_network(config, rng);
+  const auto pattern = energy::ChargingPattern{};  // rho 3, T = 4
+  const auto problem = core::Problem::detection_instance(network, 0.4, pattern, 12);
+  auto schedule = core::GreedyScheduler().schedule(problem).schedule;
+  return {std::move(network), problem.slot_utility_ptr(), std::move(schedule)};
+}
+
+RuntimeConfig crash_stop_config(std::size_t slots, double death_rate) {
+  RuntimeConfig config;
+  config.slots = slots;
+  config.pattern = energy::ChargingPattern{};
+  config.faults.kind = FaultKind::kCrashStop;
+  config.faults.death_rate_per_slot = death_rate;
+  return config;
+}
+
+TEST(ResilientRuntime, FaultFreeMatchesThePlan) {
+  auto scenario = bench_scenario(16, 1);
+  const net::RoutingTree tree(scenario.network, net::choose_best_sink(scenario.network));
+  const proto::LinkModel links(scenario.network);
+  const net::RadioEnergyModel radio;
+  ResilientRuntime runtime(scenario.utility, scenario.network, tree, links,
+                           radio, scenario.schedule,
+                           crash_stop_config(96, 0.0), util::Rng(2));
+  const auto report = runtime.run();
+  EXPECT_EQ(report.true_deaths, 0u);
+  EXPECT_EQ(report.repairs, 0u);
+  EXPECT_EQ(report.energy_violations, 0u);
+  EXPECT_EQ(report.delta_updates_enqueued, 0u);
+  EXPECT_NEAR(report.total_utility, report.fault_free_utility, 1e-9);
+  EXPECT_DOUBLE_EQ(report.coverage_retained, 1.0);
+  // The control plane still hums: heartbeats cost messages even when
+  // nothing fails.
+  EXPECT_GT(report.heartbeat_transmissions, 0u);
+}
+
+TEST(ResilientRuntime, ClosedLoopBeatsStaticScheduleUnderCrashStop) {
+  // Acceptance criterion: >= 20% of nodes die mid-horizon; the closed loop
+  // must retain strictly more utility than the static schedule under the
+  // *same* fault realization (both draw faults from rng.fork(2)).
+  // Moderate coverage redundancy (12 targets, radius 25) so deaths rip real
+  // holes, and a dense comm graph (radius 70 -> shallow tree) so dead relays
+  // rarely silence live subtrees.
+  const std::size_t n = 40;
+  const std::uint64_t seed = 7;
+  auto scenario = bench_scenario(n, seed, 12, 25.0, 70.0);
+  const net::RoutingTree tree(scenario.network, net::choose_best_sink(scenario.network));
+  const proto::LinkModel links(scenario.network);
+  const net::RadioEnergyModel radio;
+
+  auto config = crash_stop_config(480, 0.0007);
+  config.oracle_gap = true;
+  ResilientRuntime runtime(scenario.utility, scenario.network, tree, links,
+                           radio, scenario.schedule, config, util::Rng(seed));
+  const auto closed = runtime.run();
+
+  SimConfig static_config;
+  static_config.pattern = energy::ChargingPattern{};
+  static_config.days = 10;
+  static_config.slots_per_day = 48;
+  static_config.faults = config.faults;
+  SchedulePolicy policy(scenario.schedule);
+  Simulator sim(scenario.utility, static_config, util::Rng(seed));
+  const auto static_report = sim.run(policy);
+
+  ASSERT_EQ(closed.true_deaths, static_report.node_deaths)
+      << "both systems must see the same fault realization";
+  ASSERT_GE(closed.true_deaths, n / 5) << "scenario must kill >= 20% of nodes";
+  EXPECT_GT(closed.total_utility, static_report.total_utility);
+
+  // The degradation report is fully populated.
+  EXPECT_GT(closed.repairs, 0u);
+  EXPECT_GT(closed.detected_deaths, 0u);
+  EXPECT_GT(closed.detection_latency_slots.count(), 0u);
+  EXPECT_GT(closed.detection_latency_slots.mean(), 0.0);
+  EXPECT_GT(closed.repair_micros.count(), 0u);
+  EXPECT_GT(closed.delta_updates_delivered, 0u);
+  EXPECT_GT(closed.delta_transmissions, 0u);
+  EXPECT_GT(closed.delta_energy_j, 0.0);
+  EXPECT_GT(closed.heartbeat_energy_j, 0.0);
+  EXPECT_GT(closed.coverage_retained, 0.0);
+  EXPECT_LT(closed.coverage_retained, 1.0);
+
+  // Acceptance: incremental repair reaches >= 95% of the full recompute.
+  ASSERT_GT(closed.repair_vs_recompute.count(), 0u);
+  EXPECT_GE(closed.repair_vs_recompute.mean(), 0.95);
+}
+
+TEST(ResilientRuntime, WearoutKillsActiveNodesEventually) {
+  auto scenario = bench_scenario(20, 3);
+  const net::RoutingTree tree(scenario.network, net::choose_best_sink(scenario.network));
+  const proto::LinkModel links(scenario.network);
+  const net::RadioEnergyModel radio;
+  RuntimeConfig config;
+  config.slots = 480;
+  config.pattern = energy::ChargingPattern{};
+  config.faults.kind = FaultKind::kWearout;
+  config.faults.wearout_scale = 0.3;
+  config.faults.wearout_cycles = 40.0;
+  config.faults.wearout_exponent = 2.0;
+  ResilientRuntime runtime(scenario.utility, scenario.network, tree, links,
+                           radio, scenario.schedule, config, util::Rng(4));
+  const auto report = runtime.run();
+  EXPECT_GT(report.true_deaths, 0u);
+  EXPECT_LT(report.coverage_retained, 1.0);
+}
+
+TEST(ResilientRuntime, Validation) {
+  auto scenario = bench_scenario(8, 5);
+  const net::RoutingTree tree(scenario.network, 0);
+  const proto::LinkModel links(scenario.network);
+  const net::RadioEnergyModel radio;
+  EXPECT_THROW(ResilientRuntime(nullptr, scenario.network, tree, links, radio,
+                                scenario.schedule, crash_stop_config(10, 0.0),
+                                util::Rng(6)),
+               std::invalid_argument);
+  EXPECT_THROW(ResilientRuntime(scenario.utility, scenario.network, tree, links,
+                                radio, scenario.schedule,
+                                crash_stop_config(0, 0.0), util::Rng(6)),
+               std::invalid_argument);
+  EXPECT_THROW(ResilientRuntime(scenario.utility, scenario.network, tree, links,
+                                radio, core::PeriodicSchedule(8, 6),
+                                crash_stop_config(10, 0.0), util::Rng(6)),
+               std::invalid_argument);
+  EXPECT_THROW(ResilientRuntime(scenario.utility, scenario.network, tree, links,
+                                radio, core::PeriodicSchedule(5, 4),
+                                crash_stop_config(10, 0.0), util::Rng(6)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::sim
