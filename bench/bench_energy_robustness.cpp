@@ -1,0 +1,224 @@
+// Energy-robustness ablation: what do the brownout guard, the
+// chance-constrained margin plan, and the adaptive ρ′ replanning loop each
+// buy under supply uncertainty? Four systems face the *same* physical
+// weather realization — a cloud burst that stretches every recharge by
+// `--burst` for the middle half of the horizon, plus a permanently shaded
+// third of the fleet charging at 1/6 the clear-sky rate:
+//
+//   nominal   plan at the median recharge quantile (the paper's pattern),
+//             no guard, never adjusted — open-loop, plan and pray;
+//   guard     same plan, but an unready node declines its active slot
+//             instead of browning out mid-slot (runtime-side fix only);
+//   margin    chance-constrained plan at the q = 0.95 recharge quantile —
+//             a longer period whose recharge budget absorbs the burst
+//             (planning-side fix only, no guard);
+//   adaptive  guard + online ρ̂′ estimation + bench/re-admit replanning
+//             with hysteresis (the full closed loop).
+//
+// The stretch trace is *physical* (how much slower a full recharge is than
+// clear sky) and is converted per arm relative to its own plan: an arm with
+// period T budgets (T−1)·slot_minutes for a full recharge, so its runtime
+// stretch is physical_recharge_min / ((T−1)·slot_minutes) — the margin
+// plan's headroom shows up as a < 1 clear-sky stretch.
+//
+//   ./bench_energy_robustness [--sensors 36] [--slots 720] [--burst 1.6]
+//                             [--seed 21] [--csv energy_robustness.csv]
+//
+// Acceptance: adaptive retains >= 10% more time-averaged coverage than
+// nominal, and the margin plan browns out strictly less than nominal.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/problem.h"
+#include "energy/stochastic.h"
+#include "net/network.h"
+#include "net/routing.h"
+#include "proto/link.h"
+#include "sim/runtime.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  cool::util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("sensors", 36));
+  const auto slots = static_cast<std::size_t>(cli.get_int("slots", 720));
+  const double burst = cli.get_double("burst", 1.6);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 21));
+  const auto csv_path = cli.get_string("csv", "");
+  cli.finish();
+
+  cool::net::NetworkConfig net_config;
+  net_config.sensor_count = n;
+  net_config.target_count = 12;
+  net_config.sensing_radius = 25.0;
+  net_config.comm_radius = 70.0;
+  cool::util::Rng rng(seed);
+  const auto network = cool::net::make_random_network(net_config, rng);
+  const cool::net::RoutingTree tree(network,
+                                    cool::net::choose_best_sink(network));
+  const cool::proto::LinkModel links(network);
+  const cool::net::RadioEnergyModel radio;
+
+  // Stochastic supply whose median recovers the paper's sunny 15/45 pattern:
+  // duty 0.6 stretches the 9-minute continuous budget to T̄d = 15 minutes,
+  // and recharge is N(45, 15). The q = 0.5 plan is the nominal pattern; the
+  // q = 0.95 plan is the chance-constrained margin.
+  cool::energy::StochasticChargingConfig supply;
+  supply.event_rate_per_min = 0.3;
+  supply.mean_event_minutes = 2.0;
+  supply.continuous_discharge_min = 9.0;
+  supply.mean_recharge_min = 45.0;
+  supply.recharge_sigma_min = 15.0;
+  const cool::energy::StochasticChargingModel model(supply);
+
+  const auto nominal_pattern = cool::energy::pattern_at_quantile(model, 0.5);
+  const auto problem = cool::core::Problem::detection_instance(
+      network, 0.4, nominal_pattern, 8);
+  const auto utility = problem.slot_utility_ptr();
+
+  const auto nominal_plan =
+      cool::core::plan_chance_constrained(utility, model, 0.5, 8);
+  const auto margin_plan =
+      cool::core::plan_chance_constrained(utility, model, 0.95, 8);
+  const double clear_recharge_min = nominal_pattern.recharge_minutes;
+
+  // Physical weather: clear, then a cloud burst over the middle half of the
+  // horizon, then clear again. A shaded third of the fleet additionally
+  // charges at 1/6 the clear-sky rate for the whole horizon.
+  std::vector<double> physical(slots, 1.0);
+  for (std::size_t t = slots / 6; t < 2 * slots / 3; ++t) physical[t] = burst;
+  std::vector<double> node_stretch(n, 1.0);
+  std::size_t shaded = 0;
+  for (std::size_t v = 0; v < n; v += 3) {
+    node_stretch[v] = 6.0;
+    ++shaded;
+  }
+
+  struct Arm {
+    const char* name;
+    const cool::core::ChanceConstrainedPlan* plan;
+    bool guard;
+    bool adaptive;
+  };
+  const Arm arms[] = {{"nominal", &nominal_plan, false, false},
+                      {"guard", &nominal_plan, true, false},
+                      {"margin", &margin_plan, false, false},
+                      {"adaptive", &nominal_plan, true, true}};
+
+  std::ofstream csv_file;
+  cool::util::CsvWriter writer(csv_file);
+  cool::util::CsvWriter* csv = nullptr;
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path);
+    if (!csv_file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", csv_path.c_str());
+      return 1;
+    }
+    csv = &writer;
+    csv->write_row({"arm", "slots_per_period", "avg_utility", "vs_nominal_pct",
+                    "brownouts", "declines", "blackout_slots", "false_deaths",
+                    "replans", "bench_events", "readmit_events",
+                    "control_energy_j", "est_fleet_rho", "planned_rho"});
+  }
+
+  std::printf("=== Energy robustness under supply uncertainty (n = %zu, "
+              "%zu slots, burst x%.2f over the middle half, %zu/%zu nodes "
+              "shaded x6) ===\n\n",
+              n, slots, burst, shaded, n);
+  cool::util::Table table({"arm", "T", "avg-util", "vs-nominal", "brownouts",
+                           "declines", "blackouts", "false-deaths", "replans",
+                           "bench/readmit", "ctrl-J"});
+
+  double nominal_avg = 0.0;
+  std::vector<cool::sim::RuntimeReport> reports;
+  for (const Arm& arm : arms) {
+    const auto& pattern = arm.plan->pattern;
+    // This arm budgets (T−1)·slot_minutes of wall clock for a full recharge;
+    // scale the physical trace into the runtime's plan-relative stretch.
+    const double plan_factor =
+        clear_recharge_min /
+        (static_cast<double>(pattern.slots_per_period() - 1) *
+         pattern.slot_minutes());
+
+    cool::sim::RuntimeConfig config;
+    config.slots = slots;
+    config.pattern = pattern;
+    config.energy.enabled = true;
+    config.energy.brownout_guard = arm.guard;
+    config.energy.adaptive = arm.adaptive;
+    config.energy.node_stretch = node_stretch;
+    config.energy.slot_stretch.reserve(slots);
+    for (const double s : physical)
+      config.energy.slot_stretch.push_back(s * plan_factor);
+
+    cool::sim::ResilientRuntime runtime(utility, network, tree, links, radio,
+                                        arm.plan->schedule, config,
+                                        cool::util::Rng(seed + 1));
+    const auto report = runtime.run();
+    if (arm.plan == &nominal_plan && !arm.guard && !arm.adaptive)
+      nominal_avg = report.average_utility_per_slot;
+    const double vs_nominal =
+        nominal_avg > 0.0
+            ? 100.0 * (report.average_utility_per_slot / nominal_avg - 1.0)
+            : 0.0;
+    const double control_j = report.heartbeat_energy_j + report.delta_energy_j;
+    table.row({arm.name,
+               cool::util::format("%zu", pattern.slots_per_period()),
+               cool::util::format("%.4f", report.average_utility_per_slot),
+               cool::util::format("%+.1f%%", vs_nominal),
+               cool::util::format("%zu", report.brownouts),
+               cool::util::format("%zu", report.brownout_declines),
+               cool::util::format("%zu", report.radio_blackout_slots),
+               cool::util::format("%zu", report.false_deaths),
+               cool::util::format("%zu", report.replans),
+               cool::util::format("%zu/%zu", report.bench_events,
+                                  report.readmit_events),
+               cool::util::format("%.3f", control_j)});
+    if (csv)
+      csv->write_row(
+          {arm.name, cool::util::format("%zu", pattern.slots_per_period()),
+           cool::util::format("%.6f", report.average_utility_per_slot),
+           cool::util::format("%.2f", vs_nominal),
+           cool::util::format("%zu", report.brownouts),
+           cool::util::format("%zu", report.brownout_declines),
+           cool::util::format("%zu", report.radio_blackout_slots),
+           cool::util::format("%zu", report.false_deaths),
+           cool::util::format("%zu", report.replans),
+           cool::util::format("%zu", report.bench_events),
+           cool::util::format("%zu", report.readmit_events),
+           cool::util::format("%.6f", control_j),
+           cool::util::format("%.3f", report.estimated_fleet_rho_slots),
+           cool::util::format("%.3f", report.planned_rho_slots)});
+    reports.push_back(report);
+  }
+  table.print(std::cout);
+
+  const auto& margin = reports[2];
+  const auto& adaptive = reports[3];
+  const double adaptive_gain =
+      nominal_avg > 0.0
+          ? 100.0 * (adaptive.average_utility_per_slot / nominal_avg - 1.0)
+          : 0.0;
+  std::printf("\nadaptive vs nominal: %+.1f%% (acceptance: >= +10%%)\n",
+              adaptive_gain);
+  std::printf("margin brownouts %zu vs nominal %zu (acceptance: strictly "
+              "fewer)\n",
+              margin.brownouts, reports[0].brownouts);
+  std::printf("\nexpected: nominal thrashes during the burst (every attempt "
+              "browns out, the radio goes dark, the detector cries wolf); the "
+              "guard degrades gracefully; the margin plan rides through the "
+              "burst on its recharge headroom; the closed loop benches the "
+              "shaded nodes and rebalances their coverage, holds the bench "
+              "through the fleet-wide burst (a relative bar: nobody healthy "
+              "gets benched when everyone is short), and probes the shade "
+              "with add-only probationary readmissions whose backoff doubles "
+              "on every re-bench.\n");
+  if (!csv_path.empty()) std::printf("\nwrote %s\n", csv_path.c_str());
+  return 0;
+}

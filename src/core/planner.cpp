@@ -1,11 +1,35 @@
 #include "core/planner.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "core/greedy.h"
+#include "core/lazy_greedy.h"
 #include "core/passive_greedy.h"
 
 namespace cool::core {
+
+namespace {
+
+// Shared scaffolding of the chance-constrained planners: derive the margin
+// pattern and the problem, leaving the scheduling scheme to the caller.
+ChanceConstrainedPlan margin_plan_shell(
+    const std::shared_ptr<const sub::SubmodularFunction>& utility,
+    const energy::StochasticChargingModel& model, double quantile,
+    std::size_t periods) {
+  if (!utility)
+    throw std::invalid_argument("plan_chance_constrained: null utility");
+  if (periods == 0)
+    throw std::invalid_argument("plan_chance_constrained: zero periods");
+  ChanceConstrainedPlan plan;
+  plan.quantile = quantile;
+  plan.pattern = energy::pattern_at_quantile(model, quantile);
+  plan.slots_per_period = plan.pattern.slots_per_period();
+  plan.rho_greater_than_one = plan.pattern.rho() > 1.0;
+  return plan;
+}
+
+}  // namespace
 
 WeatherAdaptivePlanner::WeatherAdaptivePlanner(
     std::shared_ptr<const sub::SubmodularFunction> utility, PlannerConfig config)
@@ -46,6 +70,33 @@ std::vector<DayPlan> WeatherAdaptivePlanner::plan(
   plans.reserve(forecast.size());
   for (const auto weather : forecast) plans.push_back(plan_day(weather));
   return plans;
+}
+
+ChanceConstrainedPlan plan_chance_constrained(
+    std::shared_ptr<const sub::SubmodularFunction> utility,
+    const energy::StochasticChargingModel& model, double quantile,
+    std::size_t periods) {
+  auto plan = margin_plan_shell(utility, model, quantile, periods);
+  const Problem problem(utility, plan.slots_per_period, periods,
+                        plan.rho_greater_than_one);
+  plan.schedule = plan.rho_greater_than_one
+                      ? LazyGreedyScheduler().schedule(problem).schedule
+                      : PassiveGreedyScheduler().schedule(problem).schedule;
+  plan.expected_average_utility = evaluate(problem, plan.schedule).per_slot_average;
+  return plan;
+}
+
+ChanceConstrainedPlan plan_chance_constrained_lp(
+    std::shared_ptr<const sub::MultiTargetDetectionUtility> utility,
+    const energy::StochasticChargingModel& model, double quantile,
+    std::size_t periods, util::Rng& rng, const LpScheduleOptions& options) {
+  auto plan = margin_plan_shell(utility, model, quantile, periods);
+  const Problem problem(utility, plan.slots_per_period, periods,
+                        plan.rho_greater_than_one);
+  auto lp = LpScheduler(options).schedule(problem, *utility, rng);
+  plan.schedule = std::move(lp.schedule);
+  plan.expected_average_utility = evaluate(problem, plan.schedule).per_slot_average;
+  return plan;
 }
 
 }  // namespace cool::core

@@ -14,11 +14,15 @@
 #include <vector>
 
 #include "core/evaluator.h"
+#include "core/lp_scheduler.h"
 #include "core/problem.h"
 #include "core/schedule.h"
 #include "energy/pattern.h"
+#include "energy/stochastic.h"
 #include "energy/weather.h"
+#include "submodular/detection.h"
 #include "submodular/function.h"
+#include "util/rng.h"
 
 namespace cool::core {
 
@@ -59,5 +63,36 @@ class WeatherAdaptivePlanner {
   std::shared_ptr<const sub::SubmodularFunction> utility_;
   PlannerConfig config_;
 };
+
+// Chance-constrained planning under the Section V stochastic charging model.
+//
+// The nominal plan budgets active slots from the *mean* recharge time T̄r;
+// whenever a recharge draw lands in the upper tail the sensor is not ready
+// for its next assigned slot and browns out. Planning instead against the
+// q-quantile recharge time (pattern_at_quantile) stretches the period so
+// each sensor's recharge completes before its slot with probability >= q —
+// a safety margin traded against nominal utility (fewer active slots per
+// wall-clock hour). q = 0.5 recovers the nominal ρ′ plan.
+struct ChanceConstrainedPlan {
+  double quantile = 0.5;
+  energy::ChargingPattern pattern;   // margin pattern: Tr at the q-quantile
+  std::size_t slots_per_period = 0;  // T derived from the margin pattern
+  bool rho_greater_than_one = true;
+  PeriodicSchedule schedule{1, 2};   // overwritten by the planner
+  double expected_average_utility = 0.0;  // per slot, idealized energy
+};
+
+// Greedy scheme (Algorithm 1 / its passive dual, picked by the ρ regime).
+ChanceConstrainedPlan plan_chance_constrained(
+    std::shared_ptr<const sub::SubmodularFunction> utility,
+    const energy::StochasticChargingModel& model, double quantile,
+    std::size_t periods);
+
+// LP-relaxation scheme over the same margin pattern; the utility must be a
+// uniform-probability MultiTargetDetectionUtility (LpScheduler's contract).
+ChanceConstrainedPlan plan_chance_constrained_lp(
+    std::shared_ptr<const sub::MultiTargetDetectionUtility> utility,
+    const energy::StochasticChargingModel& model, double quantile,
+    std::size_t periods, util::Rng& rng, const LpScheduleOptions& options = {});
 
 }  // namespace cool::core

@@ -1,30 +1,45 @@
 #include "energy/stochastic.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace cool::energy {
 
+void StochasticChargingConfig::validate() const {
+  if (event_rate_per_min <= 0.0)
+    throw std::invalid_argument(
+        "StochasticChargingConfig: event_rate_per_min (λa) must be > 0 "
+        "events/min");
+  if (mean_event_minutes <= 0.0)
+    throw std::invalid_argument(
+        "StochasticChargingConfig: mean_event_minutes (λd) must be > 0 min");
+  if (continuous_discharge_min <= 0.0)
+    throw std::invalid_argument(
+        "StochasticChargingConfig: continuous_discharge_min (Td) must be "
+        "> 0 min");
+  if (mean_recharge_min <= 0.0)
+    throw std::invalid_argument(
+        "StochasticChargingConfig: mean_recharge_min (T̄r) must be > 0 min");
+  if (recharge_sigma_min < 0.0)
+    throw std::invalid_argument(
+        "StochasticChargingConfig: recharge_sigma_min (σ) must be >= 0 min");
+  const double duty = event_rate_per_min * mean_event_minutes;
+  if (duty >= 1.0)
+    throw std::invalid_argument(
+        "StochasticChargingConfig: duty fraction λa·λd must be in (0, 1) — "
+        "a sensor busy the whole slot never recharges");
+  // The renewal sampler interprets λa as the event *cycle* rate, so each
+  // cycle (idle gap + busy period) must leave room for a positive gap.
+  if (mean_event_minutes >= 1.0 / event_rate_per_min)
+    throw std::invalid_argument(
+        "StochasticChargingConfig: mean_event_minutes (λd) must be shorter "
+        "than the mean event cycle 1/event_rate_per_min");
+}
+
 StochasticChargingModel::StochasticChargingModel(
     const StochasticChargingConfig& config)
     : config_(config) {
-  if (config.event_rate_per_min <= 0.0)
-    throw std::invalid_argument("StochasticChargingModel: λa <= 0");
-  if (config.mean_event_minutes <= 0.0)
-    throw std::invalid_argument("StochasticChargingModel: λd <= 0");
-  if (config.continuous_discharge_min <= 0.0)
-    throw std::invalid_argument("StochasticChargingModel: Td <= 0");
-  if (config.mean_recharge_min <= 0.0)
-    throw std::invalid_argument("StochasticChargingModel: T̄r <= 0");
-  if (config.recharge_sigma_min < 0.0)
-    throw std::invalid_argument("StochasticChargingModel: sigma < 0");
-  if (duty_fraction() >= 1.0)
-    throw std::invalid_argument(
-        "StochasticChargingModel: λa·λd >= 1 (sensor never idle)");
-  // The renewal sampler interprets λa as the event *cycle* rate, so each
-  // cycle (idle gap + busy period) must leave room for a positive gap.
-  if (config_.mean_event_minutes >= 1.0 / config_.event_rate_per_min)
-    throw std::invalid_argument(
-        "StochasticChargingModel: mean event duration >= mean cycle length");
+  config_.validate();
 }
 
 double StochasticChargingModel::duty_fraction() const noexcept {
@@ -64,6 +79,62 @@ double StochasticChargingModel::sample_recharge_minutes(util::Rng& rng) const {
   while (draw <= 0.0)
     draw = rng.normal(config_.mean_recharge_min, config_.recharge_sigma_min);
   return draw;
+}
+
+namespace {
+
+// Acklam's rational approximation of the standard normal inverse CDF;
+// relative error < 1.15e-9 over (0, 1).
+double normal_inverse_cdf(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double StochasticChargingModel::recharge_quantile(double q) const {
+  if (!(q > 0.0 && q < 1.0))
+    throw std::invalid_argument(
+        "StochasticChargingModel: quantile outside (0, 1)");
+  const double draw = config_.mean_recharge_min +
+                      config_.recharge_sigma_min * normal_inverse_cdf(q);
+  // The sampler resamples non-positive draws, so the realized distribution
+  // is truncated at zero; clamp the quantile the same way.
+  constexpr double kFloorMinutes = 1e-6;
+  return draw > kFloorMinutes ? draw : kFloorMinutes;
+}
+
+ChargingPattern pattern_at_quantile(const StochasticChargingModel& model,
+                                    double q) {
+  ChargingPattern pattern;
+  pattern.discharge_minutes = model.mean_discharge_minutes();
+  pattern.recharge_minutes = model.recharge_quantile(q);
+  return pattern;
 }
 
 }  // namespace cool::energy

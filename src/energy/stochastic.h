@@ -11,6 +11,7 @@
 // future work).
 #pragma once
 
+#include "energy/pattern.h"
 #include "util/rng.h"
 
 namespace cool::energy {
@@ -21,6 +22,12 @@ struct StochasticChargingConfig {
   double continuous_discharge_min = 15.0;  // Td under continuous sensing
   double mean_recharge_min = 45.0;     // T̄r
   double recharge_sigma_min = 5.0;     // std-dev of the normal Tr
+
+  // Enforces the documented invariants with descriptive messages: λa, λd,
+  // Td, T̄r strictly positive, σ non-negative, duty fraction λa·λd in
+  // (0, 1), and mean event duration shorter than the mean event cycle
+  // (the renewal sampler's requirement). Throws std::invalid_argument.
+  void validate() const;
 };
 
 class StochasticChargingModel {
@@ -41,10 +48,23 @@ class StochasticChargingModel {
   // Samples a recharge duration (normal, resampled until positive).
   double sample_recharge_minutes(util::Rng& rng) const;
 
+  // q-quantile of the recharge-time distribution (normal inverse CDF,
+  // clamped strictly positive). q in (0, 1); q = 0.5 returns T̄r.
+  double recharge_quantile(double q) const;
+
   const StochasticChargingConfig& config() const noexcept { return config_; }
 
  private:
   StochasticChargingConfig config_;
 };
+
+// Chance-constrained charging pattern: budget the passive (recharge) side of
+// the period from the q-quantile recharge time instead of the mean, with
+// Td = T̄d (the mean wall-clock discharge). Planning against this pattern
+// trades nominal utility for brownout probability: a sensor keeps its slot
+// with probability >= q even when its recharge draw lands in the upper tail.
+// q = 0.5 recovers the nominal ρ′ pattern.
+ChargingPattern pattern_at_quantile(const StochasticChargingModel& model,
+                                    double q);
 
 }  // namespace cool::energy

@@ -21,6 +21,13 @@
 // fault-free plan, detection and repair latency, control-plane message and
 // radio-energy overhead, and (optionally) the repaired-vs-full-recompute
 // utility gap at each repair.
+//
+// On top of node faults, EnergyUncertaintyConfig models the *supply* failure
+// axis: realized recharge rates stray from the planned pattern, nodes guard
+// against (or suffer) brownouts, the gateway estimates the realized ρ′
+// online, and an adaptive replanning loop re-routes coverage around nodes
+// whose supply cannot hold their slot — with hysteresis so a passing cloud
+// does not thrash the plan.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +37,7 @@
 
 #include "core/repair.h"
 #include "core/schedule.h"
+#include "energy/estimator.h"
 #include "energy/pattern.h"
 #include "net/network.h"
 #include "net/radio.h"
@@ -43,6 +51,76 @@
 
 namespace cool::sim {
 
+// Energy-supply uncertainty: the realized recharge rate departs from the
+// planned pattern (clouds, shading, panel ageing), and the runtime closes
+// the loop — guard against brownouts, estimate the realized ρ′ online, and
+// adaptively re-plan around nodes whose supply cannot sustain their slot.
+// Only meaningful in the ρ > 1 (recharge-bound) regime; enabling it for a
+// ρ <= 1 pattern is rejected at construction.
+struct EnergyUncertaintyConfig {
+  bool enabled = false;
+
+  // Supply realization. A passive slot nominally delivers 1/(T−1) of a full
+  // charge; under stretch s it delivers 1/s of that (s > 1 = clouds, s < 1 =
+  // brighter than planned). Effective stretch at (node v, global slot t) is
+  // slot_stretch[min(t, size−1)] · node_stretch[v] · jitter, with empty
+  // vectors meaning 1 everywhere and jitter a per-(node, slot) truncated
+  // normal factor max(0, 1 + σ·N(0,1)).
+  std::vector<double> slot_stretch;
+  std::vector<double> node_stretch;  // empty or one entry per node
+  // node_stretch applies only to slots before this index (a cloud parked
+  // over part of the field that burns off); default: the whole horizon.
+  std::size_t node_stretch_until_slot = static_cast<std::size_t>(-1);
+  double charge_jitter_sigma = 0.0;
+
+  // Brownout guard (node side): a node assigned an active slot whose battery
+  // is not ready *declines* the slot and keeps recharging. Without the guard
+  // it attempts the slot anyway and browns out mid-slot: the battery hits
+  // zero, the slot yields no utility, and the radio stays dark until the
+  // battery recovers one slot's nominal charge — so the node misses
+  // heartbeats and surfaces to the gateway's failure detector exactly like a
+  // crash (an energy-fault feeding the detect→repair path).
+  bool brownout_guard = true;
+
+  // Online ρ̂′ estimation (gateway side; units are slots, planned ρ = T−1
+  // recharge slots per discharge slot). In a deployment the realized
+  // durations ride on heartbeats; the simulation feeds them directly.
+  energy::RhoEstimatorConfig estimator;
+
+  // Adaptive replanning: when the estimator flags drift, or the fleet
+  // brownout rate over the trailing window breaches the budget, the gateway
+  // re-derives per-node availabilities — benching nodes whose personal ρ̂′
+  // says they cannot recharge within their T−1 passive slots — and patches
+  // the schedule with the incremental repair (full local search, so benched
+  // coverage moves to healthy nodes and re-admitted nodes get re-placed).
+  bool adaptive = false;
+  // Trailing window (slots) for the brownout rate; 0 means 4·T.
+  std::size_t brownout_window_slots = 0;
+  // Replan when browned-out ÷ assigned-active in the window exceeds this.
+  double brownout_budget = 0.15;
+  // Hysteresis: bench at ρ̂′_v >= bench_rho_factor·max(T−1, fleet ρ̂′) —
+  // relative to the fleet, because benching only pays for nodes doing
+  // *anomalously* worse than everyone else; a fleet-wide cloud leaves
+  // nothing to rebalance onto. Re-admit at ρ̂′_v <= readmit_rho_factor·(T−1)
+  // (must be < bench_rho_factor), and wait replan_cooldown_slots (0 means
+  // 2·T) between replans.
+  double bench_rho_factor = 1.5;
+  double readmit_rho_factor = 1.15;
+  std::size_t replan_cooldown_slots = 0;
+  // Never bench more than this share of the fleet, worst ρ̂′ first — a
+  // fleet-wide cloud must not bench everyone.
+  double max_bench_fraction = 0.34;
+  // Per-node recharge samples required before that node may be benched.
+  std::size_t min_node_samples = 3;
+};
+
+// Throws std::invalid_argument on inconsistent knobs (bad stretch values,
+// node_stretch size mismatch, inverted hysteresis band, out-of-range
+// fractions, or enabling uncertainty for a ρ <= 1 pattern).
+void validate_energy_uncertainty_config(const EnergyUncertaintyConfig& config,
+                                        std::size_t node_count,
+                                        bool rho_greater_than_one);
+
 struct RuntimeConfig {
   std::size_t slots = 0;               // horizon to run (> 0)
   energy::ChargingPattern pattern;     // normalized energy model (ρ, T)
@@ -50,6 +128,7 @@ struct RuntimeConfig {
   proto::HeartbeatConfig heartbeat;
   core::RepairConfig repair;
   proto::DeltaDisseminationConfig delta;
+  EnergyUncertaintyConfig energy;
   // Score every repair against the full lazy-greedy recompute oracle and
   // record the utility ratio (costly: one full schedule per repair).
   bool oracle_gap = false;
@@ -89,6 +168,18 @@ struct RuntimeReport {
   std::size_t delta_transmissions = 0;       // data + acks
   double delta_energy_j = 0.0;
   util::Accumulator redissemination_latency_slots;  // enqueue -> delivery
+  // Energy robustness (populated when EnergyUncertaintyConfig::enabled).
+  std::size_t brownouts = 0;           // unguarded mid-slot brownouts
+  std::size_t brownout_declines = 0;   // guard declined an unready slot
+  std::size_t radio_blackout_slots = 0;  // node-slots radio-dark post-brownout
+  std::size_t replans = 0;             // adaptive replans executed
+  std::size_t replans_on_drift = 0;    // triggered by the ρ′ drift flag
+  std::size_t replans_on_budget = 0;   // triggered by the brownout budget
+  std::size_t bench_events = 0;        // node benchings (cumulative)
+  std::size_t readmit_events = 0;      // node re-admissions (cumulative)
+  std::size_t benched_final = 0;       // nodes still benched at horizon end
+  double estimated_fleet_rho_slots = 0.0;  // final fleet ρ̂′ (slots)
+  double planned_rho_slots = 0.0;          // T − 1
 };
 
 class ResilientRuntime {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/rng.h"
+
 namespace cool::energy {
 namespace {
 
@@ -75,6 +77,64 @@ TEST(Battery, VoltagePlateauInMidRange) {
   b.set_level(0.0);
   const double v0 = b.voltage();
   EXPECT_GT(v20 - v0, 0.2);   // steep rise out of empty
+}
+
+TEST(Battery, SetLevelAcceptsExactBounds) {
+  Battery b(100.0);
+  b.set_level(0.0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_DOUBLE_EQ(b.soc(), 0.0);
+  b.set_level(100.0);
+  EXPECT_TRUE(b.full());
+  EXPECT_DOUBLE_EQ(b.soc(), 1.0);
+}
+
+TEST(Battery, RandomOpSequenceKeepsInvariants) {
+  // Property test: under any interleaving of charge/discharge/set_level the
+  // level stays in [0, capacity], the returned transfer equals the actual
+  // level delta, and soc/voltage stay consistent with the level.
+  const double capacity = 37.5;
+  util::Rng rng(101);
+  Battery b(capacity);
+  for (int step = 0; step < 5000; ++step) {
+    const double before = b.level();
+    const double amount = rng.uniform(0.0, 1.5 * capacity);
+    switch (rng.uniform_int(0, 2)) {
+      case 0: {
+        const double accepted = b.charge(amount);
+        EXPECT_LE(accepted, amount + 1e-12);
+        EXPECT_NEAR(b.level() - before, accepted, 1e-9);
+        break;
+      }
+      case 1: {
+        const double drained = b.discharge(amount);
+        EXPECT_LE(drained, amount + 1e-12);
+        EXPECT_NEAR(before - b.level(), drained, 1e-9);
+        break;
+      }
+      default:
+        b.set_level(rng.uniform(0.0, capacity));
+        break;
+    }
+    EXPECT_GE(b.level(), 0.0);
+    EXPECT_LE(b.level(), capacity);
+    EXPECT_NEAR(b.soc(), b.level() / capacity, 1e-12);
+    EXPECT_GE(b.voltage(), 2.20 - 1e-9);
+    EXPECT_LE(b.voltage(), 2.90 + 1e-9);
+  }
+}
+
+TEST(Battery, ChargeDischargeRoundTripConserves) {
+  // Away from the clamps, charge(x) then discharge(x) is the identity.
+  Battery b(100.0);
+  b.set_level(50.0);
+  util::Rng rng(102);
+  for (int step = 0; step < 1000; ++step) {
+    const double x = rng.uniform(0.0, 10.0);
+    EXPECT_DOUBLE_EQ(b.charge(x), x);
+    EXPECT_DOUBLE_EQ(b.discharge(x), x);
+    EXPECT_NEAR(b.level(), 50.0, 1e-6);
+  }
 }
 
 TEST(Battery, VoltageRange) {

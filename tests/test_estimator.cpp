@@ -1,0 +1,193 @@
+#include "energy/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cool::energy {
+namespace {
+
+TEST(StreamingQuantile, RejectsOutOfRangeQuantile) {
+  EXPECT_THROW(StreamingQuantile(0.0), std::invalid_argument);
+  EXPECT_THROW(StreamingQuantile(1.0), std::invalid_argument);
+  EXPECT_THROW(StreamingQuantile(-0.2), std::invalid_argument);
+}
+
+TEST(StreamingQuantile, ExactForSmallSamples) {
+  StreamingQuantile median(0.5);
+  EXPECT_DOUBLE_EQ(median.value(), 0.0);  // empty
+  median.add(3.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  median.add(1.0);
+  EXPECT_DOUBLE_EQ(median.value(), 2.0);  // interpolated between 1 and 3
+  median.add(2.0);
+  EXPECT_DOUBLE_EQ(median.value(), 2.0);
+  median.add(10.0);
+  median.add(11.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);  // sorted: 1 2 3 10 11
+}
+
+TEST(StreamingQuantile, TracksNormalSampleQuantiles) {
+  util::Rng rng(7);
+  for (const double q : {0.5, 0.9, 0.95}) {
+    StreamingQuantile stream(q);
+    std::vector<double> sample;
+    for (int i = 0; i < 20000; ++i) {
+      const double x = rng.normal(45.0, 5.0);
+      stream.add(x);
+      sample.push_back(x);
+    }
+    const double exact = util::percentile(sample, q);
+    EXPECT_NEAR(stream.value(), exact, 0.35)
+        << "q = " << q << " exact = " << exact;
+  }
+}
+
+TEST(StreamingQuantile, MonotoneAcrossQuantiles) {
+  util::Rng rng(9);
+  StreamingQuantile q50(0.5), q90(0.9), q99(0.99);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.exponential(10.0);
+    q50.add(x);
+    q90.add(x);
+    q99.add(x);
+  }
+  EXPECT_LT(q50.value(), q90.value());
+  EXPECT_LT(q90.value(), q99.value());
+}
+
+TEST(EstimatorConfig, Validation) {
+  RhoEstimatorConfig config;
+  EXPECT_NO_THROW(validate_estimator_config(config));
+  config.ewma_alpha = 0.0;
+  EXPECT_THROW(validate_estimator_config(config), std::invalid_argument);
+  config.ewma_alpha = 1.5;
+  EXPECT_THROW(validate_estimator_config(config), std::invalid_argument);
+  config = RhoEstimatorConfig{};
+  config.quantile = 1.0;
+  EXPECT_THROW(validate_estimator_config(config), std::invalid_argument);
+  config = RhoEstimatorConfig{};
+  config.drift_threshold = 0.0;
+  EXPECT_THROW(validate_estimator_config(config), std::invalid_argument);
+}
+
+TEST(RhoPrimeEstimator, ConstructionValidation) {
+  EXPECT_THROW(RhoPrimeEstimator(0, 3.0), std::invalid_argument);
+  EXPECT_THROW(RhoPrimeEstimator(4, 0.0), std::invalid_argument);
+  RhoPrimeEstimator est(4, 3.0);
+  EXPECT_THROW(est.record_recharge(4, 1.0), std::invalid_argument);
+  EXPECT_THROW(est.record_recharge(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(est.record_discharge(0, -1.0), std::invalid_argument);
+}
+
+TEST(RhoPrimeEstimator, FallsBackToPlannedRho) {
+  RhoPrimeEstimator est(3, 3.0);
+  EXPECT_DOUBLE_EQ(est.node_rho(0), 3.0);
+  EXPECT_DOUBLE_EQ(est.fleet_rho(), 3.0);
+  est.record_recharge(0, 6.0);  // recharge alone is not enough
+  EXPECT_DOUBLE_EQ(est.node_rho(0), 3.0);
+  est.record_discharge(0, 1.0);
+  EXPECT_DOUBLE_EQ(est.node_rho(0), 6.0);
+  // Node 1 untouched: still planned.
+  EXPECT_DOUBLE_EQ(est.node_rho(1), 3.0);
+}
+
+TEST(RhoPrimeEstimator, EwmaConvergesToConstantStream) {
+  RhoEstimatorConfig config;
+  config.ewma_alpha = 0.5;
+  RhoPrimeEstimator est(2, 3.0, config);
+  est.record_recharge(0, 10.0);  // first sample seeds the mean
+  EXPECT_DOUBLE_EQ(est.node_recharge_mean(0), 10.0);
+  for (int i = 0; i < 30; ++i) est.record_recharge(0, 4.0);
+  EXPECT_NEAR(est.node_recharge_mean(0), 4.0, 1e-6);
+  EXPECT_NEAR(est.fleet_recharge_mean(), 4.0, 1e-6);
+}
+
+TEST(RhoPrimeEstimator, DriftFlagsSustainedDeparture) {
+  RhoEstimatorConfig config;
+  config.drift_threshold = 0.25;
+  config.min_samples = 4;
+  RhoPrimeEstimator est(2, 3.0, config);
+  // Nominal samples: recharge 3 slots per 1-slot discharge, rho' = planned.
+  for (int i = 0; i < 6; ++i) {
+    est.record_discharge(i % 2, 1.0);
+    est.record_recharge(i % 2, 3.0);
+  }
+  EXPECT_NEAR(est.drift(), 0.0, 1e-9);
+  EXPECT_FALSE(est.drifted());
+  // Clouds stretch recharge to 6 slots: rho' -> 6, drift -> +1.
+  for (int i = 0; i < 20; ++i) {
+    est.record_discharge(i % 2, 1.0);
+    est.record_recharge(i % 2, 6.0);
+  }
+  EXPECT_GT(est.drift(), 0.25);
+  EXPECT_TRUE(est.drifted());
+  EXPECT_NEAR(est.fleet_rho(), 6.0, 0.2);
+}
+
+TEST(RhoPrimeEstimator, DriftSilentDuringWarmup) {
+  RhoEstimatorConfig config;
+  config.min_samples = 8;
+  RhoPrimeEstimator est(1, 3.0, config);
+  for (int i = 0; i < 7; ++i) {
+    est.record_discharge(0, 1.0);
+    est.record_recharge(0, 30.0);  // wildly off-plan
+  }
+  EXPECT_DOUBLE_EQ(est.drift(), 0.0);  // still warming up
+  EXPECT_FALSE(est.drifted());
+  est.record_discharge(0, 1.0);
+  est.record_recharge(0, 30.0);
+  EXPECT_TRUE(est.drifted());
+}
+
+TEST(RhoPrimeEstimator, RechargeQuantileTracksUpperTail) {
+  RhoEstimatorConfig config;
+  config.quantile = 0.9;
+  RhoPrimeEstimator est(1, 3.0, config);
+  util::Rng rng(11);
+  std::vector<double> sample;
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.normal(45.0, 5.0);
+    while (x <= 0.0) x = rng.normal(45.0, 5.0);
+    est.record_recharge(0, x);
+    sample.push_back(x);
+  }
+  EXPECT_NEAR(est.recharge_quantile(), util::percentile(sample, 0.9), 0.4);
+}
+
+TEST(RhoPrimeEstimator, ResetNodeRestoresPlannedFallback) {
+  RhoPrimeEstimator est(2, 3.0);
+  est.record_discharge(0, 1.0);
+  est.record_recharge(0, 9.0);
+  EXPECT_DOUBLE_EQ(est.node_rho(0), 9.0);
+  const double fleet_before = est.fleet_rho();
+  est.reset_node(0);
+  EXPECT_DOUBLE_EQ(est.node_rho(0), 3.0);  // back to planned
+  EXPECT_EQ(est.node_recharge_samples(0), 0u);
+  EXPECT_DOUBLE_EQ(est.fleet_rho(), fleet_before);  // fleet untouched
+  EXPECT_THROW(est.reset_node(2), std::invalid_argument);
+}
+
+TEST(RhoPrimeEstimator, PerNodeHeterogeneityIsSeparated) {
+  RhoPrimeEstimator est(3, 3.0);
+  for (int i = 0; i < 10; ++i) {
+    est.record_discharge(0, 1.0);
+    est.record_recharge(0, 3.0);  // healthy node
+    est.record_discharge(1, 1.0);
+    est.record_recharge(1, 9.0);  // shaded node
+  }
+  EXPECT_NEAR(est.node_rho(0), 3.0, 1e-9);
+  EXPECT_NEAR(est.node_rho(1), 9.0, 1e-9);
+  EXPECT_DOUBLE_EQ(est.node_rho(2), 3.0);  // no data: planned
+  // Fleet sits between the two contributing nodes.
+  EXPECT_GT(est.fleet_rho(), 3.0);
+  EXPECT_LT(est.fleet_rho(), 9.0);
+}
+
+}  // namespace
+}  // namespace cool::energy

@@ -78,6 +78,60 @@ TEST(StochasticModel, Validation) {
   EXPECT_THROW(StochasticChargingModel{config}, std::invalid_argument);
 }
 
+TEST(StochasticConfig, ValidateReportsTheOffendingField) {
+  auto expect_mentions = [](const StochasticChargingConfig& config,
+                            const std::string& needle) {
+    try {
+      config.validate();
+      FAIL() << "expected std::invalid_argument mentioning " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message was: " << e.what();
+    }
+  };
+  EXPECT_NO_THROW(paper_config().validate());
+  auto config = paper_config();
+  config.event_rate_per_min = -0.1;
+  expect_mentions(config, "event_rate_per_min");
+  config = paper_config();
+  config.mean_event_minutes = 0.0;
+  expect_mentions(config, "mean_event_minutes");
+  config = paper_config();
+  config.continuous_discharge_min = -15.0;
+  expect_mentions(config, "continuous_discharge_min");
+  config = paper_config();
+  config.mean_recharge_min = 0.0;
+  expect_mentions(config, "mean_recharge_min");
+  config = paper_config();
+  config.recharge_sigma_min = -5.0;
+  expect_mentions(config, "recharge_sigma_min");
+  config = paper_config();
+  config.event_rate_per_min = 0.6;
+  config.mean_event_minutes = 2.0;  // duty 1.2
+  expect_mentions(config, "duty");
+}
+
+TEST(StochasticModel, RechargeQuantileMatchesNormalTheory) {
+  const StochasticChargingModel model(paper_config());  // N(45, 5)
+  EXPECT_NEAR(model.recharge_quantile(0.5), 45.0, 1e-6);
+  EXPECT_NEAR(model.recharge_quantile(0.9), 45.0 + 1.2815515655 * 5.0, 1e-3);
+  EXPECT_NEAR(model.recharge_quantile(0.1), 45.0 - 1.2815515655 * 5.0, 1e-3);
+  EXPECT_LT(model.recharge_quantile(0.25), model.recharge_quantile(0.75));
+  EXPECT_THROW(model.recharge_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(model.recharge_quantile(1.0), std::invalid_argument);
+}
+
+TEST(StochasticModel, PatternAtQuantileRecoversMedianAndStretchesTail) {
+  const StochasticChargingModel model(paper_config());
+  const auto median = pattern_at_quantile(model, 0.5);
+  EXPECT_NEAR(median.discharge_minutes, model.mean_discharge_minutes(), 1e-9);
+  EXPECT_NEAR(median.recharge_minutes, 45.0, 1e-6);
+  const auto margin = pattern_at_quantile(model, 0.9);
+  EXPECT_GT(margin.recharge_minutes, median.recharge_minutes);
+  EXPECT_DOUBLE_EQ(margin.discharge_minutes, median.discharge_minutes);
+  EXPECT_GT(margin.rho(), median.rho());
+}
+
 TEST(StochasticModel, HigherEventRateDrainsFaster) {
   auto busy = paper_config();
   busy.event_rate_per_min = 0.4;  // duty 0.8
