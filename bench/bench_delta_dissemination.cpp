@@ -5,7 +5,9 @@
 // saves against re-broadcasting the full plan every morning.
 //
 //   ./bench_delta_dissemination [--sensors 60] [--days 30] [--seed 20]
+//                               [--csv delta.csv]
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -13,6 +15,7 @@
 #include "core/planner.h"
 #include "net/network.h"
 #include "util/cli.h"
+#include "util/csv.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -21,7 +24,22 @@ int main(int argc, char** argv) {
   const auto n = static_cast<std::size_t>(cli.get_int("sensors", 60));
   const auto days = static_cast<std::size_t>(cli.get_int("days", 30));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 20));
+  const auto csv_path = cli.get_string("csv", "");
   cli.finish();
+
+  std::ofstream csv_file;
+  cool::util::CsvWriter* csv = nullptr;
+  cool::util::CsvWriter writer(csv_file);
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path);
+    if (!csv_file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", csv_path.c_str());
+      return 1;
+    }
+    csv = &writer;
+    csv->write_row({"day", "weather", "slots_per_period", "delta_moves",
+                    "full_notifications"});
+  }
 
   cool::net::NetworkConfig net_config;
   net_config.sensor_count = n;
@@ -58,6 +76,12 @@ int main(int argc, char** argv) {
       if (plan.schedule.active_count(v) > 0) ++full;
     total_moves += moves;
     total_full += full;
+    if (csv)
+      csv->write_row({cool::util::format("%zu", day),
+                      cool::energy::weather_name(plan.weather),
+                      cool::util::format("%zu", plan.slots_per_period),
+                      cool::util::format("%zu", moves),
+                      cool::util::format("%zu", full)});
     if (day <= 10)
       table.row({cool::util::format("%zu", day),
                  cool::energy::weather_name(plan.weather),
@@ -80,5 +104,6 @@ int main(int argc, char** argv) {
                                  static_cast<double>(total_full)));
   std::printf("expected: repeat-weather days cost zero notifications; only "
               "rho changes force full re-broadcasts.\n");
+  if (!csv_path.empty()) std::printf("wrote %s\n", csv_path.c_str());
   return 0;
 }

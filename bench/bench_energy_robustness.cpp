@@ -23,6 +23,7 @@
 //
 //   ./bench_energy_robustness [--sensors 36] [--slots 720] [--burst 1.6]
 //                             [--seed 21] [--csv energy_robustness.csv]
+//                             [--trace run.trace.json] [--metrics run.csv]
 //
 // Acceptance: adaptive retains >= 10% more time-averaged coverage than
 // nominal, and the margin plan browns out strictly less than nominal.
@@ -37,6 +38,7 @@
 #include "energy/stochastic.h"
 #include "net/network.h"
 #include "net/routing.h"
+#include "obs/session.h"
 #include "proto/link.h"
 #include "sim/runtime.h"
 #include "util/cli.h"
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
   const double burst = cli.get_double("burst", 1.6);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 21));
   const auto csv_path = cli.get_string("csv", "");
+  auto obs = cool::obs::ObsSession::from_cli(cli);
   cli.finish();
 
   cool::net::NetworkConfig net_config;

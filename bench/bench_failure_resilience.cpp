@@ -10,10 +10,12 @@
 //               lossy tree (including its detection/propagation latencies).
 //
 // Also sweeps the legacy transient-fault model (static vs online greedy) to
-// keep the original ablation. Emits CSV with --csv <path>.
+// keep the original ablation. Emits CSV with --csv <path>; --trace/--metrics
+// capture the detect→repair→re-disseminate loop (see DESIGN.md §9).
 //
 //   ./bench_failure_resilience [--sensors 40] [--days 10] [--seed 14]
-//                              [--csv resilience.csv]
+//                              [--csv resilience.csv] [--trace run.trace.json]
+//                              [--metrics run.metrics.csv]
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -24,6 +26,7 @@
 #include "core/problem.h"
 #include "net/network.h"
 #include "net/routing.h"
+#include "obs/session.h"
 #include "proto/link.h"
 #include "sim/runtime.h"
 #include "sim/simulator.h"
@@ -38,6 +41,7 @@ int main(int argc, char** argv) {
   const auto days = static_cast<std::size_t>(cli.get_int("days", 10));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 14));
   const auto csv_path = cli.get_string("csv", "");
+  auto obs = cool::obs::ObsSession::from_cli(cli);
   cli.finish();
 
   cool::net::NetworkConfig net_config;

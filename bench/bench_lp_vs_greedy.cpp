@@ -3,8 +3,9 @@
 // bound (tangent-cut relaxation), so every instance prints a full sandwich:
 //   rounded LP <= greedy-or-optimal <= LP objective.
 //
-//   ./bench_lp_vs_greedy [--instances 8] [--seed 3]
+//   ./bench_lp_vs_greedy [--instances 8] [--seed 3] [--csv lp_vs_greedy.csv]
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "core/evaluator.h"
@@ -14,6 +15,7 @@
 #include "core/problem.h"
 #include "net/network.h"
 #include "util/cli.h"
+#include "util/csv.h"
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -22,7 +24,22 @@ int main(int argc, char** argv) {
   cool::util::Cli cli(argc, argv);
   const auto instances = static_cast<std::size_t>(cli.get_int("instances", 8));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  const auto csv_path = cli.get_string("csv", "");
   cli.finish();
+
+  std::ofstream csv_file;
+  cool::util::CsvWriter* csv = nullptr;
+  cool::util::CsvWriter writer(csv_file);
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path);
+    if (!csv_file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", csv_path.c_str());
+      return 1;
+    }
+    csv = &writer;
+    csv->write_row({"instance", "lp_bound", "lp_rounded", "greedy", "optimal",
+                    "greedy_over_opt", "rounded_over_opt"});
+  }
 
   std::printf("=== LP relaxation + randomized rounding vs greedy vs optimal "
               "(n = 8, m = 5, T = 2) ===\n\n");
@@ -67,8 +84,19 @@ int main(int argc, char** argv) {
                cool::util::format("%.4f", greedy_u / optimal.utility_per_period),
                cool::util::format("%.4f", lp.rounded_utility_per_period /
                                               optimal.utility_per_period)});
+    if (csv)
+      csv->write_row(
+          {cool::util::format("%zu", i),
+           cool::util::format("%.6f", lp.lp_objective_per_period),
+           cool::util::format("%.6f", lp.rounded_utility_per_period),
+           cool::util::format("%.6f", greedy_u),
+           cool::util::format("%.6f", optimal.utility_per_period),
+           cool::util::format("%.6f", greedy_u / optimal.utility_per_period),
+           cool::util::format("%.6f", lp.rounded_utility_per_period /
+                                          optimal.utility_per_period)});
   }
   table.print(std::cout);
+  if (!csv_path.empty()) std::printf("wrote %s\n", csv_path.c_str());
   std::printf("\nmean greedy/optimal: %.4f (guarantee: >= 0.5)\n",
               greedy_ratio.mean());
   std::printf("mean rounded/optimal: %.4f\n", rounded_ratio.mean());

@@ -11,6 +11,7 @@
 //   8. per-target service report and fairness              (core)
 //
 //   ./gateway_day [--sensors 50] [--targets 8] [--seed 42]
+//                 [--trace day.trace.json] [--metrics day.metrics.json]
 #include <cstdio>
 #include <exception>
 #include <iostream>
@@ -24,6 +25,7 @@
 #include "net/collection.h"
 #include "net/network.h"
 #include "net/routing.h"
+#include "obs/session.h"
 #include "proto/dissemination.h"
 #include "proto/timesync.h"
 #include "sim/simulator.h"
@@ -35,6 +37,7 @@ int main(int argc, char** argv) try {
   const auto n = static_cast<std::size_t>(cli.get_int("sensors", 50));
   const auto m = static_cast<std::size_t>(cli.get_int("targets", 8));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  auto obs = cool::obs::ObsSession::from_cli(cli);
   cli.finish();
 
   // --- 0. the deployment ---

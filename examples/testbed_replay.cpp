@@ -5,6 +5,7 @@
 // schedule against online policies.
 //
 //   ./testbed_replay [--sensors 100] [--targets 1] [--days 30] [--seed 5]
+//                    [--trace replay.trace.json] [--metrics replay.csv]
 #include <cstdio>
 #include <exception>
 #include <iostream>
@@ -15,6 +16,7 @@
 #include "core/problem.h"
 #include "energy/pattern.h"
 #include "net/network.h"
+#include "obs/session.h"
 #include "sim/simulator.h"
 #include "util/cli.h"
 #include "util/strings.h"
@@ -26,6 +28,7 @@ int main(int argc, char** argv) try {
   const auto m = static_cast<std::size_t>(cli.get_int("targets", 1));
   const auto days = static_cast<std::size_t>(cli.get_int("days", 30));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+  auto obs = cool::obs::ObsSession::from_cli(cli);
   cli.finish();
 
   cool::net::NetworkConfig net_config;

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Guard the idle cost of compiled-in instrumentation: build bench_scheduler_perf
+# with COOL_OBS_ENABLED ON and OFF, run the scheduler microbenchmarks in both
+# (no trace collector, no metric sinks — the enabled build pays only relaxed
+# atomics and dead branches), and fail if ON is more than 5% slower overall.
+# Usage: scripts/check_obs_overhead.sh [benchmark-filter]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+filter="${1:-BM_(Greedy|LazyGreedy)Schedule}"
+budget_pct=5
+
+run_arm() {
+  local flag="$1" build_dir="$2"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release -DCOOL_OBS_ENABLED="${flag}" >/dev/null
+  cmake --build "${build_dir}" -j "$(nproc)" --target bench_scheduler_perf >/dev/null
+  # Sum of real time across the filtered benchmarks, one aggregate number
+  # per arm; repetitions keep a noisy core from deciding the verdict.
+  "${build_dir}/bench/bench_scheduler_perf" \
+    --benchmark_filter="${filter}" \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+    --benchmark_format=csv 2>/dev/null |
+    awk -F, '/_median/ { sum += $3 } END { printf "%.0f\n", sum }'
+}
+
+echo "building + timing COOL_OBS_ENABLED=ON ..."
+on_ns="$(run_arm ON "${repo_root}/build-obs-on")"
+echo "building + timing COOL_OBS_ENABLED=OFF ..."
+off_ns="$(run_arm OFF "${repo_root}/build-obs-off")"
+
+if [ -z "${on_ns}" ] || [ -z "${off_ns}" ] || [ "${off_ns}" -eq 0 ]; then
+  echo "FAIL: could not extract benchmark timings" >&2
+  exit 1
+fi
+
+overhead_pct="$(awk -v on="${on_ns}" -v off="${off_ns}" \
+  'BEGIN { printf "%.2f", 100.0 * (on - off) / off }')"
+echo "obs ON: ${on_ns} ns, OFF: ${off_ns} ns, idle overhead: ${overhead_pct}%"
+
+if awk -v o="${overhead_pct}" -v b="${budget_pct}" 'BEGIN { exit !(o > b) }'; then
+  echo "FAIL: idle instrumentation overhead ${overhead_pct}% exceeds ${budget_pct}% budget" >&2
+  exit 1
+fi
+echo "OK: within the ${budget_pct}% budget"

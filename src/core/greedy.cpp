@@ -3,9 +3,12 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace cool::core {
 
 GreedyResult GreedyScheduler::schedule(const Problem& problem) const {
+  COOL_SPAN("greedy.schedule", "core");
   if (!problem.rho_greater_than_one())
     throw std::invalid_argument(
         "GreedyScheduler requires rho > 1; use PassiveGreedyScheduler");
@@ -45,6 +48,11 @@ GreedyResult GreedyScheduler::schedule(const Problem& problem) const {
     result.schedule.set_active(best_sensor, best_slot);
     result.steps.push_back(GreedyStep{best_sensor, best_slot, best_gain});
   }
+  // Published once per schedule, not per marginal query, so the enabled-
+  // but-idle cost stays off the O(n^2 T) inner loop.
+  COOL_METRIC_ADD("greedy.schedules", 1);
+  COOL_METRIC_ADD("greedy.oracle_calls", result.oracle_calls);
+  COOL_METRIC_OBSERVE("greedy.oracle_calls_per_schedule", result.oracle_calls);
   return result;
 }
 

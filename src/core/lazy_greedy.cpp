@@ -1,9 +1,12 @@
 #include "core/lazy_greedy.h"
 
+#include <algorithm>
 #include <memory>
 #include <queue>
 #include <stdexcept>
 #include <vector>
+
+#include "obs/obs.h"
 
 namespace cool::core {
 
@@ -23,6 +26,7 @@ struct QueueEntry {
 }  // namespace
 
 GreedyResult LazyGreedyScheduler::schedule(const Problem& problem) const {
+  COOL_SPAN("lazy_greedy.schedule", "core");
   if (!problem.rho_greater_than_one())
     throw std::invalid_argument(
         "LazyGreedyScheduler requires rho > 1; use PassiveGreedyScheduler");
@@ -52,6 +56,8 @@ GreedyResult LazyGreedyScheduler::schedule(const Problem& problem) const {
 
   std::vector<std::uint8_t> placed(n, 0);
   std::size_t placed_count = 0;
+  std::size_t stale_refreshes = 0;  // heap decay: stale entries re-scored
+  std::size_t peak_heap = queue.size();
   while (placed_count < n) {
     if (queue.empty())
       throw std::logic_error("LazyGreedyScheduler: queue exhausted early");
@@ -62,8 +68,10 @@ GreedyResult LazyGreedyScheduler::schedule(const Problem& problem) const {
       // Stale: refresh and reinsert (gain can only have shrunk).
       top.gain = slot_state[top.slot]->marginal(top.sensor);
       ++result.oracle_calls;
+      ++stale_refreshes;
       top.slot_version = slot_version[top.slot];
       queue.push(top);
+      peak_heap = std::max(peak_heap, queue.size());
       continue;
     }
     // Fresh head of a max-heap: this is the true maximum pair.
@@ -74,6 +82,15 @@ GreedyResult LazyGreedyScheduler::schedule(const Problem& problem) const {
     result.schedule.set_active(top.sensor, top.slot);
     result.steps.push_back(GreedyStep{top.sensor, top.slot, top.gain});
   }
+  // Aggregated totals, published once per schedule so the heap loop stays
+  // free of atomics. stale_refreshes / oracle_calls is the lazy-heap decay
+  // rate the ablation bench reasons about.
+  COOL_METRIC_ADD("lazy_greedy.schedules", 1);
+  COOL_METRIC_ADD("lazy_greedy.oracle_calls", result.oracle_calls);
+  COOL_METRIC_ADD("lazy_greedy.stale_refreshes", stale_refreshes);
+  COOL_METRIC_OBSERVE("lazy_greedy.peak_heap", peak_heap);
+  COOL_METRIC_OBSERVE("lazy_greedy.oracle_calls_per_schedule",
+                      result.oracle_calls);
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/lazy_greedy.h"
 #include "core/passive_greedy.h"
+#include "obs/obs.h"
 
 namespace cool::core {
 
@@ -68,6 +69,7 @@ RepairResult repair_schedule(const PeriodicSchedule& schedule,
                              const sub::SubmodularFunction& utility,
                              const std::vector<std::uint8_t>& dead,
                              const RepairConfig& config) {
+  COOL_SPAN("repair.schedule", "core");
   const std::size_t n = schedule.sensor_count();
   const std::size_t T = schedule.slots_per_period();
   if (dead.size() != n)
@@ -171,6 +173,12 @@ RepairResult repair_schedule(const PeriodicSchedule& schedule,
   }
 
   result.utility_after = surviving_period_utility(result.schedule, utility, dead);
+  // Delta size (moves == changed assignments == dissemination cost) and
+  // oracle effort per repair, published once per call.
+  COOL_METRIC_ADD("repair.calls", 1);
+  COOL_METRIC_ADD("repair.moves", result.moves);
+  COOL_METRIC_OBSERVE("repair.moves_per_call", result.moves);
+  COOL_METRIC_OBSERVE("repair.oracle_calls_per_call", result.oracle_calls);
   return result;
 }
 

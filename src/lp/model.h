@@ -54,6 +54,7 @@ struct Solution {
   SolveStatus status = SolveStatus::kInfeasible;
   double objective = 0.0;
   std::vector<double> x;
+  std::size_t pivots = 0;  // tableau pivots across both phases
 };
 
 const char* status_name(SolveStatus status) noexcept;

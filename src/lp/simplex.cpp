@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace cool::lp {
 
 namespace {
@@ -113,6 +115,8 @@ class Tableau {
     return optimize(c, max_iterations, /*forbid_artificials=*/true);
   }
 
+  std::size_t pivots() const noexcept { return pivots_; }
+
   std::vector<double> extract(std::size_t variable_count) const {
     std::vector<double> x(variable_count, 0.0);
     for (std::size_t r = 0; r < rows_; ++r)
@@ -130,6 +134,7 @@ class Tableau {
   }
 
   void pivot(std::size_t row, std::size_t col) {
+    ++pivots_;
     const double pivot_value = a_[row][col];
     for (double& v : a_[row]) v /= pivot_value;
     b_[row] /= pivot_value;
@@ -219,6 +224,7 @@ class Tableau {
   }
 
   double tol_;
+  std::size_t pivots_ = 0;
   std::size_t structural_;
   std::size_t cols_ = 0;
   std::size_t rows_ = 0;
@@ -231,6 +237,7 @@ class Tableau {
 }  // namespace
 
 Solution solve(const Model& model, const SimplexOptions& options) {
+  COOL_SPAN("simplex.solve", "lp");
   Solution solution;
   if (model.variable_count() == 0) {
     solution.status = SolveStatus::kOptimal;
@@ -239,6 +246,9 @@ Solution solve(const Model& model, const SimplexOptions& options) {
   Tableau tableau(model, options.tolerance);
   if (!tableau.phase1(options.max_iterations)) {
     solution.status = SolveStatus::kInfeasible;
+    solution.pivots = tableau.pivots();
+    COOL_METRIC_ADD("simplex.pivots", solution.pivots);
+    COOL_METRIC_ADD("simplex.infeasible", 1);
     return solution;
   }
   solution.status = tableau.phase2(model.objective(), options.max_iterations);
@@ -246,6 +256,10 @@ Solution solve(const Model& model, const SimplexOptions& options) {
   solution.objective = 0.0;
   for (std::size_t j = 0; j < model.variable_count(); ++j)
     solution.objective += model.objective()[j] * solution.x[j];
+  solution.pivots = tableau.pivots();
+  COOL_METRIC_ADD("simplex.solves", 1);
+  COOL_METRIC_ADD("simplex.pivots", solution.pivots);
+  COOL_METRIC_OBSERVE("simplex.pivots_per_solve", solution.pivots);
   return solution;
 }
 

@@ -1,0 +1,242 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace cool::obs {
+
+namespace {
+
+std::string series_key(const std::string& name, const Labels& labels) {
+  return name + "|" + render_labels(labels);
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string render_labels(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+void HistogramMetric::observe(double x) noexcept {
+  if (std::isnan(x)) return;  // NaN would poison sum and fits no bucket
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+  std::size_t idx = 0;
+  if (x >= 1.0) {
+    // Bucket i >= 1 covers [2^(i-1), 2^i).
+    idx = static_cast<std::size_t>(std::ilogb(x)) + 1;
+    idx = std::min(idx, kBuckets - 1);
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+double HistogramMetric::bucket_upper(std::size_t i) {
+  return i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i));
+}
+
+double HistogramMetric::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = bucket(i);
+    if (c == 0) continue;
+    if (static_cast<double>(seen + c) >= target) {
+      const double lo = i == 0 ? 0.0 : bucket_upper(i - 1);
+      const double hi = bucket_upper(i);
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(c);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen += c;
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+void HistogramMetric::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Series& MetricsRegistry::find_or_create(
+    const std::string& name, const Labels& labels, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = series_key(name, labels);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Series& series = series_[it->second];
+    if (series.kind != kind)
+      throw std::invalid_argument("MetricsRegistry: \"" + name +
+                                  "\" re-registered as a different kind");
+    return series;
+  }
+  Series series{name, labels, kind, nullptr, nullptr, nullptr};
+  switch (kind) {
+    case MetricKind::kCounter: series.counter = &counters_.emplace_back(); break;
+    case MetricKind::kGauge: series.gauge = &gauges_.emplace_back(); break;
+    case MetricKind::kHistogram:
+      series.histogram = &histograms_.emplace_back();
+      break;
+  }
+  index_.emplace(key, series_.size());
+  series_.push_back(std::move(series));
+  return series_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  return *find_or_create(name, labels, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return *find_or_create(name, labels, MetricKind::kGauge).gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            const Labels& labels) {
+  return *find_or_create(name, labels, MetricKind::kHistogram).histogram;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  snap.metrics.reserve(series_.size());
+  for (const auto& series : series_) {
+    MetricSnapshot m;
+    m.name = series.name;
+    m.labels = series.labels;
+    m.kind = series.kind;
+    switch (series.kind) {
+      case MetricKind::kCounter:
+        m.count = series.counter->value();
+        m.value = static_cast<double>(m.count);
+        break;
+      case MetricKind::kGauge:
+        m.value = series.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const auto& h = *series.histogram;
+        m.count = h.count();
+        m.value = h.mean();
+        m.p50 = h.quantile(0.5);
+        m.p99 = h.quantile(0.99);
+        for (std::size_t i = HistogramMetric::kBuckets; i-- > 0;) {
+          if (h.bucket(i) > 0) {
+            m.max_edge = HistogramMetric::bucket_upper(i);
+            break;
+          }
+        }
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name != b.name ? a.name < b.name
+                                      : render_labels(a.labels) < render_labels(b.labels);
+            });
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& series : series_) {
+    switch (series.kind) {
+      case MetricKind::kCounter: series.counter->reset(); break;
+      case MetricKind::kGauge: series.gauge->reset(); break;
+      case MetricKind::kHistogram: series.histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  const RegistrySnapshot snap = snapshot();
+  util::CsvWriter csv(out);
+  csv.write_row({"name", "labels", "kind", "count", "value", "p50", "p99"});
+  for (const auto& m : snap.metrics) {
+    csv.cell(std::string_view(m.name))
+        .cell(std::string_view(render_labels(m.labels)))
+        .cell(std::string_view(kind_name(m.kind)))
+        .cell(static_cast<long long>(m.count))
+        .cell(m.value)
+        .cell(m.p50)
+        .cell(m.p99);
+    csv.end_row();
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  const RegistrySnapshot snap = snapshot();
+  out << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& m : snap.metrics) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(m.name) << "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [key, value] : m.labels) {
+      if (!first_label) out << ',';
+      first_label = false;
+      out << '"' << json_escape(key) << "\":\"" << json_escape(value) << '"';
+    }
+    out << "},\"kind\":\"" << kind_name(m.kind) << "\",\"count\":" << m.count
+        << ",\"value\":" << json_number(m.value);
+    if (m.kind == MetricKind::kHistogram)
+      out << ",\"p50\":" << json_number(m.p50)
+          << ",\"p99\":" << json_number(m.p99);
+    out << '}';
+  }
+  out << "]}\n";
+}
+
+const MetricSnapshot& RegistrySnapshot::at(const std::string& name,
+                                           const Labels& labels) const {
+  for (const auto& m : metrics)
+    if (m.name == name && m.labels == labels) return m;
+  throw std::out_of_range("RegistrySnapshot: no series \"" + name + "|" +
+                          render_labels(labels) + "\"");
+}
+
+bool RegistrySnapshot::contains(const std::string& name,
+                                const Labels& labels) const {
+  for (const auto& m : metrics)
+    if (m.name == name && m.labels == labels) return true;
+  return false;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace cool::obs

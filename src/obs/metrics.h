@@ -1,0 +1,166 @@
+// Process-wide metrics registry: counters, gauges and histograms with
+// labeled series, built for instrumenting hot paths.
+//
+// Design constraints (DESIGN.md section 9):
+//   - The *update* path is lock-free: a registered instrument is a stable
+//     reference whose mutations are relaxed atomics — no mutex, no
+//     allocation, safe from any thread. Hot loops aggregate locally and
+//     publish once per call (e.g. a scheduler adds its oracle-call total at
+//     return, not one increment per marginal query).
+//   - Registration (`counter()`, `gauge()`, `histogram()`) is the slow
+//     path: a mutex-guarded name+labels lookup that call sites run once and
+//     cache. Instruments live in deques so references never invalidate.
+//   - `snapshot()` returns a consistent-enough copy for reporting (relaxed
+//     reads; exact once mutators quiesce), `reset()` zeroes every series,
+//     and `write_csv`/`write_json` export for offline analysis.
+//
+// The registry is always compiled in; the COOL_OBS_ENABLED kill switch in
+// obs/obs.h only removes the *instrumentation macros* from hot paths.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cool::obs {
+
+// "key=value,key=value" rendering of a label map, used as part of the
+// series identity and in exports. Order-insensitive (labels are sorted).
+using Labels = std::map<std::string, std::string>;
+std::string render_labels(const Labels& labels);
+
+// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double x) noexcept { value_.store(x, std::memory_order_relaxed); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Exponential-bucket histogram for non-negative samples (latencies in
+// microseconds, move counts, queue depths). Bucket i counts samples in
+// [2^(i-1), 2^i) with bucket 0 holding [0, 1); values beyond the last
+// bucket land in it. Sum and count ride along so mean() needs no bucket
+// walk. All updates are relaxed atomics.
+class HistogramMetric {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void observe(double x) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const auto n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_.at(i).load(std::memory_order_relaxed);
+  }
+  // Upper edge of bucket i (inclusive-exclusive [lo, hi)).
+  static double bucket_upper(std::size_t i);
+  // Linear-in-bucket quantile estimate, q in [0, 1]; 0 when empty.
+  double quantile(double q) const;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct MetricSnapshot {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  // Counter: value in `count`. Gauge: value in `value`. Histogram: count,
+  // sum/mean in value, quantiles.
+  std::uint64_t count = 0;
+  double value = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max_edge = 0.0;  // upper edge of the highest non-empty bucket
+};
+
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;  // sorted by (name, labels)
+
+  // Lookup helpers for tests and reports; throw std::out_of_range on a
+  // missing series.
+  const MetricSnapshot& at(const std::string& name, const Labels& labels = {}) const;
+  bool contains(const std::string& name, const Labels& labels = {}) const;
+};
+
+class MetricsRegistry {
+ public:
+  // Returns the instrument registered under (name, labels), creating it on
+  // first use. References stay valid for the registry's lifetime. A name
+  // re-registered as a different kind throws std::invalid_argument.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  HistogramMetric& histogram(const std::string& name, const Labels& labels = {});
+
+  RegistrySnapshot snapshot() const;
+  // Zeroes every series (the series themselves stay registered).
+  void reset();
+  std::size_t series_count() const;
+
+  // CSV: header "name,labels,kind,count,value,p50,p99". JSON: one object
+  // per series under {"metrics":[...]}.
+  void write_csv(std::ostream& out) const;
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct Series {
+    std::string name;
+    Labels labels;
+    MetricKind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    HistogramMetric* histogram = nullptr;
+  };
+
+  Series& find_or_create(const std::string& name, const Labels& labels,
+                         MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::size_t> index_;  // "name|labels" -> series
+  std::vector<Series> series_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<HistogramMetric> histograms_;
+};
+
+// The process-wide registry the instrumentation macros publish into.
+MetricsRegistry& metrics();
+
+}  // namespace cool::obs

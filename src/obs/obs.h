@@ -1,0 +1,88 @@
+// Instrumentation entry point: the macros hot paths use, and the
+// compile-time kill switch that removes them.
+//
+// Build with -DCOOL_OBS_ENABLED=OFF (CMake option) to compile every macro
+// below to nothing — the obs *library* still builds (sinks, exporters and
+// tests keep working), but instrumented code paths carry zero overhead.
+// With the default ON, an idle site costs one relaxed atomic load for
+// spans and one relaxed fetch_add for counters; scripts/
+// check_obs_overhead.sh enforces the <5% idle budget on
+// bench_scheduler_perf.
+//
+// Conventions:
+//   COOL_SPAN("repair.schedule", "core")    RAII span over the enclosing scope
+//   COOL_INSTANT("runtime.death", "sim")    zero-duration marker
+//   COOL_TRACE_COUNTER("heap.size", n)      counter track sample
+//   COOL_METRIC_ADD("simplex.pivots", n)    process-wide counter increment
+//   COOL_METRIC_SET("runtime.rho_hat", x)   gauge store
+//   COOL_METRIC_OBSERVE("repair.micros", x) histogram sample
+//
+// Metric macros resolve the (name, labels) series once per call site via a
+// function-local static reference, so steady-state cost is the atomic
+// update alone. Names are dotted lowercase, subsystem first.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if !defined(COOL_OBS_ENABLED)
+#define COOL_OBS_ENABLED 1
+#endif
+
+#if COOL_OBS_ENABLED
+
+#define COOL_OBS_CONCAT_INNER(a, b) a##b
+#define COOL_OBS_CONCAT(a, b) COOL_OBS_CONCAT_INNER(a, b)
+
+#define COOL_SPAN(name, category)                                      \
+  ::cool::obs::ScopedSpan COOL_OBS_CONCAT(cool_span_, __LINE__)(name, \
+                                                                category)
+
+#define COOL_INSTANT(name, category) ::cool::obs::trace_instant(name, category)
+
+#define COOL_TRACE_COUNTER(name, value) \
+  ::cool::obs::trace_counter(name, static_cast<double>(value))
+
+#define COOL_METRIC_ADD(name, n)                                         \
+  do {                                                                   \
+    static ::cool::obs::Counter& cool_metric_counter =                   \
+        ::cool::obs::metrics().counter(name);                            \
+    cool_metric_counter.add(static_cast<std::uint64_t>(n));              \
+  } while (0)
+
+#define COOL_METRIC_SET(name, x)                                         \
+  do {                                                                   \
+    static ::cool::obs::Gauge& cool_metric_gauge =                       \
+        ::cool::obs::metrics().gauge(name);                              \
+    cool_metric_gauge.set(static_cast<double>(x));                       \
+  } while (0)
+
+#define COOL_METRIC_OBSERVE(name, x)                                     \
+  do {                                                                   \
+    static ::cool::obs::HistogramMetric& cool_metric_histogram =         \
+        ::cool::obs::metrics().histogram(name);                          \
+    cool_metric_histogram.observe(static_cast<double>(x));               \
+  } while (0)
+
+#else  // !COOL_OBS_ENABLED
+
+#define COOL_SPAN(name, category) \
+  do {                            \
+  } while (0)
+#define COOL_INSTANT(name, category) \
+  do {                               \
+  } while (0)
+#define COOL_TRACE_COUNTER(name, value) \
+  do {                                  \
+  } while (0)
+#define COOL_METRIC_ADD(name, n) \
+  do {                           \
+  } while (0)
+#define COOL_METRIC_SET(name, x) \
+  do {                           \
+  } while (0)
+#define COOL_METRIC_OBSERVE(name, x) \
+  do {                               \
+  } while (0)
+
+#endif  // COOL_OBS_ENABLED

@@ -1,0 +1,73 @@
+#include "obs/session.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/cli.h"
+#include "util/log.h"
+
+namespace cool::obs {
+
+namespace {
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+ObsSession::ObsSession(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)), metrics_path_(std::move(metrics_path)) {
+  if (!trace_path_.empty()) {
+    collector_ = std::make_unique<TraceCollector>();
+    set_trace_collector(collector_.get());
+  }
+}
+
+ObsSession ObsSession::from_cli(util::Cli& cli) {
+  return ObsSession(cli.get_string("trace", ""), cli.get_string("metrics", ""));
+}
+
+ObsSession::ObsSession(ObsSession&& other) noexcept
+    : trace_path_(std::move(other.trace_path_)),
+      metrics_path_(std::move(other.metrics_path_)),
+      collector_(std::move(other.collector_)) {
+  other.trace_path_.clear();
+  other.metrics_path_.clear();
+}
+
+ObsSession::~ObsSession() {
+  try {
+    flush();
+  } catch (const std::exception& e) {
+    util::log_error(std::string("ObsSession: ") + e.what());
+  }
+}
+
+void ObsSession::flush() {
+  if (collector_) {
+    set_trace_collector(nullptr);
+    std::ofstream out(trace_path_);
+    if (!out)
+      throw std::runtime_error("ObsSession: cannot open " + trace_path_);
+    collector_->write_chrome_trace(out);
+    util::log_info("wrote trace to " + trace_path_);
+    collector_.reset();
+  }
+  if (!metrics_path_.empty()) {
+    std::ofstream out(metrics_path_);
+    if (!out)
+      throw std::runtime_error("ObsSession: cannot open " + metrics_path_);
+    if (ends_with(metrics_path_, ".json"))
+      metrics().write_json(out);
+    else
+      metrics().write_csv(out);
+    util::log_info("wrote metrics to " + metrics_path_);
+    metrics_path_.clear();
+  }
+}
+
+}  // namespace cool::obs

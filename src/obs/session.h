@@ -1,0 +1,53 @@
+// One-line observability wiring for benches and examples:
+//
+//   cool::util::Cli cli(argc, argv);
+//   cool::obs::ObsSession obs = cool::obs::ObsSession::from_cli(cli);
+//   ...
+//   cli.finish();
+//   // work; obs flushes on scope exit
+//
+// from_cli() consumes --trace <file> (Chrome trace-event JSON, open in
+// Perfetto or chrome://tracing) and --metrics <file> (registry dump; .json
+// extension selects JSON, anything else CSV). When a flag is absent the
+// corresponding sink stays off and instrumentation runs at idle cost. The
+// destructor detaches the collector and writes both files, so a session
+// must outlive all instrumented work in its scope.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace cool::util {
+class Cli;
+}  // namespace cool::util
+
+namespace cool::obs {
+
+class ObsSession {
+ public:
+  // Empty paths disable the respective sink.
+  ObsSession(std::string trace_path, std::string metrics_path);
+  static ObsSession from_cli(util::Cli& cli);
+
+  ~ObsSession();
+  ObsSession(ObsSession&& other) noexcept;
+  ObsSession& operator=(ObsSession&&) = delete;
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool tracing() const noexcept { return collector_ != nullptr; }
+  bool metrics_enabled() const noexcept { return !metrics_path_.empty(); }
+
+  // Writes both outputs and detaches the collector early (idempotent; the
+  // destructor then does nothing).
+  void flush();
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<TraceCollector> collector_;
+};
+
+}  // namespace cool::obs

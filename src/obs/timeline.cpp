@@ -1,0 +1,43 @@
+#include "obs/timeline.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace cool::obs {
+
+std::string TimelineSink::to_json(const SlotRecord& r) {
+  std::string out = "{";
+  const auto field = [&out](const char* name, const std::string& value) {
+    if (out.size() > 1) out += ',';
+    out += '"';
+    out += name;
+    out += "\":";
+    out += value;
+  };
+  field("slot", std::to_string(r.slot));
+  field("utility", json_number(r.utility));
+  field("active", std::to_string(r.active));
+  field("live", std::to_string(r.live));
+  field("believed_dead", std::to_string(r.believed_dead));
+  field("suspected", std::to_string(r.suspected));
+  field("benched", std::to_string(r.benched));
+  field("brownouts", std::to_string(r.brownouts));
+  field("brownout_declines", std::to_string(r.brownout_declines));
+  field("repairs", std::to_string(r.repairs));
+  field("repair_micros", json_number(r.repair_micros));
+  field("repair_moves", std::to_string(r.repair_moves));
+  field("replans", std::to_string(r.replans));
+  field("control_messages", std::to_string(r.control_messages));
+  field("radio_energy_j", json_number(r.radio_energy_j));
+  field("delta_pending", std::to_string(r.delta_pending));
+  out += '}';
+  return out;
+}
+
+void TimelineSink::record(const SlotRecord& record) {
+  *out_ << to_json(record) << '\n';
+  ++records_;
+}
+
+}  // namespace cool::obs

@@ -1,0 +1,58 @@
+// Per-slot runtime timeline: the gateway's view of a ResilientRuntime run,
+// one JSONL record per slot.
+//
+// End-of-run reports (RuntimeReport) say *how much* coverage survived;
+// the timeline says *when* it was lost and which control loop was busy —
+// the trajectory view that lifetime-maximization evaluations (Abrams et
+// al.'s Set K-Cover, Bagaria et al.'s lifetime approximation) score
+// schedules by. Each line is a self-contained JSON object so the file
+// streams into jq / pandas.read_json(lines=True) without a closing
+// bracket, and a truncated run still parses line by line.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace cool::obs {
+
+// One slot of gateway telemetry. Counters are per-slot deltas, not
+// cumulative, except the *_total fields.
+struct SlotRecord {
+  std::size_t slot = 0;
+  double utility = 0.0;             // realized coverage utility this slot
+  std::size_t active = 0;           // nodes that actually sensed
+  std::size_t live = 0;             // ground-truth up nodes
+  std::size_t believed_dead = 0;    // detector's dead count (cumulative)
+  std::size_t suspected = 0;        // newly suspected this slot
+  std::size_t benched = 0;          // nodes benched by the energy loop (cumulative)
+  std::size_t brownouts = 0;        // unguarded brownouts this slot
+  std::size_t brownout_declines = 0;  // guard declines this slot
+  std::size_t repairs = 0;          // repair calls this slot
+  double repair_micros = 0.0;       // wall-clock spent repairing this slot
+  std::size_t repair_moves = 0;     // schedule moves accepted this slot
+  std::size_t replans = 0;          // adaptive replans this slot
+  std::size_t control_messages = 0; // heartbeat + delta transmissions this slot
+  double radio_energy_j = 0.0;      // control-plane radio energy this slot
+  std::size_t delta_pending = 0;    // updates still queued at slot end
+};
+
+// Appends records to a stream as JSON Lines. The stream must outlive the
+// sink. Not synchronized: the runtime records from one thread.
+class TimelineSink {
+ public:
+  explicit TimelineSink(std::ostream& out) : out_(&out) {}
+
+  void record(const SlotRecord& record);
+  std::size_t records() const noexcept { return records_; }
+
+  // Renders one record as a single-line JSON object (no newline); used by
+  // record() and directly by tests.
+  static std::string to_json(const SlotRecord& record);
+
+ private:
+  std::ostream* out_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace cool::obs

@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace cool::obs {
+
+namespace {
+
+std::atomic<TraceCollector*> g_collector{nullptr};
+
+// Per-thread span stack depth, carried on events so tests (and trace
+// tooling) can check nesting without reconstructing it from timestamps.
+thread_local std::uint32_t t_depth = 0;
+
+std::uint32_t current_tid() noexcept {
+  // Stable small ids beat std::thread::id hashes in trace viewers.
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+std::uint64_t trace_now_us() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(clock::now() - start)
+          .count());
+}
+
+void set_trace_collector(TraceCollector* collector) {
+  g_collector.store(collector, std::memory_order_release);
+  tracing_enabled_flag().store(collector != nullptr, std::memory_order_release);
+  if (collector != nullptr) trace_now_us();  // pin t=0 to installation time
+}
+
+TraceCollector* trace_collector() noexcept {
+  return g_collector.load(std::memory_order_acquire);
+}
+
+void TraceCollector::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+        << json_escape(e.category) << "\",\"ph\":\"" << e.phase
+        << "\",\"ts\":" << e.ts_us << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.phase == 'X') out << ",\"dur\":" << e.dur_us;
+    if (e.phase == 'i') out << ",\"s\":\"t\"";  // thread-scoped instant
+    if (e.has_value)
+      out << ",\"args\":{\"value\":" << json_number(e.value) << '}';
+    else
+      out << ",\"args\":{\"depth\":" << e.depth << '}';
+    out << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category) noexcept
+    : name_(name), category_(category) {
+  if (!tracing_enabled()) return;
+  armed_ = true;
+  depth_ = t_depth++;
+  start_us_ = trace_now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!armed_) return;
+  --t_depth;
+  TraceCollector* collector = trace_collector();
+  if (collector == nullptr) return;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.phase = 'X';
+  event.ts_us = start_us_;
+  event.dur_us = trace_now_us() - start_us_;
+  event.tid = current_tid();
+  event.depth = depth_;
+  collector->record(std::move(event));
+}
+
+void trace_instant(const char* name, const char* category) {
+  if (!tracing_enabled()) return;
+  TraceCollector* collector = trace_collector();
+  if (collector == nullptr) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'i';
+  event.ts_us = trace_now_us();
+  event.tid = current_tid();
+  event.depth = t_depth;
+  collector->record(std::move(event));
+}
+
+void trace_counter(const char* name, double value, const char* category) {
+  if (!tracing_enabled()) return;
+  TraceCollector* collector = trace_collector();
+  if (collector == nullptr) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'C';
+  event.ts_us = trace_now_us();
+  event.tid = current_tid();
+  event.has_value = true;
+  event.value = value;
+  collector->record(std::move(event));
+}
+
+}  // namespace cool::obs

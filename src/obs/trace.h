@@ -1,0 +1,108 @@
+// Span-based tracing with Chrome trace-event export.
+//
+// A TraceCollector buffers events; install one with set_trace_collector()
+// to start recording (tracing_enabled() flips on), then write the buffer as
+// Chrome trace-event JSON — loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing — with write_chrome_trace().
+//
+//   cool::obs::TraceCollector collector;
+//   cool::obs::set_trace_collector(&collector);
+//   { COOL_SPAN("greedy.schedule", "core"); ... }   // RAII duration span
+//   cool::obs::set_trace_collector(nullptr);
+//   collector.write_chrome_trace(out);
+//
+// Fast-path cost with no collector installed is one relaxed atomic load and
+// a predictable branch per span; with COOL_OBS_ENABLED compiled out the
+// macros in obs/obs.h vanish entirely. Event emission takes a mutex —
+// tracing favors fidelity over throughput, and the instrumented paths emit
+// spans at call granularity, not per inner-loop iteration.
+//
+// Timestamps are microseconds on std::chrono::steady_clock, rebased so the
+// first event of a process sits near t=0. Nesting needs no explicit parent
+// links: Chrome "X" (complete) events nest by time containment per thread,
+// and each event carries a stack depth argument for programmatic checks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cool::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';         // 'X' complete, 'i' instant, 'C' counter
+  std::uint64_t ts_us = 0;  // steady-clock microseconds since process start
+  std::uint64_t dur_us = 0; // complete events only
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  // span stack depth at emission ("args":{"depth"})
+  bool has_value = false;   // counter events carry a numeric series value
+  double value = 0.0;
+};
+
+class TraceCollector {
+ public:
+  void record(TraceEvent event);
+
+  std::size_t size() const;
+  std::vector<TraceEvent> events() const;  // copy, for tests
+  void clear();
+
+  // Chrome trace-event JSON object form: {"traceEvents":[...],
+  // "displayTimeUnit":"ms"}. Counter events emit "args":{"value":v},
+  // others "args":{"depth":d}.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+// Installs (or, with nullptr, removes) the process-wide collector. Not
+// synchronized against in-flight spans: install before the instrumented
+// work starts and remove after it ends.
+void set_trace_collector(TraceCollector* collector);
+TraceCollector* trace_collector() noexcept;
+
+inline std::atomic<bool>& tracing_enabled_flag() noexcept {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+inline bool tracing_enabled() noexcept {
+  return tracing_enabled_flag().load(std::memory_order_relaxed);
+}
+
+// Microseconds since the first call in this process (steady clock).
+std::uint64_t trace_now_us() noexcept;
+
+// RAII span: records a Chrome complete ("X") event covering its lifetime.
+// Constructing with tracing disabled is a cheap no-op; the span also
+// becomes inert when the collector disappears before destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = "cool") noexcept;
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_us_ = 0;
+  std::uint32_t depth_ = 0;
+  bool armed_ = false;
+};
+
+// Zero-duration instant event ("i") at the current time.
+void trace_instant(const char* name, const char* category = "cool");
+
+// Counter track sample ("C"): one series per name, plotted over time.
+void trace_counter(const char* name, double value,
+                   const char* category = "cool");
+
+}  // namespace cool::obs

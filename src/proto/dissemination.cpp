@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace cool::proto {
 
 DeltaDisseminator::DeltaDisseminator(const net::Network& network,
@@ -107,6 +109,14 @@ DeltaSlotReport DeltaDisseminator::step(std::size_t slot,
   stats_.data_transmissions += report.data_transmissions;
   stats_.ack_transmissions += report.ack_transmissions;
   stats_.radio_energy_j += report.radio_energy_j;
+  // One batch of atomics per slot, not per hop. failed_attempts are the
+  // end-to-end retries the backoff schedule will re-arm.
+  if (report.attempts > 0) {
+    COOL_METRIC_ADD("delta.attempts", report.attempts);
+    COOL_METRIC_ADD("delta.retries", report.failed_attempts);
+    COOL_METRIC_ADD("delta.transmissions",
+                    report.data_transmissions + report.ack_transmissions);
+  }
   return report;
 }
 
@@ -160,6 +170,7 @@ bool ScheduleDissemination::reliable_hop(std::size_t from, std::size_t to,
 
 DisseminationReport ScheduleDissemination::disseminate(
     const core::PeriodicSchedule& schedule, util::Rng& rng) const {
+  COOL_SPAN("dissemination.disseminate", "proto");
   const std::size_t n = network_->sensor_count();
   if (schedule.sensor_count() != n)
     throw std::invalid_argument("ScheduleDissemination: schedule mismatch");
@@ -193,6 +204,10 @@ DisseminationReport ScheduleDissemination::disseminate(
       ++report.nodes_delivered;
     }
   }
+  COOL_METRIC_ADD("dissemination.runs", 1);
+  COOL_METRIC_ADD("dissemination.transmissions",
+                  report.data_transmissions + report.ack_transmissions);
+  COOL_METRIC_ADD("dissemination.hop_failures", report.hop_failures);
   return report;
 }
 

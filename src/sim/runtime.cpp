@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <numeric>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "core/problem.h"
+#include "obs/obs.h"
 
 namespace cool::sim {
 
@@ -121,6 +123,7 @@ ResilientRuntime::ResilientRuntime(
 }
 
 RuntimeReport ResilientRuntime::run() {
+  COOL_SPAN("runtime.run", "sim");
   const std::size_t n = utility_->ground_size();
   const std::size_t T = initial_.slots_per_period();
   const bool rho_gt_one = config_.pattern.rho() > 1.0;
@@ -229,10 +232,19 @@ RuntimeReport ResilientRuntime::run() {
     return s;
   };
 
+  std::size_t believed_dead_count = 0;
+
   for (std::size_t slot = 0; slot < config_.slots; ++slot) {
+    // Per-slot gateway telemetry, flushed to the timeline sink (and the
+    // trace counter tracks) at the bottom of the loop.
+    obs::SlotRecord tick;
+    tick.slot = slot;
+
     // 1. Ground truth advances.
     faults.step(slot);
     const auto up = faults.up_mask();
+    tick.live = static_cast<std::size_t>(
+        std::accumulate(up.begin(), up.end(), std::size_t{0}));
     if (eu.enabled) window.begin_slot(slot);
 
     // Communication view: a post-brownout node is radio-dark — its silence
@@ -247,11 +259,20 @@ RuntimeReport ResilientRuntime::run() {
     }
 
     // 2. Heartbeats + the gateway's failure detector.
-    const auto hb = detector.step(slot, comms_up, heartbeat_rng);
+    proto::HeartbeatSlotReport hb;
+    {
+      COOL_SPAN("runtime.detect", "sim");
+      hb = detector.step(slot, comms_up, heartbeat_rng);
+    }
     report.heartbeat_transmissions += hb.transmissions;
     report.heartbeat_energy_j += hb.radio_energy_j;
+    tick.suspected = hb.newly_suspected.size();
+    tick.control_messages += hb.transmissions;
+    tick.radio_energy_j += hb.radio_energy_j;
     for (const auto v : hb.newly_dead) {
       believed_dead[v] = 1;
+      ++believed_dead_count;
+      COOL_INSTANT("runtime.death_declared", "sim");
       if (faults.dead(v)) {
         ++report.detected_deaths;
         report.detection_latency_slots.add(
@@ -263,12 +284,17 @@ RuntimeReport ResilientRuntime::run() {
 
     // 3. Confirmed deaths trigger incremental repair of the gateway plan.
     if (!hb.newly_dead.empty()) {
+      COOL_SPAN("runtime.repair", "sim");
       const auto start = std::chrono::steady_clock::now();
       auto repaired =
           core::repair_schedule(gateway, *utility_, believed_dead, config_.repair);
       const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                               std::chrono::steady_clock::now() - start)
                               .count();
+      ++tick.repairs;
+      tick.repair_micros += static_cast<double>(micros);
+      tick.repair_moves += repaired.moves;
+      COOL_METRIC_OBSERVE("runtime.repair_micros", micros);
       report.repair_micros.add(static_cast<double>(micros));
       report.repair_oracle_calls.add(static_cast<double>(repaired.oracle_calls));
       report.repair_moves += repaired.moves;
@@ -370,6 +396,8 @@ RuntimeReport ResilientRuntime::run() {
           }
         }
         if (changed) {
+          COOL_SPAN("runtime.replan", "sim");
+          COOL_INSTANT("runtime.replan_triggered", "sim");
           std::vector<std::uint8_t> unavailable = believed_dead;
           for (std::size_t v = 0; v < n; ++v)
             if (benched[v] || probation[v]) unavailable[v] = 1;
@@ -389,6 +417,9 @@ RuntimeReport ResilientRuntime::run() {
           report.repair_oracle_calls.add(
               static_cast<double>(replanned.oracle_calls));
           report.repair_moves += replanned.moves;
+          ++tick.replans;
+          tick.repair_micros += static_cast<double>(micros);
+          tick.repair_moves += replanned.moves;
           gateway = std::move(replanned.schedule);
           // Add-only placement: each probationer (row cleared by the masked
           // repair) lands in the slot where its marginal gain is largest. No
@@ -423,7 +454,13 @@ RuntimeReport ResilientRuntime::run() {
     }
 
     // 4. Push queued updates (per-hop ARQ, exponential backoff on failure).
-    const auto push = delta.step(slot, comms_up, delta_rng);
+    proto::DeltaSlotReport push;
+    {
+      COOL_SPAN("runtime.redisseminate", "sim");
+      push = delta.step(slot, comms_up, delta_rng);
+    }
+    tick.control_messages += push.data_transmissions + push.ack_transmissions;
+    tick.radio_energy_j += push.radio_energy_j;
     for (const auto v : push.delivered) {
       copy_row(executed, gateway, v);
       report.redissemination_latency_slots.add(
@@ -447,10 +484,13 @@ RuntimeReport ResilientRuntime::run() {
           if (eu.brownout_guard) {
             // Decline and keep recharging; the slot is simply lost.
             ++report.brownout_declines;
+            ++tick.brownout_declines;
           } else {
             // Mid-slot brownout: the attempt drains the battery to zero,
             // yields nothing, and blacks the radio out.
             ++report.brownouts;
+            ++tick.brownouts;
+            COOL_INSTANT("runtime.brownout", "sim");
             attempted[v] = 1;
             level[v] = 0.0;
             radio_dead[v] = 1;
@@ -461,9 +501,12 @@ RuntimeReport ResilientRuntime::run() {
     }
     const auto state = utility_->make_state();
     for (const auto v : active) state->add(v);
-    report.total_utility += state->value();
+    const double slot_utility = state->value();
+    report.total_utility += slot_utility;
     report.activations += active.size();
     report.fault_free_utility += reference_slot_utility[slot % T];
+    tick.utility = slot_utility;
+    tick.active = active.size();
 
     // 6. Advance batteries; completed active slots feed wearout and the
     // discharge estimator, completed recharges feed the recharge estimator.
@@ -490,6 +533,15 @@ RuntimeReport ResilientRuntime::run() {
         }
       }
     }
+
+    // End of slot: finalize the telemetry record and counter tracks.
+    tick.believed_dead = believed_dead_count;
+    tick.benched = benched_count;
+    tick.delta_pending = delta.pending_count();
+    COOL_TRACE_COUNTER("runtime.slot_utility", tick.utility);
+    COOL_TRACE_COUNTER("runtime.live_nodes",
+                       static_cast<double>(tick.live));
+    if (config_.timeline != nullptr) config_.timeline->record(tick);
   }
 
   report.slots = config_.slots;

@@ -42,6 +42,7 @@
 #include "net/network.h"
 #include "net/radio.h"
 #include "net/routing.h"
+#include "obs/timeline.h"
 #include "proto/dissemination.h"
 #include "proto/heartbeat.h"
 #include "proto/link.h"
@@ -132,6 +133,9 @@ struct RuntimeConfig {
   // Score every repair against the full lazy-greedy recompute oracle and
   // record the utility ratio (costly: one full schedule per repair).
   bool oracle_gap = false;
+  // Optional per-slot gateway telemetry (JSONL); must outlive run(). See
+  // obs/timeline.h for the record schema.
+  obs::TimelineSink* timeline = nullptr;
 };
 
 struct RuntimeReport {

@@ -1,6 +1,7 @@
 #include "util/histogram.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -13,6 +14,12 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::add(double x) noexcept {
+  // NaN compares false with both bounds and its bucket index cast is UB;
+  // count it apart from every real cell.
+  if (std::isnan(x)) {
+    ++nan_;
+    return;
+  }
   ++total_;
   if (x < lo_) {
     ++underflow_;

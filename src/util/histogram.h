@@ -10,7 +10,8 @@ namespace cool::util {
 class Histogram {
  public:
   // Buckets cover [lo, hi) split into `buckets` equal cells, with two
-  // overflow cells for values below lo / at-or-above hi.
+  // overflow cells for values below lo / at-or-above hi. NaN samples land in
+  // a separate nan() counter and are excluded from total().
   Histogram(double lo, double hi, std::size_t buckets);
 
   void add(double x) noexcept;
@@ -18,6 +19,7 @@ class Histogram {
   std::size_t total() const noexcept { return total_; }
   std::size_t underflow() const noexcept { return underflow_; }
   std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t nan() const noexcept { return nan_; }
   std::size_t bucket_count() const noexcept { return counts_.size(); }
   std::size_t bucket(std::size_t i) const { return counts_.at(i); }
   double bucket_lo(std::size_t i) const;
@@ -32,6 +34,7 @@ class Histogram {
   std::vector<std::size_t> counts_;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
+  std::size_t nan_ = 0;
   std::size_t total_ = 0;
 };
 

@@ -1,12 +1,21 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace cool::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<bool> g_timestamps{false};
+
+// Sink swaps are rare (test setup); the mutex also serializes emission so
+// interleaved threads never tear a line.
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty = stderr
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -18,19 +27,71 @@ const char* level_name(LogLevel level) noexcept {
   }
   return "?";
 }
+
+double elapsed_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
-void log(LogLevel level, const std::string& message) {
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void set_log_timestamps(bool enabled) noexcept { g_timestamps.store(enabled); }
+
+void log(LogLevel level, const std::string& module,
+         const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::string line;
+  line.reserve(message.size() + module.size() + 24);
+  if (g_timestamps.load()) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "[%.1fs]", elapsed_seconds());
+    line += stamp;
+  }
+  if (!module.empty()) {
+    line += '[';
+    line += module;
+    line += ']';
+  }
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+void log(LogLevel level, const std::string& message) {
+  log(level, std::string(), message);
 }
 
 void log_debug(const std::string& message) { log(LogLevel::kDebug, message); }
 void log_info(const std::string& message) { log(LogLevel::kInfo, message); }
 void log_warn(const std::string& message) { log(LogLevel::kWarn, message); }
 void log_error(const std::string& message) { log(LogLevel::kError, message); }
+
+void log_debug(const std::string& module, const std::string& message) {
+  log(LogLevel::kDebug, module, message);
+}
+void log_info(const std::string& module, const std::string& message) {
+  log(LogLevel::kInfo, module, message);
+}
+void log_warn(const std::string& module, const std::string& message) {
+  log(LogLevel::kWarn, module, message);
+}
+void log_error(const std::string& module, const std::string& message) {
+  log(LogLevel::kError, module, message);
+}
 
 }  // namespace cool::util

@@ -1,7 +1,15 @@
 // Leveled logging. Off-by-default below `warn` so bench output stays clean;
 // examples flip to `info` with --verbose.
+//
+// Lines render as "[level] message", with two optional prefixes:
+//   set_log_timestamps(true)  ->  "[12.3s][level] message" (elapsed since the
+//                                 first timestamped line, steady clock), and
+//   the module overloads      ->  "[12.3s][sim][level] message".
+// set_log_sink() replaces the stderr writer (tests capture output with it);
+// passing nullptr restores stderr.
 #pragma once
 
+#include <functional>
 #include <string>
 
 namespace cool::util {
@@ -11,12 +19,24 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-// Logs to stderr as "[level] message" when `level` >= the global threshold.
+// Receives the fully formatted line, without the trailing newline.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+void set_log_sink(LogSink sink);
+
+// Prefix every line with the elapsed time since the first timestamped line.
+void set_log_timestamps(bool enabled) noexcept;
+
+// Logs when `level` >= the global threshold; empty module omits its prefix.
 void log(LogLevel level, const std::string& message);
+void log(LogLevel level, const std::string& module, const std::string& message);
 
 void log_debug(const std::string& message);
 void log_info(const std::string& message);
 void log_warn(const std::string& message);
 void log_error(const std::string& message);
+void log_debug(const std::string& module, const std::string& message);
+void log_info(const std::string& module, const std::string& message);
+void log_warn(const std::string& module, const std::string& message);
+void log_error(const std::string& module, const std::string& message);
 
 }  // namespace cool::util

@@ -8,6 +8,10 @@
 namespace cool::util {
 
 void Accumulator::add(double x) noexcept {
+  if (std::isnan(x)) {
+    ++nan_count_;
+    return;
+  }
   if (count_ == 0) {
     min_ = x;
     max_ = x;
@@ -22,9 +26,12 @@ void Accumulator::add(double x) noexcept {
 }
 
 void Accumulator::merge(const Accumulator& other) noexcept {
+  nan_count_ += other.nan_count_;
   if (other.count_ == 0) return;
   if (count_ == 0) {
+    const std::size_t nans = nan_count_;
     *this = other;
+    nan_count_ = nans;
     return;
   }
   const auto n1 = static_cast<double>(count_);
@@ -61,8 +68,13 @@ double Accumulator::ci95_halfwidth() const noexcept {
 
 double percentile(std::span<const double> sample, double q) {
   if (sample.empty()) throw std::invalid_argument("percentile: empty sample");
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q outside [0,1]");
+  // Negated comparison so a NaN q is rejected rather than slipping through.
+  if (!(q >= 0.0 && q <= 1.0))
+    throw std::invalid_argument("percentile: q outside [0,1]");
   std::vector<double> sorted(sample.begin(), sample.end());
+  for (const double x : sorted)
+    if (std::isnan(x))
+      throw std::invalid_argument("percentile: NaN in sample");
   std::sort(sorted.begin(), sorted.end());
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);

@@ -8,12 +8,15 @@
 namespace cool::util {
 
 // Welford online accumulator: numerically stable mean/variance plus extrema.
+// NaN samples are counted separately and excluded from every statistic, so
+// one bad reading cannot poison a whole campaign's mean.
 class Accumulator {
  public:
   void add(double x) noexcept;
   void merge(const Accumulator& other) noexcept;
 
   std::size_t count() const noexcept { return count_; }
+  std::size_t nan_count() const noexcept { return nan_count_; }
   bool empty() const noexcept { return count_ == 0; }
   double mean() const noexcept;          // 0 when empty
   double variance() const noexcept;      // sample variance, 0 when count < 2
@@ -26,13 +29,16 @@ class Accumulator {
 
  private:
   std::size_t count_ = 0;
+  std::size_t nan_count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };
 
-// Percentile of a sample by linear interpolation; q in [0, 1].
+// Percentile of a sample by linear interpolation; q in [0, 1]. Throws
+// std::invalid_argument on an empty sample, a NaN/out-of-range q, or a NaN
+// sample value (NaN breaks std::sort's strict weak ordering).
 // Copies and sorts; intended for end-of-run reporting, not hot paths.
 double percentile(std::span<const double> sample, double q);
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace cool::util {
 namespace {
 
@@ -41,6 +43,19 @@ TEST(Histogram, InvalidConstruction) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, NanSamplesCountedApart) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(3.0);
+  EXPECT_EQ(h.nan(), 1u);
+  EXPECT_EQ(h.total(), 1u);  // NaN excluded from total
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  std::size_t bucketed = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) bucketed += h.bucket(i);
+  EXPECT_EQ(bucketed, 1u);
 }
 
 TEST(Histogram, RenderShowsNonEmptyBucketsAndOverflow) {

@@ -1,0 +1,84 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cool::util {
+namespace {
+
+// Restores global logger state so tests do not leak into each other.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = log_level();
+    set_log_level(LogLevel::kDebug);
+    set_log_sink([this](LogLevel level, const std::string& line) {
+      levels_.push_back(level);
+      lines_.push_back(line);
+    });
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_timestamps(false);
+    set_log_level(saved_level_);
+  }
+
+  std::vector<LogLevel> levels_;
+  std::vector<std::string> lines_;
+
+ private:
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, SinkCapturesFormattedLine) {
+  log_info("hello");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[info] hello");
+  EXPECT_EQ(levels_[0], LogLevel::kInfo);
+}
+
+TEST_F(LogTest, ModulePrefix) {
+  log_warn("sim", "battery drained");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[sim][warn] battery drained");
+}
+
+TEST_F(LogTest, ThresholdFilters) {
+  set_log_level(LogLevel::kWarn);
+  log_debug("dropped");
+  log_info("core", "dropped too");
+  log_error("kept");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[error] kept");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  log_error("nope");
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, TimestampPrefix) {
+  set_log_timestamps(true);
+  log_info("sim", "tick");
+  ASSERT_EQ(lines_.size(), 1u);
+  // "[12.3s][sim][info] tick" — check shape, not the elapsed value.
+  EXPECT_EQ(lines_[0].front(), '[');
+  const auto close = lines_[0].find("s]");
+  ASSERT_NE(close, std::string::npos);
+  const std::string stamp = lines_[0].substr(1, close - 1);
+  EXPECT_NE(stamp.find('.'), std::string::npos);
+  EXPECT_DOUBLE_EQ(std::stod(stamp), std::stod(stamp));  // parses as a number
+  EXPECT_EQ(lines_[0].substr(close + 2), "[sim][info] tick");
+}
+
+TEST_F(LogTest, NullSinkRestoresStderr) {
+  set_log_sink(nullptr);
+  log_error("to stderr, not the vector");  // must not crash
+  EXPECT_TRUE(lines_.empty());
+}
+
+}  // namespace
+}  // namespace cool::util

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace cool::util {
@@ -124,6 +125,57 @@ TEST(LinearFit, Errors) {
   EXPECT_THROW(linear_fit(x, y), std::invalid_argument);
   const std::vector<double> empty;
   EXPECT_THROW(linear_fit(empty, empty), std::invalid_argument);
+}
+
+TEST(Percentile, EmptySampleThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(percentile(empty, 0.5), std::invalid_argument);
+}
+
+TEST(Percentile, SingleSampleAtEveryQuantile) {
+  const std::vector<double> one{7.25};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.25);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.5), 7.25);
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 7.25);
+}
+
+TEST(Percentile, EndpointsAreExtrema) {
+  const std::vector<double> sample{9.0, -3.0, 4.0, 2.5};
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.0), -3.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 1.0), 9.0);
+}
+
+TEST(Percentile, NanQuantileRejected) {
+  const std::vector<double> sample{1.0, 2.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(percentile(sample, nan), std::invalid_argument);
+}
+
+TEST(Percentile, NanSampleRejected) {
+  const std::vector<double> sample{
+      1.0, std::numeric_limits<double>::quiet_NaN(), 3.0};
+  EXPECT_THROW(percentile(sample, 0.5), std::invalid_argument);
+}
+
+TEST(Accumulator, NanSamplesExcludedFromStatistics) {
+  Accumulator acc;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  acc.add(2.0);
+  acc.add(nan);
+  acc.add(4.0);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_EQ(acc.nan_count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_FALSE(std::isnan(acc.stddev()));
+
+  Accumulator other;
+  other.add(nan);
+  acc.merge(other);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_EQ(acc.nan_count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
 }
 
 }  // namespace
