@@ -16,6 +16,7 @@
 #include "core/passive_greedy.h"
 #include "core/problem.h"
 #include "net/network.h"
+#include "obs/session.h"
 #include "submodular/concave.h"
 #include "util/cli.h"
 #include "util/histogram.h"
@@ -61,6 +62,8 @@ int main(int argc, char** argv) {
   cool::util::Cli cli(argc, argv);
   const auto instances = static_cast<std::size_t>(cli.get_int("instances", 200));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 8));
+  auto obs = cool::obs::ObsSession::from_cli(
+      cli, cool::obs::Provenance::collect(seed, argc, argv));
   cli.finish();
 
   Ratios active, passive;

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "net/network.h"
+#include "obs/session.h"
 #include "sim/campaign.h"
 #include "util/cli.h"
 #include "util/strings.h"
@@ -22,6 +23,8 @@ int main(int argc, char** argv) {
   const auto days = static_cast<std::size_t>(cli.get_int("days", 30));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 19));
   const std::string csv_dir = cli.get_string("csv-dir", "");
+  auto obs = cool::obs::ObsSession::from_cli(
+      cli, cool::obs::Provenance::collect(seed, argc, argv));
   cli.finish();
 
   cool::net::NetworkConfig net_config;

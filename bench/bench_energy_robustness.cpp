@@ -24,9 +24,15 @@
 //   ./bench_energy_robustness [--sensors 36] [--slots 720] [--burst 1.6]
 //                             [--seed 21] [--csv energy_robustness.csv]
 //                             [--trace run.trace.json] [--metrics run.csv]
+//                             [--json out.json]
+//
+// --json emits the perf-harness {bench, config, provenance, metrics} schema
+// (per-arm utilities plus the closed loop's overhead counters) merged into
+// BENCH_results.json by scripts/run_bench_suite.sh.
 //
 // Acceptance: adaptive retains >= 10% more time-averaged coverage than
 // nominal, and the margin plan browns out strictly less than nominal.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -38,6 +44,7 @@
 #include "energy/stochastic.h"
 #include "net/network.h"
 #include "net/routing.h"
+#include "obs/analyze/bench_json.h"
 #include "obs/session.h"
 #include "proto/link.h"
 #include "sim/runtime.h"
@@ -47,13 +54,16 @@
 #include "util/table.h"
 
 int main(int argc, char** argv) {
+  const auto t0 = std::chrono::steady_clock::now();
   cool::util::Cli cli(argc, argv);
   const auto n = static_cast<std::size_t>(cli.get_int("sensors", 36));
   const auto slots = static_cast<std::size_t>(cli.get_int("slots", 720));
   const double burst = cli.get_double("burst", 1.6);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 21));
   const auto csv_path = cli.get_string("csv", "");
-  auto obs = cool::obs::ObsSession::from_cli(cli);
+  const auto json_path = cli.get_string("json", "");
+  auto obs = cool::obs::ObsSession::from_cli(
+      cli, cool::obs::Provenance::collect(seed, argc, argv));
   cli.finish();
 
   cool::net::NetworkConfig net_config;
@@ -223,5 +233,36 @@ int main(int argc, char** argv) {
               "with add-only probationary readmissions whose backoff doubles "
               "on every re-bench.\n");
   if (!csv_path.empty()) std::printf("\nwrote %s\n", csv_path.c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream json_file(json_path);
+    if (!json_file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    cool::obs::Provenance stamped = obs.provenance();
+    stamped.wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    cool::obs::analyze::write_bench_json(
+        json_file, "bench_energy_robustness",
+        {{"sensors", std::to_string(n)},
+         {"slots", std::to_string(slots)},
+         {"burst", cool::util::format("%.2f", burst)},
+         {"seed", std::to_string(seed)}},
+        stamped,
+        {{"wall_ms", stamped.wall_ms},
+         {"utility_nominal", reports[0].average_utility_per_slot},
+         {"utility_guard", reports[1].average_utility_per_slot},
+         {"utility_margin", margin.average_utility_per_slot},
+         {"utility_adaptive", adaptive.average_utility_per_slot},
+         {"adaptive_gain_pct", adaptive_gain},
+         {"brownouts_nominal", static_cast<double>(reports[0].brownouts)},
+         {"brownouts_margin", static_cast<double>(margin.brownouts)},
+         {"replans", static_cast<double>(adaptive.replans)},
+         {"control_energy_j",
+          adaptive.heartbeat_energy_j + adaptive.delta_energy_j}});
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "energy/pattern.h"
 #include "net/network.h"
 #include "net/routing.h"
+#include "obs/session.h"
 #include "proto/dissemination.h"
 #include "proto/timesync.h"
 #include "util/cli.h"
@@ -25,6 +26,8 @@ int main(int argc, char** argv) {
   cool::util::Cli cli(argc, argv);
   const auto n = static_cast<std::size_t>(cli.get_int("sensors", 60));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 18));
+  auto obs = cool::obs::ObsSession::from_cli(
+      cli, cool::obs::Provenance::collect(seed, argc, argv));
   cli.finish();
 
   cool::net::NetworkConfig config;

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Perf-regression gate: run the bench suite (scripts/run_bench_suite.sh),
+# then `coolstat check` the merged BENCH_results.json against the committed
+# BENCH_baseline.json with per-metric tolerance bands:
+#
+#   *wall_ms, *_per_s   wall-clock / throughput — wide band (different
+#                       machines, CI noise, best-of-3 jitter);
+#   *_us                repair-latency percentiles — report-only (tolerance
+#                       -1 means exempt): tail quantiles over a few dozen
+#                       microsecond-scale samples swing 10x between
+#                       identical-code runs, so gating them only flaps.
+#                       Gate them on demand with an explicit
+#                       `coolstat check --metric repair_p95_us=<pct>`;
+#   everything else     deterministic at fixed seed (utilities, oracle
+#                       calls, deaths, brownouts) — tight band, effectively
+#                       "did the algorithm change".
+#
+# Exit 0 when within tolerance, 1 on violation (coolstat check's contract),
+# 2 on harness errors. The baseline's git SHA always differs from the
+# candidate's, so provenance mismatch stays a warning (no
+# --require-provenance here).
+#
+# Usage: scripts/check_perf_regress.sh [baseline.json]
+#   COOL_BUILD_DIR   build tree holding bench/ and tools/ (default: build)
+#
+# To refresh the baseline after an intentional perf change:
+#   scripts/run_bench_suite.sh BENCH_baseline.json && git add BENCH_baseline.json
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${COOL_BUILD_DIR:-${repo_root}/build}"
+baseline="${1:-${repo_root}/BENCH_baseline.json}"
+coolstat="${build_dir}/tools/coolstat"
+
+if [ ! -f "${baseline}" ]; then
+  echo "missing baseline ${baseline} — create with:" >&2
+  echo "  scripts/run_bench_suite.sh ${baseline}" >&2
+  exit 2
+fi
+
+results="${repo_root}/BENCH_results.json"
+COOL_BUILD_DIR="${build_dir}" "${repo_root}/scripts/run_bench_suite.sh" "${results}"
+
+echo
+echo "== coolstat check vs $(basename "${baseline}") =="
+if "${coolstat}" check "${results}" "${baseline}" \
+  --tol 2 \
+  --metric '*wall_ms=400' \
+  --metric '*_per_s=400' \
+  --metric '*_us=-1' \
+  --metric '*lazy_speedup=400' \
+  --metric '*control_energy_j=10' \
+  --metric '*adaptive_gain_pct=10'; then
+  echo "OK: no perf regression against the committed baseline"
+else
+  status=$?
+  echo "FAIL: perf regression (or missing metric) vs the committed baseline" >&2
+  exit "${status}"
+fi

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Run the perf-harness suite: every bench with a --json emitter runs its
+# fixed deterministic workload, and the per-bench artifacts are merged into
+# one BENCH_results.json (schema: {"schema_version":1,"benches":[...]})
+# via `coolstat merge`. Deterministic metrics (utilities, oracle calls,
+# deaths, brownouts) are bit-identical across same-seed runs; wall-clock
+# metrics carry the machine's noise and are gated with wide tolerance bands
+# by scripts/check_perf_regress.sh.
+#
+# Usage: scripts/run_bench_suite.sh [out.json]
+#   COOL_BUILD_DIR   build tree holding bench/ and tools/ (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${COOL_BUILD_DIR:-${repo_root}/build}"
+out="${1:-${repo_root}/BENCH_results.json}"
+
+bench_dir="${build_dir}/bench"
+coolstat="${build_dir}/tools/coolstat"
+for binary in "${bench_dir}/bench_scheduler_perf" \
+              "${bench_dir}/bench_failure_resilience" \
+              "${bench_dir}/bench_energy_robustness" "${coolstat}"; do
+  if [ ! -x "${binary}" ]; then
+    echo "missing ${binary} — build first: cmake --build ${build_dir} -j" >&2
+    exit 2
+  fi
+done
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+echo "== bench_scheduler_perf (n=200, best of 3) =="
+"${bench_dir}/bench_scheduler_perf" --json "${workdir}/scheduler_perf.json" \
+  --perf-n 200 --perf-reps 3 --seed 42
+
+echo "== bench_failure_resilience (n=40, 10 days) =="
+"${bench_dir}/bench_failure_resilience" --sensors 40 --days 10 --seed 14 \
+  --json "${workdir}/failure_resilience.json" >/dev/null
+
+echo "== bench_energy_robustness (n=36, 720 slots) =="
+"${bench_dir}/bench_energy_robustness" --sensors 36 --slots 720 --seed 21 \
+  --json "${workdir}/energy_robustness.json" >/dev/null
+
+"${coolstat}" merge "${out}" \
+  "${workdir}/scheduler_perf.json" \
+  "${workdir}/failure_resilience.json" \
+  "${workdir}/energy_robustness.json"
+echo "suite written to ${out}"

@@ -1,0 +1,55 @@
+#include "obs/analyze/bench_json.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace cool::obs::analyze {
+
+void write_bench_json(
+    std::ostream& out, const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& config,
+    const Provenance& provenance,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  out << "{\"schema_version\":1,\"bench\":\"" << json_escape(bench) << '"';
+  out << ",\"config\":{";
+  bool first = true;
+  for (const auto& [key, value] : config) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(key) << "\":\"" << json_escape(value) << '"';
+  }
+  out << "},\"provenance\":" << provenance.to_json();
+  out << ",\"metrics\":{";
+  first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(key) << "\":" << json_number(value);
+  }
+  out << "}}\n";
+}
+
+void write_suite_json(std::ostream& out, const BenchSuite& suite) {
+  out << "{\"schema_version\":1,\"benches\":[";
+  bool first_bench = true;
+  for (const auto& bench : suite.benches) {
+    if (!first_bench) out << ',';
+    first_bench = false;
+    out << "\n  ";
+    std::vector<std::pair<std::string, std::string>> config(
+        bench.config.begin(), bench.config.end());
+    std::vector<std::pair<std::string, double>> metrics(bench.metrics.begin(),
+                                                        bench.metrics.end());
+    // write_bench_json appends '\n'; strip it by writing into a buffer.
+    std::ostringstream line;
+    write_bench_json(line, bench.bench, config, bench.provenance, metrics);
+    std::string text = line.str();
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    out << text;
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace cool::obs::analyze

@@ -1,0 +1,38 @@
+// The perf-harness bench result schema, and the writer every bench's
+// --json flag uses (version 1, DESIGN.md section 9):
+//
+//   {"schema_version": 1,
+//    "bench": "bench_failure_resilience",
+//    "config": {"sensors": "40", "days": "10", "seed": "14"},
+//    "provenance": {...},                        // obs/provenance.h
+//    "metrics": {"wall_ms": 812.4, "utility_closed": 0.93, ...}}
+//
+// Config values are strings (they echo CLI flags verbatim); metric values
+// are finite numbers. scripts/run_bench_suite.sh merges these files into
+// BENCH_results.json ({"schema_version":1,"benches":[...]}) via
+// `coolstat merge`, which scripts/check_perf_regress.sh then diffs against
+// the committed BENCH_baseline.json.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/analyze/ingest.h"
+#include "obs/provenance.h"
+
+namespace cool::obs::analyze {
+
+// Writes one bench result; the pair vectors preserve their order so the
+// emitted file is stable across runs.
+void write_bench_json(
+    std::ostream& out, const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& config,
+    const Provenance& provenance,
+    const std::vector<std::pair<std::string, double>>& metrics);
+
+// Writes the merged suite ({"schema_version":1,"benches":[...]}).
+void write_suite_json(std::ostream& out, const BenchSuite& suite);
+
+}  // namespace cool::obs::analyze

@@ -1,0 +1,184 @@
+#include "obs/analyze/coolstat_cli.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/analyze/bench_json.h"
+#include "obs/analyze/diff.h"
+#include "obs/analyze/ingest.h"
+#include "obs/analyze/summary.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace cool::obs::analyze {
+
+namespace {
+
+constexpr int kOk = 0;
+constexpr int kViolation = 1;
+constexpr int kError = 2;
+
+struct Options {
+  ToleranceSpec tolerances;
+  bool require_provenance = false;
+  std::vector<std::string> files;
+};
+
+Options parse_options(const std::vector<std::string>& args, std::size_t from) {
+  Options options;
+  for (std::size_t i = from; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&args, &i, &arg]() -> const std::string& {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument(arg + " needs a value");
+      return args[++i];
+    };
+    if (arg == "--tol")
+      options.tolerances.default_pct = util::parse_double(value());
+    else if (arg == "--metric")
+      options.tolerances.add_spec(value());
+    else if (arg == "--abs-epsilon")
+      options.tolerances.abs_epsilon = util::parse_double(value());
+    else if (arg == "--require-provenance")
+      options.require_provenance = true;
+    else if (util::starts_with(arg, "--"))
+      throw std::invalid_argument("unknown flag " + arg);
+    else
+      options.files.push_back(arg);
+  }
+  return options;
+}
+
+std::string provenance_line(const Provenance& p) {
+  std::string line = "sha " + p.git_sha;
+  if (!p.build_type.empty()) line += " (" + p.build_type + ")";
+  line += p.obs_enabled ? ", obs on" : ", obs off";
+  line += ", seed " + std::to_string(p.seed);
+  if (p.wall_ms > 0.0)
+    line += ", " + util::format("%.1f", p.wall_ms) + " ms";
+  if (!p.args.empty()) line += ", args: " + p.args;
+  return line;
+}
+
+int run_summarize(const Options& options, std::ostream& out,
+                  std::ostream& err) {
+  if (options.files.empty()) {
+    err << "usage: coolstat summarize <artifact>...\n";
+    return kError;
+  }
+  for (const auto& path : options.files) {
+    const Artifact artifact = load_artifact(path);
+    const RunSummary summary = summarize(artifact);
+    out << path << " [" << artifact_kind_name(summary.kind) << ']';
+    if (summary.truncated) out << " (truncated)";
+    out << '\n';
+    if (summary.provenance.has_value())
+      out << "  " << provenance_line(*summary.provenance) << '\n';
+    util::Table table({"metric", "value"});
+    for (const auto& [name, value] : summary.metrics)
+      table.row({name, util::format("%.6g", value)});
+    table.print(out);
+    out << '\n';
+  }
+  return kOk;
+}
+
+int run_diff(const Options& options, bool gate, std::ostream& out,
+             std::ostream& err) {
+  if (options.files.size() != 2) {
+    err << "usage: coolstat " << (gate ? "check <candidate> <baseline>"
+                                       : "diff <a> <b>")
+        << " [--tol pct] [--metric name=pct]...\n";
+    return kError;
+  }
+  const RunSummary a = summarize(load_artifact(options.files[0]));
+  const RunSummary b = summarize(load_artifact(options.files[1]));
+  // check's convention is candidate-vs-baseline: deltas read "candidate
+  // moved by X% from baseline", so the baseline is the reference (a side).
+  const DiffReport report = gate ? diff_summaries(b, a, options.tolerances)
+                                 : diff_summaries(a, b, options.tolerances);
+  const char* left = gate ? "baseline" : "a";
+  const char* right = gate ? "candidate" : "b";
+
+  if (!report.provenance_comparable) {
+    err << "warning: runs are not like-for-like (provenance differs: "
+        << "build type, obs flag, or seed)\n";
+    if (gate && options.require_provenance) {
+      err << "FAIL: --require-provenance\n";
+      return kViolation;
+    }
+  }
+  util::Table table({"metric", left, right, "delta", "tol", "verdict"});
+  for (const auto& d : report.deltas) {
+    const std::string a_text = d.missing_a ? "-" : util::format("%.6g", d.a);
+    const std::string b_text = d.missing_b ? "-" : util::format("%.6g", d.b);
+    std::string delta_text;
+    if (d.missing_a || d.missing_b)
+      delta_text = "missing";
+    else if (d.pct == 0.0)
+      delta_text = "0%";
+    else
+      delta_text = util::format("%+.2f%%", d.pct);
+    const std::string tol_text = d.tolerance < 0.0
+                                     ? "skip"
+                                     : util::format("%.2f%%", d.tolerance);
+    table.row({d.name, a_text, b_text, delta_text, tol_text,
+               d.violation ? "VIOLATION" : "ok"});
+  }
+  table.print(out);
+  out << report.violations << " violation(s) across " << report.deltas.size()
+      << " metric(s)\n";
+  if (gate && report.violations > 0) {
+    err << "FAIL: " << report.violations << " metric(s) out of tolerance\n";
+    return kViolation;
+  }
+  return kOk;
+}
+
+int run_merge(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.files.size() < 2) {
+    err << "usage: coolstat merge <out.json> <bench.json>...\n";
+    return kError;
+  }
+  BenchSuite merged;
+  for (std::size_t i = 1; i < options.files.size(); ++i) {
+    const BenchSuite part = parse_suite(read_file(options.files[i]));
+    merged.benches.insert(merged.benches.end(), part.benches.begin(),
+                          part.benches.end());
+  }
+  std::ofstream file(options.files[0]);
+  if (!file) {
+    err << "cannot write " << options.files[0] << '\n';
+    return kError;
+  }
+  write_suite_json(file, merged);
+  out << "wrote " << options.files[0] << " (" << merged.benches.size()
+      << " bench result(s))\n";
+  return kOk;
+}
+
+}  // namespace
+
+int coolstat_main(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+  if (args.empty()) {
+    err << "usage: coolstat <summarize|diff|check|merge> ...\n";
+    return kError;
+  }
+  try {
+    const std::string& verb = args[0];
+    const Options options = parse_options(args, 1);
+    if (verb == "summarize") return run_summarize(options, out, err);
+    if (verb == "diff") return run_diff(options, /*gate=*/false, out, err);
+    if (verb == "check") return run_diff(options, /*gate=*/true, out, err);
+    if (verb == "merge") return run_merge(options, out, err);
+    err << "unknown verb \"" << verb << "\"\n";
+    return kError;
+  } catch (const std::exception& e) {
+    err << "coolstat: " << e.what() << '\n';
+    return kError;
+  }
+}
+
+}  // namespace cool::obs::analyze

@@ -1,0 +1,100 @@
+#include "obs/analyze/diff.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cool::obs::analyze {
+
+void ToleranceSpec::add_spec(const std::string& spec) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0)
+    throw std::invalid_argument("tolerance spec must be name=pct: " + spec);
+  per_metric[spec.substr(0, eq)] = util::parse_double(spec.substr(eq + 1));
+}
+
+double ToleranceSpec::pct_for(const std::string& name) const {
+  const std::map<std::string, double>::const_iterator exact =
+      per_metric.find(name);
+  if (exact != per_metric.end()) return exact->second;
+  std::size_t best_len = 0;
+  double best = default_pct;
+  for (const auto& [key, pct] : per_metric) {
+    if (key.empty()) continue;
+    bool matches = false;
+    if (key.back() == '*') {
+      const std::string_view prefix(key.data(), key.size() - 1);
+      matches = util::starts_with(name, prefix);
+    } else if (key.front() == '*') {
+      const std::string_view suffix(key.data() + 1, key.size() - 1);
+      matches = name.size() >= suffix.size() &&
+                std::string_view(name).substr(name.size() - suffix.size()) ==
+                    suffix;
+    }
+    if (matches && key.size() >= best_len) {
+      best_len = key.size();
+      best = pct;
+    }
+  }
+  return best;
+}
+
+DiffReport diff_summaries(const RunSummary& a, const RunSummary& b,
+                          const ToleranceSpec& tolerances) {
+  DiffReport report;
+  if (a.provenance.has_value() && b.provenance.has_value())
+    report.provenance_comparable =
+        a.provenance->comparable_with(*b.provenance);
+
+  const auto judge = [&tolerances](MetricDelta& delta) {
+    delta.tolerance = tolerances.pct_for(delta.name);
+    if (delta.tolerance < 0.0) return;  // exempted
+    if (delta.missing_a || delta.missing_b) {
+      delta.violation = true;
+      return;
+    }
+    const double diff = delta.b - delta.a;
+    if (std::fabs(diff) <= tolerances.abs_epsilon) {
+      delta.pct = 0.0;
+      return;
+    }
+    if (delta.a == 0.0) {
+      // Nonzero appeared out of a zero baseline: infinite relative change.
+      delta.pct = diff > 0.0 ? std::numeric_limits<double>::infinity()
+                             : -std::numeric_limits<double>::infinity();
+      delta.violation = true;
+      return;
+    }
+    delta.pct = 100.0 * diff / std::fabs(delta.a);
+    delta.violation = std::fabs(delta.pct) > delta.tolerance;
+  };
+
+  for (const auto& [name, value_a] : a.metrics) {
+    MetricDelta delta;
+    delta.name = name;
+    delta.a = value_a;
+    const double* value_b = b.find(name);
+    if (value_b == nullptr)
+      delta.missing_b = true;
+    else
+      delta.b = *value_b;
+    judge(delta);
+    report.violations += delta.violation ? 1 : 0;
+    report.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [name, value_b] : b.metrics) {
+    if (a.find(name) != nullptr) continue;
+    MetricDelta delta;
+    delta.name = name;
+    delta.b = value_b;
+    delta.missing_a = true;
+    judge(delta);
+    report.violations += delta.violation ? 1 : 0;
+    report.deltas.push_back(std::move(delta));
+  }
+  return report;
+}
+
+}  // namespace cool::obs::analyze

@@ -1,0 +1,60 @@
+// Run-to-run comparison with tolerance bands — the engine behind
+// `coolstat diff` (report) and `coolstat check` (CI gate).
+//
+// Two RunSummaries are joined on metric name; each pair gets a percent
+// delta and a verdict against its tolerance. Tolerances are relative
+// percentages with per-metric overrides; override keys may end in '*'
+// (prefix match) or start with '*' (suffix match), so one
+// "*wall_ms=75" spec covers every bench's wall clock while utilities stay
+// tight. A metric present on only one side is flagged and counts as a
+// violation (a silently vanished metric is itself a regression).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/analyze/summary.h"
+
+namespace cool::obs::analyze {
+
+struct ToleranceSpec {
+  // Allowed |percent delta| before a metric counts as a violation.
+  double default_pct = 10.0;
+  // Absolute slack: |b - a| <= abs_epsilon always passes, so exact-zero
+  // baselines do not turn noise into infinite percent deltas.
+  double abs_epsilon = 1e-9;
+  // Overrides keyed by exact name, "prefix*", or "*suffix"; most specific
+  // (longest) match wins. A negative value exempts the metric entirely.
+  std::map<std::string, double> per_metric;
+
+  // Parses "name=pct" (e.g. "*wall_ms=75") into per_metric; throws
+  // std::invalid_argument on malformed specs.
+  void add_spec(const std::string& spec);
+  double pct_for(const std::string& name) const;
+};
+
+struct MetricDelta {
+  std::string name;
+  double a = 0.0;
+  double b = 0.0;
+  double pct = 0.0;       // 100 * (b - a) / |a|; 0 when within abs_epsilon
+  double tolerance = 0.0; // the band this metric was judged against
+  bool missing_a = false;
+  bool missing_b = false;
+  bool violation = false;
+};
+
+struct DiffReport {
+  std::vector<MetricDelta> deltas;  // summary order of `a`, extras of `b` last
+  std::size_t violations = 0;
+  // False when the two runs' provenance says they are not like-for-like
+  // (different build type, obs flag, or seed). Informational: the caller
+  // decides whether that is fatal.
+  bool provenance_comparable = true;
+};
+
+DiffReport diff_summaries(const RunSummary& a, const RunSummary& b,
+                          const ToleranceSpec& tolerances);
+
+}  // namespace cool::obs::analyze

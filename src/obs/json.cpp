@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -161,6 +162,17 @@ class Parser {
   }
 
   JsonValue parse_value() {
+    // Bounded recursion: adversarial inputs like 10^5 opening brackets must
+    // fail with an exception, not exhaust the stack. 128 levels is far
+    // beyond anything the exporters emit.
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
+    ++depth_;
+    JsonValue value = parse_nested_value();
+    --depth_;
+    return value;
+  }
+
+  JsonValue parse_nested_value() {
     switch (peek()) {
       case '{': return parse_object();
       case '[': return parse_array();
@@ -247,32 +259,66 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad hex digit in \\u escape");
+          std::uint32_t code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: valid only as the first half of a \uXXXX
+            // pair. Decode the pair; a lone half degrades to U+FFFD so
+            // corrupt artifacts still ingest instead of crashing readers
+            // downstream with invalid UTF-8.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              const std::size_t rewind = pos_;
+              pos_ += 2;
+              const std::uint32_t low = parse_hex4();
+              if (low >= 0xDC00 && low <= 0xDFFF)
+                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+              else {
+                pos_ = rewind;  // unpaired; the next escape parses on its own
+                code = 0xFFFD;
+              }
+            } else {
+              code = 0xFFFD;
+            }
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            code = 0xFFFD;  // lone low surrogate
           }
-          // UTF-8 encode the BMP code point (surrogate pairs unsupported;
-          // the exporters never emit them).
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          }
+          append_utf8(out, code);
           break;
         }
         default: fail("unknown escape");
       }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code += static_cast<std::uint32_t>(h - '0');
+      else if (h >= 'a' && h <= 'f') code += static_cast<std::uint32_t>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code += static_cast<std::uint32_t>(h - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
     }
   }
 
@@ -289,11 +335,18 @@ class Parser {
     char* end = nullptr;
     const double value = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) fail("malformed number");
+    // strtod saturates 1e999-style overflow to ±inf; JSON has no spelling
+    // for non-finite values, so surface it as a parse error rather than
+    // letting inf propagate into summaries and percent deltas.
+    if (!std::isfinite(value)) fail("number overflows double");
     return JsonValue::make_number(value);
   }
 
+  static constexpr std::size_t kMaxDepth = 128;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

@@ -180,6 +180,13 @@ std::size_t MetricsRegistry::series_count() const {
 }
 
 void MetricsRegistry::write_csv(std::ostream& out) const {
+  write_csv(out, std::string_view());
+}
+
+void MetricsRegistry::write_csv(std::ostream& out,
+                                std::string_view provenance_json) const {
+  if (!provenance_json.empty())
+    out << "# provenance " << provenance_json << '\n';
   const RegistrySnapshot snap = snapshot();
   util::CsvWriter csv(out);
   csv.write_row({"name", "labels", "kind", "count", "value", "p50", "p99"});
@@ -196,8 +203,16 @@ void MetricsRegistry::write_csv(std::ostream& out) const {
 }
 
 void MetricsRegistry::write_json(std::ostream& out) const {
+  write_json(out, std::string_view());
+}
+
+void MetricsRegistry::write_json(std::ostream& out,
+                                 std::string_view provenance_json) const {
   const RegistrySnapshot snap = snapshot();
-  out << "{\"metrics\":[";
+  out << '{';
+  if (!provenance_json.empty())
+    out << "\"provenance\":" << provenance_json << ',';
+  out << "\"metrics\":[";
   bool first = true;
   for (const auto& m : snap.metrics) {
     if (!first) out << ',';

@@ -27,6 +27,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cool::obs {
@@ -135,9 +136,14 @@ class MetricsRegistry {
   std::size_t series_count() const;
 
   // CSV: header "name,labels,kind,count,value,p50,p99". JSON: one object
-  // per series under {"metrics":[...]}.
+  // per series under {"metrics":[...]}. When `provenance_json` is a
+  // non-empty JSON object it is stamped into the artifact: JSON gets a
+  // top-level "provenance" member, CSV a leading "# provenance {...}"
+  // comment line (coolstat and the analyze ingesters skip '#' lines).
   void write_csv(std::ostream& out) const;
+  void write_csv(std::ostream& out, std::string_view provenance_json) const;
   void write_json(std::ostream& out) const;
+  void write_json(std::ostream& out, std::string_view provenance_json) const;
 
  private:
   struct Series {

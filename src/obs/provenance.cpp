@@ -1,0 +1,67 @@
+#include "obs/provenance.h"
+
+#include "obs/json.h"
+
+#if !defined(COOL_GIT_SHA)
+#define COOL_GIT_SHA "unknown"
+#endif
+#if !defined(COOL_BUILD_TYPE)
+#define COOL_BUILD_TYPE ""
+#endif
+#if !defined(COOL_OBS_ENABLED)
+#define COOL_OBS_ENABLED 1
+#endif
+
+namespace cool::obs {
+
+Provenance Provenance::collect(std::uint64_t seed, int argc,
+                               const char* const* argv) {
+  Provenance p;
+  p.git_sha = COOL_GIT_SHA;
+  p.build_type = COOL_BUILD_TYPE;
+  p.obs_enabled = COOL_OBS_ENABLED != 0;
+  p.seed = seed;
+  for (int i = 1; i < argc && argv != nullptr; ++i) {
+    if (argv[i] == nullptr) break;
+    if (!p.args.empty()) p.args += ' ';
+    p.args += argv[i];
+  }
+  return p;
+}
+
+std::string Provenance::to_json() const {
+  std::string out = "{";
+  out += "\"schema_version\":" + std::to_string(schema_version);
+  out += ",\"git_sha\":\"" + json_escape(git_sha) + '"';
+  out += ",\"build_type\":\"" + json_escape(build_type) + '"';
+  out += std::string(",\"obs_enabled\":") + (obs_enabled ? "true" : "false");
+  out += ",\"seed\":" + std::to_string(seed);
+  out += ",\"args\":\"" + json_escape(args) + '"';
+  out += ",\"wall_ms\":" + json_number(wall_ms);
+  out += '}';
+  return out;
+}
+
+Provenance Provenance::from_json(const JsonValue& value) {
+  Provenance p;
+  if (!value.is_object()) return p;
+  if (value.contains("schema_version"))
+    p.schema_version = static_cast<int>(value.at("schema_version").as_number());
+  if (value.contains("git_sha")) p.git_sha = value.at("git_sha").as_string();
+  if (value.contains("build_type"))
+    p.build_type = value.at("build_type").as_string();
+  if (value.contains("obs_enabled"))
+    p.obs_enabled = value.at("obs_enabled").as_bool();
+  if (value.contains("seed"))
+    p.seed = static_cast<std::uint64_t>(value.at("seed").as_number());
+  if (value.contains("args")) p.args = value.at("args").as_string();
+  if (value.contains("wall_ms")) p.wall_ms = value.at("wall_ms").as_number();
+  return p;
+}
+
+bool Provenance::comparable_with(const Provenance& other) const {
+  return git_sha == other.git_sha && build_type == other.build_type &&
+         obs_enabled == other.obs_enabled && seed == other.seed;
+}
+
+}  // namespace cool::obs

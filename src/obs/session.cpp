@@ -19,22 +19,33 @@ bool ends_with(const std::string& text, const std::string& suffix) {
 
 }  // namespace
 
-ObsSession::ObsSession(std::string trace_path, std::string metrics_path)
-    : trace_path_(std::move(trace_path)), metrics_path_(std::move(metrics_path)) {
+ObsSession::ObsSession(std::string trace_path, std::string metrics_path,
+                       Provenance provenance)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)),
+      provenance_(std::move(provenance)),
+      start_(std::chrono::steady_clock::now()) {
+  // Metrics-only sessions must not pay for a collector: the registry is
+  // process-global and always on, so only --trace needs per-session state.
   if (!trace_path_.empty()) {
     collector_ = std::make_unique<TraceCollector>();
     set_trace_collector(collector_.get());
   }
 }
 
-ObsSession ObsSession::from_cli(util::Cli& cli) {
-  return ObsSession(cli.get_string("trace", ""), cli.get_string("metrics", ""));
+ObsSession ObsSession::from_cli(util::Cli& cli, Provenance provenance) {
+  return ObsSession(cli.get_string("trace", ""), cli.get_string("metrics", ""),
+                    std::move(provenance));
 }
 
 ObsSession::ObsSession(ObsSession&& other) noexcept
     : trace_path_(std::move(other.trace_path_)),
       metrics_path_(std::move(other.metrics_path_)),
-      collector_(std::move(other.collector_)) {
+      collector_(std::move(other.collector_)),
+      provenance_(std::move(other.provenance_)),
+      start_(other.start_) {
+  // Leave the source a fully inert shell: its flush()/destructor must not
+  // re-open (and truncate) files this session now owns.
   other.trace_path_.clear();
   other.metrics_path_.clear();
 }
@@ -48,25 +59,34 @@ ObsSession::~ObsSession() {
 }
 
 void ObsSession::flush() {
+  if (!collector_ && metrics_path_.empty()) return;  // inert or already done
+  provenance_.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start_)
+          .count();
+  const std::string stamp = provenance_.to_json();
   if (collector_) {
     set_trace_collector(nullptr);
-    std::ofstream out(trace_path_);
-    if (!out)
-      throw std::runtime_error("ObsSession: cannot open " + trace_path_);
-    collector_->write_chrome_trace(out);
-    util::log_info("wrote trace to " + trace_path_);
-    collector_.reset();
+    const std::string path = std::move(trace_path_);
+    trace_path_.clear();
+    // Drop the buffer even on failure: a retry cannot succeed and the
+    // destructor should not re-throw over the same path.
+    const std::unique_ptr<TraceCollector> collector = std::move(collector_);
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("ObsSession: cannot open " + path);
+    collector->write_chrome_trace(out, stamp);
+    util::log_info("wrote trace to " + path);
   }
   if (!metrics_path_.empty()) {
-    std::ofstream out(metrics_path_);
-    if (!out)
-      throw std::runtime_error("ObsSession: cannot open " + metrics_path_);
-    if (ends_with(metrics_path_, ".json"))
-      metrics().write_json(out);
-    else
-      metrics().write_csv(out);
-    util::log_info("wrote metrics to " + metrics_path_);
+    const std::string path = std::move(metrics_path_);
     metrics_path_.clear();
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("ObsSession: cannot open " + path);
+    if (ends_with(path, ".json"))
+      metrics().write_json(out, stamp);
+    else
+      metrics().write_csv(out, stamp);
+    util::log_info("wrote metrics to " + path);
   }
 }
 

@@ -1,7 +1,8 @@
 // One-line observability wiring for benches and examples:
 //
 //   cool::util::Cli cli(argc, argv);
-//   cool::obs::ObsSession obs = cool::obs::ObsSession::from_cli(cli);
+//   cool::obs::ObsSession obs = cool::obs::ObsSession::from_cli(
+//       cli, cool::obs::Provenance::collect(seed, argc, argv));
 //   ...
 //   cli.finish();
 //   // work; obs flushes on scope exit
@@ -12,11 +13,25 @@
 // corresponding sink stays off and instrumentation runs at idle cost. The
 // destructor detaches the collector and writes both files, so a session
 // must outlive all instrumented work in its scope.
+//
+// Every artifact is stamped with the session's Provenance (git SHA, build
+// type, obs flag, seed, CLI args) with wall_ms set to the session's
+// construct-to-flush duration, so coolstat can compare any two runs.
+//
+// Lifecycle invariants (regression-tested in tests/test_obs.cpp):
+//   - a metrics-only session (empty trace path) never allocates a
+//     TraceCollector or flips the global tracing flag;
+//   - moving a session transfers the pending outputs; flushing or
+//     destroying the moved-from shell is a no-op (no double write);
+//   - flush() is idempotent — the first call writes, later calls and the
+//     destructor do nothing.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace cool::util {
@@ -28,8 +43,10 @@ namespace cool::obs {
 class ObsSession {
  public:
   // Empty paths disable the respective sink.
-  ObsSession(std::string trace_path, std::string metrics_path);
-  static ObsSession from_cli(util::Cli& cli);
+  ObsSession(std::string trace_path, std::string metrics_path,
+             Provenance provenance = Provenance::collect());
+  static ObsSession from_cli(util::Cli& cli,
+                             Provenance provenance = Provenance::collect());
 
   ~ObsSession();
   ObsSession(ObsSession&& other) noexcept;
@@ -40,6 +57,10 @@ class ObsSession {
   bool tracing() const noexcept { return collector_ != nullptr; }
   bool metrics_enabled() const noexcept { return !metrics_path_.empty(); }
 
+  // The header stamped into the outputs; mutable until flush so callers
+  // can fill in fields learned after construction (e.g. the seed).
+  Provenance& provenance() noexcept { return provenance_; }
+
   // Writes both outputs and detaches the collector early (idempotent; the
   // destructor then does nothing).
   void flush();
@@ -48,6 +69,8 @@ class ObsSession {
   std::string trace_path_;
   std::string metrics_path_;
   std::unique_ptr<TraceCollector> collector_;
+  Provenance provenance_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace cool::obs

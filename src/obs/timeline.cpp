@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "obs/json.h"
+#include "obs/provenance.h"
 
 namespace cool::obs {
 
@@ -38,6 +39,10 @@ std::string TimelineSink::to_json(const SlotRecord& r) {
 void TimelineSink::record(const SlotRecord& record) {
   *out_ << to_json(record) << '\n';
   ++records_;
+}
+
+void TimelineSink::write_header(const Provenance& provenance) {
+  *out_ << "{\"provenance\":" << provenance.to_json() << "}\n";
 }
 
 }  // namespace cool::obs

@@ -16,6 +16,8 @@
 
 namespace cool::obs {
 
+struct Provenance;
+
 // One slot of gateway telemetry. Counters are per-slot deltas, not
 // cumulative, except the *_total fields.
 struct SlotRecord {
@@ -45,6 +47,11 @@ class TimelineSink {
 
   void record(const SlotRecord& record);
   std::size_t records() const noexcept { return records_; }
+
+  // Optional one-line {"provenance":{...}} header. Write it before the
+  // first record; ingest (obs/analyze) recognizes it by the key and a
+  // truncated file still parses line by line. Not counted in records().
+  void write_header(const Provenance& provenance);
 
   // Renders one record as a single-line JSON object (no newline); used by
   // record() and directly by tests.

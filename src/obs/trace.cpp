@@ -63,8 +63,16 @@ void TraceCollector::clear() {
 }
 
 void TraceCollector::write_chrome_trace(std::ostream& out) const {
+  write_chrome_trace(out, std::string_view());
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& out,
+                                        std::string_view provenance_json) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  out << "{\"traceEvents\":[";
+  out << '{';
+  if (!provenance_json.empty())
+    out << "\"provenance\":" << provenance_json << ',';
+  out << "\"traceEvents\":[";
   bool first = true;
   for (const auto& e : events_) {
     if (!first) out << ',';

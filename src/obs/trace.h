@@ -28,6 +28,7 @@
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cool::obs {
@@ -54,8 +55,13 @@ class TraceCollector {
 
   // Chrome trace-event JSON object form: {"traceEvents":[...],
   // "displayTimeUnit":"ms"}. Counter events emit "args":{"value":v},
-  // others "args":{"depth":d}.
+  // others "args":{"depth":d}. When `provenance_json` is non-empty it must
+  // be a complete JSON object; it is emitted verbatim as a top-level
+  // "provenance" member (trace viewers ignore unknown keys, coolstat reads
+  // it back).
   void write_chrome_trace(std::ostream& out) const;
+  void write_chrome_trace(std::ostream& out,
+                          std::string_view provenance_json) const;
 
  private:
   mutable std::mutex mutex_;

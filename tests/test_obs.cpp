@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/greedy.h"
@@ -13,6 +17,8 @@
 #include "net/routing.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/session.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "proto/link.h"
@@ -51,6 +57,54 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(parse_json("{"), std::runtime_error);
   EXPECT_THROW(parse_json("[1,]"), std::runtime_error);
   EXPECT_THROW(parse_json("1 2"), std::runtime_error);
+}
+
+TEST(Json, RejectsTruncatedObjects) {
+  // A killed writer can truncate anywhere; every prefix must throw, not
+  // crash or return a half-parsed value.
+  const std::string full =
+      R"({"provenance":{"git_sha":"abc"},"metrics":[{"name":"x","count":3}]})";
+  for (std::size_t len = 0; len < full.size(); ++len)
+    EXPECT_THROW(parse_json(full.substr(0, len)), std::runtime_error)
+        << "prefix length " << len;
+  EXPECT_NO_THROW(parse_json(full));
+}
+
+TEST(Json, BoundsRecursionDepth) {
+  // 100 levels parse; 100k levels must throw instead of overflowing the
+  // stack.
+  const auto nested = [](std::size_t depth) {
+    std::string text(depth, '[');
+    text.append(depth, ']');
+    return text;
+  };
+  EXPECT_NO_THROW(parse_json(nested(100)));
+  EXPECT_THROW(parse_json(nested(100000)), std::runtime_error);
+  std::string objects;
+  for (std::size_t i = 0; i < 100000; ++i) objects += "{\"a\":";
+  objects += "1";
+  for (std::size_t i = 0; i < 100000; ++i) objects += '}';
+  EXPECT_THROW(parse_json(objects), std::runtime_error);
+}
+
+TEST(Json, DecodesSurrogatePairsAndReplacesLoneSurrogates) {
+  // Valid pair: U+1F600 as 😀 -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json("\"\\ud83d\\ude00\"").as_string(),
+            "\xF0\x9F\x98\x80");
+  // Lone high and lone low surrogates become U+FFFD, not garbage bytes.
+  EXPECT_EQ(parse_json("\"a\\ud800b\"").as_string(), "a\xEF\xBF\xBD""b");
+  EXPECT_EQ(parse_json("\"a\\ude00b\"").as_string(), "a\xEF\xBF\xBD""b");
+  // High surrogate followed by a non-surrogate escape: replacement, then
+  // the escape decodes normally.
+  EXPECT_EQ(parse_json("\"\\ud800\\u0041\"").as_string(), "\xEF\xBF\xBD""A");
+}
+
+TEST(Json, RejectsOverflowingNumbers) {
+  EXPECT_THROW(parse_json("1e999"), std::runtime_error);
+  EXPECT_THROW(parse_json("-1e999"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1, 1e999]"), std::runtime_error);
+  // Subnormal underflow is fine (strtod returns a representable value).
+  EXPECT_NO_THROW(parse_json("1e-999"));
 }
 
 // --- metrics registry -----------------------------------------------------
@@ -293,6 +347,165 @@ TEST(Timeline, FaultyRuntimeRunEmitsOneRecordPerSlot) {
   EXPECT_EQ(count, config.slots);
   EXPECT_EQ(repairs, report.repairs);
   EXPECT_GE(last_utility, 0.0);
+}
+
+// --- provenance -----------------------------------------------------------
+
+TEST(Provenance, CollectCapturesBuildAndArgs) {
+  const char* argv[] = {"bench_x", "--sensors", "40", "--seed", "7"};
+  const auto p = Provenance::collect(7, 5, argv);
+  EXPECT_FALSE(p.git_sha.empty());
+  EXPECT_FALSE(p.build_type.empty());
+  EXPECT_EQ(p.seed, 7u);
+  EXPECT_EQ(p.args, "--sensors 40 --seed 7");  // argv[0] is not provenance
+}
+
+TEST(Provenance, JsonRoundTrips) {
+  Provenance p;
+  p.git_sha = "abc1234";
+  p.build_type = "Release";
+  p.obs_enabled = false;
+  p.seed = 42;
+  p.args = "--csv \"out dir/a.csv\"";
+  p.wall_ms = 1234.5;
+  const auto back = Provenance::from_json(parse_json(p.to_json()));
+  EXPECT_EQ(back.git_sha, p.git_sha);
+  EXPECT_EQ(back.build_type, p.build_type);
+  EXPECT_EQ(back.obs_enabled, p.obs_enabled);
+  EXPECT_EQ(back.seed, p.seed);
+  EXPECT_EQ(back.args, p.args);
+  EXPECT_DOUBLE_EQ(back.wall_ms, p.wall_ms);
+}
+
+TEST(Provenance, FromJsonToleratesMissingMembers) {
+  const auto p = Provenance::from_json(parse_json(R"({"git_sha":"only"})"));
+  EXPECT_EQ(p.git_sha, "only");
+  EXPECT_EQ(p.seed, 0u);
+}
+
+TEST(Provenance, ComparabilityIgnoresWallClockAndArgs) {
+  Provenance a;
+  a.git_sha = "abc";
+  a.build_type = "Release";
+  a.seed = 1;
+  Provenance b = a;
+  b.wall_ms = 99.0;
+  b.args = "--different";
+  EXPECT_TRUE(a.comparable_with(b));
+  b.seed = 2;
+  EXPECT_FALSE(a.comparable_with(b));
+}
+
+TEST(Provenance, StampsTraceMetricsAndTimelineOutputs) {
+  Provenance p;
+  p.git_sha = "feedbee";
+  p.seed = 11;
+
+  TraceCollector collector;
+  std::ostringstream trace_out;
+  collector.write_chrome_trace(trace_out, p.to_json());
+  const auto trace_doc = parse_json(trace_out.str());
+  EXPECT_EQ(trace_doc.at("provenance").at("git_sha").as_string(), "feedbee");
+  EXPECT_TRUE(trace_doc.contains("traceEvents"));
+
+  MetricsRegistry reg;
+  reg.counter("hits").add(3);
+  std::ostringstream csv_out;
+  reg.write_csv(csv_out, p.to_json());
+  EXPECT_EQ(csv_out.str().rfind("# provenance {", 0), 0u);
+  std::ostringstream json_out;
+  reg.write_json(json_out, p.to_json());
+  EXPECT_EQ(parse_json(json_out.str()).at("provenance").at("seed").as_number(),
+            11.0);
+
+  std::ostringstream jsonl;
+  TimelineSink sink(jsonl);
+  sink.write_header(p);
+  sink.record(SlotRecord{});
+  EXPECT_EQ(sink.records(), 1u);  // header is not a record
+  std::istringstream lines(jsonl.str());
+  std::string first;
+  ASSERT_TRUE(std::getline(lines, first));
+  EXPECT_EQ(parse_json(first).at("provenance").at("git_sha").as_string(),
+            "feedbee");
+}
+
+// --- obs session lifecycle ------------------------------------------------
+
+class ObsSessionTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const char* name) {
+    return (std::filesystem::path(::testing::TempDir()) / name).string();
+  }
+  void TearDown() override { set_trace_collector(nullptr); }
+};
+
+TEST_F(ObsSessionTest, MetricsOnlySessionDoesNotAllocateCollector) {
+  const auto path = temp_path("metrics_only.csv");
+  {
+    ObsSession session("", path);
+    EXPECT_FALSE(session.tracing());
+    EXPECT_TRUE(session.metrics_enabled());
+    // No trace sink: the global tracing flag must stay off so spans stay
+    // on the cheap path.
+    EXPECT_FALSE(tracing_enabled());
+    EXPECT_EQ(trace_collector(), nullptr);
+  }
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}
+
+TEST_F(ObsSessionTest, FlushIsIdempotent) {
+  const auto path = temp_path("idempotent.csv");
+  ObsSession session("", path);
+  session.flush();
+  ASSERT_TRUE(std::filesystem::exists(path));
+  // A second flush (and the destructor) must not rewrite the file.
+  std::filesystem::remove(path);
+  session.flush();
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(ObsSessionTest, MovedFromSessionFlushIsNoOp) {
+  const auto trace_path = temp_path("moved.trace.json");
+  const auto metrics_path = temp_path("moved.metrics.csv");
+  ObsSession original(trace_path, metrics_path);
+  ObsSession moved = std::move(original);
+
+  // The moved-from shell must not write (or double-write) either file.
+  original.flush();
+  EXPECT_FALSE(std::filesystem::exists(trace_path));
+  EXPECT_FALSE(std::filesystem::exists(metrics_path));
+  EXPECT_FALSE(original.tracing());
+  EXPECT_FALSE(original.metrics_enabled());
+
+  moved.flush();
+  EXPECT_TRUE(std::filesystem::exists(trace_path));
+  EXPECT_TRUE(std::filesystem::exists(metrics_path));
+  std::filesystem::remove(trace_path);
+  std::filesystem::remove(metrics_path);
+}
+
+TEST_F(ObsSessionTest, FlushStampsProvenanceWithWallClock) {
+  const auto trace_path = temp_path("stamped.trace.json");
+  Provenance p;
+  p.git_sha = "cafe123";
+  p.seed = 99;
+  {
+    ObsSession session(trace_path, "", p);
+    EXPECT_TRUE(session.tracing());
+    ScopedSpan span("unit.work", "test");
+  }
+  std::ifstream in(trace_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = parse_json(buffer.str());
+  EXPECT_EQ(doc.at("provenance").at("git_sha").as_string(), "cafe123");
+  EXPECT_DOUBLE_EQ(doc.at("provenance").at("seed").as_number(), 99.0);
+  // wall_ms is filled in at flush time from the session lifetime.
+  EXPECT_GE(doc.at("provenance").at("wall_ms").as_number(), 0.0);
+  EXPECT_EQ(doc.at("traceEvents").as_array().size(), 1u);
+  std::filesystem::remove(trace_path);
 }
 
 }  // namespace

@@ -1,0 +1,13 @@
+// coolstat — telemetry artifact analyzer (see obs/analyze/coolstat_cli.h
+// for the verb reference and EXPERIMENTS.md for the perf-regression
+// workflow it anchors).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/analyze/coolstat_cli.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return cool::obs::analyze::coolstat_main(args, std::cout, std::cerr);
+}
