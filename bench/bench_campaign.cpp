@@ -5,6 +5,7 @@
 // of reality.
 //
 //   ./bench_campaign [--sensors 40] [--days 30] [--seed 19] [--csv-dir DIR]
+//                    [--threads N]
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -14,6 +15,7 @@
 #include "obs/session.h"
 #include "sim/campaign.h"
 #include "util/cli.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -23,6 +25,9 @@ int main(int argc, char** argv) {
   const auto days = static_cast<std::size_t>(cli.get_int("days", 30));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 19));
   const std::string csv_dir = cli.get_string("csv-dir", "");
+  // Day fan-out width (campaign results are thread-count invariant).
+  cool::util::set_thread_count(
+      static_cast<std::size_t>(cli.get_int("threads", 1)));
   auto obs = cool::obs::ObsSession::from_cli(
       cli, cool::obs::Provenance::collect(seed, argc, argv));
   cli.finish();

@@ -11,6 +11,12 @@
 //                     that scripts/run_bench_suite.sh merges into
 //                     BENCH_results.json (see obs/analyze/bench_json.h);
 //                     --perf-n / --perf-reps / --seed size that workload
+//   --threads <N>     scheduler thread count (util/parallel pool). In json
+//                     mode N > 1 runs the workload serially AND at N
+//                     threads, records *_par_speedup metrics, and names the
+//                     record bench_scheduler_perf_t<N> so the threads axis
+//                     gets its own baseline rows; N <= 1 keeps the
+//                     original bench_scheduler_perf record untouched.
 //   --trace <file>    Chrome trace of the run (obs/session.h)
 //   --metrics <file>  metrics registry dump (.json selects JSON, else CSV)
 #include <benchmark/benchmark.h>
@@ -36,6 +42,7 @@
 #include "obs/analyze/bench_json.h"
 #include "obs/session.h"
 #include "submodular/detection.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -130,35 +137,86 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Best-of-reps wall clock for one scheduler at the currently configured
+// thread count: the least-interrupted measurement of identical work.
+template <typename Run>
+double best_of(std::size_t reps, Run&& run) {
+  double best = -1.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(run());
+    const double ms = ms_since(start);
+    if (best < 0.0 || ms < best) best = ms;
+  }
+  return best;
+}
+
 // Perf-harness mode: a fixed greedy/lazy-greedy workload with deterministic
 // utilities and oracle counts; only the wall-clock metrics vary between
 // runs, which is exactly what the tolerance bands in
-// scripts/check_perf_regress.sh account for.
+// scripts/check_perf_regress.sh account for. With threads > 1 the workload
+// is timed both serially and on the pool; the parallel run must produce the
+// identical schedule (checked here, not just in the unit tests) and the
+// serial/parallel ratio lands in *_par_speedup.
 int run_json_mode(const std::string& json_path, std::size_t n,
-                  std::size_t reps, std::uint64_t seed,
+                  std::size_t reps, std::uint64_t seed, std::size_t threads,
                   const cool::obs::Provenance& provenance) {
   const auto t0 = std::chrono::steady_clock::now();
   const auto problem = make_problem(n, n / 10 + 1, true, seed);
 
-  auto start = std::chrono::steady_clock::now();
+  cool::util::set_thread_count(1);
   const auto greedy = cool::core::GreedyScheduler().schedule(problem);
-  double greedy_ms = ms_since(start);
-  start = std::chrono::steady_clock::now();
   const auto lazy = cool::core::LazyGreedyScheduler().schedule(problem);
-  double lazy_ms = ms_since(start);
-  // Best-of-reps: the least-interrupted measurement of identical work.
-  for (std::size_t rep = 1; rep < reps; ++rep) {
-    start = std::chrono::steady_clock::now();
-    cool::core::GreedyScheduler().schedule(problem);
-    greedy_ms = std::min(greedy_ms, ms_since(start));
-    start = std::chrono::steady_clock::now();
-    cool::core::LazyGreedyScheduler().schedule(problem);
-    lazy_ms = std::min(lazy_ms, ms_since(start));
-  }
+  const double greedy_ms = best_of(
+      reps, [&] { return cool::core::GreedyScheduler().schedule(problem); });
+  const double lazy_ms = best_of(
+      reps, [&] { return cool::core::LazyGreedyScheduler().schedule(problem); });
   const double greedy_utility =
       cool::core::evaluate(problem, greedy.schedule).per_slot_average;
   const double lazy_utility =
       cool::core::evaluate(problem, lazy.schedule).per_slot_average;
+
+  std::vector<std::pair<std::string, double>> metrics{
+      {"wall_ms", 0.0},  // patched below once the run is complete
+      {"greedy_wall_ms", greedy_ms},
+      {"lazy_wall_ms", lazy_ms},
+      {"lazy_speedup", lazy_ms > 0.0 ? greedy_ms / lazy_ms : 0.0},
+      {"utility", greedy_utility},
+      {"lazy_utility", lazy_utility},
+      {"greedy_oracle_calls", static_cast<double>(greedy.oracle_calls)},
+      {"lazy_oracle_calls", static_cast<double>(lazy.oracle_calls)},
+      {"greedy_oracle_calls_per_s",
+       greedy_ms > 0.0
+           ? static_cast<double>(greedy.oracle_calls) / (greedy_ms / 1000.0)
+           : 0.0}};
+
+  std::string bench_name = "bench_scheduler_perf";
+  if (threads > 1) {
+    cool::util::set_thread_count(threads);
+    const auto greedy_par = cool::core::GreedyScheduler().schedule(problem);
+    const auto lazy_par = cool::core::LazyGreedyScheduler().schedule(problem);
+    if (greedy_par.schedule != greedy.schedule ||
+        lazy_par.schedule != lazy.schedule) {
+      std::fprintf(stderr,
+                   "parallel schedule diverged from serial at %zu threads\n",
+                   threads);
+      return 1;
+    }
+    const double greedy_par_ms = best_of(
+        reps, [&] { return cool::core::GreedyScheduler().schedule(problem); });
+    const double lazy_par_ms = best_of(reps, [&] {
+      return cool::core::LazyGreedyScheduler().schedule(problem);
+    });
+    cool::util::set_thread_count(1);
+    metrics.push_back({"greedy_par_wall_ms", greedy_par_ms});
+    metrics.push_back({"lazy_par_wall_ms", lazy_par_ms});
+    metrics.push_back(
+        {"greedy_par_speedup",
+         greedy_par_ms > 0.0 ? greedy_ms / greedy_par_ms : 0.0});
+    metrics.push_back(
+        {"lazy_par_speedup", lazy_par_ms > 0.0 ? lazy_ms / lazy_par_ms : 0.0});
+    bench_name += "_t" + std::to_string(threads);
+  }
 
   std::ofstream out(json_path);
   if (!out) {
@@ -167,24 +225,14 @@ int run_json_mode(const std::string& json_path, std::size_t n,
   }
   cool::obs::Provenance stamped = provenance;
   stamped.wall_ms = ms_since(t0);
+  metrics.front().second = stamped.wall_ms;
   cool::obs::analyze::write_bench_json(
-      out, "bench_scheduler_perf",
+      out, bench_name,
       {{"sensors", std::to_string(n)},
        {"reps", std::to_string(reps)},
-       {"seed", std::to_string(seed)}},
-      stamped,
-      {{"wall_ms", stamped.wall_ms},
-       {"greedy_wall_ms", greedy_ms},
-       {"lazy_wall_ms", lazy_ms},
-       {"lazy_speedup", lazy_ms > 0.0 ? greedy_ms / lazy_ms : 0.0},
-       {"utility", greedy_utility},
-       {"lazy_utility", lazy_utility},
-       {"greedy_oracle_calls", static_cast<double>(greedy.oracle_calls)},
-       {"lazy_oracle_calls", static_cast<double>(lazy.oracle_calls)},
-       {"greedy_oracle_calls_per_s",
-        greedy_ms > 0.0
-            ? static_cast<double>(greedy.oracle_calls) / (greedy_ms / 1000.0)
-            : 0.0}});
+       {"seed", std::to_string(seed)},
+       {"threads", std::to_string(threads == 0 ? 1 : threads)}},
+      stamped, metrics);
   std::printf("wrote %s (greedy %.1f ms, lazy %.1f ms, utility %.4f)\n",
               json_path.c_str(), greedy_ms, lazy_ms, greedy_utility);
   return 0;
@@ -195,7 +243,7 @@ int run_json_mode(const std::string& json_path, std::size_t n,
 int main(int argc, char** argv) {
   // Peel our flags; everything else passes through to google-benchmark.
   std::string json_path, trace_path, metrics_path;
-  std::size_t perf_n = 200, perf_reps = 3;
+  std::size_t perf_n = 200, perf_reps = 3, threads = 1;
   std::uint64_t seed = 42;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -233,13 +281,19 @@ int main(int argc, char** argv) {
       seed = static_cast<std::uint64_t>(cool::util::parse_int(number));
       continue;
     }
+    if (flag_value("--threads", &number)) {
+      threads = static_cast<std::size_t>(cool::util::parse_int(number));
+      continue;
+    }
     passthrough.push_back(argv[i]);
   }
+  cool::util::set_thread_count(threads);
 
   const auto provenance = cool::obs::Provenance::collect(seed, argc, argv);
   cool::obs::ObsSession obs(trace_path, metrics_path, provenance);
   if (!json_path.empty())
-    return run_json_mode(json_path, perf_n, perf_reps, seed, provenance);
+    return run_json_mode(json_path, perf_n, perf_reps, seed, threads,
+                         provenance);
 
   int filtered_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&filtered_argc, passthrough.data());

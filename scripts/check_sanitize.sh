@@ -1,10 +1,42 @@
 #!/usr/bin/env bash
-# Configure, build, and run the full test suite under ASan + UBSan.
-# Usage: scripts/check_sanitize.sh [ctest-args...]
+# Configure, build, and run the full test suite under a sanitizer.
+#
+# Default: ASan + UBSan (build-sanitize/, CMAKE_BUILD_TYPE=Sanitize).
+# --tsan:  ThreadSanitizer (build-tsan/, CMAKE_BUILD_TYPE=Tsan), filtered
+#          to the suites that exercise the util/parallel pool — TSan slows
+#          everything ~10x and the serial suites have no threads to race.
+#          Pass extra ctest args to widen the filter (e.g. -R '.*').
+#
+# Usage: scripts/check_sanitize.sh [--tsan] [ctest-args...]
 # Extra arguments are forwarded to ctest (e.g. -R FaultModel).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+mode=asan
+if [ "${1-}" = "--tsan" ]; then
+  mode=tsan
+  shift
+fi
+
+if [ "${mode}" = "tsan" ]; then
+  build_dir="${repo_root}/build-tsan"
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Tsan
+  cmake --build "${build_dir}" -j "$(nproc)"
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+  # Run the parallel-engine suites across several pool widths: the pool,
+  # the batched-oracle consumers, and the determinism tests all spin real
+  # worker threads, which is what TSan needs to see.
+  cd "${build_dir}"
+  default_filter='Parallel|BatchEval|Greedy|LazyGreedy|StochasticGreedy|PassiveGreedy|Evaluator|LpScheduler|Campaign'
+  for threads in 2 4; do
+    echo "== TSan pass: COOL_THREADS=${threads} =="
+    COOL_THREADS="${threads}" ctest --output-on-failure -j "$(nproc)" \
+      -R "${default_filter}" "$@"
+  done
+  exit 0
+fi
+
 build_dir="${repo_root}/build-sanitize"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Sanitize

@@ -28,10 +28,24 @@ done
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "${workdir}"' EXIT
+thread_artifacts=()
 
 echo "== bench_scheduler_perf (n=200, best of 3) =="
 "${bench_dir}/bench_scheduler_perf" --json "${workdir}/scheduler_perf.json" \
   --perf-n 200 --perf-reps 3 --seed 42
+
+# Thread-scaling curve: the same workload at 2/4/8 scheduler threads. Each
+# run re-times the serial path, checks the parallel schedule is identical,
+# and records *_par_speedup; records are named bench_scheduler_perf_t<N>
+# so each thread count gets its own baseline rows. COOL_BENCH_THREADS
+# overrides the curve (e.g. "2 4" on small CI boxes; "" skips it).
+for t in ${COOL_BENCH_THREADS-2 4 8}; do
+  echo "== bench_scheduler_perf (n=200, threads=${t}) =="
+  "${bench_dir}/bench_scheduler_perf" \
+    --json "${workdir}/scheduler_perf_t${t}.json" \
+    --perf-n 200 --perf-reps 3 --seed 42 --threads "${t}"
+  thread_artifacts+=("${workdir}/scheduler_perf_t${t}.json")
+done
 
 echo "== bench_failure_resilience (n=40, 10 days) =="
 "${bench_dir}/bench_failure_resilience" --sensors 40 --days 10 --seed 14 \
@@ -43,6 +57,7 @@ echo "== bench_energy_robustness (n=36, 720 slots) =="
 
 "${coolstat}" merge "${out}" \
   "${workdir}/scheduler_perf.json" \
+  ${thread_artifacts[@]+"${thread_artifacts[@]}"} \
   "${workdir}/failure_resilience.json" \
   "${workdir}/energy_robustness.json"
 echo "suite written to ${out}"

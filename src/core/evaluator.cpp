@@ -2,50 +2,76 @@
 
 #include <stdexcept>
 
+#include "util/parallel.h"
+
 namespace cool::core {
 
 namespace {
 
-double slot_value(const Problem& problem, const std::vector<std::size_t>& active) {
-  const auto state = problem.slot_utility().make_state();
-  for (const auto s : active) state->add(s);
-  return state->value();
-}
+// Slots per evaluation chunk. Slots carry a full build-up of the active
+// set, so the unit of work is coarse; grain 1 gives the scheduler maximum
+// freedom while the chunk grid stays a pure function of the slot count.
+constexpr std::size_t kSlotGrain = 1;
 
 }  // namespace
 
-Evaluation evaluate(const Problem& problem, const PeriodicSchedule& schedule) {
-  if (schedule.sensor_count() != problem.sensor_count() ||
-      schedule.slots_per_period() != problem.slots_per_period())
+Evaluator::Evaluator(const Problem& problem) : problem_(&problem) {}
+
+template <typename Schedule>
+void Evaluator::evaluate_slots(const Schedule& schedule,
+                               std::size_t slot_count,
+                               std::vector<double>& out) {
+  out.assign(slot_count, 0.0);
+  const auto chunks = util::chunk_ranges(slot_count, kSlotGrain);
+  // Grow the per-chunk state cache serially (make_state allocates); the
+  // parallel region below only reset()s and fills existing states.
+  while (chunk_states_.size() < chunks.size())
+    chunk_states_.push_back(problem_->slot_utility().make_state());
+  util::parallel_chunks(chunks.size(), [&](std::size_t c) {
+    auto& state = *chunk_states_[c];
+    for (std::size_t t = chunks[c].begin; t < chunks[c].end; ++t) {
+      state.reset();
+      for (const auto s : schedule.active_set(t)) state.add(s);
+      out[t] = state.value();
+    }
+  });
+}
+
+Evaluation Evaluator::operator()(const PeriodicSchedule& schedule) {
+  if (schedule.sensor_count() != problem_->sensor_count() ||
+      schedule.slots_per_period() != problem_->slots_per_period())
     throw std::invalid_argument("evaluate: schedule shape mismatch");
   Evaluation eval;
-  eval.slot_utilities.reserve(schedule.slots_per_period());
+  evaluate_slots(schedule, schedule.slots_per_period(), eval.slot_utilities);
+  // Summed in slot order on this thread: bit-identical to the serial loop.
   double period_total = 0.0;
-  for (std::size_t t = 0; t < schedule.slots_per_period(); ++t) {
-    const double v = slot_value(problem, schedule.active_set(t));
-    eval.slot_utilities.push_back(v);
-    period_total += v;
-  }
-  eval.total_utility = period_total * static_cast<double>(problem.periods());
+  for (const double v : eval.slot_utilities) period_total += v;
+  eval.total_utility = period_total * static_cast<double>(problem_->periods());
   eval.per_slot_average =
-      eval.total_utility / static_cast<double>(problem.horizon_slots());
+      eval.total_utility / static_cast<double>(problem_->horizon_slots());
   return eval;
 }
 
-Evaluation evaluate(const Problem& problem, const HorizonSchedule& schedule) {
-  if (schedule.sensor_count() != problem.sensor_count() ||
-      schedule.horizon_slots() != problem.horizon_slots())
+Evaluation Evaluator::operator()(const HorizonSchedule& schedule) {
+  if (schedule.sensor_count() != problem_->sensor_count() ||
+      schedule.horizon_slots() != problem_->horizon_slots())
     throw std::invalid_argument("evaluate: schedule shape mismatch");
   Evaluation eval;
-  eval.slot_utilities.reserve(schedule.horizon_slots());
-  for (std::size_t t = 0; t < schedule.horizon_slots(); ++t) {
-    const double v = slot_value(problem, schedule.active_set(t));
-    eval.slot_utilities.push_back(v);
-    eval.total_utility += v;
-  }
+  evaluate_slots(schedule, schedule.horizon_slots(), eval.slot_utilities);
+  for (const double v : eval.slot_utilities) eval.total_utility += v;
   eval.per_slot_average =
-      eval.total_utility / static_cast<double>(problem.horizon_slots());
+      eval.total_utility / static_cast<double>(problem_->horizon_slots());
   return eval;
+}
+
+Evaluation evaluate(const Problem& problem, const PeriodicSchedule& schedule) {
+  Evaluator eval(problem);
+  return eval(schedule);
+}
+
+Evaluation evaluate(const Problem& problem, const HorizonSchedule& schedule) {
+  Evaluator eval(problem);
+  return eval(schedule);
 }
 
 double average_utility_per_target(const Evaluation& eval, std::size_t targets) {

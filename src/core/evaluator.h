@@ -1,11 +1,20 @@
 // Schedule evaluation: total and per-slot utility over the working time
 // (paper Section II-D: U_X = Σ_t Σ_i U_i(S_X(O_i, t))).
+//
+// Slots are independent, so evaluation shards the slot loop across the
+// util/parallel pool; per-slot values land in a fixed vector and the total
+// is summed in slot order, so results are bit-identical at every thread
+// count. A reusable Evaluator keeps one reset()-able oracle state per
+// worker chunk, so repeated evaluation (the repair oracle, LP rounding,
+// benches) stops allocating a fresh EvalState per slot per call.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/problem.h"
 #include "core/schedule.h"
+#include "submodular/function.h"
 
 namespace cool::core {
 
@@ -16,11 +25,32 @@ struct Evaluation {
                                        // (periodic) or per horizon slot
 };
 
-// Periodic schedule: evaluates one period and scales by α (valid because
-// the tiled schedule repeats the same active sets; Theorem 4.3).
-Evaluation evaluate(const Problem& problem, const PeriodicSchedule& schedule);
+// Reusable evaluation engine bound to one problem. Not safe for concurrent
+// use by multiple callers (it owns scratch states), but cheap to call
+// repeatedly: states are allocated on first use and reset() between slots.
+class Evaluator {
+ public:
+  explicit Evaluator(const Problem& problem);
 
-// Full-horizon schedule: evaluates every slot.
+  // Periodic schedule: evaluates one period and scales by α (valid because
+  // the tiled schedule repeats the same active sets; Theorem 4.3).
+  Evaluation operator()(const PeriodicSchedule& schedule);
+
+  // Full-horizon schedule: evaluates every slot.
+  Evaluation operator()(const HorizonSchedule& schedule);
+
+ private:
+  template <typename Schedule>
+  void evaluate_slots(const Schedule& schedule, std::size_t slot_count,
+                      std::vector<double>& out);
+
+  const Problem* problem_;
+  // One oracle state per slot chunk, grown lazily, reset() between slots.
+  std::vector<std::unique_ptr<sub::EvalState>> chunk_states_;
+};
+
+// One-shot forms (build a temporary Evaluator).
+Evaluation evaluate(const Problem& problem, const PeriodicSchedule& schedule);
 Evaluation evaluate(const Problem& problem, const HorizonSchedule& schedule);
 
 // The paper's reported metric: average utility per target per time-slot.

@@ -4,8 +4,18 @@
 #include <stdexcept>
 
 #include "obs/obs.h"
+#include "util/parallel.h"
 
 namespace cool::core {
+
+namespace {
+
+// Sensors per argmax-scan chunk. Fixed (never derived from the thread
+// count) so the chunk grid — and therefore every partial result — is
+// identical at every thread count.
+constexpr std::size_t kScanGrain = 16;
+
+}  // namespace
 
 GreedyResult GreedyScheduler::schedule(const Problem& problem) const {
   COOL_SPAN("greedy.schedule", "core");
@@ -25,28 +35,61 @@ GreedyResult GreedyScheduler::schedule(const Problem& problem) const {
   for (std::size_t t = 0; t < T; ++t)
     slot_state.push_back(problem.slot_utility().make_state());
 
+  // The (sensor, slot) argmax scan is sharded over fixed sensor chunks.
+  // Each chunk reports its best candidate; chunks are combined in index
+  // order with the serial tie-break (max gain, lowest (sensor, slot)
+  // lexicographically on ties), so the parallel winner is bit-for-bit the
+  // sensor/slot the serial v-outer/t-inner scan would have picked.
+  struct Candidate {
+    double gain = -1.0;
+    std::size_t sensor = 0;
+    std::size_t slot = 0;
+  };
+  const auto better = [](const Candidate& a, const Candidate& b) {
+    if (a.gain != b.gain) return a.gain > b.gain ? a : b;
+    if (a.sensor != b.sensor) return a.sensor < b.sensor ? a : b;
+    return a.slot <= b.slot ? a : b;
+  };
+
+  const auto chunks = util::chunk_ranges(n, kScanGrain);
+  std::vector<Candidate> chunk_best(chunks.size());
+  // Per-chunk scratch (candidate ids + batched gains), allocated once and
+  // reused across all n placement steps.
+  std::vector<std::vector<std::size_t>> chunk_ids(chunks.size());
+  std::vector<std::vector<double>> chunk_gains(chunks.size());
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    chunk_ids[c].reserve(chunks[c].end - chunks[c].begin);
+    chunk_gains[c].resize(chunks[c].end - chunks[c].begin);
+  }
+
   std::vector<std::uint8_t> placed(n, 0);
   for (std::size_t step = 0; step < n; ++step) {
-    double best_gain = -1.0;
-    std::size_t best_sensor = n;
-    std::size_t best_slot = T;
-    for (std::size_t v = 0; v < n; ++v) {
-      if (placed[v]) continue;
+    util::parallel_chunks(chunks.size(), [&](std::size_t c) {
+      auto& ids = chunk_ids[c];
+      ids.clear();
+      for (std::size_t v = chunks[c].begin; v < chunks[c].end; ++v)
+        if (!placed[v]) ids.push_back(v);
+      Candidate best;
+      best.sensor = n;
+      best.slot = T;
+      std::span<double> gains(chunk_gains[c].data(), ids.size());
       for (std::size_t t = 0; t < T; ++t) {
-        const double gain = slot_state[t]->marginal(v);
-        ++result.oracle_calls;
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_sensor = v;
-          best_slot = t;
-        }
+        slot_state[t]->marginal_batch(ids, gains);
+        for (std::size_t i = 0; i < ids.size(); ++i)
+          best = better(best, Candidate{gains[i], ids[i], t});
       }
-    }
+      chunk_best[c] = best;
+    });
+    Candidate best;
+    best.sensor = n;
+    best.slot = T;
+    for (const auto& candidate : chunk_best) best = better(best, candidate);
     // Monotone utilities make every gain >= 0, so a pair always exists.
-    placed[best_sensor] = 1;
-    slot_state[best_slot]->add(best_sensor);
-    result.schedule.set_active(best_sensor, best_slot);
-    result.steps.push_back(GreedyStep{best_sensor, best_slot, best_gain});
+    result.oracle_calls += (n - step) * T;
+    placed[best.sensor] = 1;
+    slot_state[best.slot]->add(best.sensor);
+    result.schedule.set_active(best.sensor, best.slot);
+    result.steps.push_back(GreedyStep{best.sensor, best.slot, best.gain});
   }
   // Published once per schedule, not per marginal query, so the enabled-
   // but-idle cost stays off the O(n^2 T) inner loop.

@@ -2,15 +2,20 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <vector>
 
 #include "obs/obs.h"
+#include "util/parallel.h"
 
 namespace cool::core {
 
 namespace {
+
+// Stale heap entries per parallel refresh chunk.
+constexpr std::size_t kRefreshGrain = 16;
 
 struct QueueEntry {
   double gain = 0.0;
@@ -18,8 +23,15 @@ struct QueueEntry {
   std::size_t slot = 0;
   std::size_t slot_version = 0;  // version of the slot when gain was computed
 
+  // Max-heap on gain with a total deterministic order: ties go to the
+  // lowest (sensor, slot) pair, matching the plain greedy scan's
+  // first-maximum tie-break. A total order makes the selected pair a pure
+  // function of the current gains — independent of refresh batching and
+  // of the thread count.
   bool operator<(const QueueEntry& other) const noexcept {
-    return gain < other.gain;  // max-heap on gain
+    if (gain != other.gain) return gain < other.gain;
+    if (sensor != other.sensor) return sensor > other.sensor;
+    return slot > other.slot;
   }
 };
 
@@ -58,29 +70,52 @@ GreedyResult LazyGreedyScheduler::schedule(const Problem& problem) const {
   std::size_t placed_count = 0;
   std::size_t stale_refreshes = 0;  // heap decay: stale entries re-scored
   std::size_t peak_heap = queue.size();
+  std::vector<QueueEntry> stale;  // reused batch buffer
   while (placed_count < n) {
-    if (queue.empty())
-      throw std::logic_error("LazyGreedyScheduler: queue exhausted early");
-    QueueEntry top = queue.top();
-    queue.pop();
-    if (placed[top.sensor]) continue;
-    if (top.slot_version != slot_version[top.slot]) {
-      // Stale: refresh and reinsert (gain can only have shrunk).
-      top.gain = slot_state[top.slot]->marginal(top.sensor);
-      ++result.oracle_calls;
-      ++stale_refreshes;
-      top.slot_version = slot_version[top.slot];
-      queue.push(top);
-      peak_heap = std::max(peak_heap, queue.size());
+    // Pop until a fresh entry surfaces, batching up the stale ones.
+    stale.clear();
+    std::optional<QueueEntry> fresh;
+    while (!queue.empty()) {
+      QueueEntry top = queue.top();
+      queue.pop();
+      if (placed[top.sensor]) continue;
+      if (top.slot_version == slot_version[top.slot]) {
+        fresh = top;
+        break;
+      }
+      stale.push_back(top);
+    }
+    if (stale.empty()) {
+      if (!fresh)
+        throw std::logic_error("LazyGreedyScheduler: queue exhausted early");
+      // Fresh head of a max-heap: this is the true maximum pair.
+      placed[fresh->sensor] = 1;
+      ++placed_count;
+      slot_state[fresh->slot]->add(fresh->sensor);
+      ++slot_version[fresh->slot];
+      result.schedule.set_active(fresh->sensor, fresh->slot);
+      result.steps.push_back(GreedyStep{fresh->sensor, fresh->slot, fresh->gain});
       continue;
     }
-    // Fresh head of a max-heap: this is the true maximum pair.
-    placed[top.sensor] = 1;
-    ++placed_count;
-    slot_state[top.slot]->add(top.sensor);
-    ++slot_version[top.slot];
-    result.schedule.set_active(top.sensor, top.slot);
-    result.steps.push_back(GreedyStep{top.sensor, top.slot, top.gain});
+    // Re-score the whole stale batch against the pool (marginal() is const
+    // and slot states are unchanged until the next placement), then
+    // reinsert everything and re-pop. Gains can only have shrunk, and the
+    // refresh order cannot affect the heap's total order, so the outcome
+    // is identical at every thread count — only the wall clock changes.
+    util::parallel_for(stale.size(), kRefreshGrain,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           QueueEntry& entry = stale[i];
+                           entry.gain =
+                               slot_state[entry.slot]->marginal(entry.sensor);
+                           entry.slot_version = slot_version[entry.slot];
+                         }
+                       });
+    result.oracle_calls += stale.size();
+    stale_refreshes += stale.size();
+    for (const auto& entry : stale) queue.push(entry);
+    if (fresh) queue.push(*fresh);
+    peak_heap = std::max(peak_heap, queue.size());
   }
   // Aggregated totals, published once per schedule so the heap loop stays
   // free of atomics. stale_refreshes / oracle_calls is the lazy-heap decay

@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/evaluator.h"
 #include "lp/simplex.h"
+#include "util/parallel.h"
 
 namespace cool::core {
 
@@ -121,39 +123,54 @@ LpScheduleResult LpScheduler::schedule(
   result.lp_objective_per_period = solution.objective;
 
   // ---- Randomized rounding with best-of-R selection. ----
-  double best_value = -1.0;
-  for (std::size_t round = 0; round < options_.rounding_rounds; ++round) {
-    ++result.rounds_drawn;
-    PeriodicSchedule candidate(n, T);
-    for (std::size_t v = 0; v < n; ++v) {
+  // Each round draws from its own forked RNG stream (child `round` of the
+  // caller's generator), so rounds are independent of each other and of
+  // the execution order: the R candidates are identical whether the rounds
+  // run serially or fanned out across the pool. The caller's rng is not
+  // advanced. Best-of combine walks the rounds in index order with a
+  // strict >, so the first round attaining the maximum wins — the same
+  // candidate the serial loop kept.
+  const std::size_t rounds = options_.rounding_rounds;
+  std::vector<PeriodicSchedule> candidates(rounds, PeriodicSchedule(n, T));
+  std::vector<double> round_value(rounds, -1.0);
+  util::parallel_for(rounds, /*grain=*/1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t round = begin; round < end; ++round) {
+      util::Rng round_rng = rng.fork(round);
+      PeriodicSchedule& candidate = candidates[round];
       std::vector<double> weights(T, 0.0);
-      double total = 0.0;
-      for (std::size_t t = 0; t < T; ++t) {
-        const double xv = std::max(0.0, solution.x[v * T + t]);
-        weights[t] = rho_gt_one ? xv : std::max(0.0, 1.0 - xv);
-        total += weights[t];
+      for (std::size_t v = 0; v < n; ++v) {
+        double total = 0.0;
+        for (std::size_t t = 0; t < T; ++t) {
+          const double xv = std::max(0.0, solution.x[v * T + t]);
+          weights[t] = rho_gt_one ? xv : std::max(0.0, 1.0 - xv);
+          total += weights[t];
+        }
+        std::size_t chosen;
+        if (total <= 1e-12) {
+          // No mass (degenerate LP row): any slot is as good; spread evenly.
+          chosen = static_cast<std::size_t>(
+              round_rng.uniform_int(0, static_cast<std::int64_t>(T) - 1));
+        } else {
+          chosen = round_rng.weighted_index(weights);
+        }
+        if (rho_gt_one) {
+          candidate.set_active(v, chosen);
+        } else {
+          for (std::size_t t = 0; t < T; ++t)
+            if (t != chosen) candidate.set_active(v, t);
+        }
       }
-      std::size_t chosen;
-      if (total <= 1e-12) {
-        // No mass (degenerate LP row): any slot is as good; spread evenly.
-        chosen = static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(T) - 1));
-      } else {
-        chosen = rng.weighted_index(weights);
-      }
-      if (rho_gt_one) {
-        candidate.set_active(v, chosen);
-      } else {
-        for (std::size_t t = 0; t < T; ++t)
-          if (t != chosen) candidate.set_active(v, t);
-      }
+      const Evaluation eval = evaluate(problem, candidate);
+      round_value[round] =
+          eval.total_utility / static_cast<double>(problem.periods());
     }
-    const Evaluation eval = evaluate(problem, candidate);
-    const double period_value =
-        eval.total_utility / static_cast<double>(problem.periods());
-    if (period_value > best_value) {
-      best_value = period_value;
-      result.schedule = candidate;
+  });
+  result.rounds_drawn = rounds;
+  double best_value = -1.0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if (round_value[round] > best_value) {
+      best_value = round_value[round];
+      result.schedule = candidates[round];
     }
   }
   result.rounded_utility_per_period = best_value;

@@ -26,6 +26,7 @@ class MaskedState final : public sub::EvalState {
   void add(std::size_t element) override {
     if (!(*masked_)[element]) base_->add(element);
   }
+  void reset() override { base_->reset(); }
   double value() const override { return base_->value(); }
   std::unique_ptr<sub::EvalState> clone() const override {
     return std::make_unique<MaskedState>(base_->clone(), masked_);
@@ -56,8 +57,9 @@ double surviving_period_utility(const PeriodicSchedule& schedule,
   if (dead.size() != schedule.sensor_count())
     throw std::invalid_argument("surviving_period_utility: mask mismatch");
   double total = 0.0;
+  const auto state = utility.make_state();
   for (std::size_t t = 0; t < schedule.slots_per_period(); ++t) {
-    const auto state = utility.make_state();
+    state->reset();
     for (const auto v : schedule.active_set(t))
       if (!dead[v]) state->add(v);
     total += state->value();

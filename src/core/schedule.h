@@ -46,6 +46,10 @@ class PeriodicSchedule {
 
   std::string to_string() const;
 
+  // Exact equality of shape and activation bits — the contract the
+  // parallel determinism tests and benches assert against.
+  bool operator==(const PeriodicSchedule&) const = default;
+
  private:
   std::size_t slots_;
   std::vector<std::vector<std::uint8_t>> active_;  // [sensor][slot]
@@ -72,6 +76,8 @@ class HorizonSchedule {
   // starts ready (fully charged); an active slot with a non-full battery
   // when ρ > 1 — or an empty one when ρ <= 1 — violates the model.
   bool feasible(const Problem& problem, std::string* why = nullptr) const;
+
+  bool operator==(const HorizonSchedule&) const = default;
 
  private:
   std::size_t horizon_;

@@ -6,7 +6,18 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.h"
+#include "util/parallel.h"
+
 namespace cool::core {
+
+namespace {
+
+// Sampled candidates per argmax chunk; fixed so the chunk grid is
+// identical at every thread count.
+constexpr std::size_t kScanGrain = 16;
+
+}  // namespace
 
 StochasticGreedyScheduler::StochasticGreedyScheduler(double epsilon)
     : epsilon_(epsilon) {
@@ -16,6 +27,7 @@ StochasticGreedyScheduler::StochasticGreedyScheduler(double epsilon)
 
 GreedyResult StochasticGreedyScheduler::schedule(const Problem& problem,
                                                  util::Rng& rng) const {
+  COOL_SPAN("stochastic_greedy.schedule", "core");
   if (!problem.rho_greater_than_one())
     throw std::invalid_argument(
         "StochasticGreedyScheduler requires rho > 1; use PassiveGreedyScheduler");
@@ -54,21 +66,35 @@ GreedyResult StochasticGreedyScheduler::schedule(const Problem& problem,
       std::swap(pool[i], pool[j]);
     }
 
-    double best_gain = -1.0;
-    std::size_t best_index = 0;
-    std::size_t best_slot = 0;
-    for (std::size_t i = 0; i < sample_size; ++i) {
-      const std::size_t v = pool[i];
-      for (std::size_t t = 0; t < T; ++t) {
-        const double gain = slot_state[t]->marginal(v);
-        ++result.oracle_calls;
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_index = i;
-          best_slot = t;
-        }
-      }
-    }
+    // Parallel argmax over the sampled candidates. The sample order is
+    // fixed by the (serial) Fisher-Yates pass above, and ties break on the
+    // lowest (sample position, slot) pair — exactly the first maximum the
+    // serial i-outer/t-inner scan would have found, at every thread count.
+    struct Candidate {
+      double gain = -1.0;
+      std::size_t index = 0;  // position in the sample, not a sensor id
+      std::size_t slot = 0;
+    };
+    const auto better = [](const Candidate& a, const Candidate& b) {
+      if (a.gain != b.gain) return a.gain > b.gain ? a : b;
+      if (a.index != b.index) return a.index < b.index ? a : b;
+      return a.slot <= b.slot ? a : b;
+    };
+    const Candidate best = util::parallel_reduce(
+        sample_size, kScanGrain, Candidate{-1.0, sample_size, T},
+        [&](std::size_t begin, std::size_t end) {
+          Candidate local{-1.0, sample_size, T};
+          for (std::size_t t = 0; t < T; ++t)
+            for (std::size_t i = begin; i < end; ++i)
+              local = better(local,
+                             Candidate{slot_state[t]->marginal(pool[i]), i, t});
+          return local;
+        },
+        better);
+    result.oracle_calls += sample_size * T;
+    const double best_gain = best.gain;
+    const std::size_t best_index = best.index;
+    const std::size_t best_slot = best.slot;
     const std::size_t chosen = pool[best_index];
     pool[best_index] = pool.back();
     pool.pop_back();

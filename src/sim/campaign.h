@@ -66,7 +66,14 @@ class CampaignRunner {
                  std::shared_ptr<const sub::SubmodularFunction> utility,
                  CampaignConfig config, util::Rng rng);
 
-  CampaignReport run();
+  // One campaign under this runner's RNG. Days fan out across the
+  // util/parallel pool (the weather chain is pre-rolled serially); the
+  // report is bit-identical at every thread count.
+  CampaignReport run() const;
+
+  // Repeated campaigns under decorrelated RNG streams (child 3000 + trial),
+  // fanned out per trial. Trial k is NOT the same draw as run().
+  std::vector<CampaignReport> run_trials(std::size_t trials) const;
 
  private:
   const net::Network* network_;

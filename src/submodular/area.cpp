@@ -37,6 +37,12 @@ class AreaState final : public EvalState {
     }
   }
 
+  void reset() override {
+    face_covered_.assign(face_covered_.size(), 0);
+    in_set_.assign(in_set_.size(), 0);
+    value_ = 0.0;
+  }
+
   double value() const override { return value_; }
 
   std::unique_ptr<EvalState> clone() const override {
@@ -87,6 +93,7 @@ std::unique_ptr<EvalState> AreaUtility::make_state() const {
         : values_(std::move(values)), inner_(faces_of, values_.get()) {}
     double marginal(std::size_t e) const override { return inner_.marginal(e); }
     void add(std::size_t e) override { inner_.add(e); }
+    void reset() override { inner_.reset(); }
     double value() const override { return inner_.value(); }
     std::unique_ptr<EvalState> clone() const override {
       return std::make_unique<OwningAreaState>(*this);

@@ -26,6 +26,9 @@ class SumState final : public EvalState {
   void add(std::size_t e) override {
     for (auto& child : children_) child->add(e);
   }
+  void reset() override {
+    for (auto& child : children_) child->reset();
+  }
   double value() const override {
     double total = 0.0;
     for (std::size_t k = 0; k < children_.size(); ++k)
@@ -57,6 +60,7 @@ class RestrictionState final : public EvalState {
     if (e >= allowed_->size()) throw std::out_of_range("Restriction: element");
     if ((*allowed_)[e]) inner_->add(e);
   }
+  void reset() override { inner_->reset(); }
   double value() const override { return inner_->value(); }
   std::unique_ptr<EvalState> clone() const override {
     return std::make_unique<RestrictionState>(*this);

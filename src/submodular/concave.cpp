@@ -24,6 +24,10 @@ class ConcaveState final : public EvalState {
     in_set_[e] = 1;
     sum_ += (*w_)[e];
   }
+  void reset() override {
+    in_set_.assign(in_set_.size(), 0);
+    sum_ = 0.0;
+  }
   double value() const override { return (*g_)(sum_); }
   std::unique_ptr<EvalState> clone() const override {
     return std::make_unique<ConcaveState>(*this);

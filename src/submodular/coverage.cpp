@@ -1,37 +1,78 @@
 #include "submodular/coverage.h"
 
+#include <cassert>
+#include <cstdint>
 #include <stdexcept>
 
 namespace cool::sub {
 
 namespace {
 
+// Packed-bitset helpers shared by the states below: one uint64_t word per
+// 64 flags keeps the covered-item set resident in cache during the scan.
+inline std::size_t word_count(std::size_t bits) { return (bits + 63) / 64; }
+
+inline bool test_bit(const std::vector<std::uint64_t>& words, std::size_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1u;
+}
+
+inline void set_bit(std::vector<std::uint64_t>& words, std::size_t i) {
+  words[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+
+// Flat-CSR coverage evaluator. Element indices are validated when the
+// owning WeightedCoverage is constructed and by the debug assert below;
+// the release hot loop carries no bounds checks and no virtual calls.
 class CoverageState final : public EvalState {
  public:
-  CoverageState(const std::vector<std::vector<std::size_t>>* covers,
+  CoverageState(const std::vector<std::size_t>* offsets,
+                const std::vector<std::size_t>* items,
                 const std::vector<double>* weights)
-      : covers_(covers), weights_(weights), item_covered_(weights->size(), 0),
-        in_set_(covers->size(), 0) {}
+      : offsets_(offsets), items_(items), weights_(weights),
+        item_covered_(word_count(weights->size()), 0),
+        in_set_(word_count(offsets->size() - 1), 0) {}
 
   double marginal(std::size_t e) const override {
-    check(e);
-    if (in_set_[e]) return 0.0;
+    assert(e + 1 < offsets_->size() && "WeightedCoverage: element");
+    if (test_bit(in_set_, e)) return 0.0;
+    const std::size_t* items = items_->data();
+    const double* weights = weights_->data();
     double gain = 0.0;
-    for (const auto item : (*covers_)[e])
-      if (!item_covered_[item]) gain += (*weights_)[item];
+    const std::size_t end = (*offsets_)[e + 1];
+    for (std::size_t i = (*offsets_)[e]; i < end; ++i) {
+      const std::size_t item = items[i];
+      if (!test_bit(item_covered_, item)) gain += weights[item];
+    }
     return gain;
   }
 
+  void marginal_batch(std::span<const std::size_t> elements,
+                      std::span<double> out_gains) const override {
+    if (out_gains.size() < elements.size())
+      throw std::invalid_argument(
+          "CoverageState::marginal_batch: gains span too small");
+    for (std::size_t i = 0; i < elements.size(); ++i)
+      out_gains[i] = marginal(elements[i]);
+  }
+
   void add(std::size_t e) override {
-    check(e);
-    if (in_set_[e]) return;
-    in_set_[e] = 1;
-    for (const auto item : (*covers_)[e]) {
-      if (!item_covered_[item]) {
-        item_covered_[item] = 1;
+    assert(e + 1 < offsets_->size() && "WeightedCoverage: element");
+    if (test_bit(in_set_, e)) return;
+    set_bit(in_set_, e);
+    const std::size_t end = (*offsets_)[e + 1];
+    for (std::size_t i = (*offsets_)[e]; i < end; ++i) {
+      const std::size_t item = (*items_)[i];
+      if (!test_bit(item_covered_, item)) {
+        set_bit(item_covered_, item);
         value_ += (*weights_)[item];
       }
     }
+  }
+
+  void reset() override {
+    item_covered_.assign(item_covered_.size(), 0);
+    in_set_.assign(in_set_.size(), 0);
+    value_ = 0.0;
   }
 
   double value() const override { return value_; }
@@ -41,29 +82,32 @@ class CoverageState final : public EvalState {
   }
 
  private:
-  void check(std::size_t e) const {
-    if (e >= in_set_.size()) throw std::out_of_range("WeightedCoverage: element");
-  }
-  const std::vector<std::vector<std::size_t>>* covers_;
+  const std::vector<std::size_t>* offsets_;
+  const std::vector<std::size_t>* items_;
   const std::vector<double>* weights_;
-  std::vector<std::uint8_t> item_covered_;
-  std::vector<std::uint8_t> in_set_;
+  std::vector<std::uint64_t> item_covered_;
+  std::vector<std::uint64_t> in_set_;
   double value_ = 0.0;
 };
 
 class ModularState final : public EvalState {
  public:
-  explicit ModularState(const std::vector<double>* w) : w_(w), in_set_(w->size(), 0) {}
+  explicit ModularState(const std::vector<double>* w)
+      : w_(w), in_set_(word_count(w->size()), 0) {}
 
   double marginal(std::size_t e) const override {
-    check(e);
-    return in_set_[e] ? 0.0 : (*w_)[e];
+    assert(e < w_->size() && "Modular: element");
+    return test_bit(in_set_, e) ? 0.0 : (*w_)[e];
   }
   void add(std::size_t e) override {
-    check(e);
-    if (in_set_[e]) return;
-    in_set_[e] = 1;
+    assert(e < w_->size() && "Modular: element");
+    if (test_bit(in_set_, e)) return;
+    set_bit(in_set_, e);
     value_ += (*w_)[e];
+  }
+  void reset() override {
+    in_set_.assign(in_set_.size(), 0);
+    value_ = 0.0;
   }
   double value() const override { return value_; }
   std::unique_ptr<EvalState> clone() const override {
@@ -71,11 +115,8 @@ class ModularState final : public EvalState {
   }
 
  private:
-  void check(std::size_t e) const {
-    if (e >= in_set_.size()) throw std::out_of_range("Modular: element");
-  }
   const std::vector<double>* w_;
-  std::vector<std::uint8_t> in_set_;
+  std::vector<std::uint64_t> in_set_;
   double value_ = 0.0;
 };
 
@@ -84,15 +125,26 @@ class ModularState final : public EvalState {
 WeightedCoverage::WeightedCoverage(std::size_t ground_size,
                                    std::vector<std::vector<std::size_t>> covers,
                                    std::vector<double> item_weights)
-    : covers_(std::move(covers)), weights_(std::move(item_weights)) {
-  if (covers_.size() != ground_size)
+    : weights_(std::move(item_weights)) {
+  if (covers.size() != ground_size)
     throw std::invalid_argument("WeightedCoverage: covers size != ground size");
-  for (const auto& items : covers_)
-    for (const auto item : items)
-      if (item >= weights_.size())
-        throw std::out_of_range("WeightedCoverage: item index");
   for (const double w : weights_)
     if (w < 0.0) throw std::invalid_argument("WeightedCoverage: negative item weight");
+  // Flatten the adjacency into CSR, validating every item index once here
+  // so the evaluators can skip per-call checks.
+  std::size_t total = 0;
+  for (const auto& items : covers) total += items.size();
+  offsets_.reserve(ground_size + 1);
+  items_.reserve(total);
+  offsets_.push_back(0);
+  for (const auto& items : covers) {
+    for (const auto item : items) {
+      if (item >= weights_.size())
+        throw std::out_of_range("WeightedCoverage: item index");
+      items_.push_back(item);
+    }
+    offsets_.push_back(items_.size());
+  }
 }
 
 WeightedCoverage::WeightedCoverage(std::size_t ground_size,
@@ -102,18 +154,16 @@ WeightedCoverage::WeightedCoverage(std::size_t ground_size,
                        std::vector<double>(item_count, 1.0)) {}
 
 std::unique_ptr<EvalState> WeightedCoverage::make_state() const {
-  return std::make_unique<CoverageState>(&covers_, &weights_);
+  return std::make_unique<CoverageState>(&offsets_, &items_, &weights_);
 }
 
 double WeightedCoverage::max_value() const {
   std::vector<std::uint8_t> covered(weights_.size(), 0);
   double total = 0.0;
-  for (const auto& items : covers_) {
-    for (const auto item : items) {
-      if (!covered[item]) {
-        covered[item] = 1;
-        total += weights_[item];
-      }
+  for (const auto item : items_) {
+    if (!covered[item]) {
+      covered[item] = 1;
+      total += weights_[item];
     }
   }
   return total;

@@ -24,13 +24,18 @@ class WeightedCoverage final : public SubmodularFunction {
   WeightedCoverage(std::size_t ground_size, std::vector<std::vector<std::size_t>> covers,
                    std::size_t item_count);
 
-  std::size_t ground_size() const override { return covers_.size(); }
+  std::size_t ground_size() const override { return offsets_.size() - 1; }
   std::size_t item_count() const noexcept { return weights_.size(); }
   std::unique_ptr<EvalState> make_state() const override;
   double max_value() const override;
 
  private:
-  std::vector<std::vector<std::size_t>> covers_;
+  // Covers adjacency in CSR form: items_[offsets_[e] .. offsets_[e+1]) are
+  // the item indices element e covers. One contiguous array keeps the
+  // marginal scan on a single cache stream; indices are validated once
+  // here, so the per-call bounds checks stay out of the hot loop.
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> items_;
   std::vector<double> weights_;
 };
 

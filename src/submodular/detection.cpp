@@ -23,6 +23,11 @@ class SingleState final : public EvalState {
     miss_ *= 1.0 - (*p_)[e];
   }
 
+  void reset() override {
+    in_set_.assign(in_set_.size(), 0);
+    miss_ = 1.0;
+  }
+
   double value() const override { return 1.0 - miss_; }
 
   std::unique_ptr<EvalState> clone() const override {
@@ -56,11 +61,27 @@ class MultiState final : public EvalState {
     return gain;
   }
 
+  void marginal_batch(std::span<const std::size_t> elements,
+                      std::span<double> out_gains) const override {
+    if (out_gains.size() < elements.size())
+      throw std::invalid_argument(
+          "MultiState::marginal_batch: gains span too small");
+    // Same arithmetic as the scalar path (term-for-term, in list order) so
+    // the batched gains are bit-identical to marginal().
+    for (std::size_t i = 0; i < elements.size(); ++i)
+      out_gains[i] = marginal(elements[i]);
+  }
+
   void add(std::size_t e) override {
     check(e);
     if (in_set_[e]) return;
     in_set_[e] = 1;
     for (const auto& [target, p] : (*by_sensor_)[e]) miss_[target] *= 1.0 - p;
+  }
+
+  void reset() override {
+    in_set_.assign(in_set_.size(), 0);
+    miss_.assign(miss_.size(), 1.0);
   }
 
   double value() const override {

@@ -5,6 +5,14 @@
 
 namespace cool::sub {
 
+void EvalState::marginal_batch(std::span<const std::size_t> elements,
+                               std::span<double> out_gains) const {
+  if (out_gains.size() < elements.size())
+    throw std::invalid_argument("EvalState::marginal_batch: gains span too small");
+  for (std::size_t i = 0; i < elements.size(); ++i)
+    out_gains[i] = marginal(elements[i]);
+}
+
 double SubmodularFunction::value(std::span<const std::size_t> set) const {
   const auto state = make_state();
   for (const auto e : set) {

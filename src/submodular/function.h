@@ -25,6 +25,11 @@
 namespace cool::sub {
 
 // Incremental evaluator positioned at some set S (initially ∅).
+//
+// Thread-safety contract: `marginal` and `marginal_batch` are const and
+// must be safe to call concurrently from multiple threads on the same
+// state (no mutable caches) — the parallel argmax scans rely on this.
+// `add` and `reset` require exclusive access.
 class EvalState {
  public:
   virtual ~EvalState() = default;
@@ -33,8 +38,20 @@ class EvalState {
   // already in S must return 0 (idempotence of sets).
   virtual double marginal(std::size_t element) const = 0;
 
+  // Batched marginals: out_gains[i] = marginal(elements[i]), bit-for-bit.
+  // Requires out_gains.size() >= elements.size(). The default is the
+  // scalar loop; oracles with flat layouts override it to keep the argmax
+  // scan's inner loop free of virtual dispatch.
+  virtual void marginal_batch(std::span<const std::size_t> elements,
+                              std::span<double> out_gains) const;
+
   // S ← S ∪ {element}. Adding a member twice is a no-op.
   virtual void add(std::size_t element) = 0;
+
+  // S ← ∅, equivalent to a fresh make_state() without the allocations —
+  // the repeated-evaluation paths (evaluator, repair oracle, LP rounding)
+  // reset one state per slot instead of churning the heap.
+  virtual void reset() = 0;
 
   // U(S).
   virtual double value() const = 0;

@@ -39,6 +39,12 @@ class KState final : public EvalState {
     }
   }
 
+  void reset() override {
+    count_.assign(count_.size(), 0);
+    in_set_.assign(in_set_.size(), 0);
+    value_ = 0.0;
+  }
+
   double value() const override { return value_; }
 
   std::unique_ptr<EvalState> clone() const override {

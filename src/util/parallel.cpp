@@ -1,0 +1,232 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/obs.h"
+
+namespace cool::util {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+std::size_t env_thread_count() {
+  const char* env = std::getenv("COOL_THREADS");
+  if (env == nullptr || *env == '\0') return hardware_threads();
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || parsed <= 0) return hardware_threads();
+  return static_cast<std::size_t>(parsed);
+}
+
+// Requested count; 0 means "resolve from COOL_THREADS / hardware".
+std::atomic<std::size_t> g_requested{0};
+
+}  // namespace
+
+std::size_t hardware_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void set_thread_count(std::size_t n) {
+  g_requested.store(n, std::memory_order_relaxed);
+}
+
+std::size_t thread_count() {
+  const std::size_t requested = g_requested.load(std::memory_order_relaxed);
+  return requested == 0 ? env_thread_count() : requested;
+}
+
+std::vector<ChunkRange> chunk_ranges(std::size_t n, std::size_t grain) {
+  if (grain == 0) throw std::invalid_argument("chunk_ranges: grain == 0");
+  std::vector<ChunkRange> chunks;
+  if (n == 0) return chunks;
+  chunks.reserve((n + grain - 1) / grain);
+  for (std::size_t begin = 0; begin < n; begin += grain)
+    chunks.push_back(ChunkRange{begin, std::min(n, begin + grain)});
+  return chunks;
+}
+
+// ---- ThreadPool ----
+
+struct ThreadPool::Impl {
+  // One lane per worker; run() fills lanes round-robin, workers drain their
+  // own lane front-first and steal from other lanes back-first.
+  struct Lane {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+  };
+
+  std::vector<std::unique_ptr<Lane>> lanes;
+  std::vector<std::thread> workers;
+
+  // Job hand-off state, guarded by `mutex`.
+  std::mutex mutex;
+  std::condition_variable job_cv;   // workers wait for a new epoch
+  std::condition_variable done_cv;  // run() waits for unfinished == 0
+  const std::function<void(std::size_t)>* job = nullptr;
+  std::uint64_t epoch = 0;
+  std::size_t unfinished = 0;
+  // Workers currently inside the drain loop. run() waits for this to hit
+  // zero so no straggler is still scanning lanes when the next batch is
+  // queued (it would execute a new task against the dead job pointer).
+  std::size_t active = 0;
+  std::exception_ptr first_error;
+  bool stop = false;
+
+  std::mutex run_mutex;  // serializes concurrent run() callers
+
+  bool pop_or_steal(std::size_t self, std::size_t& task) {
+    {
+      Lane& mine = *lanes[self];
+      std::lock_guard<std::mutex> lock(mine.mutex);
+      if (!mine.tasks.empty()) {
+        task = mine.tasks.front();
+        mine.tasks.pop_front();
+        return true;
+      }
+    }
+    for (std::size_t offset = 1; offset < lanes.size(); ++offset) {
+      Lane& victim = *lanes[(self + offset) % lanes.size()];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        task = victim.tasks.back();
+        victim.tasks.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void worker_loop(std::size_t self) {
+    t_on_worker = true;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      job_cv.wait(lock, [&] { return stop || (job != nullptr && epoch != seen); });
+      if (stop) return;
+      seen = epoch;
+      const auto* batch = job;
+      ++active;
+      lock.unlock();
+      std::size_t task = 0;
+      while (pop_or_steal(self, task)) {
+        try {
+          (*batch)(task);
+        } catch (...) {
+          std::lock_guard<std::mutex> error_lock(mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> done_lock(mutex);
+        --unfinished;
+      }
+      lock.lock();
+      if (--active == 0 && unfinished == 0) done_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t workers) : impl_(new Impl) {
+  if (workers == 0) workers = 1;
+  impl_->lanes.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    impl_->lanes.push_back(std::make_unique<Impl::Lane>());
+  impl_->workers.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    impl_->workers.emplace_back([this, i] { impl_->worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->job_cv.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::worker_count() const noexcept {
+  return impl_->workers.size();
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
+
+void ThreadPool::run(std::size_t task_count,
+                     const std::function<void(std::size_t)>& task) {
+  if (task_count == 0) return;
+  // Nested call from a worker (or a degenerate batch): run inline. Tasks
+  // are independent, so where they execute cannot change results.
+  if (task_count == 1 || on_worker_thread()) {
+    for (std::size_t i = 0; i < task_count; ++i) task(i);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(impl_->run_mutex);
+  for (std::size_t i = 0; i < task_count; ++i) {
+    Impl::Lane& lane = *impl_->lanes[i % impl_->lanes.size()];
+    std::lock_guard<std::mutex> lock(lane.mutex);
+    lane.tasks.push_back(i);
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->job = &task;
+    impl_->unfinished = task_count;
+    impl_->first_error = nullptr;
+    ++impl_->epoch;
+    impl_->job_cv.notify_all();
+    impl_->done_cv.wait(
+        lock, [&] { return impl_->unfinished == 0 && impl_->active == 0; });
+    impl_->job = nullptr;
+    error = impl_->first_error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+// ---- global pool + helpers ----
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  const std::size_t want = thread_count();
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool || g_pool->worker_count() != want)
+    g_pool = std::make_unique<ThreadPool>(want);
+  return *g_pool;
+}
+
+void parallel_chunks(std::size_t chunk_count,
+                     const std::function<void(std::size_t)>& body) {
+  if (chunk_count == 0) return;
+  const std::size_t threads = thread_count();
+  if (threads <= 1 || chunk_count == 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t c = 0; c < chunk_count; ++c) body(c);
+    return;
+  }
+  COOL_METRIC_SET("parallel.threads", threads);
+  COOL_METRIC_ADD("parallel.tasks", chunk_count);
+  global_pool().run(chunk_count, body);
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  const auto chunks = chunk_ranges(n, grain);
+  parallel_chunks(chunks.size(),
+                  [&](std::size_t c) { body(chunks[c].begin, chunks[c].end); });
+}
+
+}  // namespace cool::util

@@ -30,6 +30,10 @@ class SupermodularPair final : public SubmodularFunction {
         value_ += marginal(e);
         in_[e] = true;
       }
+      void reset() override {
+        in_[0] = in_[1] = false;
+        value_ = 0.0;
+      }
       double value() const override { return value_; }
       std::unique_ptr<EvalState> clone() const override {
         return std::make_unique<State>(*this);
@@ -58,6 +62,10 @@ class Decreasing final : public SubmodularFunction {
         if (in_[e]) return;
         value_ += marginal(e);
         in_[e] = true;
+      }
+      void reset() override {
+        in_[0] = in_[1] = false;
+        value_ = 0.0;
       }
       double value() const override { return value_; }
       std::unique_ptr<EvalState> clone() const override {
