@@ -13,6 +13,7 @@
 #include "core/greedy.h"
 #include "core/problem.h"
 #include "energy/pattern.h"
+#include "net/lossy_collection.h"
 #include "net/network.h"
 #include "net/routing.h"
 #include "obs/session.h"
@@ -54,7 +55,9 @@ int main(int argc, char** argv) {
               "%zu/%zu reachable) ===\n\n",
               n, sink, tree.reachable_count(), n);
   cool::util::Table table({"loss", "delivered", "data-msgs", "acks",
-                           "radio-mJ", "utility", "utility-loss"});
+                           "radio-mJ", "utility", "utility-loss", "collected",
+                           "col-frac"});
+  const auto slot_utility = problem.slot_utility_ptr();
   for (const double loss : {0.0, 0.1, 0.2, 0.35, 0.5}) {
     cool::proto::LinkModelConfig link_config;
     link_config.global_loss = loss;
@@ -66,6 +69,27 @@ int main(int argc, char** argv) {
         cool::proto::ScheduleDissemination::effective_schedule(schedule, report);
     const double utility =
         cool::core::evaluate(problem, effective).per_slot_average;
+    // The same lossy channel also carries the data plane: run the lossy
+    // collection stack over periods of the *effective* schedule and score
+    // only readings that reach the sink fresh — the geometric utility a
+    // node earns on paper is worthless if its packet dies en route.
+    cool::net::LossyCollectionConfig collect_config;
+    collect_config.subslots = 48;
+    collect_config.csma_persist = 0.35;
+    cool::net::LossyCollection collection(network, tree, links, radio,
+                                          collect_config);
+    const std::size_t period = effective.slots_per_period();
+    const std::size_t collect_slots = 4 * period;
+    double collected = 0.0;
+    for (std::size_t slot = 0; slot < collect_slots; ++slot) {
+      const auto active = effective.active_mask(slot % period);
+      const auto col = collection.step(slot, active, {}, run_rng);
+      auto state = slot_utility->make_state();
+      for (std::size_t v = 0; v < active.size(); ++v)
+        if (col.delivered_mask[v]) state->add(v);
+      collected += state->value();
+    }
+    collected /= static_cast<double>(collect_slots);
     table.row({cool::util::format("%.2f", loss),
                cool::util::format("%zu/%zu", report.nodes_delivered,
                                   report.nodes_targeted),
@@ -74,7 +98,10 @@ int main(int argc, char** argv) {
                cool::util::format("%.2f", report.radio_energy_j * 1000.0),
                cool::util::format("%.4f", utility),
                cool::util::format("%.1f%%",
-                                  100.0 * (1.0 - utility / ideal_utility))});
+                                  100.0 * (1.0 - utility / ideal_utility)),
+               cool::util::format("%.4f", collected),
+               cool::util::format("%.3f",
+                                  utility > 0.0 ? collected / utility : 1.0)});
   }
   table.print(std::cout);
 
@@ -95,7 +122,9 @@ int main(int argc, char** argv) {
                                    sync_report.max_error_ms / 60000.0, 15.0))});
   sync.print(std::cout);
   std::printf("\nexpected: delivery and utility degrade gracefully with loss "
-              "(per-hop ARQ absorbs moderate loss at message cost); clock "
+              "(per-hop ARQ absorbs moderate loss at message cost); the "
+              "collected column prices the data plane on the same channel — "
+              "only readings landing at the sink fresh count; clock "
               "error stays milliseconds — negligible against 15-minute "
               "slots, validating the paper's synchronized-clock "
               "assumption.\n");

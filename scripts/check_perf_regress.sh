@@ -12,8 +12,12 @@
 #                       Gate them on demand with an explicit
 #                       `coolstat check --metric repair_p95_us=<pct>`;
 #   everything else     deterministic at fixed seed (utilities, oracle
-#                       calls, deaths, brownouts) — tight band, effectively
-#                       "did the algorithm change".
+#                       calls, deaths, brownouts, delivered fractions,
+#                       collision/retry counts) — tight band, effectively
+#                       "did the algorithm change";
+#   acceptance flags    bench_delivered_coverage's graceful / retries_billed
+#                       / deterministic booleans — zero tolerance: a flipped
+#                       flag is a broken protocol invariant, not noise.
 #
 # Exit 0 when within tolerance, 1 on violation (coolstat check's contract),
 # 2 on harness errors. The baseline's git SHA always differs from the
@@ -51,7 +55,11 @@ if "${coolstat}" check "${results}" "${baseline}" \
   --metric '*lazy_speedup=400' \
   --metric '*par_speedup=400' \
   --metric '*control_energy_j=10' \
-  --metric '*adaptive_gain_pct=10'; then
+  --metric '*adaptive_gain_pct=10' \
+  --metric '*_energy_j_loss30=10' \
+  --metric '*graceful=0' \
+  --metric '*retries_billed=0' \
+  --metric '*deterministic=0'; then
   echo "OK: no perf regression against the committed baseline"
 else
   status=$?

@@ -19,7 +19,8 @@ bench_dir="${build_dir}/bench"
 coolstat="${build_dir}/tools/coolstat"
 for binary in "${bench_dir}/bench_scheduler_perf" \
               "${bench_dir}/bench_failure_resilience" \
-              "${bench_dir}/bench_energy_robustness" "${coolstat}"; do
+              "${bench_dir}/bench_energy_robustness" \
+              "${bench_dir}/bench_delivered_coverage" "${coolstat}"; do
   if [ ! -x "${binary}" ]; then
     echo "missing ${binary} — build first: cmake --build ${build_dir} -j" >&2
     exit 2
@@ -55,9 +56,14 @@ echo "== bench_energy_robustness (n=36, 720 slots) =="
 "${bench_dir}/bench_energy_robustness" --sensors 36 --slots 720 --seed 21 \
   --json "${workdir}/energy_robustness.json" >/dev/null
 
+echo "== bench_delivered_coverage (n=36, 96 slots) =="
+"${bench_dir}/bench_delivered_coverage" --sensors 36 --slots 96 --seed 23 \
+  --json "${workdir}/delivered_coverage.json" >/dev/null
+
 "${coolstat}" merge "${out}" \
   "${workdir}/scheduler_perf.json" \
   ${thread_artifacts[@]+"${thread_artifacts[@]}"} \
   "${workdir}/failure_resilience.json" \
-  "${workdir}/energy_robustness.json"
+  "${workdir}/energy_robustness.json" \
+  "${workdir}/delivered_coverage.json"
 echo "suite written to ${out}"

@@ -1,0 +1,55 @@
+#include "net/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cool::net {
+
+void validate_backoff_config(const BackoffConfig& config) {
+  if (config.factor < 1.0)
+    throw std::invalid_argument("BackoffConfig: factor < 1");
+  if (config.jitter < 0.0 || config.jitter > 1.0)
+    throw std::invalid_argument("BackoffConfig: jitter outside [0, 1]");
+  if (config.base_slots > config.max_slots)
+    throw std::invalid_argument("BackoffConfig: base_slots > max_slots");
+}
+
+BackoffPolicy::BackoffPolicy(const BackoffConfig& config) : config_(config) {
+  validate_backoff_config(config_);
+}
+
+std::size_t BackoffPolicy::nominal_delay(std::size_t failures) const {
+  if (failures == 0) return 0;
+  double delay = static_cast<double>(config_.base_slots);
+  for (std::size_t k = 1; k < failures; ++k) {
+    delay *= config_.factor;
+    if (delay >= static_cast<double>(config_.max_slots))
+      return config_.max_slots;
+  }
+  return std::min(config_.max_slots,
+                  static_cast<std::size_t>(std::llround(delay)));
+}
+
+std::size_t BackoffSchedule::fail(util::Rng& rng) {
+  ++failures_;
+  if (exhausted()) return 0;
+  const std::size_t nominal = policy_->nominal_delay(failures_);
+  std::size_t delay = nominal;
+  const double jitter = policy_->config().jitter;
+  if (jitter > 0.0) {
+    // Additive jitter in [0, jitter·nominal]; uniform_int keeps the draw
+    // platform-stable (no floating rounding at the bin edges).
+    const auto span = static_cast<std::int64_t>(
+        std::floor(jitter * static_cast<double>(nominal)));
+    if (span > 0)
+      delay += static_cast<std::size_t>(rng.uniform_int(0, span));
+  }
+  // Clamp to the previous draw so a lucky low jitter sample can never make
+  // the k+1-th retry fire sooner than the k-th did.
+  delay = std::max(delay, last_delay_);
+  last_delay_ = delay;
+  return delay;
+}
+
+}  // namespace cool::net

@@ -1,0 +1,89 @@
+// Bounded-retry exponential backoff with seeded jitter — the shared ARQ
+// retry policy for the collection and dissemination protocols.
+//
+// The policy is split in two:
+//   BackoffPolicy    the stateless schedule: nominal delay after the k-th
+//                    consecutive failure is base · factor^(k−1), capped at
+//                    max_slots, with a retry budget bounding attempts.
+//   BackoffSchedule  per-packet (or per-update) state: counts failures,
+//                    samples the jittered delay, and clamps the sampled
+//                    sequence to be monotone non-decreasing — two senders
+//                    that collided desynchronize (jitter) but a retry never
+//                    fires sooner than its predecessor did, so the schedule
+//                    stays a backoff under any jitter draw.
+//
+// Determinism contract: all randomness comes from the caller's util::Rng;
+// identical seeds and identical failure sequences produce bit-identical
+// delay traces (the PR 5 contract — threads never touch this path).
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace cool::net {
+
+struct BackoffConfig {
+  std::size_t base_slots = 1;    // nominal delay after the first failure
+  double factor = 2.0;           // growth per consecutive failure (>= 1)
+  std::size_t max_slots = 16;    // nominal-delay cap
+  // Jitter fraction in [0, 1]: the sampled delay is uniform in
+  // [nominal, nominal · (1 + jitter)] — additive-only, so the nominal
+  // schedule is a lower bound and the budget bound is unchanged.
+  double jitter = 0.0;
+  // Retransmissions after the first attempt; attempts() never exceeds
+  // retry_budget + 1 before exhausted() turns true.
+  std::size_t retry_budget = 5;
+};
+
+// Throws std::invalid_argument on factor < 1, jitter outside [0, 1], or
+// base_slots > max_slots.
+void validate_backoff_config(const BackoffConfig& config);
+
+class BackoffPolicy {
+ public:
+  explicit BackoffPolicy(const BackoffConfig& config = {});
+
+  // Nominal (jitter-free) delay after the `failures`-th consecutive failure
+  // (failures >= 1): min(max_slots, base · factor^(failures−1)).
+  std::size_t nominal_delay(std::size_t failures) const;
+
+  const BackoffConfig& config() const noexcept { return config_; }
+
+ private:
+  BackoffConfig config_;
+};
+
+// Per-packet retry state. The caller records one fail() per failed attempt
+// and checks exhausted() before retrying.
+class BackoffSchedule {
+ public:
+  // The policy must outlive the schedule.
+  explicit BackoffSchedule(const BackoffPolicy& policy) : policy_(&policy) {}
+
+  // Attempts made so far (the first transmission counts; fail() increments).
+  std::size_t attempts() const noexcept { return failures_; }
+  // True once the retry budget is spent: budget + 1 attempts all failed.
+  bool exhausted() const noexcept {
+    return failures_ > policy_->config().retry_budget;
+  }
+
+  // Records one failed attempt and returns the jittered delay (slots or
+  // subslots — the caller picks the unit) before the next attempt. The
+  // returned sequence is monotone non-decreasing across consecutive
+  // failures. Returns 0 once exhausted (there is no next attempt).
+  std::size_t fail(util::Rng& rng);
+
+  // Successful delivery (or a fresh packet): the failure streak resets.
+  void reset() noexcept {
+    failures_ = 0;
+    last_delay_ = 0;
+  }
+
+ private:
+  const BackoffPolicy* policy_;
+  std::size_t failures_ = 0;
+  std::size_t last_delay_ = 0;
+};
+
+}  // namespace cool::net

@@ -36,6 +36,8 @@ CollectionSlotReport DataCollection::slot_report(
       }
     }
     report.relayed_total += relays[v];
+    // Strictly-greater keeps the lowest-index forwarder on ties; the kNoNode
+    // init keeps a relay-free slot from pinning the bottleneck on node 0.
     if (relays[v] > report.max_relay_load) {
       report.max_relay_load = relays[v];
       report.bottleneck_node = v;

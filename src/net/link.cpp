@@ -1,11 +1,11 @@
-#include "proto/link.h"
+#include "net/link.h"
 
 #include <algorithm>
 #include <stdexcept>
 
-namespace cool::proto {
+namespace cool::net {
 
-LinkModel::LinkModel(const net::Network& network, const LinkModelConfig& config)
+LinkModel::LinkModel(const Network& network, const LinkModelConfig& config)
     : network_(&network), config_(config) {
   if (config.near_delivery <= 0.0 || config.near_delivery > 1.0 ||
       config.edge_delivery < 0.0 || config.edge_delivery > config.near_delivery)
@@ -39,4 +39,4 @@ bool LinkModel::try_deliver(std::size_t from, std::size_t to,
   return rng.bernoulli(delivery_probability(from, to));
 }
 
-}  // namespace cool::proto
+}  // namespace cool::net

@@ -1,0 +1,277 @@
+#include "net/lossy_collection.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace cool::net {
+
+void validate_lossy_collection_config(const LossyCollectionConfig& config) {
+  validate_backoff_config(config.backoff);
+  if (config.subslots == 0)
+    throw std::invalid_argument("LossyCollectionConfig: subslots == 0");
+  if (config.csma_persist <= 0.0 || config.csma_persist > 1.0)
+    throw std::invalid_argument(
+        "LossyCollectionConfig: csma_persist outside (0, 1]");
+  if (config.queue_capacity == 0)
+    throw std::invalid_argument("LossyCollectionConfig: queue_capacity == 0");
+  if (config.sink_check_every == 0)
+    throw std::invalid_argument("LossyCollectionConfig: sink_check_every == 0");
+  if (config.idle_listen_s < 0.0)
+    throw std::invalid_argument("LossyCollectionConfig: negative listen time");
+  if (config.probation_after > 0 && config.probation_base_slots == 0)
+    throw std::invalid_argument(
+        "LossyCollectionConfig: probation_base_slots == 0");
+  if (config.probation_max_slots < config.probation_base_slots)
+    throw std::invalid_argument(
+        "LossyCollectionConfig: probation_max_slots < probation_base_slots");
+}
+
+LossyCollection::LossyCollection(const Network& network, const RoutingTree& tree,
+                                 const LinkModel& links,
+                                 const RadioEnergyModel& radio,
+                                 const LossyCollectionConfig& config)
+    : network_(&network), tree_(&tree), links_(&links), radio_(&radio),
+      config_(config), backoff_policy_(config.backoff),
+      queue_(network.sensor_count()),
+      arq_(network.sensor_count(), BackoffSchedule(backoff_policy_)),
+      wait_(network.sensor_count(), 0),
+      origin_seq_(network.sensor_count(), 0),
+      exhaust_streak_(network.sensor_count(), 0),
+      probation_until_(network.sensor_count(), 0),
+      probation_count_(network.sensor_count(), 0),
+      node_energy_total_(network.sensor_count(), 0.0) {
+  validate_lossy_collection_config(config_);
+  // arq_ elements were copy-constructed from a schedule pointing at the
+  // ctor argument's policy; rebind them to the member copy.
+  for (auto& schedule : arq_) schedule = BackoffSchedule(backoff_policy_);
+}
+
+void LossyCollection::drop_head_exhausted(std::size_t node, std::size_t slot,
+                                          LossySlotReport& report) {
+  queue_[node].pop_front();
+  arq_[node].reset();
+  wait_[node] = 0;
+  ++report.drops_retry;
+  if (config_.probation_after == 0) return;
+  if (++exhaust_streak_[node] < config_.probation_after) return;
+  // Repeated budget exhaustion: the channel is broken, stop burning the
+  // battery against it. Doubling probation, capped.
+  exhaust_streak_[node] = 0;
+  const std::size_t backoff = std::min<std::size_t>(
+      config_.probation_max_slots,
+      config_.probation_base_slots
+          << std::min<std::uint32_t>(probation_count_[node], 16));
+  ++probation_count_[node];
+  probation_until_[node] = slot + 1 + backoff;
+  ++report.probation_entries;
+}
+
+LossySlotReport LossyCollection::step(std::size_t slot,
+                                      const std::vector<std::uint8_t>& active,
+                                      const std::vector<std::uint8_t>& comms_up,
+                                      util::Rng& rng) {
+  const std::size_t n = network_->sensor_count();
+  if (active.size() != n)
+    throw std::invalid_argument("LossyCollection: active size mismatch");
+  if (!comms_up.empty() && comms_up.size() != n)
+    throw std::invalid_argument("LossyCollection: comms_up size mismatch");
+  const auto up = [&comms_up](std::size_t v) {
+    return comms_up.empty() || comms_up[v] != 0;
+  };
+
+  LossySlotReport report;
+  report.node_energy_j.assign(n, 0.0);
+  report.delivered_mask.assign(n, 0);
+  const std::size_t sink = tree_->sink();
+
+  // 1. Origination: every active node generates one reading.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    if (!tree_->reachable(v)) {
+      ++report.stranded;
+      continue;
+    }
+    ++report.originated;
+    if (v == sink) {
+      // The gateway's collocated sensor needs no transmission.
+      ++report.delivered;
+      report.delivered_mask[v] = 1;
+      continue;
+    }
+    if (radio_dark(v, slot) || !up(v)) {
+      ++report.drops_radio_dark;
+      continue;
+    }
+    const bool con =
+        config_.con_every > 0 && origin_seq_[v] % config_.con_every == 0;
+    ++origin_seq_[v];
+    if (queue_[v].size() >= config_.queue_capacity) {
+      ++report.drops_overflow;
+      continue;
+    }
+    queue_[v].push_back({v, slot, con});
+  }
+
+  // 2. Contention/ARQ subslot machine.
+  std::vector<std::size_t> transmitters;
+  std::vector<std::uint8_t> is_tx(n, 0);
+  std::vector<std::uint32_t> collisions_at(n, 0);
+  for (std::size_t sub = 0; sub < config_.subslots; ++sub) {
+    // Gather this subslot's transmitters (ascending order: the rng draw
+    // sequence is part of the determinism contract).
+    transmitters.clear();
+    std::fill(is_tx.begin(), is_tx.end(), 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (wait_[v] > 0) {
+        --wait_[v];  // the backoff timer runs in real time
+        continue;
+      }
+      if (v == sink || queue_[v].empty() || !tx_eligible(v, slot)) continue;
+      if (radio_dark(v, slot) || !up(v)) continue;
+      if (!rng.bernoulli(config_.csma_persist)) continue;  // defer (CSMA)
+      transmitters.push_back(v);
+      is_tx[v] = 1;
+    }
+
+    for (const std::size_t t : transmitters) {
+      Packet& pkt = queue_[t].front();
+      const std::size_t r = tree_->parent(t);
+      const bool retry = pkt.con && arq_[t].attempts() > 0;
+      ++report.transmissions;
+      if (retry) ++report.retries;
+      report.node_energy_j[t] += radio_->tx_energy_j();
+
+      // Collision: another simultaneous transmitter interferes at r — it is
+      // r itself (half-duplex), or any transmitter in r's comm range.
+      bool collided = false;
+      if (is_tx[r]) {
+        collided = true;
+      } else {
+        for (const std::size_t u : transmitters) {
+          if (u == t) continue;
+          const auto& nbrs = network_->neighbors(r);
+          if (std::find(nbrs.begin(), nbrs.end(), u) != nbrs.end()) {
+            collided = true;
+            break;
+          }
+        }
+      }
+      const bool receiver_up = r == sink || up(r);
+      const bool success = receiver_up && !collided &&
+                           links_->try_deliver(t, r, rng);
+      if (collided) {
+        ++report.collisions;
+        ++collisions_at[r];
+      }
+
+      if (!success) {
+        if (!pkt.con) {
+          // NON: fire and forget — the sender never learns, the packet dies.
+          ++report.non_lost;
+          queue_[t].pop_front();
+          arq_[t].reset();
+          continue;
+        }
+        const std::size_t delay = arq_[t].fail(rng);
+        if (arq_[t].exhausted()) {
+          drop_head_exhausted(t, slot, report);
+        } else {
+          wait_[t] = delay;
+        }
+        continue;
+      }
+
+      // Data landed.
+      report.node_energy_j[r] += radio_->rx_energy_j();
+      if (pkt.con) {
+        // Ack races back. A lost ack costs a duplicate data+ack exchange
+        // (the receiver dedups), billed here without re-entering the
+        // contention machine — the bounded approximation the dissemination
+        // layer also uses.
+        ++report.acks;
+        report.node_energy_j[r] += radio_->tx_energy_j();
+        if (links_->try_deliver(r, t, rng)) {
+          report.node_energy_j[t] += radio_->rx_energy_j();
+        } else {
+          ++report.duplicates;
+          ++report.transmissions;
+          ++report.acks;
+          report.node_energy_j[t] += radio_->tx_energy_j();
+          report.node_energy_j[r] +=
+              radio_->rx_energy_j() + radio_->tx_energy_j();
+          report.node_energy_j[t] += radio_->rx_energy_j();
+        }
+      }
+      const Packet landed = pkt;
+      queue_[t].pop_front();
+      arq_[t].reset();
+      exhaust_streak_[t] = 0;
+      if (r == sink) {
+        if (landed.origin_slot == slot) {
+          ++report.delivered;
+          report.delivered_mask[landed.origin] = 1;
+        } else {
+          ++report.delivered_late;
+        }
+      } else if (queue_[r].size() >= config_.queue_capacity) {
+        // Transported, acked — and dropped on the relay's full queue: the
+        // nastiest loss mode, invisible to the sender.
+        ++report.drops_overflow;
+      } else {
+        queue_[r].push_back(landed);
+      }
+    }
+  }
+
+  // 3. End-of-slot accounting.
+  for (std::size_t v = 0; v < n; ++v) {
+    report.queued_end += queue_[v].size();
+    report.max_queue_depth = std::max(report.max_queue_depth, queue_[v].size());
+    if (collisions_at[v] > report.hot_node_collisions) {
+      report.hot_node_collisions = collisions_at[v];
+      report.hot_node = v;
+    }
+    // Radio-on nodes pay low-power listen; probation/radio-dark nodes and
+    // idle empty-queue nodes sleep.
+    const bool radio_on = (active[v] != 0 || !queue_[v].empty() || v == sink) &&
+                          !radio_dark(v, slot) && up(v);
+    if (radio_on)
+      report.node_energy_j[v] += radio_->idle_energy_j(config_.idle_listen_s);
+    report.radio_energy_j += report.node_energy_j[v];
+    node_energy_total_[v] += report.node_energy_j[v];
+  }
+
+  stats_.originated += report.originated;
+  stats_.delivered += report.delivered;
+  stats_.delivered_late += report.delivered_late;
+  stats_.drops_overflow += report.drops_overflow;
+  stats_.drops_retry += report.drops_retry;
+  stats_.drops_radio_dark += report.drops_radio_dark;
+  stats_.non_lost += report.non_lost;
+  stats_.collisions += report.collisions;
+  stats_.transmissions += report.transmissions;
+  stats_.retries += report.retries;
+  stats_.acks += report.acks;
+  stats_.probation_entries += report.probation_entries;
+  stats_.radio_energy_j += report.radio_energy_j;
+
+  // One batch of atomics per slot, not per subslot (the PR 3 discipline).
+  if (report.originated > 0 || report.transmissions > 0) {
+    COOL_METRIC_ADD("collection.originated", report.originated);
+    COOL_METRIC_ADD("collection.delivered", report.delivered);
+    COOL_METRIC_ADD("collection.retries", report.retries);
+    COOL_METRIC_ADD("collection.collisions", report.collisions);
+    COOL_METRIC_ADD("collection.drops",
+                    report.drops_overflow + report.drops_retry +
+                        report.drops_radio_dark + report.non_lost);
+    COOL_METRIC_OBSERVE("collection.queue_depth",
+                        static_cast<double>(report.max_queue_depth));
+  }
+  if (report.probation_entries > 0)
+    COOL_INSTANT("collection.probation", "net");
+  return report;
+}
+
+}  // namespace cool::net

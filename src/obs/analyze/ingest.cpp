@@ -41,6 +41,11 @@ SlotRecord slot_from_json(const JsonValue& doc) {
   r.control_messages = size_or(doc, "control_messages");
   r.radio_energy_j = num_or(doc, "radio_energy_j", 0.0);
   r.delta_pending = size_or(doc, "delta_pending");
+  r.delivered_utility = num_or(doc, "delivered_utility", 0.0);
+  r.packets_delivered = size_or(doc, "packets_delivered");
+  r.packet_drops = size_or(doc, "packet_drops");
+  r.collisions = size_or(doc, "collisions");
+  r.queue_peak = size_or(doc, "queue_peak");
   return r;
 }
 

@@ -18,9 +18,10 @@ void summarize_timeline(const TimelineData& data, RunSummary& summary) {
   if (slots.empty()) return;
 
   double utility_sum = 0.0, utility_min = slots.front().utility;
-  double active_sum = 0.0, radio_j = 0.0;
+  double active_sum = 0.0, radio_j = 0.0, delivered_sum = 0.0;
   std::size_t brownouts = 0, declines = 0, repairs = 0, moves = 0, replans = 0,
-              control = 0, live_min = slots.front().live, delta_peak = 0;
+              control = 0, live_min = slots.front().live, delta_peak = 0,
+              packets = 0, drops = 0, collisions = 0, queue_peak = 0;
   std::vector<double> repair_latency;  // per-call latency, slots with repairs
   for (const auto& s : slots) {
     utility_sum += s.utility;
@@ -35,6 +36,11 @@ void summarize_timeline(const TimelineData& data, RunSummary& summary) {
     control += s.control_messages;
     live_min = std::min(live_min, s.live);
     delta_peak = std::max(delta_peak, s.delta_pending);
+    delivered_sum += s.delivered_utility;
+    packets += s.packets_delivered;
+    drops += s.packet_drops;
+    collisions += s.collisions;
+    queue_peak = std::max(queue_peak, s.queue_peak);
     if (s.repairs > 0)
       repair_latency.push_back(s.repair_micros /
                                static_cast<double>(s.repairs));
@@ -58,6 +64,14 @@ void summarize_timeline(const TimelineData& data, RunSummary& summary) {
   put(summary, "control_messages", static_cast<double>(control));
   put(summary, "radio_energy_j", radio_j);
   put(summary, "delta_pending_peak", static_cast<double>(delta_peak));
+  // Delivered-coverage rollups; all-zero when the run had no data plane.
+  if (packets > 0 || drops > 0 || delivered_sum > 0.0) {
+    put(summary, "delivered_utility_mean", delivered_sum / n);
+    put(summary, "packets_delivered", static_cast<double>(packets));
+    put(summary, "packet_drops", static_cast<double>(drops));
+    put(summary, "collisions", static_cast<double>(collisions));
+    put(summary, "queue_peak", static_cast<double>(queue_peak));
+  }
 }
 
 void summarize_metrics(const MetricsData& data, RunSummary& summary) {

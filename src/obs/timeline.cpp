@@ -32,6 +32,11 @@ std::string TimelineSink::to_json(const SlotRecord& r) {
   field("control_messages", std::to_string(r.control_messages));
   field("radio_energy_j", json_number(r.radio_energy_j));
   field("delta_pending", std::to_string(r.delta_pending));
+  field("delivered_utility", json_number(r.delivered_utility));
+  field("packets_delivered", std::to_string(r.packets_delivered));
+  field("packet_drops", std::to_string(r.packet_drops));
+  field("collisions", std::to_string(r.collisions));
+  field("queue_peak", std::to_string(r.queue_peak));
   out += '}';
   return out;
 }

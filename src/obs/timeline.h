@@ -37,6 +37,12 @@ struct SlotRecord {
   std::size_t control_messages = 0; // heartbeat + delta transmissions this slot
   double radio_energy_j = 0.0;      // control-plane radio energy this slot
   std::size_t delta_pending = 0;    // updates still queued at slot end
+  // Lossy collection (zero unless the runtime runs the data plane).
+  double delivered_utility = 0.0;   // coverage whose readings reached the sink
+  std::size_t packets_delivered = 0;  // fresh in-slot deliveries
+  std::size_t packet_drops = 0;     // overflow + retry + radio-dark + NON loss
+  std::size_t collisions = 0;       // contention losses this slot
+  std::size_t queue_peak = 0;       // deepest forward queue at slot end
 };
 
 // Appends records to a stream as JSON Lines. The stream must outlive the

@@ -1,0 +1,15 @@
+// Compatibility re-export: the ARQ retry/backoff policy lives in
+// net/backoff.h (beside the link and radio models) so the collection data
+// plane can share it without a layering cycle. Protocol code addresses it
+// as proto::BackoffPolicy; both names refer to the same types.
+#pragma once
+
+#include "net/backoff.h"
+
+namespace cool::proto {
+
+using BackoffConfig = net::BackoffConfig;
+using BackoffPolicy = net::BackoffPolicy;
+using BackoffSchedule = net::BackoffSchedule;
+
+}  // namespace cool::proto

@@ -14,12 +14,10 @@ DeltaDisseminator::DeltaDisseminator(const net::Network& network,
                                      const net::RadioEnergyModel& radio,
                                      DeltaDisseminationConfig config)
     : tree_(&tree), links_(&links), radio_(&radio), config_(config),
+      backoff_(config.backoff_policy()),
       pending_(network.sensor_count(), 0),
       next_attempt_slot_(network.sensor_count(), 0),
-      failures_(network.sensor_count(), 0) {
-  if (config_.backoff_factor < 1.0)
-    throw std::invalid_argument("DeltaDisseminator: backoff_factor < 1");
-}
+      failures_(network.sensor_count(), 0) {}
 
 void DeltaDisseminator::enqueue(std::size_t node, std::size_t slot) {
   if (node >= pending_.size())
@@ -96,14 +94,7 @@ DeltaSlotReport DeltaDisseminator::step(std::size_t slot,
       ++stats_.updates_abandoned;
       continue;
     }
-    const double backoff =
-        static_cast<double>(config_.backoff_base_slots) *
-        std::pow(config_.backoff_factor,
-                 static_cast<double>(failures_[v] - 1));
-    next_attempt_slot_[v] =
-        slot + 1 +
-        std::min<std::size_t>(config_.max_backoff_slots,
-                              static_cast<std::size_t>(backoff));
+    next_attempt_slot_[v] = slot + 1 + backoff_.nominal_delay(failures_[v]);
   }
   stats_.attempts += report.attempts;
   stats_.data_transmissions += report.data_transmissions;

@@ -15,6 +15,7 @@
 #include "net/network.h"
 #include "net/radio.h"
 #include "net/routing.h"
+#include "proto/backoff.h"
 #include "proto/link.h"
 #include "util/rng.h"
 
@@ -52,6 +53,17 @@ struct DeltaDisseminationConfig {
   double backoff_factor = 2.0;         // growth per consecutive failure
   std::size_t max_backoff_slots = 16;
   std::size_t max_attempts = 0;        // per update; 0 = keep trying forever
+
+  // The equivalent shared policy (net/backoff.h) the disseminator runs on.
+  BackoffConfig backoff_policy() const {
+    BackoffConfig policy;
+    policy.base_slots = backoff_base_slots;
+    policy.factor = backoff_factor;
+    policy.max_slots = max_backoff_slots;
+    policy.jitter = 0.0;  // slot-granular delta pushes need no jitter
+    policy.retry_budget = max_attempts;
+    return policy;
+  }
 };
 
 struct DeltaSlotReport {
@@ -104,6 +116,7 @@ class DeltaDisseminator {
   const LinkModel* links_;
   const net::RadioEnergyModel* radio_;
   DeltaDisseminationConfig config_;
+  BackoffPolicy backoff_;
   std::vector<std::uint8_t> pending_;
   std::vector<std::size_t> next_attempt_slot_;
   std::vector<std::size_t> failures_;  // consecutive failures per update

@@ -1,38 +1,14 @@
-// Lossy-link model for the protocol layer.
-//
-// Per-transmission delivery succeeds with a probability derived from link
-// distance: near-perfect inside half the communication range, degrading
-// smoothly to a floor at the edge — the standard empirical shape of CC2420
-// packet reception curves, reduced to a two-parameter model.
+// Compatibility re-export: the lossy-link model moved down into net/link.h
+// so the collection data plane (net/lossy_collection) can sample links
+// without a net -> proto layering cycle. Protocol code keeps using
+// proto::LinkModel; both names refer to the same type.
 #pragma once
 
-#include <cstddef>
-
-#include "net/network.h"
-#include "util/rng.h"
+#include "net/link.h"
 
 namespace cool::proto {
 
-struct LinkModelConfig {
-  double near_delivery = 0.98;  // PRR well inside range
-  double edge_delivery = 0.50;  // PRR at exactly the communication range
-  // Extra multiplicative loss applied to every link (interference knob).
-  double global_loss = 0.0;     // in [0, 1); 0 = none
-};
-
-class LinkModel {
- public:
-  LinkModel(const net::Network& network, const LinkModelConfig& config = {});
-
-  // Delivery probability of one transmission a -> b; 0 when not neighbours.
-  double delivery_probability(std::size_t from, std::size_t to) const;
-
-  // Samples one transmission attempt.
-  bool try_deliver(std::size_t from, std::size_t to, util::Rng& rng) const;
-
- private:
-  const net::Network* network_;
-  LinkModelConfig config_;
-};
+using LinkModelConfig = net::LinkModelConfig;
+using LinkModel = net::LinkModel;
 
 }  // namespace cool::proto

@@ -120,6 +120,8 @@ ResilientRuntime::ResilientRuntime(
   validate_fault_config(config_.faults, n);
   validate_energy_uncertainty_config(config_.energy, n,
                                      config_.pattern.rho() > 1.0);
+  if (config_.collect)
+    net::validate_lossy_collection_config(config_.collection);
 }
 
 RuntimeReport ResilientRuntime::run() {
@@ -158,6 +160,11 @@ RuntimeReport ResilientRuntime::run() {
   // Energy stream 5: the supply realization is shared across systems run
   // from one seed, so nominal/margin/adaptive arms face identical weather.
   util::Rng energy_rng = rng_.fork(5);
+  // Collection stream 6: the data plane's contention/loss realization.
+  util::Rng collection_rng = rng_.fork(6);
+  std::optional<net::LossyCollection> collector;
+  if (config_.collect)
+    collector.emplace(*network_, *tree_, *links_, *radio_, config_.collection);
 
   // Gateway's plan, the rows it has promised to push, and what each node is
   // actually executing (the last assignment that reached it).
@@ -253,6 +260,16 @@ RuntimeReport ResilientRuntime::run() {
     if (eu.enabled) {
       for (std::size_t v = 0; v < n; ++v) {
         if (!radio_dead[v]) continue;
+        comms_up[v] = 0;
+        if (up[v]) ++report.radio_blackout_slots;
+      }
+    }
+    // A node the ARQ stack pushed into probation sleeps its radio too: its
+    // heartbeats stop, so the detector reacts to *delivered* liveness — a
+    // live node behind a broken channel looks exactly like a dead one.
+    if (collector) {
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!collector->radio_dark(v, slot)) continue;
         comms_up[v] = 0;
         if (up[v]) ++report.radio_blackout_slots;
       }
@@ -508,10 +525,44 @@ RuntimeReport ResilientRuntime::run() {
     tick.utility = slot_utility;
     tick.active = active.size();
 
-    // 6. Advance batteries; completed active slots feed wearout and the
-    // discharge estimator, completed recharges feed the recharge estimator.
     std::vector<std::uint8_t> is_active(n, 0);
     for (const auto v : active) is_active[v] = 1;
+
+    // 5b. The data plane: active nodes push their readings through the
+    // contended lossy stack; only the coverage whose packets reached the
+    // sink fresh counts as *delivered* utility.
+    if (collector) {
+      COOL_SPAN("runtime.collect", "sim");
+      const auto col = collector->step(slot, is_active, comms_up, collection_rng);
+      const auto delivered_state = utility_->make_state();
+      for (std::size_t v = 0; v < n; ++v)
+        if (col.delivered_mask[v]) delivered_state->add(v);
+      const double delivered_utility = delivered_state->value();
+      report.delivered_utility += delivered_utility;
+      report.packets_originated += col.originated;
+      report.packets_delivered += col.delivered;
+      report.packets_late += col.delivered_late;
+      report.packet_drops_overflow += col.drops_overflow;
+      report.packet_drops_retry += col.drops_retry;
+      report.packet_drops_radio_dark += col.drops_radio_dark;
+      report.packets_non_lost += col.non_lost;
+      report.collisions += col.collisions;
+      report.collection_transmissions += col.transmissions;
+      report.collection_retries += col.retries;
+      report.probation_entries += col.probation_entries;
+      report.max_queue_depth = std::max(report.max_queue_depth,
+                                        col.max_queue_depth);
+      report.collection_energy_j += col.radio_energy_j;
+      tick.delivered_utility = delivered_utility;
+      tick.packets_delivered = col.delivered;
+      tick.packet_drops = col.drops_overflow + col.drops_retry +
+                          col.drops_radio_dark + col.non_lost;
+      tick.collisions = col.collisions;
+      tick.queue_peak = col.max_queue_depth;
+    }
+
+    // 6. Advance batteries; completed active slots feed wearout and the
+    // discharge estimator, completed recharges feed the recharge estimator.
     for (std::size_t v = 0; v < n; ++v) {
       if (is_active[v]) {
         faults.record_activation(v);
@@ -561,6 +612,15 @@ RuntimeReport ResilientRuntime::run() {
   if (eu.enabled) {
     report.benched_final = benched_count;
     report.estimated_fleet_rho_slots = estimator->fleet_rho();
+  }
+  if (collector) {
+    report.average_delivered_per_slot =
+        report.delivered_utility / static_cast<double>(config_.slots);
+    report.delivered_fraction =
+        report.total_utility > 0.0
+            ? report.delivered_utility / report.total_utility
+            : 1.0;
+    report.collection_node_energy_j = collector->node_energy_j();
   }
   return report;
 }

@@ -39,6 +39,7 @@
 #include "core/schedule.h"
 #include "energy/estimator.h"
 #include "energy/pattern.h"
+#include "net/lossy_collection.h"
 #include "net/network.h"
 #include "net/radio.h"
 #include "net/routing.h"
@@ -130,6 +131,13 @@ struct RuntimeConfig {
   core::RepairConfig repair;
   proto::DeltaDisseminationConfig delta;
   EnergyUncertaintyConfig energy;
+  // Run the lossy collection data plane each slot: active nodes push their
+  // readings to the sink over the contended ARQ stack, the report carries
+  // delivered (not just geometric) utility, and a node that talks itself
+  // into probation goes radio-dark — so detect→repair runs off delivered
+  // liveness instead of assumed liveness.
+  bool collect = false;
+  net::LossyCollectionConfig collection;
   // Score every repair against the full lazy-greedy recompute oracle and
   // record the utility ratio (costly: one full schedule per repair).
   bool oracle_gap = false;
@@ -184,6 +192,28 @@ struct RuntimeReport {
   std::size_t benched_final = 0;       // nodes still benched at horizon end
   double estimated_fleet_rho_slots = 0.0;  // final fleet ρ̂′ (slots)
   double planned_rho_slots = 0.0;          // T − 1
+  // Delivered coverage (populated when RuntimeConfig::collect).
+  double delivered_utility = 0.0;          // Σ per-slot delivered utility
+  double average_delivered_per_slot = 0.0;
+  // delivered / geometric utility: the share of scheduled coverage whose
+  // readings actually reached the sink fresh (1 when collect is off).
+  double delivered_fraction = 1.0;
+  std::size_t packets_originated = 0;
+  std::size_t packets_delivered = 0;       // fresh, in-slot
+  std::size_t packets_late = 0;            // landed after their slot (stale)
+  std::size_t packet_drops_overflow = 0;
+  std::size_t packet_drops_retry = 0;
+  std::size_t packet_drops_radio_dark = 0;
+  std::size_t packets_non_lost = 0;        // NON fire-and-forget losses
+  std::size_t collisions = 0;
+  std::size_t collection_transmissions = 0;
+  std::size_t collection_retries = 0;
+  std::size_t probation_entries = 0;       // nodes sent radio-dark by ARQ
+  std::size_t max_queue_depth = 0;
+  double collection_energy_j = 0.0;
+  // Per-node data-plane radio energy — retries, collisions and duplicates
+  // are billed to the node that burned them.
+  std::vector<double> collection_node_energy_j;
 };
 
 class ResilientRuntime {

@@ -1,0 +1,121 @@
+#include "net/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace cool::net {
+namespace {
+
+TEST(Backoff, NominalScheduleIsExponentialAndCapped) {
+  BackoffConfig config;
+  config.base_slots = 2;
+  config.factor = 2.0;
+  config.max_slots = 20;
+  const BackoffPolicy policy(config);
+  EXPECT_EQ(policy.nominal_delay(0), 0u);
+  EXPECT_EQ(policy.nominal_delay(1), 2u);
+  EXPECT_EQ(policy.nominal_delay(2), 4u);
+  EXPECT_EQ(policy.nominal_delay(3), 8u);
+  EXPECT_EQ(policy.nominal_delay(4), 16u);
+  EXPECT_EQ(policy.nominal_delay(5), 20u);   // capped
+  EXPECT_EQ(policy.nominal_delay(50), 20u);  // stays capped, no overflow
+}
+
+TEST(Backoff, Validation) {
+  BackoffConfig bad;
+  bad.factor = 0.5;
+  EXPECT_THROW(BackoffPolicy{bad}, std::invalid_argument);
+  bad = {};
+  bad.jitter = 1.5;
+  EXPECT_THROW(BackoffPolicy{bad}, std::invalid_argument);
+  bad = {};
+  bad.base_slots = 32;
+  bad.max_slots = 16;
+  EXPECT_THROW(BackoffPolicy{bad}, std::invalid_argument);
+}
+
+// Property: attempts never exceed the retry budget. A caller that checks
+// exhausted() before retrying makes budget + 1 total attempts, no more.
+TEST(Backoff, AttemptsNeverExceedRetryBudget) {
+  for (std::size_t budget : {0u, 1u, 3u, 7u}) {
+    BackoffConfig config;
+    config.retry_budget = budget;
+    const BackoffPolicy policy(config);
+    BackoffSchedule schedule(policy);
+    util::Rng rng(17);
+    std::size_t attempts_made = 0;
+    while (!schedule.exhausted()) {
+      ++attempts_made;  // transmit (and fail)
+      schedule.fail(rng);
+    }
+    EXPECT_EQ(attempts_made, budget + 1);
+    EXPECT_EQ(schedule.attempts(), budget + 1);
+    EXPECT_TRUE(schedule.exhausted());
+  }
+}
+
+// Property: the sampled delay sequence is monotone non-decreasing for any
+// jitter draw — a retry never fires sooner than its predecessor.
+TEST(Backoff, JitteredDelaysAreMonotoneNonDecreasing) {
+  BackoffConfig config;
+  config.base_slots = 1;
+  config.factor = 2.0;
+  config.max_slots = 64;
+  config.jitter = 1.0;  // maximal jitter: the hardest case for monotonicity
+  config.retry_budget = 12;
+  const BackoffPolicy policy(config);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    BackoffSchedule schedule(policy);
+    util::Rng rng(seed);
+    std::size_t previous = 0;
+    while (!schedule.exhausted()) {
+      const std::size_t delay = schedule.fail(rng);
+      if (schedule.exhausted()) break;
+      EXPECT_GE(delay, previous) << "seed " << seed;
+      // The jitter is additive-only: nominal is a lower bound.
+      EXPECT_GE(delay, policy.nominal_delay(schedule.attempts()));
+      previous = delay;
+    }
+  }
+}
+
+// Property: identical seeds produce bit-identical attempt traces.
+TEST(Backoff, SameSeedSameTrace) {
+  BackoffConfig config;
+  config.jitter = 0.7;
+  config.retry_budget = 10;
+  config.max_slots = 128;
+  const BackoffPolicy policy(config);
+  const auto trace = [&policy](std::uint64_t seed) {
+    BackoffSchedule schedule(policy);
+    util::Rng rng(seed);
+    std::vector<std::size_t> delays;
+    while (!schedule.exhausted()) delays.push_back(schedule.fail(rng));
+    return delays;
+  };
+  EXPECT_EQ(trace(42), trace(42));
+  EXPECT_EQ(trace(7), trace(7));
+  // And distinct seeds actually jitter (not a constant schedule).
+  EXPECT_NE(trace(1), trace(2));
+}
+
+TEST(Backoff, ResetClearsTheStreak) {
+  BackoffConfig config;
+  config.retry_budget = 2;
+  const BackoffPolicy policy(config);
+  BackoffSchedule schedule(policy);
+  util::Rng rng(3);
+  schedule.fail(rng);
+  schedule.fail(rng);
+  EXPECT_EQ(schedule.attempts(), 2u);
+  schedule.reset();
+  EXPECT_EQ(schedule.attempts(), 0u);
+  EXPECT_FALSE(schedule.exhausted());
+  // After a reset the schedule starts over at the base delay.
+  EXPECT_EQ(schedule.fail(rng), policy.nominal_delay(1));
+}
+
+}  // namespace
+}  // namespace cool::net

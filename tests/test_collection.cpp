@@ -97,6 +97,90 @@ TEST_F(DataCollectionTest, HottestNodeIsTheRelayHub) {
   EXPECT_EQ(report.hottest_node, 1u);
 }
 
+TEST_F(DataCollectionTest, RelayFreeSlotHasNoBottleneck) {
+  // Node 1 is one hop from the sink: nothing forwards, so there is no
+  // bottleneck to name (the old code pinned node 0 here).
+  std::vector<std::uint8_t> active(5, 0);
+  active[1] = 1;
+  const auto report = collection_.slot_report(active);
+  EXPECT_EQ(report.max_relay_load, 0u);
+  EXPECT_EQ(report.bottleneck_node, CollectionSlotReport::kNoNode);
+}
+
+// Audit of the slot accounting against a hand-built 5-node tree:
+//
+//   4 -- 0(sink) -- 1 -- 2
+//                    \-- 3
+//
+// Every quantity below is computed by hand from the topology.
+TEST(DataCollectionAudit, FiveNodeTreeMatchesHandAccounting) {
+  std::vector<Sensor> sensors{
+      {0, {0.0, 0.0}, 5.0, 11.0},    // sink
+      {1, {10.0, 0.0}, 5.0, 11.0},   // relay hub
+      {2, {10.0, 10.0}, 5.0, 11.0},  // leaf under 1
+      {3, {20.0, 0.0}, 5.0, 11.0},   // leaf under 1
+      {4, {-10.0, 0.0}, 5.0, 11.0},  // leaf under the sink
+  };
+  const Network network(std::move(sensors), {}, geom::Rect({-20, 0}, {30, 20}));
+  const RoutingTree tree(network, 0);
+  ASSERT_EQ(tree.parent(1), 0u);
+  ASSERT_EQ(tree.parent(2), 1u);
+  ASSERT_EQ(tree.parent(3), 1u);
+  ASSERT_EQ(tree.parent(4), 0u);
+  const RadioEnergyModel radio;
+  const double listen = 1.0;
+  const DataCollection collection(network, tree, radio, listen);
+
+  const std::vector<std::uint8_t> everyone(5, 1);
+  const auto report = collection.slot_report(everyone);
+  EXPECT_EQ(report.originated, 5u);
+  EXPECT_EQ(report.delivered, 5u);
+  EXPECT_EQ(report.stranded, 0u);
+  // Only node 1 forwards: one packet each for leaves 2 and 3. Originations
+  // are not relays, and the sink never forwards.
+  EXPECT_EQ(report.relayed_total, 2u);
+  EXPECT_EQ(report.max_relay_load, 2u);
+  EXPECT_EQ(report.bottleneck_node, 1u);
+  // Hand-computed per-node energy: sink listens only (lossless model: sink
+  // rx is billed to the gateway mains, not the battery); the hub pays its
+  // own tx plus rx+tx per relayed packet; leaves pay one tx each.
+  EXPECT_NEAR(report.node_energy_j[0], radio.idle_energy_j(listen), 1e-12);
+  EXPECT_NEAR(report.node_energy_j[1],
+              radio.tx_energy_j() +
+                  2.0 * (radio.rx_energy_j() + radio.tx_energy_j()) +
+                  radio.idle_energy_j(listen),
+              1e-12);
+  for (const std::size_t leaf : {2u, 3u, 4u})
+    EXPECT_NEAR(report.node_energy_j[leaf],
+                radio.tx_energy_j() + radio.idle_energy_j(listen), 1e-12);
+  double sum = 0.0;
+  for (const double e : report.node_energy_j) sum += e;
+  EXPECT_NEAR(sum, report.radio_energy_j, 1e-12);
+
+  // Leaves only: the hub relays all three leaf packets (its own reading is
+  // off this slot) and node 4's packet goes straight to the sink.
+  std::vector<std::uint8_t> leaves(5, 0);
+  leaves[2] = leaves[3] = leaves[4] = 1;
+  const auto leaf_report = collection.slot_report(leaves);
+  EXPECT_EQ(leaf_report.originated, 3u);
+  EXPECT_EQ(leaf_report.delivered, 3u);
+  EXPECT_EQ(leaf_report.relayed_total, 2u);
+  EXPECT_EQ(leaf_report.bottleneck_node, 1u);
+  // The hub is not active but must still be billed as a radio-on relay.
+  EXPECT_NEAR(leaf_report.node_energy_j[1],
+              2.0 * (radio.rx_energy_j() + radio.tx_energy_j()) +
+                  radio.idle_energy_j(listen),
+              1e-12);
+
+  // Sink-adjacent node only: zero relays anywhere, so no bottleneck.
+  std::vector<std::uint8_t> near_sink(5, 0);
+  near_sink[4] = 1;
+  const auto near_report = collection.slot_report(near_sink);
+  EXPECT_EQ(near_report.delivered, 1u);
+  EXPECT_EQ(near_report.relayed_total, 0u);
+  EXPECT_EQ(near_report.bottleneck_node, CollectionSlotReport::kNoNode);
+}
+
 TEST_F(DataCollectionTest, Validation) {
   std::vector<std::uint8_t> wrong(2, 1);
   EXPECT_THROW(collection_.slot_report(wrong), std::invalid_argument);

@@ -135,6 +135,51 @@ TEST(HeartbeatDetector, LateHeartbeatFromDeclaredDeadIsCounted) {
   EXPECT_EQ(detector.verdict(2), NodeVerdict::kDead);  // absorbing
 }
 
+// Lossy links make a healthy fleet look flaky: the false-suspicion rate
+// rises with global_loss, and the timeout backoff keeps it bounded — the
+// same loss produces far fewer false alarms than a detector whose timeout
+// never grows.
+TEST(HeartbeatDetector, FalseSuspicionsRiseWithGlobalLossBoundedByBackoff) {
+  const auto network = chain_network();
+  const net::RoutingTree tree(network, 0);
+  const net::RadioEnergyModel radio;
+  const std::vector<std::uint8_t> up(3, 1);
+
+  const auto false_suspicions = [&](double global_loss, double backoff_factor) {
+    LinkModelConfig link_config;
+    link_config.near_delivery = 1.0;
+    link_config.edge_delivery = 1.0;
+    link_config.global_loss = global_loss;
+    const LinkModel links(network, link_config);
+    HeartbeatConfig config;
+    config.timeout_slots = 2;
+    config.suspect_windows = 30;  // suspicion is cheap, death needs ~a minute
+    config.backoff_factor = backoff_factor;
+    config.max_timeout_slots = 16;
+    config.max_retransmissions = 0;  // every loss is a missed heartbeat
+    HeartbeatDetector detector(network, tree, links, radio, config);
+    util::Rng rng(99);  // same seed everywhere: only the knobs differ
+    for (std::size_t slot = 0; slot < 2000; ++slot)
+      detector.step(slot, up, rng);
+    // Everyone is up the whole time: every suspicion is false.
+    EXPECT_EQ(detector.stats().declared_dead, 0u)
+        << "loss " << global_loss << " factor " << backoff_factor;
+    return detector.stats().false_suspicions;
+  };
+
+  const std::size_t fp_clean = false_suspicions(0.0, 2.0);
+  const std::size_t fp_light = false_suspicions(0.2, 2.0);
+  const std::size_t fp_heavy = false_suspicions(0.45, 2.0);
+  EXPECT_EQ(fp_clean, 0u);
+  EXPECT_GT(fp_heavy, fp_light);  // FP rate rises with loss
+  EXPECT_GT(fp_light, 0u);
+
+  // Backoff bound: with the same heavy loss, a growing timeout absorbs the
+  // flakiness that a fixed timeout keeps paging about.
+  const std::size_t fp_no_backoff = false_suspicions(0.45, 1.0);
+  EXPECT_LT(fp_heavy, fp_no_backoff);
+}
+
 TEST(HeartbeatDetector, Validation) {
   const auto network = chain_network();
   const net::RoutingTree tree(network, 0);

@@ -1,0 +1,442 @@
+#include "net/lossy_collection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace cool::net {
+namespace {
+
+// 0 - 1 - 2 - 3 chain plus isolated node 4; sink at 0. Only adjacent chain
+// nodes are in comm range (spacing 10, radius 11).
+Network chain_network() {
+  std::vector<Sensor> sensors;
+  for (int i = 0; i < 4; ++i)
+    sensors.push_back({0, {static_cast<double>(i) * 10.0, 0.0}, 5.0, 11.0});
+  sensors.push_back({0, {500.0, 500.0}, 5.0, 11.0});
+  return Network(std::move(sensors), {}, geom::Rect({0, 0}, {600, 600}));
+}
+
+// Y topology: sink 0 -- relay 1 -- leaves {2, 3}. Both leaves parent to the
+// relay and are in its comm range, so simultaneous leaf transmissions
+// collide at the relay — the hot cell in miniature.
+Network y_network() {
+  std::vector<Sensor> sensors{
+      {0, {0.0, 0.0}, 5.0, 11.0},
+      {1, {10.0, 0.0}, 5.0, 11.0},
+      {2, {20.0, 0.0}, 5.0, 11.0},
+      {3, {10.0, 10.0}, 5.0, 11.0},
+  };
+  return Network(std::move(sensors), {}, geom::Rect({0, 0}, {30, 20}));
+}
+
+LinkModelConfig perfect_links() {
+  LinkModelConfig config;
+  config.near_delivery = 1.0;
+  config.edge_delivery = 1.0;
+  return config;
+}
+
+// csma_persist = 1 removes the CSMA coin flip so single-transmitter runs
+// are fully deterministic.
+LossyCollectionConfig deterministic_config() {
+  LossyCollectionConfig config;
+  config.csma_persist = 1.0;
+  config.backoff.jitter = 0.0;
+  return config;
+}
+
+std::vector<std::uint8_t> only(std::size_t n, std::initializer_list<int> on) {
+  std::vector<std::uint8_t> active(n, 0);
+  for (const int v : on) active[static_cast<std::size_t>(v)] = 1;
+  return active;
+}
+
+TEST(LossyCollection, PerfectChainDeliversFresh) {
+  const auto network = chain_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, perfect_links());
+  const RadioEnergyModel radio;
+  LossyCollection collection(network, tree, links, radio,
+                             deterministic_config());
+  util::Rng rng(1);
+  const auto report = collection.step(0, only(5, {3}), {}, rng);
+  EXPECT_EQ(report.originated, 1u);
+  EXPECT_EQ(report.delivered, 1u);  // one hop per subslot: lands in-slot
+  EXPECT_EQ(report.delivered_late, 0u);
+  EXPECT_EQ(report.delivered_mask[3], 1);
+  EXPECT_EQ(report.transmissions, 3u);  // 3->2, 2->1, 1->0
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.collisions, 0u);
+  EXPECT_EQ(report.acks, 3u);
+  EXPECT_EQ(report.duplicates, 0u);
+  EXPECT_EQ(report.queued_end, 0u);
+  // Origination costs the leaf one data tx plus one ack rx plus its listen
+  // window; idle node 4 pays nothing.
+  EXPECT_NEAR(report.node_energy_j[3],
+              radio.tx_energy_j() + radio.rx_energy_j() +
+                  radio.idle_energy_j(collection.config().idle_listen_s),
+              1e-12);
+  EXPECT_DOUBLE_EQ(report.node_energy_j[4], 0.0);
+}
+
+TEST(LossyCollection, SinkSelfDeliversWithoutRadio) {
+  const auto network = chain_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, perfect_links());
+  const RadioEnergyModel radio;
+  LossyCollection collection(network, tree, links, radio,
+                             deterministic_config());
+  util::Rng rng(1);
+  const auto report = collection.step(0, only(5, {0}), {}, rng);
+  EXPECT_EQ(report.delivered, 1u);
+  EXPECT_EQ(report.delivered_mask[0], 1);
+  EXPECT_EQ(report.transmissions, 0u);
+  EXPECT_NEAR(report.node_energy_j[0],
+              radio.idle_energy_j(collection.config().idle_listen_s), 1e-12);
+}
+
+TEST(LossyCollection, StrandedNodeOutsideSinkComponent) {
+  const auto network = chain_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, perfect_links());
+  const RadioEnergyModel radio;
+  LossyCollection collection(network, tree, links, radio,
+                             deterministic_config());
+  util::Rng rng(1);
+  const auto report = collection.step(0, only(5, {4}), {}, rng);
+  EXPECT_EQ(report.originated, 0u);
+  EXPECT_EQ(report.stranded, 1u);
+  EXPECT_EQ(report.transmissions, 0u);
+}
+
+TEST(LossyCollection, DeadReceiverExhaustsRetryBudgetAndBillsEveryAttempt) {
+  const auto network = chain_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, perfect_links());
+  const RadioEnergyModel radio;
+  auto config = deterministic_config();
+  config.backoff.retry_budget = 3;  // 4 attempts total
+  config.probation_after = 0;       // isolate the ARQ accounting
+  LossyCollection collection(network, tree, links, radio, config);
+  util::Rng rng(1);
+  std::vector<std::uint8_t> up(5, 1);
+  up[1] = 0;  // node 2's parent is radio-dead: every attempt fails
+  const auto report = collection.step(0, only(5, {2}), up, rng);
+  EXPECT_EQ(report.transmissions, 4u);
+  EXPECT_EQ(report.retries, 3u);
+  EXPECT_EQ(report.drops_retry, 1u);
+  EXPECT_EQ(report.delivered, 0u);
+  EXPECT_EQ(report.probation_entries, 0u);
+  // Acceptance criterion: every retry is billed to the node that burned it.
+  EXPECT_NEAR(report.node_energy_j[2],
+              4.0 * radio.tx_energy_j() +
+                  radio.idle_energy_j(config.idle_listen_s),
+              1e-12);
+  // The dead relay spends nothing.
+  EXPECT_DOUBLE_EQ(report.node_energy_j[1], 0.0);
+}
+
+TEST(LossyCollection, ProbationDoublesAndGoesRadioDark) {
+  const auto network = chain_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, perfect_links());
+  const RadioEnergyModel radio;
+  auto config = deterministic_config();
+  config.backoff.retry_budget = 0;  // one attempt per packet
+  config.probation_after = 1;       // first exhaustion triggers probation
+  config.probation_base_slots = 2;
+  config.probation_max_slots = 64;
+  LossyCollection collection(network, tree, links, radio, config);
+  util::Rng rng(1);
+  std::vector<std::uint8_t> up(5, 1);
+  up[1] = 0;
+  const auto active = only(5, {2});
+
+  const auto slot0 = collection.step(0, active, up, rng);
+  EXPECT_EQ(slot0.drops_retry, 1u);
+  EXPECT_EQ(slot0.probation_entries, 1u);
+  EXPECT_TRUE(collection.radio_dark(2, 1));
+  EXPECT_TRUE(collection.radio_dark(2, 2));
+  EXPECT_FALSE(collection.radio_dark(2, 3));
+
+  // While dark the node neither transmits nor queues: the reading dies at
+  // the source and the radio spends nothing.
+  const auto slot1 = collection.step(1, active, up, rng);
+  EXPECT_EQ(slot1.drops_radio_dark, 1u);
+  EXPECT_EQ(slot1.transmissions, 0u);
+  EXPECT_DOUBLE_EQ(slot1.node_energy_j[2], 0.0);
+  collection.step(2, active, up, rng);
+
+  // Back from probation, the channel is still broken: the second stint is
+  // twice as long (doubling backoff).
+  const auto slot3 = collection.step(3, active, up, rng);
+  EXPECT_EQ(slot3.probation_entries, 1u);
+  EXPECT_TRUE(collection.radio_dark(2, 7));   // 3 + 1 + 4 = 8
+  EXPECT_FALSE(collection.radio_dark(2, 8));
+}
+
+TEST(LossyCollection, NonPacketsAreFireAndForget) {
+  const auto network = chain_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, perfect_links());
+  const RadioEnergyModel radio;
+  auto config = deterministic_config();
+  config.con_every = 0;  // everything NON
+  config.probation_after = 0;
+  LossyCollection collection(network, tree, links, radio, config);
+  util::Rng rng(1);
+  std::vector<std::uint8_t> up(5, 1);
+  up[1] = 0;
+  const auto report = collection.step(0, only(5, {2}), up, rng);
+  EXPECT_EQ(report.transmissions, 1u);  // no retry, no ack
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.acks, 0u);
+  EXPECT_EQ(report.non_lost, 1u);
+  EXPECT_EQ(report.drops_retry, 0u);
+  EXPECT_NEAR(report.node_energy_j[2],
+              radio.tx_energy_j() + radio.idle_energy_j(config.idle_listen_s),
+              1e-12);
+}
+
+TEST(LossyCollection, ConNonSplitFollowsOriginSequence) {
+  const auto network = chain_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, perfect_links());
+  const RadioEnergyModel radio;
+  auto config = deterministic_config();
+  config.con_every = 2;  // readings alternate CON, NON, CON, ...
+  config.backoff.retry_budget = 0;
+  config.probation_after = 0;
+  LossyCollection collection(network, tree, links, radio, config);
+  util::Rng rng(1);
+  std::vector<std::uint8_t> up(5, 1);
+  up[1] = 0;
+  const auto active = only(5, {2});
+  const auto slot0 = collection.step(0, active, up, rng);  // seq 0: CON
+  EXPECT_EQ(slot0.drops_retry, 1u);
+  EXPECT_EQ(slot0.non_lost, 0u);
+  const auto slot1 = collection.step(1, active, up, rng);  // seq 1: NON
+  EXPECT_EQ(slot1.drops_retry, 0u);
+  EXPECT_EQ(slot1.non_lost, 1u);
+}
+
+TEST(LossyCollection, BoundedQueueOverflows) {
+  const auto network = chain_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, perfect_links());
+  const RadioEnergyModel radio;
+  auto config = deterministic_config();
+  config.queue_capacity = 1;
+  config.subslots = 4;                   // few attempts per slot
+  config.backoff.retry_budget = 1000;    // the head never gives up
+  config.backoff.max_slots = 4;
+  config.probation_after = 0;
+  LossyCollection collection(network, tree, links, radio, config);
+  util::Rng rng(1);
+  std::vector<std::uint8_t> up(5, 1);
+  up[1] = 0;
+  const auto active = only(5, {2});
+  const auto slot0 = collection.step(0, active, up, rng);
+  EXPECT_EQ(slot0.drops_overflow, 0u);
+  EXPECT_EQ(slot0.queued_end, 1u);  // head stuck, still queued
+  const auto slot1 = collection.step(1, active, up, rng);
+  EXPECT_EQ(slot1.drops_overflow, 1u);  // fresh reading finds the queue full
+  EXPECT_EQ(slot1.queued_end, 1u);
+}
+
+TEST(LossyCollection, DutyCycleDefersDeliveryToLate) {
+  const auto network = chain_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, perfect_links());
+  const RadioEnergyModel radio;
+  auto config = deterministic_config();
+  config.sink_check_every = 2;  // phase-staggered: node v wakes when
+                                // (slot + v) is even
+  LossyCollection collection(network, tree, links, radio, config);
+  util::Rng rng(1);
+  const std::vector<std::uint8_t> idle(5, 0);
+
+  // One reading from node 3 at slot 0; nobody originates afterwards.
+  const auto slot0 = collection.step(0, only(5, {3}), {}, rng);
+  EXPECT_EQ(slot0.delivered, 0u);  // node 3 sleeps through slot 0
+  EXPECT_EQ(slot0.queued_end, 1u);
+  const auto slot1 = collection.step(1, idle, {}, rng);  // 3 -> 2
+  EXPECT_EQ(slot1.delivered, 0u);
+  const auto slot2 = collection.step(2, idle, {}, rng);  // 2 -> 1
+  EXPECT_EQ(slot2.delivered, 0u);
+  const auto slot3 = collection.step(3, idle, {}, rng);  // 1 -> sink
+  EXPECT_EQ(slot3.delivered, 0u);
+  EXPECT_EQ(slot3.delivered_late, 1u);  // landed 3 slots stale: no utility
+  EXPECT_EQ(collection.stats().delivered_late, 1u);
+}
+
+TEST(LossyCollection, SynchronizedLeavesCollideAtTheHotCell) {
+  const auto network = y_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, perfect_links());
+  const RadioEnergyModel radio;
+  auto config = deterministic_config();
+  config.backoff.retry_budget = 1;  // jitter 0: the leaves stay in lockstep
+  config.probation_after = 0;
+  LossyCollection collection(network, tree, links, radio, config);
+  util::Rng rng(1);
+  const auto report = collection.step(0, only(4, {2, 3}), {}, rng);
+  // Both leaves transmit in the same subslots forever: every attempt
+  // collides at the shared relay and both retry budgets burn out.
+  EXPECT_EQ(report.delivered, 0u);
+  EXPECT_EQ(report.drops_retry, 2u);
+  EXPECT_EQ(report.transmissions, 4u);
+  EXPECT_EQ(report.collisions, 4u);
+  EXPECT_EQ(report.hot_node, 1u);
+  EXPECT_EQ(report.hot_node_collisions, 4u);
+}
+
+TEST(LossyCollection, JitterBreaksTheCollisionSymmetry) {
+  const auto network = y_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, perfect_links());
+  const RadioEnergyModel radio;
+  auto config = deterministic_config();
+  config.backoff.jitter = 1.0;  // seeded jitter desynchronizes the leaves
+  config.backoff.retry_budget = 8;
+  config.subslots = 64;
+  LossyCollection collection(network, tree, links, radio, config);
+  util::Rng rng(7);
+  const auto report = collection.step(0, only(4, {2, 3}), {}, rng);
+  EXPECT_GT(report.collisions, 0u);  // the first attempts still clash
+  EXPECT_EQ(report.delivered, 2u);   // but jittered retries get through
+  EXPECT_EQ(report.drops_retry, 0u);
+}
+
+TEST(LossyCollection, LostAcksBillDuplicates) {
+  const auto network = chain_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, [] {
+    auto config = perfect_links();
+    config.global_loss = 0.4;
+    return config;
+  }());
+  const RadioEnergyModel radio;
+  auto config = deterministic_config();
+  config.backoff.retry_budget = 8;
+  LossyCollection collection(network, tree, links, radio, config);
+  util::Rng rng(3);
+  const auto active = only(5, {1});  // one hop to the sink
+  std::size_t duplicates = 0;
+  double energy = 0.0;
+  for (std::size_t slot = 0; slot < 40; ++slot) {
+    const auto report = collection.step(slot, active, {}, rng);
+    duplicates += report.duplicates;
+    energy += report.node_energy_j[1];
+  }
+  const auto& stats = collection.stats();
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(stats.delivered, 0u);
+  EXPECT_GT(duplicates, 0u);               // some acks were lost
+  EXPECT_GT(stats.acks, stats.delivered);  // ...and re-acked after the dup
+  // The lossy channel costs real energy: more than one clean tx + ack rx
+  // + listen per delivered packet.
+  const double clean = static_cast<double>(stats.delivered) *
+                       (radio.tx_energy_j() + radio.rx_energy_j() +
+                        radio.idle_energy_j(config.idle_listen_s));
+  EXPECT_GT(energy, clean);
+}
+
+TEST(LossyCollection, EnergyIsAdditiveAndAccumulates) {
+  const auto network = y_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, [] {
+    auto config = perfect_links();
+    config.global_loss = 0.25;
+    return config;
+  }());
+  const RadioEnergyModel radio;
+  auto config = deterministic_config();
+  config.csma_persist = 0.6;
+  config.backoff.jitter = 0.5;
+  LossyCollection collection(network, tree, links, radio, config);
+  util::Rng rng(11);
+  const std::vector<std::uint8_t> everyone(4, 1);
+  std::vector<double> total(4, 0.0);
+  double total_j = 0.0;
+  for (std::size_t slot = 0; slot < 25; ++slot) {
+    const auto report = collection.step(slot, everyone, {}, rng);
+    double slot_sum = 0.0;
+    for (std::size_t v = 0; v < 4; ++v) {
+      slot_sum += report.node_energy_j[v];
+      total[v] += report.node_energy_j[v];
+    }
+    EXPECT_NEAR(slot_sum, report.radio_energy_j, 1e-12);
+    total_j += report.radio_energy_j;
+  }
+  EXPECT_NEAR(total_j, collection.stats().radio_energy_j, 1e-9);
+  for (std::size_t v = 0; v < 4; ++v)
+    EXPECT_NEAR(total[v], collection.node_energy_j()[v], 1e-9);
+}
+
+TEST(LossyCollection, SameSeedSameTrace) {
+  const auto network = y_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, [] {
+    auto config = perfect_links();
+    config.global_loss = 0.3;
+    return config;
+  }());
+  const RadioEnergyModel radio;
+  auto config = deterministic_config();
+  config.csma_persist = 0.7;
+  config.backoff.jitter = 1.0;
+  config.con_every = 2;
+  config.sink_check_every = 2;
+
+  const auto run = [&](std::uint64_t seed) {
+    LossyCollection collection(network, tree, links, radio, config);
+    util::Rng rng(seed);
+    const std::vector<std::uint8_t> everyone(4, 1);
+    std::vector<double> trace;
+    for (std::size_t slot = 0; slot < 30; ++slot) {
+      const auto report = collection.step(slot, everyone, {}, rng);
+      trace.push_back(static_cast<double>(report.delivered));
+      trace.push_back(static_cast<double>(report.collisions));
+      trace.push_back(static_cast<double>(report.retries));
+      trace.push_back(report.radio_energy_j);
+      for (const auto m : report.delivered_mask)
+        trace.push_back(static_cast<double>(m));
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(42), run(42));  // bit-identical, including energy doubles
+  EXPECT_NE(run(42), run(43));  // and the seed genuinely matters
+}
+
+TEST(LossyCollection, Validation) {
+  const auto network = chain_network();
+  const RoutingTree tree(network, 0);
+  const LinkModel links(network, perfect_links());
+  const RadioEnergyModel radio;
+  LossyCollectionConfig bad;
+  bad.subslots = 0;
+  EXPECT_THROW(LossyCollection(network, tree, links, radio, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.csma_persist = 0.0;
+  EXPECT_THROW(LossyCollection(network, tree, links, radio, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.queue_capacity = 0;
+  EXPECT_THROW(LossyCollection(network, tree, links, radio, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.probation_max_slots = 1;  // < probation_base_slots
+  EXPECT_THROW(LossyCollection(network, tree, links, radio, bad),
+               std::invalid_argument);
+  LossyCollection collection(network, tree, links, radio, {});
+  util::Rng rng(1);
+  std::vector<std::uint8_t> wrong(2, 1);
+  EXPECT_THROW(collection.step(0, wrong, {}, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cool::net

@@ -8,6 +8,7 @@
 #include "core/greedy.h"
 #include "core/problem.h"
 #include "sim/simulator.h"
+#include "util/parallel.h"
 
 namespace cool::sim {
 namespace {
@@ -132,6 +133,104 @@ TEST(ResilientRuntime, WearoutKillsActiveNodesEventually) {
   const auto report = runtime.run();
   EXPECT_GT(report.true_deaths, 0u);
   EXPECT_LT(report.coverage_retained, 1.0);
+}
+
+TEST(ResilientRuntime, DeliveredCoverageAccountsForTheLossyDataPlane) {
+  auto scenario = bench_scenario(24, 9, 12, 30.0, 45.0);
+  const net::RoutingTree tree(scenario.network,
+                              net::choose_best_sink(scenario.network));
+  proto::LinkModelConfig link_config;
+  link_config.global_loss = 0.25;
+  const proto::LinkModel links(scenario.network, link_config);
+  const net::RadioEnergyModel radio;
+  auto config = crash_stop_config(96, 0.0);
+  config.collect = true;
+  ResilientRuntime runtime(scenario.utility, scenario.network, tree, links,
+                           radio, scenario.schedule, config, util::Rng(4));
+  const auto report = runtime.run();
+  EXPECT_GT(report.packets_originated, 0u);
+  EXPECT_GT(report.packets_delivered, 0u);
+  // A lossy contended channel cannot deliver the whole geometric plan...
+  EXPECT_GT(report.delivered_utility, 0.0);
+  EXPECT_LT(report.delivered_utility, report.total_utility);
+  EXPECT_GT(report.delivered_fraction, 0.0);
+  EXPECT_LT(report.delivered_fraction, 1.0);
+  // ...and the shortfall is visible in the packet ledger.
+  EXPECT_GT(report.collection_retries + report.collisions +
+                report.packet_drops_retry + report.packets_non_lost,
+            0u);
+  // Data-plane energy is billed per node and adds up to the fleet total.
+  ASSERT_EQ(report.collection_node_energy_j.size(),
+            scenario.network.sensor_count());
+  double sum = 0.0;
+  for (const double e : report.collection_node_energy_j) sum += e;
+  EXPECT_NEAR(sum, report.collection_energy_j, 1e-9);
+  EXPECT_GT(report.collection_energy_j, 0.0);
+}
+
+TEST(ResilientRuntime, CollectOffLeavesDeliveredFractionAtOne) {
+  auto scenario = bench_scenario(16, 1);
+  const net::RoutingTree tree(scenario.network,
+                              net::choose_best_sink(scenario.network));
+  const proto::LinkModel links(scenario.network);
+  const net::RadioEnergyModel radio;
+  ResilientRuntime runtime(scenario.utility, scenario.network, tree, links,
+                           radio, scenario.schedule,
+                           crash_stop_config(48, 0.0), util::Rng(2));
+  const auto report = runtime.run();
+  EXPECT_DOUBLE_EQ(report.delivered_fraction, 1.0);
+  EXPECT_EQ(report.packets_originated, 0u);
+  EXPECT_TRUE(report.collection_node_energy_j.empty());
+}
+
+// Acceptance criterion: identical seeds give bit-identical delivered
+// coverage at --threads 1, 2 and 8. The collection engine is serial by
+// contract; the parallel coverage oracles around it must not perturb it.
+TEST(ResilientRuntime, DeliveredCoverageIdenticalAcrossThreadCounts) {
+  auto scenario = bench_scenario(24, 9, 12, 30.0, 45.0);
+  const net::RoutingTree tree(scenario.network,
+                              net::choose_best_sink(scenario.network));
+  proto::LinkModelConfig link_config;
+  link_config.global_loss = 0.3;
+  const proto::LinkModel links(scenario.network, link_config);
+  const net::RadioEnergyModel radio;
+  auto config = crash_stop_config(96, 0.002);  // faults + repairs in the loop
+  config.collect = true;
+  config.collection.backoff.jitter = 0.5;
+
+  struct Trace {
+    double delivered_utility, total_utility, energy;
+    std::size_t delivered, drops, collisions, retries, probations;
+    bool operator==(const Trace& other) const {
+      return delivered_utility == other.delivered_utility &&
+             total_utility == other.total_utility && energy == other.energy &&
+             delivered == other.delivered && drops == other.drops &&
+             collisions == other.collisions && retries == other.retries &&
+             probations == other.probations;
+    }
+  };
+  const auto run_at = [&](std::size_t threads) {
+    util::set_thread_count(threads);
+    ResilientRuntime runtime(scenario.utility, scenario.network, tree, links,
+                             radio, scenario.schedule, config, util::Rng(13));
+    const auto report = runtime.run();
+    return Trace{report.delivered_utility,
+                 report.total_utility,
+                 report.collection_energy_j,
+                 report.packets_delivered,
+                 report.packet_drops_overflow + report.packet_drops_retry +
+                     report.packet_drops_radio_dark,
+                 report.collisions,
+                 report.collection_retries,
+                 report.probation_entries};
+  };
+  const Trace t1 = run_at(1);
+  const Trace t2 = run_at(2);
+  const Trace t8 = run_at(8);
+  util::set_thread_count(0);  // restore the default
+  EXPECT_TRUE(t1 == t2);
+  EXPECT_TRUE(t1 == t8);
+  EXPECT_GT(t1.delivered, 0u);
 }
 
 TEST(ResilientRuntime, Validation) {
