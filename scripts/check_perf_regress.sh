@@ -17,7 +17,14 @@
 #                       "did the algorithm change";
 #   acceptance flags    bench_delivered_coverage's graceful / retries_billed
 #                       / deterministic booleans — zero tolerance: a flipped
-#                       flag is a broken protocol invariant, not noise.
+#                       flag is a broken protocol invariant, not noise;
+#   svc invariants      the service benches' svc_acked_lost / svc_recovery_ok
+#                       / svc_crash_free / svc_shed_engaged — zero tolerance:
+#                       lost acked work, a recovery mismatch, a daemon crash,
+#                       or shedding failing to engage is a robustness bug.
+#                       Their timing-coupled counters (sheds, WAL appends,
+#                       retries, degrade mix) vary with scheduling noise and
+#                       are report-only.
 #
 # Exit 0 when within tolerance, 1 on violation (coolstat check's contract),
 # 2 on harness errors. The baseline's git SHA always differs from the
@@ -59,7 +66,20 @@ if "${coolstat}" check "${results}" "${baseline}" \
   --metric '*_energy_j_loss30=10' \
   --metric '*graceful=0' \
   --metric '*retries_billed=0' \
-  --metric '*deterministic=0'; then
+  --metric '*deterministic=0' \
+  --metric '*svc_acked_lost=0' \
+  --metric '*svc_recovery_ok=0' \
+  --metric '*svc_crash_free=0' \
+  --metric '*svc_shed_engaged=0' \
+  --metric '*svc_kills=0' \
+  --metric '*svc_p50_ms=400' \
+  --metric '*svc_p99_ms=400' \
+  --metric '*svc_soak_p50_ms=400' \
+  --metric '*svc_soak_p99_ms=400' \
+  --metric '*svc_shed=-1' \
+  --metric '*svc_retries=-1' \
+  --metric '*svc_degraded_floor=-1' \
+  --metric '*svc_wal_appends=-1'; then
   echo "OK: no perf regression against the committed baseline"
 else
   status=$?

@@ -28,7 +28,11 @@ if [ "${mode}" = "tsan" ]; then
   # the batched-oracle consumers, and the determinism tests all spin real
   # worker threads, which is what TSan needs to see.
   cd "${build_dir}"
-  default_filter='Parallel|BatchEval|Greedy|LazyGreedy|StochasticGreedy|PassiveGreedy|Evaluator|LpScheduler|Campaign|Backoff|LossyCollection|DeliveredCoverage'
+  # Svc covers the coold service suites (queue, service engine, recovery):
+  # the admission queue, worker thread, pool-batched planners and the
+  # forked-daemon recovery test are exactly the multi-threaded surfaces
+  # TSan exists for. StateReuse hammers recycled EvalStates under the pool.
+  default_filter='Parallel|BatchEval|Greedy|LazyGreedy|StochasticGreedy|PassiveGreedy|Evaluator|LpScheduler|Campaign|Backoff|LossyCollection|DeliveredCoverage|Svc|StateReuse'
   for threads in 2 4; do
     echo "== TSan pass: COOL_THREADS=${threads} =="
     COOL_THREADS="${threads}" ctest --output-on-failure -j "$(nproc)" \

@@ -20,7 +20,9 @@ coolstat="${build_dir}/tools/coolstat"
 for binary in "${bench_dir}/bench_scheduler_perf" \
               "${bench_dir}/bench_failure_resilience" \
               "${bench_dir}/bench_energy_robustness" \
-              "${bench_dir}/bench_delivered_coverage" "${coolstat}"; do
+              "${bench_dir}/bench_delivered_coverage" \
+              "${bench_dir}/bench_service_throughput" \
+              "${bench_dir}/bench_service_soak" "${coolstat}"; do
   if [ ! -x "${binary}" ]; then
     echo "missing ${binary} — build first: cmake --build ${build_dir} -j" >&2
     exit 2
@@ -60,10 +62,22 @@ echo "== bench_delivered_coverage (n=36, 96 slots) =="
 "${bench_dir}/bench_delivered_coverage" --sensors 36 --slots 96 --seed 23 \
   --json "${workdir}/delivered_coverage.json" >/dev/null
 
+# The service benches keep their WAL/snapshot state in the scratch dir
+# (relative state paths), so run them with cwd=workdir.
+echo "== bench_service_throughput (12 networks, 240 requests) =="
+(cd "${workdir}" && "${bench_dir}/bench_service_throughput" --seed 7 \
+  --json "${workdir}/service_throughput.json") >/dev/null
+
+echo "== bench_service_soak (36 rounds, SIGKILL every 12) =="
+(cd "${workdir}" && "${bench_dir}/bench_service_soak" --seed 11 \
+  --json "${workdir}/service_soak.json")
+
 "${coolstat}" merge "${out}" \
   "${workdir}/scheduler_perf.json" \
   ${thread_artifacts[@]+"${thread_artifacts[@]}"} \
   "${workdir}/failure_resilience.json" \
   "${workdir}/energy_robustness.json" \
-  "${workdir}/delivered_coverage.json"
+  "${workdir}/delivered_coverage.json" \
+  "${workdir}/service_throughput.json" \
+  "${workdir}/service_soak.json"
 echo "suite written to ${out}"

@@ -1,5 +1,10 @@
 #include "core/baselines.h"
 
+#include <memory>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
 namespace cool::core {
 
 PeriodicSchedule RandomScheduler::schedule(const Problem& problem,
@@ -34,6 +39,46 @@ PeriodicSchedule RoundRobinScheduler::schedule(const Problem& problem) const {
     }
   }
   return schedule;
+}
+
+GreedyResult HefScheduler::schedule(const Problem& problem,
+                                    const PlannerContext& ctx) const {
+  COOL_SPAN("hef.schedule", "core");
+  if (!problem.rho_greater_than_one())
+    throw std::invalid_argument(
+        "HefScheduler requires rho > 1; use PassiveGreedyScheduler");
+
+  const std::size_t n = problem.sensor_count();
+  const std::size_t T = problem.slots_per_period();
+
+  GreedyResult result{PeriodicSchedule(n, T), {}, 0};
+  result.steps.reserve(n);
+
+  std::vector<std::unique_ptr<sub::EvalState>> local_states;
+  auto& slot_state = detail::prepare_slot_states(problem, ctx, T, local_states);
+
+  // Single pass, identity order (the homogeneous fleet has uniform residual
+  // energy, so HEF's energy sort is the identity): each sensor lands in its
+  // current best slot, ties to the lowest slot index. No re-scan of earlier
+  // placements — the O(n·T) bound is the point.
+  for (std::size_t v = 0; v < n; ++v) {
+    double best_gain = -1.0;
+    std::size_t best_slot = 0;
+    for (std::size_t t = 0; t < T; ++t) {
+      const double gain = slot_state[t]->marginal(v);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_slot = t;
+      }
+    }
+    result.oracle_calls += T;
+    slot_state[best_slot]->add(v);
+    result.schedule.set_active(v, best_slot);
+    result.steps.push_back(GreedyStep{v, best_slot, best_gain});
+  }
+  COOL_METRIC_ADD("hef.schedules", 1);
+  COOL_METRIC_ADD("hef.oracle_calls", result.oracle_calls);
+  return result;
 }
 
 }  // namespace cool::core

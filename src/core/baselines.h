@@ -3,6 +3,7 @@
 // construction) so comparisons isolate *placement quality*, not feasibility.
 #pragma once
 
+#include "core/greedy.h"
 #include "core/problem.h"
 #include "core/schedule.h"
 #include "util/rng.h"
@@ -21,6 +22,23 @@ class RandomScheduler {
 class RoundRobinScheduler {
  public:
   PeriodicSchedule schedule(const Problem& problem) const;
+};
+
+// High-Energy-First-style single-pass placement (Manju & Pujari's HEF,
+// adapted to the Cool period structure): sensors are considered once each
+// in a fixed priority order — descending residual energy, which for the
+// homogeneous solar fleet of the paper degenerates to identity order — and
+// each is assigned to the slot with the maximum marginal gain *at that
+// moment*, never revisited. O(n·T) oracle calls and no argmax re-scan, so
+// the cost is bounded and predictable: this is the floor of the svc
+// degradation ladder, the planner that must always finish. Requires ρ > 1.
+//
+// ctx.scratch_states reuses caller-owned slot states; ctx.cancel is
+// intentionally ignored — the floor never cancels.
+class HefScheduler {
+ public:
+  GreedyResult schedule(const Problem& problem,
+                        const PlannerContext& ctx = {}) const;
 };
 
 }  // namespace cool::core

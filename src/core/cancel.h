@@ -1,0 +1,66 @@
+// Cooperative cancellation for long-running planners.
+//
+// The resident scheduler (src/svc) admits requests with a deadline budget;
+// a planner that blows the budget must stop at a safe point so the service
+// can fall down its degradation ladder instead of stalling the whole batch.
+// Schedulers poll a CancelToken at iteration boundaries (one placement step
+// in the greedy loops), so cancellation never observes a half-applied
+// placement: either a step completed or it never happened.
+//
+// A token is cheap to copy (shared flag); the default-constructed token
+// never fires. Deadlines use the steady clock — wall-clock jumps must not
+// cancel work.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+namespace cool::core {
+
+// Thrown by CancelToken::checkpoint(); planners let it propagate so the
+// caller can discard the partial result and degrade.
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled() : std::runtime_error("planner cancelled (deadline or request)") {}
+};
+
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  // Token that fires once the steady clock passes `deadline`.
+  static CancelToken with_deadline(std::chrono::steady_clock::time_point deadline) {
+    CancelToken token;
+    token.has_deadline_ = true;
+    token.deadline_ = deadline;
+    return token;
+  }
+
+  // Token that fires after `budget` from now (non-positive budgets fire at
+  // the first checkpoint — the request was admitted already expired).
+  static CancelToken with_budget(std::chrono::nanoseconds budget) {
+    return with_deadline(std::chrono::steady_clock::now() + budget);
+  }
+
+  // Explicit cancellation (e.g. client disconnect); visible to all copies.
+  void cancel() noexcept { flag_->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const noexcept {
+    if (flag_->load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  // Planner-side poll: throws Cancelled when the token fired.
+  void checkpoint() const {
+    if (cancelled()) throw Cancelled();
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace cool::core

@@ -17,7 +17,29 @@ constexpr std::size_t kScanGrain = 16;
 
 }  // namespace
 
-GreedyResult GreedyScheduler::schedule(const Problem& problem) const {
+namespace detail {
+
+std::vector<std::unique_ptr<sub::EvalState>>& prepare_slot_states(
+    const Problem& problem, const PlannerContext& ctx, std::size_t slots,
+    std::vector<std::unique_ptr<sub::EvalState>>& local) {
+  auto& states = ctx.scratch_states ? *ctx.scratch_states : local;
+  if (states.size() != slots) {
+    states.clear();
+    states.reserve(slots);
+    for (std::size_t t = 0; t < slots; ++t)
+      states.push_back(problem.slot_utility().make_state());
+  } else {
+    // reset() is contractually equivalent to a fresh make_state(); the
+    // ResetReuse tests pin this down bit-for-bit.
+    for (auto& state : states) state->reset();
+  }
+  return states;
+}
+
+}  // namespace detail
+
+GreedyResult GreedyScheduler::schedule(const Problem& problem,
+                                       const PlannerContext& ctx) const {
   COOL_SPAN("greedy.schedule", "core");
   if (!problem.rho_greater_than_one())
     throw std::invalid_argument(
@@ -30,10 +52,8 @@ GreedyResult GreedyScheduler::schedule(const Problem& problem) const {
   result.steps.reserve(n);
 
   // One incremental evaluator per slot; slot states grow as sensors land.
-  std::vector<std::unique_ptr<sub::EvalState>> slot_state;
-  slot_state.reserve(T);
-  for (std::size_t t = 0; t < T; ++t)
-    slot_state.push_back(problem.slot_utility().make_state());
+  std::vector<std::unique_ptr<sub::EvalState>> local_states;
+  auto& slot_state = detail::prepare_slot_states(problem, ctx, T, local_states);
 
   // The (sensor, slot) argmax scan is sharded over fixed sensor chunks.
   // Each chunk reports its best candidate; chunks are combined in index
@@ -64,6 +84,9 @@ GreedyResult GreedyScheduler::schedule(const Problem& problem) const {
 
   std::vector<std::uint8_t> placed(n, 0);
   for (std::size_t step = 0; step < n; ++step) {
+    // Deadline poll between placement steps: a step either fully lands or
+    // never starts, so cancellation leaves no half-applied placement.
+    if (ctx.cancel) ctx.cancel->checkpoint();
     util::parallel_chunks(chunks.size(), [&](std::size_t c) {
       auto& ids = chunk_ids[c];
       ids.clear();

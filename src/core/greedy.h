@@ -13,10 +13,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/problem.h"
 #include "core/schedule.h"
+#include "submodular/function.h"
 
 namespace cool::core {
 
@@ -34,11 +37,38 @@ struct GreedyResult {
   std::size_t oracle_calls = 0;
 };
 
+// Optional hooks a caller can hand any of the greedy-family schedulers.
+//
+//   cancel          polled at placement-step boundaries; when it fires the
+//                   scheduler throws core::Cancelled and the partial result
+//                   is discarded (the svc degradation ladder catches it);
+//   scratch_states  caller-owned per-slot oracle states, reset() at entry
+//                   and reused instead of allocating T fresh states per
+//                   call. The states must come from the *same* utility as
+//                   the problem being scheduled — the svc session cache
+//                   guarantees this per network. A vector of the wrong size
+//                   (e.g. first use, empty) is grown/rebuilt in place.
+struct PlannerContext {
+  const CancelToken* cancel = nullptr;
+  std::vector<std::unique_ptr<sub::EvalState>>* scratch_states = nullptr;
+};
+
+namespace detail {
+// Returns the per-slot states to plan with: the context's scratch vector
+// (resized to `slots` and reset()) when provided, else `local` filled with
+// fresh states. Every greedy-family scheduler funnels through this so the
+// reuse semantics stay identical across the ladder.
+std::vector<std::unique_ptr<sub::EvalState>>& prepare_slot_states(
+    const Problem& problem, const PlannerContext& ctx, std::size_t slots,
+    std::vector<std::unique_ptr<sub::EvalState>>& local);
+}  // namespace detail
+
 class GreedyScheduler {
  public:
   // Requires problem.rho_greater_than_one(); use PassiveGreedyScheduler for
-  // the ρ <= 1 case.
-  GreedyResult schedule(const Problem& problem) const;
+  // the ρ <= 1 case. Throws core::Cancelled if ctx.cancel fires.
+  GreedyResult schedule(const Problem& problem,
+                        const PlannerContext& ctx = {}) const;
 };
 
 }  // namespace cool::core

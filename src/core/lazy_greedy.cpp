@@ -37,7 +37,8 @@ struct QueueEntry {
 
 }  // namespace
 
-GreedyResult LazyGreedyScheduler::schedule(const Problem& problem) const {
+GreedyResult LazyGreedyScheduler::schedule(const Problem& problem,
+                                           const PlannerContext& ctx) const {
   COOL_SPAN("lazy_greedy.schedule", "core");
   if (!problem.rho_greater_than_one())
     throw std::invalid_argument(
@@ -49,10 +50,8 @@ GreedyResult LazyGreedyScheduler::schedule(const Problem& problem) const {
   GreedyResult result{PeriodicSchedule(n, T), {}, 0};
   result.steps.reserve(n);
 
-  std::vector<std::unique_ptr<sub::EvalState>> slot_state;
-  slot_state.reserve(T);
-  for (std::size_t t = 0; t < T; ++t)
-    slot_state.push_back(problem.slot_utility().make_state());
+  std::vector<std::unique_ptr<sub::EvalState>> local_states;
+  auto& slot_state = detail::prepare_slot_states(problem, ctx, T, local_states);
   std::vector<std::size_t> slot_version(T, 0);
 
   // Initially every slot state is empty, so all slots give the same gain for
@@ -72,6 +71,9 @@ GreedyResult LazyGreedyScheduler::schedule(const Problem& problem) const {
   std::size_t peak_heap = queue.size();
   std::vector<QueueEntry> stale;  // reused batch buffer
   while (placed_count < n) {
+    // Deadline poll once per pop-refresh round: bounded work per round, and
+    // the heap stays consistent at every poll point.
+    if (ctx.cancel) ctx.cancel->checkpoint();
     // Pop until a fresh entry surfaces, batching up the stale ones.
     stale.clear();
     std::optional<QueueEntry> fresh;

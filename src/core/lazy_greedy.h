@@ -15,7 +15,10 @@ namespace cool::core {
 
 class LazyGreedyScheduler {
  public:
-  GreedyResult schedule(const Problem& problem) const;
+  // Throws core::Cancelled if ctx.cancel fires; ctx.scratch_states reuses
+  // caller-owned per-slot oracle states (see PlannerContext).
+  GreedyResult schedule(const Problem& problem,
+                        const PlannerContext& ctx = {}) const;
 };
 
 }  // namespace cool::core

@@ -1,0 +1,122 @@
+#include "svc/queue.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace cool::svc {
+
+AdmissionQueue::AdmissionQueue(const QueueConfig& config)
+    : capacity_(std::max<std::size_t>(1, config.capacity)) {}
+
+std::size_t AdmissionQueue::depth_locked() const {
+  std::size_t total = 0;
+  for (const auto& klass : classes_) total += klass.size();
+  return total;
+}
+
+AdmissionQueue::Offer AdmissionQueue::offer(Ticket&& ticket,
+                                            double est_ms_per_request) {
+  Offer result;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::size_t depth = depth_locked();
+  // Retry hint: expected time to drain the queue ahead of a retry, floored
+  // at one service quantum so clients never busy-spin.
+  const double per_request = std::max(est_ms_per_request, 0.1);
+  result.retry_after_ms =
+      std::max(1.0, static_cast<double>(depth + 1) * per_request);
+  if (closed_) {
+    result.admitted = false;
+    return result;
+  }
+  const int klass = std::clamp(ticket.request.priority, 0, 2);
+  if (depth >= capacity_) {
+    // Full: evict the newest ticket of the lowest class strictly below the
+    // arrival (newest first, so a victim class keeps its oldest work).
+    int victim_class = -1;
+    for (int c = static_cast<int>(kClasses) - 1; c > klass; --c) {
+      if (!classes_[c].empty()) {
+        victim_class = c;
+        break;
+      }
+    }
+    if (victim_class < 0) {
+      result.admitted = false;  // arrival is the cheapest work in sight
+      COOL_METRIC_ADD("svc.queue.shed_arrival", 1);
+      return result;
+    }
+    result.victim = std::move(classes_[victim_class].back());
+    classes_[victim_class].pop_back();
+    COOL_METRIC_ADD("svc.queue.shed_evict", 1);
+  }
+  ticket.seq = next_seq_++;
+  classes_[klass].push_back(std::move(ticket));
+  result.admitted = true;
+  lock.unlock();
+  ready_.notify_one();
+  return result;
+}
+
+std::vector<Ticket> AdmissionQueue::pop_batch(std::size_t max_batch) {
+  std::vector<Ticket> batch;
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || depth_locked() > 0; });
+  if (depth_locked() == 0) return batch;  // closed and drained
+  max_batch = std::max<std::size_t>(1, max_batch);
+  // Highest class first, FIFO within a class, one ticket per network:
+  // a second request for a tenant already in the batch stays queued (in
+  // place, order preserved) so batch execution never shares a session.
+  std::vector<std::string> networks;
+  for (auto& klass : classes_) {
+    for (auto it = klass.begin(); it != klass.end() && batch.size() < max_batch;) {
+      const std::string& network = it->request.network;
+      const bool taken_network =
+          !network.empty() &&
+          std::find(networks.begin(), networks.end(), network) != networks.end();
+      if (taken_network) {
+        ++it;
+        continue;
+      }
+      if (!network.empty()) networks.push_back(network);
+      batch.push_back(std::move(*it));
+      it = klass.erase(it);
+    }
+    if (batch.size() >= max_batch) break;
+  }
+  return batch;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::vector<Ticket> AdmissionQueue::drain() {
+  std::vector<Ticket> leftovers;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& klass : classes_) {
+    for (auto& ticket : klass) leftovers.push_back(std::move(ticket));
+    klass.clear();
+  }
+  return leftovers;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_locked();
+}
+
+double AdmissionQueue::pressure() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<double>(depth_locked()) / static_cast<double>(capacity_);
+}
+
+}  // namespace cool::svc

@@ -1,0 +1,93 @@
+// Bounded admission queue with explicit backpressure.
+//
+// The robustness contract (DESIGN.md section 12):
+//   * the queue NEVER grows past its capacity — overload turns into
+//     reject-with-retry-after responses (load shedding), not memory growth
+//     and collapse;
+//   * shedding is priority-aware: when full, an arriving request evicts
+//     the newest request of a strictly lower-priority class if one exists
+//     (interactive beats normal beats batch), otherwise the arrival itself
+//     is shed. Within a class, arrival order is preserved (FIFO);
+//   * the queue never invokes callbacks — eviction hands the victim back
+//     to the caller, which owns sending its reject. One completion path;
+//   * batch formation isolates tenants: pop_batch() returns at most one
+//     ticket per network, so a batch never runs two requests against the
+//     same session concurrently.
+//
+// Thread-safe; pop_batch blocks until work arrives or close() is called.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "svc/protocol.h"
+
+namespace cool::svc {
+
+// One admitted request plus its completion callback and timing.
+struct Ticket {
+  Request request;
+  std::function<void(Response)> done;
+  std::chrono::steady_clock::time_point admitted{};
+  std::uint64_t seq = 0;  // admission order, for deterministic tie-breaks
+};
+
+struct QueueConfig {
+  std::size_t capacity = 256;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(const QueueConfig& config);
+
+  // Outcome of an offer: admitted, or shed with a backpressure hint. When
+  // admission evicted a lower-priority victim, `victim` holds it and the
+  // caller must complete it with a shed response.
+  struct Offer {
+    bool admitted = false;
+    double retry_after_ms = 0.0;       // filled when the arrival was shed
+    std::optional<Ticket> victim;      // filled when admission evicted
+  };
+
+  // est_ms_per_request scales the retry-after hint to the current service
+  // rate (the worker maintains an EWMA).
+  Offer offer(Ticket&& ticket, double est_ms_per_request);
+
+  // Blocks until at least one ticket is queued or close() was called.
+  // Returns up to max_batch tickets, highest priority class first, FIFO
+  // within a class, at most one per network. Returns empty only when the
+  // queue is closed and drained.
+  std::vector<Ticket> pop_batch(std::size_t max_batch);
+
+  // Wakes blocked pop_batch callers; subsequent offers are shed.
+  void close();
+  bool closed() const;
+
+  // Removes everything still queued (shutdown path: shed with a reject).
+  std::vector<Ticket> drain();
+
+  std::size_t depth() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  // depth / capacity in [0, 1] — the degradation ladder's pressure signal.
+  double pressure() const;
+
+ private:
+  static constexpr std::size_t kClasses = 3;
+
+  std::size_t depth_locked() const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Ticket> classes_[kClasses];  // [priority]
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 1;
+  bool closed_ = false;
+};
+
+}  // namespace cool::svc

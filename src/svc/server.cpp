@@ -1,0 +1,217 @@
+#include "svc/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace cool::svc {
+
+namespace {
+
+// Writes the whole buffer, retrying on EINTR / short writes. Returns false
+// when the peer is gone.
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, data + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t run_stdio(CooldService& service, std::istream& in,
+                      std::ostream& out) {
+  std::mutex write_mutex;
+  std::atomic<bool> shutting_down{false};
+  service.set_shutdown_handler([&shutting_down] { shutting_down = true; });
+
+  // Completions come from the worker thread; block until each one is
+  // written so stdin backpressure maps onto service backpressure. The
+  // response is written before `served` advances, so a shutdown ack always
+  // reaches the client before the loop exits.
+  std::size_t served = 0;
+  std::string line;
+  const std::size_t frame_cap = service.config().limits.max_frame_bytes;
+  while (!shutting_down && std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.size() > frame_cap) {
+      // Answer without parsing; submit_frame would do the same check but
+      // copying a multi-megabyte hostile line around first helps nobody.
+      Response response;
+      response.ok = false;
+      response.type = "invalid";
+      response.error = "frame_too_large";
+      std::lock_guard<std::mutex> lock(write_mutex);
+      out << response.to_json() << '\n' << std::flush;
+      ++served;
+      continue;
+    }
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    service.submit_frame(line, [&](Response response) {
+      std::lock_guard<std::mutex> write_lock(write_mutex);
+      out << response.to_json() << '\n' << std::flush;
+      {
+        std::lock_guard<std::mutex> done_lock(done_mutex);
+        done = true;
+      }
+      done_cv.notify_one();
+    });
+    std::unique_lock<std::mutex> done_lock(done_mutex);
+    done_cv.wait(done_lock, [&done] { return done; });
+    ++served;
+  }
+  service.set_shutdown_handler({});
+  return served;
+}
+
+struct UnixSocketServer::Connection {
+  int fd = -1;
+  std::mutex write_mutex;
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+UnixSocketServer::UnixSocketServer(CooldService& service,
+                                   SocketServerConfig config)
+    : service_(service), config_(std::move(config)) {}
+
+UnixSocketServer::~UnixSocketServer() { stop(); }
+
+void UnixSocketServer::start() {
+  if (started_) return;
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("socket path too long: " + config_.socket_path);
+  }
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(config_.socket_path.c_str());  // stale file from a crashed run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, config_.listen_backlog) < 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind/listen on '" + config_.socket_path +
+                             "': " + reason);
+  }
+  started_ = true;
+  stopping_ = false;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void UnixSocketServer::stop() {
+  if (!started_) return;
+  stopping_ = true;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& thread : threads)
+    if (thread.joinable()) thread.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(config_.socket_path.c_str());
+  started_ = false;
+}
+
+void UnixSocketServer::accept_loop() {
+  while (!stopping_) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;  // timeout (stop-flag poll) or EINTR
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    auto connection = std::make_shared<Connection>();
+    connection->fd = client;
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_threads_.emplace_back(
+        [this, connection] { serve_connection(connection); });
+  }
+}
+
+void UnixSocketServer::serve_connection(std::shared_ptr<Connection> connection) {
+  COOL_METRIC_ADD("svc.connections", 1);
+  const std::size_t frame_cap = service_.config().limits.max_frame_bytes;
+  std::string buffer;
+  bool discarding = false;  // inside an oversized frame: drop to next '\n'
+  char chunk[4096];
+  while (!stopping_) {
+    pollfd pfd{connection->fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const ssize_t n = ::read(connection->fd, chunk, sizeof(chunk));
+    if (n == 0) break;  // client closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t newline = buffer.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string frame = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (discarding) {
+        // Tail of an oversized frame — already answered, just resync.
+        discarding = false;
+        continue;
+      }
+      if (frame.empty()) continue;
+      // The completion may run on the service worker thread after this
+      // reader moved on; the shared_ptr keeps the connection alive and the
+      // write mutex keeps frames whole.
+      service_.submit_frame(frame, [connection](Response response) {
+        const std::string line = response.to_json() + '\n';
+        std::lock_guard<std::mutex> lock(connection->write_mutex);
+        write_all(connection->fd, line.data(), line.size());
+      });
+    }
+    buffer.erase(0, start);
+    if (!discarding && buffer.size() > frame_cap) {
+      Response response;
+      response.ok = false;
+      response.type = "invalid";
+      response.error = "frame_too_large";
+      const std::string line = response.to_json() + '\n';
+      {
+        std::lock_guard<std::mutex> lock(connection->write_mutex);
+        if (!write_all(connection->fd, line.data(), line.size())) break;
+      }
+      buffer.clear();
+      discarding = true;
+      COOL_METRIC_ADD("svc.frames.oversized", 1);
+    }
+  }
+}
+
+}  // namespace cool::svc

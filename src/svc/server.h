@@ -1,0 +1,77 @@
+// Transports for coold: a blocking stdio loop and a Unix-domain socket
+// server, both speaking the line-delimited JSON protocol.
+//
+// Both transports are thin: every frame goes straight to
+// CooldService::submit_frame and every completion is written back as one
+// line. Robustness decisions live here only where the wire forces them:
+//
+//   * oversized frames — a client that streams an unbounded line would
+//     otherwise grow our buffer without limit, so past the frame cap the
+//     connection switches to discard-until-newline and answers with a
+//     frame_too_large error (the connection survives; the bytes do not);
+//   * slow/partial writes — each connection serializes its writes under a
+//     mutex (worker-thread completions interleave with the reader thread);
+//   * client death — a failed write closes that connection only.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.h"
+
+namespace cool::svc {
+
+// Serves frames from `in` until EOF or a shutdown request; responses (one
+// line each) go to `out`. Returns the number of frames served. Completions
+// arrive from the worker thread, so writes are mutex-serialized.
+std::size_t run_stdio(CooldService& service, std::istream& in, std::ostream& out);
+
+struct SocketServerConfig {
+  std::string socket_path = "coold.sock";
+  int listen_backlog = 16;
+};
+
+// Accept loop on its own thread, one reader thread per connection. All
+// threads poll a stop flag with a short timeout so stop() converges without
+// relying on signal delivery.
+class UnixSocketServer {
+ public:
+  UnixSocketServer(CooldService& service, SocketServerConfig config);
+  ~UnixSocketServer();
+
+  UnixSocketServer(const UnixSocketServer&) = delete;
+  UnixSocketServer& operator=(const UnixSocketServer&) = delete;
+
+  // Binds and starts accepting. Throws std::runtime_error on bind failure
+  // (stale socket files are unlinked first).
+  void start();
+  void stop();
+
+  const std::string& socket_path() const noexcept {
+    return config_.socket_path;
+  }
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void serve_connection(std::shared_ptr<Connection> connection);
+
+  CooldService& service_;
+  SocketServerConfig config_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  std::mutex threads_mutex_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace cool::svc

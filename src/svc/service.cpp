@@ -1,0 +1,579 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <optional>
+#include <utility>
+
+#include "core/baselines.h"
+#include "core/cancel.h"
+#include "core/greedy.h"
+#include "core/lazy_greedy.h"
+#include "core/repair.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "util/parallel.h"
+
+namespace cool::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+const char* planner_name(int level) {
+  switch (level) {
+    case 0: return "lazy_greedy";
+    case 1: return "greedy";
+    default: return "hef";
+  }
+}
+
+void fill_schedule_payload(Response& response,
+                           const core::PeriodicSchedule& schedule) {
+  response.has_assignments = true;
+  response.sensors = schedule.sensor_count();
+  response.slots_per_period = schedule.slots_per_period();
+  for (std::size_t sensor = 0; sensor < schedule.sensor_count(); ++sensor)
+    for (std::size_t slot = 0; slot < schedule.slots_per_period(); ++slot)
+      if (schedule.active(sensor, slot))
+        response.assignments.emplace_back(sensor, slot);
+}
+
+double plan_utility(const core::GreedyResult& result) {
+  double total = 0.0;
+  for (const auto& step : result.steps) total += step.gain;
+  return total;
+}
+
+}  // namespace
+
+// One batch slot: the ticket, its resolved session, and the working result.
+struct CooldService::Job {
+  Ticket ticket;
+  Session* session = nullptr;
+  Response response;
+  bool finished = false;   // resolved in Phase A (status/shutdown/errors)
+  bool mutating = false;   // needs LSN + WAL append on success
+  bool shutdown = false;
+  int start_level = 0;
+  bool use_deadline = true;
+  std::optional<core::PeriodicSchedule> new_schedule;
+  Clock::time_point run_start{};
+  Clock::time_point run_end{};
+};
+
+CooldService::CooldService(ServiceConfig config)
+    : config_(std::move(config)),
+      queue_(QueueConfig{config_.queue_capacity}),
+      sessions_(config_.session_capacity),
+      provenance_(obs::Provenance::collect()) {
+  provenance_json_ = provenance_.to_json();
+  const WalRecovery recovery = read_wal_dir(config_.wal_dir, config_.limits);
+  torn_bytes_.store(recovery.torn_bytes, std::memory_order_relaxed);
+  restore_from(recovery);
+  lsn_.store(recovery.max_lsn, std::memory_order_relaxed);
+  // Open for append only after replay — replayed entries stay in the log
+  // until the next snapshot makes them redundant.
+  wal_ = std::make_unique<WalWriter>(config_.wal_dir, config_.fsync);
+}
+
+CooldService::~CooldService() { stop(); }
+
+void CooldService::start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (started_) return;
+  started_ = true;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void CooldService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  queue_.close();
+  worker_.join();
+  for (Ticket& leftover : queue_.drain()) {
+    if (leftover.done)
+      leftover.done(make_error(leftover.request, "unavailable: shutting down"));
+  }
+  // Clean shutdown: persist everything so the next start skips replay.
+  write_snapshot_atomic(config_.wal_dir,
+                        compose_snapshot(lsn_.load(std::memory_order_relaxed)));
+  wal_->reset_to_empty();
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CooldService::set_shutdown_handler(std::function<void()> handler) {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  shutdown_handler_ = std::move(handler);
+}
+
+Response CooldService::make_error(const Request& request,
+                                  std::string error) const {
+  Response response;
+  response.id = request.id;
+  response.ok = false;
+  response.type = to_string(request.type);
+  response.network = request.network;
+  response.error = std::move(error);
+  return response;
+}
+
+void CooldService::submit_frame(std::string_view frame,
+                                std::function<void(Response)> done) {
+  ParseResult parsed = parse_request(frame, config_.limits);
+  if (!parsed.ok) {
+    COOL_METRIC_ADD("svc.requests.malformed", 1);
+    Response response;
+    response.ok = false;
+    response.type = "invalid";
+    response.error = std::move(parsed.error);
+    done(std::move(response));
+    return;
+  }
+  submit(std::move(parsed.request), std::move(done));
+}
+
+void CooldService::submit(Request request, std::function<void(Response)> done) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Ticket ticket;
+  ticket.request = std::move(request);
+  ticket.done = std::move(done);
+  ticket.admitted = Clock::now();
+  const double est = est_ms_per_request_.load(std::memory_order_relaxed);
+  AdmissionQueue::Offer offer = queue_.offer(std::move(ticket), est);
+  if (offer.victim) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    Response shed = make_error(offer.victim->request,
+                               "shed_overload: displaced by higher priority");
+    shed.retry_after_ms = offer.retry_after_ms;
+    if (offer.victim->done) offer.victim->done(std::move(shed));
+  }
+  if (!offer.admitted) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    Response shed = make_error(ticket.request, "shed_overload: queue full");
+    shed.retry_after_ms = offer.retry_after_ms;
+    if (ticket.done) ticket.done(std::move(shed));
+  }
+}
+
+Response CooldService::call(Request request) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  submit(std::move(request),
+         [&promise](Response response) { promise.set_value(std::move(response)); });
+  return future.get();
+}
+
+int CooldService::ladder_start_level() const {
+  const double pressure = queue_.pressure();
+  if (pressure < config_.high_watermark) return 0;
+  if (pressure < config_.crit_watermark) return 1;
+  return 2;
+}
+
+void CooldService::worker_loop() {
+  while (true) {
+    std::vector<Ticket> batch = queue_.pop_batch(config_.batch_max);
+    if (batch.empty()) return;  // closed and drained
+    process_batch(std::move(batch));
+  }
+}
+
+void CooldService::execute_plan(Job& job) {
+  const Request& request = job.ticket.request;
+  Session& session = *job.session;
+  job.run_start = Clock::now();
+
+  if (request.type == RequestType::kRepair) {
+    // Bounded-cost local patch — no ladder, no cancellation (Phase A
+    // validated the dead list and the presence of a schedule).
+    std::vector<std::uint8_t> dead(session.problem().sensor_count(), 0);
+    for (std::size_t id : request.dead) dead[id] = 1;
+    core::RepairResult repaired = core::repair_schedule(
+        *session.schedule(), session.problem().slot_utility(), dead);
+    job.response.ok = true;
+    job.response.degrade = 0;
+    job.response.planner = "repair";
+    job.response.utility = repaired.utility_after;
+    job.response.oracle_calls = repaired.oracle_calls;
+    fill_schedule_payload(job.response, repaired.schedule);
+    job.new_schedule = std::move(repaired.schedule);
+    job.run_end = Clock::now();
+    return;
+  }
+
+  // schedule / replan: walk the degradation ladder. One deadline covers
+  // every rung — a request does not earn a fresh budget by degrading.
+  const double budget_ms = request.deadline_ms > 0.0
+                               ? request.deadline_ms
+                               : config_.default_deadline_ms;
+  const core::CancelToken token = core::CancelToken::with_budget(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::duration<double, std::milli>(budget_ms)));
+  int level = job.start_level;
+  while (true) {
+    core::PlannerContext ctx;
+    ctx.scratch_states = &session.scratch_states();
+    if (job.use_deadline && level < 2) ctx.cancel = &token;
+    try {
+      core::GreedyResult result = [&]() -> core::GreedyResult {
+        switch (level) {
+          case 0: return core::LazyGreedyScheduler{}.schedule(session.problem(), ctx);
+          case 1: return core::GreedyScheduler{}.schedule(session.problem(), ctx);
+          default: return core::HefScheduler{}.schedule(session.problem(), ctx);
+        }
+      }();
+      job.response.ok = true;
+      job.response.degrade = level;
+      job.response.planner = planner_name(level);
+      job.response.utility = plan_utility(result);
+      job.response.oracle_calls = result.oracle_calls;
+      fill_schedule_payload(job.response, result.schedule);
+      job.new_schedule = std::move(result.schedule);
+      break;
+    } catch (const core::Cancelled&) {
+      // Deadline blown mid-plan: jump straight to the floor, which ignores
+      // cancellation and always completes in O(n·T) oracle calls.
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      COOL_METRIC_ADD("svc.plans.cancelled", 1);
+      level = 2;
+    }
+  }
+  job.run_end = Clock::now();
+}
+
+void CooldService::process_batch(std::vector<Ticket>&& batch) {
+  COOL_SPAN("svc.batch", "svc");
+  const Clock::time_point batch_start = Clock::now();
+  const int base_level = ladder_start_level();
+
+  // Phase A — serial, admission order: resolve sessions, bump recency for
+  // mutating requests, evict past capacity. Everything that can *fail* a
+  // mutation is validated here, before any recency bump, so failed requests
+  // leave the LRU state untouched (they never reach the WAL, and replay
+  // must not see their side effects).
+  std::vector<Job> jobs;
+  jobs.reserve(batch.size());
+  std::vector<std::unique_ptr<Session>> graveyard;
+  for (Ticket& ticket : batch) {
+    Job job;
+    job.ticket = std::move(ticket);
+    const Request& request = job.ticket.request;
+    job.response.id = request.id;
+    job.response.type = to_string(request.type);
+    job.response.network = request.network;
+    job.start_level = std::max(base_level, request.degrade_min);
+    switch (request.type) {
+      case RequestType::kStatus:
+        job.response = status_response(request);
+        job.finished = true;
+        break;
+      case RequestType::kShutdown:
+        job.response.ok = true;
+        job.finished = true;
+        job.shutdown = true;
+        break;
+      case RequestType::kSchedule:
+        job.session = &sessions_.emplace(request.network, request.spec, graveyard);
+        job.mutating = true;
+        break;
+      case RequestType::kReplan: {
+        Session* session = sessions_.find(request.network);
+        if (!session) {
+          job.response = make_error(request, "unknown_network: schedule it first");
+          job.finished = true;
+          break;
+        }
+        job.session = sessions_.touch(request.network);
+        job.mutating = true;
+        break;
+      }
+      case RequestType::kRepair: {
+        Session* session = sessions_.find(request.network);
+        if (!session) {
+          job.response = make_error(request, "unknown_network: schedule it first");
+          job.finished = true;
+          break;
+        }
+        if (!session->schedule()) {
+          job.response = make_error(request, "no_schedule: nothing to repair");
+          job.finished = true;
+          break;
+        }
+        const std::size_t sensors = session->problem().sensor_count();
+        const bool in_range =
+            std::all_of(request.dead.begin(), request.dead.end(),
+                        [sensors](std::size_t id) { return id < sensors; });
+        if (!in_range) {
+          job.response = make_error(request, "bad_request: dead id out of range");
+          job.finished = true;
+          break;
+        }
+        job.session = sessions_.touch(request.network);
+        job.mutating = true;
+        break;
+      }
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  // Phase B — parallel planning over disjoint sessions (pop_batch admits at
+  // most one ticket per network). Runs on the shared work-stealing pool.
+  std::vector<std::size_t> runnable;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    if (!jobs[i].finished && jobs[i].session) runnable.push_back(i);
+  if (runnable.size() == 1) {
+    execute_plan(jobs[runnable[0]]);
+  } else if (!runnable.empty()) {
+    util::parallel_chunks(runnable.size(), [&](std::size_t c) {
+      execute_plan(jobs[runnable[c]]);
+    });
+  }
+
+  // Phase C — serial, admission order: LSNs, WAL, one fsync, then acks.
+  std::size_t appended = 0;
+  for (Job& job : jobs) {
+    if (job.finished || !job.response.ok || !job.new_schedule) continue;
+    const std::uint64_t lsn = lsn_.fetch_add(1, std::memory_order_relaxed) + 1;
+    WalEntry entry;
+    entry.lsn = lsn;
+    entry.degrade = job.response.degrade;
+    entry.request = job.ticket.request;
+    wal_->append(entry);
+    ++appended;
+    job.session->set_schedule(std::move(*job.new_schedule));
+    job.response.lsn = lsn;
+    job.response.applied = job.session->applied();
+    job.response.provenance_json = provenance_json_;
+  }
+  if (appended > 0) {
+    wal_->sync();  // the batch's single fsync — acks below are now durable
+    wal_appends_.fetch_add(appended, std::memory_order_relaxed);
+    entries_since_snapshot_ += appended;
+    maybe_snapshot();
+  }
+
+  bool shutdown_requested = false;
+  const Clock::time_point batch_end = Clock::now();
+  for (Job& job : jobs) {
+    job.response.queue_ms = ms_between(job.ticket.admitted, batch_end);
+    if (job.run_end > job.run_start)
+      job.response.run_ms = ms_between(job.run_start, job.run_end);
+    if (job.response.ok) {
+      acked_ok_.fetch_add(1, std::memory_order_relaxed);
+      if (job.response.degrade >= 0 && job.response.degrade < 3)
+        degraded_[job.response.degrade].fetch_add(1, std::memory_order_relaxed);
+    } else {
+      acked_error_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shutdown_requested = shutdown_requested || job.shutdown;
+    if (job.ticket.done) job.ticket.done(std::move(job.response));
+  }
+
+  const double batch_ms = ms_between(batch_start, batch_end);
+  const double per_request = batch_ms / static_cast<double>(jobs.size());
+  const double old = est_ms_per_request_.load(std::memory_order_relaxed);
+  est_ms_per_request_.store(0.7 * old + 0.3 * per_request,
+                            std::memory_order_relaxed);
+  COOL_METRIC_ADD("svc.batches", 1);
+  COOL_METRIC_OBSERVE("svc.batch_ms", batch_ms);
+
+  if (shutdown_requested) {
+    std::function<void()> handler;
+    {
+      std::lock_guard<std::mutex> lock(shutdown_mutex_);
+      handler = shutdown_handler_;
+    }
+    if (handler) handler();
+  }
+}
+
+Response CooldService::status_response(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.ok = true;
+  response.type = "status";
+  response.network = request.network;
+  const ServiceStats s = stats();
+  response.stats.emplace_back("submitted", static_cast<double>(s.submitted));
+  response.stats.emplace_back("acked_ok", static_cast<double>(s.acked_ok));
+  response.stats.emplace_back("acked_error", static_cast<double>(s.acked_error));
+  response.stats.emplace_back("shed", static_cast<double>(s.shed));
+  response.stats.emplace_back("degraded0", static_cast<double>(s.degraded[0]));
+  response.stats.emplace_back("degraded1", static_cast<double>(s.degraded[1]));
+  response.stats.emplace_back("degraded2", static_cast<double>(s.degraded[2]));
+  response.stats.emplace_back("cancelled", static_cast<double>(s.cancelled));
+  response.stats.emplace_back("wal_appends", static_cast<double>(s.wal_appends));
+  response.stats.emplace_back("snapshots", static_cast<double>(s.snapshots));
+  response.stats.emplace_back("replayed", static_cast<double>(s.replayed));
+  response.stats.emplace_back("torn_bytes", static_cast<double>(s.torn_bytes));
+  response.stats.emplace_back("last_lsn", static_cast<double>(s.last_lsn));
+  response.stats.emplace_back("queue_depth", static_cast<double>(queue_.depth()));
+  response.stats.emplace_back("pressure", queue_.pressure());
+  response.stats.emplace_back("sessions", static_cast<double>(sessions_.size()));
+  response.stats.emplace_back("evictions",
+                              static_cast<double>(sessions_.evictions()));
+  if (!request.network.empty()) {
+    // find(), not touch(): status reads must never perturb LRU order (the
+    // WAL has no status entries, so replay could not reproduce the bump).
+    if (Session* session = sessions_.find(request.network)) {
+      response.applied = session->applied();
+      if (session->schedule())
+        fill_schedule_payload(response, *session->schedule());
+    }
+  }
+  return response;
+}
+
+ServiceStats CooldService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.acked_ok = acked_ok_.load(std::memory_order_relaxed);
+  s.acked_error = acked_error_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  for (int i = 0; i < 3; ++i)
+    s.degraded[i] = degraded_[i].load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.wal_appends = wal_appends_.load(std::memory_order_relaxed);
+  s.snapshots = snapshots_.load(std::memory_order_relaxed);
+  s.replayed = replayed_.load(std::memory_order_relaxed);
+  s.torn_bytes = torn_bytes_.load(std::memory_order_relaxed);
+  s.last_lsn = lsn_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t CooldService::resident_sessions() { return sessions_.size(); }
+
+std::string CooldService::compose_snapshot(std::uint64_t lsn) {
+  std::string out = "{\"schema_version\":1";
+  out += ",\"lsn\":" + std::to_string(lsn);
+  out += ",\"clock\":" + std::to_string(sessions_.clock());
+  out += ",\"sessions\":[";
+  bool first = true;
+  for (const auto& exported : sessions_.export_entries()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"network\":\"" + obs::json_escape(exported.network) + '"';
+    out += ",\"recency\":" + std::to_string(exported.recency);
+    out += ",\"applied\":" + std::to_string(exported.session->applied());
+    out += ",\"spec\":" + exported.session->spec().to_json();
+    if (exported.session->schedule()) {
+      const core::PeriodicSchedule& schedule = *exported.session->schedule();
+      out += ",\"assignments\":[";
+      bool first_pair = true;
+      for (std::size_t sensor = 0; sensor < schedule.sensor_count(); ++sensor)
+        for (std::size_t slot = 0; slot < schedule.slots_per_period(); ++slot)
+          if (schedule.active(sensor, slot)) {
+            if (!first_pair) out += ',';
+            first_pair = false;
+            out += '[' + std::to_string(sensor) + ',' + std::to_string(slot) + ']';
+          }
+      out += ']';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void CooldService::restore_from(const WalRecovery& recovery) {
+  if (recovery.snapshot_present) {
+    try {
+      const obs::JsonValue value = obs::parse_json(recovery.snapshot_json);
+      std::uint64_t clock = 0;
+      if (value.contains("clock")) {
+        clock = static_cast<std::uint64_t>(value.at("clock").as_number());
+      }
+      if (value.contains("sessions")) {
+        for (const obs::JsonValue& entry : value.at("sessions").as_array()) {
+          const std::string network = entry.at("network").as_string();
+          NetworkSpec spec =
+              network_spec_from_json(entry.at("spec"), config_.limits);
+          std::optional<core::PeriodicSchedule> schedule;
+          if (entry.contains("assignments")) {
+            core::PeriodicSchedule restored(spec.sensors, spec.slots_per_period);
+            for (const obs::JsonValue& pair : entry.at("assignments").as_array()) {
+              const auto& cells = pair.as_array();
+              if (cells.size() != 2)
+                throw std::runtime_error("bad snapshot assignment");
+              restored.set_active(
+                  static_cast<std::size_t>(cells[0].as_number()),
+                  static_cast<std::size_t>(cells[1].as_number()));
+            }
+            schedule = std::move(restored);
+          }
+          std::size_t applied = 0;
+          if (entry.contains("applied"))
+            applied = static_cast<std::size_t>(entry.at("applied").as_number());
+          std::uint64_t recency = 0;
+          if (entry.contains("recency"))
+            recency = static_cast<std::uint64_t>(entry.at("recency").as_number());
+          sessions_.restore(network, std::move(spec), std::move(schedule),
+                            applied, recency);
+        }
+      }
+      sessions_.set_clock(clock);
+    } catch (const std::exception&) {
+      // The snapshot write is atomic, so a bad one means external damage.
+      // Reject-don't-crash holds for our own files too: start empty and
+      // surface the damage through the torn-bytes counter.
+      torn_bytes_.fetch_add(recovery.snapshot_json.size(),
+                            std::memory_order_relaxed);
+      COOL_METRIC_ADD("svc.recovery.bad_snapshot", 1);
+    }
+  }
+  for (const WalEntry& entry : recovery.entries) replay_entry(entry);
+  replayed_.fetch_add(recovery.entries.size(), std::memory_order_relaxed);
+  if (!recovery.entries.empty() || recovery.snapshot_present)
+    COOL_METRIC_ADD("svc.recovery.runs", 1);
+}
+
+void CooldService::replay_entry(const WalEntry& entry) {
+  // Re-executes one logged mutation exactly as the live run did: same
+  // session-resolution order, ladder pinned to the logged level, no
+  // deadline (wall-clock is not replayable; the logged level is).
+  Job job;
+  job.ticket.request = entry.request;
+  job.response.id = entry.request.id;
+  job.start_level = entry.degrade;
+  job.use_deadline = false;
+  std::vector<std::unique_ptr<Session>> graveyard;
+  const Request& request = entry.request;
+  switch (request.type) {
+    case RequestType::kSchedule:
+      job.session = &sessions_.emplace(request.network, request.spec, graveyard);
+      break;
+    case RequestType::kReplan:
+    case RequestType::kRepair:
+      job.session = sessions_.touch(request.network);
+      break;
+    default:
+      return;  // status/shutdown never reach the WAL
+  }
+  if (!job.session) return;  // only possible with a hand-damaged log
+  if (request.type == RequestType::kRepair && !job.session->schedule()) return;
+  execute_plan(job);
+  if (job.response.ok && job.new_schedule)
+    job.session->set_schedule(std::move(*job.new_schedule));
+}
+
+void CooldService::maybe_snapshot() {
+  if (config_.snapshot_every == 0) return;
+  if (entries_since_snapshot_ < config_.snapshot_every) return;
+  write_snapshot_atomic(config_.wal_dir,
+                        compose_snapshot(lsn_.load(std::memory_order_relaxed)));
+  wal_->reset_to_empty();
+  entries_since_snapshot_ = 0;
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  COOL_METRIC_ADD("svc.snapshots", 1);
+}
+
+}  // namespace cool::svc

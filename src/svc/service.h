@@ -1,0 +1,160 @@
+// coold's engine: admission, batched execution, degradation, durability.
+//
+// One worker thread owns all session state. It pulls priority-ordered
+// batches from the AdmissionQueue and runs each batch in three phases:
+//
+//   Phase A (serial, admission order)  resolve or create each ticket's
+//     session, bump LRU recency for mutating requests, evict past capacity.
+//     All cache mutation happens here, in a deterministic order — batched
+//     execution is observationally identical to serial execution.
+//   Phase B (parallel)  plan. pop_batch() guarantees one ticket per
+//     network, so the jobs touch disjoint sessions; they run on the PR 5
+//     work-stealing pool. Each job walks the degradation ladder:
+//         level 0  lazy greedy   (fastest high-quality planner)
+//         level 1  plain greedy  (no priority-queue overhead)
+//         level 2  HEF-style single pass (O(n·T), never cancelled)
+//     The starting level comes from queue pressure (backlog rises -> start
+//     cheaper); levels 0 and 1 run under the request's deadline budget and
+//     a blown budget jumps straight to the always-completing floor.
+//   Phase C (serial, admission order)  assign LSNs to successful mutations,
+//     append them to the WAL — including the ladder level actually used —
+//     fsync once for the whole batch, then and only then invoke the
+//     response callbacks. "Acked" therefore implies "durable": a crash
+//     loses only work nobody was told succeeded.
+//
+// Recovery: the constructor loads the newest snapshot, replays WAL entries
+// past it (each pinned to its logged ladder level, no deadline), and
+// resumes the LSN sequence. bench_service_soak SIGKILLs the daemon
+// mid-batch and asserts the restarted state equals a never-crashed replica
+// bit for bit (PeriodicSchedule::operator==).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/provenance.h"
+#include "svc/protocol.h"
+#include "svc/queue.h"
+#include "svc/session.h"
+#include "svc/wal.h"
+
+namespace cool::svc {
+
+struct ServiceConfig {
+  std::size_t queue_capacity = 256;
+  std::size_t batch_max = 8;
+  std::size_t session_capacity = 64;
+  double default_deadline_ms = 1000.0;  // used when a request sends none
+  // Queue-pressure thresholds for the degradation ladder's starting level:
+  // below high -> lazy greedy, below crit -> plain greedy, else HEF floor.
+  double high_watermark = 0.5;
+  double crit_watermark = 0.85;
+  std::string wal_dir = "coold-state";
+  bool fsync = true;           // benches disable it to measure pure engine cost
+  std::size_t snapshot_every = 64;  // WAL entries between snapshots (0 = never)
+  ParseLimits limits;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t acked_ok = 0;
+  std::uint64_t acked_error = 0;
+  std::uint64_t shed = 0;          // rejected with retry_after (overload)
+  std::uint64_t degraded[3] = {0, 0, 0};  // completions per ladder level
+  std::uint64_t cancelled = 0;     // deadline hits that forced the floor
+  std::uint64_t wal_appends = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t replayed = 0;      // WAL entries re-executed at startup
+  std::uint64_t torn_bytes = 0;    // malformed WAL/snapshot bytes dropped
+  std::uint64_t last_lsn = 0;
+};
+
+class CooldService {
+ public:
+  // Recovers state from config.wal_dir (snapshot + WAL replay) before
+  // returning; call start() to begin serving.
+  explicit CooldService(ServiceConfig config);
+  ~CooldService();
+
+  CooldService(const CooldService&) = delete;
+  CooldService& operator=(const CooldService&) = delete;
+
+  void start();
+  // Closes admission, finishes every admitted request, joins the worker,
+  // then snapshots and truncates the WAL (clean restarts skip replay).
+  void stop();
+
+  // Raw frame in, exactly one completion out (possibly synchronously, e.g.
+  // parse errors and shed requests). `done` may be called from the worker
+  // thread; it must not block.
+  void submit_frame(std::string_view frame, std::function<void(Response)> done);
+  void submit(Request request, std::function<void(Response)> done);
+  // Synchronous convenience: submit and wait (tests, coolctl one-shots).
+  Response call(Request request);
+
+  // Invoked (from the worker thread) after a shutdown request is acked;
+  // the owner should arrange for stop() to be called from another thread.
+  void set_shutdown_handler(std::function<void()> handler);
+
+  ServiceStats stats() const;
+  std::size_t resident_sessions();
+  std::uint64_t last_lsn() const {
+    return lsn_.load(std::memory_order_relaxed);
+  }
+  const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Job;  // one batch slot's working state (defined in service.cpp)
+
+  void worker_loop();
+  void process_batch(std::vector<Ticket>&& batch);
+  void execute_plan(Job& job);
+  Response make_error(const Request& request, std::string error) const;
+  Response status_response(const Request& request);
+  std::string compose_snapshot(std::uint64_t lsn);
+  void restore_from(const WalRecovery& recovery);
+  void replay_entry(const WalEntry& entry);
+  void maybe_snapshot();
+  int ladder_start_level() const;
+
+  ServiceConfig config_;
+  AdmissionQueue queue_;
+  SessionCache sessions_;          // worker-thread-owned after start()
+  std::unique_ptr<WalWriter> wal_;
+  obs::Provenance provenance_;
+  std::string provenance_json_;
+
+  std::thread worker_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::mutex lifecycle_mutex_;
+
+  std::function<void()> shutdown_handler_;
+  std::mutex shutdown_mutex_;
+
+  std::atomic<std::uint64_t> lsn_{0};
+  std::uint64_t entries_since_snapshot_ = 0;  // worker thread only
+
+  // EWMA of per-request service time, feeding retry-after hints.
+  std::atomic<double> est_ms_per_request_{5.0};
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> acked_ok_{0};
+  std::atomic<std::uint64_t> acked_error_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> degraded_[3]{};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> wal_appends_{0};
+  std::atomic<std::uint64_t> snapshots_{0};
+  std::atomic<std::uint64_t> replayed_{0};
+  std::atomic<std::uint64_t> torn_bytes_{0};
+};
+
+}  // namespace cool::svc

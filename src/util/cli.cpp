@@ -6,6 +6,23 @@
 
 namespace cool::util {
 
+namespace {
+
+// Repeated flags are a misparse, not a convenience: for a resident daemon,
+// `--wal-dir /a ... --wal-dir /b` silently taking the last value would point
+// recovery at the wrong tree. Every duplicate — scalar or bare boolean — is
+// rejected with both spellings in the message.
+void insert_unique(std::map<std::string, std::string>& flags,
+                   const std::string& name, const std::string& value) {
+  const auto [it, inserted] = flags.emplace(name, value);
+  if (!inserted)
+    throw std::invalid_argument("duplicate flag: --" + name + " given as '" +
+                                it->second + "' and again as '" + value +
+                                "' — pass each flag once");
+}
+
+}  // namespace
+
 Cli::Cli(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -16,15 +33,15 @@ Cli::Cli(int argc, const char* const* argv) {
     const std::string body = arg.substr(2);
     const auto eq = body.find('=');
     if (eq != std::string::npos) {
-      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      insert_unique(flags_, body.substr(0, eq), body.substr(eq + 1));
       continue;
     }
     // "--name value" unless the next token is itself a flag (then boolean).
     if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
-      flags_[body] = argv[i + 1];
+      insert_unique(flags_, body, argv[i + 1]);
       ++i;
     } else {
-      flags_[body] = "true";
+      insert_unique(flags_, body, "true");
     }
   }
   for (const auto& [name, _] : flags_) consumed_[name] = false;

@@ -6,6 +6,9 @@
 //   cli.finish();   // rejects unknown flags
 //
 // Accepted syntax: --name=value, --name value, and boolean --name.
+// Repeating a flag throws std::invalid_argument from the constructor (a
+// daemon must not silently take the last of two contradictory values), and
+// finish() rejects flags that were never queried (typo detection).
 #pragma once
 
 #include <map>

@@ -69,9 +69,32 @@ TEST(Cli, NegativeNumberAfterFlagIsTreatedAsValue) {
   cli.finish();
 }
 
-TEST(Cli, LaterFlagOverridesEarlier) {
-  auto cli = make_cli({"--n=1", "--n=2"});
-  EXPECT_EQ(cli.get_int("n", 0), 2);
+TEST(Cli, DuplicateScalarFlagRejected) {
+  // Silently taking the last value turns "--seed 1 ... --seed 2" into a
+  // misparse; the constructor must refuse with both values in the message.
+  try {
+    make_cli({"--n=1", "--n=2"});
+    FAIL() << "duplicate flag accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--n"), std::string::npos);
+    EXPECT_NE(what.find("'1'"), std::string::npos);
+    EXPECT_NE(what.find("'2'"), std::string::npos);
+  }
+}
+
+TEST(Cli, DuplicateMixedSyntaxRejected) {
+  EXPECT_THROW(make_cli({"--seed", "1", "--seed=2"}), std::invalid_argument);
+}
+
+TEST(Cli, DuplicateBooleanFlagRejected) {
+  EXPECT_THROW(make_cli({"--verbose", "--verbose"}), std::invalid_argument);
+}
+
+TEST(Cli, DistinctFlagsStillAccepted) {
+  auto cli = make_cli({"--n=1", "--m=2"});
+  EXPECT_EQ(cli.get_int("n", 0), 1);
+  EXPECT_EQ(cli.get_int("m", 0), 2);
   cli.finish();
 }
 

@@ -1,0 +1,160 @@
+// AdmissionQueue contract: bounded depth, priority-aware shedding with
+// retry hints, FIFO within a class, one ticket per network per batch, and
+// clean close/drain semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "svc/queue.h"
+
+namespace cool {
+namespace {
+
+svc::Ticket make_ticket(const std::string& id, const std::string& network,
+                        int priority) {
+  svc::Ticket ticket;
+  ticket.request.id = id;
+  ticket.request.network = network;
+  ticket.request.priority = priority;
+  ticket.request.type = svc::RequestType::kReplan;
+  return ticket;
+}
+
+TEST(SvcQueue, AdmitsUpToCapacityThenSheds) {
+  svc::AdmissionQueue queue(svc::QueueConfig{2});
+  EXPECT_TRUE(queue.offer(make_ticket("a", "n1", 1), 5.0).admitted);
+  EXPECT_TRUE(queue.offer(make_ticket("b", "n2", 1), 5.0).admitted);
+  EXPECT_EQ(queue.depth(), 2u);
+
+  const auto shed = queue.offer(make_ticket("c", "n3", 1), 5.0);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_FALSE(shed.victim.has_value());
+  EXPECT_GT(shed.retry_after_ms, 0.0);
+  EXPECT_EQ(queue.depth(), 2u) << "shedding must not grow the queue";
+}
+
+TEST(SvcQueue, RetryHintScalesWithServiceRate) {
+  svc::AdmissionQueue queue(svc::QueueConfig{1});
+  ASSERT_TRUE(queue.offer(make_ticket("a", "n1", 1), 5.0).admitted);
+  const double slow = queue.offer(make_ticket("b", "n2", 1), 50.0).retry_after_ms;
+  const double fast = queue.offer(make_ticket("c", "n3", 1), 1.0).retry_after_ms;
+  EXPECT_GT(slow, fast);
+}
+
+TEST(SvcQueue, FullQueueEvictsNewestLowerClassForHigherClassArrival) {
+  svc::AdmissionQueue queue(svc::QueueConfig{3});
+  ASSERT_TRUE(queue.offer(make_ticket("b1", "n1", 2), 5.0).admitted);
+  ASSERT_TRUE(queue.offer(make_ticket("b2", "n2", 2), 5.0).admitted);
+  ASSERT_TRUE(queue.offer(make_ticket("norm", "n3", 1), 5.0).admitted);
+
+  // Interactive arrival evicts the NEWEST strictly-lower-class ticket:
+  // that is b2 (batch, admitted after b1), not the normal-class one unless
+  // batch is exhausted.
+  const auto offer = queue.offer(make_ticket("hot", "n4", 0), 5.0);
+  EXPECT_TRUE(offer.admitted);
+  ASSERT_TRUE(offer.victim.has_value());
+  EXPECT_EQ(offer.victim->request.id, "b2");
+  EXPECT_EQ(queue.depth(), 3u);
+
+  // Another interactive arrival: batch still has b1 — evicted next.
+  const auto offer2 = queue.offer(make_ticket("hot2", "n5", 0), 5.0);
+  EXPECT_TRUE(offer2.admitted);
+  ASSERT_TRUE(offer2.victim.has_value());
+  EXPECT_EQ(offer2.victim->request.id, "b1");
+
+  // Now the queue holds {hot, hot2, norm}: a third interactive arrival
+  // evicts the normal-class ticket.
+  const auto offer3 = queue.offer(make_ticket("hot3", "n6", 0), 5.0);
+  EXPECT_TRUE(offer3.admitted);
+  ASSERT_TRUE(offer3.victim.has_value());
+  EXPECT_EQ(offer3.victim->request.id, "norm");
+
+  // All-interactive queue: a same-class arrival is shed, never evicts.
+  const auto offer4 = queue.offer(make_ticket("hot4", "n7", 0), 5.0);
+  EXPECT_FALSE(offer4.admitted);
+  EXPECT_FALSE(offer4.victim.has_value());
+}
+
+TEST(SvcQueue, LowerClassArrivalNeverEvictsHigherClass) {
+  svc::AdmissionQueue queue(svc::QueueConfig{1});
+  ASSERT_TRUE(queue.offer(make_ticket("hot", "n1", 0), 5.0).admitted);
+  const auto offer = queue.offer(make_ticket("batch", "n2", 2), 5.0);
+  EXPECT_FALSE(offer.admitted);
+  EXPECT_FALSE(offer.victim.has_value());
+}
+
+TEST(SvcQueue, PopBatchOrdersByClassThenFifo) {
+  svc::AdmissionQueue queue(svc::QueueConfig{8});
+  ASSERT_TRUE(queue.offer(make_ticket("b1", "n1", 2), 5.0).admitted);
+  ASSERT_TRUE(queue.offer(make_ticket("i1", "n2", 0), 5.0).admitted);
+  ASSERT_TRUE(queue.offer(make_ticket("n1r", "n3", 1), 5.0).admitted);
+  ASSERT_TRUE(queue.offer(make_ticket("i2", "n4", 0), 5.0).admitted);
+
+  const std::vector<svc::Ticket> batch = queue.pop_batch(8);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].request.id, "i1");
+  EXPECT_EQ(batch[1].request.id, "i2");
+  EXPECT_EQ(batch[2].request.id, "n1r");
+  EXPECT_EQ(batch[3].request.id, "b1");
+}
+
+TEST(SvcQueue, PopBatchTakesAtMostOnePerNetwork) {
+  svc::AdmissionQueue queue(svc::QueueConfig{8});
+  ASSERT_TRUE(queue.offer(make_ticket("a1", "tenant", 0), 5.0).admitted);
+  ASSERT_TRUE(queue.offer(make_ticket("a2", "tenant", 0), 5.0).admitted);
+  ASSERT_TRUE(queue.offer(make_ticket("b", "other", 1), 5.0).admitted);
+
+  std::vector<svc::Ticket> batch = queue.pop_batch(8);
+  ASSERT_EQ(batch.size(), 2u) << "second 'tenant' ticket must wait";
+  EXPECT_EQ(batch[0].request.id, "a1");
+  EXPECT_EQ(batch[1].request.id, "b");
+
+  batch = queue.pop_batch(8);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.id, "a2");
+}
+
+TEST(SvcQueue, PopBatchHonoursMaxBatch) {
+  svc::AdmissionQueue queue(svc::QueueConfig{8});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        queue.offer(make_ticket("r" + std::to_string(i), "n" + std::to_string(i), 1),
+                    5.0)
+            .admitted);
+  }
+  EXPECT_EQ(queue.pop_batch(2).size(), 2u);
+  EXPECT_EQ(queue.pop_batch(2).size(), 2u);
+  EXPECT_EQ(queue.pop_batch(2).size(), 1u);
+}
+
+TEST(SvcQueue, CloseWakesAndShedsLaterOffers) {
+  svc::AdmissionQueue queue(svc::QueueConfig{4});
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_TRUE(queue.pop_batch(4).empty());
+  const auto offer = queue.offer(make_ticket("late", "n1", 0), 5.0);
+  EXPECT_FALSE(offer.admitted);
+}
+
+TEST(SvcQueue, DrainReturnsEverythingQueued) {
+  svc::AdmissionQueue queue(svc::QueueConfig{4});
+  ASSERT_TRUE(queue.offer(make_ticket("a", "n1", 0), 5.0).admitted);
+  ASSERT_TRUE(queue.offer(make_ticket("b", "n2", 2), 5.0).admitted);
+  queue.close();
+  const std::vector<svc::Ticket> leftovers = queue.drain();
+  EXPECT_EQ(leftovers.size(), 2u);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(SvcQueue, PressureTracksDepthOverCapacity) {
+  svc::AdmissionQueue queue(svc::QueueConfig{4});
+  EXPECT_DOUBLE_EQ(queue.pressure(), 0.0);
+  ASSERT_TRUE(queue.offer(make_ticket("a", "n1", 1), 5.0).admitted);
+  ASSERT_TRUE(queue.offer(make_ticket("b", "n2", 1), 5.0).admitted);
+  EXPECT_DOUBLE_EQ(queue.pressure(), 0.5);
+}
+
+}  // namespace
+}  // namespace cool

@@ -1,0 +1,234 @@
+// End-to-end crash recovery against the real daemon binary: spawn coold on
+// a Unix socket, schedule work, SIGKILL it mid-life, restart it on the same
+// state directory, and require bit-identical session state plus a preserved
+// LSN sequence. This is the acceptance test for the durability contract —
+// the soak bench stresses it under chaos; this test pins it under ASan/TSan.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "svc/protocol.h"
+
+#ifndef COOL_COOLD_PATH
+#error "COOL_COOLD_PATH must point at the coold binary"
+#endif
+
+namespace cool {
+namespace {
+
+// Minimal line-oriented client: connect, send one frame, read one response.
+class SocketClient {
+ public:
+  static svc::ResponseParse call(const std::string& socket_path,
+                                 const std::string& frame) {
+    svc::ResponseParse parsed;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      parsed.error = "socket failed";
+      return parsed;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      parsed.error = std::string("connect failed: ") + std::strerror(errno);
+      ::close(fd);
+      return parsed;
+    }
+    const std::string line = frame + "\n";
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+      const ssize_t n = ::write(fd, line.data() + sent, line.size() - sent);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        parsed.error = "write failed";
+        ::close(fd);
+        return parsed;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    std::string reply;
+    char buffer[4096];
+    while (reply.find('\n') == std::string::npos) {
+      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      reply.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    const std::size_t eol = reply.find('\n');
+    if (eol == std::string::npos) {
+      parsed.error = "no response line";
+      return parsed;
+    }
+    return svc::parse_response(reply.substr(0, eol));
+  }
+};
+
+class Daemon {
+ public:
+  Daemon(std::string state_dir, std::string socket_path)
+      : state_dir_(std::move(state_dir)), socket_path_(std::move(socket_path)) {}
+
+  ~Daemon() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+    }
+  }
+
+  bool spawn() {
+    ::unlink(socket_path_.c_str());
+    pid_ = ::fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      ::execl(COOL_COOLD_PATH, "coold", "--state-dir", state_dir_.c_str(),
+              "--socket", socket_path_.c_str(), "--snapshot-every", "4",
+              "--threads", "2", static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    // Ready when a status round-trip succeeds.
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      const svc::ResponseParse probe =
+          SocketClient::call(socket_path_, "{\"type\":\"status\"}");
+      if (probe.ok && probe.response.ok) return true;
+      ::usleep(20 * 1000);
+    }
+    return false;
+  }
+
+  void kill9() {
+    ASSERT_GT(pid_, 0);
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+  }
+
+  void shutdown_clean() {
+    ASSERT_GT(pid_, 0);
+    SocketClient::call(socket_path_, "{\"type\":\"shutdown\"}");
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      const pid_t done = ::waitpid(pid_, nullptr, WNOHANG);
+      if (done == pid_) {
+        pid_ = -1;
+        return;
+      }
+      ::usleep(20 * 1000);
+    }
+    FAIL() << "daemon did not exit after shutdown request";
+  }
+
+  svc::ResponseParse call(const std::string& frame) {
+    return SocketClient::call(socket_path_, frame);
+  }
+
+ private:
+  std::string state_dir_;
+  std::string socket_path_;
+  pid_t pid_ = -1;
+};
+
+double stat_value(const svc::Response& response, const std::string& key) {
+  for (const auto& [name, value] : response.stats)
+    if (name == key) return value;
+  return -1.0;
+}
+
+std::string schedule_frame(const std::string& network, std::uint64_t seed) {
+  svc::Request request;
+  request.id = "sched-" + network;
+  request.type = svc::RequestType::kSchedule;
+  request.network = network;
+  request.has_spec = true;
+  request.spec.sensors = 12;
+  request.spec.targets = 18;
+  request.spec.seed = seed;
+  request.spec.slots_per_period = 4;
+  request.spec.periods = 5;
+  return request.to_json();
+}
+
+TEST(SvcRecovery, SigkillThenRestartRestoresBitIdenticalState) {
+  const std::string base = ::testing::TempDir() + "cool-recovery";
+  const std::string state_dir = base + "-state";
+  const std::string socket_a = base + "-a.sock";
+  const std::string socket_b = base + "-b.sock";
+  ::mkdir(state_dir.c_str(), 0755);
+  ::unlink((state_dir + "/wal.jsonl").c_str());
+  ::unlink((state_dir + "/snapshot.json").c_str());
+
+  std::vector<std::string> networks = {"t1", "t2", "t3"};
+  std::vector<core::PeriodicSchedule> before;
+  std::uint64_t lsn_before = 0;
+  {
+    Daemon daemon(state_dir, socket_a);
+    ASSERT_TRUE(daemon.spawn()) << "coold failed to come up";
+    for (std::size_t i = 0; i < networks.size(); ++i) {
+      const svc::ResponseParse reply =
+          daemon.call(schedule_frame(networks[i], 100 + i));
+      ASSERT_TRUE(reply.ok) << reply.error;
+      ASSERT_TRUE(reply.response.ok) << reply.response.error;
+    }
+    // One repair so recovery replays a non-schedule mutation too.
+    svc::Request repair;
+    repair.type = svc::RequestType::kRepair;
+    repair.network = "t2";
+    repair.dead = {1, 4};
+    const svc::ResponseParse repaired = daemon.call(repair.to_json());
+    ASSERT_TRUE(repaired.ok && repaired.response.ok) << repaired.response.error;
+
+    for (const std::string& network : networks) {
+      const svc::ResponseParse status =
+          daemon.call("{\"type\":\"status\",\"network\":\"" + network + "\"}");
+      ASSERT_TRUE(status.ok && status.response.ok);
+      ASSERT_TRUE(status.response.has_assignments);
+      before.push_back(svc::schedule_from_response(status.response));
+      lsn_before = static_cast<std::uint64_t>(
+          stat_value(status.response, "last_lsn"));
+    }
+    EXPECT_EQ(lsn_before, 4u);
+    daemon.kill9();  // no clean shutdown: recovery must come from WAL+snapshot
+  }
+
+  Daemon restarted(state_dir, socket_b);
+  ASSERT_TRUE(restarted.spawn()) << "coold failed to restart after SIGKILL";
+  const svc::ResponseParse overall = restarted.call("{\"type\":\"status\"}");
+  ASSERT_TRUE(overall.ok && overall.response.ok);
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                stat_value(overall.response, "last_lsn")),
+            lsn_before)
+      << "LSN sequence must resume, not restart";
+
+  for (std::size_t i = 0; i < networks.size(); ++i) {
+    const svc::ResponseParse status = restarted.call(
+        "{\"type\":\"status\",\"network\":\"" + networks[i] + "\"}");
+    ASSERT_TRUE(status.ok && status.response.ok);
+    ASSERT_TRUE(status.response.has_assignments)
+        << networks[i] << " lost its schedule across the crash";
+    EXPECT_EQ(svc::schedule_from_response(status.response), before[i])
+        << networks[i] << " diverged after recovery";
+  }
+
+  // The recovered daemon keeps accepting mutations with fresh LSNs.
+  const svc::ResponseParse replanned =
+      restarted.call("{\"type\":\"replan\",\"network\":\"t1\"}");
+  ASSERT_TRUE(replanned.ok && replanned.response.ok)
+      << replanned.response.error;
+  EXPECT_EQ(replanned.response.lsn, lsn_before + 1);
+  restarted.shutdown_clean();
+}
+
+}  // namespace
+}  // namespace cool

@@ -1,0 +1,202 @@
+// coolctl — one-shot client for a running coold.
+//
+// Builds one request from flags (or takes a raw JSON frame), sends it over
+// the daemon's Unix socket, prints the response line to stdout, and exits 0
+// on an ok response. Overload is survivable by construction: shed_overload
+// responses are retried with the daemon's retry_after_ms hint combined
+// with net/backoff's seeded exponential backoff (jittered, monotone), so a
+// fleet of coolctls hammering one daemon desynchronizes instead of
+// retrying in lockstep.
+//
+//   coolctl --socket /tmp/coold.sock --type schedule --network t1 --sensors 30
+//   coolctl --socket /tmp/coold.sock --type repair --network t1 --dead 3,17
+//   coolctl --socket /tmp/coold.sock --frame '{"type":"status"}'
+//
+// Flags: --socket PATH (required), --frame JSON (raw mode), or request
+// builders --type/--network/--id/--priority/--deadline-ms/--degrade-min/
+// --dead A,B,C plus spec fields --sensors/--targets/--seed/--slots/
+// --periods/--p. Retry policy: --retries N (default 5), --retry-base-ms X
+// (default 50), --retry-seed N.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/backoff.h"
+#include "svc/protocol.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cool;
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads one '\n'-terminated line; false on EOF/error before the newline.
+bool read_line(int fd, std::string& line) {
+  line.clear();
+  char byte = 0;
+  for (;;) {
+    const ssize_t n = ::read(fd, &byte, 1);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (byte == '\n') return true;
+    line.push_back(byte);
+    if (line.size() > (1u << 20)) return false;  // runaway response
+  }
+}
+
+std::vector<std::size_t> parse_dead_list(const std::string& text) {
+  std::vector<std::size_t> dead;
+  std::string token;
+  for (const char c : text + ",") {
+    if (c == ',') {
+      if (!token.empty()) dead.push_back(std::stoul(token));
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  return dead;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Cli cli(argc, argv);
+    const std::string socket_path = cli.get_string("socket", "coold.sock");
+    std::string frame = cli.get_string("frame", "");
+    const std::size_t retries =
+        static_cast<std::size_t>(cli.get_int("retries", 5));
+    const double retry_base_ms = cli.get_double("retry-base-ms", 50.0);
+    const std::uint64_t retry_seed =
+        static_cast<std::uint64_t>(cli.get_int("retry-seed", 1));
+
+    if (frame.empty()) {
+      svc::Request request;
+      const std::string type = cli.get_string("type", "status");
+      if (type == "schedule") request.type = svc::RequestType::kSchedule;
+      else if (type == "repair") request.type = svc::RequestType::kRepair;
+      else if (type == "replan") request.type = svc::RequestType::kReplan;
+      else if (type == "status") request.type = svc::RequestType::kStatus;
+      else if (type == "shutdown") request.type = svc::RequestType::kShutdown;
+      else {
+        std::fprintf(stderr, "coolctl: unknown --type '%s'\n", type.c_str());
+        return 2;
+      }
+      request.id = cli.get_string("id", "coolctl");
+      request.network = cli.get_string("network", "");
+      request.priority = static_cast<int>(cli.get_int("priority", 1));
+      request.deadline_ms = cli.get_double("deadline-ms", 0.0);
+      request.degrade_min = static_cast<int>(cli.get_int("degrade-min", 0));
+      const std::string dead = cli.get_string("dead", "");
+      if (!dead.empty()) request.dead = parse_dead_list(dead);
+      svc::NetworkSpec spec;
+      spec.sensors = static_cast<std::size_t>(cli.get_int("sensors", 40));
+      spec.targets = static_cast<std::size_t>(cli.get_int("targets", 60));
+      spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+      spec.slots_per_period = static_cast<std::size_t>(cli.get_int("slots", 4));
+      spec.periods = static_cast<std::size_t>(cli.get_int("periods", 6));
+      spec.detect_p = cli.get_double("p", 0.4);
+      if (type == "schedule") {
+        request.has_spec = true;
+        request.spec = spec;
+      }
+      frame = request.to_json();
+      // Round-trip through the parser so coolctl can never emit a frame
+      // coold would reject for shape reasons.
+      const svc::ParseResult check = svc::parse_request(frame);
+      if (!check.ok) {
+        std::fprintf(stderr, "coolctl: %s\n", check.error.c_str());
+        return 2;
+      }
+    }
+    cli.finish();
+
+    net::BackoffConfig backoff_config;
+    backoff_config.base_slots = 1;
+    backoff_config.factor = 2.0;
+    backoff_config.max_slots = 64;
+    backoff_config.jitter = 0.5;
+    backoff_config.retry_budget = retries;
+    const net::BackoffPolicy policy(backoff_config);
+    net::BackoffSchedule schedule(policy);
+    util::Rng rng(retry_seed);
+
+    for (;;) {
+      const int fd = connect_unix(socket_path);
+      bool transport_ok = fd >= 0;
+      std::string line;
+      if (transport_ok) {
+        transport_ok = write_all(fd, frame + "\n") && read_line(fd, line);
+        ::close(fd);
+      }
+      bool retryable = !transport_ok;
+      if (transport_ok) {
+        const svc::ResponseParse parsed = svc::parse_response(line);
+        const bool shed = parsed.ok && !parsed.response.ok &&
+                          parsed.response.error.rfind("shed_overload", 0) == 0;
+        if (!shed) {
+          std::printf("%s\n", line.c_str());
+          return parsed.ok && parsed.response.ok ? 0 : 2;
+        }
+        retryable = true;
+        // Honor the daemon's own estimate before adding local backoff.
+        if (parsed.response.retry_after_ms > 0.0)
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+              parsed.response.retry_after_ms));
+      }
+      if (retryable) {
+        const std::size_t delay_slots = schedule.fail(rng);
+        if (schedule.exhausted()) {
+          std::fprintf(stderr, "coolctl: gave up after %zu attempts\n",
+                       schedule.attempts());
+          return 3;
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            retry_base_ms * static_cast<double>(delay_slots)));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "coolctl: %s\n", e.what());
+    return 1;
+  }
+}

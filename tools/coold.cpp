@@ -1,0 +1,91 @@
+// coold — the resident Cool scheduler daemon.
+//
+// Serves the line-delimited JSON protocol over stdin/stdout (default) or a
+// Unix-domain socket (--socket PATH). State (request WAL + session
+// snapshots) lives under --state-dir; kill the process at any instant and
+// the next start replays to the exact pre-kill session state.
+//
+//   coold --state-dir /tmp/coold --socket /tmp/coold.sock
+//   echo '{"type":"schedule","network":"t1","spec":{"sensors":30}}' | coold
+//
+// Flags:
+//   --state-dir DIR       WAL/snapshot directory        (default coold-state)
+//   --socket PATH         serve a Unix socket instead of stdio
+//   --queue-capacity N    admission queue bound          (default 256)
+//   --batch-max N         max requests per worker batch  (default 8)
+//   --sessions N          resident session cap (LRU)     (default 64)
+//   --deadline-ms X       default per-request budget     (default 1000)
+//   --high-watermark X    pressure to start degrading    (default 0.5)
+//   --crit-watermark X    pressure to start at the floor (default 0.85)
+//   --snapshot-every N    WAL entries between snapshots  (default 64)
+//   --no-fsync            skip fsync (benchmarks only — crash safety off)
+//   --threads N           planner pool size (0 = auto)
+#include <condition_variable>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "svc/server.h"
+#include "svc/service.h"
+#include "util/cli.h"
+#include "util/parallel.h"
+
+int main(int argc, char** argv) {
+  using namespace cool;
+  try {
+    util::Cli cli(argc, argv);
+    svc::ServiceConfig config;
+    config.wal_dir = cli.get_string("state-dir", "coold-state");
+    config.queue_capacity =
+        static_cast<std::size_t>(cli.get_int("queue-capacity", 256));
+    config.batch_max = static_cast<std::size_t>(cli.get_int("batch-max", 8));
+    config.session_capacity =
+        static_cast<std::size_t>(cli.get_int("sessions", 64));
+    config.default_deadline_ms = cli.get_double("deadline-ms", 1000.0);
+    config.high_watermark = cli.get_double("high-watermark", 0.5);
+    config.crit_watermark = cli.get_double("crit-watermark", 0.85);
+    config.snapshot_every =
+        static_cast<std::size_t>(cli.get_int("snapshot-every", 64));
+    config.fsync = !cli.get_flag("no-fsync");
+    const std::string socket_path = cli.get_string("socket", "");
+    const long long threads = cli.get_int("threads", 0);
+    cli.finish();
+    if (threads > 0) util::set_thread_count(static_cast<std::size_t>(threads));
+
+    svc::CooldService service(std::move(config));
+    service.start();
+
+    if (!socket_path.empty()) {
+      svc::SocketServerConfig server_config;
+      server_config.socket_path = socket_path;
+      svc::UnixSocketServer server(service, server_config);
+
+      std::mutex mutex;
+      std::condition_variable shutdown_cv;
+      bool shutdown = false;
+      service.set_shutdown_handler([&] {
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          shutdown = true;
+        }
+        shutdown_cv.notify_one();
+      });
+      server.start();
+      std::fprintf(stderr, "coold: serving on %s (lsn %llu)\n",
+                   socket_path.c_str(),
+                   static_cast<unsigned long long>(service.last_lsn()));
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        shutdown_cv.wait(lock, [&shutdown] { return shutdown; });
+      }
+      server.stop();
+    } else {
+      svc::run_stdio(service, std::cin, std::cout);
+    }
+    service.stop();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "coold: %s\n", e.what());
+    return 1;
+  }
+}
