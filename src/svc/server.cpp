@@ -37,12 +37,18 @@ std::size_t run_stdio(CooldService& service, std::istream& in,
                       std::ostream& out) {
   std::mutex write_mutex;
   std::atomic<bool> shutting_down{false};
-  service.set_shutdown_handler([&shutting_down] { shutting_down = true; });
 
   // Completions come from the worker thread; block until each one is
   // written so stdin backpressure maps onto service backpressure. The
   // response is written before `served` advances, so a shutdown ack always
   // reaches the client before the loop exits.
+  //
+  // Shutdown is detected from the ack itself, NOT via the service-level
+  // shutdown handler: the handler fires only after *all* of the batch's
+  // completions, so the loop could wake on `done`, see no shutdown, and
+  // block in getline forever against a client that keeps stdin open — and
+  // a handler capturing this frame's locals would dangle once the loop
+  // returns before the worker gets around to calling it.
   std::size_t served = 0;
   std::string line;
   const std::size_t frame_cap = service.config().limits.max_frame_bytes;
@@ -64,25 +70,30 @@ std::size_t run_stdio(CooldService& service, std::istream& in,
     std::condition_variable done_cv;
     bool done = false;
     service.submit_frame(line, [&](Response response) {
-      std::lock_guard<std::mutex> write_lock(write_mutex);
-      out << response.to_json() << '\n' << std::flush;
+      if (response.ok && response.type == "shutdown") shutting_down = true;
       {
-        std::lock_guard<std::mutex> done_lock(done_mutex);
-        done = true;
+        std::lock_guard<std::mutex> write_lock(write_mutex);
+        out << response.to_json() << '\n' << std::flush;
       }
+      // This block is last, and notify happens while holding the lock: the
+      // waiter can destroy this frame's locals (it returns on a shutdown
+      // ack) the moment it reacquires done_mutex and sees done, so the
+      // unlock of done_mutex must be this callback's final touch of them.
+      std::lock_guard<std::mutex> done_lock(done_mutex);
+      done = true;
       done_cv.notify_one();
     });
     std::unique_lock<std::mutex> done_lock(done_mutex);
     done_cv.wait(done_lock, [&done] { return done; });
     ++served;
   }
-  service.set_shutdown_handler({});
   return served;
 }
 
 struct UnixSocketServer::Connection {
   int fd = -1;
   std::mutex write_mutex;
+  std::atomic<bool> done{false};  // reader thread finished; safe to join
 
   ~Connection() {
     if (fd >= 0) ::close(fd);
@@ -127,13 +138,13 @@ void UnixSocketServer::stop() {
   if (!started_) return;
   stopping_ = true;
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
+  std::vector<ConnThread> threads;
   {
     std::lock_guard<std::mutex> lock(threads_mutex_);
     threads.swap(connection_threads_);
   }
-  for (std::thread& thread : threads)
-    if (thread.joinable()) thread.join();
+  for (ConnThread& entry : threads)
+    if (entry.thread.joinable()) entry.thread.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -144,6 +155,9 @@ void UnixSocketServer::stop() {
 
 void UnixSocketServer::accept_loop() {
   while (!stopping_) {
+    // Sweep every poll tick: a long-running daemon serving short-lived
+    // connections must not accumulate unjoined threads without bound.
+    reap_finished();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 100);
     if (ready <= 0) continue;  // timeout (stop-flag poll) or EINTR
@@ -152,9 +166,33 @@ void UnixSocketServer::accept_loop() {
     auto connection = std::make_shared<Connection>();
     connection->fd = client;
     std::lock_guard<std::mutex> lock(threads_mutex_);
-    connection_threads_.emplace_back(
-        [this, connection] { serve_connection(connection); });
+    connection_threads_.push_back(
+        {std::thread([this, connection] {
+           serve_connection(connection);
+           // Last statement on this thread: after the store the accept
+           // loop may join (the thread is moments from exiting).
+           connection->done.store(true, std::memory_order_release);
+         }),
+         connection});
   }
+}
+
+void UnixSocketServer::reap_finished() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (auto it = connection_threads_.begin();
+         it != connection_threads_.end();) {
+      if (it->connection->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(it->thread));
+        it = connection_threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& thread : finished)
+    if (thread.joinable()) thread.join();
 }
 
 void UnixSocketServer::serve_connection(std::shared_ptr<Connection> connection) {

@@ -61,14 +61,23 @@ class UnixSocketServer {
  private:
   struct Connection;
 
+  // Reader thread paired with its connection's done flag so the accept
+  // loop can join finished threads instead of growing the vector for the
+  // daemon's lifetime.
+  struct ConnThread {
+    std::thread thread;
+    std::shared_ptr<Connection> connection;
+  };
+
   void accept_loop();
   void serve_connection(std::shared_ptr<Connection> connection);
+  void reap_finished();
 
   CooldService& service_;
   SocketServerConfig config_;
   int listen_fd_ = -1;
   std::thread accept_thread_;
-  std::vector<std::thread> connection_threads_;
+  std::vector<ConnThread> connection_threads_;
   std::mutex threads_mutex_;
   std::atomic<bool> stopping_{false};
   bool started_ = false;

@@ -77,9 +77,18 @@ CooldService::CooldService(ServiceConfig config)
   torn_bytes_.store(recovery.torn_bytes, std::memory_order_relaxed);
   restore_from(recovery);
   lsn_.store(recovery.max_lsn, std::memory_order_relaxed);
-  // Open for append only after replay — replayed entries stay in the log
-  // until the next snapshot makes them redundant.
   wal_ = std::make_unique<WalWriter>(config_.wal_dir, config_.fsync);
+  // Startup compaction: never append to a recovered log. Its tail may be
+  // torn or missing the final newline, and the reader stops at the first
+  // bad line — appending after it would make every entry acked from now on
+  // unreachable by the next replay. Fold the recovered state into a fresh
+  // snapshot, then truncate; a crash in between is benign because replay
+  // skips entries with lsn <= the snapshot floor.
+  if (recovery.wal_bytes > 0 || recovery.torn_bytes > 0) {
+    write_snapshot_atomic(config_.wal_dir, compose_snapshot(recovery.max_lsn));
+    wal_->reset_to_empty();
+    snapshots_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 CooldService::~CooldService() { stop(); }
@@ -486,20 +495,32 @@ std::string CooldService::compose_snapshot(std::uint64_t lsn) {
 
 void CooldService::restore_from(const WalRecovery& recovery) {
   if (recovery.snapshot_present) {
+    // Decode the whole document into temporaries and apply only on total
+    // success: a decode failure on a *later* session entry must not leave
+    // half a snapshot in sessions_ for WAL replay to build on.
+    struct RestoredSession {
+      std::string network;
+      NetworkSpec spec;
+      std::optional<core::PeriodicSchedule> schedule;
+      std::size_t applied = 0;
+      std::uint64_t recency = 0;
+    };
+    std::vector<RestoredSession> decoded;
+    std::uint64_t clock = 0;
+    bool decoded_ok = false;
     try {
       const obs::JsonValue value = obs::parse_json(recovery.snapshot_json);
-      std::uint64_t clock = 0;
       if (value.contains("clock")) {
         clock = static_cast<std::uint64_t>(value.at("clock").as_number());
       }
       if (value.contains("sessions")) {
         for (const obs::JsonValue& entry : value.at("sessions").as_array()) {
-          const std::string network = entry.at("network").as_string();
-          NetworkSpec spec =
-              network_spec_from_json(entry.at("spec"), config_.limits);
-          std::optional<core::PeriodicSchedule> schedule;
+          RestoredSession session;
+          session.network = entry.at("network").as_string();
+          session.spec = network_spec_from_json(entry.at("spec"), config_.limits);
           if (entry.contains("assignments")) {
-            core::PeriodicSchedule restored(spec.sensors, spec.slots_per_period);
+            core::PeriodicSchedule restored(session.spec.sensors,
+                                            session.spec.slots_per_period);
             for (const obs::JsonValue& pair : entry.at("assignments").as_array()) {
               const auto& cells = pair.as_array();
               if (cells.size() != 2)
@@ -508,19 +529,18 @@ void CooldService::restore_from(const WalRecovery& recovery) {
                   static_cast<std::size_t>(cells[0].as_number()),
                   static_cast<std::size_t>(cells[1].as_number()));
             }
-            schedule = std::move(restored);
+            session.schedule = std::move(restored);
           }
-          std::size_t applied = 0;
           if (entry.contains("applied"))
-            applied = static_cast<std::size_t>(entry.at("applied").as_number());
-          std::uint64_t recency = 0;
+            session.applied =
+                static_cast<std::size_t>(entry.at("applied").as_number());
           if (entry.contains("recency"))
-            recency = static_cast<std::uint64_t>(entry.at("recency").as_number());
-          sessions_.restore(network, std::move(spec), std::move(schedule),
-                            applied, recency);
+            session.recency =
+                static_cast<std::uint64_t>(entry.at("recency").as_number());
+          decoded.push_back(std::move(session));
         }
       }
-      sessions_.set_clock(clock);
+      decoded_ok = true;
     } catch (const std::exception&) {
       // The snapshot write is atomic, so a bad one means external damage.
       // Reject-don't-crash holds for our own files too: start empty and
@@ -528,6 +548,13 @@ void CooldService::restore_from(const WalRecovery& recovery) {
       torn_bytes_.fetch_add(recovery.snapshot_json.size(),
                             std::memory_order_relaxed);
       COOL_METRIC_ADD("svc.recovery.bad_snapshot", 1);
+    }
+    if (decoded_ok) {
+      for (RestoredSession& session : decoded)
+        sessions_.restore(session.network, std::move(session.spec),
+                          std::move(session.schedule), session.applied,
+                          session.recency);
+      sessions_.set_clock(clock);
     }
   }
   for (const WalEntry& entry : recovery.entries) replay_entry(entry);

@@ -118,8 +118,10 @@ WalRecovery read_wal_dir(const std::string& dir, const ParseLimits& limits) {
     }
   }
 
-  std::ifstream in(wal_path(dir), std::ios::binary);
+  std::ifstream in(wal_path(dir), std::ios::binary | std::ios::ate);
   if (!in) return recovery;  // no WAL yet — fresh directory
+  recovery.wal_bytes = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
 
   std::string line;
   std::uint64_t prev_lsn = 0;

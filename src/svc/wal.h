@@ -22,7 +22,10 @@
 //
 // Torn tails: a SIGKILL mid-append leaves a partial last line. The reader
 // stops at the first malformed or non-monotone entry and reports the bytes
-// it dropped — reject-don't-crash, applied to our own files too.
+// it dropped — reject-don't-crash, applied to our own files too. A
+// recovered log is never appended to: the service folds the recovered state
+// into a fresh snapshot and truncates the WAL before its first append, so a
+// torn (or newline-less) tail cannot make post-restart acks unreachable.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +79,7 @@ struct WalRecovery {
   std::vector<WalEntry> entries;    // lsn > snapshot_lsn, ascending
   std::size_t torn_bytes = 0;       // malformed tail bytes dropped
   std::uint64_t max_lsn = 0;        // highest lsn observed anywhere
+  std::size_t wal_bytes = 0;        // wal.jsonl size on disk (0 when absent)
 };
 
 // Reads snapshot + WAL from `dir` (both optional — a fresh dir recovers to

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -312,6 +313,82 @@ TEST_F(SvcServiceTest, HandWrittenWalReplaysToLiveState) {
             svc::schedule_from_response(live.call(status_request("t1"))));
   replica.stop();
   live.stop();
+}
+
+TEST_F(SvcServiceTest, AcksAfterTornTailRecoveryStayReplayable) {
+  // Regression: the service must never append to a recovered WAL. The
+  // reader stops at the first bad line, so new entries written after a torn
+  // tail would be unreachable by the next replay — a second crash would
+  // silently lose acknowledged mutations. Two tail shapes: a partial line
+  // (SIGKILL mid-append) and a full final line missing its '\n'.
+  const std::string valid_line = [] {
+    svc::WalEntry entry;
+    entry.lsn = 1;
+    entry.request = schedule_request("t1");
+    return entry.to_line();
+  }();
+  const std::string torn = "{\"lsn\":2,\"degrade\":0,\"req\":{\"type\":\"re";
+  const std::vector<std::string> tails = {valid_line + '\n' + torn,
+                                          valid_line};
+  for (const std::string& wal_bytes : tails) {
+    wipe(dir_);
+    svc::WalWriter(dir_, false);  // ensure the directory exists
+    {
+      std::ofstream out(svc::wal_path(dir_), std::ios::binary);
+      ASSERT_TRUE(out.is_open());
+      out << wal_bytes;
+    }
+    svc::CooldService service(make_config());
+    EXPECT_EQ(service.stats().replayed, 1u);
+    service.start();
+    const svc::Response acked = service.call(schedule_request("t2", 22));
+    ASSERT_TRUE(acked.ok) << acked.error;
+    EXPECT_EQ(acked.lsn, 2u);
+
+    // What a post-SIGKILL restart would see right now: the acked mutation
+    // must be reachable (replay floor from the startup-compaction snapshot,
+    // the new entry on a fresh log).
+    const svc::WalRecovery crash_view = svc::read_wal_dir(dir_);
+    EXPECT_TRUE(crash_view.snapshot_present);
+    EXPECT_EQ(crash_view.snapshot_lsn, 1u);
+    ASSERT_EQ(crash_view.entries.size(), 1u)
+        << "entry acked after torn-tail recovery is unreachable";
+    EXPECT_EQ(crash_view.entries[0].lsn, 2u);
+    EXPECT_EQ(crash_view.max_lsn, 2u);
+
+    // And a restart from those bytes reproduces the live state.
+    svc::CooldService restarted(make_config());
+    EXPECT_EQ(restarted.last_lsn(), 2u);
+    restarted.start();
+    EXPECT_EQ(svc::schedule_from_response(restarted.call(status_request("t1"))),
+              svc::schedule_from_response(service.call(status_request("t1"))));
+    EXPECT_EQ(svc::schedule_from_response(restarted.call(status_request("t2"))),
+              svc::schedule_from_response(service.call(status_request("t2"))));
+    restarted.stop();
+    service.stop();
+  }
+}
+
+TEST_F(SvcServiceTest, PartiallyDecodableSnapshotRestoresNothing) {
+  // Regression: a snapshot whose *later* session entry fails to decode must
+  // not leave the earlier sessions resident — WAL replay would then run on
+  // top of half a snapshot. All-or-nothing restore.
+  const svc::Request good = schedule_request("t1");
+  std::string snapshot = "{\"schema_version\":1,\"lsn\":3,\"clock\":2,\"sessions\":[";
+  snapshot += "{\"network\":\"t1\",\"recency\":1,\"applied\":1,\"spec\":" +
+              good.spec.to_json() + "},";
+  snapshot +=
+      "{\"network\":\"t2\",\"recency\":2,\"applied\":1,\"spec\":{\"sensors\":1e99}}";
+  snapshot += "]}";
+  svc::write_snapshot_atomic(dir_, snapshot);
+  svc::CooldService service(make_config());
+  EXPECT_EQ(service.resident_sessions(), 0u)
+      << "bad later entry must roll back the whole snapshot";
+  EXPECT_GT(service.stats().torn_bytes, 0u);
+  service.start();
+  // The engine still serves: t1 can be scheduled from scratch.
+  EXPECT_TRUE(service.call(schedule_request("t1")).ok);
+  service.stop();
 }
 
 TEST_F(SvcServiceTest, MalformedFramesAnswerWithoutCrashing) {
