@@ -17,6 +17,15 @@
 //   svc_shed_engaged == 1   the overload burst actually triggered
 //                           reject-with-retry-after shedding (otherwise the
 //                           burst proved nothing);
+//   svc_stats_live   == 1   stats AND healthz answered during the overload
+//                           burst (the introspection verbs bypass the
+//                           admission queue, so a jammed daemon still
+//                           describes itself);
+//   svc_stats_reconciled == 0  the post-burst stats verb is internally
+//                           consistent: rung mix sums to acked_ok, tenant
+//                           blocks sum to the global counters, per-tenant
+//                           p99 >= p50;
+//   svc_trace_present == 1  every acked plan response carried a trace id;
 // plus bounded-latency evidence: p50/p99 over acked requests, retry counts,
 // and the kill/restart tally.
 //
@@ -35,6 +44,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -230,6 +240,9 @@ int main(int argc, char** argv) {
   std::size_t sheds = 0;
   std::size_t acked_lost = 0;
   bool recovery_ok = true, crash_free = true;
+  std::size_t acked_plans = 0, acked_with_trace = 0;
+  bool stats_live = false;
+  bool stats_reconciled = false;
 
   const char* kHostileFrames[] = {
       "this is not json",
@@ -344,6 +357,8 @@ int main(int argc, char** argv) {
       last_acked.insert_or_assign(
           request.network, svc::schedule_from_response(parsed.response));
       last_lsn[request.network] = parsed.response.lsn;
+      ++acked_plans;
+      if (parsed.response.trace != 0) ++acked_with_trace;
     }
 
     if (kill_every > 0 && round + 1 < rounds && (round + 1) % kill_every == 0) {
@@ -383,6 +398,27 @@ int main(int argc, char** argv) {
       }
       if (!up) crash_free = false;
     }
+    // The introspection prober runs concurrently with the burst: stats and
+    // healthz must answer while the tiny queue is saturated and shedding,
+    // precisely because they never enter the queue.
+    std::atomic<bool> prober_stop{false};
+    bool stats_answered = false, healthz_answered = false;
+    std::thread prober([&] {
+      while (!prober_stop.load(std::memory_order_relaxed)) {
+        std::string reply;
+        if (exchange(daemon.socket_path, "{\"type\":\"stats\"}", reply, 2000)) {
+          const svc::ResponseParse parsed = svc::parse_response(reply);
+          if (parsed.ok && parsed.response.ok) stats_answered = true;
+        }
+        if (exchange(daemon.socket_path, "{\"type\":\"healthz\"}", reply,
+                     2000)) {
+          const svc::ResponseParse parsed = svc::parse_response(reply);
+          if (parsed.ok && parsed.response.ok && !parsed.response.detail.empty())
+            healthz_answered = true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
     std::vector<std::thread> burst;
     std::mutex burst_mutex;
     for (std::size_t t = 0; t < burst_threads && crash_free; ++t) {
@@ -431,6 +467,46 @@ int main(int argc, char** argv) {
       });
     }
     for (std::thread& thread : burst) thread.join();
+    prober_stop.store(true, std::memory_order_relaxed);
+    prober.join();
+    stats_live = stats_answered && healthz_answered;
+
+    // Post-burst reconciliation: the daemon's self-reported counters must
+    // be internally consistent — rung mix sums to acked_ok, tenant blocks
+    // sum to the global counters, per-tenant percentiles ordered.
+    if (crash_free) {
+      std::string reply;
+      if (exchange(daemon.socket_path, "{\"type\":\"stats\"}", reply)) {
+        const svc::ResponseParse parsed = svc::parse_response(reply);
+        if (parsed.ok && parsed.response.ok) {
+          const auto stat_of = [&parsed](const char* key) {
+            for (const auto& [k, v] : parsed.response.stats)
+              if (k == key) return v;
+            return 0.0;
+          };
+          // acked_ok also counts status acks (the readiness probes), which
+          // carry no rung and no tenant; the rung mix and the tenant blocks
+          // both count exactly the planning acks, so they must agree with
+          // each other and stay within the global total.
+          const double acked_ok = stat_of("acked_ok");
+          const double rung_sum = stat_of("degraded0") + stat_of("degraded1") +
+                                  stat_of("degraded2");
+          double tenant_ok = 0.0;
+          bool tenants_sane = true;
+          for (const auto& [network, fields] : parsed.response.tenants) {
+            auto get = [&fields](const char* key) {
+              for (const auto& [k, v] : fields)
+                if (k == key) return v;
+              return 0.0;
+            };
+            tenant_ok += get("acked_ok");
+            if (get("p99_ms") < get("p50_ms")) tenants_sane = false;
+          }
+          stats_reconciled = rung_sum > 0.0 && rung_sum == tenant_ok &&
+                             rung_sum <= acked_ok && tenants_sane;
+        }
+      }
+    }
 
     // Final kill + restart: the burst's acked work must also survive.
     if (crash_free) {
@@ -448,14 +524,18 @@ int main(int argc, char** argv) {
   }
 
   const bool shed_engaged = sheds > 0;
+  const bool trace_present = acked_plans > 0 && acked_with_trace == acked_plans;
   const double p50 = percentile(latencies_ms, 0.50);
   const double p99 = percentile(latencies_ms, 0.99);
   std::printf(
       "soak: %zu rounds, %zu kills, %zu hostile frames, %zu sheds, "
       "%zu retries | acked_lost=%zu recovery_ok=%d crash_free=%d "
-      "shed_engaged=%d | p50 %.2f ms p99 %.2f ms\n",
+      "shed_engaged=%d stats_live=%d reconciled=%d trace_present=%d | "
+      "p50 %.2f ms p99 %.2f ms\n",
       rounds, kills, malformed_sent, sheds, retries, acked_lost,
-      recovery_ok ? 1 : 0, crash_free ? 1 : 0, shed_engaged ? 1 : 0, p50, p99);
+      recovery_ok ? 1 : 0, crash_free ? 1 : 0, shed_engaged ? 1 : 0,
+      stats_live ? 1 : 0, stats_reconciled ? 1 : 0, trace_present ? 1 : 0,
+      p50, p99);
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -477,12 +557,17 @@ int main(int argc, char** argv) {
          {"svc_recovery_ok", recovery_ok ? 1.0 : 0.0},
          {"svc_crash_free", crash_free ? 1.0 : 0.0},
          {"svc_shed_engaged", shed_engaged ? 1.0 : 0.0},
+         {"svc_stats_live", stats_live ? 1.0 : 0.0},
+         {"svc_stats_reconciled", stats_reconciled ? 0.0 : 1.0},
+         {"svc_trace_present", trace_present ? 1.0 : 0.0},
          {"svc_kills", static_cast<double>(kills)},
          {"svc_retries", static_cast<double>(retries)},
          {"svc_soak_p50_ms", p50},
          {"svc_soak_p99_ms", p99}});
     std::printf("wrote %s\n", json_path.c_str());
   }
-  const bool pass = acked_lost == 0 && recovery_ok && crash_free && shed_engaged;
+  const bool pass = acked_lost == 0 && recovery_ok && crash_free &&
+                    shed_engaged && stats_live && stats_reconciled &&
+                    trace_present;
   return pass ? 0 : 1;
 }

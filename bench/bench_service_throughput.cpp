@@ -6,7 +6,7 @@
 //                              [--sensors 30] [--targets 50]
 //                              [--queue-capacity 256] [--batch-max 8]
 //                              [--threads 0] [--seed 7] [--fsync]
-//                              [--json out.json]
+//                              [--obs on|off] [--json out.json]
 //
 // The workload is a deterministic mix over `networks` tenants: first a
 // schedule per tenant, then replan/repair rounds. Submission is
@@ -18,6 +18,13 @@
 // Acceptance (scripts/check_perf_regress.sh): every submitted request gets
 // exactly one completion (svc_acked_lost == 0, zero tolerance), and
 // requests/s + p99 stay inside wide tolerance bands.
+//
+// Introspection cross-check: after the run, the daemon's own `stats` verb
+// is queried and reconciled against the bench's external counters — the
+// rung mix must sum to the acked-ok count and (with obs on) the latency
+// histogram must have observed every planning ack. svc_stats_reconciled
+// is 0 when consistent (zero tolerance). --obs off measures the kill
+// switch's hot path for scripts/check_obs_overhead.sh.
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
@@ -58,6 +65,7 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const bool fsync = cli.get_flag("fsync");
+  const std::string obs_flag = cli.get_string("obs", "on");
   const std::string json_path = cli.get_string("json", "");
   cli.finish();
   if (threads > 0) util::set_thread_count(threads);
@@ -72,6 +80,7 @@ int main(int argc, char** argv) {
   config.session_capacity = networks;
   config.fsync = fsync;
   config.snapshot_every = 64;
+  config.obs_enabled = obs_flag == "on";
   // Start every state dir fresh: replaying last run's WAL would bill
   // recovery work to this run's throughput.
   std::remove((config.wal_dir + "/wal.jsonl").c_str());
@@ -141,6 +150,19 @@ int main(int argc, char** argv) {
   }
   const double serve_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  // Query the introspection plane while the service is still live (the
+  // verb bypasses the queue, so this also proves it answers mid-service),
+  // then reconcile its self-reported counters with what the bench saw.
+  svc::Request stats_request;
+  stats_request.type = svc::RequestType::kStats;
+  stats_request.id = "bench";
+  const svc::Response stats_reply = service.call(std::move(stats_request));
+  const auto stat_of = [&stats_reply](const char* key) {
+    for (const auto& [k, v] : stats_reply.stats)
+      if (k == key) return v;
+    return 0.0;
+  };
   service.stop();
 
   const svc::ServiceStats stats = service.stats();
@@ -153,6 +175,21 @@ int main(int argc, char** argv) {
   // drops, no doubles. Anything else is a lost ack.
   const double acked_lost = static_cast<double>(submitted - completions);
 
+  // Reconciliation: the daemon's rung mix must sum to its acked-ok count
+  // and match the bench's external ok tally; with obs on, every planning
+  // ack must have landed in the latency histogram. 0 = consistent.
+  const double rung0 = stat_of("degraded0");
+  const double rung1 = stat_of("degraded1");
+  const double rung2 = stat_of("degraded2");
+  bool reconciled =
+      stats_reply.ok &&
+      rung0 + rung1 + rung2 == stat_of("acked_ok") &&
+      stat_of("acked_ok") == static_cast<double>(ok_count);
+  if (config.obs_enabled)
+    reconciled = reconciled &&
+                 stat_of("latency_count") ==
+                     stat_of("acked_ok") + stat_of("acked_error");
+
   std::printf(
       "svc throughput: %zu ok / %zu submitted (%zu shed), %.1f req/s, "
       "p50 %.2f ms, p99 %.2f ms, degraded %llu/%llu/%llu\n",
@@ -160,6 +197,11 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.degraded[0]),
       static_cast<unsigned long long>(stats.degraded[1]),
       static_cast<unsigned long long>(stats.degraded[2]));
+  std::printf(
+      "svc stats verb: hist p50 %.2f ms, p99 %.2f ms, rungs %g/%g/%g, "
+      "reconciled=%d (obs %s)\n",
+      stat_of("p50_ms"), stat_of("p99_ms"), rung0, rung1, rung2,
+      reconciled ? 1 : 0, obs_flag.c_str());
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -175,7 +217,8 @@ int main(int argc, char** argv) {
         {{"networks", std::to_string(networks)},
          {"requests", std::to_string(requests)},
          {"sensors", std::to_string(sensors)},
-         {"seed", std::to_string(seed)}},
+         {"seed", std::to_string(seed)},
+         {"obs", obs_flag}},
         stamped,
         {{"wall_ms", stamped.wall_ms},
          {"svc_requests_per_s", requests_per_s},
@@ -184,8 +227,15 @@ int main(int argc, char** argv) {
          {"svc_acked_lost", acked_lost},
          {"svc_shed", static_cast<double>(shed_count)},
          {"svc_degraded_floor", static_cast<double>(stats.degraded[2])},
-         {"svc_wal_appends", static_cast<double>(stats.wal_appends)}});
+         {"svc_wal_appends", static_cast<double>(stats.wal_appends)},
+         // The daemon's own histogram/rung view (0 with obs off).
+         {"svc_hist_p50_ms", stat_of("p50_ms")},
+         {"svc_hist_p99_ms", stat_of("p99_ms")},
+         {"svc_rung0", rung0},
+         {"svc_rung1", rung1},
+         {"svc_rung2", rung2},
+         {"svc_stats_reconciled", reconciled ? 0.0 : 1.0}});
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return acked_lost == 0.0 ? 0 : 1;
+  return acked_lost == 0.0 && reconciled ? 0 : 1;
 }

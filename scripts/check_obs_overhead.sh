@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
-# Guard the idle cost of compiled-in instrumentation: build bench_scheduler_perf
-# with COOL_OBS_ENABLED ON and OFF, run the scheduler microbenchmarks in both
-# (no trace collector, no metric sinks — the enabled build pays only relaxed
-# atomics and dead branches), and fail if ON is more than 5% slower overall.
+# Guard the cost of instrumentation on the hot paths, two arms:
+#
+#  1. Idle compiled-in cost: build bench_scheduler_perf with
+#     COOL_OBS_ENABLED ON and OFF, run the scheduler microbenchmarks in
+#     both (no trace collector, no metric sinks — the enabled build pays
+#     only relaxed atomics and dead branches), and fail if ON is more than
+#     5% slower overall.
+#
+#  2. Service-path cost of the live introspection plane (PR 8): run
+#     bench_service_throughput with the runtime kill switch on and off
+#     (--obs on: flight ring, per-phase spans, latency histograms, tenant
+#     counters; --obs off: none of it), best-of-3 req/s each, and fail if
+#     the instrumented service is more than 5% slower.
+#
 # Usage: scripts/check_obs_overhead.sh [benchmark-filter]
 set -euo pipefail
 
@@ -42,4 +52,59 @@ if awk -v o="${overhead_pct}" -v b="${budget_pct}" 'BEGIN { exit !(o > b) }'; th
   echo "FAIL: idle instrumentation overhead ${overhead_pct}% exceeds ${budget_pct}% budget" >&2
   exit 1
 fi
-echo "OK: within the ${budget_pct}% budget"
+echo "OK: idle arm within the ${budget_pct}% budget"
+
+# ---- Arm 2: service hot path under the runtime kill switch -----------------
+# One build (the obs-enabled one — that is what ships), two runs of the full
+# coold engine: --obs on pays for the flight ring, per-request spans and the
+# latency histograms on every ack; --obs off is the same binary with the
+# switch thrown. The queue is sized to admit everything so both arms plan
+# the identical request mix (shedding would let timing feedback change the
+# workload itself). The arms *alternate* for 5 rounds and each keeps its
+# best — back-to-back pairs cancel the cache/frequency drift that would
+# otherwise bill warm-up to whichever arm ran first.
+svc_dir="${repo_root}/build-obs-on"
+cmake --build "${svc_dir}" -j "$(nproc)" --target bench_service_throughput \
+  >/dev/null
+
+run_service_once() {
+  local obs="$1" json rps
+  json="$(mktemp)"
+  (cd "${svc_dir}" && ./bench/bench_service_throughput \
+      --networks 12 --requests 1000 --queue-capacity 4096 \
+      --obs "${obs}" --json "${json}" >/dev/null)
+  rps="$(grep -o '"svc_requests_per_s": *[0-9.eE+-]*' "${json}" |
+    awk -F: '{ gsub(/ /, "", $2); print $2 }')"
+  rm -f "${json}"
+  echo "${rps:-0}"
+}
+
+echo "timing service path, --obs on vs off (5 alternating rounds) ..."
+on_rps=0
+off_rps=0
+for _ in 1 2 3 4 5; do
+  rps="$(run_service_once on)"
+  on_rps="$(awk -v a="${on_rps}" -v b="${rps}" \
+    'BEGIN { print (b > a) ? b : a }')"
+  rps="$(run_service_once off)"
+  off_rps="$(awk -v a="${off_rps}" -v b="${rps}" \
+    'BEGIN { print (b > a) ? b : a }')"
+done
+
+if awk -v on="${on_rps}" -v off="${off_rps}" \
+    'BEGIN { exit !(on <= 0 || off <= 0) }'; then
+  echo "FAIL: could not extract service throughput" >&2
+  exit 1
+fi
+
+svc_overhead_pct="$(awk -v on="${on_rps}" -v off="${off_rps}" \
+  'BEGIN { printf "%.2f", 100.0 * (off - on) / off }')"
+echo "service req/s: obs on ${on_rps}, obs off ${off_rps}," \
+  "overhead: ${svc_overhead_pct}%"
+
+if awk -v o="${svc_overhead_pct}" -v b="${budget_pct}" \
+    'BEGIN { exit !(o > b) }'; then
+  echo "FAIL: service instrumentation overhead ${svc_overhead_pct}% exceeds ${budget_pct}% budget" >&2
+  exit 1
+fi
+echo "OK: service arm within the ${budget_pct}% budget"

@@ -25,6 +25,19 @@
 #                       Their timing-coupled counters (sheds, WAL appends,
 #                       retries, degrade mix) vary with scheduling noise and
 #                       are report-only.
+#   obs invariants      the introspection plane's svc_stats_live /
+#                       svc_stats_reconciled / svc_trace_present — zero
+#                       tolerance: a stats verb that stops answering under
+#                       overload, self-reported counters that disagree with
+#                       external measurement, or an ack without its trace id
+#                       is an observability bug. The daemon's own p99
+#                       (svc_hist_p99_ms) shares the wide timing band; the
+#                       rung mix is report-only, and so are the throughput
+#                       flood's p50s (external and self-reported): with
+#                       every request submitted up front, the median is
+#                       queue-position-dominated and swings ~10x between
+#                       identical-code runs. The closed-loop soak's p50
+#                       stays gated.
 #
 # Exit 0 when within tolerance, 1 on violation (coolstat check's contract),
 # 2 on harness errors. The baseline's git SHA always differs from the
@@ -72,14 +85,22 @@ if "${coolstat}" check "${results}" "${baseline}" \
   --metric '*svc_crash_free=0' \
   --metric '*svc_shed_engaged=0' \
   --metric '*svc_kills=0' \
-  --metric '*svc_p50_ms=400' \
+  --metric '*svc_p50_ms=-1' \
   --metric '*svc_p99_ms=400' \
   --metric '*svc_soak_p50_ms=400' \
   --metric '*svc_soak_p99_ms=400' \
   --metric '*svc_shed=-1' \
   --metric '*svc_retries=-1' \
   --metric '*svc_degraded_floor=-1' \
-  --metric '*svc_wal_appends=-1'; then
+  --metric '*svc_wal_appends=-1' \
+  --metric '*svc_hist_p50_ms=-1' \
+  --metric '*svc_hist_p99_ms=400' \
+  --metric '*svc_rung0=-1' \
+  --metric '*svc_rung1=-1' \
+  --metric '*svc_rung2=-1' \
+  --metric '*svc_stats_live=0' \
+  --metric '*svc_stats_reconciled=0' \
+  --metric '*svc_trace_present=0'; then
   echo "OK: no perf regression against the committed baseline"
 else
   status=$?

@@ -32,7 +32,10 @@ if [ "${mode}" = "tsan" ]; then
   # the admission queue, worker thread, pool-batched planners and the
   # forked-daemon recovery test are exactly the multi-threaded surfaces
   # TSan exists for. StateReuse hammers recycled EvalStates under the pool.
-  default_filter='Parallel|BatchEval|Greedy|LazyGreedy|StochasticGreedy|PassiveGreedy|Evaluator|LpScheduler|Campaign|Backoff|LossyCollection|DeliveredCoverage|Svc|StateReuse'
+  # Flight/Introspect race the seqlock event ring and the queue-bypassing
+  # stats verb against live traffic; MetricsRegistryThreads and
+  # LogConcurrency hammer the registry and the logger from many threads.
+  default_filter='Parallel|BatchEval|Greedy|LazyGreedy|StochasticGreedy|PassiveGreedy|Evaluator|LpScheduler|Campaign|Backoff|LossyCollection|DeliveredCoverage|Svc|StateReuse|Flight|Introspect|MetricsRegistryThreads|LogConcurrency'
   for threads in 2 4; do
     echo "== TSan pass: COOL_THREADS=${threads} =="
     COOL_THREADS="${threads}" ctest --output-on-failure -j "$(nproc)" \

@@ -102,6 +102,7 @@ const char* artifact_kind_name(ArtifactKind kind) {
     case ArtifactKind::kTrace: return "trace";
     case ArtifactKind::kBench: return "bench";
     case ArtifactKind::kSuite: return "suite";
+    case ArtifactKind::kFlight: return "flight";
     case ArtifactKind::kUnknown: break;
   }
   return "unknown";
@@ -236,6 +237,50 @@ BenchSuite parse_suite(const std::string& text) {
   return suite;
 }
 
+FlightData parse_flight(const std::string& text) {
+  FlightData data;
+  std::istringstream lines(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(lines, line)) {
+    if (util::trim(line).empty()) continue;
+    JsonValue doc;
+    try {
+      doc = parse_json(line);
+    } catch (const std::runtime_error&) {
+      data.truncated = true;  // writer died mid-line; keep what parsed
+      break;
+    }
+    if (!doc.is_object()) continue;
+    if (first) {
+      first = false;
+      if (doc.contains("flight")) {
+        const auto& header = doc.at("flight");
+        if (header.is_object())
+          data.capacity = size_or(header, "capacity");
+        data.provenance = provenance_of(doc);
+        continue;
+      }
+    }
+    FlightRecord record;
+    record.seq = static_cast<std::uint64_t>(num_or(doc, "seq", 0.0));
+    record.ts_us = static_cast<std::uint64_t>(num_or(doc, "ts_us", 0.0));
+    if (doc.contains("kind") && doc.at("kind").is_string())
+      record.kind = doc.at("kind").as_string();
+    if (doc.contains("name") && doc.at("name").is_string())
+      record.name = doc.at("name").as_string();
+    if (doc.contains("network") && doc.at("network").is_string())
+      record.network = doc.at("network").as_string();
+    if (doc.contains("trace") && doc.at("trace").is_string())
+      record.trace = doc.at("trace").as_string();
+    record.lsn = static_cast<std::uint64_t>(num_or(doc, "lsn", 0.0));
+    record.value = num_or(doc, "value", 0.0);
+    record.level = static_cast<int>(num_or(doc, "level", -1.0));
+    data.events.push_back(std::move(record));
+  }
+  return data;
+}
+
 ArtifactKind detect_kind(const std::string& path, const std::string& text) {
   const std::string_view trimmed = util::trim(text);
   if (trimmed.empty()) return ArtifactKind::kUnknown;
@@ -250,20 +295,28 @@ ArtifactKind detect_kind(const std::string& path, const std::string& text) {
       return ArtifactKind::kMetricsJson;
     if (doc.contains("benches")) return ArtifactKind::kSuite;
     if (doc.contains("bench")) return ArtifactKind::kBench;
+    if (doc.contains("flight")) return ArtifactKind::kFlight;  // header-only
     if (doc.contains("slot")) return ArtifactKind::kTimeline;  // one-line run
     if (doc.contains("provenance") && doc.as_object().size() == 1)
       return ArtifactKind::kTimeline;  // header-only timeline
   } catch (const std::runtime_error&) {
     // Not one document — JSONL (or trash); fall through.
   }
-  // Multi-line JSONL: the timeline is the only line-oriented artifact.
-  if (path.size() >= 6 &&
-      path.compare(path.size() - 6, 6, ".jsonl") == 0)
-    return ArtifactKind::kTimeline;
+  // Multi-line JSONL: flight dumps announce themselves with a "flight"
+  // header key on the first line; everything else line-oriented is a
+  // timeline.
   std::istringstream lines(text);
   std::string first_line;
   while (std::getline(lines, first_line) && util::trim(first_line).empty()) {
   }
+  try {
+    const JsonValue doc = parse_json(first_line);
+    if (doc.is_object() && doc.contains("flight")) return ArtifactKind::kFlight;
+  } catch (const std::runtime_error&) {
+  }
+  if (path.size() >= 6 &&
+      path.compare(path.size() - 6, 6, ".jsonl") == 0)
+    return ArtifactKind::kTimeline;
   try {
     const JsonValue doc = parse_json(first_line);
     if (doc.is_object()) return ArtifactKind::kTimeline;
@@ -292,6 +345,7 @@ Artifact load_artifact(const std::string& path) {
     case ArtifactKind::kTrace: artifact.trace = parse_trace(text); break;
     case ArtifactKind::kBench:
     case ArtifactKind::kSuite: artifact.suite = parse_suite(text); break;
+    case ArtifactKind::kFlight: artifact.flight = parse_flight(text); break;
     case ArtifactKind::kUnknown:
       throw std::runtime_error(path + ": unrecognized artifact format");
   }

@@ -32,6 +32,7 @@ enum class ArtifactKind {
   kTrace,        // Chrome trace-event JSON (obs/trace)
   kBench,        // single bench result (obs/analyze/bench_json schema)
   kSuite,        // merged BENCH_results.json ({"benches":[...]})
+  kFlight,       // coold flight-recorder dump (obs/flight JSONL)
   kUnknown,
 };
 
@@ -81,6 +82,29 @@ struct BenchSuite {
   std::vector<BenchResult> benches;
 };
 
+// One flight-recorder event (a line of a `dump`-verb or crash artifact).
+// The trace id stays a 16-hex-digit string — it never fits a double.
+struct FlightRecord {
+  std::uint64_t seq = 0;
+  std::uint64_t ts_us = 0;
+  std::string kind;
+  std::string name;
+  std::string network;
+  std::string trace;
+  std::uint64_t lsn = 0;
+  double value = 0.0;
+  int level = -1;
+};
+
+struct FlightData {
+  std::optional<Provenance> provenance;
+  std::size_t capacity = 0;  // ring size from the header line
+  std::vector<FlightRecord> events;
+  // True when the file ended in an unparseable line (a crash dump whose
+  // writer died mid-line); everything before it is still in `events`.
+  bool truncated = false;
+};
+
 // A loaded artifact of any kind; only the member matching `kind` is
 // populated (kBench loads as a one-element suite).
 struct Artifact {
@@ -90,6 +114,7 @@ struct Artifact {
   MetricsData metrics;
   TraceData trace;
   BenchSuite suite;
+  FlightData flight;
 };
 
 // Per-format parsers; throw std::runtime_error on unrecoverable input.
@@ -99,6 +124,7 @@ MetricsData parse_metrics_json(const std::string& text);
 TraceData parse_trace(const std::string& text);
 BenchResult parse_bench(const JsonValue& value);
 BenchSuite parse_suite(const std::string& text);
+FlightData parse_flight(const std::string& text);
 
 // Sniffs the format from content (extension only as a tie-break) and
 // dispatches; throws std::runtime_error when the file is unreadable or no

@@ -111,6 +111,46 @@ void summarize_trace(const TraceData& data, RunSummary& summary) {
   }
 }
 
+void summarize_flight(const FlightData& data, RunSummary& summary) {
+  put(summary, "events", static_cast<double>(data.events.size()));
+  if (data.capacity > 0)
+    put(summary, "capacity", static_cast<double>(data.capacity));
+  if (data.events.empty()) return;
+  // Per-kind counts, the distinct request count, the LSN window covered by
+  // the ring, and per-span-name duration rollups (a flight span carries its
+  // duration in `value`) — enough for `coolstat diff` to say "this crash
+  // dump has 40x the sheds and lost the plan spans" at a glance.
+  std::map<std::string, std::uint64_t> by_kind;
+  std::map<std::string, std::pair<std::uint64_t, double>> spans;
+  std::map<std::string, bool> traces;
+  std::uint64_t lsn_min = 0, lsn_max = 0;
+  for (const auto& e : data.events) {
+    by_kind[e.kind] += 1;
+    if (!e.trace.empty()) traces[e.trace] = true;
+    if (e.kind == "span" && !e.name.empty()) {
+      auto& [count, total_us] = spans[e.name];
+      count += 1;
+      total_us += e.value;
+    }
+    if (e.lsn > 0) {
+      if (lsn_min == 0 || e.lsn < lsn_min) lsn_min = e.lsn;
+      lsn_max = std::max(lsn_max, e.lsn);
+    }
+  }
+  for (const auto& [kind, count] : by_kind)
+    put(summary, "kind." + kind, static_cast<double>(count));
+  put(summary, "traces", static_cast<double>(traces.size()));
+  if (lsn_max > 0) {
+    put(summary, "lsn_min", static_cast<double>(lsn_min));
+    put(summary, "lsn_max", static_cast<double>(lsn_max));
+  }
+  for (const auto& [name, rollup] : spans) {
+    put(summary, "span." + name + ".count",
+        static_cast<double>(rollup.first));
+    put(summary, "span." + name + ".total_us", rollup.second);
+  }
+}
+
 void summarize_suite(const BenchSuite& suite, RunSummary& summary) {
   for (const auto& bench : suite.benches)
     for (const auto& [name, value] : bench.metrics)
@@ -209,6 +249,11 @@ RunSummary summarize(const Artifact& artifact) {
       if (!artifact.suite.benches.empty())
         summary.provenance = artifact.suite.benches.front().provenance;
       summarize_suite(artifact.suite, summary);
+      break;
+    case ArtifactKind::kFlight:
+      summary.provenance = artifact.flight.provenance;
+      summary.truncated = artifact.flight.truncated;
+      summarize_flight(artifact.flight, summary);
       break;
     case ArtifactKind::kUnknown: break;
   }

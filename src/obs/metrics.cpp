@@ -83,9 +83,8 @@ void HistogramMetric::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
-MetricsRegistry::Series& MetricsRegistry::find_or_create(
+MetricsRegistry::Series& MetricsRegistry::find_or_create_locked(
     const std::string& name, const Labels& labels, MetricKind kind) {
-  std::lock_guard<std::mutex> lock(mutex_);
   const std::string key = series_key(name, labels);
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -108,17 +107,24 @@ MetricsRegistry::Series& MetricsRegistry::find_or_create(
   return series_.back();
 }
 
+// The instrument pointer is read from the Series while mutex_ is still
+// held: a concurrent first-use registration can push_back into series_ and
+// reallocate it, so a Series& that outlives the lock dangles (this was a
+// real use-after-free under coold's per-connection reader threads).
 Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
-  return *find_or_create(name, labels, MetricKind::kCounter).counter;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *find_or_create_locked(name, labels, MetricKind::kCounter).counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
-  return *find_or_create(name, labels, MetricKind::kGauge).gauge;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *find_or_create_locked(name, labels, MetricKind::kGauge).gauge;
 }
 
 HistogramMetric& MetricsRegistry::histogram(const std::string& name,
                                             const Labels& labels) {
-  return *find_or_create(name, labels, MetricKind::kHistogram).histogram;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *find_or_create_locked(name, labels, MetricKind::kHistogram).histogram;
 }
 
 RegistrySnapshot MetricsRegistry::snapshot() const {

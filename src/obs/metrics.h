@@ -155,8 +155,12 @@ class MetricsRegistry {
     HistogramMetric* histogram = nullptr;
   };
 
-  Series& find_or_create(const std::string& name, const Labels& labels,
-                         MetricKind kind);
+  // Caller must hold mutex_. Returns a reference into series_, which a
+  // concurrent registration can reallocate — so the instrument pointer must
+  // be copied out of the Series before the lock is released (the deque-
+  // backed instruments themselves never move).
+  Series& find_or_create_locked(const std::string& name, const Labels& labels,
+                                MetricKind kind);
 
   mutable std::mutex mutex_;
   std::map<std::string, std::size_t> index_;  // "name|labels" -> series

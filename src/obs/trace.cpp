@@ -24,6 +24,31 @@ std::uint32_t current_tid() noexcept {
 
 }  // namespace
 
+std::string format_trace_id(std::uint64_t trace) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    const unsigned nibble = static_cast<unsigned>(trace & 0xF);
+    out[static_cast<std::size_t>(i)] =
+        static_cast<char>(nibble < 10 ? '0' + nibble : 'a' + nibble - 10);
+    trace >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parse_trace_id(std::string_view text) noexcept {
+  if (text.size() != 16) return 0;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    unsigned nibble;
+    if (c >= '0' && c <= '9') nibble = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') nibble = static_cast<unsigned>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') nibble = static_cast<unsigned>(c - 'A' + 10);
+    else return 0;
+    value = (value << 4) | nibble;
+  }
+  return value;
+}
+
 std::uint64_t trace_now_us() noexcept {
   using clock = std::chrono::steady_clock;
   static const clock::time_point start = clock::now();
@@ -83,10 +108,12 @@ void TraceCollector::write_chrome_trace(std::ostream& out,
     if (e.phase == 'X') out << ",\"dur\":" << e.dur_us;
     if (e.phase == 'i') out << ",\"s\":\"t\"";  // thread-scoped instant
     if (e.has_value)
-      out << ",\"args\":{\"value\":" << json_number(e.value) << '}';
+      out << ",\"args\":{\"value\":" << json_number(e.value);
     else
-      out << ",\"args\":{\"depth\":" << e.depth << '}';
-    out << '}';
+      out << ",\"args\":{\"depth\":" << e.depth;
+    if (e.trace != 0)
+      out << ",\"trace\":\"" << format_trace_id(e.trace) << '"';
+    out << "}}";
   }
   out << "],\"displayTimeUnit\":\"ms\"}\n";
 }
@@ -126,6 +153,23 @@ void trace_instant(const char* name, const char* category) {
   event.ts_us = trace_now_us();
   event.tid = current_tid();
   event.depth = t_depth;
+  collector->record(std::move(event));
+}
+
+void trace_complete(const char* name, const char* category,
+                    std::uint64_t ts_us, std::uint64_t dur_us,
+                    std::uint64_t trace_id) {
+  TraceCollector* collector = trace_collector();
+  if (collector == nullptr) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'X';
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = current_tid();
+  event.depth = t_depth;
+  event.trace = trace_id;
   collector->record(std::move(event));
 }
 

@@ -43,7 +43,16 @@ struct TraceEvent {
   std::uint32_t depth = 0;  // span stack depth at emission ("args":{"depth"})
   bool has_value = false;   // counter events carry a numeric series value
   double value = 0.0;
+  std::uint64_t trace = 0;  // request trace id; 0 = not request-scoped
 };
+
+// Trace ids are 64-bit and rendered as fixed-width 16-hex-digit strings in
+// every JSON artifact (Chrome trace args, protocol responses, WAL entries):
+// a u64 does not survive a round-trip through the double-typed JSON number
+// path, a string does. parse returns 0 for anything that is not exactly 16
+// hex digits.
+std::string format_trace_id(std::uint64_t trace);
+std::uint64_t parse_trace_id(std::string_view text) noexcept;
 
 class TraceCollector {
  public:
@@ -110,5 +119,12 @@ void trace_instant(const char* name, const char* category = "cool");
 // Counter track sample ("C"): one series per name, plotted over time.
 void trace_counter(const char* name, double value,
                    const char* category = "cool");
+
+// Complete ("X") event with explicit timestamps and a request trace id —
+// for code that measures phases itself (the service batch engine) instead
+// of using RAII scoping. No-op without an installed collector.
+void trace_complete(const char* name, const char* category,
+                    std::uint64_t ts_us, std::uint64_t dur_us,
+                    std::uint64_t trace_id);
 
 }  // namespace cool::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/json.h"
+#include "obs/trace.h"
 
 namespace cool::svc {
 
@@ -88,6 +89,9 @@ RequestType type_from_string(const std::string& text) {
   if (text == "repair") return RequestType::kRepair;
   if (text == "replan") return RequestType::kReplan;
   if (text == "status") return RequestType::kStatus;
+  if (text == "stats") return RequestType::kStats;
+  if (text == "healthz") return RequestType::kHealthz;
+  if (text == "dump") return RequestType::kDump;
   if (text == "shutdown") return RequestType::kShutdown;
   reject("unknown request type '" + text + "'");
 }
@@ -100,6 +104,9 @@ const char* to_string(RequestType type) {
     case RequestType::kRepair: return "repair";
     case RequestType::kReplan: return "replan";
     case RequestType::kStatus: return "status";
+    case RequestType::kStats: return "stats";
+    case RequestType::kHealthz: return "healthz";
+    case RequestType::kDump: return "dump";
     case RequestType::kShutdown: return "shutdown";
   }
   return "unknown";
@@ -273,12 +280,30 @@ std::string Response::to_json() const {
   if (queue_ms > 0.0) out += ",\"queue_ms\":" + obs::json_number(queue_ms);
   if (run_ms > 0.0) out += ",\"run_ms\":" + obs::json_number(run_ms);
   if (lsn > 0) out += ",\"lsn\":" + std::to_string(lsn);
+  if (trace != 0) out += ",\"trace\":\"" + obs::format_trace_id(trace) + '"';
+  if (!detail.empty())
+    out += ",\"detail\":\"" + obs::json_escape(detail) + '"';
   if (!stats.empty()) {
     out += ",\"stats\":{";
     for (std::size_t i = 0; i < stats.size(); ++i) {
       if (i) out += ',';
       out += '"' + obs::json_escape(stats[i].first) +
              "\":" + obs::json_number(stats[i].second);
+    }
+    out += '}';
+  }
+  if (!tenants.empty()) {
+    out += ",\"tenants\":{";
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      if (t) out += ',';
+      out += '"' + obs::json_escape(tenants[t].first) + "\":{";
+      const auto& fields = tenants[t].second;
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i) out += ',';
+        out += '"' + obs::json_escape(fields[i].first) +
+               "\":" + obs::json_number(fields[i].second);
+      }
+      out += '}';
     }
     out += '}';
   }
@@ -342,9 +367,21 @@ ResponseParse parse_response(std::string_view frame,
     if (value.contains("run_ms")) response.run_ms = value.at("run_ms").as_number();
     if (value.contains("lsn"))
       response.lsn = static_cast<std::uint64_t>(value.at("lsn").as_number());
+    if (value.contains("trace"))
+      response.trace = obs::parse_trace_id(value.at("trace").as_string());
+    if (value.contains("detail"))
+      response.detail = value.at("detail").as_string();
     if (value.contains("stats")) {
       for (const auto& [key, stat] : value.at("stats").as_object())
         response.stats.emplace_back(key, stat.as_number());
+    }
+    if (value.contains("tenants")) {
+      for (const auto& [tenant, block] : value.at("tenants").as_object()) {
+        std::vector<std::pair<std::string, double>> fields;
+        for (const auto& [key, stat] : block.as_object())
+          fields.emplace_back(key, stat.as_number());
+        response.tenants.emplace_back(tenant, std::move(fields));
+      }
     }
     if (value.contains("provenance"))
       response.provenance_json = "present";  // raw text not reconstructed

@@ -22,7 +22,8 @@
 // Request schema (all fields optional unless noted):
 //   {"id":"r1",                     // correlation id, echoed in response
 //    "type":"schedule",             // required: schedule|repair|replan|
-//                                   //           status|shutdown
+//                                   //           status|stats|healthz|dump|
+//                                   //           shutdown
 //    "network":"tenant-7",          // tenant key (required for plan types)
 //    "priority":1,                  // 0 interactive, 1 normal, 2 batch
 //    "deadline_ms":250,             // latency budget; 0 = service default
@@ -36,6 +37,19 @@
 // "run_ms","lsn","provenance":{...}) or on failure ("error",
 // "retry_after_ms")}. Status responses carry a flat "stats" object and,
 // when a network was named, that session's schedule dump.
+//
+// Introspection verbs (answered synchronously, bypassing the admission
+// queue, so a daemon drowning in overload still describes itself):
+//   stats    flat global "stats" plus a per-tenant "tenants" object
+//            ({"tenants":{"t1":{"acked_ok":5,...}}}); "network" filters;
+//   healthz  liveness probe — "detail" is ok|degraded|overloaded from the
+//            queue-pressure watermarks, stats carry depth/uptime/lsn;
+//   dump     writes the flight-recorder ring to a JSONL artifact and
+//            answers with its path in "detail".
+// Every admitted request's response carries "trace": a 16-hex-digit
+// request trace id (string — a u64 does not survive the double-typed JSON
+// number path) that also appears in trace spans, flight-recorder events
+// and the WAL entry, so one id correlates all four.
 #pragma once
 
 #include <cstddef>
@@ -53,7 +67,16 @@ class JsonValue;
 
 namespace cool::svc {
 
-enum class RequestType { kSchedule, kRepair, kReplan, kStatus, kShutdown };
+enum class RequestType {
+  kSchedule,
+  kRepair,
+  kReplan,
+  kStatus,
+  kStats,    // live global + per-tenant counters (queue-bypassing)
+  kHealthz,  // liveness/pressure probe (queue-bypassing)
+  kDump,     // flight-recorder dump to a JSONL artifact (queue-bypassing)
+  kShutdown,
+};
 const char* to_string(RequestType type);
 
 // Deterministic instance description: the session rebuilds bit-identical
@@ -137,7 +160,12 @@ struct Response {
   double queue_ms = 0.0;
   double run_ms = 0.0;
   std::uint64_t lsn = 0;       // WAL sequence number of the acked mutation
+  std::uint64_t trace = 0;     // request trace id (16-hex string on the wire)
+  std::string detail;          // healthz verdict / dump artifact path
   std::vector<std::pair<std::string, double>> stats;  // status payload
+  // Per-tenant counter blocks, sorted by tenant key (stats verb).
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      tenants;
   std::string provenance_json; // provenance object (empty when unstamped)
 
   std::string to_json() const;

@@ -35,7 +35,8 @@ struct Ticket {
   Request request;
   std::function<void(Response)> done;
   std::chrono::steady_clock::time_point admitted{};
-  std::uint64_t seq = 0;  // admission order, for deterministic tie-breaks
+  std::uint64_t seq = 0;    // admission order, for deterministic tie-breaks
+  std::uint64_t trace = 0;  // request trace id, assigned at submission
 };
 
 struct QueueConfig {

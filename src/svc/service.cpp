@@ -13,6 +13,7 @@
 #include "core/repair.h"
 #include "obs/json.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace cool::svc {
@@ -33,6 +34,14 @@ const char* planner_name(int level) {
   }
 }
 
+const char* plan_span_name(int level) {
+  switch (level) {
+    case 0: return "plan.lazy_greedy";
+    case 1: return "plan.greedy";
+    default: return "plan.hef";
+  }
+}
+
 void fill_schedule_payload(Response& response,
                            const core::PeriodicSchedule& schedule) {
   response.has_assignments = true;
@@ -50,6 +59,16 @@ double plan_utility(const core::GreedyResult& result) {
   return total;
 }
 
+// SplitMix64 finalizer: admission sequence -> well-mixed trace id. The
+// mapping is fixed so trace ids are part of the determinism contract (same
+// serial workload -> bit-identical ids at any thread count).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 // One batch slot: the ticket, its resolved session, and the working result.
@@ -60,6 +79,7 @@ struct CooldService::Job {
   bool finished = false;   // resolved in Phase A (status/shutdown/errors)
   bool mutating = false;   // needs LSN + WAL append on success
   bool shutdown = false;
+  bool cancelled = false;  // a deadline hit forced this job to the floor
   int start_level = 0;
   bool use_deadline = true;
   std::optional<core::PeriodicSchedule> new_schedule;
@@ -73,10 +93,25 @@ CooldService::CooldService(ServiceConfig config)
       sessions_(config_.session_capacity),
       provenance_(obs::Provenance::collect()) {
   provenance_json_ = provenance_.to_json();
+  started_at_ = Clock::now();
+  // The flight recorder exists before recovery so replay events land in the
+  // ring too; with obs disabled it is never allocated at all (and neither
+  // is a trace collector — the service only uses a globally installed one).
+  if (config_.obs_enabled) {
+    flight_ = std::make_unique<obs::FlightRecorder>(config_.flight_capacity);
+    flight_->set_header(
+        "{\"flight\":{\"schema_version\":1,\"capacity\":" +
+        std::to_string(flight_->capacity()) +
+        "},\"provenance\":" + provenance_json_ + "}");
+    sessions_.set_evict_observer([this](const std::string& network) {
+      flight_->record(obs::FlightKind::kEvict, "", network);
+    });
+  }
   const WalRecovery recovery = read_wal_dir(config_.wal_dir, config_.limits);
   torn_bytes_.store(recovery.torn_bytes, std::memory_order_relaxed);
   restore_from(recovery);
   lsn_.store(recovery.max_lsn, std::memory_order_relaxed);
+  mirror_session_counters();
   wal_ = std::make_unique<WalWriter>(config_.wal_dir, config_.fsync);
   // Startup compaction: never append to a recovered log. Its tail may be
   // torn or missing the final newline, and the reader stops at the first
@@ -135,6 +170,53 @@ Response CooldService::make_error(const Request& request,
   return response;
 }
 
+std::uint64_t CooldService::next_trace_id() {
+  return splitmix64(trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+void CooldService::record_span(const char* name, const std::string& network,
+                               std::uint64_t trace, std::uint64_t start_us,
+                               int level) {
+  const std::uint64_t end_us = obs::trace_now_us();
+  const std::uint64_t dur_us = end_us > start_us ? end_us - start_us : 0;
+  if (flight_)
+    flight_->record(obs::FlightKind::kSpan, name, network, trace, 0, dur_us,
+                    level);
+  if (obs::tracing_enabled())
+    obs::trace_complete(name, "svc", start_us, dur_us, trace);
+}
+
+CooldService::TenantStats& CooldService::tenant_stats(
+    const std::string& network) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  const auto it = tenants_.find(network);
+  if (it != tenants_.end()) return *it->second;
+  // Cardinality guard: a hostile client cycling tenant names must not grow
+  // the map without bound; past the cap everything pools into one bucket.
+  if (tenants_.size() >= config_.tenant_stats_max) {
+    auto& other = tenants_["_other"];
+    if (!other) other = std::make_unique<TenantStats>();
+    return *other;
+  }
+  auto& created = tenants_[network];
+  created = std::make_unique<TenantStats>();
+  return *created;
+}
+
+void CooldService::mirror_session_counters() {
+  // Worker-owned counters republished as atomics: the queue-bypassing
+  // stats path reads these mirrors instead of touching SessionCache or
+  // WalWriter from a foreign thread.
+  session_hits_.store(sessions_.hits(), std::memory_order_relaxed);
+  session_rebuilds_.store(sessions_.rebuilds(), std::memory_order_relaxed);
+  session_evictions_.store(sessions_.evictions(), std::memory_order_relaxed);
+  resident_.store(sessions_.size(), std::memory_order_relaxed);
+  if (wal_) {
+    wal_bytes_.store(wal_->bytes(), std::memory_order_relaxed);
+    wal_syncs_.store(wal_->syncs(), std::memory_order_relaxed);
+  }
+}
+
 void CooldService::submit_frame(std::string_view frame,
                                 std::function<void(Response)> done) {
   ParseResult parsed = parse_request(frame, config_.limits);
@@ -151,25 +233,62 @@ void CooldService::submit_frame(std::string_view frame,
 }
 
 void CooldService::submit(Request request, std::function<void(Response)> done) {
+  // Introspection verbs bypass the admission queue entirely: they read
+  // atomics and mirrors, never worker-owned state, so answering them here
+  // keeps them available while the queue is jammed solid with overload —
+  // exactly when they are most needed.
+  if (request.type == RequestType::kStats ||
+      request.type == RequestType::kHealthz ||
+      request.type == RequestType::kDump) {
+    introspect_served_.fetch_add(1, std::memory_order_relaxed);
+    done(introspect_response(request));
+    return;
+  }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   Ticket ticket;
   ticket.request = std::move(request);
   ticket.done = std::move(done);
   ticket.admitted = Clock::now();
+  ticket.trace = next_trace_id();
+  const std::uint64_t trace = ticket.trace;
+  const int priority = ticket.request.priority;
+  std::string flight_network;  // survives the move below
+  if (flight_) flight_network = ticket.request.network;
   const double est = est_ms_per_request_.load(std::memory_order_relaxed);
   AdmissionQueue::Offer offer = queue_.offer(std::move(ticket), est);
   if (offer.victim) {
     shed_.fetch_add(1, std::memory_order_relaxed);
+    if (flight_)
+      flight_->record(obs::FlightKind::kShed, "displaced",
+                      offer.victim->request.network, offer.victim->trace, 0,
+                      static_cast<std::uint64_t>(offer.retry_after_ms),
+                      offer.victim->request.priority);
+    if (config_.obs_enabled && !offer.victim->request.network.empty())
+      tenant_stats(offer.victim->request.network)
+          .shed.fetch_add(1, std::memory_order_relaxed);
     Response shed = make_error(offer.victim->request,
                                "shed_overload: displaced by higher priority");
     shed.retry_after_ms = offer.retry_after_ms;
+    shed.trace = offer.victim->trace;
     if (offer.victim->done) offer.victim->done(std::move(shed));
   }
   if (!offer.admitted) {
     shed_.fetch_add(1, std::memory_order_relaxed);
+    if (flight_)
+      flight_->record(obs::FlightKind::kShed, "queue_full", flight_network,
+                      trace, 0,
+                      static_cast<std::uint64_t>(offer.retry_after_ms),
+                      priority);
+    if (config_.obs_enabled && !ticket.request.network.empty())
+      tenant_stats(ticket.request.network)
+          .shed.fetch_add(1, std::memory_order_relaxed);
     Response shed = make_error(ticket.request, "shed_overload: queue full");
     shed.retry_after_ms = offer.retry_after_ms;
+    shed.trace = trace;
     if (ticket.done) ticket.done(std::move(shed));
+  } else if (flight_) {
+    flight_->record(obs::FlightKind::kAdmit, "", flight_network, trace, 0,
+                    queue_.depth(), priority);
   }
 }
 
@@ -198,12 +317,14 @@ void CooldService::worker_loop() {
 
 void CooldService::execute_plan(Job& job) {
   const Request& request = job.ticket.request;
+  const std::uint64_t trace = job.ticket.trace;
   Session& session = *job.session;
   job.run_start = Clock::now();
 
   if (request.type == RequestType::kRepair) {
     // Bounded-cost local patch — no ladder, no cancellation (Phase A
     // validated the dead list and the presence of a schedule).
+    const std::uint64_t span_start = obs::trace_now_us();
     std::vector<std::uint8_t> dead(session.problem().sensor_count(), 0);
     for (std::size_t id : request.dead) dead[id] = 1;
     core::RepairResult repaired = core::repair_schedule(
@@ -216,6 +337,8 @@ void CooldService::execute_plan(Job& job) {
     fill_schedule_payload(job.response, repaired.schedule);
     job.new_schedule = std::move(repaired.schedule);
     job.run_end = Clock::now();
+    if (config_.obs_enabled)
+      record_span("plan.repair", request.network, trace, span_start, 0);
     return;
   }
 
@@ -232,6 +355,8 @@ void CooldService::execute_plan(Job& job) {
     core::PlannerContext ctx;
     ctx.scratch_states = &session.scratch_states();
     if (job.use_deadline && level < 2) ctx.cancel = &token;
+    const std::uint64_t span_start =
+        config_.obs_enabled ? obs::trace_now_us() : 0;
     try {
       core::GreedyResult result = [&]() -> core::GreedyResult {
         switch (level) {
@@ -247,12 +372,23 @@ void CooldService::execute_plan(Job& job) {
       job.response.oracle_calls = result.oracle_calls;
       fill_schedule_payload(job.response, result.schedule);
       job.new_schedule = std::move(result.schedule);
+      if (config_.obs_enabled)
+        record_span(plan_span_name(level), request.network, trace, span_start,
+                    level);
       break;
     } catch (const core::Cancelled&) {
       // Deadline blown mid-plan: jump straight to the floor, which ignores
       // cancellation and always completes in O(n·T) oracle calls.
       cancelled_.fetch_add(1, std::memory_order_relaxed);
+      job.cancelled = true;
       COOL_METRIC_ADD("svc.plans.cancelled", 1);
+      if (config_.obs_enabled) {
+        record_span(plan_span_name(level), request.network, trace, span_start,
+                    level);
+        if (flight_)
+          flight_->record(obs::FlightKind::kDegrade, planner_name(level),
+                          request.network, trace, 0, 0, 2);
+      }
       level = 2;
     }
   }
@@ -279,10 +415,29 @@ void CooldService::process_batch(std::vector<Ticket>&& batch) {
     job.response.id = request.id;
     job.response.type = to_string(request.type);
     job.response.network = request.network;
+    job.response.trace = job.ticket.trace;
     job.start_level = std::max(base_level, request.degrade_min);
+    if (config_.obs_enabled) {
+      // The queue span: admission to batch formation, one per request.
+      const std::uint64_t wait_us = static_cast<std::uint64_t>(
+          ms_between(job.ticket.admitted, batch_start) * 1000.0);
+      const std::uint64_t now_us = obs::trace_now_us();
+      record_span("svc.queue", request.network, job.ticket.trace,
+                  now_us > wait_us ? now_us - wait_us : 0, request.priority);
+    }
     switch (request.type) {
       case RequestType::kStatus:
         job.response = status_response(request);
+        job.response.trace = job.ticket.trace;
+        job.finished = true;
+        break;
+      case RequestType::kStats:
+      case RequestType::kHealthz:
+      case RequestType::kDump:
+        // Normally intercepted in submit(); kept serviceable here so a
+        // future transport that enqueues everything still gets an answer.
+        job.response = introspect_response(request);
+        job.response.trace = job.ticket.trace;
         job.finished = true;
         break;
       case RequestType::kShutdown:
@@ -298,6 +453,7 @@ void CooldService::process_batch(std::vector<Ticket>&& batch) {
         Session* session = sessions_.find(request.network);
         if (!session) {
           job.response = make_error(request, "unknown_network: schedule it first");
+          job.response.trace = job.ticket.trace;
           job.finished = true;
           break;
         }
@@ -309,11 +465,13 @@ void CooldService::process_batch(std::vector<Ticket>&& batch) {
         Session* session = sessions_.find(request.network);
         if (!session) {
           job.response = make_error(request, "unknown_network: schedule it first");
+          job.response.trace = job.ticket.trace;
           job.finished = true;
           break;
         }
         if (!session->schedule()) {
           job.response = make_error(request, "no_schedule: nothing to repair");
+          job.response.trace = job.ticket.trace;
           job.finished = true;
           break;
         }
@@ -323,6 +481,7 @@ void CooldService::process_batch(std::vector<Ticket>&& batch) {
                         [sensors](std::size_t id) { return id < sensors; });
         if (!in_range) {
           job.response = make_error(request, "bad_request: dead id out of range");
+          job.response.trace = job.ticket.trace;
           job.finished = true;
           break;
         }
@@ -355,9 +514,14 @@ void CooldService::process_batch(std::vector<Ticket>&& batch) {
     WalEntry entry;
     entry.lsn = lsn;
     entry.degrade = job.response.degrade;
+    entry.trace = job.ticket.trace;
     entry.request = job.ticket.request;
     wal_->append(entry);
     ++appended;
+    if (flight_)
+      flight_->record(obs::FlightKind::kWalAppend, "",
+                      job.ticket.request.network, job.ticket.trace, lsn, 0,
+                      job.response.degrade);
     job.session->set_schedule(std::move(*job.new_schedule));
     job.response.lsn = lsn;
     job.response.applied = job.session->applied();
@@ -369,6 +533,7 @@ void CooldService::process_batch(std::vector<Ticket>&& batch) {
     entries_since_snapshot_ += appended;
     maybe_snapshot();
   }
+  mirror_session_counters();
 
   bool shutdown_requested = false;
   const Clock::time_point batch_end = Clock::now();
@@ -382,6 +547,29 @@ void CooldService::process_batch(std::vector<Ticket>&& batch) {
         degraded_[job.response.degrade].fetch_add(1, std::memory_order_relaxed);
     } else {
       acked_error_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (config_.obs_enabled && !job.finished && job.session) {
+      // Per-tenant + global latency and rung mix, at ack granularity.
+      const double total_us = job.response.queue_ms * 1000.0;
+      latency_us_.observe(total_us);
+      TenantStats& tenant = tenant_stats(job.ticket.request.network);
+      tenant.latency_us.observe(total_us);
+      if (job.response.ok) {
+        tenant.acked_ok.fetch_add(1, std::memory_order_relaxed);
+        if (job.response.degrade >= 0 && job.response.degrade < 3)
+          tenant.rung[job.response.degrade].fetch_add(
+              1, std::memory_order_relaxed);
+      } else {
+        tenant.acked_error.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (job.cancelled)
+        tenant.cancelled.fetch_add(1, std::memory_order_relaxed);
+      if (flight_)
+        flight_->record(obs::FlightKind::kAck,
+                        job.response.ok ? "ok" : "error",
+                        job.ticket.request.network, job.ticket.trace,
+                        job.response.lsn, static_cast<std::uint64_t>(total_us),
+                        job.response.degrade);
     }
     shutdown_requested = shutdown_requested || job.shutdown;
     if (job.ticket.done) job.ticket.done(std::move(job.response));
@@ -439,6 +627,152 @@ Response CooldService::status_response(const Request& request) {
         fill_schedule_payload(response, *session->schedule());
     }
   }
+  return response;
+}
+
+Response CooldService::introspect_response(const Request& request) {
+  switch (request.type) {
+    case RequestType::kHealthz: return healthz_response(request);
+    case RequestType::kDump: return dump_response(request);
+    default: return stats_response(request);
+  }
+}
+
+Response CooldService::stats_response(const Request& request) {
+  // Any-thread safe: ServiceStats atomics, queue accessors (internally
+  // locked), worker-counter mirrors and the lock-free histograms. The
+  // worker-owned SessionCache/WalWriter are deliberately not touched.
+  Response response;
+  response.id = request.id;
+  response.ok = true;
+  response.type = "stats";
+  response.network = request.network;
+  const ServiceStats s = stats();
+  auto put = [&response](const char* key, double value) {
+    response.stats.emplace_back(key, value);
+  };
+  put("submitted", static_cast<double>(s.submitted));
+  put("acked_ok", static_cast<double>(s.acked_ok));
+  put("acked_error", static_cast<double>(s.acked_error));
+  put("shed", static_cast<double>(s.shed));
+  put("degraded0", static_cast<double>(s.degraded[0]));
+  put("degraded1", static_cast<double>(s.degraded[1]));
+  put("degraded2", static_cast<double>(s.degraded[2]));
+  put("cancelled", static_cast<double>(s.cancelled));
+  put("wal_appends", static_cast<double>(s.wal_appends));
+  put("snapshots", static_cast<double>(s.snapshots));
+  put("replayed", static_cast<double>(s.replayed));
+  put("torn_bytes", static_cast<double>(s.torn_bytes));
+  put("last_lsn", static_cast<double>(s.last_lsn));
+  put("queue_depth", static_cast<double>(queue_.depth()));
+  put("queue_capacity", static_cast<double>(queue_.capacity()));
+  put("pressure", queue_.pressure());
+  put("retry_after_est_ms",
+      est_ms_per_request_.load(std::memory_order_relaxed));
+  put("sessions",
+      static_cast<double>(resident_.load(std::memory_order_relaxed)));
+  put("evictions",
+      static_cast<double>(session_evictions_.load(std::memory_order_relaxed)));
+  const double hits =
+      static_cast<double>(session_hits_.load(std::memory_order_relaxed));
+  const double rebuilds =
+      static_cast<double>(session_rebuilds_.load(std::memory_order_relaxed));
+  put("session_hits", hits);
+  put("session_rebuilds", rebuilds);
+  put("session_hit_rate",
+      hits + rebuilds > 0.0 ? hits / (hits + rebuilds) : 0.0);
+  put("wal_bytes",
+      static_cast<double>(wal_bytes_.load(std::memory_order_relaxed)));
+  put("wal_syncs",
+      static_cast<double>(wal_syncs_.load(std::memory_order_relaxed)));
+  put("uptime_ms", ms_between(started_at_, Clock::now()));
+  put("introspect_served",
+      static_cast<double>(introspect_served_.load(std::memory_order_relaxed)));
+  if (flight_) {
+    put("flight_events", static_cast<double>(flight_->recorded()));
+    put("flight_capacity", static_cast<double>(flight_->capacity()));
+  }
+  put("latency_count", static_cast<double>(latency_us_.count()));
+  put("p50_ms", latency_us_.quantile(0.5) / 1000.0);
+  put("p90_ms", latency_us_.quantile(0.9) / 1000.0);
+  put("p99_ms", latency_us_.quantile(0.99) / 1000.0);
+  put("mean_ms", latency_us_.mean() / 1000.0);
+
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  for (const auto& [network, block] : tenants_) {
+    if (!request.network.empty() && network != request.network) continue;
+    std::vector<std::pair<std::string, double>> fields;
+    auto field = [&fields](const char* key, double value) {
+      fields.emplace_back(key, value);
+    };
+    field("acked_ok", static_cast<double>(
+                          block->acked_ok.load(std::memory_order_relaxed)));
+    field("acked_error", static_cast<double>(block->acked_error.load(
+                             std::memory_order_relaxed)));
+    field("shed",
+          static_cast<double>(block->shed.load(std::memory_order_relaxed)));
+    field("rung0",
+          static_cast<double>(block->rung[0].load(std::memory_order_relaxed)));
+    field("rung1",
+          static_cast<double>(block->rung[1].load(std::memory_order_relaxed)));
+    field("rung2",
+          static_cast<double>(block->rung[2].load(std::memory_order_relaxed)));
+    field("cancelled", static_cast<double>(
+                           block->cancelled.load(std::memory_order_relaxed)));
+    field("latency_count", static_cast<double>(block->latency_us.count()));
+    field("p50_ms", block->latency_us.quantile(0.5) / 1000.0);
+    field("p99_ms", block->latency_us.quantile(0.99) / 1000.0);
+    field("mean_ms", block->latency_us.mean() / 1000.0);
+    response.tenants.emplace_back(network, std::move(fields));
+  }
+  return response;
+}
+
+Response CooldService::healthz_response(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.ok = true;
+  response.type = "healthz";
+  const double pressure = queue_.pressure();
+  if (pressure < config_.high_watermark)
+    response.detail = "ok";
+  else if (pressure < config_.crit_watermark)
+    response.detail = "degraded";
+  else
+    response.detail = "overloaded";
+  response.stats.emplace_back("pressure", pressure);
+  response.stats.emplace_back("queue_depth",
+                              static_cast<double>(queue_.depth()));
+  response.stats.emplace_back(
+      "last_lsn",
+      static_cast<double>(lsn_.load(std::memory_order_relaxed)));
+  response.stats.emplace_back("uptime_ms",
+                              ms_between(started_at_, Clock::now()));
+  response.stats.emplace_back(
+      "obs_enabled", config_.obs_enabled ? 1.0 : 0.0);
+  return response;
+}
+
+std::string CooldService::flight_dump_path() const {
+  return config_.flight_path.empty() ? config_.wal_dir + "/flight.jsonl"
+                                     : config_.flight_path;
+}
+
+Response CooldService::dump_response(const Request& request) {
+  if (!flight_)
+    return make_error(request, "obs_disabled: flight recorder is off");
+  Response response;
+  response.id = request.id;
+  response.type = "dump";
+  const std::string path = flight_dump_path();
+  if (!flight_->dump_to_path(path.c_str()))
+    return make_error(request, "dump_failed: cannot write '" + path + "'");
+  response.ok = true;
+  response.detail = path;
+  response.stats.emplace_back("flight_events",
+                              static_cast<double>(flight_->recorded()));
+  response.stats.emplace_back("flight_capacity",
+                              static_cast<double>(flight_->capacity()));
   return response;
 }
 
@@ -566,9 +900,12 @@ void CooldService::restore_from(const WalRecovery& recovery) {
 void CooldService::replay_entry(const WalEntry& entry) {
   // Re-executes one logged mutation exactly as the live run did: same
   // session-resolution order, ladder pinned to the logged level, no
-  // deadline (wall-clock is not replayable; the logged level is).
+  // deadline (wall-clock is not replayable; the logged level is). The
+  // logged trace id is reused verbatim so replayed spans and flight events
+  // correlate with the original run's artifacts.
   Job job;
   job.ticket.request = entry.request;
+  job.ticket.trace = entry.trace;
   job.response.id = entry.request.id;
   job.start_level = entry.degrade;
   job.use_deadline = false;
@@ -583,10 +920,13 @@ void CooldService::replay_entry(const WalEntry& entry) {
       job.session = sessions_.touch(request.network);
       break;
     default:
-      return;  // status/shutdown never reach the WAL
+      return;  // status/shutdown/introspection never reach the WAL
   }
   if (!job.session) return;  // only possible with a hand-damaged log
   if (request.type == RequestType::kRepair && !job.session->schedule()) return;
+  if (flight_)
+    flight_->record(obs::FlightKind::kReplay, "", request.network, entry.trace,
+                    entry.lsn, 0, entry.degrade);
   execute_plan(job);
   if (job.response.ok && job.new_schedule)
     job.session->set_schedule(std::move(*job.new_schedule));
@@ -600,6 +940,9 @@ void CooldService::maybe_snapshot() {
   wal_->reset_to_empty();
   entries_since_snapshot_ = 0;
   snapshots_.fetch_add(1, std::memory_order_relaxed);
+  if (flight_)
+    flight_->record(obs::FlightKind::kSnapshot, "", "", 0,
+                    lsn_.load(std::memory_order_relaxed));
   COOL_METRIC_ADD("svc.snapshots", 1);
 }
 

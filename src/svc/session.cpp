@@ -49,6 +49,7 @@ Session* SessionCache::touch(const std::string& network) {
   const auto it = entries_.find(network);
   if (it == entries_.end()) return nullptr;
   it->second.recency = ++clock_;
+  ++hits_;
   return it->second.session.get();
 }
 
@@ -58,8 +59,10 @@ Session& SessionCache::emplace(const std::string& network,
   auto it = entries_.find(network);
   if (it != entries_.end() && it->second.session->spec() == spec) {
     it->second.recency = ++clock_;
+    ++hits_;
     return *it->second.session;
   }
+  ++rebuilds_;
   if (it != entries_.end()) {
     // Spec changed: the old oracle states are bound to the old utility and
     // must not survive. Park the old session until the batch completes.
@@ -82,6 +85,7 @@ void SessionCache::evict_past_capacity(
     auto victim = entries_.begin();
     for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it)
       if (it->second.recency < victim->second.recency) victim = it;
+    if (evict_observer_) evict_observer_(victim->first);
     graveyard.push_back(std::move(victim->second.session));
     entries_.erase(victim);
     ++evictions_;

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -90,6 +91,18 @@ class SessionCache {
   std::size_t capacity() const noexcept { return capacity_; }
   std::uint64_t evictions() const noexcept { return evictions_; }
 
+  // Introspection: hits are warm reuses (touch success or equal-spec
+  // emplace), rebuilds are cold constructions (absent or changed spec).
+  // Worker-thread counters; the service mirrors them into atomics.
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t rebuilds() const noexcept { return rebuilds_; }
+
+  // Called with the tenant key of every evicted session (flight-recorder
+  // hook; eviction order is deterministic, so the events are too).
+  void set_evict_observer(std::function<void(const std::string&)> observer) {
+    evict_observer_ = std::move(observer);
+  }
+
   // Snapshot support: entries in name order with their recency stamps, and
   // restore with explicit stamps + clock (so a restart resumes the exact
   // LRU order).
@@ -116,6 +129,9 @@ class SessionCache {
   std::size_t capacity_;
   std::uint64_t clock_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::function<void(const std::string&)> evict_observer_;
 };
 
 }  // namespace cool::svc

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "obs/json.h"
+#include "obs/trace.h"
 
 namespace cool::svc {
 
@@ -47,6 +48,8 @@ std::string snapshot_path(const std::string& dir) {
 std::string WalEntry::to_line() const {
   std::string out = "{\"lsn\":" + std::to_string(lsn);
   out += ",\"degrade\":" + std::to_string(degrade);
+  if (trace != 0)
+    out += ",\"trace\":\"" + obs::format_trace_id(trace) + '"';
   out += ",\"req\":" + request.to_json();
   out += '}';
   return out;
@@ -70,6 +73,7 @@ void WalWriter::append(const WalEntry& entry) {
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
     throw std::runtime_error("wal: short write to '" + path_ + "'");
   ++appended_;
+  bytes_ += line.size();
 }
 
 void WalWriter::sync() {
@@ -78,6 +82,7 @@ void WalWriter::sync() {
   } else if (std::fflush(file_) != 0) {
     throw std::runtime_error("wal: flush failed on '" + path_ + "'");
   }
+  ++syncs_;
 }
 
 void WalWriter::reset_to_empty() {
@@ -143,6 +148,8 @@ WalRecovery read_wal_dir(const std::string& dir, const ParseLimits& limits) {
         entry.lsn = static_cast<std::uint64_t>(value.at("lsn").as_number());
         if (value.contains("degrade") && value.at("degrade").is_number())
           entry.degrade = static_cast<int>(value.at("degrade").as_number());
+        if (value.contains("trace") && value.at("trace").is_string())
+          entry.trace = obs::parse_trace_id(value.at("trace").as_string());
         ParseResult parsed = request_from_json(value.at("req"), limits);
         if (parsed.ok && entry.lsn > prev_lsn) {
           entry.request = std::move(parsed.request);

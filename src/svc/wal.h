@@ -8,9 +8,12 @@
 // arrives at bit-identical session state.
 //
 // WAL format: one JSON object per line in <dir>/wal.jsonl,
-//   {"lsn":17,"degrade":1,"req":{...canonical request...}}
+//   {"lsn":17,"degrade":1,"trace":"00f0..16hex","req":{...canonical request...}}
 // `degrade` pins the ladder level the live run actually used (pressure and
 // deadlines are not replayable; the decision is logged so replay is).
+// `trace` carries the request's trace id so a replayed mutation stays
+// correlatable with the live run's spans and flight-recorder events; it is
+// optional on read (pre-introspection logs replay fine, trace = 0).
 //
 // Snapshot format: <dir>/snapshot.json, written via tmp + fsync + rename so
 // a crash mid-snapshot leaves the previous one intact,
@@ -41,6 +44,7 @@ namespace cool::svc {
 struct WalEntry {
   std::uint64_t lsn = 0;
   int degrade = 0;
+  std::uint64_t trace = 0;  // request trace id (0 = pre-introspection entry)
   Request request;
 
   std::string to_line() const;  // no trailing newline
@@ -64,12 +68,20 @@ class WalWriter {
   void reset_to_empty();
 
   std::uint64_t appended() const noexcept { return appended_; }
+  // Introspection counters (worker-thread view; the service mirrors them
+  // into atomics for the stats verb). bytes() counts this writer's appends
+  // only, not recovered bytes; syncs() counts sync() calls whether or not
+  // fsync is enabled (it is the batch-durability cadence either way).
+  std::uint64_t bytes() const noexcept { return bytes_; }
+  std::uint64_t syncs() const noexcept { return syncs_; }
 
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
   bool fsync_enabled_;
   std::uint64_t appended_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t syncs_ = 0;
 };
 
 struct WalRecovery {

@@ -1,0 +1,117 @@
+// Thread-safety regression tests for the observability substrate, run
+// under TSan by scripts/check_sanitize.sh --tsan:
+//
+//   * MetricsRegistryThreads pins the registration race fixed in PR 8: a
+//     Series& returned by find_or_create_locked points into a vector a
+//     concurrent registration can reallocate, so the instrument pointer
+//     must be copied out under the lock. Many threads registering
+//     overlapping names while others mutate and snapshot is exactly the
+//     access pattern that exposed it.
+//   * LogConcurrency hammers one sink from many threads; every delivered
+//     line must arrive whole (the sink call is serialized, not torn).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/log.h"
+
+namespace cool {
+namespace {
+
+TEST(MetricsRegistryThreads, ConcurrentRegistrationUpdatesAndSnapshots) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 300;
+  std::atomic<bool> go{false};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kRounds; ++i) {
+        // Overlapping series (same name from every thread) interleaved
+        // with per-thread ones, so registration keeps extending the
+        // series table while other threads hold instrument references.
+        registry.counter("shared.ops").add(1);
+        registry.counter("thread.ops", {{"t", std::to_string(t)}}).add(1);
+        registry.histogram("shared.latency_us").observe(i);
+        registry.gauge("thread.depth", {{"t", std::to_string(t)}})
+            .set(static_cast<double>(i));
+        if (i % 16 == 0) registry.snapshot();
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : workers) w.join();
+
+  const obs::RegistrySnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.at("shared.ops").count,
+            static_cast<std::uint64_t>(kThreads) * kRounds);
+  EXPECT_EQ(snapshot.at("shared.latency_us").count,
+            static_cast<std::uint64_t>(kThreads) * kRounds);
+  for (int t = 0; t < kThreads; ++t) {
+    const obs::Labels labels = {{"t", std::to_string(t)}};
+    EXPECT_EQ(snapshot.at("thread.ops", labels).count,
+              static_cast<std::uint64_t>(kRounds));
+    EXPECT_EQ(snapshot.at("thread.depth", labels).value,
+              static_cast<double>(kRounds - 1));
+  }
+  // 2 shared + 2 per thread.
+  EXPECT_EQ(registry.series_count(), 2u + 2u * kThreads);
+}
+
+TEST(MetricsRegistryThreads, ReferencesStayValidAcrossGrowth) {
+  // The contract call sites rely on: a reference obtained early must stay
+  // usable while other threads grow the registry past any reallocation
+  // threshold.
+  obs::MetricsRegistry registry;
+  obs::Counter& early = registry.counter("early.ops");
+  std::thread grower([&registry] {
+    for (int i = 0; i < 2000; ++i)
+      registry.counter("growth.ops", {{"i", std::to_string(i)}}).add(1);
+  });
+  for (int i = 0; i < 2000; ++i) early.add(1);
+  grower.join();
+  EXPECT_EQ(early.value(), 2000u);
+  EXPECT_EQ(registry.snapshot().at("early.ops").count, 2000u);
+}
+
+TEST(LogConcurrency, ManyThreadsOneSinkNoTornLines) {
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  std::mutex mutex;
+  std::vector<std::string> delivered;
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::kInfo);
+  util::set_log_sink([&](util::LogLevel, const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex);
+    delivered.push_back(line);
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      const std::string marker = "w" + std::to_string(t) + "-payload";
+      for (int i = 0; i < kLines; ++i)
+        util::log_info("obsthreads", marker + "-" + std::to_string(i));
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  util::set_log_sink(nullptr);
+  util::set_log_level(saved);
+
+  ASSERT_EQ(delivered.size(), static_cast<std::size_t>(kThreads) * kLines);
+  for (const std::string& line : delivered) {
+    EXPECT_NE(line.find("[obsthreads]"), std::string::npos) << line;
+    EXPECT_NE(line.find("-payload-"), std::string::npos) << line;
+  }
+}
+
+}  // namespace
+}  // namespace cool

@@ -1,0 +1,411 @@
+// The introspection plane: deterministic request trace ids (bit-identical
+// across planner pool widths, preserved verbatim through the WAL and its
+// replay), the queue-bypassing stats/healthz/dump verbs, their
+// reconciliation with the service's externally observable behaviour, and
+// the crash flight dump a forked coold leaves behind after SIGABRT.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight.h"
+#include "obs/trace.h"
+#include "svc/service.h"
+#include "util/parallel.h"
+
+#ifndef COOL_COOLD_PATH
+#error "COOL_COOLD_PATH must point at the coold binary"
+#endif
+
+namespace cool {
+namespace {
+
+svc::ServiceConfig test_config(const std::string& dir) {
+  svc::ServiceConfig config;
+  config.wal_dir = dir;
+  config.fsync = false;
+  config.snapshot_every = 0;  // keep every entry replayable
+  ::mkdir(dir.c_str(), 0755);
+  std::remove((dir + "/wal.jsonl").c_str());
+  std::remove((dir + "/snapshot.json").c_str());
+  return config;
+}
+
+svc::Request schedule_request(const std::string& network, std::uint64_t seed) {
+  svc::Request request;
+  request.id = "sched-" + network;
+  request.type = svc::RequestType::kSchedule;
+  request.network = network;
+  request.has_spec = true;
+  request.spec.sensors = 10;
+  request.spec.targets = 15;
+  request.spec.seed = seed;
+  request.spec.slots_per_period = 4;
+  request.spec.periods = 5;
+  return request;
+}
+
+svc::Request replan_request(const std::string& network) {
+  svc::Request request;
+  request.id = "replan-" + network;
+  request.type = svc::RequestType::kReplan;
+  request.network = network;
+  return request;
+}
+
+double stat_value(const svc::Response& response, const std::string& key) {
+  for (const auto& [name, value] : response.stats)
+    if (name == key) return value;
+  return -1.0;
+}
+
+const std::vector<std::pair<std::string, double>>* tenant_block(
+    const svc::Response& response, const std::string& network) {
+  for (const auto& [name, fields] : response.tenants)
+    if (name == network) return &fields;
+  return nullptr;
+}
+
+double tenant_value(const std::vector<std::pair<std::string, double>>& fields,
+                    const std::string& key) {
+  for (const auto& [name, value] : fields)
+    if (name == key) return value;
+  return -1.0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// One serial workload pass; returns every acked response's trace id in
+// submission order.
+std::vector<std::uint64_t> run_workload(svc::CooldService& service) {
+  std::vector<std::uint64_t> traces;
+  for (int t = 0; t < 3; ++t) {
+    const svc::Response reply =
+        service.call(schedule_request("t" + std::to_string(t), 40 + t));
+    EXPECT_TRUE(reply.ok) << reply.error;
+    traces.push_back(reply.trace);
+  }
+  for (int i = 0; i < 6; ++i) {
+    const svc::Response reply =
+        service.call(replan_request("t" + std::to_string(i % 3)));
+    EXPECT_TRUE(reply.ok) << reply.error;
+    traces.push_back(reply.trace);
+  }
+  return traces;
+}
+
+TEST(SvcIntrospect, TraceIdsBitIdenticalAcrossThreadCounts) {
+  // Trace ids are a pure function of the admission sequence, so the same
+  // serial workload must produce the same ids no matter how wide the
+  // planning pool is — that is what makes traces diffable across runs.
+  const std::string base = ::testing::TempDir() + "cool-introspect-threads";
+  std::vector<std::vector<std::uint64_t>> runs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::set_thread_count(threads);
+    svc::CooldService service(
+        test_config(base + "-" + std::to_string(threads)));
+    service.start();
+    runs.push_back(run_workload(service));
+    service.stop();
+  }
+  util::set_thread_count(0);
+  ASSERT_EQ(runs.size(), 3u);
+  for (std::uint64_t trace : runs[0]) EXPECT_NE(trace, 0u);
+  for (std::size_t i = 0; i + 1 < runs[0].size(); ++i)
+    EXPECT_NE(runs[0][i], runs[0][i + 1]) << "trace ids must be distinct";
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(SvcIntrospect, TraceIdSurvivesWalAndReplay) {
+  const std::string dir_a = ::testing::TempDir() + "cool-introspect-wal-a";
+  const std::string dir_b = ::testing::TempDir() + "cool-introspect-wal-b";
+
+  svc::CooldService service(test_config(dir_a));
+  service.start();
+  const std::vector<std::uint64_t> traces = run_workload(service);
+
+  // Acked => appended: each mutation's WAL line must carry its response's
+  // trace id verbatim (16-hex string; a u64 would not survive the
+  // double-typed JSON number path).
+  const std::string wal_text = read_file(dir_a + "/wal.jsonl");
+  for (std::uint64_t trace : traces)
+    EXPECT_NE(wal_text.find("\"trace\":\"" + obs::format_trace_id(trace) +
+                            "\""),
+              std::string::npos)
+        << "missing " << obs::format_trace_id(trace) << " in WAL";
+
+  // Replay the WAL in a second service (copied before stop(), which
+  // truncates) and require the same ids on its replay flight events.
+  const svc::ServiceConfig config_b = test_config(dir_b);
+  {
+    std::ofstream out(dir_b + "/wal.jsonl");
+    out << wal_text;
+  }
+  service.stop();
+
+  svc::CooldService replayed(config_b);
+  EXPECT_EQ(replayed.stats().replayed, traces.size());
+  ASSERT_NE(replayed.flight(), nullptr);
+  std::vector<std::uint64_t> replayed_traces;
+  for (const obs::FlightEvent& event : replayed.flight()->snapshot())
+    if (event.kind == obs::FlightKind::kReplay)
+      replayed_traces.push_back(event.trace);
+  EXPECT_EQ(replayed_traces, traces);
+}
+
+TEST(SvcIntrospect, StatsVerbReconcilesWithWorkload) {
+  const std::string dir = ::testing::TempDir() + "cool-introspect-stats";
+  svc::CooldService service(test_config(dir));
+  service.start();
+  const std::vector<std::uint64_t> traces = run_workload(service);
+  const auto planned = static_cast<double>(traces.size());
+
+  svc::Request request;
+  request.type = svc::RequestType::kStats;
+  const svc::Response reply = service.call(std::move(request));
+  ASSERT_TRUE(reply.ok) << reply.error;
+
+  EXPECT_EQ(stat_value(reply, "acked_ok"), planned);
+  EXPECT_EQ(stat_value(reply, "degraded0") + stat_value(reply, "degraded1") +
+                stat_value(reply, "degraded2"),
+            planned)
+      << "rung mix must sum to the acked-ok count";
+  EXPECT_EQ(stat_value(reply, "latency_count"), planned)
+      << "every ack must land in the latency histogram";
+  EXPECT_GE(stat_value(reply, "p99_ms"), stat_value(reply, "p50_ms"));
+  EXPECT_EQ(stat_value(reply, "wal_appends"), planned);
+  EXPECT_GT(stat_value(reply, "wal_bytes"), 0.0);
+
+  // Per-tenant blocks: three tenants, 3 acks each, consistent percentiles.
+  ASSERT_EQ(reply.tenants.size(), 3u);
+  double tenant_total = 0.0;
+  for (const std::string network : {"t0", "t1", "t2"}) {
+    const auto* block = tenant_block(reply, network);
+    ASSERT_NE(block, nullptr) << network << " missing from tenants";
+    EXPECT_EQ(tenant_value(*block, "acked_ok"), 3.0) << network;
+    EXPECT_EQ(tenant_value(*block, "latency_count"), 3.0) << network;
+    EXPECT_GE(tenant_value(*block, "p99_ms"), tenant_value(*block, "p50_ms"))
+        << network;
+    tenant_total += tenant_value(*block, "rung0") +
+                    tenant_value(*block, "rung1") +
+                    tenant_value(*block, "rung2");
+  }
+  EXPECT_EQ(tenant_total, planned);
+
+  // The network filter narrows the tenant list, not the globals.
+  svc::Request filtered;
+  filtered.type = svc::RequestType::kStats;
+  filtered.network = "t1";
+  const svc::Response narrow = service.call(std::move(filtered));
+  ASSERT_TRUE(narrow.ok);
+  ASSERT_EQ(narrow.tenants.size(), 1u);
+  EXPECT_EQ(narrow.tenants[0].first, "t1");
+  EXPECT_EQ(stat_value(narrow, "acked_ok"), planned);
+  service.stop();
+}
+
+TEST(SvcIntrospect, IntrospectionBypassesAdmissionQueue) {
+  // No start(): there is no worker thread, so anything that needed the
+  // queue would hang. stats/healthz/dump must answer synchronously from
+  // atomics and mirrors alone — that is the whole point of the fast path.
+  const std::string dir = ::testing::TempDir() + "cool-introspect-bypass";
+  svc::CooldService service(test_config(dir));
+
+  svc::Request stats;
+  stats.type = svc::RequestType::kStats;
+  const svc::Response stats_reply = service.call(std::move(stats));
+  ASSERT_TRUE(stats_reply.ok);
+  EXPECT_EQ(stat_value(stats_reply, "submitted"), 0.0)
+      << "introspection must not count as an admitted request";
+  EXPECT_EQ(stat_value(stats_reply, "queue_depth"), 0.0);
+
+  svc::Request healthz;
+  healthz.type = svc::RequestType::kHealthz;
+  const svc::Response health_reply = service.call(std::move(healthz));
+  ASSERT_TRUE(health_reply.ok);
+  EXPECT_EQ(health_reply.detail, "ok");
+  EXPECT_EQ(stat_value(health_reply, "obs_enabled"), 1.0);
+
+  svc::Request dump;
+  dump.type = svc::RequestType::kDump;
+  const svc::Response dump_reply = service.call(std::move(dump));
+  ASSERT_TRUE(dump_reply.ok) << dump_reply.error;
+  EXPECT_EQ(dump_reply.detail, dir + "/flight.jsonl");
+}
+
+TEST(SvcIntrospect, DumpVerbWritesArtifactAndObsOffDisablesIt) {
+  const std::string dir = ::testing::TempDir() + "cool-introspect-dump";
+  {
+    svc::CooldService service(test_config(dir));
+    service.start();
+    run_workload(service);
+    svc::Request dump;
+    dump.type = svc::RequestType::kDump;
+    const svc::Response reply = service.call(std::move(dump));
+    ASSERT_TRUE(reply.ok) << reply.error;
+    const std::string text = read_file(reply.detail);
+    ASSERT_FALSE(text.empty());
+    EXPECT_NE(text.find("\"flight\""), std::string::npos)
+        << "dump must start with the schema header";
+    EXPECT_NE(text.find("\"kind\":\"wal\""), std::string::npos);
+    EXPECT_NE(text.find("\"kind\":\"ack\""), std::string::npos);
+    service.stop();
+  }
+
+  // The kill switch: no recorder is ever allocated, the verb says so, and
+  // planning still works (counters stay on).
+  svc::ServiceConfig config = test_config(dir + "-off");
+  config.obs_enabled = false;
+  svc::CooldService service(config);
+  EXPECT_EQ(service.flight(), nullptr);
+  service.start();
+  EXPECT_TRUE(service.call(schedule_request("t0", 40)).ok);
+  svc::Request dump;
+  dump.type = svc::RequestType::kDump;
+  const svc::Response reply = service.call(std::move(dump));
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error.rfind("obs_disabled", 0), 0u) << reply.error;
+  svc::Request stats;
+  stats.type = svc::RequestType::kStats;
+  const svc::Response stats_reply = service.call(std::move(stats));
+  ASSERT_TRUE(stats_reply.ok);
+  EXPECT_EQ(stat_value(stats_reply, "acked_ok"), 1.0);
+  EXPECT_EQ(stat_value(stats_reply, "latency_count"), 0.0)
+      << "obs off must not observe histograms";
+  service.stop();
+}
+
+// --- forked-daemon crash dump ---------------------------------------------
+
+svc::ResponseParse socket_call(const std::string& socket_path,
+                               const std::string& frame) {
+  svc::ResponseParse parsed;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    parsed.error = "socket failed";
+    return parsed;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    parsed.error = std::string("connect failed: ") + std::strerror(errno);
+    ::close(fd);
+    return parsed;
+  }
+  const std::string line = frame + "\n";
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + sent, line.size() - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      parsed.error = "write failed";
+      ::close(fd);
+      return parsed;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char buffer[4096];
+  while (reply.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    reply.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t eol = reply.find('\n');
+  if (eol == std::string::npos) {
+    parsed.error = "no response line";
+    return parsed;
+  }
+  return svc::parse_response(reply.substr(0, eol));
+}
+
+TEST(SvcIntrospect, ForkedDaemonSigabrtLeavesParseableFlightDump) {
+  const std::string base = ::testing::TempDir() + "cool-introspect-crash";
+  const std::string state_dir = base + "-state";
+  const std::string socket_path = base + ".sock";
+  const std::string crash_dump = state_dir + "/flight-crash.jsonl";
+  ::mkdir(state_dir.c_str(), 0755);
+  std::remove(crash_dump.c_str());
+  std::remove((state_dir + "/wal.jsonl").c_str());
+  std::remove((state_dir + "/snapshot.json").c_str());
+  ::unlink(socket_path.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::execl(COOL_COOLD_PATH, "coold", "--state-dir", state_dir.c_str(),
+            "--socket", socket_path.c_str(), "--threads", "2",
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  bool ready = false;
+  for (int attempt = 0; attempt < 200 && !ready; ++attempt) {
+    const svc::ResponseParse probe =
+        socket_call(socket_path, "{\"type\":\"status\"}");
+    ready = probe.ok && probe.response.ok;
+    if (!ready) ::usleep(20 * 1000);
+  }
+  ASSERT_TRUE(ready) << "coold failed to come up";
+
+  const svc::ResponseParse planned =
+      socket_call(socket_path, schedule_request("t1", 41).to_json());
+  ASSERT_TRUE(planned.ok && planned.response.ok) << planned.response.error;
+  EXPECT_NE(planned.response.trace, 0u);
+
+  ::kill(pid, SIGABRT);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "daemon must die from the signal";
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  // The armed handler dumped the ring on the way down: header first, one
+  // JSON object per line, the planned request's trace id among them.
+  const std::string text = read_file(crash_dump);
+  ASSERT_FALSE(text.empty()) << "no crash dump at " << crash_dump;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    if (count == 0) {
+      EXPECT_NE(line.find("\"flight\""), std::string::npos)
+          << "header must be the first line";
+    }
+    ++count;
+  }
+  EXPECT_GE(count, 2u) << "header plus at least one event";
+  EXPECT_NE(
+      text.find("\"trace\":\"" + obs::format_trace_id(planned.response.trace) +
+                "\""),
+      std::string::npos)
+      << "the acked request's trace id must appear in the crash dump";
+  ::unlink(socket_path.c_str());
+}
+
+}  // namespace
+}  // namespace cool

@@ -12,11 +12,21 @@
 //   coolctl --socket /tmp/coold.sock --type repair --network t1 --dead 3,17
 //   coolctl --socket /tmp/coold.sock --frame '{"type":"status"}'
 //
+// Introspection (PR 8): the stats/healthz/dump verbs bypass the daemon's
+// admission queue, so they answer even mid-overload.
+//
+//   coolctl --socket S --type stats             # raw JSON counters
+//   coolctl --socket S --type stats --prom      # Prometheus text format
+//   coolctl --socket S --type healthz           # ok|degraded|overloaded
+//   coolctl --socket S --type dump              # flight ring -> JSONL
+//   coolctl --socket S --top --interval-ms 500  # refreshing live view
+//
 // Flags: --socket PATH (required), --frame JSON (raw mode), or request
 // builders --type/--network/--id/--priority/--deadline-ms/--degrade-min/
 // --dead A,B,C plus spec fields --sensors/--targets/--seed/--slots/
 // --periods/--p. Retry policy: --retries N (default 5), --retry-base-ms X
-// (default 50), --retry-seed N.
+// (default 50), --retry-seed N. Top mode: --top, --interval-ms X
+// (default 1000), --iters N (default 0 = until interrupted).
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -83,6 +93,105 @@ bool read_line(int fd, std::string& line) {
   }
 }
 
+// One connect/send/recv round trip; false on any transport failure.
+bool exchange(const std::string& socket_path, const std::string& frame,
+              std::string& line) {
+  const int fd = connect_unix(socket_path);
+  if (fd < 0) return false;
+  const bool ok = write_all(fd, frame + "\n") && read_line(fd, line);
+  ::close(fd);
+  return ok;
+}
+
+// "svc.batch_ms" -> "svc_batch_ms" (Prometheus metric-name alphabet).
+std::string prom_name(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// Render a parsed stats response in Prometheus text exposition format:
+// global pairs as cool_<key>, tenant pairs as cool_tenant_<key>{network=..}.
+void print_prometheus(const svc::Response& response) {
+  for (const auto& [key, value] : response.stats)
+    std::printf("cool_%s %.17g\n", prom_name(key).c_str(), value);
+  for (const auto& [network, fields] : response.tenants)
+    for (const auto& [key, value] : fields)
+      std::printf("cool_tenant_%s{network=\"%s\"} %.17g\n",
+                  prom_name(key).c_str(), network.c_str(), value);
+}
+
+double stat_value(const svc::Response& response, const std::string& key) {
+  for (const auto& [k, v] : response.stats)
+    if (k == key) return v;
+  return 0.0;
+}
+
+// Refreshing terminal view: one stats round trip per tick, a compact
+// global header plus one row per tenant. ANSI clear keeps it in place.
+int run_top(const std::string& socket_path, const std::string& frame,
+            double interval_ms, long long iters) {
+  for (long long i = 0; iters <= 0 || i < iters; ++i) {
+    std::string line;
+    if (!exchange(socket_path, frame, line)) {
+      std::fprintf(stderr, "coolctl: cannot reach daemon at %s\n",
+                   socket_path.c_str());
+      return 3;
+    }
+    const svc::ResponseParse parsed = svc::parse_response(line);
+    if (!parsed.ok || !parsed.response.ok) {
+      std::fprintf(stderr, "coolctl: bad stats response: %s\n", line.c_str());
+      return 2;
+    }
+    const svc::Response& r = parsed.response;
+    std::printf("\033[2J\033[H");  // clear + home
+    std::printf("coold  uptime %.1fs  pressure %.2f  queue %g/%g\n",
+                stat_value(r, "uptime_ms") / 1000.0, stat_value(r, "pressure"),
+                stat_value(r, "queue_depth"), stat_value(r, "queue_capacity"));
+    std::printf(
+        "reqs   submitted %g  ok %g  err %g  shed %g  rungs %g/%g/%g\n",
+        stat_value(r, "submitted"), stat_value(r, "acked_ok"),
+        stat_value(r, "acked_error"), stat_value(r, "shed"),
+        stat_value(r, "degraded0"), stat_value(r, "degraded1"),
+        stat_value(r, "degraded2"));
+    std::printf(
+        "lat    p50 %.2fms  p90 %.2fms  p99 %.2fms  mean %.2fms  (n=%g)\n",
+        stat_value(r, "p50_ms"), stat_value(r, "p90_ms"),
+        stat_value(r, "p99_ms"), stat_value(r, "mean_ms"),
+        stat_value(r, "latency_count"));
+    std::printf(
+        "wal    lsn %g  appends %g  bytes %g  syncs %g  sessions %g (hit %.0f%%)\n",
+        stat_value(r, "last_lsn"), stat_value(r, "wal_appends"),
+        stat_value(r, "wal_bytes"), stat_value(r, "wal_syncs"),
+        stat_value(r, "sessions"), stat_value(r, "session_hit_rate") * 100.0);
+    if (!r.tenants.empty()) {
+      std::printf("%-16s %8s %6s %6s %14s %9s %9s\n", "network", "ok", "err",
+                  "shed", "rungs", "p50_ms", "p99_ms");
+      for (const auto& [network, fields] : r.tenants) {
+        auto get = [&fields](const char* key) {
+          for (const auto& [k, v] : fields)
+            if (k == key) return v;
+          return 0.0;
+        };
+        std::printf("%-16s %8g %6g %6g %4g/%4g/%4g %9.2f %9.2f\n",
+                    network.c_str(), get("acked_ok"), get("acked_error"),
+                    get("shed"), get("rung0"), get("rung1"), get("rung2"),
+                    get("p50_ms"), get("p99_ms"));
+      }
+    }
+    std::fflush(stdout);
+    if (iters <= 0 || i + 1 < iters)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(interval_ms));
+  }
+  return 0;
+}
+
 std::vector<std::size_t> parse_dead_list(const std::string& text) {
   std::vector<std::size_t> dead;
   std::string token;
@@ -109,14 +218,22 @@ int main(int argc, char** argv) {
     const double retry_base_ms = cli.get_double("retry-base-ms", 50.0);
     const std::uint64_t retry_seed =
         static_cast<std::uint64_t>(cli.get_int("retry-seed", 1));
+    const bool prom = cli.get_flag("prom");
+    const bool top = cli.get_flag("top");
+    const double interval_ms = cli.get_double("interval-ms", 1000.0);
+    const long long iters = cli.get_int("iters", 0);
 
     if (frame.empty()) {
       svc::Request request;
-      const std::string type = cli.get_string("type", "status");
+      const std::string type =
+          cli.get_string("type", top ? "stats" : "status");
       if (type == "schedule") request.type = svc::RequestType::kSchedule;
       else if (type == "repair") request.type = svc::RequestType::kRepair;
       else if (type == "replan") request.type = svc::RequestType::kReplan;
       else if (type == "status") request.type = svc::RequestType::kStatus;
+      else if (type == "stats") request.type = svc::RequestType::kStats;
+      else if (type == "healthz") request.type = svc::RequestType::kHealthz;
+      else if (type == "dump") request.type = svc::RequestType::kDump;
       else if (type == "shutdown") request.type = svc::RequestType::kShutdown;
       else {
         std::fprintf(stderr, "coolctl: unknown --type '%s'\n", type.c_str());
@@ -151,6 +268,8 @@ int main(int argc, char** argv) {
     }
     cli.finish();
 
+    if (top) return run_top(socket_path, frame, interval_ms, iters);
+
     net::BackoffConfig backoff_config;
     backoff_config.base_slots = 1;
     backoff_config.factor = 2.0;
@@ -175,7 +294,10 @@ int main(int argc, char** argv) {
         const bool shed = parsed.ok && !parsed.response.ok &&
                           parsed.response.error.rfind("shed_overload", 0) == 0;
         if (!shed) {
-          std::printf("%s\n", line.c_str());
+          if (prom && parsed.ok && parsed.response.ok)
+            print_prometheus(parsed.response);
+          else
+            std::printf("%s\n", line.c_str());
           return parsed.ok && parsed.response.ok ? 0 : 2;
         }
         retryable = true;

@@ -20,15 +20,43 @@
 //   --snapshot-every N    WAL entries between snapshots  (default 64)
 //   --no-fsync            skip fsync (benchmarks only — crash safety off)
 //   --threads N           planner pool size (0 = auto)
+//   --obs on|off          introspection plane kill switch (default on; the
+//                         COOL_OBS_ENABLED env var sets the default, the
+//                         flag wins). Off = no flight recorder, no spans,
+//                         no latency histograms — stats/healthz still
+//                         answer from the always-on counters.
+//   --flight-capacity N   flight-recorder ring slots      (default 4096)
+//   --flight-path PATH    dump-verb artifact (default STATE/flight.jsonl)
+//
+// With obs on, the flight recorder is installed process-wide and SIGSEGV/
+// SIGABRT/SIGBUS/SIGFPE dump the ring to STATE/flight-crash.jsonl via the
+// async-signal-safe writer before re-raising — a post-mortem of the last
+// N scheduler events survives the crash.
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <mutex>
 
+#include "obs/flight.h"
 #include "svc/server.h"
 #include "svc/service.h"
 #include "util/cli.h"
 #include "util/parallel.h"
+
+namespace {
+
+// COOL_OBS_ENABLED=0|false|off disables the introspection plane; anything
+// else (including unset) leaves it on. The --obs flag overrides the env.
+bool obs_default_from_env() {
+  const char* env = std::getenv("COOL_OBS_ENABLED");
+  if (!env) return true;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "false") != 0 &&
+         std::strcmp(env, "off") != 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cool;
@@ -47,12 +75,30 @@ int main(int argc, char** argv) {
     config.snapshot_every =
         static_cast<std::size_t>(cli.get_int("snapshot-every", 64));
     config.fsync = !cli.get_flag("no-fsync");
+    const std::string obs_flag =
+        cli.get_string("obs", obs_default_from_env() ? "on" : "off");
+    if (obs_flag != "on" && obs_flag != "off") {
+      std::fprintf(stderr, "coold: --obs expects on|off, got '%s'\n",
+                   obs_flag.c_str());
+      return 2;
+    }
+    config.obs_enabled = obs_flag == "on";
+    config.flight_capacity =
+        static_cast<std::size_t>(cli.get_int("flight-capacity", 4096));
+    config.flight_path = cli.get_string("flight-path", "");
     const std::string socket_path = cli.get_string("socket", "");
     const long long threads = cli.get_int("threads", 0);
     cli.finish();
     if (threads > 0) util::set_thread_count(static_cast<std::size_t>(threads));
 
+    const std::string crash_dump_path = config.wal_dir + "/flight-crash.jsonl";
     svc::CooldService service(std::move(config));
+    if (service.flight()) {
+      // Arm the crash flight dump: the ring becomes the process-wide
+      // recorder and fatal signals drain it to JSONL before re-raising.
+      obs::set_flight_recorder(service.flight());
+      obs::install_flight_signal_dump(crash_dump_path.c_str());
+    }
     service.start();
 
     if (!socket_path.empty()) {
@@ -83,6 +129,7 @@ int main(int argc, char** argv) {
       svc::run_stdio(service, std::cin, std::cout);
     }
     service.stop();
+    obs::set_flight_recorder(nullptr);  // the ring dies with the service
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "coold: %s\n", e.what());
