@@ -18,6 +18,7 @@
 //   ./bench_delivered_coverage [--sensors 36] [--slots 96] [--seed 23]
 //                              [--csv sweep.csv] [--json out.json]
 //                              [--metrics run.csv] [--trace run.trace.json]
+//                              [--profile prof.json] [--profile-hz N]
 //
 // --json emits the perf-harness {bench, config, provenance, metrics} schema
 // merged into BENCH_results.json by scripts/run_bench_suite.sh.

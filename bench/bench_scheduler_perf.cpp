@@ -19,6 +19,9 @@
 //                     original bench_scheduler_perf record untouched.
 //   --trace <file>    Chrome trace of the run (obs/session.h)
 //   --metrics <file>  metrics registry dump (.json selects JSON, else CSV)
+//   --profile <file>  sampling CPU + allocation profile of the run (JSON
+//                     plus a flamegraph-ready .folded sidecar;
+//                     --profile-hz overrides the 997 Hz default)
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -242,9 +245,10 @@ int run_json_mode(const std::string& json_path, std::size_t n,
 
 int main(int argc, char** argv) {
   // Peel our flags; everything else passes through to google-benchmark.
-  std::string json_path, trace_path, metrics_path;
+  std::string json_path, trace_path, metrics_path, profile_path;
   std::size_t perf_n = 200, perf_reps = 3, threads = 1;
   std::uint64_t seed = 42;
+  int profile_hz = 0;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -267,8 +271,13 @@ int main(int argc, char** argv) {
     };
     std::string number;
     if (flag_value("--json", &json_path) || flag_value("--trace", &trace_path) ||
-        flag_value("--metrics", &metrics_path))
+        flag_value("--metrics", &metrics_path) ||
+        flag_value("--profile", &profile_path))
       continue;
+    if (flag_value("--profile-hz", &number)) {
+      profile_hz = static_cast<int>(cool::util::parse_int(number));
+      continue;
+    }
     if (flag_value("--perf-n", &number)) {
       perf_n = static_cast<std::size_t>(cool::util::parse_int(number));
       continue;
@@ -290,7 +299,8 @@ int main(int argc, char** argv) {
   cool::util::set_thread_count(threads);
 
   const auto provenance = cool::obs::Provenance::collect(seed, argc, argv);
-  cool::obs::ObsSession obs(trace_path, metrics_path, provenance);
+  cool::obs::ObsSession obs(trace_path, metrics_path, profile_path, profile_hz,
+                            provenance);
   if (!json_path.empty())
     return run_json_mode(json_path, perf_n, perf_reps, seed, threads,
                          provenance);

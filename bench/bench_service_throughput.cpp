@@ -7,6 +7,7 @@
 //                              [--queue-capacity 256] [--batch-max 8]
 //                              [--threads 0] [--seed 7] [--fsync]
 //                              [--obs on|off] [--json out.json]
+//                              [--profile out.json] [--profile-hz N]
 //
 // The workload is a deterministic mix over `networks` tenants: first a
 // schedule per tenant, then replan/repair rounds. Submission is
@@ -36,6 +37,7 @@
 
 #include "obs/analyze/bench_json.h"
 #include "obs/provenance.h"
+#include "obs/session.h"
 #include "svc/service.h"
 #include "util/cli.h"
 #include "util/parallel.h"
@@ -67,10 +69,15 @@ int main(int argc, char** argv) {
   const bool fsync = cli.get_flag("fsync");
   const std::string obs_flag = cli.get_string("obs", "on");
   const std::string json_path = cli.get_string("json", "");
+  const std::string profile_path = cli.get_string("profile", "");
+  const int profile_hz = static_cast<int>(cli.get_int("profile-hz", 0));
   cli.finish();
   if (threads > 0) util::set_thread_count(threads);
 
   const auto provenance = obs::Provenance::collect(seed, argc, argv);
+  // Profile-only session: covers the whole service run (construction,
+  // flood, drain) and writes the JSON + .folded pair at scope exit.
+  obs::ObsSession obs_session("", "", profile_path, profile_hz, provenance);
   const auto t0 = Clock::now();
 
   svc::ServiceConfig config;

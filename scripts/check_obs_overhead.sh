@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Guard the cost of instrumentation on the hot paths, two arms:
+# Guard the cost of instrumentation on the hot paths, three arms:
 #
 #  1. Idle compiled-in cost: build bench_scheduler_perf with
 #     COOL_OBS_ENABLED ON and OFF, run the scheduler microbenchmarks in
@@ -13,6 +13,14 @@
 #     counters; --obs off: none of it), best-of-3 req/s each, and fail if
 #     the instrumented service is more than 5% slower.
 #
+#  3. Profiler cost (PR 9): (a) idle — the obs build carries the profiler's
+#     global operator new/delete hooks and the ScopedSpan push check even
+#     when no window is open; compare against an otherwise-identical build
+#     with the hooks compiled out (-DCOOL_PROF_ALLOC_HOOKS=0) and fail if
+#     the idle hooks cost more than 1%. (b) sampling — the same binary with
+#     a --profile window open at the default 997 Hz for the whole run must
+#     stay within 5% of its idle self.
+#
 # Usage: scripts/check_obs_overhead.sh [benchmark-filter]
 set -euo pipefail
 
@@ -20,18 +28,37 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 filter="${1:-BM_(Greedy|LazyGreedy)Schedule}"
 budget_pct=5
 
-run_arm() {
-  local flag="$1" build_dir="$2"
+configure_arm() {
+  local build_dir="$1"
+  shift
   cmake -B "${build_dir}" -S "${repo_root}" \
-    -DCMAKE_BUILD_TYPE=Release -DCOOL_OBS_ENABLED="${flag}" >/dev/null
+    -DCMAKE_BUILD_TYPE=Release "$@" >/dev/null
   cmake --build "${build_dir}" -j "$(nproc)" --target bench_scheduler_perf >/dev/null
-  # Sum of real time across the filtered benchmarks, one aggregate number
-  # per arm; repetitions keep a noisy core from deciding the verdict.
-  "${build_dir}/bench/bench_scheduler_perf" \
+}
+
+# Sum of real time across the filtered benchmarks, one aggregate number
+# per arm; repetitions keep a noisy core from deciding the verdict. Extra
+# arguments (e.g. --profile) pass through to the bench binary.
+measure_ns() {
+  local build_dir="$1"
+  shift
+  "${build_dir}/bench/bench_scheduler_perf" "$@" \
     --benchmark_filter="${filter}" \
     --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
     --benchmark_format=csv 2>/dev/null |
     awk -F, '/_median/ { sum += $3 } END { printf "%.0f\n", sum }'
+}
+
+run_arm() {
+  local flag="$1" build_dir="$2"
+  configure_arm "${build_dir}" -DCOOL_OBS_ENABLED="${flag}"
+  measure_ns "${build_dir}"
+}
+
+# min(best-so-far, new) treating 0/empty best as unset.
+keep_best() {
+  awk -v a="${1:-0}" -v b="${2:-0}" \
+    'BEGIN { if (a <= 0 || (b > 0 && b < a)) print b; else print a }'
 }
 
 echo "building + timing COOL_OBS_ENABLED=ON ..."
@@ -108,3 +135,74 @@ if awk -v o="${svc_overhead_pct}" -v b="${budget_pct}" \
   exit 1
 fi
 echo "OK: service arm within the ${budget_pct}% budget"
+
+# ---- Arm 3a: profiler hooks compiled in but idle ---------------------------
+# The obs build already carries the profiler: every operator new/delete goes
+# through the interposer (one relaxed load + predictable branch when no
+# window is open) and every ScopedSpan checks the profiling flag. Compare it
+# against the same configuration with the hooks compiled out; the arms
+# alternate for 3 rounds and keep their best so cache/frequency drift
+# cancels, because the 1% budget is well inside run-to-run noise for a
+# single pair of runs.
+idle_budget_pct=1
+sampling_budget_pct=5
+nohooks_dir="${repo_root}/build-obs-on-nohooks"
+echo "building profiler-hooks-out arm (COOL_PROF_ALLOC_HOOKS=0) ..."
+configure_arm "${nohooks_dir}" -DCOOL_OBS_ENABLED=ON \
+  -DCMAKE_CXX_FLAGS="-DCOOL_PROF_ALLOC_HOOKS=0"
+
+echo "timing idle profiler hooks, compiled in vs out (3 alternating rounds) ..."
+hooks_ns=0
+nohooks_ns=0
+for _ in 1 2 3; do
+  hooks_ns="$(keep_best "${hooks_ns}" "$(measure_ns "${repo_root}/build-obs-on")")"
+  nohooks_ns="$(keep_best "${nohooks_ns}" "$(measure_ns "${nohooks_dir}")")"
+done
+
+if [ "${hooks_ns}" -le 0 ] || [ "${nohooks_ns}" -le 0 ]; then
+  echo "FAIL: could not extract profiler-arm timings" >&2
+  exit 1
+fi
+
+idle_pct="$(awk -v on="${hooks_ns}" -v off="${nohooks_ns}" \
+  'BEGIN { printf "%.2f", 100.0 * (on - off) / off }')"
+echo "profiler idle: hooks in ${hooks_ns} ns, hooks out ${nohooks_ns} ns," \
+  "overhead: ${idle_pct}%"
+
+if awk -v o="${idle_pct}" -v b="${idle_budget_pct}" 'BEGIN { exit !(o > b) }'; then
+  echo "FAIL: idle profiler overhead ${idle_pct}% exceeds ${idle_budget_pct}% budget" >&2
+  exit 1
+fi
+echo "OK: idle profiler arm within the ${idle_budget_pct}% budget"
+
+# ---- Arm 3b: actively sampling at the default rate -------------------------
+# Same binary, --profile window open at the default 997 Hz for the entire
+# benchmark run (SIGPROF capture + span attribution + live alloc billing)
+# vs the idle self. Alternating best-of-3 again.
+prof_out="$(mktemp)"
+sampling_ns=0
+plain_ns=0
+echo "timing active sampling at 997 Hz vs idle (3 alternating rounds) ..."
+for _ in 1 2 3; do
+  sampling_ns="$(keep_best "${sampling_ns}" \
+    "$(measure_ns "${repo_root}/build-obs-on" --profile "${prof_out}")")"
+  plain_ns="$(keep_best "${plain_ns}" "$(measure_ns "${repo_root}/build-obs-on")")"
+done
+rm -f "${prof_out}" "${prof_out}.folded"
+
+if [ "${sampling_ns}" -le 0 ] || [ "${plain_ns}" -le 0 ]; then
+  echo "FAIL: could not extract sampling-arm timings" >&2
+  exit 1
+fi
+
+sampling_pct="$(awk -v on="${sampling_ns}" -v off="${plain_ns}" \
+  'BEGIN { printf "%.2f", 100.0 * (on - off) / off }')"
+echo "profiler sampling: on ${sampling_ns} ns, idle ${plain_ns} ns," \
+  "overhead: ${sampling_pct}%"
+
+if awk -v o="${sampling_pct}" -v b="${sampling_budget_pct}" \
+    'BEGIN { exit !(o > b) }'; then
+  echo "FAIL: active-sampling overhead ${sampling_pct}% exceeds ${sampling_budget_pct}% budget" >&2
+  exit 1
+fi
+echo "OK: sampling arm within the ${sampling_budget_pct}% budget"

@@ -35,7 +35,10 @@ if [ "${mode}" = "tsan" ]; then
   # Flight/Introspect race the seqlock event ring and the queue-bypassing
   # stats verb against live traffic; MetricsRegistryThreads and
   # LogConcurrency hammer the registry and the logger from many threads.
-  default_filter='Parallel|BatchEval|Greedy|LazyGreedy|StochasticGreedy|PassiveGreedy|Evaluator|LpScheduler|Campaign|Backoff|LossyCollection|DeliveredCoverage|Svc|StateReuse|Flight|Introspect|MetricsRegistryThreads|LogConcurrency'
+  # Prof covers the sampling-profiler suites: the SIGPROF handler publishes
+  # into the seqlock sample ring while collect() snapshots it, and the span
+  # stack is pushed/popped from worker threads.
+  default_filter='Parallel|BatchEval|Greedy|LazyGreedy|StochasticGreedy|PassiveGreedy|Evaluator|LpScheduler|Campaign|Backoff|LossyCollection|DeliveredCoverage|Svc|StateReuse|Flight|Introspect|MetricsRegistryThreads|LogConcurrency|Prof'
   for threads in 2 4; do
     echo "== TSan pass: COOL_THREADS=${threads} =="
     COOL_THREADS="${threads}" ctest --output-on-failure -j "$(nproc)" \

@@ -81,3 +81,16 @@ echo "== bench_service_soak (36 rounds, SIGKILL every 12) =="
   "${workdir}/service_throughput.json" \
   "${workdir}/service_soak.json"
 echo "suite written to ${out}"
+
+# Archive every run into bench_history/ so the perf trajectory across PRs is
+# recorded, not just the latest point. The filename carries the run date and
+# git sha; full provenance (build type, obs flag, seeds, argv) is already
+# stamped inside each merged bench record, so an entry is self-describing
+# even after a rebase. check_perf_regress.sh keeps reading the canonical
+# ${out}; the archive is append-only history for `coolstat diff` bisection.
+history_dir="${repo_root}/bench_history"
+mkdir -p "${history_dir}"
+stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+sha="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo nogit)"
+cp "${out}" "${history_dir}/${stamp}-${sha}.json"
+echo "archived to ${history_dir}/${stamp}-${sha}.json"

@@ -133,7 +133,10 @@ int run_diff(const Options& options, bool gate, std::ostream& out,
     err << "FAIL: " << report.violations << " metric(s) out of tolerance\n";
     return kViolation;
   }
-  return kOk;
+  // Non-gate diff still signals violations through the exit code (without
+  // the FAIL banner) so scripts can compare profiles or bench runs with
+  // `coolstat diff a b --metric ...` and branch on $?.
+  return report.violations > 0 ? kViolation : kOk;
 }
 
 int run_merge(const Options& options, std::ostream& out, std::ostream& err) {

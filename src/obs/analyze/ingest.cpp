@@ -103,6 +103,7 @@ const char* artifact_kind_name(ArtifactKind kind) {
     case ArtifactKind::kBench: return "bench";
     case ArtifactKind::kSuite: return "suite";
     case ArtifactKind::kFlight: return "flight";
+    case ArtifactKind::kProfile: return "profile";
     case ArtifactKind::kUnknown: break;
   }
   return "unknown";
@@ -237,6 +238,62 @@ BenchSuite parse_suite(const std::string& text) {
   return suite;
 }
 
+ProfileData parse_profile(const std::string& text) {
+  ProfileData data;
+  const JsonValue doc = parse_json(text);
+  data.provenance = provenance_of(doc);
+  if (doc.contains("profile") && doc.at("profile").is_object()) {
+    const auto& header = doc.at("profile");
+    data.sample_hz = static_cast<int>(num_or(header, "sample_hz", 0.0));
+    data.samples = static_cast<std::uint64_t>(num_or(header, "samples", 0.0));
+    data.recorded = static_cast<std::uint64_t>(num_or(header, "recorded", 0.0));
+    data.wrapped = static_cast<std::uint64_t>(num_or(header, "wrapped", 0.0));
+    data.duration_us =
+        static_cast<std::uint64_t>(num_or(header, "duration_us", 0.0));
+    if (header.contains("alloc_hooks"))
+      data.alloc_hooks = header.at("alloc_hooks").as_bool();
+  }
+  if (doc.contains("alloc_totals") && doc.at("alloc_totals").is_object()) {
+    const auto& totals = doc.at("alloc_totals");
+    data.alloc_calls = static_cast<std::uint64_t>(num_or(totals, "calls", 0.0));
+    data.alloc_bytes = static_cast<std::uint64_t>(num_or(totals, "bytes", 0.0));
+    data.free_calls = static_cast<std::uint64_t>(num_or(totals, "frees", 0.0));
+  }
+  if (doc.contains("frames") && doc.at("frames").is_array()) {
+    for (const auto& row : doc.at("frames").as_array()) {
+      if (!row.is_object()) continue;
+      ProfileFrameRow frame;
+      if (row.contains("name") && row.at("name").is_string())
+        frame.name = row.at("name").as_string();
+      frame.self = static_cast<std::uint64_t>(num_or(row, "self", 0.0));
+      frame.total = static_cast<std::uint64_t>(num_or(row, "total", 0.0));
+      data.frames.push_back(std::move(frame));
+    }
+  }
+  if (doc.contains("spans") && doc.at("spans").is_array()) {
+    for (const auto& row : doc.at("spans").as_array()) {
+      if (!row.is_object()) continue;
+      ProfileSpanRow span;
+      if (row.contains("name") && row.at("name").is_string())
+        span.name = row.at("name").as_string();
+      span.samples = static_cast<std::uint64_t>(num_or(row, "samples", 0.0));
+      data.spans.push_back(std::move(span));
+    }
+  }
+  if (doc.contains("alloc") && doc.at("alloc").is_array()) {
+    for (const auto& row : doc.at("alloc").as_array()) {
+      if (!row.is_object()) continue;
+      ProfileAllocRow alloc;
+      if (row.contains("span") && row.at("span").is_string())
+        alloc.span = row.at("span").as_string();
+      alloc.bytes = static_cast<std::uint64_t>(num_or(row, "bytes", 0.0));
+      alloc.calls = static_cast<std::uint64_t>(num_or(row, "calls", 0.0));
+      data.alloc.push_back(std::move(alloc));
+    }
+  }
+  return data;
+}
+
 FlightData parse_flight(const std::string& text) {
   FlightData data;
   std::istringstream lines(text);
@@ -295,6 +352,7 @@ ArtifactKind detect_kind(const std::string& path, const std::string& text) {
       return ArtifactKind::kMetricsJson;
     if (doc.contains("benches")) return ArtifactKind::kSuite;
     if (doc.contains("bench")) return ArtifactKind::kBench;
+    if (doc.contains("profile")) return ArtifactKind::kProfile;
     if (doc.contains("flight")) return ArtifactKind::kFlight;  // header-only
     if (doc.contains("slot")) return ArtifactKind::kTimeline;  // one-line run
     if (doc.contains("provenance") && doc.as_object().size() == 1)
@@ -346,6 +404,7 @@ Artifact load_artifact(const std::string& path) {
     case ArtifactKind::kBench:
     case ArtifactKind::kSuite: artifact.suite = parse_suite(text); break;
     case ArtifactKind::kFlight: artifact.flight = parse_flight(text); break;
+    case ArtifactKind::kProfile: artifact.profile = parse_profile(text); break;
     case ArtifactKind::kUnknown:
       throw std::runtime_error(path + ": unrecognized artifact format");
   }

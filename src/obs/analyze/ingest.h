@@ -33,6 +33,7 @@ enum class ArtifactKind {
   kBench,        // single bench result (obs/analyze/bench_json schema)
   kSuite,        // merged BENCH_results.json ({"benches":[...]})
   kFlight,       // coold flight-recorder dump (obs/flight JSONL)
+  kProfile,      // sampling + allocation profile (obs/prof JSON)
   kUnknown,
 };
 
@@ -105,6 +106,39 @@ struct FlightData {
   bool truncated = false;
 };
 
+// One sampling + allocation profile (obs/prof JSON artifact). Rows keep
+// the producer's ordering: frames self-descending, spans samples-
+// descending, alloc bytes-descending.
+struct ProfileFrameRow {
+  std::string name;
+  std::uint64_t self = 0;
+  std::uint64_t total = 0;
+};
+struct ProfileSpanRow {
+  std::string name;
+  std::uint64_t samples = 0;
+};
+struct ProfileAllocRow {
+  std::string span;
+  std::uint64_t bytes = 0;
+  std::uint64_t calls = 0;
+};
+struct ProfileData {
+  std::optional<Provenance> provenance;
+  int sample_hz = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t wrapped = 0;
+  std::uint64_t duration_us = 0;
+  bool alloc_hooks = false;
+  std::uint64_t alloc_calls = 0;
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t free_calls = 0;
+  std::vector<ProfileFrameRow> frames;
+  std::vector<ProfileSpanRow> spans;
+  std::vector<ProfileAllocRow> alloc;
+};
+
 // A loaded artifact of any kind; only the member matching `kind` is
 // populated (kBench loads as a one-element suite).
 struct Artifact {
@@ -115,6 +149,7 @@ struct Artifact {
   TraceData trace;
   BenchSuite suite;
   FlightData flight;
+  ProfileData profile;
 };
 
 // Per-format parsers; throw std::runtime_error on unrecoverable input.
@@ -125,6 +160,7 @@ TraceData parse_trace(const std::string& text);
 BenchResult parse_bench(const JsonValue& value);
 BenchSuite parse_suite(const std::string& text);
 FlightData parse_flight(const std::string& text);
+ProfileData parse_profile(const std::string& text);
 
 // Sniffs the format from content (extension only as a tie-break) and
 // dispatches; throws std::runtime_error when the file is unreadable or no

@@ -151,6 +151,51 @@ void summarize_flight(const FlightData& data, RunSummary& summary) {
   }
 }
 
+// Metric-name-safe frame label: spaces and '=' break the wildcard/--metric
+// syntax downstream, and demangled C++ names run long — sanitize and cap.
+std::string frame_key(const std::string& name) {
+  std::string key;
+  key.reserve(std::min<std::size_t>(name.size(), 80));
+  for (char c : name) {
+    if (key.size() >= 80) break;
+    key += (c == ' ' || c == '=' || c == ',') ? '_' : c;
+  }
+  return key;
+}
+
+void summarize_profile(const ProfileData& data, RunSummary& summary) {
+  put(summary, "sample_hz", static_cast<double>(data.sample_hz));
+  put(summary, "samples", static_cast<double>(data.samples));
+  put(summary, "recorded", static_cast<double>(data.recorded));
+  put(summary, "wrapped", static_cast<double>(data.wrapped));
+  put(summary, "duration_ms", static_cast<double>(data.duration_us) / 1000.0);
+  put(summary, "alloc_hooks", data.alloc_hooks ? 1.0 : 0.0);
+  put(summary, "alloc_calls", static_cast<double>(data.alloc_calls));
+  put(summary, "alloc_bytes", static_cast<double>(data.alloc_bytes));
+  put(summary, "free_calls", static_cast<double>(data.free_calls));
+  for (const auto& span : data.spans)
+    put(summary, "span." + span.name + ".samples",
+        static_cast<double>(span.samples));
+  // Frames come self-descending from the producer; the top 25 carry the
+  // hot-loop story, and capping keeps the diff output and the summary flat
+  // vector readable.
+  std::size_t emitted = 0;
+  for (const auto& frame : data.frames) {
+    if (emitted >= 25) break;
+    const std::string key = frame_key(frame.name);
+    if (key.empty()) continue;
+    put(summary, "frame." + key + ".self", static_cast<double>(frame.self));
+    put(summary, "frame." + key + ".total", static_cast<double>(frame.total));
+    ++emitted;
+  }
+  for (const auto& alloc : data.alloc) {
+    put(summary, "alloc." + frame_key(alloc.span) + ".bytes",
+        static_cast<double>(alloc.bytes));
+    put(summary, "alloc." + frame_key(alloc.span) + ".calls",
+        static_cast<double>(alloc.calls));
+  }
+}
+
 void summarize_suite(const BenchSuite& suite, RunSummary& summary) {
   for (const auto& bench : suite.benches)
     for (const auto& [name, value] : bench.metrics)
@@ -254,6 +299,10 @@ RunSummary summarize(const Artifact& artifact) {
       summary.provenance = artifact.flight.provenance;
       summary.truncated = artifact.flight.truncated;
       summarize_flight(artifact.flight, summary);
+      break;
+    case ArtifactKind::kProfile:
+      summary.provenance = artifact.profile.provenance;
+      summarize_profile(artifact.profile, summary);
       break;
     case ArtifactKind::kUnknown: break;
   }

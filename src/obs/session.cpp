@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "util/cli.h"
 #include "util/log.h"
 
@@ -21,8 +22,15 @@ bool ends_with(const std::string& text, const std::string& suffix) {
 
 ObsSession::ObsSession(std::string trace_path, std::string metrics_path,
                        Provenance provenance)
+    : ObsSession(std::move(trace_path), std::move(metrics_path), "", 0,
+                 std::move(provenance)) {}
+
+ObsSession::ObsSession(std::string trace_path, std::string metrics_path,
+                       std::string profile_path, int profile_hz,
+                       Provenance provenance)
     : trace_path_(std::move(trace_path)),
       metrics_path_(std::move(metrics_path)),
+      profile_path_(std::move(profile_path)),
       provenance_(std::move(provenance)),
       start_(std::chrono::steady_clock::now()) {
   // Metrics-only sessions must not pay for a collector: the registry is
@@ -31,23 +39,43 @@ ObsSession::ObsSession(std::string trace_path, std::string metrics_path,
     collector_ = std::make_unique<TraceCollector>();
     set_trace_collector(collector_.get());
   }
+  if (!profile_path_.empty()) {
+    prof::ProfilerConfig config;
+    if (profile_hz > 0) config.sample_hz = profile_hz;
+    if (prof::start(config)) {
+      profiler_started_ = true;
+    } else {
+      // COOL_OBS_ENABLED=0 build, bad rate, or a window already open: the
+      // run proceeds unprofiled rather than failing.
+      util::log_warn("obs", "profiler not started (obs disabled or busy); " +
+                                profile_path_ + " will not be written");
+      profile_path_.clear();
+    }
+  }
 }
 
 ObsSession ObsSession::from_cli(util::Cli& cli, Provenance provenance) {
   return ObsSession(cli.get_string("trace", ""), cli.get_string("metrics", ""),
+                    cli.get_string("profile", ""),
+                    static_cast<int>(cli.get_int("profile-hz", 0)),
                     std::move(provenance));
 }
 
 ObsSession::ObsSession(ObsSession&& other) noexcept
     : trace_path_(std::move(other.trace_path_)),
       metrics_path_(std::move(other.metrics_path_)),
+      profile_path_(std::move(other.profile_path_)),
+      profiler_started_(other.profiler_started_),
       collector_(std::move(other.collector_)),
       provenance_(std::move(other.provenance_)),
       start_(other.start_) {
   // Leave the source a fully inert shell: its flush()/destructor must not
-  // re-open (and truncate) files this session now owns.
+  // re-open (and truncate) files — or stop a profiler — this session now
+  // owns.
   other.trace_path_.clear();
   other.metrics_path_.clear();
+  other.profile_path_.clear();
+  other.profiler_started_ = false;
 }
 
 ObsSession::~ObsSession() {
@@ -59,12 +87,29 @@ ObsSession::~ObsSession() {
 }
 
 void ObsSession::flush() {
-  if (!collector_ && metrics_path_.empty()) return;  // inert or already done
+  if (!collector_ && metrics_path_.empty() && profile_path_.empty()) {
+    return;  // inert or already done
+  }
   provenance_.wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                 start_)
           .count();
   const std::string stamp = provenance_.to_json();
+  if (!profile_path_.empty()) {
+    // Stop first so the aggregation/symbolization work below is not billed
+    // to the profile, then write the JSON + .folded pair.
+    const std::string path = std::move(profile_path_);
+    profile_path_.clear();
+    if (profiler_started_) {
+      profiler_started_ = false;
+      prof::stop();
+      if (!prof::dump_to_path(path, &provenance_)) {
+        throw std::runtime_error("ObsSession: cannot write profile " + path);
+      }
+      util::log_info("wrote profile to " + path + " (+ " +
+                     prof::folded_path_for(path) + ")");
+    }
+  }
   if (collector_) {
     set_trace_collector(nullptr);
     const std::string path = std::move(trace_path_);

@@ -8,11 +8,14 @@
 //   // work; obs flushes on scope exit
 //
 // from_cli() consumes --trace <file> (Chrome trace-event JSON, open in
-// Perfetto or chrome://tracing) and --metrics <file> (registry dump; .json
-// extension selects JSON, anything else CSV). When a flag is absent the
-// corresponding sink stays off and instrumentation runs at idle cost. The
-// destructor detaches the collector and writes both files, so a session
-// must outlive all instrumented work in its scope.
+// Perfetto or chrome://tracing), --metrics <file> (registry dump; .json
+// extension selects JSON, anything else CSV), and --profile <file>
+// (sampling CPU + allocation profile JSON, with a flamegraph-ready
+// .folded sidecar; --profile-hz overrides the 997 Hz default). When a flag
+// is absent the corresponding sink stays off and instrumentation runs at
+// idle cost. The destructor stops the profiler, detaches the collector and
+// writes the files, so a session must outlive all instrumented work in its
+// scope.
 //
 // Every artifact is stamped with the session's Provenance (git SHA, build
 // type, obs flag, seed, CLI args) with wall_ms set to the session's
@@ -42,8 +45,14 @@ namespace cool::obs {
 
 class ObsSession {
  public:
-  // Empty paths disable the respective sink.
+  // Empty paths disable the respective sink. A non-empty profile_path
+  // starts the in-process sampling + allocation profiler for the session's
+  // lifetime (refused — with a warning, not an error — when
+  // COOL_OBS_ENABLED=0 or another profiler window is already open).
   ObsSession(std::string trace_path, std::string metrics_path,
+             Provenance provenance = Provenance::collect());
+  ObsSession(std::string trace_path, std::string metrics_path,
+             std::string profile_path, int profile_hz,
              Provenance provenance = Provenance::collect());
   static ObsSession from_cli(util::Cli& cli,
                              Provenance provenance = Provenance::collect());
@@ -56,6 +65,7 @@ class ObsSession {
 
   bool tracing() const noexcept { return collector_ != nullptr; }
   bool metrics_enabled() const noexcept { return !metrics_path_.empty(); }
+  bool profiling() const noexcept { return profiler_started_; }
 
   // The header stamped into the outputs; mutable until flush so callers
   // can fill in fields learned after construction (e.g. the seed).
@@ -68,6 +78,8 @@ class ObsSession {
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string profile_path_;
+  bool profiler_started_ = false;
   std::unique_ptr<TraceCollector> collector_;
   Provenance provenance_;
   std::chrono::steady_clock::time_point start_;

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "obs/json.h"
+#include "obs/prof.h"
 
 namespace cool::obs {
 
@@ -120,6 +121,10 @@ void TraceCollector::write_chrome_trace(std::ostream& out,
 
 ScopedSpan::ScopedSpan(const char* name, const char* category) noexcept
     : name_(name), category_(category) {
+  if (prof::profiling_enabled()) {
+    prof::push_span(name_);
+    pushed_span_ = true;
+  }
   if (!tracing_enabled()) return;
   armed_ = true;
   depth_ = t_depth++;
@@ -127,6 +132,7 @@ ScopedSpan::ScopedSpan(const char* name, const char* category) noexcept
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (pushed_span_) prof::pop_span();
   if (!armed_) return;
   --t_depth;
   TraceCollector* collector = trace_collector();

@@ -96,7 +96,11 @@ std::uint64_t trace_now_us() noexcept;
 
 // RAII span: records a Chrome complete ("X") event covering its lifetime.
 // Constructing with tracing disabled is a cheap no-op; the span also
-// becomes inert when the collector disappears before destruction.
+// becomes inert when the collector disappears before destruction. When the
+// sampling profiler is active (prof::profiling_enabled(), independent of
+// tracing) the span additionally pushes its name onto the profiler's
+// thread-local attribution stack so CPU samples and allocations taken
+// inside it are billed to this span.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name, const char* category = "cool") noexcept;
@@ -111,6 +115,7 @@ class ScopedSpan {
   std::uint64_t start_us_ = 0;
   std::uint32_t depth_ = 0;
   bool armed_ = false;
+  bool pushed_span_ = false;
 };
 
 // Zero-duration instant event ("i") at the current time.

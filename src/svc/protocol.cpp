@@ -92,6 +92,7 @@ RequestType type_from_string(const std::string& text) {
   if (text == "stats") return RequestType::kStats;
   if (text == "healthz") return RequestType::kHealthz;
   if (text == "dump") return RequestType::kDump;
+  if (text == "profile") return RequestType::kProfile;
   if (text == "shutdown") return RequestType::kShutdown;
   reject("unknown request type '" + text + "'");
 }
@@ -107,6 +108,7 @@ const char* to_string(RequestType type) {
     case RequestType::kStats: return "stats";
     case RequestType::kHealthz: return "healthz";
     case RequestType::kDump: return "dump";
+    case RequestType::kProfile: return "profile";
     case RequestType::kShutdown: return "shutdown";
   }
   return "unknown";
@@ -138,6 +140,8 @@ std::string Request::to_json() const {
     out += ",\"deadline_ms\":" + obs::json_number(deadline_ms);
   if (degrade_min > 0) out += ",\"degrade_min\":" + std::to_string(degrade_min);
   if (has_spec) out += ",\"spec\":" + spec.to_json();
+  if (!action.empty()) out += ",\"action\":\"" + obs::json_escape(action) + '"';
+  if (sample_hz > 0) out += ",\"sample_hz\":" + std::to_string(sample_hz);
   if (!dead.empty()) {
     out += ",\"dead\":[";
     for (std::size_t i = 0; i < dead.size(); ++i) {
@@ -179,6 +183,11 @@ ParseResult request_from_json(const obs::JsonValue& value,
       request.spec = spec_from_json(value.at("spec"), limits);
       request.has_spec = true;
     }
+    if (value.contains("action"))
+      request.action = string_field(value, "action", 32);
+    if (value.contains("sample_hz"))
+      request.sample_hz =
+          static_cast<int>(size_field(value, "sample_hz", 1, 10000));
     if (value.contains("dead")) {
       if (!value.at("dead").is_array()) reject("'dead' must be an array");
       const auto& items = value.at("dead").as_array();
@@ -205,6 +214,13 @@ ParseResult request_from_json(const obs::JsonValue& value,
       reject("schedule requires 'spec'");
     if (request.type == RequestType::kRepair && request.dead.empty())
       reject("repair requires a non-empty 'dead' list");
+    if (request.type == RequestType::kProfile) {
+      if (request.action != "start" && request.action != "stop" &&
+          request.action != "dump" && request.action != "status")
+        reject("profile requires 'action' of start|stop|dump|status");
+      if (request.sample_hz > 0 && request.action != "start")
+        reject("'sample_hz' only applies to profile start");
+    }
     result.ok = true;
     result.request = std::move(request);
   } catch (const ParseFailure& failure) {

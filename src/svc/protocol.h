@@ -23,7 +23,7 @@
 //   {"id":"r1",                     // correlation id, echoed in response
 //    "type":"schedule",             // required: schedule|repair|replan|
 //                                   //           status|stats|healthz|dump|
-//                                   //           shutdown
+//                                   //           profile|shutdown
 //    "network":"tenant-7",          // tenant key (required for plan types)
 //    "priority":1,                  // 0 interactive, 1 normal, 2 batch
 //    "deadline_ms":250,             // latency budget; 0 = service default
@@ -45,7 +45,11 @@
 //   healthz  liveness probe — "detail" is ok|degraded|overloaded from the
 //            queue-pressure watermarks, stats carry depth/uptime/lsn;
 //   dump     writes the flight-recorder ring to a JSONL artifact and
-//            answers with its path in "detail".
+//            answers with its path in "detail";
+//   profile  controls the in-process sampling + allocation profiler over a
+//            live window: "action":"start" (optional "sample_hz"), "stop",
+//            "dump" (writes profile JSON + .folded, path in "detail"),
+//            "status" (stats carry running/samples/alloc counters).
 // Every admitted request's response carries "trace": a 16-hex-digit
 // request trace id (string — a u64 does not survive the double-typed JSON
 // number path) that also appears in trace spans, flight-recorder events
@@ -75,6 +79,7 @@ enum class RequestType {
   kStats,    // live global + per-tenant counters (queue-bypassing)
   kHealthz,  // liveness/pressure probe (queue-bypassing)
   kDump,     // flight-recorder dump to a JSONL artifact (queue-bypassing)
+  kProfile,  // sampling-profiler window control (queue-bypassing)
   kShutdown,
 };
 const char* to_string(RequestType type);
@@ -108,6 +113,8 @@ struct Request {
   bool has_spec = false;
   NetworkSpec spec;
   std::vector<std::size_t> dead;  // repair: failed sensor ids
+  std::string action;             // profile: start|stop|dump|status
+  int sample_hz = 0;              // profile start: sampling rate; 0 = default
 
   // Canonical single-line JSON — the WAL and client encoding.
   std::string to_json() const;

@@ -13,6 +13,7 @@
 #include "core/repair.h"
 #include "obs/json.h"
 #include "obs/obs.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
 
@@ -239,7 +240,8 @@ void CooldService::submit(Request request, std::function<void(Response)> done) {
   // exactly when they are most needed.
   if (request.type == RequestType::kStats ||
       request.type == RequestType::kHealthz ||
-      request.type == RequestType::kDump) {
+      request.type == RequestType::kDump ||
+      request.type == RequestType::kProfile) {
     introspect_served_.fetch_add(1, std::memory_order_relaxed);
     done(introspect_response(request));
     return;
@@ -434,6 +436,7 @@ void CooldService::process_batch(std::vector<Ticket>&& batch) {
       case RequestType::kStats:
       case RequestType::kHealthz:
       case RequestType::kDump:
+      case RequestType::kProfile:
         // Normally intercepted in submit(); kept serviceable here so a
         // future transport that enqueues everything still gets an answer.
         job.response = introspect_response(request);
@@ -634,6 +637,7 @@ Response CooldService::introspect_response(const Request& request) {
   switch (request.type) {
     case RequestType::kHealthz: return healthz_response(request);
     case RequestType::kDump: return dump_response(request);
+    case RequestType::kProfile: return profile_response(request);
     default: return stats_response(request);
   }
 }
@@ -756,6 +760,63 @@ Response CooldService::healthz_response(const Request& request) {
 std::string CooldService::flight_dump_path() const {
   return config_.flight_path.empty() ? config_.wal_dir + "/flight.jsonl"
                                      : config_.flight_path;
+}
+
+std::string CooldService::profile_dump_path() const {
+  return config_.profile_path.empty() ? config_.wal_dir + "/profile.json"
+                                      : config_.profile_path;
+}
+
+Response CooldService::profile_response(const Request& request) {
+  // Gated on the same runtime kill switch as the flight recorder: with
+  // --obs off the daemon must carry zero profiling hooks, so the verb is
+  // refused rather than silently armed.
+  if (!config_.obs_enabled)
+    return make_error(request, "obs_disabled: profiler is off");
+  Response response;
+  response.id = request.id;
+  response.type = "profile";
+  response.ok = true;
+  response.detail = request.action;
+  if (request.action == "start") {
+    obs::prof::ProfilerConfig config;
+    if (request.sample_hz > 0) config.sample_hz = request.sample_hz;
+    if (!obs::prof::start(config)) {
+      return make_error(request,
+                        obs::prof::running()
+                            ? "profile_busy: a window is already open"
+                            : "profile_failed: could not start sampler");
+    }
+    if (flight_) flight_->record(obs::FlightKind::kMark, "profile.start", "");
+    response.stats.emplace_back("sample_hz",
+                                static_cast<double>(config.sample_hz));
+  } else if (request.action == "stop") {
+    if (!obs::prof::stop())
+      return make_error(request, "profile_not_running: nothing to stop");
+    if (flight_) flight_->record(obs::FlightKind::kMark, "profile.stop", "");
+    response.stats.emplace_back(
+        "samples", static_cast<double>(obs::prof::samples_recorded()));
+  } else if (request.action == "dump") {
+    const std::string path = profile_dump_path();
+    if (!obs::prof::dump_to_path(path, &provenance_))
+      return make_error(request, "dump_failed: cannot write '" + path + "'");
+    if (flight_) flight_->record(obs::FlightKind::kMark, "profile.dump", "");
+    response.detail = path;
+    response.stats.emplace_back(
+        "samples", static_cast<double>(obs::prof::samples_recorded()));
+  } else {  // "status" (the parser admits no other action)
+    const obs::prof::AllocTotals totals = obs::prof::alloc_totals();
+    response.stats.emplace_back("running", obs::prof::running() ? 1.0 : 0.0);
+    response.stats.emplace_back(
+        "samples", static_cast<double>(obs::prof::samples_recorded()));
+    response.stats.emplace_back("alloc_calls",
+                                static_cast<double>(totals.calls));
+    response.stats.emplace_back("alloc_bytes",
+                                static_cast<double>(totals.bytes));
+    response.stats.emplace_back(
+        "alloc_hooks", obs::prof::alloc_hooks_compiled() ? 1.0 : 0.0);
+  }
+  return response;
 }
 
 Response CooldService::dump_response(const Request& request) {

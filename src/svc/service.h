@@ -87,6 +87,7 @@ struct ServiceConfig {
   bool obs_enabled = true;
   std::size_t flight_capacity = 4096;  // ring slots (rounded up to 2^k)
   std::string flight_path;             // default: <wal_dir>/flight.jsonl
+  std::string profile_path;            // default: <wal_dir>/profile.json
   std::size_t tenant_stats_max = 128;  // per-tenant block cardinality cap
   ParseLimits limits;
 };
@@ -145,6 +146,9 @@ class CooldService {
   const obs::FlightRecorder* flight() const noexcept { return flight_.get(); }
   // Where the dump verb writes its artifact.
   std::string flight_dump_path() const;
+  // Where the profile dump action writes its artifact (a .folded sidecar
+  // lands next to it).
+  std::string profile_dump_path() const;
 
  private:
   struct Job;  // one batch slot's working state (defined in service.cpp)
@@ -171,6 +175,7 @@ class CooldService {
   Response stats_response(const Request& request);
   Response healthz_response(const Request& request);
   Response dump_response(const Request& request);
+  Response profile_response(const Request& request);
   std::string compose_snapshot(std::uint64_t lsn);
   void restore_from(const WalRecovery& recovery);
   void replay_entry(const WalEntry& entry);

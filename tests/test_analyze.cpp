@@ -17,6 +17,7 @@
 #include "obs/analyze/summary.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/provenance.h"
 #include "obs/timeline.h"
 
@@ -266,6 +267,87 @@ TEST(CoolstatCli, DiffOfSameSeedRunsReportsZeroUtilityDelta) {
   std::ostringstream out, err;
   EXPECT_EQ(coolstat_main({"diff", a, b}, out, err), 0);
   EXPECT_NE(out.str().find("0 violation(s)"), std::string::npos);
+}
+
+// --- profile artifacts ----------------------------------------------------
+
+prof::Profile test_profile(std::uint64_t oracle_allocs) {
+  prof::Profile profile;
+  profile.sample_hz = 997;
+  profile.samples = 100;
+  profile.recorded = 120;
+  profile.wrapped = 20;
+  profile.duration_us = 250000;
+  profile.alloc_hooks = true;
+  profile.totals = {oracle_allocs + 50, oracle_allocs * 128 + 4096, 40};
+  profile.stacks = {{"main;run;oracle", 60}, {"main;run", 40}};
+  profile.frames = {{"oracle", 60, 60}, {"run", 40, 100}, {"main", 0, 100}};
+  profile.spans = {{"greedy.schedule", 90}, {"(no span)", 10}};
+  profile.alloc = {{"greedy.schedule", oracle_allocs * 128, oracle_allocs},
+                   {"(no span)", 4096, 50}};
+  return profile;
+}
+
+std::string write_profile_temp(const char* name, std::uint64_t allocs) {
+  const auto path =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  const auto provenance = test_provenance();
+  EXPECT_TRUE(prof::write_profile(test_profile(allocs), path, &provenance));
+  return path;
+}
+
+TEST(Ingest, ProfileArtifactRoundTripsThroughWriteAndLoad) {
+  const auto path = write_profile_temp("prof_roundtrip.json", 450);
+  const Artifact artifact = load_artifact(path);
+  ASSERT_EQ(artifact.kind, ArtifactKind::kProfile);
+  EXPECT_EQ(artifact.profile.sample_hz, 997);
+  EXPECT_EQ(artifact.profile.samples, 100u);
+  EXPECT_EQ(artifact.profile.wrapped, 20u);
+  EXPECT_TRUE(artifact.profile.alloc_hooks);
+  EXPECT_EQ(artifact.profile.alloc_calls, 500u);
+  ASSERT_EQ(artifact.profile.frames.size(), 3u);
+  EXPECT_EQ(artifact.profile.frames[0].name, "oracle");
+  EXPECT_EQ(artifact.profile.frames[0].self, 60u);
+  ASSERT_EQ(artifact.profile.spans.size(), 2u);
+  EXPECT_EQ(artifact.profile.spans[0].samples, 90u);
+  ASSERT_TRUE(artifact.profile.provenance.has_value());
+  EXPECT_EQ(artifact.profile.provenance->git_sha, "abc1234");
+
+  const RunSummary summary = summarize(artifact);
+  EXPECT_EQ(summary.kind, ArtifactKind::kProfile);
+  ASSERT_NE(summary.find("sample_hz"), nullptr);
+  EXPECT_DOUBLE_EQ(*summary.find("sample_hz"), 997.0);
+  ASSERT_NE(summary.find("frame.oracle.self"), nullptr);
+  EXPECT_DOUBLE_EQ(*summary.find("frame.oracle.self"), 60.0);
+  ASSERT_NE(summary.find("span.greedy.schedule.samples"), nullptr);
+  ASSERT_NE(summary.find("alloc.greedy.schedule.bytes"), nullptr);
+  EXPECT_DOUBLE_EQ(*summary.find("alloc.greedy.schedule.bytes"),
+                   450.0 * 128.0);
+
+  // The folded sidecar mirrors the stacks table.
+  std::ifstream folded(prof::folded_path_for(path));
+  std::string line;
+  ASSERT_TRUE(std::getline(folded, line));
+  EXPECT_EQ(line, "main;run;oracle 60");
+}
+
+TEST(CoolstatCli, ProfileDiffExitsNonzeroExactlyOnBandViolation) {
+  // The acceptance contract: two captures inside the bands exit 0, a
+  // violated band exits 1 even without the `check` gate.
+  const auto a = write_profile_temp("prof_a.json", 450);
+  const auto same = write_profile_temp("prof_same.json", 450);
+  const auto grew = write_profile_temp("prof_grew.json", 900);
+
+  std::ostringstream out, err;
+  EXPECT_EQ(coolstat_main({"diff", a, same, "--tol", "-1", "--metric",
+                           "alloc_calls=0", "--metric", "sample_hz=0"},
+                          out, err),
+            0);
+  EXPECT_EQ(coolstat_main({"diff", a, grew, "--tol", "-1", "--metric",
+                           "alloc_calls=0", "--metric", "sample_hz=0"},
+                          out, err),
+            1);
+  EXPECT_NE(out.str().find("VIOLATION"), std::string::npos);
 }
 
 TEST(CoolstatCli, MergeCombinesBenchFilesIntoSuite) {

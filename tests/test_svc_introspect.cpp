@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "obs/flight.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "svc/service.h"
 #include "util/parallel.h"
@@ -56,6 +58,21 @@ svc::Request schedule_request(const std::string& network, std::uint64_t seed) {
   request.spec.periods = 5;
   return request;
 }
+
+// Kills a forked daemon on every exit path. Without this, a failed ASSERT
+// before the orderly SIGTERM/waitpid leaks the child, and — because the
+// daemon inherited the test's stdout/stderr — ctest then blocks on the
+// output pipe until the orphan finally dies.
+struct DaemonGuard {
+  pid_t pid = -1;
+  ~DaemonGuard() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+  void disarm() { pid = -1; }
+};
 
 svc::Request replan_request(const std::string& network) {
   svc::Request request;
@@ -342,6 +359,166 @@ svc::ResponseParse socket_call(const std::string& socket_path,
   return svc::parse_response(reply.substr(0, eol));
 }
 
+// --- live profiling verb ---------------------------------------------------
+
+svc::Request profile_request(const std::string& action, int hz = 0) {
+  svc::Request request;
+  request.id = "prof-" + action;
+  request.type = svc::RequestType::kProfile;
+  request.action = action;
+  request.sample_hz = hz;
+  return request;
+}
+
+TEST(SvcIntrospect, ObsOffRefusesProfileVerbButPlanningContinues) {
+  svc::ServiceConfig config = test_config(::testing::TempDir() +
+                                          "cool-introspect-prof-off");
+  config.obs_enabled = false;
+  svc::CooldService service(config);
+  service.start();
+  for (const std::string action : {"start", "status", "dump", "stop"}) {
+    const svc::Response reply = service.call(profile_request(action));
+    EXPECT_FALSE(reply.ok) << action;
+    EXPECT_EQ(reply.error.rfind("obs_disabled", 0), 0u) << reply.error;
+  }
+  EXPECT_FALSE(obs::prof::running())
+      << "a refused verb must not have armed the sampler";
+  EXPECT_TRUE(service.call(schedule_request("t0", 40)).ok);
+  service.stop();
+}
+
+TEST(SvcIntrospect, ProfileVerbWindowLifecycle) {
+  const std::string dir = ::testing::TempDir() + "cool-introspect-prof";
+  svc::CooldService service(test_config(dir));
+  service.start();
+
+  // No start(): the verb still answers (queue bypass), but stop/dump have
+  // nothing to act on.
+  EXPECT_FALSE(service.call(profile_request("stop")).ok);
+  const svc::Response idle = service.call(profile_request("status"));
+  ASSERT_TRUE(idle.ok) << idle.error;
+  EXPECT_EQ(stat_value(idle, "running"), 0.0);
+
+  const svc::Response started = service.call(profile_request("start", 1997));
+  ASSERT_TRUE(started.ok) << started.error;
+  EXPECT_FALSE(service.call(profile_request("start")).ok)
+      << "second start inside an open window must report profile_busy";
+
+  // Planning traffic is the sampled workload; repeat until the window has
+  // CPU samples (ITIMER_PROF only ticks on CPU time actually burned).
+  for (int round = 0; round < 50 && obs::prof::samples_recorded() < 4;
+       ++round)
+    ASSERT_TRUE(
+        service.call(schedule_request("t" + std::to_string(round), 40)).ok);
+  const svc::Response live = service.call(profile_request("status"));
+  ASSERT_TRUE(live.ok);
+  EXPECT_EQ(stat_value(live, "running"), 1.0);
+
+  ASSERT_TRUE(service.call(profile_request("stop")).ok);
+  const svc::Response dumped = service.call(profile_request("dump"));
+  ASSERT_TRUE(dumped.ok) << dumped.error;
+  EXPECT_EQ(dumped.detail, service.profile_dump_path());
+  EXPECT_NE(read_file(dumped.detail).find("\"profile\""), std::string::npos);
+  service.stop();
+}
+
+TEST(SvcIntrospect, ForkedDaemonProfileWindowDumpsFoldedStacks) {
+  const std::string base = ::testing::TempDir() + "cool-introspect-prof-fork";
+  const std::string state_dir = base + "-state";
+  const std::string socket_path = base + ".sock";
+  ::mkdir(state_dir.c_str(), 0755);
+  std::remove((state_dir + "/wal.jsonl").c_str());
+  std::remove((state_dir + "/snapshot.json").c_str());
+  std::remove((state_dir + "/profile.json").c_str());
+  std::remove((state_dir + "/profile.folded").c_str());
+  ::unlink(socket_path.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::execl(COOL_COOLD_PATH, "coold", "--state-dir", state_dir.c_str(),
+            "--socket", socket_path.c_str(), "--threads", "2",
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  DaemonGuard guard;
+  guard.pid = pid;
+  bool ready = false;
+  for (int attempt = 0; attempt < 200 && !ready; ++attempt) {
+    const svc::ResponseParse probe =
+        socket_call(socket_path, "{\"type\":\"status\"}");
+    ready = probe.ok && probe.response.ok;
+    if (!ready) ::usleep(20 * 1000);
+  }
+  ASSERT_TRUE(ready) << "coold failed to come up";
+
+  const svc::ResponseParse opened =
+      socket_call(socket_path, profile_request("start").to_json());
+  ASSERT_TRUE(opened.ok && opened.response.ok) << opened.response.error;
+
+  // Drive planning until the daemon's own status verb reports samples: the
+  // sampler lives in the daemon process, so the bench side can only watch.
+  // ITIMER_PROF ticks on the daemon's CPU time, so each round must hand it
+  // real planning work (fresh network name -> no session-cache shortcut,
+  // and an instance big enough to burn milliseconds), and the loop is
+  // bounded by wall-clock — not a round count — because a loaded or
+  // single-core box schedules the daemon erratically.
+  std::uint64_t sampled = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (int round = 0; sampled < 4; ++round) {
+    svc::Request work = schedule_request("t" + std::to_string(round),
+                                         static_cast<std::uint64_t>(round));
+    work.spec.sensors = 120;
+    work.spec.targets = 180;
+    work.spec.periods = 8;
+    const svc::ResponseParse planned =
+        socket_call(socket_path, work.to_json());
+    ASSERT_TRUE(planned.ok && planned.response.ok) << planned.response.error;
+    const svc::ResponseParse status =
+        socket_call(socket_path, profile_request("status").to_json());
+    ASSERT_TRUE(status.ok && status.response.ok);
+    sampled =
+        static_cast<std::uint64_t>(stat_value(status.response, "samples"));
+    if (std::chrono::steady_clock::now() > deadline) break;
+  }
+  ASSERT_GE(sampled, 4u) << "daemon never accumulated CPU samples";
+
+  ASSERT_TRUE(socket_call(socket_path, profile_request("stop").to_json())
+                  .response.ok);
+  const svc::ResponseParse dumped =
+      socket_call(socket_path, profile_request("dump").to_json());
+  ASSERT_TRUE(dumped.ok && dumped.response.ok) << dumped.response.error;
+  EXPECT_EQ(dumped.response.detail, state_dir + "/profile.json");
+
+  ::kill(pid, SIGTERM);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  guard.disarm();
+
+  // The dump pair: coolstat-ingestible JSON plus a non-empty, parseable
+  // folded-stack sidecar ("frame(;frame)* count" per line).
+  const std::string json = read_file(state_dir + "/profile.json");
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"profile\""), std::string::npos);
+  const std::string folded = read_file(state_dir + "/profile.folded");
+  ASSERT_FALSE(folded.empty()) << "folded sidecar missing or empty";
+  std::istringstream lines(folded);
+  std::string line;
+  std::size_t stacks = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    for (const char c : line.substr(space + 1))
+      EXPECT_TRUE(c >= '0' && c <= '9') << line;
+    ++stacks;
+  }
+  EXPECT_GE(stacks, 1u);
+  ::unlink(socket_path.c_str());
+}
+
 TEST(SvcIntrospect, ForkedDaemonSigabrtLeavesParseableFlightDump) {
   const std::string base = ::testing::TempDir() + "cool-introspect-crash";
   const std::string state_dir = base + "-state";
@@ -361,6 +538,8 @@ TEST(SvcIntrospect, ForkedDaemonSigabrtLeavesParseableFlightDump) {
             static_cast<char*>(nullptr));
     _exit(127);
   }
+  DaemonGuard guard;
+  guard.pid = pid;
   bool ready = false;
   for (int attempt = 0; attempt < 200 && !ready; ++attempt) {
     const svc::ResponseParse probe =
@@ -378,6 +557,7 @@ TEST(SvcIntrospect, ForkedDaemonSigabrtLeavesParseableFlightDump) {
   ::kill(pid, SIGABRT);
   int status = 0;
   ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  guard.disarm();
   ASSERT_TRUE(WIFSIGNALED(status)) << "daemon must die from the signal";
   EXPECT_EQ(WTERMSIG(status), SIGABRT);
 

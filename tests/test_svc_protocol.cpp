@@ -52,6 +52,40 @@ TEST(SvcProtocol, RequestJsonRoundTrips) {
   EXPECT_EQ(result.request.degrade_min, 1);
 }
 
+TEST(SvcProtocol, ProfileRequestRoundTripsAndValidates) {
+  Request request;
+  request.id = "prof-1";
+  request.type = RequestType::kProfile;
+  request.action = "start";
+  request.sample_hz = 499;
+  const ParseResult result = svc::parse_request(request.to_json());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.request.type, RequestType::kProfile);
+  EXPECT_EQ(result.request.action, "start");
+  EXPECT_EQ(result.request.sample_hz, 499);
+
+  // The verb needs a recognized action; sample_hz only rides on start and
+  // must stay inside the sampler's accepted range.
+  EXPECT_FALSE(svc::parse_request("{\"type\":\"profile\"}").ok);
+  EXPECT_FALSE(
+      svc::parse_request("{\"type\":\"profile\",\"action\":\"fly\"}").ok);
+  EXPECT_FALSE(svc::parse_request(
+                   "{\"type\":\"profile\",\"action\":\"stop\",\"sample_hz\":99}")
+                   .ok)
+      << "sample_hz on a non-start action";
+  EXPECT_FALSE(svc::parse_request(
+                   "{\"type\":\"profile\",\"action\":\"start\",\"sample_hz\":0}")
+                   .ok);
+  EXPECT_FALSE(svc::parse_request("{\"type\":\"profile\",\"action\":\"start\","
+                                  "\"sample_hz\":20000}")
+                   .ok);
+  for (const char* action : {"start", "stop", "dump", "status"}) {
+    const ParseResult parsed = svc::parse_request(
+        std::string("{\"type\":\"profile\",\"action\":\"") + action + "\"}");
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+  }
+}
+
 TEST(SvcProtocol, RejectsNonObjectAndGarbage) {
   for (const char* frame :
        {"", "   ", "not json", "42", "[1,2,3]", "\"string\"", "null",

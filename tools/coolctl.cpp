@@ -21,10 +21,20 @@
 //   coolctl --socket S --type dump              # flight ring -> JSONL
 //   coolctl --socket S --top --interval-ms 500  # refreshing live view
 //
+// Live profiling (PR 9): the profile verb also bypasses the queue, so a
+// daemon can be profiled over a window without restart:
+//
+//   coolctl --socket S --type profile --action start [--hz 997]
+//   ... let the workload run ...
+//   coolctl --socket S --type profile --action stop
+//   coolctl --socket S --type profile --action dump    # JSON + .folded
+//   coolctl --socket S --type profile --action status  # samples/alloc
+//
 // Flags: --socket PATH (required), --frame JSON (raw mode), or request
 // builders --type/--network/--id/--priority/--deadline-ms/--degrade-min/
 // --dead A,B,C plus spec fields --sensors/--targets/--seed/--slots/
-// --periods/--p. Retry policy: --retries N (default 5), --retry-base-ms X
+// --periods/--p; profile verbs add --action start|stop|dump|status and
+// --hz N. Retry policy: --retries N (default 5), --retry-base-ms X
 // (default 50), --retry-seed N. Top mode: --top, --interval-ms X
 // (default 1000), --iters N (default 0 = until interrupted).
 #include <sys/socket.h>
@@ -234,6 +244,7 @@ int main(int argc, char** argv) {
       else if (type == "stats") request.type = svc::RequestType::kStats;
       else if (type == "healthz") request.type = svc::RequestType::kHealthz;
       else if (type == "dump") request.type = svc::RequestType::kDump;
+      else if (type == "profile") request.type = svc::RequestType::kProfile;
       else if (type == "shutdown") request.type = svc::RequestType::kShutdown;
       else {
         std::fprintf(stderr, "coolctl: unknown --type '%s'\n", type.c_str());
@@ -244,6 +255,10 @@ int main(int argc, char** argv) {
       request.priority = static_cast<int>(cli.get_int("priority", 1));
       request.deadline_ms = cli.get_double("deadline-ms", 0.0);
       request.degrade_min = static_cast<int>(cli.get_int("degrade-min", 0));
+      if (type == "profile") {
+        request.action = cli.get_string("action", "status");
+        request.sample_hz = static_cast<int>(cli.get_int("hz", 0));
+      }
       const std::string dead = cli.get_string("dead", "");
       if (!dead.empty()) request.dead = parse_dead_list(dead);
       svc::NetworkSpec spec;

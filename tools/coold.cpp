@@ -27,6 +27,10 @@
 //                         answer from the always-on counters.
 //   --flight-capacity N   flight-recorder ring slots      (default 4096)
 //   --flight-path PATH    dump-verb artifact (default STATE/flight.jsonl)
+//   --profile-path PATH   profile dump-verb artifact, plus a .folded
+//                         sidecar (default STATE/profile.json); the window
+//                         itself is driven live via
+//                         `coolctl --type profile --action start|stop|dump`
 //
 // With obs on, the flight recorder is installed process-wide and SIGSEGV/
 // SIGABRT/SIGBUS/SIGFPE dump the ring to STATE/flight-crash.jsonl via the
@@ -86,6 +90,7 @@ int main(int argc, char** argv) {
     config.flight_capacity =
         static_cast<std::size_t>(cli.get_int("flight-capacity", 4096));
     config.flight_path = cli.get_string("flight-path", "");
+    config.profile_path = cli.get_string("profile-path", "");
     const std::string socket_path = cli.get_string("socket", "");
     const long long threads = cli.get_int("threads", 0);
     cli.finish();
