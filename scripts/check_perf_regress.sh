@@ -15,6 +15,10 @@
 #                       calls, deaths, brownouts, delivered fractions,
 #                       collision/retry counts) — tight band, effectively
 #                       "did the algorithm change";
+#   steady allocs       *steady_alloc_calls — zero tolerance: the exact heap
+#                       allocation count of one warmed (arena-backed)
+#                       schedule() call is deterministic, and any drift
+#                       means scratch leaked off the arena onto the heap;
 #   acceptance flags    bench_delivered_coverage's graceful / retries_billed
 #                       / deterministic booleans — zero tolerance: a flipped
 #                       flag is a broken protocol invariant, not noise;
@@ -65,6 +69,38 @@ fi
 results="${repo_root}/BENCH_results.json"
 COOL_BUILD_DIR="${build_dir}" "${repo_root}/scripts/run_bench_suite.sh" "${results}"
 
+# Absolute throughput floor for the vectorized oracle hot path. The
+# relative bands below compare against the *current* baseline, which gets
+# regenerated whenever perf intentionally moves — so they cannot express
+# "stay at least 2x faster than the pre-kernel implementation". This check
+# does: greedy_oracle_calls_per_s (n=200, threads=1) must hold >= 2x the
+# last scalar-path baseline. Override the reference point with
+# COOL_LEGACY_ORACLE_PER_S (set 0 to skip, e.g. on qemu or a loaded box).
+legacy_per_s="${COOL_LEGACY_ORACLE_PER_S:-146156041}"
+echo
+echo "== oracle throughput floor (>= 2x legacy ${legacy_per_s}/s) =="
+python3 - "${results}" "${legacy_per_s}" <<'PY'
+import json, sys
+results_path, legacy = sys.argv[1], float(sys.argv[2])
+if legacy <= 0:
+    print("floor check skipped (COOL_LEGACY_ORACLE_PER_S <= 0)")
+    sys.exit(0)
+with open(results_path) as f:
+    doc = json.load(f)
+rate = None
+for bench in doc.get("benches", []):
+    if bench.get("bench") == "bench_scheduler_perf":
+        rate = bench.get("metrics", {}).get("greedy_oracle_calls_per_s")
+if rate is None:
+    print("FAIL: bench_scheduler_perf greedy_oracle_calls_per_s missing", file=sys.stderr)
+    sys.exit(1)
+floor = 2.0 * legacy
+print(f"greedy_oracle_calls_per_s = {rate:.0f} (floor {floor:.0f})")
+if rate < floor:
+    print(f"FAIL: {rate:.0f}/s is below 2x the legacy scalar path", file=sys.stderr)
+    sys.exit(1)
+PY
+
 echo
 echo "== coolstat check vs $(basename "${baseline}") =="
 if "${coolstat}" check "${results}" "${baseline}" \
@@ -74,6 +110,7 @@ if "${coolstat}" check "${results}" "${baseline}" \
   --metric '*_us=-1' \
   --metric '*lazy_speedup=400' \
   --metric '*par_speedup=400' \
+  --metric '*steady_alloc_calls=0' \
   --metric '*control_energy_j=10' \
   --metric '*adaptive_gain_pct=10' \
   --metric '*_energy_j_loss30=10' \

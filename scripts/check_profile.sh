@@ -17,6 +17,11 @@
 #  4. A third capture of a *different* workload (more --perf-reps, so more
 #     scheduler allocations) must make the same diff exit 1 — proving the
 #     tolerance bands and the exit-code contract actually gate.
+#  5. The per-span allocation attribution of capture 1 must show the
+#     arena-backed planner hot path staying off the heap: the
+#     greedy.schedule and lazy_greedy.schedule spans get a small absolute
+#     allocation budget across the whole capture (result objects + one-time
+#     warm-up; the scalar-path profile billed ~19k calls to these spans).
 #
 # Usage: scripts/check_profile.sh
 #   COOL_BUILD_DIR   build tree holding bench/ and tools/ (default: build)
@@ -101,4 +106,28 @@ if "${coolstat}" diff "${workdir}/p1.json" "${workdir}/p3.json" \
   exit 1
 fi
 echo "OK: tolerance-band violation surfaces as a nonzero exit"
+
+# The scheduler spans' allocation budget is absolute, not relative: the
+# whole capture (warm-up + every timed rep) may bill at most a few hundred
+# heap allocations to the planner spans. Result-object construction and the
+# first call's arena/scratch warm-up fit comfortably; any per-oracle-call
+# allocation pattern (what the arena removed) blows through it immediately.
+echo "== steady-state scheduler allocations (arena-backed hot path) =="
+python3 - "${workdir}/p1.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+by_span = {row.get("span"): row for row in doc.get("alloc", [])}
+budget = 256
+failed = False
+for span in ("greedy.schedule", "lazy_greedy.schedule"):
+    row = by_span.get(span, {"calls": 0, "bytes": 0})
+    print(f"{span}: {row['calls']} alloc calls, {row['bytes']} bytes")
+    if row["calls"] > budget:
+        print(f"FAIL: {span} billed {row['calls']} heap allocations "
+              f"(budget {budget}) — planner scratch is leaking off the arena",
+              file=sys.stderr)
+        failed = True
+sys.exit(1 if failed else 0)
+PY
 echo "check_profile: all gates passed"

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "obs/obs.h"
+#include "submodular/function.h"
+#include "util/arena.h"
 #include "util/parallel.h"
 
 namespace cool::core {
@@ -12,8 +14,11 @@ namespace {
 
 // Sensors per argmax-scan chunk. Fixed (never derived from the thread
 // count) so the chunk grid — and therefore every partial result — is
-// identical at every thread count.
-constexpr std::size_t kScanGrain = 16;
+// identical at every thread count. 64 amortizes the per-chunk dispatch
+// (indirect call + fused-kernel pointer prologue) over enough candidates
+// that the serial hot path is dominated by row arithmetic, while still
+// exposing 8-way parallelism from n ≈ 500 up.
+constexpr std::size_t kScanGrain = 64;
 
 }  // namespace
 
@@ -72,44 +77,95 @@ GreedyResult GreedyScheduler::schedule(const Problem& problem,
   };
 
   const auto chunks = util::chunk_ranges(n, kScanGrain);
-  std::vector<Candidate> chunk_best(chunks.size());
-  // Per-chunk scratch (candidate ids + batched gains), allocated once and
-  // reused across all n placement steps.
-  std::vector<std::vector<std::size_t>> chunk_ids(chunks.size());
-  std::vector<std::vector<double>> chunk_gains(chunks.size());
-  for (std::size_t c = 0; c < chunks.size(); ++c) {
-    chunk_ids[c].reserve(chunks[c].end - chunks[c].begin);
-    chunk_gains[c].resize(chunks[c].end - chunks[c].begin);
-  }
 
-  std::vector<std::uint8_t> placed(n, 0);
+  // All scan scratch comes from the planner arena (a call-local one when the
+  // caller did not provide a warmed arena): flat struct-of-arrays slabs,
+  // sliced per chunk at the chunk's own sensor range so the parallel bodies
+  // write disjoint memory and never allocate. A warmed arena serves every
+  // later schedule() call with zero heap allocations — the property
+  // scripts/check_profile.sh gates.
+  util::Arena local_arena;
+  util::Arena& arena = ctx.arena ? *ctx.arena : local_arena;
+  arena.reset();
+  Candidate* chunk_best = arena.allocate_array<Candidate>(chunks.size());
+  // Persistent per-chunk candidate lists: chunk c owns the slab slice at
+  // its own sensor range, holding its unplaced sensors in ascending order.
+  // Placing a sensor shrinks exactly ONE chunk's list (a <= kScanGrain
+  // shift, serial, between steps) instead of every chunk re-scanning a
+  // placed[] bitmap over all n sensors every step.
+  std::size_t* ids_slab = arena.allocate_array<std::size_t>(n);
+  std::size_t* chunk_len = arena.allocate_array<std::size_t>(chunks.size());
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    for (std::size_t v = chunks[c].begin; v < chunks[c].end; ++v)
+      ids_slab[v] = v;
+    chunk_len[c] = chunks[c].end - chunks[c].begin;
+  }
+  // T gain rows for the unfused fallback, one per slot; chunk c owns
+  // columns [begin, end) of every row, so the bodies write disjointly.
+  double* gains_slab = arena.allocate_array<double>(n * T);
+
+  // Fused slot-row scan-and-argmax (resolve once per call, not per chunk):
+  // when every slot state is the flat detection oracle over one utility,
+  // each candidate's coverage row is walked a single time for all T slots
+  // and the per-slot argmax falls out of the same pass. Gains are
+  // bit-identical either way, so both paths pick the same candidate.
+  const sub::FusedSlotEvaluator fused = sub::resolve_fused(slot_state);
+  const sub::EvalState** state_ptrs =
+      arena.allocate_array<const sub::EvalState*>(T);
+  for (std::size_t t = 0; t < T; ++t) state_ptrs[t] = slot_state[t].get();
+
   for (std::size_t step = 0; step < n; ++step) {
     // Deadline poll between placement steps: a step either fully lands or
     // never starts, so cancellation leaves no half-applied placement.
     if (ctx.cancel) ctx.cancel->checkpoint();
     util::parallel_chunks(chunks.size(), [&](std::size_t c) {
-      auto& ids = chunk_ids[c];
-      ids.clear();
-      for (std::size_t v = chunks[c].begin; v < chunks[c].end; ++v)
-        if (!placed[v]) ids.push_back(v);
+      const std::size_t* ids = ids_slab + chunks[c].begin;
+      const std::size_t len = chunk_len[c];
       Candidate best;
       best.sensor = n;
       best.slot = T;
-      std::span<double> gains(chunk_gains[c].data(), ids.size());
-      for (std::size_t t = 0; t < T; ++t) {
-        slot_state[t]->marginal_batch(ids, gains);
-        for (std::size_t i = 0; i < ids.size(); ++i)
-          best = better(best, Candidate{gains[i], ids[i], t});
+      if (len > 0) {
+        if (fused) {
+          double bg[sub::FusedSlotEvaluator::kMaxSlots];
+          std::size_t bi[sub::FusedSlotEvaluator::kMaxSlots];
+          fused.fn(state_ptrs, T, ids, len, bg, bi);
+          // ids ascend within the chunk, so the kernel's first strict
+          // maximum IS the row's better()-optimum (max gain, then min
+          // sensor); fold the T row winners in slot order.
+          for (std::size_t t = 0; t < T; ++t)
+            best = better(best, Candidate{bg[t], ids[bi[t]], t});
+        } else {
+          for (std::size_t t = 0; t < T; ++t) {
+            double* gains = gains_slab + t * n + chunks[c].begin;
+            slot_state[t]->marginal_batch({ids, len}, {gains, len});
+            // Linear first-max scan — identical tie-break semantics to the
+            // fused kernel's in-register argmax.
+            std::size_t arg = 0;
+            for (std::size_t i = 1; i < len; ++i)
+              if (gains[i] > gains[arg]) arg = i;
+            best = better(best, Candidate{gains[arg], ids[arg], t});
+          }
+        }
       }
       chunk_best[c] = best;
     });
     Candidate best;
     best.sensor = n;
     best.slot = T;
-    for (const auto& candidate : chunk_best) best = better(best, candidate);
+    for (std::size_t c = 0; c < chunks.size(); ++c)
+      best = better(best, chunk_best[c]);
     // Monotone utilities make every gain >= 0, so a pair always exists.
     result.oracle_calls += (n - step) * T;
-    placed[best.sensor] = 1;
+    // Remove the winner from its (single) chunk's candidate list, keeping
+    // the remaining ids in ascending order for the tie-break contract.
+    {
+      const std::size_t c = best.sensor / kScanGrain;
+      std::size_t* ids = ids_slab + chunks[c].begin;
+      std::size_t pos = 0;
+      while (ids[pos] != best.sensor) ++pos;
+      for (std::size_t i = pos + 1; i < chunk_len[c]; ++i) ids[i - 1] = ids[i];
+      --chunk_len[c];
+    }
     slot_state[best.slot]->add(best.sensor);
     result.schedule.set_active(best.sensor, best.slot);
     result.steps.push_back(GreedyStep{best.sensor, best.slot, best.gain});

@@ -21,6 +21,10 @@
 #include "core/schedule.h"
 #include "submodular/function.h"
 
+namespace cool::util {
+class Arena;
+}
+
 namespace cool::core {
 
 struct GreedyStep {
@@ -48,9 +52,18 @@ struct GreedyResult {
 //                   the problem being scheduled — the svc session cache
 //                   guarantees this per network. A vector of the wrong size
 //                   (e.g. first use, empty) is grown/rebuilt in place.
+//   arena           caller-owned bump arena backing the scheduler's scratch
+//                   buffers (candidate ids, gains matrices, the lazy heap).
+//                   reset() at entry — so the caller must not hold arena
+//                   pointers across schedule() calls — and retained, which
+//                   makes every steady-state call allocation-free. When
+//                   null, the scheduler uses a call-local arena (one-off
+//                   heap blocks, same results). Schedules are bit-identical
+//                   either way; the StateReuse tests pin this down.
 struct PlannerContext {
   const CancelToken* cancel = nullptr;
   std::vector<std::unique_ptr<sub::EvalState>>* scratch_states = nullptr;
+  util::Arena* arena = nullptr;
 };
 
 namespace detail {

@@ -1,21 +1,19 @@
 #include "core/lazy_greedy.h"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <stdexcept>
 #include <vector>
 
 #include "obs/obs.h"
+#include "util/arena.h"
 #include "util/parallel.h"
 
 namespace cool::core {
 
 namespace {
-
-// Stale heap entries per parallel refresh chunk.
-constexpr std::size_t kRefreshGrain = 16;
 
 struct QueueEntry {
   double gain = 0.0;
@@ -26,8 +24,9 @@ struct QueueEntry {
   // Max-heap on gain with a total deterministic order: ties go to the
   // lowest (sensor, slot) pair, matching the plain greedy scan's
   // first-maximum tie-break. A total order makes the selected pair a pure
-  // function of the current gains — independent of refresh batching and
-  // of the thread count.
+  // function of the current gains — independent of refresh batching, of
+  // the thread count, and of the heap's internal array layout (every pop
+  // surfaces the unique maximum of the current entries).
   bool operator<(const QueueEntry& other) const noexcept {
     if (gain != other.gain) return gain < other.gain;
     if (sensor != other.sensor) return sensor > other.sensor;
@@ -52,24 +51,52 @@ GreedyResult LazyGreedyScheduler::schedule(const Problem& problem,
 
   std::vector<std::unique_ptr<sub::EvalState>> local_states;
   auto& slot_state = detail::prepare_slot_states(problem, ctx, T, local_states);
-  std::vector<std::size_t> slot_version(T, 0);
 
-  // Initially every slot state is empty, so all slots give the same gain for
-  // a sensor: seed the queue with slot 0 entries only and fan out lazily —
-  // still correct since gains are equal across empty slots. For simplicity
-  // and exactness we seed all pairs.
-  std::priority_queue<QueueEntry> queue;
-  for (std::size_t v = 0; v < n; ++v) {
-    const double gain = slot_state[0]->marginal(v);
-    ++result.oracle_calls;
-    for (std::size_t t = 0; t < T; ++t) queue.push(QueueEntry{gain, v, t, 0});
+  // Every scratch buffer — the heap, the stale batch, the per-slot refresh
+  // regroup — comes from the planner arena (call-local when the caller did
+  // not provide one). Each (sensor, slot) pair has at most one live heap
+  // entry at any time (seeded once; a popped entry is reinserted at most
+  // once per round), so n·T bounds the heap and the stale batch; reserving
+  // that up front means the placement loop performs zero heap allocations.
+  util::Arena local_arena;
+  util::Arena& arena = ctx.arena ? *ctx.arena : local_arena;
+  arena.reset();
+
+  const std::size_t pair_count = n * T;
+  std::size_t* slot_version = arena.allocate_array<std::size_t>(T);
+  std::memset(slot_version, 0, T * sizeof(std::size_t));
+  std::uint8_t* placed = arena.allocate_array<std::uint8_t>(n);
+  std::memset(placed, 0, n);
+  // Per-slot regroup scratch for the batched stale refresh: slot t's rows
+  // live at [t * n, t * n + slot_count[t]).
+  std::size_t* slot_ids = arena.allocate_array<std::size_t>(pair_count);
+  std::size_t* slot_entry = arena.allocate_array<std::size_t>(pair_count);
+  double* refresh_gains = arena.allocate_array<double>(pair_count);
+  std::size_t* slot_count = arena.allocate_array<std::size_t>(T);
+
+  // Initially every slot state is empty, so all slots give the same gain
+  // for a sensor: one batched scan over slot 0 seeds all n·T pairs — still
+  // exact since gains are equal across empty slots. make_heap vs repeated
+  // push does not matter for correctness (total order, see QueueEntry).
+  util::ArenaVector<QueueEntry> heap(&arena);
+  heap.reserve(pair_count);
+  {
+    std::size_t* seed_ids = arena.allocate_array<std::size_t>(n);
+    double* seed_gains = arena.allocate_array<double>(n);
+    for (std::size_t v = 0; v < n; ++v) seed_ids[v] = v;
+    slot_state[0]->marginal_batch({seed_ids, n}, {seed_gains, n});
+    result.oracle_calls += n;
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t t = 0; t < T; ++t)
+        heap.push_back(QueueEntry{seed_gains[v], v, t, 0});
   }
+  std::make_heap(heap.begin(), heap.end());
 
-  std::vector<std::uint8_t> placed(n, 0);
   std::size_t placed_count = 0;
   std::size_t stale_refreshes = 0;  // heap decay: stale entries re-scored
-  std::size_t peak_heap = queue.size();
-  std::vector<QueueEntry> stale;  // reused batch buffer
+  std::size_t peak_heap = heap.size();
+  util::ArenaVector<QueueEntry> stale(&arena);  // reused batch buffer
+  stale.reserve(pair_count);
   while (placed_count < n) {
     // Deadline poll once per pop-refresh round: bounded work per round, and
     // the heap stays consistent at every poll point.
@@ -77,9 +104,10 @@ GreedyResult LazyGreedyScheduler::schedule(const Problem& problem,
     // Pop until a fresh entry surfaces, batching up the stale ones.
     stale.clear();
     std::optional<QueueEntry> fresh;
-    while (!queue.empty()) {
-      QueueEntry top = queue.top();
-      queue.pop();
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end());
+      QueueEntry top = heap.back();
+      heap.pop_back();
       if (placed[top.sensor]) continue;
       if (top.slot_version == slot_version[top.slot]) {
         fresh = top;
@@ -99,25 +127,43 @@ GreedyResult LazyGreedyScheduler::schedule(const Problem& problem,
       result.steps.push_back(GreedyStep{fresh->sensor, fresh->slot, fresh->gain});
       continue;
     }
-    // Re-score the whole stale batch against the pool (marginal() is const
-    // and slot states are unchanged until the next placement), then
-    // reinsert everything and re-pop. Gains can only have shrunk, and the
-    // refresh order cannot affect the heap's total order, so the outcome
-    // is identical at every thread count — only the wall clock changes.
-    util::parallel_for(stale.size(), kRefreshGrain,
-                       [&](std::size_t begin, std::size_t end) {
-                         for (std::size_t i = begin; i < end; ++i) {
-                           QueueEntry& entry = stale[i];
-                           entry.gain =
-                               slot_state[entry.slot]->marginal(entry.sensor);
-                           entry.slot_version = slot_version[entry.slot];
-                         }
-                       });
+    // Re-score the whole stale batch against the pool (the states are
+    // unchanged until the next placement), regrouped by slot so each slot's
+    // entries go through one contiguous marginal_batch. Gains can only have
+    // shrunk, batching computes exactly the per-entry marginals, and the
+    // refresh order cannot affect the heap's total order, so the outcome is
+    // identical at every thread count — only the wall clock changes.
+    std::memset(slot_count, 0, T * sizeof(std::size_t));
+    for (std::size_t i = 0; i < stale.size(); ++i) {
+      const std::size_t t = stale[i].slot;
+      const std::size_t k = slot_count[t]++;
+      slot_ids[t * n + k] = stale[i].sensor;
+      slot_entry[t * n + k] = i;
+    }
+    util::parallel_chunks(T, [&](std::size_t t) {
+      const std::size_t count = slot_count[t];
+      if (count == 0) return;
+      slot_state[t]->marginal_batch({slot_ids + t * n, count},
+                                    {refresh_gains + t * n, count});
+    });
+    for (std::size_t t = 0; t < T; ++t) {
+      for (std::size_t k = 0; k < slot_count[t]; ++k) {
+        QueueEntry& entry = stale[slot_entry[t * n + k]];
+        entry.gain = refresh_gains[t * n + k];
+        entry.slot_version = slot_version[t];
+      }
+    }
     result.oracle_calls += stale.size();
     stale_refreshes += stale.size();
-    for (const auto& entry : stale) queue.push(entry);
-    if (fresh) queue.push(*fresh);
-    peak_heap = std::max(peak_heap, queue.size());
+    for (const auto& entry : stale) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end());
+    }
+    if (fresh) {
+      heap.push_back(*fresh);
+      std::push_heap(heap.begin(), heap.end());
+    }
+    peak_heap = std::max(peak_heap, heap.size());
   }
   // Aggregated totals, published once per schedule so the heap loop stays
   // free of atomics. stale_refreshes / oracle_calls is the lazy-heap decay

@@ -8,42 +8,43 @@ namespace cool::core {
 
 PeriodicSchedule::PeriodicSchedule(std::size_t sensor_count,
                                    std::size_t slots_per_period)
-    : slots_(slots_per_period),
-      active_(sensor_count, std::vector<std::uint8_t>(slots_per_period, 0)) {
+    : sensors_(sensor_count),
+      slots_(slots_per_period),
+      active_(sensor_count * slots_per_period, 0) {
   if (slots_per_period == 0)
     throw std::invalid_argument("PeriodicSchedule: zero slots per period");
 }
 
 void PeriodicSchedule::set_active(std::size_t sensor, std::size_t slot, bool active) {
-  if (sensor >= active_.size() || slot >= slots_)
+  if (sensor >= sensors_ || slot >= slots_)
     throw std::out_of_range("PeriodicSchedule::set_active");
-  active_[sensor][slot] = active ? 1 : 0;
+  active_[sensor * slots_ + slot] = active ? 1 : 0;
 }
 
 bool PeriodicSchedule::active(std::size_t sensor, std::size_t slot) const {
-  if (sensor >= active_.size() || slot >= slots_)
+  if (sensor >= sensors_ || slot >= slots_)
     throw std::out_of_range("PeriodicSchedule::active");
-  return active_[sensor][slot] != 0;
+  return active_[sensor * slots_ + slot] != 0;
 }
 
 std::vector<std::size_t> PeriodicSchedule::active_set(std::size_t slot) const {
   std::vector<std::size_t> out;
-  for (std::size_t s = 0; s < active_.size(); ++s)
+  for (std::size_t s = 0; s < sensors_; ++s)
     if (active(s, slot)) out.push_back(s);
   return out;
 }
 
 std::vector<std::uint8_t> PeriodicSchedule::active_mask(std::size_t slot) const {
-  std::vector<std::uint8_t> mask(active_.size(), 0);
-  for (std::size_t s = 0; s < active_.size(); ++s)
+  std::vector<std::uint8_t> mask(sensors_, 0);
+  for (std::size_t s = 0; s < sensors_; ++s)
     if (active(s, slot)) mask[s] = 1;
   return mask;
 }
 
 std::size_t PeriodicSchedule::active_count(std::size_t sensor) const {
-  if (sensor >= active_.size()) throw std::out_of_range("PeriodicSchedule::active_count");
+  if (sensor >= sensors_) throw std::out_of_range("PeriodicSchedule::active_count");
   std::size_t count = 0;
-  for (const auto a : active_[sensor]) count += a;
+  for (std::size_t t = 0; t < slots_; ++t) count += active_[sensor * slots_ + t];
   return count;
 }
 
@@ -77,16 +78,17 @@ std::string PeriodicSchedule::to_string() const {
   std::string out;
   for (std::size_t t = 0; t < slots_; ++t) {
     out += util::format("slot %zu:", t);
-    for (std::size_t s = 0; s < active_.size(); ++s)
-      if (active_[s][t]) out += util::format(" v%zu", s);
+    for (std::size_t s = 0; s < sensors_; ++s)
+      if (active_[s * slots_ + t]) out += util::format(" v%zu", s);
     out += '\n';
   }
   return out;
 }
 
 HorizonSchedule::HorizonSchedule(std::size_t sensor_count, std::size_t horizon_slots)
-    : horizon_(horizon_slots),
-      active_(sensor_count, std::vector<std::uint8_t>(horizon_slots, 0)) {
+    : sensors_(sensor_count),
+      horizon_(horizon_slots),
+      active_(sensor_count * horizon_slots, 0) {
   if (horizon_slots == 0) throw std::invalid_argument("HorizonSchedule: zero horizon");
 }
 
@@ -97,25 +99,25 @@ HorizonSchedule HorizonSchedule::tile(const PeriodicSchedule& period,
                       period.slots_per_period() * periods);
   for (std::size_t s = 0; s < period.sensor_count(); ++s)
     for (std::size_t t = 0; t < out.horizon_; ++t)
-      out.active_[s][t] = period.active_at(s, t) ? 1 : 0;
+      out.active_[s * out.horizon_ + t] = period.active_at(s, t) ? 1 : 0;
   return out;
 }
 
 void HorizonSchedule::set_active(std::size_t sensor, std::size_t slot, bool active) {
-  if (sensor >= active_.size() || slot >= horizon_)
+  if (sensor >= sensors_ || slot >= horizon_)
     throw std::out_of_range("HorizonSchedule::set_active");
-  active_[sensor][slot] = active ? 1 : 0;
+  active_[sensor * horizon_ + slot] = active ? 1 : 0;
 }
 
 bool HorizonSchedule::active(std::size_t sensor, std::size_t slot) const {
-  if (sensor >= active_.size() || slot >= horizon_)
+  if (sensor >= sensors_ || slot >= horizon_)
     throw std::out_of_range("HorizonSchedule::active");
-  return active_[sensor][slot] != 0;
+  return active_[sensor * horizon_ + slot] != 0;
 }
 
 std::vector<std::size_t> HorizonSchedule::active_set(std::size_t slot) const {
   std::vector<std::size_t> out;
-  for (std::size_t s = 0; s < active_.size(); ++s)
+  for (std::size_t s = 0; s < sensors_; ++s)
     if (active(s, slot)) out.push_back(s);
   return out;
 }
@@ -136,7 +138,7 @@ bool HorizonSchedule::feasible(const Problem& problem, std::string* why) const {
       // passive slot restores 1/ρ with ρ = T − 1.
       const double charge_per_slot = 1.0 / static_cast<double>(T - 1);
       for (std::size_t t = 0; t < horizon_; ++t) {
-        if (active_[s][t]) {
+        if (active_[s * horizon_ + t]) {
           if (level < 1.0 - kEps) {
             if (why)
               *why = util::format(
@@ -154,7 +156,7 @@ bool HorizonSchedule::feasible(const Problem& problem, std::string* why) const {
       // slot fully recharges (one Tr from empty to full).
       const double drain_per_slot = 1.0 / static_cast<double>(T - 1);
       for (std::size_t t = 0; t < horizon_; ++t) {
-        if (active_[s][t]) {
+        if (active_[s * horizon_ + t]) {
           if (level < drain_per_slot - kEps) {
             if (why)
               *why = util::format(

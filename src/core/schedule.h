@@ -20,7 +20,7 @@ class PeriodicSchedule {
  public:
   PeriodicSchedule(std::size_t sensor_count, std::size_t slots_per_period);
 
-  std::size_t sensor_count() const noexcept { return active_.size(); }
+  std::size_t sensor_count() const noexcept { return sensors_; }
   std::size_t slots_per_period() const noexcept { return slots_; }
 
   void set_active(std::size_t sensor, std::size_t slot, bool active = true);
@@ -51,8 +51,14 @@ class PeriodicSchedule {
   bool operator==(const PeriodicSchedule&) const = default;
 
  private:
+  std::size_t sensors_;
   std::size_t slots_;
-  std::vector<std::vector<std::uint8_t>> active_;  // [sensor][slot]
+  // Flat row-major [sensor * slots_ + slot]: one allocation per schedule
+  // (the scheduler result objects used to pay one heap allocation per
+  // sensor for a vector-of-vectors here, which was the entire steady-state
+  // allocation count of a warmed greedy schedule() call) and cache-linear
+  // row scans for active_count / feasibility audits.
+  std::vector<std::uint8_t> active_;
 };
 
 // Full-horizon (possibly aperiodic) schedule: used by the LP rounding over
@@ -64,7 +70,7 @@ class HorizonSchedule {
   // Tiles a periodic schedule across `periods` periods.
   static HorizonSchedule tile(const PeriodicSchedule& period, std::size_t periods);
 
-  std::size_t sensor_count() const noexcept { return active_.size(); }
+  std::size_t sensor_count() const noexcept { return sensors_; }
   std::size_t horizon_slots() const noexcept { return horizon_; }
 
   void set_active(std::size_t sensor, std::size_t slot, bool active = true);
@@ -80,8 +86,9 @@ class HorizonSchedule {
   bool operator==(const HorizonSchedule&) const = default;
 
  private:
+  std::size_t sensors_;
   std::size_t horizon_;
-  std::vector<std::vector<std::uint8_t>> active_;  // [sensor][slot]
+  std::vector<std::uint8_t> active_;  // flat [sensor * horizon_ + slot]
 };
 
 }  // namespace cool::core

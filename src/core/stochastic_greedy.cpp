@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "obs/obs.h"
+#include "submodular/function.h"
+#include "util/arena.h"
 #include "util/parallel.h"
 
 namespace cool::core {
@@ -26,7 +29,8 @@ StochasticGreedyScheduler::StochasticGreedyScheduler(double epsilon)
 }
 
 GreedyResult StochasticGreedyScheduler::schedule(const Problem& problem,
-                                                 util::Rng& rng) const {
+                                                 util::Rng& rng,
+                                                 const PlannerContext& ctx) const {
   COOL_SPAN("stochastic_greedy.schedule", "core");
   if (!problem.rho_greater_than_one())
     throw std::invalid_argument(
@@ -38,18 +42,35 @@ GreedyResult StochasticGreedyScheduler::schedule(const Problem& problem,
   GreedyResult result{PeriodicSchedule(n, T), {}, 0};
   result.steps.reserve(n);
 
-  std::vector<std::unique_ptr<sub::EvalState>> slot_state;
-  slot_state.reserve(T);
-  for (std::size_t t = 0; t < T; ++t)
-    slot_state.push_back(problem.slot_utility().make_state());
+  std::vector<std::unique_ptr<sub::EvalState>> local_states;
+  auto& slot_state = detail::prepare_slot_states(problem, ctx, T, local_states);
 
   // Sample size per step: every sensor is placed (k = n), so n/k = 1 and
   // the textbook size collapses to ln(1/ε); keep at least that many and
   // scale with the remaining pool so early steps see a fair spread.
   const double log_term = std::log(1.0 / epsilon_);
 
-  std::vector<std::size_t> pool(n);
+  // Scratch (candidate pool + batched gains) comes from the planner arena;
+  // the sampled candidates sit contiguously at the pool's front after the
+  // partial Fisher-Yates pass, so each argmax chunk batches straight out of
+  // the pool array.
+  util::Arena local_arena;
+  util::Arena& arena = ctx.arena ? *ctx.arena : local_arena;
+  arena.reset();
+  util::ArenaVector<std::size_t> pool(&arena);
+  pool.resize(n);
   for (std::size_t v = 0; v < n; ++v) pool[v] = v;
+  // T gain rows, one per slot; a chunk owns columns [begin, end) of every
+  // row, so the parallel map bodies write disjoint slices.
+  double* gains_slab = arena.allocate_array<double>(n * T);
+
+  // Fused slot-row evaluation, resolved once per call (see greedy.cpp):
+  // each sampled candidate's coverage row is walked a single time for all
+  // T slots, producing bit-identical gains to the per-slot batch path.
+  const sub::FusedSlotEvaluator fused = sub::resolve_fused(slot_state);
+  const sub::EvalState** state_ptrs =
+      arena.allocate_array<const sub::EvalState*>(T);
+  for (std::size_t t = 0; t < T; ++t) state_ptrs[t] = slot_state[t].get();
 
   for (std::size_t step = 0; step < n; ++step) {
     const std::size_t remaining = pool.size();
@@ -83,11 +104,30 @@ GreedyResult StochasticGreedyScheduler::schedule(const Problem& problem,
     const Candidate best = util::parallel_reduce(
         sample_size, kScanGrain, Candidate{-1.0, sample_size, T},
         [&](std::size_t begin, std::size_t end) {
+          // Batched row-at-a-time scan over this chunk's slice of the
+          // sample. Within a row the sample position ascends and the slot
+          // is fixed, so the first strict maximum is the row's
+          // better()-optimum; folding rows in t order then matches the
+          // serial i-outer/t-inner scan's unique total-order maximum.
+          const std::size_t len = end - begin;
+          const std::size_t* ids = pool.data() + begin;
           Candidate local{-1.0, sample_size, T};
-          for (std::size_t t = 0; t < T; ++t)
-            for (std::size_t i = begin; i < end; ++i)
-              local = better(local,
-                             Candidate{slot_state[t]->marginal(pool[i]), i, t});
+          if (fused) {
+            double bg[sub::FusedSlotEvaluator::kMaxSlots];
+            std::size_t bi[sub::FusedSlotEvaluator::kMaxSlots];
+            fused.fn(state_ptrs, T, ids, len, bg, bi);
+            for (std::size_t t = 0; t < T; ++t)
+              local = better(local, Candidate{bg[t], begin + bi[t], t});
+          } else {
+            for (std::size_t t = 0; t < T; ++t) {
+              double* gains = gains_slab + t * n + begin;
+              slot_state[t]->marginal_batch({ids, len}, {gains, len});
+              std::size_t arg = 0;
+              for (std::size_t i = 1; i < len; ++i)
+                if (gains[i] > gains[arg]) arg = i;
+              local = better(local, Candidate{gains[arg], begin + arg, t});
+            }
+          }
           return local;
         },
         better);

@@ -23,7 +23,11 @@ class StochasticGreedyScheduler {
   // more oracle calls.
   explicit StochasticGreedyScheduler(double epsilon = 0.1);
 
-  GreedyResult schedule(const Problem& problem, util::Rng& rng) const;
+  // ctx follows the greedy-family contract (cancel / scratch_states /
+  // arena); the rng drives the per-step candidate sampling and is the only
+  // source of nondeterminism.
+  GreedyResult schedule(const Problem& problem, util::Rng& rng,
+                        const PlannerContext& ctx = {}) const;
 
  private:
   double epsilon_;

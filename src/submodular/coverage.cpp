@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "submodular/kernel.h"
+
 namespace cool::sub {
 
 namespace {
@@ -20,9 +22,17 @@ inline void set_bit(std::vector<std::uint64_t>& words, std::size_t i) {
   words[i >> 6] |= std::uint64_t{1} << (i & 63);
 }
 
-// Flat-CSR coverage evaluator. Element indices are validated when the
-// owning WeightedCoverage is constructed and by the debug assert below;
-// the release hot loop carries no bounds checks and no virtual calls.
+// Total packed-row budget: ground_size * row_words capped at 2^22 words
+// (32 MB). Past that the popcount rows would crowd the caches the CSR scan
+// wants, so huge instances stay on the reference kernel.
+constexpr std::size_t kMaxRowWordsTotal = std::size_t{1} << 22;
+
+// Scalar reference evaluator — the original flat-CSR loop, kept verbatim as
+// the differential-testing ground truth (and the only kernel for weighted /
+// duplicate-item / over-budget instances). Element indices are validated
+// when the owning WeightedCoverage is constructed and by the debug assert
+// below; the release hot loop carries no bounds checks and no virtual
+// calls.
 class CoverageState final : public EvalState {
  public:
   CoverageState(const std::vector<std::size_t>* offsets,
@@ -90,6 +100,75 @@ class CoverageState final : public EvalState {
   double value_ = 0.0;
 };
 
+// Popcount fast path over the packed rows. Only constructed for unit-weight
+// duplicate-free instances, where gain = 1.0 * count is bit-identical to
+// the reference's repeated addition (integer-valued double sums are exact).
+// The count kernel (scalar / ladder / SIMD — all returning identical
+// counts) is baked in at construction so the hot loop stays branch- and
+// dispatch-free.
+class FastCoverageState final : public EvalState {
+ public:
+  FastCoverageState(const std::vector<std::uint64_t>* rows,
+                    std::size_t row_words, std::size_t ground,
+                    std::size_t items, CountPendingFn count)
+      : rows_(rows), row_words_(row_words), count_(count),
+        item_covered_(word_count(items), 0),
+        in_set_(word_count(ground), 0) {}
+
+  double marginal(std::size_t e) const override {
+    if (test_bit(in_set_, e)) return 0.0;
+    return static_cast<double>(count_(rows_->data() + e * row_words_,
+                                      item_covered_.data(), row_words_));
+  }
+
+  void marginal_batch(std::span<const std::size_t> elements,
+                      std::span<double> out_gains) const override {
+    if (out_gains.size() < elements.size())
+      throw std::invalid_argument(
+          "FastCoverageState::marginal_batch: gains span too small");
+    const std::uint64_t* rows = rows_->data();
+    const std::uint64_t* covered = item_covered_.data();
+    const CountPendingFn count = count_;
+    const std::size_t words = row_words_;
+    for (std::size_t i = 0; i < elements.size(); ++i) {
+      const std::size_t e = elements[i];
+      out_gains[i] = test_bit(in_set_, e)
+                         ? 0.0
+                         : static_cast<double>(
+                               count(rows + e * words, covered, words));
+    }
+  }
+
+  void add(std::size_t e) override {
+    if (test_bit(in_set_, e)) return;
+    set_bit(in_set_, e);
+    const std::uint64_t* row = rows_->data() + e * row_words_;
+    value_ += static_cast<double>(
+        count_(row, item_covered_.data(), row_words_));
+    for (std::size_t w = 0; w < row_words_; ++w) item_covered_[w] |= row[w];
+  }
+
+  void reset() override {
+    item_covered_.assign(item_covered_.size(), 0);
+    in_set_.assign(in_set_.size(), 0);
+    value_ = 0.0;
+  }
+
+  double value() const override { return value_; }
+
+  std::unique_ptr<EvalState> clone() const override {
+    return std::make_unique<FastCoverageState>(*this);
+  }
+
+ private:
+  const std::vector<std::uint64_t>* rows_;
+  std::size_t row_words_;
+  CountPendingFn count_;
+  std::vector<std::uint64_t> item_covered_;
+  std::vector<std::uint64_t> in_set_;
+  double value_ = 0.0;
+};
+
 class ModularState final : public EvalState {
  public:
   explicit ModularState(const std::vector<double>* w)
@@ -128,8 +207,11 @@ WeightedCoverage::WeightedCoverage(std::size_t ground_size,
     : weights_(std::move(item_weights)) {
   if (covers.size() != ground_size)
     throw std::invalid_argument("WeightedCoverage: covers size != ground size");
-  for (const double w : weights_)
+  bool unit_weights = true;
+  for (const double w : weights_) {
     if (w < 0.0) throw std::invalid_argument("WeightedCoverage: negative item weight");
+    if (w != 1.0) unit_weights = false;
+  }
   // Flatten the adjacency into CSR, validating every item index once here
   // so the evaluators can skip per-call checks.
   std::size_t total = 0;
@@ -145,6 +227,34 @@ WeightedCoverage::WeightedCoverage(std::size_t ground_size,
     }
     offsets_.push_back(items_.size());
   }
+  // Pack the popcount rows when the fast kernel is exact: unit weights, no
+  // element covering the same item twice (the reference double-counts a
+  // duplicate in marginal(); the bitmask would not), within budget.
+  const std::size_t words = word_count(weights_.size());
+  if (unit_weights && words > 0 && ground_size > 0 &&
+      words <= kMaxRowWordsTotal / ground_size) {
+    rows_.assign(ground_size * words, 0);
+    bool duplicate = false;
+    for (std::size_t e = 0; e < ground_size && !duplicate; ++e) {
+      std::uint64_t* row = rows_.data() + e * words;
+      for (std::size_t i = offsets_[e]; i < offsets_[e + 1]; ++i) {
+        const std::size_t item = items_[i];
+        std::uint64_t& word = row[item >> 6];
+        const std::uint64_t bit = std::uint64_t{1} << (item & 63);
+        if (word & bit) {
+          duplicate = true;
+          break;
+        }
+        word |= bit;
+      }
+    }
+    if (duplicate) {
+      rows_.clear();
+      rows_.shrink_to_fit();
+    } else {
+      row_words_ = words;
+    }
+  }
 }
 
 WeightedCoverage::WeightedCoverage(std::size_t ground_size,
@@ -154,6 +264,11 @@ WeightedCoverage::WeightedCoverage(std::size_t ground_size,
                        std::vector<double>(item_count, 1.0)) {}
 
 std::unique_ptr<EvalState> WeightedCoverage::make_state() const {
+  const MarginalKernel kernel = marginal_kernel();
+  if (kernel != MarginalKernel::kScalar && row_words_ > 0)
+    return std::make_unique<FastCoverageState>(
+        &rows_, row_words_, ground_size(), weights_.size(),
+        count_pending_fn(kernel));
   return std::make_unique<CoverageState>(&offsets_, &items_, &weights_);
 }
 

@@ -5,9 +5,24 @@
 // U(S) = Σ weight(item covered by some e ∈ S). Boolean multi-target
 // coverage ("target O_i is monitored by at least one active sensor") is the
 // special case with one item per target.
+//
+// Two evaluator kernels back make_state() (DESIGN.md section 15):
+//
+//   * the scalar reference — the original CSR loop, always available and
+//     the ground truth for differential tests;
+//   * a popcount fast path — each element's item set packed into a row of
+//     uint64 words, marginal = popcount(row & ~covered). Taken only when
+//     it is bit-for-bit exact: every item weight is exactly 1.0 (integer-
+//     valued double sums are exact below 2^53), no element lists the same
+//     item twice (the bitmask would dedup where the reference double-
+//     counts), and the row matrix fits a fixed memory budget.
+//
+// The active kernel is resolved per make_state() from the global
+// set_marginal_kernel() override (submodular/kernel.h).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "submodular/function.h"
@@ -29,6 +44,11 @@ class WeightedCoverage final : public SubmodularFunction {
   std::unique_ptr<EvalState> make_state() const override;
   double max_value() const override;
 
+  // True when the packed popcount rows were built (unit weights, no
+  // per-element duplicate items, within the memory budget) — i.e. the fast
+  // kernel is eligible. Exposed for the differential tests.
+  bool popcount_rows_built() const noexcept { return row_words_ > 0; }
+
  private:
   // Covers adjacency in CSR form: items_[offsets_[e] .. offsets_[e+1]) are
   // the item indices element e covers. One contiguous array keeps the
@@ -37,6 +57,10 @@ class WeightedCoverage final : public SubmodularFunction {
   std::vector<std::size_t> offsets_;
   std::vector<std::size_t> items_;
   std::vector<double> weights_;
+  // Packed item rows for the popcount kernel: rows_[e * row_words_ .. ) is
+  // element e's item set, one bit per item. Empty when ineligible.
+  std::vector<std::uint64_t> rows_;
+  std::size_t row_words_ = 0;
 };
 
 // Modular (additive) function U(S) = Σ_{e∈S} w_e — the degenerate

@@ -1,6 +1,10 @@
 #include "submodular/detection.h"
 
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
+
+#include "submodular/kernel.h"
 
 namespace cool::sub {
 
@@ -106,12 +110,253 @@ class MultiState final : public EvalState {
   std::vector<std::uint8_t> in_set_;
 };
 
+// Cache-linear fast kernel over the flattened CSR. Identical arithmetic to
+// MultiState, term for term:
+//
+//   reference:  gain += (weight_t * miss_t) * p     (left-associated)
+//   fast path:  gain += weighted_miss_[t]   * p     where weighted_miss_[t]
+//               is maintained as exactly weight_t * miss_t
+//
+// Same two operands, same product, same summation order — so the restructure
+// is purely a memory-layout change and every result is bit-identical. What
+// changes is the access pattern: the target stream and probability stream
+// are each one contiguous run, and the only gather left is weighted_miss_
+// (one double per target) instead of the reference's two (a 32-byte-stride
+// weight inside Target plus the miss array) behind a vector-of-vectors
+// indirection.
+class FastMultiState final : public EvalState {
+ public:
+  FastMultiState(const std::vector<std::size_t>* offsets,
+                 const std::vector<std::uint32_t>* targets,
+                 const std::vector<double>* probs,
+                 const std::vector<double>* weights)
+      : offsets_(offsets),
+        targets_(targets),
+        probs_(probs),
+        weights_(weights),
+        miss_(weights->size(), 1.0),
+        weighted_miss_(*weights),  // weight * 1.0 == weight bit-for-bit
+        in_set_(offsets->size() - 1, 0) {}
+
+  double marginal(std::size_t e) const override {
+    check(e);
+    if (in_set_[e]) return 0.0;
+    const std::uint32_t* targets = targets_->data();
+    const double* probs = probs_->data();
+    const double* wm = weighted_miss_.data();
+    double gain = 0.0;
+    const std::size_t end = (*offsets_)[e + 1];
+    for (std::size_t i = (*offsets_)[e]; i < end; ++i)
+      gain += wm[targets[i]] * probs[i];
+    return gain;
+  }
+
+  void marginal_batch(std::span<const std::size_t> elements,
+                      std::span<double> out_gains) const override {
+    if (out_gains.size() < elements.size())
+      throw std::invalid_argument(
+          "FastMultiState::marginal_batch: gains span too small");
+    const std::size_t* offsets = offsets_->data();
+    const std::uint32_t* targets = targets_->data();
+    const double* probs = probs_->data();
+    const double* wm = weighted_miss_.data();
+    for (std::size_t k = 0; k < elements.size(); ++k) {
+      const std::size_t e = elements[k];
+      check(e);
+      if (in_set_[e]) {
+        out_gains[k] = 0.0;
+        continue;
+      }
+      double gain = 0.0;
+      const std::size_t end = offsets[e + 1];
+      for (std::size_t i = offsets[e]; i < end; ++i)
+        gain += wm[targets[i]] * probs[i];
+      out_gains[k] = gain;
+    }
+  }
+
+  void add(std::size_t e) override {
+    check(e);
+    if (in_set_[e]) return;
+    in_set_[e] = 1;
+    const std::size_t end = (*offsets_)[e + 1];
+    for (std::size_t i = (*offsets_)[e]; i < end; ++i) {
+      const std::uint32_t t = (*targets_)[i];
+      miss_[t] *= 1.0 - (*probs_)[i];
+      weighted_miss_[t] = (*weights_)[t] * miss_[t];
+    }
+  }
+
+  void reset() override {
+    in_set_.assign(in_set_.size(), 0);
+    miss_.assign(miss_.size(), 1.0);
+    weighted_miss_ = *weights_;
+  }
+
+  double value() const override {
+    double total = 0.0;
+    for (std::size_t i = 0; i < miss_.size(); ++i)
+      total += (*weights_)[i] * (1.0 - miss_[i]);
+    return total;
+  }
+
+  std::unique_ptr<EvalState> clone() const override {
+    return std::make_unique<FastMultiState>(*this);
+  }
+
+  // Fused-evaluator plumbing (resolve_fused): the CSR identity triple is
+  // compared across slot states to prove they share one utility, and the
+  // per-state gather arrays feed the single-pass multi-slot kernel.
+  const std::vector<std::size_t>* csr_offsets() const noexcept {
+    return offsets_;
+  }
+  const std::vector<std::uint32_t>* csr_targets() const noexcept {
+    return targets_;
+  }
+  const std::vector<double>* csr_probs() const noexcept { return probs_; }
+  const double* weighted_miss_data() const noexcept {
+    return weighted_miss_.data();
+  }
+  const std::uint8_t* in_set_data() const noexcept { return in_set_.data(); }
+  std::size_t element_count() const noexcept { return in_set_.size(); }
+
+ private:
+  void check(std::size_t e) const {
+    if (e >= in_set_.size())
+      throw std::out_of_range("MultiTargetDetectionUtility: element");
+  }
+  const std::vector<std::size_t>* offsets_;
+  const std::vector<std::uint32_t>* targets_;
+  const std::vector<double>* probs_;
+  const std::vector<double>* weights_;
+  std::vector<double> miss_;           // per-target Π (1 − p)
+  std::vector<double> weighted_miss_;  // weight_t * miss_t, exactly
+  std::vector<std::uint8_t> in_set_;
+};
+
+// One pass over each candidate's CSR row accumulating every slot's gain,
+// tracking the per-slot first strict maximum as it goes. Per (id, slot)
+// the terms wm_t[target] * p are added in row order — the exact adds
+// marginal() performs — so the gains the argmax compares are bit-identical
+// to the per-slot batch path; only the loads of targets[i] / probs[i] are
+// shared across slots, and no gain ever round-trips through memory.
+// kSlots is a compile-time constant for the common small T so the
+// accumulators live in registers; the dynamic fallback handles any slot
+// count resolve_fused admits. Preconditions (valid ids, no id a member of
+// any state's set) are the FusedSlotEvaluator contract and are not
+// re-checked here.
+template <std::size_t kSlots>
+void fused_detection_rows(const EvalState* const* states, std::size_t,
+                          const std::size_t* ids, std::size_t id_count,
+                          double* best_gain, std::size_t* best_index) {
+  const auto* s0 = static_cast<const FastMultiState*>(states[0]);
+  const std::size_t* offsets = s0->csr_offsets()->data();
+  const std::uint32_t* targets = s0->csr_targets()->data();
+  const double* probs = s0->csr_probs()->data();
+  const double* wm[kSlots];
+  for (std::size_t t = 0; t < kSlots; ++t)
+    wm[t] = static_cast<const FastMultiState*>(states[t])->weighted_miss_data();
+  double bg[kSlots];
+  std::size_t bi[kSlots];
+  for (std::size_t t = 0; t < kSlots; ++t) {
+    bg[t] = -1.0;  // every real gain is >= 0, so k = 0 always wins it
+    bi[t] = 0;
+  }
+  for (std::size_t k = 0; k < id_count; ++k) {
+    const std::size_t e = ids[k];
+    double acc[kSlots] = {};
+    const std::size_t end = offsets[e + 1];
+    for (std::size_t i = offsets[e]; i < end; ++i) {
+      const std::uint32_t tgt = targets[i];
+      const double p = probs[i];
+      // Fully unrolled so the accumulators (and the wm row pointers) are
+      // scalarized into registers; the rolled form kept acc[] on the
+      // stack and reloaded wm[t] from memory on every row entry.
+#pragma GCC unroll 64
+      for (std::size_t t = 0; t < kSlots; ++t) acc[t] += wm[t][tgt] * p;
+    }
+#pragma GCC unroll 64
+    for (std::size_t t = 0; t < kSlots; ++t) {
+      if (acc[t] > bg[t]) {  // strict: first maximum wins, as in the
+        bg[t] = acc[t];      // serial ascending scan
+        bi[t] = k;
+      }
+    }
+  }
+  for (std::size_t t = 0; t < kSlots; ++t) {
+    best_gain[t] = bg[t];
+    best_index[t] = bi[t];
+  }
+}
+
+void fused_detection_rows_dynamic(const EvalState* const* states,
+                                  std::size_t state_count,
+                                  const std::size_t* ids, std::size_t id_count,
+                                  double* best_gain, std::size_t* best_index) {
+  const auto* s0 = static_cast<const FastMultiState*>(states[0]);
+  const std::size_t* offsets = s0->csr_offsets()->data();
+  const std::uint32_t* targets = s0->csr_targets()->data();
+  const double* probs = s0->csr_probs()->data();
+  const double* wm[FusedSlotEvaluator::kMaxSlots];
+  for (std::size_t t = 0; t < state_count; ++t)
+    wm[t] = static_cast<const FastMultiState*>(states[t])->weighted_miss_data();
+  for (std::size_t t = 0; t < state_count; ++t) {
+    best_gain[t] = -1.0;
+    best_index[t] = 0;
+  }
+  for (std::size_t k = 0; k < id_count; ++k) {
+    const std::size_t e = ids[k];
+    double acc[FusedSlotEvaluator::kMaxSlots] = {};
+    const std::size_t end = offsets[e + 1];
+    for (std::size_t i = offsets[e]; i < end; ++i) {
+      const std::uint32_t tgt = targets[i];
+      const double p = probs[i];
+      for (std::size_t t = 0; t < state_count; ++t) acc[t] += wm[t][tgt] * p;
+    }
+    for (std::size_t t = 0; t < state_count; ++t) {
+      if (acc[t] > best_gain[t]) {
+        best_gain[t] = acc[t];
+        best_index[t] = k;
+      }
+    }
+  }
+}
+
 void validate_probability(double p) {
   if (p < 0.0 || p > 1.0)
     throw std::invalid_argument("detection probability outside [0, 1]");
 }
 
 }  // namespace
+
+FusedSlotEvaluator resolve_fused(
+    const std::vector<std::unique_ptr<EvalState>>& states) {
+  if (states.empty() || states.size() > FusedSlotEvaluator::kMaxSlots)
+    return {};
+  const auto* first = dynamic_cast<const FastMultiState*>(states[0].get());
+  if (first == nullptr) return {};
+  for (const auto& state : states) {
+    const auto* fast = dynamic_cast<const FastMultiState*>(state.get());
+    // All slots must evaluate the exact same utility arrays, or the shared
+    // offsets/targets/probs loads would be wrong for some slot.
+    if (fast == nullptr || fast->csr_offsets() != first->csr_offsets() ||
+        fast->csr_targets() != first->csr_targets() ||
+        fast->csr_probs() != first->csr_probs())
+      return {};
+  }
+  switch (states.size()) {
+    case 1: return {fused_detection_rows<1>};
+    case 2: return {fused_detection_rows<2>};
+    case 3: return {fused_detection_rows<3>};
+    case 4: return {fused_detection_rows<4>};
+    case 5: return {fused_detection_rows<5>};
+    case 6: return {fused_detection_rows<6>};
+    case 7: return {fused_detection_rows<7>};
+    case 8: return {fused_detection_rows<8>};
+    case 12: return {fused_detection_rows<12>};
+    default: return {fused_detection_rows_dynamic};
+  }
+}
 
 DetectionUtility::DetectionUtility(std::vector<double> probabilities)
     : p_(std::move(probabilities)) {
@@ -133,16 +378,35 @@ MultiTargetDetectionUtility::MultiTargetDetectionUtility(std::size_t sensor_coun
     : sensor_count_(sensor_count),
       targets_(std::move(targets)),
       by_sensor_(sensor_count) {
+  if (targets_.size() > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("MultiTargetDetectionUtility: too many targets");
+  std::size_t pair_count = 0;
+  target_weights_.reserve(targets_.size());
   for (std::size_t i = 0; i < targets_.size(); ++i) {
     const auto& target = targets_[i];
     if (target.weight <= 0.0)
       throw std::invalid_argument("MultiTargetDetectionUtility: weight <= 0");
+    target_weights_.push_back(target.weight);
     for (const auto& [sensor, p] : target.detectors) {
       if (sensor >= sensor_count_)
         throw std::out_of_range("MultiTargetDetectionUtility: sensor index");
       validate_probability(p);
       by_sensor_[sensor].emplace_back(i, p);
+      ++pair_count;
     }
+  }
+  // Flatten by_sensor_ to CSR struct-of-arrays, preserving per-sensor list
+  // order so the fast kernel sums in the reference's order.
+  csr_offsets_.reserve(sensor_count_ + 1);
+  csr_targets_.reserve(pair_count);
+  csr_probs_.reserve(pair_count);
+  csr_offsets_.push_back(0);
+  for (const auto& list : by_sensor_) {
+    for (const auto& [target, p] : list) {
+      csr_targets_.push_back(static_cast<std::uint32_t>(target));
+      csr_probs_.push_back(p);
+    }
+    csr_offsets_.push_back(csr_targets_.size());
   }
 }
 
@@ -161,7 +425,12 @@ MultiTargetDetectionUtility MultiTargetDetectionUtility::uniform(
 }
 
 std::unique_ptr<EvalState> MultiTargetDetectionUtility::make_state() const {
-  return std::make_unique<MultiState>(&targets_, &by_sensor_);
+  // Layout change only — the fast state's arithmetic is bit-identical for
+  // every kernel setting, so only an explicit kScalar forces the reference.
+  if (marginal_kernel() == MarginalKernel::kScalar)
+    return std::make_unique<MultiState>(&targets_, &by_sensor_);
+  return std::make_unique<FastMultiState>(&csr_offsets_, &csr_targets_,
+                                          &csr_probs_, &target_weights_);
 }
 
 double MultiTargetDetectionUtility::max_value() const {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "submodular/function.h"
@@ -33,6 +34,20 @@ class DetectionUtility final : public SubmodularFunction {
 //
 // Per-target coverage lists make marginal queries O(#targets covered by the
 // sensor) instead of O(m).
+//
+// Two evaluator kernels back make_state() (DESIGN.md section 15):
+//
+//   * the scalar reference — the original per-sensor vector-of-pairs walk,
+//     kept verbatim as the differential-testing ground truth;
+//   * a cache-linear fast path — the same arithmetic over a flattened CSR
+//     (one offsets array, one contiguous target-index stream, one
+//     contiguous probability stream) plus a precomputed
+//     weighted_miss[t] = weight_t · miss_t gather array. The reference
+//     evaluates (weight · miss) · p left-associated; the fast path stores
+//     that exact first product and multiplies by p in the same list order,
+//     so every gain is bit-for-bit identical. The restructure removes the
+//     vector-of-vectors pointer chase and the strided Target-struct weight
+//     gather that PR 9's profile put at 55% of oracle self-time.
 class MultiTargetDetectionUtility final : public SubmodularFunction {
  public:
   struct Target {
@@ -61,7 +76,18 @@ class MultiTargetDetectionUtility final : public SubmodularFunction {
   std::size_t sensor_count_;
   std::vector<Target> targets_;
   // sensor -> list of (target index, probability) it participates in.
+  // Retained as the scalar reference's layout.
   std::vector<std::vector<std::pair<std::size_t, double>>> by_sensor_;
+  // The same relation flattened to CSR struct-of-arrays for the fast
+  // kernel: csr_targets_/csr_probs_[csr_offsets_[e] .. csr_offsets_[e+1])
+  // list sensor e's (target, p) pairs in exactly by_sensor_[e]'s order, so
+  // the in-order gain summation matches the reference term for term.
+  std::vector<std::size_t> csr_offsets_;
+  std::vector<std::uint32_t> csr_targets_;
+  std::vector<double> csr_probs_;
+  // target_weights_[i] = targets_[i].weight, densely packed for the
+  // weighted-miss recompute on add().
+  std::vector<double> target_weights_;
 };
 
 }  // namespace cool::sub

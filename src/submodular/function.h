@@ -60,6 +60,51 @@ class EvalState {
   virtual std::unique_ptr<EvalState> clone() const = 0;
 };
 
+// Fused slot-row evaluation (DESIGN.md section 15): the greedy-family
+// argmax scans the same candidate ids against every slot state each round.
+// When all slot states are the same flat-layout concrete type over one
+// shared utility, the whole scan can walk each candidate's coverage row
+// ONCE and accumulate all T gains in that single pass — T independent
+// multiply-accumulate chains sharing the row's index/probability loads —
+// instead of re-reading the row per slot. The arithmetic per (id, slot) is
+// term-for-term identical to marginal(), so gains are bit-for-bit equal.
+//
+// resolve_fused() performs the type/aliasing checks (dynamic_cast per
+// state) ONCE per schedule() call; the returned fn then dispatches with
+// unchecked static casts. fn == nullptr means "no fused path" (mixed or
+// reference states, kScalar forced) and callers fall back to per-slot
+// marginal_batch. Defined in detection.cpp (the detection oracle is the
+// only fused backend today).
+struct FusedSlotEvaluator {
+  // fn(states, state_count, ids, id_count, best_gain, best_index): the
+  // fused scan-and-argmax. For every slot t it computes
+  //   gain(t, k) = states[t]->marginal(ids[k])
+  // and returns the row's FIRST strict maximum:
+  //   best_index[t] = min { k : gain(t, k) >= gain(t, j) for all j }
+  //   best_gain[t]  = gain(t, best_index[t])
+  // Folding the argmax into the kernel keeps the per-candidate gains in
+  // registers — nothing is spilled to a gains matrix and re-scanned.
+  //
+  // Preconditions (the greedy-family schedulers guarantee both; this is a
+  // trusted internal hot path, so they are not re-checked):
+  //   * id_count >= 1 and every id is a valid element index;
+  //   * no id is already a member of ANY state's set (the schedulers scan
+  //     unplaced sensors only). marginal() would return 0 for a member, so
+  //     violating this yields a gain where 0 is expected.
+  using Fn = void (*)(const EvalState* const* states, std::size_t state_count,
+                      const std::size_t* ids, std::size_t id_count,
+                      double* best_gain, std::size_t* best_index);
+  Fn fn = nullptr;
+  explicit operator bool() const noexcept { return fn != nullptr; }
+
+  // Largest state_count resolve_fused() will fuse; callers may size
+  // per-chunk best_gain/best_index scratch with this bound.
+  static constexpr std::size_t kMaxSlots = 64;
+};
+
+FusedSlotEvaluator resolve_fused(
+    const std::vector<std::unique_ptr<EvalState>>& states);
+
 class SubmodularFunction {
  public:
   virtual ~SubmodularFunction() = default;

@@ -1,0 +1,170 @@
+#include "submodular/kernel.h"
+
+#include <atomic>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define COOL_KERNEL_X86_MULTIVERSION 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define COOL_KERNEL_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace cool::sub {
+
+namespace {
+
+std::atomic<MarginalKernel> g_kernel{MarginalKernel::kAuto};
+
+}  // namespace
+
+void set_marginal_kernel(MarginalKernel kernel) noexcept {
+  g_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+MarginalKernel marginal_kernel() noexcept {
+  return g_kernel.load(std::memory_order_relaxed);
+}
+
+std::size_t count_pending_scalar(const std::uint64_t* row,
+                                 const std::uint64_t* covered,
+                                 std::size_t words) noexcept {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words; ++w)
+    count += static_cast<std::size_t>(__builtin_popcountll(row[w] & ~covered[w]));
+  return count;
+}
+
+std::size_t count_pending_ladder(const std::uint64_t* row,
+                                 const std::uint64_t* covered,
+                                 std::size_t words) noexcept {
+  // Four independent accumulators break the loop-carried dependency so the
+  // popcnt units pipeline; integer sums are order-free, so this is exactly
+  // the scalar count.
+  std::size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    c0 += static_cast<std::size_t>(__builtin_popcountll(row[w] & ~covered[w]));
+    c1 += static_cast<std::size_t>(
+        __builtin_popcountll(row[w + 1] & ~covered[w + 1]));
+    c2 += static_cast<std::size_t>(
+        __builtin_popcountll(row[w + 2] & ~covered[w + 2]));
+    c3 += static_cast<std::size_t>(
+        __builtin_popcountll(row[w + 3] & ~covered[w + 3]));
+  }
+  for (; w < words; ++w)
+    c0 += static_cast<std::size_t>(__builtin_popcountll(row[w] & ~covered[w]));
+  return c0 + c1 + c2 + c3;
+}
+
+#if defined(COOL_KERNEL_X86_MULTIVERSION)
+
+// AVX2 nibble-LUT popcount (Mula's algorithm): per 256-bit lane, split each
+// byte into nibbles, look both up in a per-lane 16-entry popcount table
+// with pshufb, and horizontally sum via psadbw. Compiled with a function-
+// specific target attribute so the translation unit itself stays baseline;
+// simd_kernel_available() gates execution on cpuid at runtime.
+__attribute__((target("avx2"))) std::size_t count_pending_avx2(
+    const std::uint64_t* row, const std::uint64_t* covered,
+    std::size_t words) noexcept {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w));
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(covered + w));
+    const __m256i pending = _mm256_andnot_si256(c, r);
+    const __m256i lo = _mm256_and_si256(pending, low_mask);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(pending, 4), low_mask);
+    const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                           _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(counts, _mm256_setzero_si256()));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::size_t count = static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2] +
+                                               lanes[3]);
+  for (; w < words; ++w)
+    count +=
+        static_cast<std::size_t>(__builtin_popcountll(row[w] & ~covered[w]));
+  return count;
+}
+
+bool cpu_has_avx2() noexcept {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+}
+
+#elif defined(COOL_KERNEL_NEON)
+
+std::size_t count_pending_neon(const std::uint64_t* row,
+                               const std::uint64_t* covered,
+                               std::size_t words) noexcept {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t w = 0;
+  for (; w + 2 <= words; w += 2) {
+    const uint64x2_t r = vld1q_u64(row + w);
+    const uint64x2_t c = vld1q_u64(covered + w);
+    const uint8x16_t pending =
+        vreinterpretq_u8_u64(vbicq_u64(r, c));  // r & ~c
+    acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(pending)))));
+  }
+  std::size_t count =
+      static_cast<std::size_t>(vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1));
+  for (; w < words; ++w)
+    count +=
+        static_cast<std::size_t>(__builtin_popcountll(row[w] & ~covered[w]));
+  return count;
+}
+
+#endif
+
+bool simd_kernel_available() noexcept {
+#if defined(COOL_KERNEL_X86_MULTIVERSION)
+  return cpu_has_avx2();
+#elif defined(COOL_KERNEL_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::size_t count_pending_simd(const std::uint64_t* row,
+                               const std::uint64_t* covered,
+                               std::size_t words) noexcept {
+#if defined(COOL_KERNEL_X86_MULTIVERSION)
+  if (cpu_has_avx2()) return count_pending_avx2(row, covered, words);
+#elif defined(COOL_KERNEL_NEON)
+  return count_pending_neon(row, covered, words);
+#endif
+  return count_pending_ladder(row, covered, words);
+}
+
+MarginalKernel resolved_fast_kernel() noexcept {
+  return simd_kernel_available() ? MarginalKernel::kSimd
+                                 : MarginalKernel::kLadder;
+}
+
+CountPendingFn count_pending_fn(MarginalKernel kernel) noexcept {
+  switch (kernel) {
+    case MarginalKernel::kScalar:
+      return &count_pending_scalar;
+    case MarginalKernel::kLadder:
+      return &count_pending_ladder;
+    case MarginalKernel::kSimd:
+      return &count_pending_simd;
+    case MarginalKernel::kAuto:
+      break;
+  }
+  return resolved_fast_kernel() == MarginalKernel::kSimd
+             ? &count_pending_simd
+             : &count_pending_ladder;
+}
+
+}  // namespace cool::sub

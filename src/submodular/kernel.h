@@ -1,0 +1,72 @@
+// Marginal-kernel selection and the packed-bitset popcount primitives
+// (DESIGN.md section 15).
+//
+// The oracle hot path has, per utility, a *fast* kernel (contiguous
+// layouts, popcount over packed uint64 rows where the arithmetic permits)
+// and a retained *scalar reference* — the original loop, kept verbatim so
+// differential tests can assert the fast path is bit-for-bit identical.
+// Every fast kernel here is exact by construction:
+//
+//   * the popcount kernels are pure integer arithmetic, so the ladder /
+//     SIMD variants may reorder freely and still match the scalar count;
+//   * WeightedCoverage only takes the popcount path for unit item weights
+//     (gain = 1.0 * count, and integer-valued double sums below 2^53 are
+//     exact), so `count * 1.0` equals the reference's repeated addition;
+//   * the detection kernel keeps the reference's summation order and
+//     operand pairing (see detection.cpp), so its restructure is purely a
+//     memory-layout change.
+//
+// Kernel choice is resolved once per make_state() call: kAuto picks the
+// best compiled-and-supported variant. set_marginal_kernel() is a global
+// test hook (differential suites force kScalar/kLadder/kSimd); it is not
+// meant to be flipped concurrently with make_state() calls.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cool::sub {
+
+enum class MarginalKernel {
+  kAuto = 0,    // resolve to the fastest available fast path
+  kScalar,      // the retained reference implementation
+  kLadder,      // hand-unrolled 4-accumulator popcount ladder
+  kSimd,        // explicit SIMD popcount (AVX2 on x86-64, NEON on arm64)
+};
+
+// Global kernel override (default kAuto). Consulted by make_state().
+void set_marginal_kernel(MarginalKernel kernel) noexcept;
+MarginalKernel marginal_kernel() noexcept;
+
+// True when an explicit SIMD popcount variant is compiled in AND the CPU
+// supports it at runtime (function-multiversioning on x86-64, so this is
+// true on AVX2 hardware even without -march=native / COOL_NATIVE).
+bool simd_kernel_available() noexcept;
+
+// What kAuto resolves to right now (kLadder or kSimd).
+MarginalKernel resolved_fast_kernel() noexcept;
+
+// popcount(row & ~covered) over `words` packed uint64 words: the number of
+// items an element would newly cover. All variants return identical counts
+// on identical inputs; they differ only in instruction selection.
+std::size_t count_pending_scalar(const std::uint64_t* row,
+                                 const std::uint64_t* covered,
+                                 std::size_t words) noexcept;
+std::size_t count_pending_ladder(const std::uint64_t* row,
+                                 const std::uint64_t* covered,
+                                 std::size_t words) noexcept;
+// Dispatches to the SIMD variant when available, else the ladder.
+std::size_t count_pending_simd(const std::uint64_t* row,
+                               const std::uint64_t* covered,
+                               std::size_t words) noexcept;
+
+using CountPendingFn = std::size_t (*)(const std::uint64_t*,
+                                       const std::uint64_t*,
+                                       std::size_t) noexcept;
+
+// The function pointer a state should bake in for `kernel` (kAuto and
+// kScalar both yield a correct counter; kScalar maps to the scalar loop so
+// forced-reference runs stay honest end to end).
+CountPendingFn count_pending_fn(MarginalKernel kernel) noexcept;
+
+}  // namespace cool::sub

@@ -356,6 +356,7 @@ void CooldService::execute_plan(Job& job) {
   while (true) {
     core::PlannerContext ctx;
     ctx.scratch_states = &session.scratch_states();
+    ctx.arena = &session.arena();
     if (job.use_deadline && level < 2) ctx.cancel = &token;
     const std::uint64_t span_start =
         config_.obs_enabled ? obs::trace_now_us() : 0;

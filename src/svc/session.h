@@ -30,6 +30,7 @@
 #include "core/schedule.h"
 #include "submodular/function.h"
 #include "svc/protocol.h"
+#include "util/arena.h"
 
 namespace cool::svc {
 
@@ -51,6 +52,11 @@ class Session {
     return scratch_;
   }
 
+  // Planner scratch arena: the schedulers reset() and re-carve it per run,
+  // so after the session's first planner call its blocks are warm and every
+  // later run is heap-allocation-free (DESIGN.md section 15).
+  util::Arena& arena() noexcept { return arena_; }
+
   const std::optional<core::PeriodicSchedule>& schedule() const noexcept {
     return schedule_;
   }
@@ -65,6 +71,7 @@ class Session {
   NetworkSpec spec_;
   core::Problem problem_;
   std::vector<std::unique_ptr<sub::EvalState>> scratch_;
+  util::Arena arena_;
   std::optional<core::PeriodicSchedule> schedule_;
   std::size_t applied_ = 0;
 };

@@ -1,0 +1,97 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace cool::util {
+
+namespace {
+
+// Every payload starts maximally aligned, so align fixups only happen for
+// interior allocations.
+constexpr std::size_t kBlockAlign = alignof(std::max_align_t);
+
+inline std::size_t align_up(std::size_t value, std::size_t align) noexcept {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t first_block_bytes)
+    : first_block_bytes_(std::max<std::size_t>(first_block_bytes, 64)) {}
+
+Arena::~Arena() { release(); }
+
+Arena::Block* Arena::new_block(std::size_t min_payload) {
+  // Geometric growth keeps the block count logarithmic in peak usage, so a
+  // warmed arena serves any same-shape workload from at most a handful of
+  // resident blocks.
+  std::size_t payload = head_ ? head_->capacity * 2 : first_block_bytes_;
+  payload = std::max(payload, min_payload);
+  const std::size_t header = align_up(sizeof(Block), kBlockAlign);
+  void* raw = std::malloc(header + payload);
+  if (!raw) throw std::bad_alloc();
+  Block* block = new (raw) Block();
+  block->capacity = payload;
+  block->used = 0;
+  block->next = head_;
+  head_ = block;
+  bytes_reserved_ += payload;
+  return block;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (current_) {
+    const std::uintptr_t payload = reinterpret_cast<std::uintptr_t>(current_) +
+                                   align_up(sizeof(Block), kBlockAlign);
+    const std::size_t offset =
+        align_up(payload + current_->used, align) - payload;
+    if (offset + bytes <= current_->capacity) {
+      current_->used = offset + bytes;
+      bytes_used_ += bytes;
+      return reinterpret_cast<void*>(payload + offset);
+    }
+    // Try an already-reserved successor before touching the heap: after
+    // reset() the whole chain is empty and is walked front to back.
+    for (Block* block = head_; block; block = block->next) {
+      if (block->used == 0 && bytes + align <= block->capacity) {
+        current_ = block;
+        return allocate(bytes, align);
+      }
+    }
+  }
+  current_ = new_block(align_up(bytes + align, kBlockAlign));
+  return allocate(bytes, align);
+}
+
+void Arena::reset() noexcept {
+  for (Block* block = head_; block; block = block->next) block->used = 0;
+  current_ = head_;
+  bytes_used_ = 0;
+}
+
+void Arena::release() noexcept {
+  Block* block = head_;
+  while (block) {
+    Block* next = block->next;
+    std::free(block);
+    block = next;
+  }
+  head_ = nullptr;
+  current_ = nullptr;
+  bytes_reserved_ = 0;
+  bytes_used_ = 0;
+}
+
+std::size_t Arena::block_count() const noexcept {
+  std::size_t count = 0;
+  for (Block* block = head_; block; block = block->next) ++count;
+  return count;
+}
+
+std::size_t Arena::bytes_reserved() const noexcept { return bytes_reserved_; }
+std::size_t Arena::bytes_used() const noexcept { return bytes_used_; }
+
+}  // namespace cool::util

@@ -73,7 +73,7 @@ struct ThreadPool::Impl {
   std::mutex mutex;
   std::condition_variable job_cv;   // workers wait for a new epoch
   std::condition_variable done_cv;  // run() waits for unfinished == 0
-  const std::function<void(std::size_t)>* job = nullptr;
+  const FunctionRef<void(std::size_t)>* job = nullptr;
   std::uint64_t epoch = 0;
   std::size_t unfinished = 0;
   // Workers currently inside the drain loop. run() waits for this to hit
@@ -162,7 +162,7 @@ std::size_t ThreadPool::worker_count() const noexcept {
 bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
 
 void ThreadPool::run(std::size_t task_count,
-                     const std::function<void(std::size_t)>& task) {
+                     FunctionRef<void(std::size_t)> task) {
   if (task_count == 0) return;
   // Nested call from a worker (or a degenerate batch): run inline. Tasks
   // are independent, so where they execute cannot change results.
@@ -210,7 +210,7 @@ ThreadPool& global_pool() {
 }
 
 void parallel_chunks(std::size_t chunk_count,
-                     const std::function<void(std::size_t)>& body) {
+                     FunctionRef<void(std::size_t)> body) {
   if (chunk_count == 0) return;
   const std::size_t threads = thread_count();
   if (threads <= 1 || chunk_count == 1 || ThreadPool::on_worker_thread()) {
@@ -223,7 +223,7 @@ void parallel_chunks(std::size_t chunk_count,
 }
 
 void parallel_for(std::size_t n, std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& body) {
+                  FunctionRef<void(std::size_t, std::size_t)> body) {
   const auto chunks = chunk_ranges(n, grain);
   parallel_chunks(chunks.size(),
                   [&](std::size_t c) { body(chunks[c].begin, chunks[c].end); });

@@ -23,10 +23,43 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace cool::util {
+
+// Non-owning callable view (the planner hot loops dispatch one of these per
+// argmax round; std::function would heap-allocate its closure every time,
+// which is exactly the churn the arena work removes). The referenced
+// callable must outlive every invocation — guaranteed here because the
+// parallel helpers run the batch to completion before returning.
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
 
 // max(1, std::thread::hardware_concurrency()).
 std::size_t hardware_threads() noexcept;
@@ -66,7 +99,7 @@ class ThreadPool {
   // Executes task(0) ... task(task_count - 1), blocking until all finish.
   // The first exception thrown by a task is rethrown here after the batch
   // drains. Tasks must be independent: execution order is unspecified.
-  void run(std::size_t task_count, const std::function<void(std::size_t)>& task);
+  void run(std::size_t task_count, FunctionRef<void(std::size_t)> task);
 
   // True on a pool worker thread (used to run nested parallelism inline).
   static bool on_worker_thread() noexcept;
@@ -82,14 +115,15 @@ ThreadPool& global_pool();
 
 // Runs body(c) for every chunk index c in [0, chunk_count). Serial (and
 // pool-free) when thread_count() == 1, chunk_count <= 1, or already on a
-// worker thread.
+// worker thread. Takes a FunctionRef, not std::function: dispatching a
+// batch performs no allocation, so the planner loops stay heap-silent.
 void parallel_chunks(std::size_t chunk_count,
-                     const std::function<void(std::size_t)>& body);
+                     FunctionRef<void(std::size_t)> body);
 
 // Chunked loop over [0, n): body(begin, end) per chunk, chunk shape from
 // chunk_ranges(n, grain).
 void parallel_for(std::size_t n, std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& body);
+                  FunctionRef<void(std::size_t, std::size_t)> body);
 
 // Deterministic reduction: partial[c] = map(chunk c begin, end) computed in
 // parallel, then acc = combine(acc, partial[c]) folded left-to-right in

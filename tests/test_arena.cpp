@@ -1,0 +1,154 @@
+// Bump-arena contracts (util/arena.h): alignment, reset()-reuse without
+// block growth — the property that makes steady-state planner calls
+// allocation-free — and the ArenaVector semantics the schedulers lean on
+// (heap algorithms over raw-pointer iterators, reserve-then-push inside
+// parallel regions, zero-filling resize).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/arena.h"
+
+namespace cool::util {
+namespace {
+
+TEST(Arena, AlignmentHonored) {
+  Arena arena;
+  for (const std::size_t align : {1ull, 2ull, 4ull, 8ull, 16ull, 64ull}) {
+    for (const std::size_t bytes : {1ull, 3ull, 17ull, 128ull}) {
+      void* p = arena.allocate(bytes, align);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+          << "bytes=" << bytes << " align=" << align;
+    }
+  }
+}
+
+TEST(Arena, ZeroByteAllocationIsNonNull) {
+  Arena arena;
+  EXPECT_NE(arena.allocate(0, 1), nullptr);
+}
+
+TEST(Arena, GrowsGeometricallyAcrossBlocks) {
+  Arena arena(64);
+  EXPECT_EQ(arena.block_count(), 0u);
+  arena.allocate(32, 8);
+  EXPECT_EQ(arena.block_count(), 1u);
+  // Far past the first block: must grow, and every byte stays writable.
+  auto* big = static_cast<std::uint8_t*>(arena.allocate(10'000, 8));
+  std::fill(big, big + 10'000, 0xab);
+  EXPECT_GE(arena.block_count(), 2u);
+  EXPECT_GE(arena.bytes_reserved(), 10'000u);
+}
+
+TEST(Arena, ResetReusesBlocksWithoutGrowth) {
+  Arena arena;
+  // Warm-up pass mirroring a planner call: several buffers of mixed sizes.
+  const auto carve = [&] {
+    std::vector<void*> ptrs;
+    ptrs.push_back(arena.allocate_array<double>(1024));
+    ptrs.push_back(arena.allocate_array<std::size_t>(512));
+    ptrs.push_back(arena.allocate_array<std::uint8_t>(777));
+    ptrs.push_back(arena.allocate_array<double>(4096));
+    return ptrs;
+  };
+  const auto first = carve();
+  const std::size_t blocks = arena.block_count();
+  const std::size_t reserved = arena.bytes_reserved();
+  for (int pass = 0; pass < 8; ++pass) {
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    const auto again = carve();
+    // Identical shapes after reset() re-carve identical addresses out of
+    // the retained blocks — no new block, no new reservation.
+    EXPECT_EQ(again, first) << "pass " << pass;
+    EXPECT_EQ(arena.block_count(), blocks) << "pass " << pass;
+    EXPECT_EQ(arena.bytes_reserved(), reserved) << "pass " << pass;
+  }
+}
+
+TEST(Arena, ReleaseDropsEverything) {
+  Arena arena;
+  arena.allocate(1000, 8);
+  arena.release();
+  EXPECT_EQ(arena.block_count(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // Usable again after release.
+  EXPECT_NE(arena.allocate(16, 8), nullptr);
+}
+
+TEST(ArenaVector, PushPopAndGrowthPreserveContents) {
+  Arena arena;
+  ArenaVector<std::size_t> v(&arena);
+  EXPECT_TRUE(v.empty());
+  for (std::size_t i = 0; i < 1000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 1000u);
+  for (std::size_t i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i * 3);
+  EXPECT_EQ(v.back(), 999u * 3);
+  EXPECT_EQ(v.front(), 0u);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 999u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(ArenaVector, ReserveThenPushNeverMovesData) {
+  Arena arena;
+  ArenaVector<double> v(&arena);
+  v.reserve(256);
+  const double* data = v.data();
+  for (std::size_t i = 0; i < 256; ++i) v.push_back(static_cast<double>(i));
+  // Within reserved capacity push_back never touches the arena — the
+  // precondition for pushing from inside parallel regions.
+  EXPECT_EQ(v.data(), data);
+  EXPECT_EQ(v.capacity(), 256u);
+}
+
+TEST(ArenaVector, ResizeZeroFillsGrowth) {
+  Arena arena;
+  ArenaVector<std::uint64_t> v(&arena);
+  v.push_back(7);
+  v.resize(16);
+  ASSERT_EQ(v.size(), 16u);
+  EXPECT_EQ(v[0], 7u);
+  for (std::size_t i = 1; i < 16; ++i) EXPECT_EQ(v[i], 0u) << i;
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(ArenaVector, HeapAlgorithmsWorkOverRawIterators) {
+  Arena arena;
+  ArenaVector<int> heap(&arena);
+  heap.reserve(64);
+  const int values[] = {5, 1, 9, 3, 7, 2, 8, 0, 6, 4};
+  for (const int value : values) {
+    heap.push_back(value);
+    std::push_heap(heap.begin(), heap.end());
+  }
+  std::vector<int> popped;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    popped.push_back(heap.back());
+    heap.pop_back();
+  }
+  const std::vector<int> expected{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  EXPECT_EQ(popped, expected);
+}
+
+TEST(ArenaVector, AttachRebindsAfterArenaReset) {
+  Arena arena;
+  ArenaVector<int> v(&arena);
+  v.push_back(1);
+  arena.reset();  // invalidates v's storage
+  v.attach(&arena);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 0u);
+  v.push_back(2);
+  EXPECT_EQ(v[0], 2);
+}
+
+}  // namespace
+}  // namespace cool::util

@@ -13,6 +13,7 @@
 #include "core/problem.h"
 #include "energy/pattern.h"
 #include "net/network.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace cool {
@@ -57,6 +58,38 @@ void expect_reuse_matches_fresh(const char* label) {
       << label << " left a wrong-sized scratch vector";
 }
 
+// Arena-backed scratch (PlannerContext::arena) against the call-local
+// default, across repeated calls on a warmed arena: every rung must emit
+// bit-identical schedules, step gains, and oracle counts, and the warmed
+// arena must stop growing after the first call.
+template <typename Scheduler>
+void expect_arena_matches_heap(const char* label) {
+  const core::Problem problem = make_instance(7);
+  const Scheduler scheduler;
+  const core::GreedyResult heap_backed = scheduler.schedule(problem);
+
+  std::vector<std::unique_ptr<sub::EvalState>> scratch;
+  util::Arena arena;
+  core::PlannerContext ctx;
+  ctx.scratch_states = &scratch;
+  ctx.arena = &arena;
+  std::size_t warm_blocks = 0, warm_reserved = 0;
+  for (int round = 0; round < 4; ++round) {
+    const core::GreedyResult arena_backed = scheduler.schedule(problem, ctx);
+    EXPECT_TRUE(same_result(heap_backed, arena_backed))
+        << label << " diverged on arena scratch, round " << round;
+    if (round == 0) {
+      warm_blocks = arena.block_count();
+      warm_reserved = arena.bytes_reserved();
+    } else {
+      EXPECT_EQ(arena.block_count(), warm_blocks)
+          << label << " grew the arena after warm-up, round " << round;
+      EXPECT_EQ(arena.bytes_reserved(), warm_reserved)
+          << label << " reserved more arena bytes after warm-up";
+    }
+  }
+}
+
 TEST(StateReuse, GreedyMatchesFreshStates) {
   expect_reuse_matches_fresh<core::GreedyScheduler>("greedy");
 }
@@ -67,6 +100,41 @@ TEST(StateReuse, LazyGreedyMatchesFreshStates) {
 
 TEST(StateReuse, HefMatchesFreshStates) {
   expect_reuse_matches_fresh<core::HefScheduler>("hef");
+}
+
+TEST(StateReuse, GreedyArenaMatchesHeap) {
+  expect_arena_matches_heap<core::GreedyScheduler>("greedy");
+}
+
+TEST(StateReuse, LazyGreedyArenaMatchesHeap) {
+  expect_arena_matches_heap<core::LazyGreedyScheduler>("lazy_greedy");
+}
+
+TEST(StateReuse, HefArenaMatchesHeap) {
+  expect_arena_matches_heap<core::HefScheduler>("hef");
+}
+
+TEST(StateReuse, ArenaSurvivesAcrossSchedulerKinds) {
+  // The svc ladder shares one session arena across lazy -> greedy -> HEF
+  // hops; each scheduler reset()s and re-carves it, so hopping must not
+  // perturb any rung's output.
+  const core::Problem problem = make_instance(21);
+  std::vector<std::unique_ptr<sub::EvalState>> scratch;
+  util::Arena arena;
+  core::PlannerContext ctx;
+  ctx.scratch_states = &scratch;
+  ctx.arena = &arena;
+
+  const core::GreedyResult lazy =
+      core::LazyGreedyScheduler{}.schedule(problem, ctx);
+  EXPECT_TRUE(same_result(core::LazyGreedyScheduler{}.schedule(problem), lazy));
+  const core::GreedyResult greedy = core::GreedyScheduler{}.schedule(problem, ctx);
+  EXPECT_TRUE(same_result(core::GreedyScheduler{}.schedule(problem), greedy));
+  const core::GreedyResult floor = core::HefScheduler{}.schedule(problem, ctx);
+  EXPECT_TRUE(same_result(core::HefScheduler{}.schedule(problem), floor));
+  const core::GreedyResult lazy_again =
+      core::LazyGreedyScheduler{}.schedule(problem, ctx);
+  EXPECT_TRUE(same_result(lazy, lazy_again));
 }
 
 TEST(StateReuse, ScratchSurvivesAcrossSchedulerKinds) {
